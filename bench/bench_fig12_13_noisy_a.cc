@@ -1,0 +1,48 @@
+// Reproduces Figures 12 and 13 of the paper on noisy data set A (the
+// ionosphere-like data with 10 attributes replaced by high-amplitude
+// uniform noise): the scatter plot showing poor matching between
+// eigenvalues and coherence probabilities, and the accuracy curves
+// comparing the eigenvalue ordering against the coherence ordering.
+#include "figure_common.h"
+
+#include <cstdio>
+
+#include "data/uci_like.h"
+#include "reduction/selection.h"
+
+using namespace cohere;        // NOLINT(build/namespaces)
+using namespace cohere::bench; // NOLINT(build/namespaces)
+
+int main() {
+  Dataset data = NoisyDataA();
+  std::printf("=== noisy data set A: n=%zu d=%zu ===\n", data.NumRecords(),
+              data.NumAttributes());
+
+  // The corruption happens after studentization, so the paper's experiment
+  // analyzes the covariance structure of the corrupted data directly.
+  const ScalingAnalysis analysis =
+      AnalyzeScaling(data, PcaScaling::kCovariance);
+  EmitScatter(analysis,
+              "Figure 12: poor matching between coherence and eigenvalues "
+              "(noisy data set A)",
+              "noisy_a_scatter.csv");
+
+  const DimensionSweepResult coherence_sweep = SweepOrdering(
+      data, analysis.model, OrderByCoherence(analysis.coherence));
+  EmitAccuracyCurves(analysis.eigen_sweep, "eigenvalue_order",
+                     coherence_sweep, "coherence_order",
+                     "Figure 13: eigenvalue vs coherence ordering "
+                     "(noisy data set A, k=3)",
+                     "noisy_a_orderings.csv");
+
+  const double variance_at_peak = analysis.model.VarianceRetainedFraction(
+      TakePrefix(OrderByCoherence(analysis.coherence),
+                 coherence_sweep.BestDims()));
+  std::printf(
+      "\nAt the coherence-ordering optimum (%zu dims) the retained variance "
+      "is %.1f%% of the total — the paper reports 12.1%% for its noisy set "
+      "A, i.e. aggressive reduction discarding most of the (noise) "
+      "variance.\n",
+      coherence_sweep.BestDims(), 100.0 * variance_at_peak);
+  return 0;
+}

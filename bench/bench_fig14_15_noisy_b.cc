@@ -1,0 +1,41 @@
+// Reproduces Figures 14 and 15 of the paper on noisy data set B (the
+// arrhythmia-like data with 10 attributes replaced by high-amplitude
+// uniform noise): the eigenvalue/coherence scatter and the ordering
+// comparison accuracy curves.
+#include "figure_common.h"
+
+#include <cstdio>
+
+#include "data/uci_like.h"
+#include "reduction/selection.h"
+
+using namespace cohere;        // NOLINT(build/namespaces)
+using namespace cohere::bench; // NOLINT(build/namespaces)
+
+int main() {
+  Dataset data = NoisyDataB();
+  std::printf("=== noisy data set B: n=%zu d=%zu ===\n", data.NumRecords(),
+              data.NumAttributes());
+
+  const ScalingAnalysis analysis =
+      AnalyzeScaling(data, PcaScaling::kCovariance);
+  EmitScatter(analysis,
+              "Figure 14: poor matching between coherence and eigenvalues "
+              "(noisy data set B)",
+              "noisy_b_scatter.csv");
+
+  const DimensionSweepResult coherence_sweep = SweepOrdering(
+      data, analysis.model, OrderByCoherence(analysis.coherence));
+  EmitAccuracyCurves(analysis.eigen_sweep, "eigenvalue_order",
+                     coherence_sweep, "coherence_order",
+                     "Figure 15: eigenvalue vs coherence ordering "
+                     "(noisy data set B, k=3)",
+                     "noisy_b_orderings.csv");
+
+  std::printf(
+      "\nThe coherence-ordering curve peaks at %zu dims (the paper reports "
+      "11, just before the high-eigenvalue noise outliers enter); the "
+      "eigenvalue ordering needs %zu dims to reach its best accuracy.\n",
+      coherence_sweep.BestDims(), analysis.eigen_sweep.BestDims());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figures 3, 4 and 5 of the paper on the musk-like data set:
+// eigenvalue-vs-coherence scatter, coherence by eigenvalue rank (scaled vs
+// unscaled), and k = 3 prediction accuracy against retained dimensionality.
+#include "figure_common.h"
+
+#include "data/uci_like.h"
+
+int main() {
+  cohere::bench::RunDatasetFigureBlock(cohere::MuskLike(), "musk",
+                                       "Figure 3", "Figure 4", "Figure 5");
+  return 0;
+}

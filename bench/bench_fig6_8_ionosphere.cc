@@ -1,0 +1,12 @@
+// Reproduces Figures 6, 7 and 8 of the paper on the ionosphere-like data
+// set: eigenvalue-vs-coherence scatter, coherence by eigenvalue rank, and
+// accuracy against retained dimensionality.
+#include "figure_common.h"
+
+#include "data/uci_like.h"
+
+int main() {
+  cohere::bench::RunDatasetFigureBlock(cohere::IonosphereLike(), "ionosphere",
+                                       "Figure 6", "Figure 7", "Figure 8");
+  return 0;
+}

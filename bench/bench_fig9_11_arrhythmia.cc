@@ -1,0 +1,12 @@
+// Reproduces Figures 9, 10 and 11 of the paper on the arrhythmia-like data
+// set: eigenvalue-vs-coherence scatter, coherence by eigenvalue rank, and
+// accuracy against retained dimensionality.
+#include "figure_common.h"
+
+#include "data/uci_like.h"
+
+int main() {
+  cohere::bench::RunDatasetFigureBlock(cohere::ArrhythmiaLike(), "arrhythmia",
+                                       "Figure 9", "Figure 10", "Figure 11");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Distance-function ablation connecting to the paper's reference [1]
+// (Aggarwal, Hinneburg & Keim, ICDT 2001): lower Lp exponents keep more
+// distance contrast in high dimensionality. Measures feature-stripped k=3
+// accuracy under L2, L1 and fractional L0.5 on the three UCI-like data
+// sets, in the full space and in the coherence-reduced space — showing that
+// aggressive reduction makes the metric choice much less critical.
+#include <cstdio>
+
+#include "data/uci_like.h"
+#include "eval/knn_quality.h"
+#include "eval/report.h"
+#include "figure_common.h"
+#include "reduction/pipeline.h"
+
+using namespace cohere;        // NOLINT(build/namespaces)
+using namespace cohere::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+double Accuracy(const Matrix& features, const std::vector<int>& labels,
+                const Metric& metric) {
+  return KnnPredictionAccuracy(features, labels, 3, metric);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Metric ablation: L2 vs L1 vs fractional L0.5, full vs reduced "
+      "space (k=3 accuracy) ===\n\n");
+
+  auto l2 = MakeMetric(MetricKind::kEuclidean);
+  auto l1 = MakeMetric(MetricKind::kManhattan);
+  auto l_half = MakeMetric(MetricKind::kFractional, 0.5);
+
+  TextTable table({"data set", "space", "L2", "L1", "L0.5"});
+  std::vector<double> csv_l2_full;
+  std::vector<double> csv_l2_reduced;
+  std::vector<double> csv_lhalf_full;
+
+  const size_t target_dims[] = {13, 10, 10};
+  size_t dataset_index = 0;
+  for (const Dataset& data :
+       {MuskLike(), IonosphereLike(), ArrhythmiaLike()}) {
+    // Full-dimensional, studentized (so Lp exponents compare fairly across
+    // the heterogeneous attribute scales).
+    ReductionOptions full_options;
+    full_options.scaling = PcaScaling::kCorrelation;
+    full_options.strategy = SelectionStrategy::kEigenvalueOrder;
+    full_options.target_dim = data.NumAttributes();
+    Result<ReductionPipeline> full_pipeline =
+        ReductionPipeline::Fit(data, full_options);
+    COHERE_CHECK(full_pipeline.ok());
+    const Matrix full = full_pipeline->TransformDataset(data).features();
+
+    ReductionOptions reduced_options;
+    reduced_options.scaling = PcaScaling::kCorrelation;
+    reduced_options.strategy = SelectionStrategy::kCoherenceOrder;
+    reduced_options.target_dim = target_dims[dataset_index];
+    Result<ReductionPipeline> reduced_pipeline =
+        ReductionPipeline::Fit(data, reduced_options);
+    COHERE_CHECK(reduced_pipeline.ok());
+    const Matrix reduced =
+        reduced_pipeline->TransformDataset(data).features();
+
+    const double full_l2 = Accuracy(full, data.labels(), *l2);
+    const double full_l1 = Accuracy(full, data.labels(), *l1);
+    const double full_lh = Accuracy(full, data.labels(), *l_half);
+    const double red_l2 = Accuracy(reduced, data.labels(), *l2);
+    const double red_l1 = Accuracy(reduced, data.labels(), *l1);
+    const double red_lh = Accuracy(reduced, data.labels(), *l_half);
+
+    table.AddRow({data.name(), "full", FormatDouble(full_l2, 4),
+                  FormatDouble(full_l1, 4), FormatDouble(full_lh, 4)});
+    table.AddRow({data.name(),
+                  "reduced-" + std::to_string(target_dims[dataset_index]),
+                  FormatDouble(red_l2, 4), FormatDouble(red_l1, 4),
+                  FormatDouble(red_lh, 4)});
+    csv_l2_full.push_back(full_l2);
+    csv_l2_reduced.push_back(red_l2);
+    csv_lhalf_full.push_back(full_lh);
+    ++dataset_index;
+  }
+
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nIn the full space the choice of metric moves accuracy by several "
+      "points; after coherent reduction every metric improves and the "
+      "spread between them narrows — the representation itself now carries "
+      "the meaning, the paper's 'automatic distance function correction'. "
+      "(On this Gaussian-noise simulation L2 is the best exponent "
+      "throughout; the fractional-metric advantage of [1] appears on "
+      "heavy-tailed raw data, which the contrast bench probes "
+      "separately.)\n");
+
+  Status s = WriteSeriesCsv(ResultPath("fractional_metrics.csv"),
+                            {"l2_full", "l2_reduced", "lhalf_full"},
+                            {csv_l2_full, csv_l2_reduced, csv_lhalf_full});
+  if (!s.ok()) std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  std::printf("[series written to %s]\n",
+              ResultPath("fractional_metrics.csv").c_str());
+  return 0;
+}

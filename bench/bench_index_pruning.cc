@@ -1,0 +1,118 @@
+// Quantifies the paper's indexing motivation: in full dimensionality the
+// optimistic bounds of partition-based indexes prune nothing (every query
+// degenerates to a scan), while aggressive dimensionality reduction makes
+// the same structures effective again. Reports per-query distance
+// evaluations, visited nodes/cells, refined candidates and wall time for
+// the linear scan, kd-tree and VA-file over full vs reduced representations.
+#include <cstdio>
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "data/uci_like.h"
+#include "eval/report.h"
+#include "figure_common.h"
+#include "index/kd_tree.h"
+#include "index/linear_scan.h"
+#include "index/rstar_tree.h"
+#include "index/va_file.h"
+#include "reduction/pipeline.h"
+
+using namespace cohere;        // NOLINT(build/namespaces)
+using namespace cohere::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+struct EngineReport {
+  double distance_evals = 0.0;
+  double nodes_visited = 0.0;
+  double candidates_refined = 0.0;
+  double micros_per_query = 0.0;
+};
+
+EngineReport Measure(const KnnIndex& index, const Matrix& queries, size_t k) {
+  EngineReport report;
+  QueryStats stats;
+  Stopwatch watch;
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    index.Query(queries.Row(i), k, /*skip_index=*/i, &stats);
+  }
+  const double n = static_cast<double>(queries.rows());
+  report.micros_per_query = watch.ElapsedSeconds() * 1e6 / n;
+  report.distance_evals = static_cast<double>(stats.distance_evaluations) / n;
+  report.nodes_visited = static_cast<double>(stats.nodes_visited) / n;
+  report.candidates_refined =
+      static_cast<double>(stats.candidates_refined) / n;
+  return report;
+}
+
+void Report(TextTable* table, const std::string& space,
+            const std::string& engine, const EngineReport& r) {
+  table->AddRow({space, engine, FormatDouble(r.distance_evals, 1),
+                 FormatDouble(r.nodes_visited, 1),
+                 FormatDouble(r.candidates_refined, 1),
+                 FormatDouble(r.micros_per_query, 1)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Index pruning: full dimensionality vs aggressive reduction "
+      "(musk-like, k=3, averages per query) ===\n\n");
+
+  Dataset data = MuskLike();
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+
+  // Full-dimensional (studentized) representation.
+  ReductionOptions full_options;
+  full_options.scaling = PcaScaling::kCorrelation;
+  full_options.strategy = SelectionStrategy::kEigenvalueOrder;
+  full_options.target_dim = data.NumAttributes();
+  Result<ReductionPipeline> full_pipeline =
+      ReductionPipeline::Fit(data, full_options);
+  COHERE_CHECK(full_pipeline.ok());
+  const Matrix full_space = full_pipeline->TransformDataset(data).features();
+
+  // Aggressively reduced representations (coherence selection).
+  auto reduce_to = [&data](size_t target_dim) {
+    ReductionOptions options;
+    options.scaling = PcaScaling::kCorrelation;
+    options.strategy = SelectionStrategy::kCoherenceOrder;
+    options.target_dim = target_dim;
+    Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+    COHERE_CHECK(pipeline.ok());
+    return pipeline->TransformDataset(data).features();
+  };
+  const Matrix reduced_13 = reduce_to(13);
+  const Matrix reduced_4 = reduce_to(4);
+
+  TextTable table({"space", "engine", "dist evals", "nodes/cells",
+                   "refined", "us/query"});
+  constexpr size_t kK = 3;
+
+  for (const auto& [tag, space] :
+       {std::pair<const char*, const Matrix*>{"full (166-d)", &full_space},
+        std::pair<const char*, const Matrix*>{"reduced (13-d)", &reduced_13},
+        std::pair<const char*, const Matrix*>{"reduced (4-d)", &reduced_4}}) {
+    LinearScanIndex scan(*space, metric.get());
+    KdTreeIndex tree(*space, metric.get(), 16);
+    VaFileIndex va(*space, metric.get(), 5);
+    RStarTreeIndex rstar(*space, metric.get(), 16);
+    Report(&table, tag, "linear_scan", Measure(scan, *space, kK));
+    Report(&table, tag, "kd_tree", Measure(tree, *space, kK));
+    Report(&table, tag, "va_file", Measure(va, *space, kK));
+    Report(&table, tag, "rstar_tree", Measure(rstar, *space, kK));
+  }
+
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nIn the full space the kd-tree's optimistic bound prunes nothing "
+      "(every point is evaluated) and the VA-file pays its bound scan at "
+      "full width. Reduction shrinks the per-distance cost immediately; the "
+      "partition pruning itself recovers as the dimensionality drops (the "
+      "kd-tree prunes weakly at 13-d with only %zu points and sharply at "
+      "4-d) — the paper's argument that greater aggression in reduction "
+      "translates directly to index performance.\n",
+      data.NumRecords());
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Approximation study for the LocalReducedSearchEngine: how neighbor-set
+// recall (against exact full-dimensional search), semantic accuracy and
+// query latency trade against the number of probed localities.
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/local_engine.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "eval/report.h"
+#include "figure_common.h"
+#include "index/linear_scan.h"
+
+using namespace cohere;        // NOLINT(build/namespaces)
+using namespace cohere::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+Dataset MixedPopulations(uint64_t seed) {
+  MultiPopulationConfig config;
+  LatentFactorConfig pop;
+  pop.num_records = 180;
+  pop.num_attributes = 40;
+  pop.num_concepts = 6;
+  pop.num_classes = 4;
+  pop.class_separation = 1.0;
+  pop.noise_stddev = 0.4;
+  for (size_t p = 0; p < 4; ++p) {
+    pop.seed = seed + 100 * p;
+    config.populations.push_back(pop);
+  }
+  config.center_separation = 2.0;
+  config.seed = seed + 1;
+  return GenerateMultiPopulation(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Local engine probe sweep: recall vs accuracy vs latency "
+      "(4 populations, k=3) ===\n\n");
+
+  Dataset data = MixedPopulations(404);
+  constexpr size_t kK = 3;
+
+  // Exact full-dimensional reference (studentized).
+  const Matrix studentized =
+      ColumnAffineTransform::FitZScore(data.features())
+          .ApplyToRows(data.features());
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex exact(studentized, metric.get());
+
+  std::vector<std::vector<Neighbor>> exact_neighbors(data.NumRecords());
+  for (size_t i = 0; i < data.NumRecords(); ++i) {
+    exact_neighbors[i] = exact.Query(studentized.Row(i), kK, i, nullptr);
+  }
+
+  TextTable table({"probes", "recall vs full-dim", "k=3 accuracy",
+                   "us/query"});
+  std::vector<double> csv_probes;
+  std::vector<double> csv_recall;
+  std::vector<double> csv_accuracy;
+
+  for (size_t probes = 1; probes <= 4; ++probes) {
+    LocalEngineOptions options;
+    options.num_clusters = 4;
+    options.probe_clusters = probes;
+    options.cluster_subspace_dim = 10;
+    options.reduction.scaling = PcaScaling::kCorrelation;
+    options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+    options.reduction.target_dim = 6;
+    Result<LocalReducedSearchEngine> engine =
+        LocalReducedSearchEngine::Build(data, options);
+    COHERE_CHECK(engine.ok());
+
+    size_t overlap = 0;
+    size_t matches = 0;
+    size_t slots = 0;
+    Stopwatch watch;
+    for (size_t i = 0; i < data.NumRecords(); ++i) {
+      const auto found = engine->Query(data.Record(i), kK, i);
+      for (const Neighbor& n : found) {
+        ++slots;
+        if (data.label(n.index) == data.label(i)) ++matches;
+        for (const Neighbor& e : exact_neighbors[i]) {
+          if (e.index == n.index) {
+            ++overlap;
+            break;
+          }
+        }
+      }
+    }
+    const double micros = watch.ElapsedSeconds() * 1e6 /
+                          static_cast<double>(data.NumRecords());
+    const double recall =
+        static_cast<double>(overlap) / static_cast<double>(slots);
+    const double accuracy =
+        static_cast<double>(matches) / static_cast<double>(slots);
+    table.AddRow({std::to_string(probes), FormatDouble(recall, 4),
+                  FormatDouble(accuracy, 4), FormatDouble(micros, 1)});
+    csv_probes.push_back(static_cast<double>(probes));
+    csv_recall.push_back(recall);
+    csv_accuracy.push_back(accuracy);
+  }
+
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nOne probe answers in the query's own concept space; extra probes "
+      "add candidates from neighboring localities, re-ranked in the shared "
+      "studentized space, buying recall at linear latency cost and "
+      "saturating once the router's locality choice is already right. "
+      "Recall against the *full-dimensional* neighbors stays intentionally "
+      "partial — per the paper, the reduced concept space changes (and "
+      "improves) the neighbor sets.\n");
+
+  Status s = WriteSeriesCsv(ResultPath("local_probe.csv"),
+                            {"probes", "recall", "accuracy"},
+                            {csv_probes, csv_recall, csv_accuracy});
+  if (!s.ok()) std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  std::printf("[series written to %s]\n",
+              ResultPath("local_probe.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Ablation for the paper's Section 3.1 extension: on data composed of
+// several populations with distinct concept subspaces (global implicit
+// dimensionality = sum of the per-population ones), compare
+//   (a) full-dimensional search,
+//   (b) one global coherence reduction,
+//   (c) LocalReducedSearchEngine with plain k-means localities,
+//   (d) LocalReducedSearchEngine with ORCLUS-style projected clustering,
+// all at the same reduced dimensionality per representation.
+#include <cstdio>
+
+#include "core/local_engine.h"
+#include "data/synthetic.h"
+#include "eval/knn_quality.h"
+#include "eval/report.h"
+#include "figure_common.h"
+#include "reduction/pipeline.h"
+
+using namespace cohere;        // NOLINT(build/namespaces)
+using namespace cohere::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+Dataset MixedPopulations(size_t num_populations, uint64_t seed) {
+  MultiPopulationConfig config;
+  LatentFactorConfig pop;
+  pop.num_records = 180;
+  pop.num_attributes = 40;
+  pop.num_concepts = 6;
+  pop.num_classes = 4;
+  pop.class_separation = 1.0;
+  pop.noise_stddev = 0.4;
+  for (size_t p = 0; p < num_populations; ++p) {
+    pop.seed = seed + 100 * p;
+    config.populations.push_back(pop);
+  }
+  config.center_separation = 2.0;
+  config.seed = seed + 1;
+  return GenerateMultiPopulation(config);
+}
+
+double EngineAccuracy(const Dataset& data,
+                      const LocalReducedSearchEngine& engine) {
+  size_t matches = 0;
+  size_t slots = 0;
+  for (size_t i = 0; i < data.NumRecords(); ++i) {
+    for (const Neighbor& n : engine.Query(data.Record(i), 3, i)) {
+      ++slots;
+      if (data.label(n.index) == data.label(i)) ++matches;
+    }
+  }
+  return static_cast<double>(matches) / static_cast<double>(slots);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Local (projected-clustering) vs global reduction on "
+      "multi-population data (k=3 accuracy) ===\n\n");
+
+  constexpr size_t kTargetDim = 6;
+  TextTable table({"populations", "full-dim", "global reduced",
+                   "local k-means", "local projected"});
+  std::vector<double> csv_pops;
+  std::vector<double> csv_global;
+  std::vector<double> csv_projected;
+
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  for (size_t populations : {2u, 3u, 4u}) {
+    Dataset data = MixedPopulations(populations, 404 + populations);
+
+    const double full_accuracy =
+        KnnPredictionAccuracy(data.features(), data.labels(), 3, *metric);
+
+    ReductionOptions global_options;
+    global_options.scaling = PcaScaling::kCorrelation;
+    global_options.strategy = SelectionStrategy::kCoherenceOrder;
+    global_options.target_dim = kTargetDim;
+    Result<ReductionPipeline> global =
+        ReductionPipeline::Fit(data, global_options);
+    COHERE_CHECK(global.ok());
+    const double global_accuracy = KnnPredictionAccuracy(
+        global->TransformDataset(data).features(), data.labels(), 3,
+        *metric);
+
+    LocalEngineOptions local_options;
+    local_options.num_clusters = populations;
+    local_options.cluster_subspace_dim = 10;
+    local_options.reduction.scaling = PcaScaling::kCorrelation;
+    local_options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+    local_options.reduction.target_dim = kTargetDim;
+
+    local_options.use_projected_clustering = false;
+    Result<LocalReducedSearchEngine> kmeans_engine =
+        LocalReducedSearchEngine::Build(data, local_options);
+    COHERE_CHECK(kmeans_engine.ok());
+    const double kmeans_accuracy = EngineAccuracy(data, *kmeans_engine);
+
+    local_options.use_projected_clustering = true;
+    Result<LocalReducedSearchEngine> projected_engine =
+        LocalReducedSearchEngine::Build(data, local_options);
+    COHERE_CHECK(projected_engine.ok());
+    const double projected_accuracy =
+        EngineAccuracy(data, *projected_engine);
+
+    table.AddRow({std::to_string(populations), FormatDouble(full_accuracy, 4),
+                  FormatDouble(global_accuracy, 4),
+                  FormatDouble(kmeans_accuracy, 4),
+                  FormatDouble(projected_accuracy, 4)});
+    csv_pops.push_back(static_cast<double>(populations));
+    csv_global.push_back(global_accuracy);
+    csv_projected.push_back(projected_accuracy);
+  }
+
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nAll reduced representations use %zu dimensions. One global axis "
+      "system degrades as more concept subspaces pile up, while per-locality "
+      "coherence reduction tracks the full-dimensional quality — the "
+      "projected-clustering decomposition the paper's Section 3.1 "
+      "proposes.\n",
+      kTargetDim);
+
+  Status s = WriteSeriesCsv(
+      ResultPath("local_reduction.csv"),
+      {"populations", "global_reduced", "local_projected"},
+      {csv_pops, csv_global, csv_projected});
+  if (!s.ok()) std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  std::printf("[series written to %s]\n",
+              ResultPath("local_reduction.csv").c_str());
+  return 0;
+}

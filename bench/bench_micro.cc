@@ -1,0 +1,214 @@
+// google-benchmark microbenchmarks for the numerical kernels and k-NN
+// engines, including the eigensolver ablation (tridiagonal QL vs cyclic
+// Jacobi) called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "index/kd_tree.h"
+#include "index/linear_scan.h"
+#include "index/rstar_tree.h"
+#include "index/va_file.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/power_iteration.h"
+#include "linalg/svd.h"
+#include "linalg/symmetric_eigen.h"
+#include "reduction/coherence.h"
+#include "reduction/pca.h"
+#include "stats/covariance.h"
+#include "stats/rng.h"
+
+namespace cohere {
+namespace {
+
+Matrix RandomSymmetricMatrix(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      const double v = rng.Gaussian();
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  return a;
+}
+
+Matrix RandomDataMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) a.At(i, j) = rng.Gaussian();
+  }
+  return a;
+}
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomSymmetricMatrix(n, 1);
+  for (auto _ : state) {
+    auto result = SymmetricEigen(a);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(16)->Arg(34)->Arg(64)->Arg(128)->Arg(279);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomSymmetricMatrix(n, 2);
+  for (auto _ : state) {
+    auto result = JacobiEigen(a);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(16)->Arg(34)->Arg(64);
+
+// Geometric-decay SPD input: the regime TopKEigen targets.
+Matrix DecaySpdMatrix(size_t n, uint64_t seed) {
+  Matrix data = RandomDataMatrix(2 * n, n, seed);
+  // Stretch leading columns so the covariance spectrum decays fast.
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double scale = 8.0;
+    for (size_t j = 0; j < std::min<size_t>(10, n); ++j) {
+      data.At(i, j) *= scale;
+      scale *= 0.75;
+    }
+  }
+  return CovarianceMatrix(data);
+}
+
+void BM_TopKEigen(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = DecaySpdMatrix(n, 12);
+  TopKEigenOptions options;
+  options.k = 10;
+  for (auto _ : state) {
+    auto result = TopKEigen(a, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TopKEigen)->Arg(64)->Arg(128)->Arg(279);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomDataMatrix(4 * n, n, 3);
+  for (auto _ : state) {
+    auto result = JacobiSvd(a);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomDataMatrix(n, n, 4);
+  const Matrix b = RandomDataMatrix(n, n, 5);
+  for (auto _ : state) {
+    Matrix c = Multiply(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CovarianceMatrix(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix data = RandomDataMatrix(500, d, 6);
+  for (auto _ : state) {
+    Matrix cov = CovarianceMatrix(data);
+    benchmark::DoNotOptimize(cov);
+  }
+}
+BENCHMARK(BM_CovarianceMatrix)->Arg(34)->Arg(166)->Arg(279);
+
+void BM_PcaFit(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix data = RandomDataMatrix(450, d, 7);
+  for (auto _ : state) {
+    auto model = PcaModel::Fit(data, PcaScaling::kCorrelation);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_PcaFit)->Arg(34)->Arg(166)->Arg(279);
+
+void BM_ComputeCoherence(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix data = RandomDataMatrix(450, d, 8);
+  auto model = PcaModel::Fit(data, PcaScaling::kCorrelation);
+  for (auto _ : state) {
+    CoherenceAnalysis coherence = ComputeCoherence(*model, data);
+    benchmark::DoNotOptimize(coherence);
+  }
+}
+BENCHMARK(BM_ComputeCoherence)->Arg(34)->Arg(166)->Arg(279);
+
+// k-NN engines at low (indexable) and high (curse-afflicted) dimensionality.
+template <typename IndexT>
+std::unique_ptr<KnnIndex> MakeIndex(const Matrix& data, const Metric* metric);
+
+template <>
+std::unique_ptr<KnnIndex> MakeIndex<LinearScanIndex>(const Matrix& data,
+                                                     const Metric* metric) {
+  return std::make_unique<LinearScanIndex>(data, metric);
+}
+template <>
+std::unique_ptr<KnnIndex> MakeIndex<KdTreeIndex>(const Matrix& data,
+                                                 const Metric* metric) {
+  return std::make_unique<KdTreeIndex>(data, metric, 16);
+}
+template <>
+std::unique_ptr<KnnIndex> MakeIndex<VaFileIndex>(const Matrix& data,
+                                                 const Metric* metric) {
+  return std::make_unique<VaFileIndex>(data, metric, 5);
+}
+template <>
+std::unique_ptr<KnnIndex> MakeIndex<RStarTreeIndex>(const Matrix& data,
+                                                    const Metric* metric) {
+  return std::make_unique<RStarTreeIndex>(data, metric, 16);
+}
+
+template <typename IndexT>
+void BM_KnnQuery(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix data = RandomDataMatrix(2000, d, 9);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  auto index = MakeIndex<IndexT>(data, metric.get());
+  Rng rng(10);
+  const Vector query = rng.GaussianVector(d);
+  for (auto _ : state) {
+    auto result = index->Query(query, 5);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK_TEMPLATE(BM_KnnQuery, LinearScanIndex)->Arg(4)->Arg(13)->Arg(166);
+BENCHMARK_TEMPLATE(BM_KnnQuery, KdTreeIndex)->Arg(4)->Arg(13)->Arg(166);
+BENCHMARK_TEMPLATE(BM_KnnQuery, VaFileIndex)->Arg(4)->Arg(13)->Arg(166);
+BENCHMARK_TEMPLATE(BM_KnnQuery, RStarTreeIndex)->Arg(4)->Arg(13);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix data = RandomDataMatrix(2000, d, 11);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  for (auto _ : state) {
+    KdTreeIndex index(data, metric.get(), 16);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(4)->Arg(34);
+
+void BM_LatentFactorGeneration(benchmark::State& state) {
+  LatentFactorConfig config;
+  config.num_records = 452;
+  config.num_attributes = static_cast<size_t>(state.range(0));
+  config.num_concepts = 10;
+  for (auto _ : state) {
+    Dataset d = GenerateLatentFactor(config);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_LatentFactorGeneration)->Arg(34)->Arg(279);
+
+}  // namespace
+}  // namespace cohere
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Reproduces the Section 1.1 motivation (Beyer et al. [5]): the relative
+// distance contrast (Dmax - Dmin)/Dmin collapses with growing
+// dimensionality, making nearest-neighbor queries meaningless — and shows
+// that coherence-driven reduction restores the contrast on concept-bearing
+// data while (correctly) not helping on pure noise.
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "data/uci_like.h"
+#include "eval/contrast.h"
+#include "eval/report.h"
+#include "figure_common.h"
+#include "reduction/pipeline.h"
+
+using namespace cohere;        // NOLINT(build/namespaces)
+using namespace cohere::bench; // NOLINT(build/namespaces)
+
+int main() {
+  std::printf("=== Section 1.1: distance contrast vs dimensionality ===\n\n");
+
+  auto l2 = MakeMetric(MetricKind::kEuclidean);
+  auto l1 = MakeMetric(MetricKind::kManhattan);
+  auto l_half = MakeMetric(MetricKind::kFractional, 0.5);
+
+  TextTable table({"d", "uniform L2", "uniform L1", "uniform L0.5",
+                   "gaussian L2", "latent-factor L2"});
+  std::vector<double> csv_d;
+  std::vector<double> csv_uniform;
+  std::vector<double> csv_gaussian;
+  std::vector<double> csv_latent;
+
+  constexpr size_t kRecords = 400;
+  constexpr size_t kQueries = 80;
+  for (size_t d : {2u, 5u, 10u, 20u, 50u, 100u, 200u}) {
+    Dataset uniform = GenerateUniformCube(kRecords, d, 0.0, 1.0, 4000 + d);
+    Dataset gaussian = GenerateGaussianBlob(kRecords, d, 1.0, 4100 + d);
+    LatentFactorConfig config;
+    config.num_records = kRecords;
+    config.num_attributes = d;
+    config.num_concepts = std::max<size_t>(1, std::min<size_t>(8, d / 2));
+    config.seed = 4200 + d;
+    Dataset latent = GenerateLatentFactor(config);
+
+    Rng rng(4300 + d);
+    const double u2 =
+        RelativeContrast(uniform.features(), *l2, kQueries, &rng)
+            .mean_relative_contrast;
+    const double u1 =
+        RelativeContrast(uniform.features(), *l1, kQueries, &rng)
+            .mean_relative_contrast;
+    const double uh =
+        RelativeContrast(uniform.features(), *l_half, kQueries, &rng)
+            .mean_relative_contrast;
+    const double g2 =
+        RelativeContrast(gaussian.features(), *l2, kQueries, &rng)
+            .mean_relative_contrast;
+    const double f2 =
+        RelativeContrast(latent.features(), *l2, kQueries, &rng)
+            .mean_relative_contrast;
+
+    table.AddRow({std::to_string(d), FormatDouble(u2, 3),
+                  FormatDouble(u1, 3), FormatDouble(uh, 3),
+                  FormatDouble(g2, 3), FormatDouble(f2, 3)});
+    csv_d.push_back(static_cast<double>(d));
+    csv_uniform.push_back(u2);
+    csv_gaussian.push_back(g2);
+    csv_latent.push_back(f2);
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nLower Lp exponents hold contrast longer (Aggarwal/Hinneburg/Keim "
+      "[1]); concept-bearing (latent-factor) data keeps more contrast than "
+      "pure noise at equal dimensionality.\n");
+
+  // Contrast restoration by reduction on a concept-bearing data set.
+  std::printf("\n--- contrast restoration by reduction (musk-like) ---\n");
+  Dataset musk = MuskLike();
+  ReductionOptions options;
+  options.scaling = PcaScaling::kCorrelation;
+  options.strategy = SelectionStrategy::kCoherenceOrder;
+  options.target_dim = 13;
+  Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(musk, options);
+  COHERE_CHECK(pipeline.ok());
+  Rng rng(5000);
+  const double full_contrast =
+      RelativeContrast(musk.features(), *l2, kQueries, &rng)
+          .mean_relative_contrast;
+  const double reduced_contrast =
+      RelativeContrast(pipeline->TransformDataset(musk).features(), *l2,
+                       kQueries, &rng)
+          .mean_relative_contrast;
+  std::printf("full %zu-d contrast: %.3f | reduced %zu-d contrast: %.3f\n",
+              musk.NumAttributes(), full_contrast, pipeline->ReducedDims(),
+              reduced_contrast);
+
+  Status s = WriteSeriesCsv(
+      ResultPath("relative_contrast.csv"),
+      {"d", "uniform_l2", "gaussian_l2", "latent_l2"},
+      {csv_d, csv_uniform, csv_gaussian, csv_latent});
+  if (!s.ok()) std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  std::printf("[series written to %s]\n",
+              ResultPath("relative_contrast.csv").c_str());
+  return 0;
+}

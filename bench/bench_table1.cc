@@ -1,0 +1,188 @@
+// Reproduces Table 1 of the paper ("Advantages of aggressive dimensionality
+// reduction"): for each data set, the full-dimensional k = 3 prediction
+// accuracy, the optimal accuracy and the dimensionality it occurs at, and
+// the accuracy/dimensionality of the conventional 1%-thresholding rule.
+//
+// Extends the table with the ablations DESIGN.md calls out: the coherence
+// ordering's optimum, the 90%-energy selection, and a Gaussian random
+// projection baseline at the optimal dimensionality.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "data/uci_like.h"
+#include "eval/knn_quality.h"
+#include "eval/report.h"
+#include "eval/sweep.h"
+#include "figure_common.h"
+#include "reduction/random_projection.h"
+#include "reduction/selection.h"
+
+using namespace cohere;        // NOLINT(build/namespaces)
+using namespace cohere::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+struct Table1Row {
+  std::string dataset;
+  size_t full_dims = 0;
+  double full_accuracy = 0.0;
+  double optimal_accuracy = 0.0;
+  size_t optimal_dims = 0;
+  double threshold_accuracy = 0.0;
+  size_t threshold_dims = 0;
+  // Ablations.
+  double coherence_accuracy = 0.0;
+  size_t coherence_dims = 0;
+  double energy90_accuracy = 0.0;
+  size_t energy90_dims = 0;
+  double random_projection_accuracy = 0.0;
+  // Paper-quoted side facts at the optimum: retained variance fraction and
+  // precision w.r.t. the full-dimensional neighbors.
+  double optimal_variance_retained = 0.0;
+  double optimal_precision = 0.0;
+};
+
+// Sweep dims: the usual grid plus the exact dimensionalities the table must
+// report (threshold cut, energy cut, full).
+std::vector<size_t> DimsWith(size_t d, std::initializer_list<size_t> extra) {
+  std::vector<size_t> dims = MakeSweepDims(d, 48);
+  dims.insert(dims.end(), extra);
+  std::sort(dims.begin(), dims.end());
+  dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
+  return dims;
+}
+
+double AccuracyAt(const DimensionSweepResult& sweep, size_t dims) {
+  for (const SweepPoint& p : sweep.points) {
+    if (p.dims == dims) return p.accuracy;
+  }
+  COHERE_CHECK_MSG(false, "dimensionality missing from sweep");
+  return 0.0;
+}
+
+Table1Row Evaluate(const Dataset& dataset) {
+  Table1Row row;
+  row.dataset = dataset.name();
+  row.full_dims = dataset.NumAttributes();
+
+  // The paper's main setting: studentized attributes (correlation PCA).
+  Result<PcaModel> pca =
+      PcaModel::Fit(dataset.features(), PcaScaling::kCorrelation);
+  COHERE_CHECK(pca.ok());
+  const CoherenceAnalysis coherence =
+      ComputeCoherence(*pca, dataset.features());
+
+  row.threshold_dims = SelectRelativeThreshold(*pca, 0.01).size();
+  row.energy90_dims = SelectEnergyFraction(*pca, 0.9).size();
+  const std::vector<size_t> dims =
+      DimsWith(row.full_dims,
+               {row.threshold_dims, row.energy90_dims, row.full_dims});
+
+  const Matrix eigen_scores =
+      pca->ProjectRows(dataset.features(), OrderByEigenvalue(*pca));
+  const DimensionSweepResult eigen_sweep =
+      SweepPredictionAccuracy(eigen_scores, dataset.labels(), 3, dims);
+  row.full_accuracy = AccuracyAt(eigen_sweep, row.full_dims);
+  row.optimal_accuracy = eigen_sweep.BestAccuracy();
+  row.optimal_dims = eigen_sweep.BestDims();
+  row.threshold_accuracy = AccuracyAt(eigen_sweep, row.threshold_dims);
+  row.energy90_accuracy = AccuracyAt(eigen_sweep, row.energy90_dims);
+
+  // Side facts the paper quotes: variance retained at the optimum and
+  // precision against the full-dimensional neighbor sets.
+  {
+    std::vector<size_t> kept(row.optimal_dims);
+    for (size_t i = 0; i < row.optimal_dims; ++i) kept[i] = i;
+    row.optimal_variance_retained = pca->VarianceRetainedFraction(kept);
+    auto metric_l2 = MakeMetric(MetricKind::kEuclidean);
+    const Matrix normalized_full = pca->NormalizeRows(dataset.features());
+    const Matrix optimal_reduced =
+        pca->ProjectRows(dataset.features(), kept);
+    row.optimal_precision =
+        ReducedSpaceOverlap(normalized_full, optimal_reduced, 3, *metric_l2)
+            .precision;
+  }
+
+  const Matrix coherence_scores =
+      pca->ProjectRows(dataset.features(), OrderByCoherence(coherence));
+  const DimensionSweepResult coherence_sweep =
+      SweepPredictionAccuracy(coherence_scores, dataset.labels(), 3, dims);
+  row.coherence_accuracy = coherence_sweep.BestAccuracy();
+  row.coherence_dims = coherence_sweep.BestDims();
+
+  // Random projection to the eigen-optimal dimensionality, on studentized
+  // data for scale comparability.
+  const Matrix normalized = pca->NormalizeRows(dataset.features());
+  const RandomProjection rp = RandomProjection::Make(
+      row.full_dims, row.optimal_dims, /*seed=*/7777);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  row.random_projection_accuracy = KnnPredictionAccuracy(
+      rp.TransformRows(normalized), dataset.labels(), 3, *metric);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table 1: advantages of aggressive dimensionality reduction "
+      "(k=3 feature-stripped accuracy, correlation PCA) ===\n\n");
+
+  const std::vector<Dataset> datasets = {MuskLike(), IonosphereLike(),
+                                         ArrhythmiaLike()};
+  TextTable paper_table({"Data Set", "Full Dim.", "Full Acc.",
+                         "Optimal Acc.", "Optimal Dim.", "1%-thr Acc.",
+                         "1%-thr Dim."});
+  TextTable side_table({"Data Set", "Variance kept @opt",
+                        "Precision vs full-dim NN @opt"});
+  TextTable ablation_table({"Data Set", "Coherence Acc.", "Coherence Dim.",
+                            "Energy90 Acc.", "Energy90 Dim.",
+                            "RandProj Acc. (at opt dim)"});
+  std::vector<double> csv_full_acc;
+  std::vector<double> csv_opt_acc;
+  std::vector<double> csv_opt_dim;
+  std::vector<double> csv_thr_acc;
+  std::vector<double> csv_thr_dim;
+
+  for (const Dataset& dataset : datasets) {
+    const Table1Row row = Evaluate(dataset);
+    paper_table.AddRow({row.dataset, std::to_string(row.full_dims),
+                        FormatDouble(row.full_accuracy, 4),
+                        FormatDouble(row.optimal_accuracy, 4),
+                        std::to_string(row.optimal_dims),
+                        FormatDouble(row.threshold_accuracy, 4),
+                        std::to_string(row.threshold_dims)});
+    side_table.AddRow({row.dataset,
+                       FormatPercent(row.optimal_variance_retained),
+                       FormatPercent(row.optimal_precision)});
+    ablation_table.AddRow({row.dataset,
+                           FormatDouble(row.coherence_accuracy, 4),
+                           std::to_string(row.coherence_dims),
+                           FormatDouble(row.energy90_accuracy, 4),
+                           std::to_string(row.energy90_dims),
+                           FormatDouble(row.random_projection_accuracy, 4)});
+    csv_full_acc.push_back(row.full_accuracy);
+    csv_opt_acc.push_back(row.optimal_accuracy);
+    csv_opt_dim.push_back(static_cast<double>(row.optimal_dims));
+    csv_thr_acc.push_back(row.threshold_accuracy);
+    csv_thr_dim.push_back(static_cast<double>(row.threshold_dims));
+  }
+
+  std::fputs(paper_table.Render().c_str(), stdout);
+  std::printf(
+      "\n--- at the optimum: discarded variance and precision collapse "
+      "(paper: ~60%% variance discarded on arrhythmia, precision often "
+      "~10%%) ---\n");
+  std::fputs(side_table.Render().c_str(), stdout);
+  std::printf("\n--- selection-strategy ablation ---\n");
+  std::fputs(ablation_table.Render().c_str(), stdout);
+
+  Status s = WriteSeriesCsv(
+      ResultPath("table1.csv"),
+      {"full_acc", "optimal_acc", "optimal_dims", "thr10_acc", "thr10_dims"},
+      {csv_full_acc, csv_opt_acc, csv_opt_dim, csv_thr_acc, csv_thr_dim});
+  if (!s.ok()) std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  std::printf("\n[series written to %s]\n", ResultPath("table1.csv").c_str());
+  return 0;
+}

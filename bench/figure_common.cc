@@ -1,0 +1,185 @@
+#include "figure_common.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "eval/report.h"
+#include "reduction/selection.h"
+
+namespace cohere {
+namespace bench {
+
+std::string ResultsDir() {
+  static const std::string dir = [] {
+    std::string path = "results";
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      COHERE_LOG(Warning) << "cannot create " << path << ": " << ec.message();
+    }
+    return path;
+  }();
+  return dir;
+}
+
+std::string ResultPath(const std::string& file_name) {
+  return ResultsDir() + "/" + file_name;
+}
+
+ScalingAnalysis AnalyzeScaling(const Dataset& dataset, PcaScaling scaling,
+                               size_t max_sweep_points) {
+  ScalingAnalysis out;
+  Result<PcaModel> model = PcaModel::Fit(dataset.features(), scaling);
+  COHERE_CHECK_MSG(model.ok(), model.status().ToString().c_str());
+  out.model = std::move(*model);
+  out.coherence = ComputeCoherence(out.model, dataset.features());
+  out.eigen_sweep = SweepOrdering(dataset, out.model,
+                                  OrderByEigenvalue(out.model),
+                                  max_sweep_points);
+  return out;
+}
+
+DimensionSweepResult SweepOrdering(const Dataset& dataset,
+                                   const PcaModel& model,
+                                   const std::vector<size_t>& ordering,
+                                   size_t max_sweep_points) {
+  const Matrix scores = model.ProjectRows(dataset.features(), ordering);
+  return SweepPredictionAccuracy(scores, dataset.labels(), /*k=*/3,
+                                 MakeSweepDims(ordering.size(),
+                                               max_sweep_points));
+}
+
+void EmitScatter(const ScalingAnalysis& analysis, const std::string& title,
+                 const std::string& csv_name) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  const Vector& eigenvalues = analysis.model.eigenvalues();
+  const Vector& coherence = analysis.coherence.probability;
+  const size_t d = eigenvalues.size();
+
+  TextTable table({"eigen_rank", "eigenvalue", "coherence_probability"});
+  // Print a readable subset for large d; the CSV always carries all rows.
+  const size_t stride = d > 40 ? d / 40 + 1 : 1;
+  for (size_t i = 0; i < d; i += stride) {
+    table.AddRow({std::to_string(i), FormatDouble(eigenvalues[i], 4),
+                  FormatDouble(coherence[i], 4)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+
+  std::vector<double> ranks(d);
+  std::vector<double> eig(d);
+  std::vector<double> coh(d);
+  for (size_t i = 0; i < d; ++i) {
+    ranks[i] = static_cast<double>(i);
+    eig[i] = eigenvalues[i];
+    coh[i] = coherence[i];
+  }
+  Status s = WriteSeriesCsv(ResultPath(csv_name),
+                            {"eigen_rank", "eigenvalue", "coherence"},
+                            {ranks, eig, coh});
+  if (!s.ok()) COHERE_LOG(Warning) << s.ToString();
+  std::printf("[series written to %s]\n", ResultPath(csv_name).c_str());
+}
+
+void EmitCoherenceByRank(const ScalingAnalysis& unscaled,
+                         const ScalingAnalysis& scaled,
+                         const std::string& title,
+                         const std::string& csv_name) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  const size_t d = scaled.coherence.dims();
+  COHERE_CHECK_EQ(unscaled.coherence.dims(), d);
+
+  TextTable table({"eigen_rank", "coherence_unscaled", "coherence_scaled"});
+  const size_t stride = d > 40 ? d / 40 + 1 : 1;
+  for (size_t i = 0; i < d; i += stride) {
+    table.AddRow({std::to_string(i),
+                  FormatDouble(unscaled.coherence.probability[i], 4),
+                  FormatDouble(scaled.coherence.probability[i], 4)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+
+  std::vector<double> ranks(d);
+  std::vector<double> raw(d);
+  std::vector<double> stu(d);
+  for (size_t i = 0; i < d; ++i) {
+    ranks[i] = static_cast<double>(i);
+    raw[i] = unscaled.coherence.probability[i];
+    stu[i] = scaled.coherence.probability[i];
+  }
+  Status s = WriteSeriesCsv(
+      ResultPath(csv_name),
+      {"eigen_rank", "coherence_unscaled", "coherence_scaled"},
+      {ranks, raw, stu});
+  if (!s.ok()) COHERE_LOG(Warning) << s.ToString();
+  std::printf("[series written to %s]\n", ResultPath(csv_name).c_str());
+}
+
+void EmitAccuracyCurves(const DimensionSweepResult& a,
+                        const std::string& label_a,
+                        const DimensionSweepResult& b,
+                        const std::string& label_b, const std::string& title,
+                        const std::string& csv_name) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  COHERE_CHECK_EQ(a.points.size(), b.points.size());
+
+  TextTable table({"dims", "accuracy_" + label_a, "accuracy_" + label_b});
+  std::vector<double> dims;
+  std::vector<double> acc_a;
+  std::vector<double> acc_b;
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    COHERE_CHECK_EQ(a.points[i].dims, b.points[i].dims);
+    table.AddRow({std::to_string(a.points[i].dims),
+                  FormatDouble(a.points[i].accuracy, 4),
+                  FormatDouble(b.points[i].accuracy, 4)});
+    dims.push_back(static_cast<double>(a.points[i].dims));
+    acc_a.push_back(a.points[i].accuracy);
+    acc_b.push_back(b.points[i].accuracy);
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::fputs(RenderAsciiChart(dims, {{label_a, acc_a}, {label_b, acc_b}})
+                 .c_str(),
+             stdout);
+  std::printf("%s: best %.4f @ %zu dims | %s: best %.4f @ %zu dims\n",
+              label_a.c_str(), a.BestAccuracy(), a.BestDims(),
+              label_b.c_str(), b.BestAccuracy(), b.BestDims());
+
+  Status s = WriteSeriesCsv(
+      ResultPath(csv_name),
+      {"dims", "accuracy_" + label_a, "accuracy_" + label_b},
+      {dims, acc_a, acc_b});
+  if (!s.ok()) COHERE_LOG(Warning) << s.ToString();
+  std::printf("[series written to %s]\n", ResultPath(csv_name).c_str());
+}
+
+void RunDatasetFigureBlock(const Dataset& dataset,
+                           const std::string& dataset_tag,
+                           const std::string& scatter_figure,
+                           const std::string& coherence_figure,
+                           const std::string& accuracy_figure) {
+  std::printf("=== %s: n=%zu d=%zu classes=%zu ===\n", dataset_tag.c_str(),
+              dataset.NumRecords(), dataset.NumAttributes(),
+              dataset.NumClasses());
+
+  const ScalingAnalysis unscaled =
+      AnalyzeScaling(dataset, PcaScaling::kCovariance);
+  const ScalingAnalysis scaled =
+      AnalyzeScaling(dataset, PcaScaling::kCorrelation);
+
+  EmitScatter(scaled,
+              scatter_figure + ": eigenvalue vs coherence (" + dataset_tag +
+                  ", normalized)",
+              dataset_tag + "_scatter.csv");
+  EmitCoherenceByRank(unscaled, scaled,
+                      coherence_figure + ": coherence by eigenvalue rank (" +
+                          dataset_tag + ")",
+                      dataset_tag + "_coherence_by_rank.csv");
+  EmitAccuracyCurves(unscaled.eigen_sweep, "unscaled", scaled.eigen_sweep,
+                     "scaled",
+                     accuracy_figure + ": accuracy vs dims retained (" +
+                         dataset_tag + ", k=3, eigenvalue order)",
+                     dataset_tag + "_accuracy.csv");
+}
+
+}  // namespace bench
+}  // namespace cohere

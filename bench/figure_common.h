@@ -1,0 +1,78 @@
+#ifndef COHERE_BENCH_FIGURE_COMMON_H_
+#define COHERE_BENCH_FIGURE_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/sweep.h"
+#include "reduction/coherence.h"
+#include "reduction/pca.h"
+
+namespace cohere {
+namespace bench {
+
+/// Directory where the figure harnesses drop their CSV series
+/// ("results" under the current working directory; created on demand).
+std::string ResultsDir();
+
+/// Joined path inside ResultsDir().
+std::string ResultPath(const std::string& file_name);
+
+/// Everything the per-dataset figures (3/4/5, 6/7/8, 9/10/11) need, for one
+/// scaling choice.
+struct ScalingAnalysis {
+  PcaModel model;
+  CoherenceAnalysis coherence;
+  DimensionSweepResult eigen_sweep;  // accuracy vs dims, eigenvalue order
+};
+
+/// Fits PCA with the given scaling, computes coherence, and runs the
+/// eigenvalue-order accuracy sweep (k = 3 feature-stripped accuracy, the
+/// paper's quality measure). `max_sweep_points` caps the number of
+/// evaluated dimensionalities.
+ScalingAnalysis AnalyzeScaling(const Dataset& dataset, PcaScaling scaling,
+                               size_t max_sweep_points = 48);
+
+/// Prints and writes the scatter plot (eigenvalue magnitude vs coherence
+/// probability) — the Figure 3/6/9/12/14 content. CSV columns:
+/// eigen_rank, eigenvalue, coherence_probability.
+void EmitScatter(const ScalingAnalysis& analysis, const std::string& title,
+                 const std::string& csv_name);
+
+/// Prints and writes coherence probability by eigenvalue rank for the
+/// scaled (correlation) and unscaled (covariance) axis systems — the
+/// Figure 4/7/10 content.
+void EmitCoherenceByRank(const ScalingAnalysis& unscaled,
+                         const ScalingAnalysis& scaled,
+                         const std::string& title,
+                         const std::string& csv_name);
+
+/// Prints and writes accuracy-vs-dimensionality curves under a shared dims
+/// axis — Figures 5/8/11 (scaled vs unscaled) and 13/15 (eigenvalue vs
+/// coherence ordering) share this shape. Both sweeps must have been run on
+/// the same dims list.
+void EmitAccuracyCurves(const DimensionSweepResult& a,
+                        const std::string& label_a,
+                        const DimensionSweepResult& b,
+                        const std::string& label_b, const std::string& title,
+                        const std::string& csv_name);
+
+/// Runs the k = 3 accuracy sweep for an arbitrary component ordering.
+DimensionSweepResult SweepOrdering(const Dataset& dataset,
+                                   const PcaModel& model,
+                                   const std::vector<size_t>& ordering,
+                                   size_t max_sweep_points = 48);
+
+/// The complete Figure-3/4/5-style block for one dataset: scatter (scaled),
+/// coherence-by-rank (both scalings), accuracy curves (both scalings).
+void RunDatasetFigureBlock(const Dataset& dataset,
+                           const std::string& dataset_tag,
+                           const std::string& scatter_figure,
+                           const std::string& coherence_figure,
+                           const std::string& accuracy_figure);
+
+}  // namespace bench
+}  // namespace cohere
+
+#endif  // COHERE_BENCH_FIGURE_COMMON_H_

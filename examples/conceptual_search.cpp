@@ -1,0 +1,89 @@
+// Conceptual similarity search: shows the paper's central trade — an
+// aggressively reduced representation abandons the original neighbors
+// (precision collapses) yet finds *better* neighbors (feature-stripped
+// accuracy rises), because distances are measured along the data's concepts
+// instead of its noisy raw attributes ("automatic distance function
+// correction").
+#include <cstdio>
+
+#include "data/uci_like.h"
+#include "eval/knn_quality.h"
+#include "eval/report.h"
+#include "index/metric.h"
+#include "reduction/pipeline.h"
+
+using namespace cohere;  // NOLINT(build/namespaces)
+
+namespace {
+
+void Evaluate(const Dataset& data, const ReductionOptions& options,
+              const std::string& label, TextTable* table,
+              const Metric& metric, double full_accuracy) {
+  Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+  COHERE_CHECK(pipeline.ok());
+  const Matrix reduced = pipeline->TransformDataset(data).features();
+  const double accuracy =
+      KnnPredictionAccuracy(reduced, data.labels(), 3, metric);
+  const NeighborOverlap overlap =
+      ReducedSpaceOverlap(data.features(), reduced, 3, metric);
+  table->AddRow({label, std::to_string(pipeline->ReducedDims()),
+                 FormatPercent(pipeline->VarianceRetainedFraction()),
+                 FormatDouble(accuracy, 4),
+                 FormatDouble(accuracy - full_accuracy, 4),
+                 FormatPercent(overlap.precision)});
+}
+
+}  // namespace
+
+int main() {
+  Dataset data = MuskLike();
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  const double full_accuracy =
+      KnnPredictionAccuracy(data.features(), data.labels(), 3, *metric);
+
+  std::printf(
+      "Conceptual search on '%s' (%zu x %zu)\n"
+      "full-dimensional k=3 accuracy: %.4f\n\n",
+      data.name().c_str(), data.NumRecords(), data.NumAttributes(),
+      full_accuracy);
+
+  TextTable table({"reduction", "dims", "variance kept", "accuracy",
+                   "vs full", "precision vs full-dim NN"});
+
+  ReductionOptions coherent;
+  coherent.scaling = PcaScaling::kCorrelation;
+  coherent.strategy = SelectionStrategy::kCoherenceOrder;
+  coherent.target_dim = 13;
+  Evaluate(data, coherent, "coherence top-13", &table, *metric,
+           full_accuracy);
+
+  ReductionOptions eigen;
+  eigen.scaling = PcaScaling::kCorrelation;
+  eigen.strategy = SelectionStrategy::kEigenvalueOrder;
+  eigen.target_dim = 13;
+  Evaluate(data, eigen, "eigenvalue top-13", &table, *metric, full_accuracy);
+
+  ReductionOptions conservative;
+  conservative.scaling = PcaScaling::kCorrelation;
+  conservative.strategy = SelectionStrategy::kRelativeThreshold;
+  conservative.relative_threshold = 0.01;
+  Evaluate(data, conservative, "1%-threshold", &table, *metric,
+           full_accuracy);
+
+  ReductionOptions unscaled;
+  unscaled.scaling = PcaScaling::kCovariance;
+  unscaled.strategy = SelectionStrategy::kEigenvalueOrder;
+  unscaled.target_dim = 13;
+  Evaluate(data, unscaled, "unscaled top-13", &table, *metric,
+           full_accuracy);
+
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nReading the table: the aggressive reductions keep a handful of "
+      "dimensions and only a small share of the original variance; their "
+      "neighbor sets overlap little with the full-dimensional ones (low "
+      "precision), yet their semantic quality is the best in the table. "
+      "The conservative 1%%-threshold mirrors the full space faithfully — "
+      "and inherits its noise.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Local (per-population) conceptual search: when a data set mixes several
+// populations with different concept subspaces, one global axis system
+// cannot serve them all — the Section 3.1 regime. This example partitions
+// the data with projected clustering, fits a coherence reduction per
+// locality, and compares against a single global reduction.
+#include <cstdio>
+
+#include "core/local_engine.h"
+#include "data/synthetic.h"
+#include "eval/knn_quality.h"
+#include "index/metric.h"
+#include "reduction/pipeline.h"
+
+using namespace cohere;  // NOLINT(build/namespaces)
+
+int main() {
+  // Three populations, each with its own 6 concepts and 4 classes.
+  MultiPopulationConfig config;
+  LatentFactorConfig pop;
+  pop.num_records = 180;
+  pop.num_attributes = 40;
+  pop.num_concepts = 6;
+  pop.num_classes = 4;
+  pop.class_separation = 1.0;
+  pop.noise_stddev = 0.4;
+  for (size_t p = 0; p < 3; ++p) {
+    pop.seed = 11 + 100 * p;
+    config.populations.push_back(pop);
+  }
+  config.center_separation = 2.0;
+  config.seed = 12;
+  Dataset data = GenerateMultiPopulation(config);
+  std::printf(
+      "mixed data: %zu records x %zu attributes, %zu classes across 3 "
+      "populations (global implicit dimensionality ~18)\n\n",
+      data.NumRecords(), data.NumAttributes(), data.NumClasses());
+
+  // One global reduction to 6 dims: too few axes for 3 concept subspaces.
+  ReductionOptions global_options;
+  global_options.scaling = PcaScaling::kCorrelation;
+  global_options.strategy = SelectionStrategy::kCoherenceOrder;
+  global_options.target_dim = 6;
+  Result<ReductionPipeline> global =
+      ReductionPipeline::Fit(data, global_options);
+  if (!global.ok()) {
+    std::fprintf(stderr, "%s\n", global.status().ToString().c_str());
+    return 1;
+  }
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  const double global_accuracy = KnnPredictionAccuracy(
+      global->TransformDataset(data).features(), data.labels(), 3, *metric);
+
+  // The local engine: find the populations, reduce each in its own concept
+  // space, route queries to their locality.
+  LocalEngineOptions local_options;
+  local_options.num_clusters = 3;
+  local_options.cluster_subspace_dim = 10;
+  local_options.reduction = global_options;
+  Result<LocalReducedSearchEngine> local =
+      LocalReducedSearchEngine::Build(data, local_options);
+  if (!local.ok()) {
+    std::fprintf(stderr, "%s\n", local.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", local->Describe().c_str());
+
+  size_t matches = 0;
+  size_t slots = 0;
+  for (size_t i = 0; i < data.NumRecords(); ++i) {
+    for (const Neighbor& n : local->Query(data.Record(i), 3, i)) {
+      ++slots;
+      if (data.label(n.index) == data.label(i)) ++matches;
+    }
+  }
+  const double local_accuracy =
+      static_cast<double>(matches) / static_cast<double>(slots);
+
+  const double full_accuracy =
+      KnnPredictionAccuracy(data.features(), data.labels(), 3, *metric);
+
+  std::printf(
+      "k=3 feature-stripped accuracy:\n"
+      "  full %zu-d search:          %.4f\n"
+      "  one global 6-d reduction:   %.4f\n"
+      "  local per-population 6-d:   %.4f\n\n"
+      "The local engine recovers most of the quality the global reduction\n"
+      "loses, at a sixth of the full dimensionality: three disjoint concept\n"
+      "subspaces do not fit in 6 global axes, but they fit in 6 axes each.\n",
+      data.NumAttributes(), full_accuracy, global_accuracy, local_accuracy);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Data-set diagnosis with the coherence model: decide whether a data set is
+// amenable to dimensionality reduction at all, and if so which directions to
+// keep — including the adversarial case where the largest-variance
+// directions are pure noise and the conventional eigenvalue rule fails.
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "data/uci_like.h"
+#include "eval/report.h"
+#include "reduction/coherence.h"
+#include "reduction/pipeline.h"
+#include "reduction/selection.h"
+
+using namespace cohere;  // NOLINT(build/namespaces)
+
+namespace {
+
+void Diagnose(const Dataset& data, PcaScaling scaling) {
+  Result<PcaModel> pca = PcaModel::Fit(data.features(), scaling);
+  COHERE_CHECK(pca.ok());
+  const CoherenceAnalysis coherence = ComputeCoherence(*pca, data.features());
+  const std::vector<size_t> order = OrderByCoherence(coherence);
+  const size_t cut = DetectSeparatedPrefix(coherence.probability, order);
+
+  double lo = 1.0;
+  double hi = 0.0;
+  for (size_t i = 0; i < coherence.dims(); ++i) {
+    lo = std::min(lo, coherence.probability[i]);
+    hi = std::max(hi, coherence.probability[i]);
+  }
+
+  std::printf("%-16s d=%-4zu coherence range [%.3f, %.3f]  ",
+              data.name().c_str(), data.NumAttributes(), lo, hi);
+  // "All vectors have similar coherence probability" (paper Section 3.1) —
+  // a narrow profile means high implicit dimensionality.
+  if (hi - lo < 0.2) {
+    std::printf("FLAT profile -> unsuited to reduction (curse applies)\n");
+    return;
+  }
+  std::printf("reducible; gap heuristic keeps %zu direction(s)\n", cut);
+
+  std::printf("    best directions (coherence | eigenvalue rank):");
+  for (size_t i = 0; i < 6 && i < order.size(); ++i) {
+    std::printf("  %.3f|#%zu", coherence.probability[order[i]], order[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Coherence diagnosis: which data sets can be reduced, and along "
+      "which directions? ===\n\n");
+
+  // A concept-bearing data set: few highly coherent directions.
+  Diagnose(IonosphereLike(), PcaScaling::kCorrelation);
+
+  // The adversarial case: the top-variance directions are corrupted noise.
+  Dataset noisy = NoisyDataA();
+  Diagnose(noisy, PcaScaling::kCovariance);
+  {
+    Result<PcaModel> pca =
+        PcaModel::Fit(noisy.features(), PcaScaling::kCovariance);
+    COHERE_CHECK(pca.ok());
+    const CoherenceAnalysis coherence =
+        ComputeCoherence(*pca, noisy.features());
+    std::printf(
+        "    note: the largest eigenvalue direction of %s has eigenvalue "
+        "%.2f but coherence only %.3f — variance is not meaning.\n",
+        noisy.name().c_str(), pca->eigenvalues()[0],
+        coherence.probability[0]);
+  }
+
+  // Perfectly noisy data: flat coherence at every dimensionality.
+  Diagnose(GenerateUniformCube(500, 50, 0.0, 1.0, 9090),
+           PcaScaling::kCovariance);
+
+  std::printf(
+      "\nDiagnosis rule (paper, Sections 3 & 4): data sets with a few "
+      "high-coherence directions are reducible — keep exactly those. Flat "
+      "coherence profiles near 2*Phi(1)-1 = 0.683 (or uniformly low under "
+      "rotation) mean high implicit dimensionality: retain everything or "
+      "use projected clustering instead.\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "stats/rng.h"
+
+namespace cohere {
+namespace {
+
+double SquaredDistance(const double* a, const double* b, size_t d) {
+  double sum = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+// k-means++ seeding: first centroid uniform, each next one with probability
+// proportional to the squared distance from the nearest chosen centroid.
+Matrix SeedCentroids(const Matrix& data, size_t k, Rng* rng) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  Matrix centroids(k, d);
+
+  std::vector<double> nearest_sq(n, std::numeric_limits<double>::infinity());
+  size_t first = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(n - 1)));
+  std::copy(data.RowPtr(first), data.RowPtr(first) + d, centroids.RowPtr(0));
+
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double dist =
+          SquaredDistance(data.RowPtr(i), centroids.RowPtr(c - 1), d);
+      nearest_sq[i] = std::min(nearest_sq[i], dist);
+      total += nearest_sq[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng->Uniform(0.0, total);
+      for (size_t i = 0; i < n; ++i) {
+        target -= nearest_sq[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n - 1)));
+    }
+    std::copy(data.RowPtr(chosen), data.RowPtr(chosen) + d,
+              centroids.RowPtr(c));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+size_t NearestCentroid(const Matrix& centroids, const Vector& point) {
+  COHERE_CHECK_EQ(centroids.cols(), point.size());
+  COHERE_CHECK_GT(centroids.rows(), 0u);
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    const double dist =
+        SquaredDistance(centroids.RowPtr(c), point.data(), point.size());
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+Result<KMeansResult> RunKMeansOnce(const Matrix& data,
+                                   const KMeansOptions& options,
+                                   uint64_t seed) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = options.num_clusters;
+  if (k == 0) return Status::InvalidArgument("num_clusters must be positive");
+  if (n < k) {
+    return Status::InvalidArgument("fewer rows than clusters");
+  }
+
+  Rng rng(seed);
+  KMeansResult result;
+  result.centroids = SeedCentroids(data, k, &rng);
+  result.assignment.assign(n, 0);
+
+  double previous_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        const double dist =
+            SquaredDistance(data.RowPtr(i), result.centroids.RowPtr(c), d);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      result.assignment[i] = best;
+      inertia += best_dist;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    Matrix sums(k, d);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = result.assignment[i];
+      ++counts[c];
+      double* sum_row = sums.RowPtr(c);
+      const double* row = data.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) sum_row[j] += row[j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the point farthest from its current
+        // centroid.
+        size_t farthest = 0;
+        double farthest_dist = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double dist = SquaredDistance(
+              data.RowPtr(i),
+              result.centroids.RowPtr(result.assignment[i]), d);
+          if (dist > farthest_dist) {
+            farthest_dist = dist;
+            farthest = i;
+          }
+        }
+        std::copy(data.RowPtr(farthest), data.RowPtr(farthest) + d,
+                  result.centroids.RowPtr(c));
+        result.assignment[farthest] = c;
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      double* centroid = result.centroids.RowPtr(c);
+      const double* sum_row = sums.RowPtr(c);
+      for (size_t j = 0; j < d; ++j) centroid[j] = sum_row[j] * inv;
+    }
+
+    if (previous_inertia - inertia <=
+        options.tolerance * std::max(previous_inertia, 1e-300)) {
+      break;
+    }
+    previous_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const Matrix& data,
+                               const KMeansOptions& options) {
+  const int restarts = std::max(options.num_restarts, 1);
+  Result<KMeansResult> best = Status::Internal("no k-means run executed");
+  for (int r = 0; r < restarts; ++r) {
+    Result<KMeansResult> run =
+        RunKMeansOnce(data, options, options.seed + 0x9e3779b9ull * r);
+    if (!run.ok()) return run;
+    if (!best.ok() || run->inertia < best->inertia) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace cohere

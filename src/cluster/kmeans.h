@@ -1,0 +1,48 @@
+#ifndef COHERE_CLUSTER_KMEANS_H_
+#define COHERE_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Options for Lloyd's k-means with k-means++ seeding.
+struct KMeansOptions {
+  size_t num_clusters = 2;
+  int max_iterations = 50;
+  /// Stop when the relative inertia improvement falls below this.
+  double tolerance = 1e-6;
+  /// Independent k-means++ initializations; the lowest-inertia run wins.
+  int num_restarts = 3;
+  uint64_t seed = 1;
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// k x d centroid matrix.
+  Matrix centroids;
+  /// Cluster id per input row.
+  std::vector<size_t> assignment;
+  /// Sum of squared distances of points to their centroid.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// Runs k-means++ initialized Lloyd iterations on the rows of `data`.
+///
+/// Requires at least `num_clusters` rows. Empty clusters are re-seeded with
+/// the point farthest from its centroid, so exactly `num_clusters` non-empty
+/// clusters are returned.
+Result<KMeansResult> RunKMeans(const Matrix& data,
+                               const KMeansOptions& options);
+
+/// Index of the nearest centroid (squared Euclidean) to `point`.
+size_t NearestCentroid(const Matrix& centroids, const Vector& point);
+
+}  // namespace cohere
+
+#endif  // COHERE_CLUSTER_KMEANS_H_

@@ -1,0 +1,40 @@
+#ifndef COHERE_COMMON_CHECK_H_
+#define COHERE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Checked-assertion macros for programmer errors (contract violations).
+///
+/// These are active in all build types: the invariants they guard (matrix
+/// shape agreement, index bounds, non-empty inputs) are cheap relative to the
+/// numerical kernels and catching a violation late produces far more
+/// expensive debugging sessions than the checks cost. Violations abort with a
+/// source location; recoverable errors use cohere::Status instead.
+
+#define COHERE_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "COHERE_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define COHERE_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "COHERE_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define COHERE_CHECK_EQ(a, b) COHERE_CHECK((a) == (b))
+#define COHERE_CHECK_NE(a, b) COHERE_CHECK((a) != (b))
+#define COHERE_CHECK_LT(a, b) COHERE_CHECK((a) < (b))
+#define COHERE_CHECK_LE(a, b) COHERE_CHECK((a) <= (b))
+#define COHERE_CHECK_GT(a, b) COHERE_CHECK((a) > (b))
+#define COHERE_CHECK_GE(a, b) COHERE_CHECK((a) >= (b))
+
+#endif  // COHERE_COMMON_CHECK_H_

@@ -1,0 +1,53 @@
+#ifndef COHERE_COMMON_LOGGING_H_
+#define COHERE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cohere {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Streams a single log line to stderr when destroyed.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is below the level.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace cohere
+
+#define COHERE_LOG(level)                                                  \
+  (static_cast<int>(::cohere::LogLevel::k##level) <                        \
+   static_cast<int>(::cohere::GetLogLevel()))                              \
+      ? (void)0                                                            \
+      : ::cohere::internal::LogMessageVoidify() &                          \
+            ::cohere::internal::LogMessage(::cohere::LogLevel::k##level,   \
+                                           __FILE__, __LINE__)             \
+                .stream()
+
+#endif  // COHERE_COMMON_LOGGING_H_

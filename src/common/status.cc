@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace cohere {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kNumericalError:
+      return "NumericalError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace cohere

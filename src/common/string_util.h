@@ -1,0 +1,40 @@
+#ifndef COHERE_COMMON_STRING_UTIL_H_
+#define COHERE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cohere {
+
+/// Splits `input` on every occurrence of `delim`; adjacent delimiters yield
+/// empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Returns `input` with leading and trailing ASCII whitespace removed.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Returns whether `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Parses a base-10 floating point number; the whole (trimmed) string must be
+/// consumed. "?" is treated as a missing value only by callers that opt in.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a base-10 integer; the whole (trimmed) string must be consumed.
+Result<long long> ParseInt(std::string_view s);
+
+}  // namespace cohere
+
+#endif  // COHERE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,178 @@
+#include "core/dynamic_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cohere {
+
+Result<DynamicReducedIndex> DynamicReducedIndex::Build(
+    const Dataset& dataset, const DynamicEngineOptions& options) {
+  if (dataset.NumRecords() == 0) {
+    return Status::InvalidArgument("cannot build on an empty dataset");
+  }
+  if (options.drift_threshold < 1.0) {
+    return Status::InvalidArgument("drift_threshold must be >= 1");
+  }
+  if (options.drift_window == 0) {
+    return Status::InvalidArgument("drift_window must be positive");
+  }
+
+  DynamicReducedIndex index;
+  index.options_ = options;
+  index.metric_ = MakeMetric(options.metric, options.metric_p);
+  index.dims_ = dataset.NumAttributes();
+
+  Result<ReductionPipeline> pipeline =
+      ReductionPipeline::Fit(dataset, options.reduction);
+  if (!pipeline.ok()) return pipeline.status();
+  index.pipeline_ = std::move(*pipeline);
+
+  const size_t n = dataset.NumRecords();
+  index.fitted_records_ = n;
+  index.originals_.assign(dataset.features().data(),
+                          dataset.features().data() + n * index.dims_);
+  if (dataset.HasLabels()) {
+    index.labels_ = dataset.labels();
+  } else {
+    index.labels_.assign(n, kNoLabel);
+  }
+  index.ReprojectAll();
+
+  double error_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    error_sum += index.ReconstructionErrorSq(dataset.Record(i));
+  }
+  index.baseline_error_ = error_sum / static_cast<double>(n);
+  return index;
+}
+
+double DynamicReducedIndex::ReconstructionErrorSq(
+    const Vector& record) const {
+  const PcaModel& model = pipeline_.model();
+  const Vector normalized = model.Normalize(record);
+  // Energy identity: |normalized|^2 = |full coords|^2, so the error of
+  // keeping only the retained components is |normalized|^2 - |kept|^2.
+  const Vector kept = model.Project(record, pipeline_.components());
+  const double err = normalized.SquaredNorm2() - kept.SquaredNorm2();
+  return std::max(err, 0.0);
+}
+
+void DynamicReducedIndex::ReprojectAll() {
+  const size_t n = labels_.size();
+  const size_t reduced_dims = pipeline_.ReducedDims();
+  reduced_.assign(n * reduced_dims, 0.0);
+  Vector record(dims_);
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(originals_.begin() + static_cast<ptrdiff_t>(i * dims_),
+              originals_.begin() + static_cast<ptrdiff_t>((i + 1) * dims_),
+              record.data());
+    const Vector projected = pipeline_.TransformPoint(record);
+    std::copy(projected.data(), projected.data() + reduced_dims,
+              reduced_.begin() + static_cast<ptrdiff_t>(i * reduced_dims));
+  }
+}
+
+Status DynamicReducedIndex::Insert(const Vector& record, int label) {
+  if (record.size() != dims_) {
+    return Status::InvalidArgument("record dimensionality mismatch");
+  }
+  originals_.insert(originals_.end(), record.data(),
+                    record.data() + dims_);
+  labels_.push_back(label);
+  const Vector projected = pipeline_.TransformPoint(record);
+  reduced_.insert(reduced_.end(), projected.data(),
+                  projected.data() + projected.size());
+
+  recent_errors_.push_back(ReconstructionErrorSq(record));
+  while (recent_errors_.size() > options_.drift_window) {
+    recent_errors_.pop_front();
+  }
+  return Status::Ok();
+}
+
+std::vector<Neighbor> DynamicReducedIndex::Query(
+    const Vector& original_space_query, size_t k, size_t skip_index,
+    QueryStats* stats) const {
+  COHERE_CHECK_EQ(original_space_query.size(), dims_);
+  const Vector query = pipeline_.TransformPoint(original_space_query);
+  const size_t reduced_dims = pipeline_.ReducedDims();
+  const size_t n = labels_.size();
+
+  KnnCollector collector(k);
+  Vector row(reduced_dims);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == skip_index) continue;
+    std::copy(
+        reduced_.begin() + static_cast<ptrdiff_t>(i * reduced_dims),
+        reduced_.begin() + static_cast<ptrdiff_t>((i + 1) * reduced_dims),
+        row.data());
+    const double comparable = metric_->ComparableDistance(query, row);
+    if (stats != nullptr) ++stats->distance_evaluations;
+    collector.Offer(i, comparable);
+  }
+  std::vector<Neighbor> out = collector.Take();
+  for (Neighbor& nb : out) {
+    nb.distance = metric_->ComparableToActual(nb.distance);
+  }
+  return out;
+}
+
+int DynamicReducedIndex::label(size_t i) const {
+  COHERE_CHECK_LT(i, labels_.size());
+  return labels_[i];
+}
+
+double DynamicReducedIndex::RecentReconstructionError() const {
+  if (recent_errors_.empty()) return baseline_error_;
+  double sum = 0.0;
+  for (double e : recent_errors_) sum += e;
+  return sum / static_cast<double>(recent_errors_.size());
+}
+
+double DynamicReducedIndex::DriftRatio() const {
+  if (baseline_error_ <= 0.0) {
+    return RecentReconstructionError() > 0.0 ? options_.drift_threshold + 1.0
+                                             : 1.0;
+  }
+  return RecentReconstructionError() / baseline_error_;
+}
+
+bool DynamicReducedIndex::NeedsRefit() const {
+  if (recent_errors_.size() * 4 < options_.drift_window) return false;
+  return DriftRatio() > options_.drift_threshold;
+}
+
+Status DynamicReducedIndex::Refit() {
+  const size_t n = labels_.size();
+  Matrix features(n, dims_);
+  std::copy(originals_.begin(), originals_.end(), features.data());
+  Dataset dataset(std::move(features));
+  // Labels may be partially kNoLabel; the reduction does not need them.
+
+  Result<ReductionPipeline> pipeline =
+      ReductionPipeline::Fit(dataset, options_.reduction);
+  if (!pipeline.ok()) return pipeline.status();
+  pipeline_ = std::move(*pipeline);
+  fitted_records_ = n;
+  ReprojectAll();
+
+  double error_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    error_sum += ReconstructionErrorSq(dataset.Record(i));
+  }
+  baseline_error_ = error_sum / static_cast<double>(n);
+  recent_errors_.clear();
+  return Status::Ok();
+}
+
+std::string DynamicReducedIndex::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "DynamicReducedIndex: n=%zu (fitted on %zu) dims=%zu->%zu "
+                "drift=%.2f%s",
+                size(), fitted_records_, dims_, pipeline_.ReducedDims(),
+                DriftRatio(), NeedsRefit() ? " REFIT" : "");
+  return buf;
+}
+
+}  // namespace cohere

@@ -1,0 +1,114 @@
+#ifndef COHERE_CORE_DYNAMIC_ENGINE_H_
+#define COHERE_CORE_DYNAMIC_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "index/knn.h"
+#include "index/metric.h"
+#include "reduction/pipeline.h"
+
+namespace cohere {
+
+/// Options for DynamicReducedIndex::Build.
+struct DynamicEngineOptions {
+  ReductionOptions reduction;
+  MetricKind metric = MetricKind::kEuclidean;
+  double metric_p = 0.5;
+  /// A refit is recommended when the mean reconstruction error of recently
+  /// inserted records exceeds this multiple of the baseline error measured
+  /// at fit time (>= 1).
+  double drift_threshold = 1.5;
+  /// Number of most recent insertions in the drift estimate.
+  size_t drift_window = 100;
+};
+
+/// A reduced similarity index for *dynamic* data sets (the concern of the
+/// paper's reference [17], Ravi Kanth et al., SIGMOD 1998): records can be
+/// inserted after the reduction was fitted, the index answers queries
+/// immediately, and a drift monitor based on reconstruction error flags
+/// when the fitted axis system has gone stale so the caller can Refit().
+///
+/// The monitor's logic: the retained components were chosen for the fit-time
+/// distribution; if newly inserted records systematically lose more energy
+/// under projection than the fit-time records did, the concepts have moved.
+class DynamicReducedIndex {
+ public:
+  DynamicReducedIndex(DynamicReducedIndex&&) = default;
+  DynamicReducedIndex& operator=(DynamicReducedIndex&&) = default;
+  DynamicReducedIndex(const DynamicReducedIndex&) = delete;
+  DynamicReducedIndex& operator=(const DynamicReducedIndex&) = delete;
+
+  /// Fits the reduction on `dataset` and indexes its records.
+  static Result<DynamicReducedIndex> Build(
+      const Dataset& dataset, const DynamicEngineOptions& options);
+
+  /// Inserts a record given in the original attribute space. `label` may be
+  /// kNoLabel for unlabeled records. The record is immediately queryable.
+  Status Insert(const Vector& record, int label = kNoLabel);
+
+  /// k nearest records (by the reduced-space metric) to an original-space
+  /// query. Indices are insertion-ordered: the fit-time records first, then
+  /// inserts in arrival order.
+  std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
+                              size_t skip_index = KnnIndex::kNoSkip,
+                              QueryStats* stats = nullptr) const;
+
+  /// Total records currently indexed.
+  size_t size() const { return labels_.size(); }
+  /// Label of record `i` (kNoLabel when unlabeled).
+  int label(size_t i) const;
+
+  /// Mean squared normalized-space reconstruction error of the fit-time
+  /// records under the current pipeline.
+  double BaselineReconstructionError() const { return baseline_error_; }
+  /// Same statistic over the drift window of recent inserts; falls back to
+  /// the baseline while the window is empty.
+  double RecentReconstructionError() const;
+  /// Recent / baseline; 1 means "as fresh as at fit time".
+  double DriftRatio() const;
+  /// True when DriftRatio() exceeds the configured threshold and the window
+  /// holds enough observations (at least a quarter of drift_window).
+  bool NeedsRefit() const;
+
+  /// Refits the reduction on all current records, reprojects everything and
+  /// resets the drift monitor.
+  Status Refit();
+
+  const ReductionPipeline& pipeline() const { return pipeline_; }
+
+  /// One-line status ("n=520 dims=8 drift=1.82 REFIT").
+  std::string Describe() const;
+
+  static constexpr int kNoLabel = -1;
+
+ private:
+  DynamicReducedIndex() = default;
+
+  /// Squared reconstruction error of an original-space record in the
+  /// pipeline's normalized space.
+  double ReconstructionErrorSq(const Vector& record) const;
+
+  void ReprojectAll();
+
+  DynamicEngineOptions options_;
+  ReductionPipeline pipeline_;
+  std::unique_ptr<Metric> metric_;
+
+  size_t dims_ = 0;          // original dimensionality
+  size_t fitted_records_ = 0; // number of records the fit used
+  std::vector<double> originals_;  // row-major original-space records
+  std::vector<double> reduced_;    // row-major reduced-space records
+  std::vector<int> labels_;
+
+  double baseline_error_ = 0.0;
+  std::deque<double> recent_errors_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_CORE_DYNAMIC_ENGINE_H_

@@ -1,0 +1,108 @@
+#include "core/engine.h"
+
+#include "index/kd_tree.h"
+#include "index/linear_scan.h"
+#include "index/va_file.h"
+#include "index/rstar_tree.h"
+#include "index/vp_tree.h"
+
+namespace cohere {
+
+const char* IndexBackendName(IndexBackend backend) {
+  switch (backend) {
+    case IndexBackend::kLinearScan:
+      return "linear_scan";
+    case IndexBackend::kKdTree:
+      return "kd_tree";
+    case IndexBackend::kVaFile:
+      return "va_file";
+    case IndexBackend::kVpTree:
+      return "vp_tree";
+    case IndexBackend::kRStarTree:
+      return "rstar_tree";
+  }
+  return "unknown";
+}
+
+Result<ReducedSearchEngine> ReducedSearchEngine::Build(
+    const Dataset& dataset, const EngineOptions& options) {
+  if (dataset.NumRecords() == 0) {
+    return Status::InvalidArgument("cannot build an engine on an empty dataset");
+  }
+
+  ReducedSearchEngine engine;
+  engine.options_ = options;
+
+  Result<ReductionPipeline> pipeline =
+      ReductionPipeline::Fit(dataset, options.reduction);
+  if (!pipeline.ok()) return pipeline.status();
+  engine.pipeline_ = std::move(*pipeline);
+
+  engine.metric_ = MakeMetric(options.metric, options.metric_p);
+  Matrix reduced = engine.pipeline_.model().ProjectRows(
+      dataset.features(), engine.pipeline_.components());
+
+  switch (options.backend) {
+    case IndexBackend::kLinearScan:
+      engine.index_ = std::make_unique<LinearScanIndex>(std::move(reduced),
+                                                        engine.metric_.get());
+      break;
+    case IndexBackend::kKdTree:
+      if (!engine.metric_->IsTrueMetric()) {
+        return Status::InvalidArgument(
+            "kd_tree backend requires a true metric; use linear_scan");
+      }
+      engine.index_ = std::make_unique<KdTreeIndex>(
+          std::move(reduced), engine.metric_.get(), options.kd_leaf_size);
+      break;
+    case IndexBackend::kVaFile: {
+      const MetricKind kind = engine.metric_->kind();
+      if (kind != MetricKind::kEuclidean && kind != MetricKind::kManhattan &&
+          kind != MetricKind::kChebyshev) {
+        return Status::InvalidArgument(
+            "va_file backend requires an L1/L2/Linf metric");
+      }
+      engine.index_ = std::make_unique<VaFileIndex>(
+          std::move(reduced), engine.metric_.get(), options.va_bits_per_dim);
+      break;
+    }
+    case IndexBackend::kVpTree:
+      if (!engine.metric_->IsTrueMetric()) {
+        return Status::InvalidArgument(
+            "vp_tree backend requires a true metric; use linear_scan");
+      }
+      engine.index_ = std::make_unique<VpTreeIndex>(
+          std::move(reduced), engine.metric_.get(), options.vp_leaf_size);
+      break;
+    case IndexBackend::kRStarTree: {
+      const MetricKind kind = engine.metric_->kind();
+      if (kind != MetricKind::kEuclidean && kind != MetricKind::kManhattan &&
+          kind != MetricKind::kChebyshev) {
+        return Status::InvalidArgument(
+            "rstar_tree backend requires an L1/L2/Linf metric");
+      }
+      engine.index_ = std::make_unique<RStarTreeIndex>(
+          std::move(reduced), engine.metric_.get(),
+          options.rstar_max_entries);
+      break;
+    }
+  }
+  return engine;
+}
+
+std::vector<Neighbor> ReducedSearchEngine::Query(
+    const Vector& original_space_query, size_t k, size_t skip_index,
+    QueryStats* stats) const {
+  const Vector reduced = pipeline_.TransformPoint(original_space_query);
+  return index_->Query(reduced, k, skip_index, stats);
+}
+
+std::string ReducedSearchEngine::Describe() const {
+  std::string out = "ReducedSearchEngine\n";
+  out += "  reduction: " + pipeline_.Describe() + "\n";
+  out += "  backend:   " + std::string(IndexBackendName(options_.backend)) +
+         " (" + metric_->name() + ")\n";
+  return out;
+}
+
+}  // namespace cohere

@@ -1,0 +1,83 @@
+#ifndef COHERE_CORE_ENGINE_H_
+#define COHERE_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "index/knn.h"
+#include "index/metric.h"
+#include "reduction/pipeline.h"
+
+namespace cohere {
+
+/// Which k-NN engine serves queries in the reduced space.
+enum class IndexBackend {
+  kLinearScan,
+  kKdTree,
+  kVaFile,
+  kVpTree,
+  kRStarTree,
+};
+
+const char* IndexBackendName(IndexBackend backend);
+
+/// Options for ReducedSearchEngine::Build.
+struct EngineOptions {
+  ReductionOptions reduction;
+  IndexBackend backend = IndexBackend::kKdTree;
+  MetricKind metric = MetricKind::kEuclidean;
+  /// p for the fractional metric (ignored otherwise).
+  double metric_p = 0.5;
+  size_t kd_leaf_size = 16;
+  size_t va_bits_per_dim = 5;
+  size_t vp_leaf_size = 8;
+  size_t rstar_max_entries = 16;
+};
+
+/// The library's top-level facade: fits a coherence-driven dimensionality
+/// reduction on a dataset, builds a similarity index in the reduced space,
+/// and answers k-NN queries posed in the *original* attribute space.
+///
+/// This is the end-to-end object the paper argues for — aggressive,
+/// noise-aware reduction making high-dimensional similarity search both
+/// meaningful (coherent neighbors) and practical (indexable).
+class ReducedSearchEngine {
+ public:
+  ReducedSearchEngine(ReducedSearchEngine&&) = default;
+  ReducedSearchEngine& operator=(ReducedSearchEngine&&) = default;
+  ReducedSearchEngine(const ReducedSearchEngine&) = delete;
+  ReducedSearchEngine& operator=(const ReducedSearchEngine&) = delete;
+
+  /// Fits the reduction on `dataset` and indexes its reduced records.
+  static Result<ReducedSearchEngine> Build(const Dataset& dataset,
+                                           const EngineOptions& options);
+
+  /// k nearest indexed records to a query given in the original attribute
+  /// space. `skip_index`/`stats` as in KnnIndex::Query.
+  std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
+                              size_t skip_index = KnnIndex::kNoSkip,
+                              QueryStats* stats = nullptr) const;
+
+  const ReductionPipeline& pipeline() const { return pipeline_; }
+  const KnnIndex& index() const { return *index_; }
+  const EngineOptions& options() const { return options_; }
+  size_t ReducedDims() const { return pipeline_.ReducedDims(); }
+
+  /// Multi-line human-readable configuration summary.
+  std::string Describe() const;
+
+ private:
+  ReducedSearchEngine() = default;
+
+  EngineOptions options_;
+  ReductionPipeline pipeline_;
+  std::unique_ptr<Metric> metric_;
+  std::unique_ptr<KnnIndex> index_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_CORE_ENGINE_H_

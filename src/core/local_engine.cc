@@ -1,0 +1,195 @@
+#include "core/local_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "index/linear_scan.h"
+
+namespace cohere {
+
+Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
+    const Dataset& dataset, const LocalEngineOptions& options) {
+  if (dataset.NumRecords() == 0) {
+    return Status::InvalidArgument("cannot build on an empty dataset");
+  }
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (options.probe_clusters == 0) {
+    return Status::InvalidArgument("probe_clusters must be positive");
+  }
+  if (dataset.NumRecords() < options.num_clusters) {
+    return Status::InvalidArgument("fewer records than clusters");
+  }
+
+  LocalReducedSearchEngine engine;
+  engine.options_ = options;
+  engine.metric_ = MakeMetric(options.metric, options.metric_p);
+
+  // Cluster in the globally studentized space so heterogeneous attribute
+  // scales do not dominate the partitioning (Section 2.2 all over again).
+  engine.studentizer_ =
+      ColumnAffineTransform::FitZScore(dataset.features());
+  engine.studentized_records_ =
+      engine.studentizer_.ApplyToRows(dataset.features());
+  const Matrix& studentized = engine.studentized_records_;
+
+  std::vector<std::vector<size_t>> member_lists;
+  std::vector<Vector> centroids;
+  std::vector<Matrix> bases;
+  if (options.use_projected_clustering) {
+    ProjectedClusteringOptions cluster_options;
+    cluster_options.num_clusters = options.num_clusters;
+    cluster_options.subspace_dim = std::min(options.cluster_subspace_dim,
+                                            dataset.NumAttributes());
+    cluster_options.seed = options.seed;
+    Result<ProjectedClusteringResult> clustering =
+        RunProjectedClustering(studentized, cluster_options);
+    if (!clustering.ok()) return clustering.status();
+    engine.assignment_ = clustering->assignment;
+    for (ProjectedCluster& cluster : clustering->clusters) {
+      member_lists.push_back(std::move(cluster.members));
+      centroids.push_back(std::move(cluster.centroid));
+      bases.push_back(std::move(cluster.basis));
+    }
+  } else {
+    KMeansOptions cluster_options;
+    cluster_options.num_clusters = options.num_clusters;
+    cluster_options.seed = options.seed;
+    Result<KMeansResult> clustering = RunKMeans(studentized, cluster_options);
+    if (!clustering.ok()) return clustering.status();
+    engine.assignment_ = clustering->assignment;
+    member_lists.resize(options.num_clusters);
+    for (size_t i = 0; i < engine.assignment_.size(); ++i) {
+      member_lists[engine.assignment_[i]].push_back(i);
+    }
+    for (size_t c = 0; c < options.num_clusters; ++c) {
+      centroids.push_back(clustering->centroids.Row(c));
+      bases.emplace_back();  // empty: route by full-space distance
+    }
+  }
+
+  // Fit a coherence reduction and build an index per locality. Small or
+  // degenerate localities fall back to keeping all their dimensions.
+  for (size_t c = 0; c < member_lists.size(); ++c) {
+    Locality locality;
+    locality.members = std::move(member_lists[c]);
+    locality.centroid = std::move(centroids[c]);
+    locality.cluster_basis = std::move(bases[c]);
+
+    Dataset member_data = dataset.SelectRecords(locality.members);
+    ReductionOptions reduction = options.reduction;
+    if (reduction.target_dim > member_data.NumAttributes()) {
+      reduction.target_dim = member_data.NumAttributes();
+    }
+    Result<ReductionPipeline> pipeline =
+        ReductionPipeline::Fit(member_data, reduction);
+    if (!pipeline.ok()) return pipeline.status();
+    locality.pipeline = std::move(*pipeline);
+
+    Matrix reduced = locality.pipeline.TransformDataset(member_data)
+                         .features();
+    locality.index = std::make_unique<LinearScanIndex>(std::move(reduced),
+                                                       engine.metric_.get());
+    engine.localities_.push_back(std::move(locality));
+  }
+  return engine;
+}
+
+std::vector<size_t> LocalReducedSearchEngine::RouteQuery(
+    const Vector& studentized_query, size_t probes) const {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(localities_.size());
+  for (size_t c = 0; c < localities_.size(); ++c) {
+    const Locality& locality = localities_[c];
+    double dist;
+    if (!locality.cluster_basis.empty()) {
+      ProjectedCluster view;
+      view.centroid = locality.centroid;
+      view.basis = locality.cluster_basis;
+      dist = ProjectedSquaredDistance(studentized_query, view);
+    } else {
+      dist = (studentized_query - locality.centroid).SquaredNorm2();
+    }
+    scored.emplace_back(dist, c);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<size_t> out;
+  for (size_t i = 0; i < std::min(probes, scored.size()); ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+std::vector<Neighbor> LocalReducedSearchEngine::Query(
+    const Vector& original_space_query, size_t k, size_t skip_index,
+    QueryStats* stats) const {
+  const Vector studentized = studentizer_.Apply(original_space_query);
+  const bool rerank = options_.probe_clusters > 1;
+
+  KnnCollector collector(k);
+  for (size_t cluster :
+       RouteQuery(studentized, options_.probe_clusters)) {
+    const Locality& locality = localities_[cluster];
+    if (stats != nullptr) ++stats->nodes_visited;
+    const Vector local_query =
+        locality.pipeline.TransformPoint(original_space_query);
+    // Translate the global skip index into a local row, if it lives here.
+    size_t local_skip = KnnIndex::kNoSkip;
+    if (skip_index != KnnIndex::kNoSkip) {
+      auto it = std::find(locality.members.begin(), locality.members.end(),
+                          skip_index);
+      if (it != locality.members.end()) {
+        local_skip = static_cast<size_t>(it - locality.members.begin());
+      }
+    }
+    for (const Neighbor& local :
+         locality.index->Query(local_query, k, local_skip, stats)) {
+      const size_t global_row = locality.members[local.index];
+      if (rerank) {
+        // Local distances are not comparable across concept spaces: score
+        // merged candidates by the metric in the shared studentized space.
+        const double dist =
+            metric_->Distance(studentized, studentized_records_.Row(global_row));
+        if (stats != nullptr) ++stats->distance_evaluations;
+        collector.Offer(global_row, dist);
+      } else {
+        collector.Offer(global_row, local.distance);
+      }
+    }
+  }
+  return collector.Take();
+}
+
+const std::vector<size_t>& LocalReducedSearchEngine::ClusterMembers(
+    size_t c) const {
+  COHERE_CHECK_LT(c, localities_.size());
+  return localities_[c].members;
+}
+
+const ReductionPipeline& LocalReducedSearchEngine::ClusterPipeline(
+    size_t c) const {
+  COHERE_CHECK_LT(c, localities_.size());
+  return localities_[c].pipeline;
+}
+
+std::string LocalReducedSearchEngine::Describe() const {
+  std::string out = "LocalReducedSearchEngine (" +
+                    std::string(options_.use_projected_clustering
+                                    ? "projected clustering"
+                                    : "k-means") +
+                    ", " + std::to_string(localities_.size()) +
+                    " localities)\n";
+  char buf[160];
+  for (size_t c = 0; c < localities_.size(); ++c) {
+    std::snprintf(buf, sizeof(buf), "  locality %zu: %zu records, %s\n", c,
+                  localities_[c].members.size(),
+                  localities_[c].pipeline.Describe().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cohere

@@ -1,0 +1,104 @@
+#ifndef COHERE_CORE_LOCAL_ENGINE_H_
+#define COHERE_CORE_LOCAL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/projected.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/transforms.h"
+#include "index/knn.h"
+#include "index/metric.h"
+#include "reduction/pipeline.h"
+
+namespace cohere {
+
+/// Options for LocalReducedSearchEngine::Build.
+struct LocalEngineOptions {
+  /// Number of data localities.
+  size_t num_clusters = 4;
+  /// Subspace dimensionality used by the projected clustering.
+  size_t cluster_subspace_dim = 6;
+  /// When false, partition with plain full-space k-means instead of
+  /// projected clustering (ablation knob).
+  bool use_projected_clustering = true;
+  /// Per-cluster reduction configuration.
+  ReductionOptions reduction;
+  /// How many nearest clusters to probe per query (>= 1). With more than
+  /// one probe, the probed localities act as candidate generators and the
+  /// merged candidates are re-ranked by the metric in the shared
+  /// (studentized) full space, since cluster-local distances are not
+  /// comparable across concept spaces.
+  size_t probe_clusters = 1;
+  MetricKind metric = MetricKind::kEuclidean;
+  double metric_p = 0.5;
+  uint64_t seed = 1;
+};
+
+/// The Section 3.1 extension the paper sketches: when the *global* implicit
+/// dimensionality is too high for one axis system, decompose the data into
+/// localities of low implicit dimensionality (generalized projected
+/// clustering, ORCLUS-style) and run the coherence reduction machinery per
+/// locality. Queries are routed to their locality and answered in its
+/// concept space.
+class LocalReducedSearchEngine {
+ public:
+  LocalReducedSearchEngine(LocalReducedSearchEngine&&) = default;
+  LocalReducedSearchEngine& operator=(LocalReducedSearchEngine&&) = default;
+  LocalReducedSearchEngine(const LocalReducedSearchEngine&) = delete;
+  LocalReducedSearchEngine& operator=(const LocalReducedSearchEngine&) =
+      delete;
+
+  static Result<LocalReducedSearchEngine> Build(
+      const Dataset& dataset, const LocalEngineOptions& options);
+
+  /// k nearest records to a query in the original attribute space. Neighbor
+  /// indices refer to rows of the dataset the engine was built on. With one
+  /// probe, distances are measured in the locality's concept space; with
+  /// several probes the localities generate candidates and the final
+  /// ranking (and reported distances) use the metric in the shared
+  /// studentized full space.
+  std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
+                              size_t skip_index = KnnIndex::kNoSkip,
+                              QueryStats* stats = nullptr) const;
+
+  size_t NumClusters() const { return localities_.size(); }
+  /// Member rows (global ids) of cluster `c`.
+  const std::vector<size_t>& ClusterMembers(size_t c) const;
+  /// The fitted reduction of cluster `c`.
+  const ReductionPipeline& ClusterPipeline(size_t c) const;
+  /// Cluster assignment per original row.
+  const std::vector<size_t>& assignment() const { return assignment_; }
+
+  std::string Describe() const;
+
+ private:
+  struct Locality {
+    std::vector<size_t> members;          // global row ids
+    Vector centroid;                      // in studentized space
+    Matrix cluster_basis;                 // projected-clustering basis (d x l)
+    ReductionPipeline pipeline;           // fitted on the member subset
+    std::unique_ptr<KnnIndex> index;      // over reduced member rows
+  };
+
+  LocalReducedSearchEngine() = default;
+
+  /// Clusters to probe for a studentized query, nearest first.
+  std::vector<size_t> RouteQuery(const Vector& studentized_query,
+                                 size_t probes) const;
+
+  LocalEngineOptions options_;
+  ColumnAffineTransform studentizer_;  // global, fitted on the whole data
+  std::unique_ptr<Metric> metric_;
+  std::vector<Locality> localities_;
+  std::vector<size_t> assignment_;
+  // Studentized copies of all records, used to re-rank multi-probe
+  // candidates in one comparable space.
+  Matrix studentized_records_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_CORE_LOCAL_ENGINE_H_

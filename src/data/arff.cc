@@ -1,0 +1,297 @@
+#include "data/arff.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace cohere {
+namespace {
+
+struct ArffAttribute {
+  std::string name;
+  bool nominal = false;
+  std::vector<std::string> values;  // for nominal attributes
+};
+
+// Parses "@attribute name type" where type is numeric-ish or "{a, b, c}".
+Result<ArffAttribute> ParseAttributeDecl(std::string_view line,
+                                         size_t line_no) {
+  // Strip the "@attribute" keyword.
+  std::string_view rest = Trim(line.substr(std::string("@attribute").size()));
+  if (rest.empty()) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": empty attribute declaration");
+  }
+
+  ArffAttribute attr;
+  // Attribute name may be quoted.
+  if (rest.front() == '\'' || rest.front() == '"') {
+    const char quote = rest.front();
+    const size_t close = rest.find(quote, 1);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unterminated quoted attribute name");
+    }
+    attr.name = std::string(rest.substr(1, close - 1));
+    rest = Trim(rest.substr(close + 1));
+  } else {
+    const size_t space = rest.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": attribute declaration without a type");
+    }
+    attr.name = std::string(rest.substr(0, space));
+    rest = Trim(rest.substr(space));
+  }
+
+  if (!rest.empty() && rest.front() == '{') {
+    const size_t close = rest.find('}');
+    if (close == std::string_view::npos) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unterminated nominal value list");
+    }
+    attr.nominal = true;
+    for (const std::string& v : Split(rest.substr(1, close - 1), ',')) {
+      attr.values.emplace_back(Trim(v));
+    }
+    if (attr.values.empty()) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": nominal attribute with no values");
+    }
+    return attr;
+  }
+
+  const std::string type = ToLower(Trim(rest));
+  if (type == "numeric" || type == "real" || type == "integer") {
+    return attr;
+  }
+  return Status::ParseError("line " + std::to_string(line_no) +
+                            ": unsupported attribute type '" + type + "'");
+}
+
+}  // namespace
+
+Result<Dataset> ParseArff(const std::string& content) {
+  std::istringstream stream(content);
+  std::string line;
+  std::vector<ArffAttribute> attributes;
+  std::string relation_name;
+  bool in_data = false;
+  size_t line_no = 0;
+
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<bool>> missing_mask;
+  std::vector<int> labels;
+  int class_attr = -1;  // index into `attributes`
+
+  auto finalize_class_attr = [&]() {
+    // Prefer the attribute named "class"; otherwise the last nominal one.
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      if (attributes[i].nominal &&
+          EqualsIgnoreCase(attributes[i].name, "class")) {
+        class_attr = static_cast<int>(i);
+        return;
+      }
+    }
+    for (size_t i = attributes.size(); i-- > 0;) {
+      if (attributes[i].nominal) {
+        class_attr = static_cast<int>(i);
+        return;
+      }
+    }
+  };
+
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '%') continue;
+
+    if (!in_data) {
+      const std::string lower = ToLower(trimmed.substr(0, 10));
+      if (StartsWith(lower, "@relation")) {
+        relation_name = std::string(Trim(trimmed.substr(9)));
+        continue;
+      }
+      if (StartsWith(lower, "@attribute")) {
+        Result<ArffAttribute> attr = ParseAttributeDecl(trimmed, line_no);
+        if (!attr.ok()) return attr.status();
+        attributes.push_back(std::move(*attr));
+        continue;
+      }
+      if (StartsWith(lower, "@data")) {
+        if (attributes.empty()) {
+          return Status::ParseError("@data before any @attribute");
+        }
+        finalize_class_attr();
+        // Every non-class attribute must be numeric.
+        for (size_t i = 0; i < attributes.size(); ++i) {
+          if (attributes[i].nominal && static_cast<int>(i) != class_attr) {
+            return Status::ParseError("non-class nominal attribute '" +
+                                      attributes[i].name +
+                                      "' is not supported");
+          }
+        }
+        in_data = true;
+        continue;
+      }
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unrecognized header line");
+    }
+
+    // Data section.
+    if (trimmed.front() == '{') {
+      return Status::ParseError("sparse ARFF data is not supported (line " +
+                                std::to_string(line_no) + ")");
+    }
+    std::vector<std::string> fields = Split(trimmed, ',');
+    if (fields.size() != attributes.size()) {
+      return Status::ParseError("line " + std::to_string(line_no) + " has " +
+                                std::to_string(fields.size()) +
+                                " fields, expected " +
+                                std::to_string(attributes.size()));
+    }
+    std::vector<double> row;
+    std::vector<bool> row_missing;
+    for (size_t j = 0; j < fields.size(); ++j) {
+      std::string field(Trim(fields[j]));
+      if (static_cast<int>(j) == class_attr) {
+        if (field == "?") {
+          return Status::ParseError("missing class value at line " +
+                                    std::to_string(line_no));
+        }
+        const auto& values = attributes[j].values;
+        int id = -1;
+        for (size_t v = 0; v < values.size(); ++v) {
+          if (values[v] == field) {
+            id = static_cast<int>(v);
+            break;
+          }
+        }
+        if (id < 0) {
+          return Status::ParseError("line " + std::to_string(line_no) +
+                                    ": class value '" + field +
+                                    "' not declared");
+        }
+        labels.push_back(id);
+        continue;
+      }
+      if (field == "?") {
+        row.push_back(std::numeric_limits<double>::quiet_NaN());
+        row_missing.push_back(true);
+        continue;
+      }
+      Result<double> value = ParseDouble(field);
+      if (!value.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  value.status().message());
+      }
+      row.push_back(*value);
+      row_missing.push_back(false);
+    }
+    rows.push_back(std::move(row));
+    missing_mask.push_back(std::move(row_missing));
+  }
+
+  if (!in_data) return Status::ParseError("missing @data section");
+  if (rows.empty()) return Status::ParseError("no data rows");
+
+  const size_t d = rows[0].size();
+  // Impute missing numeric values with column means.
+  for (size_t j = 0; j < d; ++j) {
+    double sum = 0.0;
+    size_t present = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!missing_mask[i][j]) {
+        sum += rows[i][j];
+        ++present;
+      }
+    }
+    const double mean = present > 0 ? sum / static_cast<double>(present) : 0.0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (missing_mask[i][j]) rows[i][j] = mean;
+    }
+  }
+
+  Matrix features(rows.size(), d);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) features.At(i, j) = rows[i][j];
+  }
+
+  Dataset out = class_attr >= 0
+                    ? Dataset(std::move(features), std::move(labels))
+                    : Dataset(std::move(features));
+  out.set_name(relation_name);
+  std::vector<std::string> names;
+  for (size_t j = 0; j < attributes.size(); ++j) {
+    if (static_cast<int>(j) == class_attr) continue;
+    names.push_back(attributes[j].name);
+  }
+  out.SetAttributeNames(std::move(names));
+  if (class_attr >= 0) {
+    out.SetClassNames(attributes[static_cast<size_t>(class_attr)].values);
+  }
+  return out;
+}
+
+Result<Dataset> LoadArff(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseArff(buffer.str());
+}
+
+Status WriteArff(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << "@relation "
+       << (dataset.name().empty() ? std::string("cohere") : dataset.name())
+       << "\n\n";
+  for (size_t j = 0; j < dataset.NumAttributes(); ++j) {
+    std::string name = j < dataset.attribute_names().size()
+                           ? dataset.attribute_names()[j]
+                           : "attr" + std::to_string(j);
+    file << "@attribute " << name << " numeric\n";
+  }
+  if (dataset.HasLabels()) {
+    file << "@attribute class {";
+    const size_t num_classes = dataset.NumClasses();
+    for (size_t c = 0; c < num_classes; ++c) {
+      if (c > 0) file << ',';
+      if (c < dataset.class_names().size()) {
+        file << dataset.class_names()[c];
+      } else {
+        file << 'c' << c;
+      }
+    }
+    file << "}\n";
+  }
+  file << "\n@data\n";
+  file.precision(17);
+  const Matrix& x = dataset.features();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      if (j > 0) file << ',';
+      file << x.At(i, j);
+    }
+    if (dataset.HasLabels()) {
+      const size_t label = static_cast<size_t>(dataset.label(i));
+      file << ',';
+      if (label < dataset.class_names().size()) {
+        file << dataset.class_names()[label];
+      } else {
+        file << 'c' << label;
+      }
+    }
+    file << '\n';
+  }
+  if (!file) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace cohere

@@ -1,0 +1,31 @@
+#ifndef COHERE_DATA_ARFF_H_
+#define COHERE_DATA_ARFF_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace cohere {
+
+/// Loads a dataset in the (UCI/Weka) ARFF format.
+///
+/// Supported attribute types: numeric / real / integer, and nominal
+/// ("{a,b,c}"). Exactly one nominal attribute may be designated the class:
+/// the attribute literally named "class" if present, otherwise the last
+/// nominal attribute. All other attributes must be numeric. Missing values
+/// ("?") in numeric attributes are imputed with the column mean; a missing
+/// class value is an error. Sparse-format data rows ("{i v, ...}") and
+/// string/date attributes are not supported.
+Result<Dataset> LoadArff(const std::string& path);
+
+/// Parses ARFF content from a string (same semantics as LoadArff).
+Result<Dataset> ParseArff(const std::string& content);
+
+/// Writes a dataset in ARFF format (numeric attributes plus a nominal class
+/// when labels are present).
+Status WriteArff(const Dataset& dataset, const std::string& path);
+
+}  // namespace cohere
+
+#endif  // COHERE_DATA_ARFF_H_

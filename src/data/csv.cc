@@ -1,0 +1,195 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace cohere {
+namespace {
+
+bool IsMissingField(std::string_view field) {
+  std::string_view t = Trim(field);
+  return t.empty() || t == "?";
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsv(const std::string& content,
+                         const CsvOptions& options) {
+  std::istringstream stream(content);
+  std::string line;
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  std::map<std::string, int> label_ids;
+  std::vector<std::string> class_names;
+  std::vector<std::vector<bool>> missing_mask;
+  bool saw_header = false;
+  size_t num_fields = 0;
+  size_t line_no = 0;
+
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (options.comment_char != '\0' &&
+        trimmed.front() == options.comment_char) {
+      continue;
+    }
+    std::vector<std::string> fields = Split(trimmed, options.delimiter);
+    if (options.has_header && !saw_header) {
+      for (auto& f : fields) header.emplace_back(Trim(f));
+      saw_header = true;
+      num_fields = fields.size();
+      continue;
+    }
+    if (num_fields == 0) num_fields = fields.size();
+    if (fields.size() != num_fields) {
+      return Status::ParseError("line " + std::to_string(line_no) + " has " +
+                                std::to_string(fields.size()) +
+                                " fields, expected " +
+                                std::to_string(num_fields));
+    }
+
+    int label_col = options.label_column;
+    if (label_col == -1) label_col = static_cast<int>(num_fields) - 1;
+    if (label_col != CsvOptions::kNoLabelColumn &&
+        (label_col < 0 || static_cast<size_t>(label_col) >= num_fields)) {
+      return Status::InvalidArgument("label column out of range");
+    }
+
+    std::vector<double> row;
+    std::vector<bool> row_missing;
+    row.reserve(num_fields);
+    for (size_t j = 0; j < fields.size(); ++j) {
+      if (label_col != CsvOptions::kNoLabelColumn &&
+          j == static_cast<size_t>(label_col)) {
+        std::string key(Trim(fields[j]));
+        auto [it, inserted] =
+            label_ids.emplace(key, static_cast<int>(label_ids.size()));
+        if (inserted) class_names.push_back(key);
+        labels.push_back(it->second);
+        continue;
+      }
+      if (IsMissingField(fields[j])) {
+        if (options.missing_values == MissingValuePolicy::kError) {
+          return Status::ParseError("missing value at line " +
+                                    std::to_string(line_no));
+        }
+        row.push_back(std::numeric_limits<double>::quiet_NaN());
+        row_missing.push_back(true);
+        continue;
+      }
+      Result<double> value = ParseDouble(fields[j]);
+      if (!value.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  value.status().message());
+      }
+      row.push_back(*value);
+      row_missing.push_back(false);
+    }
+    rows.push_back(std::move(row));
+    missing_mask.push_back(std::move(row_missing));
+  }
+
+  if (rows.empty()) return Status::ParseError("no data rows");
+  const size_t d = rows[0].size();
+
+  // Mean-impute missing values if requested.
+  if (options.missing_values == MissingValuePolicy::kImputeColumnMean) {
+    for (size_t j = 0; j < d; ++j) {
+      double sum = 0.0;
+      size_t present = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (!missing_mask[i][j]) {
+          sum += rows[i][j];
+          ++present;
+        }
+      }
+      const double mean = present > 0 ? sum / static_cast<double>(present)
+                                      : 0.0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (missing_mask[i][j]) rows[i][j] = mean;
+      }
+    }
+  }
+
+  Matrix features(rows.size(), d);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) features.At(i, j) = rows[i][j];
+  }
+
+  Dataset out = labels.empty() ? Dataset(std::move(features))
+                               : Dataset(std::move(features),
+                                         std::move(labels));
+  if (!class_names.empty()) out.SetClassNames(std::move(class_names));
+  if (!header.empty()) {
+    // Drop the label column's name, if any.
+    int label_col = options.label_column;
+    if (label_col == -1) label_col = static_cast<int>(num_fields) - 1;
+    std::vector<std::string> names;
+    for (size_t j = 0; j < header.size(); ++j) {
+      if (label_col != CsvOptions::kNoLabelColumn &&
+          j == static_cast<size_t>(label_col)) {
+        continue;
+      }
+      names.push_back(header[j]);
+    }
+    if (names.size() == out.NumAttributes()) {
+      out.SetAttributeNames(std::move(names));
+    }
+  }
+  return out;
+}
+
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  Result<Dataset> parsed = ParseCsv(buffer.str(), options);
+  if (parsed.ok()) parsed->set_name(path);
+  return parsed;
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  const Matrix& x = dataset.features();
+
+  if (!dataset.attribute_names().empty()) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      if (j > 0) file << ',';
+      file << dataset.attribute_names()[j];
+    }
+    if (dataset.HasLabels()) file << ",class";
+    file << '\n';
+  }
+
+  file.precision(17);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      if (j > 0) file << ',';
+      file << x.At(i, j);
+    }
+    if (dataset.HasLabels()) {
+      const int label = dataset.label(i);
+      file << ',';
+      if (static_cast<size_t>(label) < dataset.class_names().size()) {
+        file << dataset.class_names()[static_cast<size_t>(label)];
+      } else {
+        file << label;
+      }
+    }
+    file << '\n';
+  }
+  if (!file) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace cohere

@@ -1,0 +1,51 @@
+#ifndef COHERE_DATA_CSV_H_
+#define COHERE_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace cohere {
+
+/// How LoadCsv should treat fields that are "?" or empty.
+enum class MissingValuePolicy {
+  /// Return a ParseError on the first missing value.
+  kError,
+  /// Replace missing numeric values with the column mean of the present
+  /// values (the standard preparation for the UCI arrhythmia data).
+  kImputeColumnMean,
+};
+
+/// Options for LoadCsv.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true, the first non-comment line provides attribute names.
+  bool has_header = false;
+  /// Column holding the class attribute: a 0-based index, -1 for the last
+  /// column, or kNoLabelColumn for unlabeled data. The class column may be
+  /// non-numeric; distinct values are mapped to ids in first-seen order.
+  int label_column = kNoLabelColumn;
+  MissingValuePolicy missing_values = MissingValuePolicy::kError;
+  /// Lines starting with this character are skipped ('\0' disables).
+  char comment_char = '#';
+
+  static constexpr int kNoLabelColumn = -2;
+};
+
+/// Parses a CSV file into a Dataset. All non-label columns must be numeric
+/// (after missing-value handling).
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options);
+
+/// Parses CSV content from a string (same semantics as LoadCsv).
+Result<Dataset> ParseCsv(const std::string& content,
+                         const CsvOptions& options);
+
+/// Writes `dataset` as CSV; when labeled, the class is the last column
+/// (class names are used when present, otherwise numeric ids). A header is
+/// emitted when the dataset has attribute names.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace cohere
+
+#endif  // COHERE_DATA_CSV_H_

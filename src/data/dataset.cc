@@ -1,0 +1,106 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace cohere {
+
+Dataset::Dataset(Matrix features, std::vector<int> labels)
+    : features_(std::move(features)), labels_(std::move(labels)) {
+  COHERE_CHECK_EQ(features_.rows(), labels_.size());
+}
+
+int Dataset::label(size_t i) const {
+  COHERE_CHECK(HasLabels());
+  COHERE_CHECK_LT(i, labels_.size());
+  return labels_[i];
+}
+
+void Dataset::SetLabels(std::vector<int> labels) {
+  COHERE_CHECK_EQ(labels.size(), features_.rows());
+  labels_ = std::move(labels);
+}
+
+size_t Dataset::NumClasses() const {
+  if (labels_.empty()) return 0;
+  int max_label = *std::max_element(labels_.begin(), labels_.end());
+  COHERE_CHECK_GE(max_label, 0);
+  return static_cast<size_t>(max_label) + 1;
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(NumClasses(), 0);
+  for (int l : labels_) ++counts[static_cast<size_t>(l)];
+  return counts;
+}
+
+void Dataset::SetAttributeNames(std::vector<std::string> names) {
+  COHERE_CHECK_EQ(names.size(), features_.cols());
+  attribute_names_ = std::move(names);
+}
+
+Dataset Dataset::SelectAttributes(const std::vector<size_t>& columns) const {
+  Dataset out(features_.SelectCols(columns));
+  out.name_ = name_;
+  out.labels_ = labels_;
+  out.class_names_ = class_names_;
+  if (!attribute_names_.empty()) {
+    std::vector<std::string> names;
+    names.reserve(columns.size());
+    for (size_t c : columns) {
+      COHERE_CHECK_LT(c, attribute_names_.size());
+      names.push_back(attribute_names_[c]);
+    }
+    out.attribute_names_ = std::move(names);
+  }
+  return out;
+}
+
+Dataset Dataset::SelectRecords(const std::vector<size_t>& rows) const {
+  Dataset out(features_.SelectRows(rows));
+  out.name_ = name_;
+  out.attribute_names_ = attribute_names_;
+  out.class_names_ = class_names_;
+  if (!labels_.empty()) {
+    std::vector<int> labels;
+    labels.reserve(rows.size());
+    for (size_t r : rows) {
+      COHERE_CHECK_LT(r, labels_.size());
+      labels.push_back(labels_[r]);
+    }
+    out.labels_ = std::move(labels);
+  }
+  return out;
+}
+
+Dataset Dataset::WithFeatures(Matrix features) const {
+  COHERE_CHECK_EQ(features.rows(), features_.rows());
+  Dataset out(std::move(features));
+  out.name_ = name_;
+  out.labels_ = labels_;
+  out.class_names_ = class_names_;
+  // Attribute names describe the original columns and do not carry over to a
+  // transformed feature space.
+  return out;
+}
+
+void Dataset::ShuffleRecords(Rng* rng) {
+  std::vector<size_t> order(NumRecords());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng->Shuffle(&order);
+  Dataset shuffled = SelectRecords(order);
+  features_ = std::move(shuffled.features_);
+  labels_ = std::move(shuffled.labels_);
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(size_t head_count) const {
+  COHERE_CHECK_LE(head_count, NumRecords());
+  std::vector<size_t> head(head_count);
+  std::iota(head.begin(), head.end(), size_t{0});
+  std::vector<size_t> tail(NumRecords() - head_count);
+  std::iota(tail.begin(), tail.end(), head_count);
+  return {SelectRecords(head), SelectRecords(tail)};
+}
+
+}  // namespace cohere

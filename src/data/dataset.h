@@ -1,0 +1,91 @@
+#ifndef COHERE_DATA_DATASET_H_
+#define COHERE_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/rng.h"
+
+namespace cohere {
+
+/// A table of numeric records with an optional class attribute.
+///
+/// This is the unit every loader, generator, reducer, and evaluator works
+/// with. Records are rows of `features()`; the class attribute (when
+/// present) is kept outside the feature matrix — exactly the "feature
+/// stripping" arrangement the paper's evaluation methodology requires.
+class Dataset {
+ public:
+  Dataset() = default;
+  /// Unlabeled dataset.
+  explicit Dataset(Matrix features) : features_(std::move(features)) {}
+  /// Labeled dataset; `labels.size()` must equal the number of rows.
+  Dataset(Matrix features, std::vector<int> labels);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const Matrix& features() const { return features_; }
+  Matrix& mutable_features() { return features_; }
+
+  size_t NumRecords() const { return features_.rows(); }
+  size_t NumAttributes() const { return features_.cols(); }
+
+  bool HasLabels() const { return !labels_.empty(); }
+  const std::vector<int>& labels() const { return labels_; }
+  int label(size_t i) const;
+  void SetLabels(std::vector<int> labels);
+
+  /// Number of distinct classes (max label + 1); 0 when unlabeled.
+  size_t NumClasses() const;
+  /// Count of records per class id.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Copies record `i` as a Vector.
+  Vector Record(size_t i) const { return features_.Row(i); }
+
+  /// Attribute names; empty when unnamed. When set, size matches columns.
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  void SetAttributeNames(std::vector<std::string> names);
+
+  /// Class-id-to-name mapping from loaders of nominal data; may be empty.
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  void SetClassNames(std::vector<std::string> names) {
+    class_names_ = std::move(names);
+  }
+
+  /// Returns a dataset with only the listed attribute columns (labels and
+  /// name are preserved; attribute names are subset accordingly).
+  Dataset SelectAttributes(const std::vector<size_t>& columns) const;
+
+  /// Returns a dataset with only the listed records.
+  Dataset SelectRecords(const std::vector<size_t>& rows) const;
+
+  /// Returns a copy with the same labels/name but replaced feature matrix
+  /// (row count must match; used after projection into a reduced space).
+  Dataset WithFeatures(Matrix features) const;
+
+  /// Shuffles records (and labels) in place.
+  void ShuffleRecords(Rng* rng);
+
+  /// Splits into (first `head_count` records, rest). Useful for
+  /// train/query partitions.
+  std::pair<Dataset, Dataset> Split(size_t head_count) const;
+
+ private:
+  std::string name_;
+  Matrix features_;
+  std::vector<int> labels_;
+  std::vector<std::string> attribute_names_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_DATA_DATASET_H_

@@ -1,0 +1,229 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "stats/covariance.h"
+
+namespace cohere {
+
+Dataset GenerateLatentFactor(const LatentFactorConfig& config) {
+  COHERE_CHECK_GT(config.num_records, 0u);
+  COHERE_CHECK_GT(config.num_attributes, 0u);
+  COHERE_CHECK_GT(config.num_concepts, 0u);
+  COHERE_CHECK_GE(config.num_classes, 1u);
+  COHERE_CHECK_LE(config.num_concepts, config.num_attributes);
+  if (!config.class_weights.empty()) {
+    COHERE_CHECK_EQ(config.class_weights.size(), config.num_classes);
+  }
+
+  Rng rng(config.seed);
+  const size_t n = config.num_records;
+  const size_t d = config.num_attributes;
+  const size_t k = config.num_concepts;
+
+  // Mixing matrix: orthonormalized dense loadings so every concept expresses
+  // itself as a coherent agreement across many attributes while the concept
+  // directions stay distinct (a flat-then-floor spectrum like the paper's
+  // scatter plots, instead of one dominant direction). Column j is scaled by
+  // strength_j * sqrt(d/k) so the per-attribute signal variance is about
+  // mean(strength^2) independent of d and k.
+  Matrix loadings(d, k);
+  {
+    Matrix gaussian(d, k);
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < k; ++j) gaussian.At(i, j) = rng.Gaussian();
+    }
+    Result<QrDecomposition> qr = HouseholderQr(gaussian);
+    COHERE_CHECK_MSG(qr.ok(), "loading orthonormalization failed");
+    loadings = std::move(qr->q);
+    const double base = std::sqrt(static_cast<double>(d) /
+                                  static_cast<double>(k));
+    double strength = config.concept_stddev * base;
+    for (size_t j = 0; j < k; ++j) {
+      for (size_t i = 0; i < d; ++i) loadings.At(i, j) *= strength;
+      strength *= config.concept_decay;
+    }
+  }
+
+  // Per-class centroids in latent space.
+  Matrix centroids(config.num_classes, k);
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    for (size_t j = 0; j < k; ++j) {
+      centroids.At(c, j) = rng.Gaussian() * config.class_separation;
+    }
+  }
+
+  // Cumulative class distribution.
+  std::vector<double> cdf(config.num_classes, 0.0);
+  {
+    double total = 0.0;
+    for (size_t c = 0; c < config.num_classes; ++c) {
+      const double w = config.class_weights.empty()
+                           ? 1.0
+                           : config.class_weights[c];
+      COHERE_CHECK_GE(w, 0.0);
+      total += w;
+      cdf[c] = total;
+    }
+    COHERE_CHECK_GT(total, 0.0);
+    for (double& v : cdf) v /= total;
+  }
+
+  // Attribute scales, drawn log-uniformly.
+  Vector scales(d, 1.0);
+  if (config.scale_max > config.scale_min) {
+    COHERE_CHECK_GT(config.scale_min, 0.0);
+    const double log_lo = std::log(config.scale_min);
+    const double log_hi = std::log(config.scale_max);
+    for (size_t j = 0; j < d; ++j) {
+      scales[j] = std::exp(rng.Uniform(log_lo, log_hi));
+    }
+  } else {
+    for (size_t j = 0; j < d; ++j) scales[j] = config.scale_min;
+  }
+
+  Matrix features(n, d);
+  std::vector<int> labels(n, 0);
+  Vector latent(k);
+  for (size_t i = 0; i < n; ++i) {
+    // Draw the class, then the latent position around its centroid.
+    const double u = rng.Uniform();
+    size_t cls = 0;
+    while (cls + 1 < config.num_classes && u > cdf[cls]) ++cls;
+    labels[i] = static_cast<int>(cls);
+    // Unit latent scatter: concept strength is carried by the loadings.
+    for (size_t j = 0; j < k; ++j) {
+      latent[j] = centroids.At(cls, j) + rng.Gaussian();
+    }
+    double* row = features.RowPtr(i);
+    for (size_t a = 0; a < d; ++a) {
+      double value = 0.0;
+      const double* load_row = loadings.RowPtr(a);
+      for (size_t j = 0; j < k; ++j) value += load_row[j] * latent[j];
+      value += rng.Gaussian() * config.noise_stddev;
+      row[a] = value * scales[a];
+    }
+  }
+
+  Dataset out(std::move(features), std::move(labels));
+  out.set_name("latent_factor");
+  return out;
+}
+
+Dataset GenerateUniformCube(size_t num_records, size_t num_attributes,
+                            double lo, double hi, uint64_t seed) {
+  COHERE_CHECK_GT(hi, lo);
+  Rng rng(seed);
+  Matrix features(num_records, num_attributes);
+  for (size_t i = 0; i < num_records; ++i) {
+    double* row = features.RowPtr(i);
+    for (size_t j = 0; j < num_attributes; ++j) row[j] = rng.Uniform(lo, hi);
+  }
+  Dataset out(std::move(features));
+  out.set_name("uniform_cube");
+  return out;
+}
+
+Dataset GenerateGaussianBlob(size_t num_records, size_t num_attributes,
+                             double stddev, uint64_t seed) {
+  Rng rng(seed);
+  Matrix features(num_records, num_attributes);
+  for (size_t i = 0; i < num_records; ++i) {
+    double* row = features.RowPtr(i);
+    for (size_t j = 0; j < num_attributes; ++j) {
+      row[j] = rng.Gaussian() * stddev;
+    }
+  }
+  Dataset out(std::move(features));
+  out.set_name("gaussian_blob");
+  return out;
+}
+
+Dataset CorruptWithUniformNoise(const Dataset& dataset,
+                                const std::vector<size_t>& columns,
+                                double amplitude, uint64_t seed) {
+  COHERE_CHECK_GT(amplitude, 0.0);
+  Rng rng(seed);
+  Matrix features = dataset.features();
+  for (size_t c : columns) {
+    COHERE_CHECK_LT(c, features.cols());
+    for (size_t i = 0; i < features.rows(); ++i) {
+      features.At(i, c) = rng.Uniform(0.0, amplitude);
+    }
+  }
+  Dataset out = dataset.WithFeatures(std::move(features));
+  if (!dataset.attribute_names().empty()) {
+    out.SetAttributeNames(dataset.attribute_names());
+  }
+  out.set_name(dataset.name() + "_noisy");
+  return out;
+}
+
+Dataset CorruptWithUniformNoise(const Dataset& dataset, size_t num_columns,
+                                double amplitude, uint64_t seed) {
+  Rng rng(seed ^ 0x5bd1e995u);
+  std::vector<size_t> columns =
+      rng.SampleWithoutReplacement(dataset.NumAttributes(), num_columns);
+  return CorruptWithUniformNoise(dataset, columns, amplitude, seed);
+}
+
+Dataset GenerateMultiPopulation(const MultiPopulationConfig& config) {
+  COHERE_CHECK(!config.populations.empty());
+  const size_t d = config.populations.front().num_attributes;
+  size_t total_records = 0;
+  for (const LatentFactorConfig& pop : config.populations) {
+    COHERE_CHECK_EQ(pop.num_attributes, d);
+    total_records += pop.num_records;
+  }
+
+  Rng rng(config.seed);
+  Matrix features(total_records, d);
+  std::vector<int> labels(total_records, 0);
+  size_t row = 0;
+  int class_offset = 0;
+  for (const LatentFactorConfig& pop : config.populations) {
+    Dataset part = GenerateLatentFactor(pop);
+    // Shift the population by a random center scaled to its own attribute
+    // spread, keeping populations distinguishable but overlapping in range.
+    const Vector stds = ColumnStdDevs(part.features());
+    Vector center(d);
+    for (size_t j = 0; j < d; ++j) {
+      center[j] = rng.Gaussian() * config.center_separation * stds[j];
+    }
+    for (size_t i = 0; i < part.NumRecords(); ++i) {
+      const double* src = part.features().RowPtr(i);
+      double* dst = features.RowPtr(row);
+      for (size_t j = 0; j < d; ++j) dst[j] = src[j] + center[j];
+      labels[row] = part.label(i) +
+                    (config.offset_class_ids ? class_offset : 0);
+      ++row;
+    }
+    class_offset += static_cast<int>(pop.num_classes);
+  }
+
+  Dataset out(std::move(features), std::move(labels));
+  out.set_name("multi_population");
+  Rng shuffle_rng(config.seed ^ 0xabcdef12u);
+  out.ShuffleRecords(&shuffle_rng);
+  return out;
+}
+
+Dataset ApplyAttributeScales(const Dataset& dataset, const Vector& scales) {
+  COHERE_CHECK_EQ(scales.size(), dataset.NumAttributes());
+  Matrix features = dataset.features();
+  for (size_t i = 0; i < features.rows(); ++i) {
+    double* row = features.RowPtr(i);
+    for (size_t j = 0; j < features.cols(); ++j) row[j] *= scales[j];
+  }
+  Dataset out = dataset.WithFeatures(std::move(features));
+  if (!dataset.attribute_names().empty()) {
+    out.SetAttributeNames(dataset.attribute_names());
+  }
+  return out;
+}
+
+}  // namespace cohere

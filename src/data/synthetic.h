@@ -1,0 +1,98 @@
+#ifndef COHERE_DATA_SYNTHETIC_H_
+#define COHERE_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "stats/rng.h"
+
+namespace cohere {
+
+/// Configuration for the latent-factor ("concept") generator.
+///
+/// The generator realizes the data model underlying the paper's analysis:
+/// a small number of latent concepts (the implicit dimensionality) are
+/// linearly mixed into many observed attributes, the class attribute is a
+/// function of the latent position, per-attribute noise is added, and the
+/// attributes are finally stretched by heterogeneous scales. Every knob maps
+/// to a quantity in the paper: concepts -> implicit dimensionality,
+/// noise_stddev -> incoherent variation, scale range -> the Section 2.2
+/// scaling effects.
+struct LatentFactorConfig {
+  size_t num_records = 400;
+  size_t num_attributes = 50;
+  size_t num_concepts = 8;
+  size_t num_classes = 2;
+  /// Standard deviation of the latent (concept) coordinates.
+  double concept_stddev = 1.0;
+  /// Multiplicative strength decay across concepts: concept j carries
+  /// strength concept_stddev * concept_decay^j. Values below 1 create the
+  /// separated leading cluster visible in the paper's scatter plots.
+  double concept_decay = 0.92;
+  /// Distance scale between per-class latent centroids.
+  double class_separation = 1.0;
+  /// Per-attribute iid Gaussian noise added after mixing.
+  double noise_stddev = 1.0;
+  /// Attribute scales are drawn log-uniformly from [scale_min, scale_max].
+  /// Equal values disable scale heterogeneity.
+  double scale_min = 1.0;
+  double scale_max = 1.0;
+  /// Relative class frequencies; empty means uniform. Size must match
+  /// num_classes when non-empty.
+  std::vector<double> class_weights;
+  uint64_t seed = 42;
+};
+
+/// Generates a labeled dataset from the latent-factor model.
+Dataset GenerateLatentFactor(const LatentFactorConfig& config);
+
+/// Uniformly distributed points in [lo, hi]^d — the paper's "perfectly
+/// noisy" worst case of Section 3. Unlabeled.
+Dataset GenerateUniformCube(size_t num_records, size_t num_attributes,
+                            double lo, double hi, uint64_t seed);
+
+/// Isotropic Gaussian blob centered at the origin. Unlabeled.
+Dataset GenerateGaussianBlob(size_t num_records, size_t num_attributes,
+                             double stddev, uint64_t seed);
+
+/// Replaces the attributes at `columns` with iid uniform noise of the given
+/// amplitude (values in [0, amplitude]), reproducing the paper's synthetic
+/// corruption for noisy data sets A and B. Labels are untouched.
+Dataset CorruptWithUniformNoise(const Dataset& dataset,
+                                const std::vector<size_t>& columns,
+                                double amplitude, uint64_t seed);
+
+/// Convenience overload: corrupts `num_columns` distinct columns chosen
+/// uniformly at random.
+Dataset CorruptWithUniformNoise(const Dataset& dataset, size_t num_columns,
+                                double amplitude, uint64_t seed);
+
+/// Multiplies each attribute by the corresponding scale factor.
+Dataset ApplyAttributeScales(const Dataset& dataset, const Vector& scales);
+
+/// Configuration for a mixture of latent-factor populations, each with its
+/// own concept subspace — data whose *global* implicit dimensionality is the
+/// sum of the per-population ones. This is the regime the paper's Section
+/// 3.1 points at: a single global axis system cannot serve all populations,
+/// and the projected-clustering extension (LocalReducedSearchEngine) can.
+struct MultiPopulationConfig {
+  /// Per-population generator configs; all must share num_attributes.
+  /// Give populations distinct seeds so their concept subspaces differ.
+  std::vector<LatentFactorConfig> populations;
+  /// Population centers are shifted by N(0, (separation * column_std)^2)
+  /// per attribute, keeping the populations spatially distinguishable.
+  double center_separation = 3.0;
+  /// When true (default), population p's class ids are offset so that each
+  /// population owns a disjoint block of classes — a neighbor from the
+  /// wrong population is then always a semantic miss.
+  bool offset_class_ids = true;
+  uint64_t seed = 77;
+};
+
+/// Generates the concatenated, shuffled multi-population dataset.
+Dataset GenerateMultiPopulation(const MultiPopulationConfig& config);
+
+}  // namespace cohere
+
+#endif  // COHERE_DATA_SYNTHETIC_H_

@@ -1,0 +1,92 @@
+#include "data/transforms.h"
+
+#include <algorithm>
+
+#include "stats/covariance.h"
+
+namespace cohere {
+
+ColumnAffineTransform::ColumnAffineTransform(Vector shift, Vector scale)
+    : shift_(std::move(shift)), scale_(std::move(scale)) {
+  COHERE_CHECK_EQ(shift_.size(), scale_.size());
+  for (size_t j = 0; j < scale_.size(); ++j) {
+    if (scale_[j] == 0.0) scale_[j] = 1.0;
+  }
+}
+
+ColumnAffineTransform ColumnAffineTransform::FitZScore(const Matrix& data) {
+  return ColumnAffineTransform(ColumnMeans(data), ColumnStdDevs(data));
+}
+
+ColumnAffineTransform ColumnAffineTransform::FitMinMax(const Matrix& data) {
+  const size_t d = data.cols();
+  Vector lo(d);
+  Vector hi(d);
+  if (data.rows() > 0) {
+    for (size_t j = 0; j < d; ++j) {
+      lo[j] = data.At(0, j);
+      hi[j] = data.At(0, j);
+    }
+    for (size_t i = 1; i < data.rows(); ++i) {
+      const double* row = data.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) {
+        lo[j] = std::min(lo[j], row[j]);
+        hi[j] = std::max(hi[j], row[j]);
+      }
+    }
+  }
+  Vector scale(d);
+  for (size_t j = 0; j < d; ++j) scale[j] = hi[j] - lo[j];
+  return ColumnAffineTransform(std::move(lo), std::move(scale));
+}
+
+ColumnAffineTransform ColumnAffineTransform::FitMeanCenter(
+    const Matrix& data) {
+  return ColumnAffineTransform(ColumnMeans(data),
+                               Vector(data.cols(), 1.0));
+}
+
+Vector ColumnAffineTransform::Apply(const Vector& point) const {
+  COHERE_CHECK_EQ(point.size(), shift_.size());
+  Vector out(point.size());
+  for (size_t j = 0; j < point.size(); ++j) {
+    out[j] = (point[j] - shift_[j]) / scale_[j];
+  }
+  return out;
+}
+
+Matrix ColumnAffineTransform::ApplyToRows(const Matrix& data) const {
+  COHERE_CHECK_EQ(data.cols(), shift_.size());
+  Matrix out = data;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.RowPtr(i);
+    for (size_t j = 0; j < out.cols(); ++j) {
+      row[j] = (row[j] - shift_[j]) / scale_[j];
+    }
+  }
+  return out;
+}
+
+Dataset ColumnAffineTransform::ApplyToDataset(const Dataset& dataset) const {
+  Dataset out = dataset.WithFeatures(ApplyToRows(dataset.features()));
+  if (!dataset.attribute_names().empty()) {
+    out.SetAttributeNames(dataset.attribute_names());
+  }
+  return out;
+}
+
+Vector ColumnAffineTransform::Invert(const Vector& point) const {
+  COHERE_CHECK_EQ(point.size(), shift_.size());
+  Vector out(point.size());
+  for (size_t j = 0; j < point.size(); ++j) {
+    out[j] = point[j] * scale_[j] + shift_[j];
+  }
+  return out;
+}
+
+Dataset Studentize(const Dataset& dataset) {
+  return ColumnAffineTransform::FitZScore(dataset.features())
+      .ApplyToDataset(dataset);
+}
+
+}  // namespace cohere

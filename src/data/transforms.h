@@ -1,0 +1,57 @@
+#ifndef COHERE_DATA_TRANSFORMS_H_
+#define COHERE_DATA_TRANSFORMS_H_
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Column-affine transform x' = (x - shift) / scale fitted on a dataset and
+/// applicable to new points (queries must be normalized with the *training*
+/// statistics, never their own).
+class ColumnAffineTransform {
+ public:
+  ColumnAffineTransform() = default;
+  /// `shift` and `scale` must be equally sized; zero scales are replaced by
+  /// 1 so constant columns pass through inert (the paper suggests discarding
+  /// them; keeping them inert preserves column indices for callers).
+  ColumnAffineTransform(Vector shift, Vector scale);
+
+  /// Fits the z-score ("studentizing") transform: shift = column mean,
+  /// scale = column standard deviation. This is the paper's Section 2.2
+  /// scaling; applying it before covariance-PCA is equivalent to running PCA
+  /// on the correlation matrix.
+  static ColumnAffineTransform FitZScore(const Matrix& data);
+
+  /// Fits min-max scaling onto [0, 1].
+  static ColumnAffineTransform FitMinMax(const Matrix& data);
+
+  /// Fits mean centering only (unit scale).
+  static ColumnAffineTransform FitMeanCenter(const Matrix& data);
+
+  size_t dims() const { return shift_.size(); }
+  const Vector& shift() const { return shift_; }
+  const Vector& scale() const { return scale_; }
+
+  /// Applies to a single point.
+  Vector Apply(const Vector& point) const;
+  /// Applies to every row.
+  Matrix ApplyToRows(const Matrix& data) const;
+  /// Applies to a dataset, preserving labels and metadata.
+  Dataset ApplyToDataset(const Dataset& dataset) const;
+
+  /// Inverse transform x = x' * scale + shift.
+  Vector Invert(const Vector& point) const;
+
+ private:
+  Vector shift_;
+  Vector scale_;
+};
+
+/// Convenience: returns a studentized copy of `dataset` (fit + apply).
+Dataset Studentize(const Dataset& dataset);
+
+}  // namespace cohere
+
+#endif  // COHERE_DATA_TRANSFORMS_H_

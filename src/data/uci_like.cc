@@ -1,0 +1,92 @@
+#include "data/uci_like.h"
+
+#include "data/synthetic.h"
+#include "data/transforms.h"
+
+namespace cohere {
+
+Dataset MuskLike(uint64_t seed) {
+  LatentFactorConfig config;
+  config.num_records = 476;
+  config.num_attributes = 166;
+  config.num_concepts = 13;
+  config.num_classes = 2;
+  config.class_separation = 0.55;
+  config.noise_stddev = 1.0;
+  config.concept_decay = 0.92;
+  // Musk features are integer distance measurements with widely differing
+  // ranges; a two-decade scale spread reproduces the covariance/correlation
+  // gap the paper observes.
+  config.scale_min = 1.0;
+  config.scale_max = 100.0;
+  config.class_weights = {0.43, 0.57};
+  config.seed = seed;
+  Dataset out = GenerateLatentFactor(config);
+  out.set_name("musk_like");
+  return out;
+}
+
+Dataset IonosphereLike(uint64_t seed) {
+  LatentFactorConfig config;
+  config.num_records = 351;
+  config.num_attributes = 34;
+  config.num_concepts = 10;
+  config.num_classes = 2;
+  config.class_separation = 0.6;
+  config.noise_stddev = 1.0;
+  config.concept_decay = 0.9;
+  // Ionosphere attributes are already normalized to [-1, 1]; keep scales
+  // mildly heterogeneous so the scaling experiment has an effect to show.
+  config.scale_min = 0.5;
+  config.scale_max = 4.0;
+  config.class_weights = {0.64, 0.36};
+  config.seed = seed;
+  Dataset out = GenerateLatentFactor(config);
+  out.set_name("ionosphere_like");
+  return out;
+}
+
+Dataset ArrhythmiaLike(uint64_t seed) {
+  LatentFactorConfig config;
+  config.num_records = 452;
+  config.num_attributes = 279;
+  config.num_concepts = 10;
+  config.num_classes = 8;
+  config.class_separation = 0.8;
+  config.noise_stddev = 1.1;
+  config.concept_decay = 0.9;
+  // ECG-derived attributes mix millivolt amplitudes with millisecond
+  // durations: roughly three decades of scale spread.
+  config.scale_min = 0.1;
+  config.scale_max = 100.0;
+  // The arrhythmia data is dominated by the "normal" class (~54%).
+  config.class_weights = {0.54, 0.1, 0.09, 0.07, 0.06, 0.06, 0.05, 0.03};
+  config.seed = seed;
+  Dataset out = GenerateLatentFactor(config);
+  out.set_name("arrhythmia_like");
+  return out;
+}
+
+// The paper corrupts with uniform noise of amplitude a = 6 on the raw UCI
+// attribute scales, which makes the noise variance dominate every signal
+// eigenvalue. Our stand-ins are corrupted after studentization, so the
+// amplitude is chosen per data set to preserve that construction property
+// (noise eigenvalue = a^2/12 strictly above the leading signal eigenvalues).
+
+Dataset NoisyDataA(uint64_t seed) {
+  Dataset base = Studentize(IonosphereLike(seed));
+  Dataset out = CorruptWithUniformNoise(base, /*num_columns=*/10,
+                                        /*amplitude=*/8.0, seed + 1);
+  out.set_name("noisy_data_a");
+  return out;
+}
+
+Dataset NoisyDataB(uint64_t seed) {
+  Dataset base = Studentize(ArrhythmiaLike(seed));
+  Dataset out = CorruptWithUniformNoise(base, /*num_columns=*/10,
+                                        /*amplitude=*/14.0, seed + 1);
+  out.set_name("noisy_data_b");
+  return out;
+}
+
+}  // namespace cohere

@@ -1,0 +1,58 @@
+#include "eval/contrast.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace cohere {
+
+ContrastResult RelativeContrast(const Matrix& data, const Metric& metric,
+                                size_t num_queries, Rng* rng) {
+  const size_t n = data.rows();
+  COHERE_CHECK_GT(n, 1u);
+  COHERE_CHECK_GE(num_queries, 1u);
+
+  std::vector<size_t> query_rows;
+  if (num_queries >= n) {
+    query_rows.resize(n);
+    for (size_t i = 0; i < n; ++i) query_rows[i] = i;
+  } else {
+    query_rows = rng->SampleWithoutReplacement(n, num_queries);
+  }
+
+  std::vector<double> contrasts;
+  std::vector<double> ratios;
+  Vector query(data.cols());
+  Vector row(data.cols());
+  for (size_t q : query_rows) {
+    const double* qsrc = data.RowPtr(q);
+    std::copy(qsrc, qsrc + data.cols(), query.data());
+    double dmin = std::numeric_limits<double>::infinity();
+    double dmax = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == q) continue;
+      const double* src = data.RowPtr(j);
+      std::copy(src, src + data.cols(), row.data());
+      const double dist = metric.Distance(query, row);
+      dmin = std::min(dmin, dist);
+      dmax = std::max(dmax, dist);
+    }
+    if (dmin <= 0.0) continue;  // duplicate point; contrast undefined
+    contrasts.push_back((dmax - dmin) / dmin);
+    ratios.push_back(dmax / dmin);
+  }
+
+  ContrastResult out;
+  out.num_queries = contrasts.size();
+  if (contrasts.empty()) return out;
+  const Vector contrast_vec{std::vector<double>(contrasts)};
+  out.mean_relative_contrast = Mean(contrast_vec);
+  out.median_relative_contrast = Median(contrast_vec);
+  out.mean_ratio = Mean(Vector{std::vector<double>(ratios)});
+  return out;
+}
+
+}  // namespace cohere

@@ -1,0 +1,36 @@
+#ifndef COHERE_EVAL_CONTRAST_H_
+#define COHERE_EVAL_CONTRAST_H_
+
+#include <cstddef>
+
+#include "index/metric.h"
+#include "linalg/matrix.h"
+#include "stats/rng.h"
+
+namespace cohere {
+
+/// Distance-contrast statistics of a point set — the Beyer et al. [5]
+/// meaningfulness probe behind the paper's Section 1.1: as dimensionality
+/// grows, (Dmax - Dmin)/Dmin collapses toward zero and nearest-neighbor
+/// queries stop discriminating.
+struct ContrastResult {
+  /// Mean over queries of (Dmax - Dmin) / Dmin.
+  double mean_relative_contrast = 0.0;
+  /// Median of the same quantity.
+  double median_relative_contrast = 0.0;
+  /// Mean over queries of Dmax / Dmin.
+  double mean_ratio = 0.0;
+  size_t num_queries = 0;
+};
+
+/// Evaluates the contrast of `data` using up to `num_queries` of its own
+/// rows as query points (each excluded from its own distance scan; sampled
+/// without replacement when fewer than all rows are used). Requires at
+/// least 2 rows and Dmin > 0 for each sampled query; degenerate queries
+/// (duplicate points) are skipped.
+ContrastResult RelativeContrast(const Matrix& data, const Metric& metric,
+                                size_t num_queries, Rng* rng);
+
+}  // namespace cohere
+
+#endif  // COHERE_EVAL_CONTRAST_H_

@@ -1,0 +1,74 @@
+#include "eval/knn_quality.h"
+
+#include "common/check.h"
+#include "index/linear_scan.h"
+
+namespace cohere {
+
+double KnnPredictionAccuracy(const Matrix& features,
+                             const std::vector<int>& labels, size_t k,
+                             const Metric& metric) {
+  LinearScanIndex index(features, &metric);
+  return KnnPredictionAccuracy(index, features, labels, k);
+}
+
+double KnnPredictionAccuracy(const KnnIndex& index, const Matrix& queries,
+                             const std::vector<int>& labels, size_t k) {
+  const size_t n = index.size();
+  COHERE_CHECK_EQ(queries.rows(), n);
+  COHERE_CHECK_EQ(labels.size(), n);
+  COHERE_CHECK_GE(k, 1u);
+  COHERE_CHECK_GT(n, 1u);
+
+  size_t matches = 0;
+  size_t slots = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<Neighbor> neighbors =
+        index.Query(queries.Row(i), k, /*skip_index=*/i, nullptr);
+    for (const Neighbor& nb : neighbors) {
+      ++slots;
+      if (labels[nb.index] == labels[i]) ++matches;
+    }
+  }
+  COHERE_CHECK_GT(slots, 0u);
+  return static_cast<double>(matches) / static_cast<double>(slots);
+}
+
+NeighborOverlap ReducedSpaceOverlap(const Matrix& full_features,
+                                    const Matrix& reduced_features, size_t k,
+                                    const Metric& metric) {
+  const size_t n = full_features.rows();
+  COHERE_CHECK_EQ(reduced_features.rows(), n);
+  COHERE_CHECK_GE(k, 1u);
+  COHERE_CHECK_GT(n, 1u);
+
+  LinearScanIndex full_index(full_features, &metric);
+  LinearScanIndex reduced_index(reduced_features, &metric);
+
+  double overlap_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<Neighbor> full =
+        full_index.Query(full_features.Row(i), k, i, nullptr);
+    const std::vector<Neighbor> reduced =
+        reduced_index.Query(reduced_features.Row(i), k, i, nullptr);
+    size_t overlap = 0;
+    for (const Neighbor& a : reduced) {
+      for (const Neighbor& b : full) {
+        if (a.index == b.index) {
+          ++overlap;
+          break;
+        }
+      }
+    }
+    overlap_sum +=
+        static_cast<double>(overlap) / static_cast<double>(full.size());
+  }
+
+  NeighborOverlap out;
+  out.k = k;
+  out.precision = overlap_sum / static_cast<double>(n);
+  out.recall = out.precision;  // identical when both sides return k answers
+  return out;
+}
+
+}  // namespace cohere

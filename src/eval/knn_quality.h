@@ -1,0 +1,49 @@
+#ifndef COHERE_EVAL_KNN_QUALITY_H_
+#define COHERE_EVAL_KNN_QUALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "index/knn.h"
+#include "index/metric.h"
+#include "linalg/matrix.h"
+
+namespace cohere {
+
+/// The paper's feature-stripping quality measure: leave-one-out k-NN over
+/// every record of `features`, scoring the fraction of neighbor slots whose
+/// (stripped) class label matches the query's label. `labels.size()` must
+/// equal `features.rows()` and k >= 1.
+///
+/// Uses an exhaustive scan with the given metric, so the number reflects the
+/// representation, not an index's approximation.
+double KnnPredictionAccuracy(const Matrix& features,
+                             const std::vector<int>& labels, size_t k,
+                             const Metric& metric);
+
+/// Same measure served by an already-built index. `queries` must correspond
+/// row-for-row to the indexed records (row i is passed with skip_index = i,
+/// the leave-one-out convention); `labels` labels those rows. Used to
+/// evaluate ReducedSearchEngine configurations end to end.
+double KnnPredictionAccuracy(const KnnIndex& index, const Matrix& queries,
+                             const std::vector<int>& labels, size_t k);
+
+/// Average overlap between the k-NN sets found in two representations of
+/// the same records — the paper's precision/recall with respect to the
+/// full-dimensional neighbors. With equal k the two coincide; both fields
+/// are kept for readability of the experiment output.
+struct NeighborOverlap {
+  double precision = 0.0;
+  double recall = 0.0;
+  size_t k = 0;
+};
+
+/// Leave-one-out k-NN in both feature spaces (rows correspond), overlap
+/// averaged over all records.
+NeighborOverlap ReducedSpaceOverlap(const Matrix& full_features,
+                                    const Matrix& reduced_features, size_t k,
+                                    const Metric& metric);
+
+}  // namespace cohere
+
+#endif  // COHERE_EVAL_KNN_QUALITY_H_

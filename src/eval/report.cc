@@ -1,0 +1,177 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace cohere {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  COHERE_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  COHERE_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  size_t underline_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    underline_width += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(underline_width, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * fraction);
+  return buf;
+}
+
+std::string RenderAsciiChart(const std::vector<double>& x,
+                             const std::vector<ChartSeries>& series,
+                             size_t width, size_t height) {
+  COHERE_CHECK(!x.empty());
+  COHERE_CHECK(!series.empty());
+  COHERE_CHECK_GE(width, 8u);
+  COHERE_CHECK_GE(height, 4u);
+  for (const ChartSeries& s : series) {
+    COHERE_CHECK_EQ(s.y.size(), x.size());
+  }
+  for (size_t i = 1; i < x.size(); ++i) COHERE_CHECK_GT(x[i], x[i - 1]);
+
+  double y_lo = series[0].y[0];
+  double y_hi = y_lo;
+  for (const ChartSeries& s : series) {
+    for (double v : s.y) {
+      y_lo = std::min(y_lo, v);
+      y_hi = std::max(y_hi, v);
+    }
+  }
+  if (y_hi == y_lo) y_hi = y_lo + 1.0;
+  const double x_lo = x.front();
+  const double x_hi = x.back() == x.front() ? x.front() + 1.0 : x.back();
+
+  static const char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    for (size_t i = 0; i < x.size(); ++i) {
+      const size_t col = static_cast<size_t>(
+          (x[i] - x_lo) / (x_hi - x_lo) * static_cast<double>(width - 1) +
+          0.5);
+      const size_t row_from_bottom = static_cast<size_t>(
+          (series[s].y[i] - y_lo) / (y_hi - y_lo) *
+              static_cast<double>(height - 1) +
+          0.5);
+      grid[height - 1 - row_from_bottom][col] = glyph;
+    }
+  }
+
+  char label[32];
+  std::string out;
+  for (size_t r = 0; r < height; ++r) {
+    if (r == 0) {
+      std::snprintf(label, sizeof(label), "%9.4g |", y_hi);
+    } else if (r == height - 1) {
+      std::snprintf(label, sizeof(label), "%9.4g |", y_lo);
+    } else {
+      std::snprintf(label, sizeof(label), "%9s |", "");
+    }
+    out += label;
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(10, ' ') + '+' + std::string(width, '-') + '\n';
+  {
+    char lo_label[32];
+    char hi_label[32];
+    std::snprintf(lo_label, sizeof(lo_label), "%.4g", x_lo);
+    std::snprintf(hi_label, sizeof(hi_label), "%.4g", x_hi);
+    std::string axis(11, ' ');
+    axis += lo_label;
+    const size_t hi_col = 11 + width - std::string(hi_label).size();
+    if (axis.size() < hi_col) axis.append(hi_col - axis.size(), ' ');
+    axis += hi_label;
+    out += axis + '\n';
+  }
+  out += "          ";
+  for (size_t s = 0; s < series.size(); ++s) {
+    if (s > 0) out += "   ";
+    out += kGlyphs[s % sizeof(kGlyphs)];
+    out += " = " + series[s].label;
+  }
+  out += '\n';
+  return out;
+}
+
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<std::string>& column_names,
+                      const std::vector<std::vector<double>>& columns) {
+  if (column_names.size() != columns.size()) {
+    return Status::InvalidArgument("column name/data count mismatch");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("no columns to write");
+  }
+  const size_t rows = columns[0].size();
+  for (const auto& col : columns) {
+    if (col.size() != rows) {
+      return Status::InvalidArgument("columns are not equally sized");
+    }
+  }
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    if (c > 0) file << ',';
+    file << column_names[c];
+  }
+  file << '\n';
+  file.precision(12);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) file << ',';
+      file << columns[c][r];
+    }
+    file << '\n';
+  }
+  if (!file) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace cohere

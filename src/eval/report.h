@@ -1,0 +1,63 @@
+#ifndef COHERE_EVAL_REPORT_H_
+#define COHERE_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cohere {
+
+/// Right-padded plain-text table used by every experiment harness to print
+/// the paper's tables and figure series in a diff-friendly form.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Renders with aligned columns, a header underline, and a trailing
+  /// newline.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant decimal digits after the
+/// point ("%.*f").
+std::string FormatDouble(double value, int precision = 3);
+
+/// Formats a fraction as a percentage ("42.3%").
+std::string FormatPercent(double fraction, int precision = 1);
+
+/// Writes named numeric columns as CSV (all columns equally sized). The
+/// figure harnesses use this to dump plottable series next to the printed
+/// tables.
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<std::string>& column_names,
+                      const std::vector<std::vector<double>>& columns);
+
+/// One named series for RenderAsciiChart; y.size() must match the shared
+/// x-axis length.
+struct ChartSeries {
+  std::string label;
+  std::vector<double> y;
+};
+
+/// Renders an ASCII line chart of one or more series over a shared x axis —
+/// the terminal rendition of the paper's figures that the bench harnesses
+/// print next to the numeric tables. Each series uses its own glyph
+/// ('*', '+', 'o', 'x', ...); y is auto-scaled with min/max labels and a
+/// legend line is appended. x must be non-empty and strictly increasing.
+std::string RenderAsciiChart(const std::vector<double>& x,
+                             const std::vector<ChartSeries>& series,
+                             size_t width = 64, size_t height = 16);
+
+}  // namespace cohere
+
+#endif  // COHERE_EVAL_REPORT_H_

@@ -1,0 +1,108 @@
+#include "eval/sweep.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "index/knn.h"
+
+namespace cohere {
+
+size_t DimensionSweepResult::BestDims() const {
+  COHERE_CHECK(!points.empty());
+  size_t best = points[0].dims;
+  double best_acc = points[0].accuracy;
+  for (const SweepPoint& p : points) {
+    if (p.accuracy > best_acc ||
+        (p.accuracy == best_acc && p.dims < best)) {
+      best = p.dims;
+      best_acc = p.accuracy;
+    }
+  }
+  return best;
+}
+
+double DimensionSweepResult::BestAccuracy() const {
+  COHERE_CHECK(!points.empty());
+  double best = points[0].accuracy;
+  for (const SweepPoint& p : points) best = std::max(best, p.accuracy);
+  return best;
+}
+
+double DimensionSweepResult::LastAccuracy() const {
+  COHERE_CHECK(!points.empty());
+  return points.back().accuracy;
+}
+
+DimensionSweepResult SweepPredictionAccuracy(
+    const Matrix& scores, const std::vector<int>& labels, size_t k,
+    const std::vector<size_t>& dims_to_eval) {
+  const size_t n = scores.rows();
+  const size_t d = scores.cols();
+  COHERE_CHECK_EQ(labels.size(), n);
+  COHERE_CHECK_GT(n, 1u);
+  COHERE_CHECK_GE(k, 1u);
+  COHERE_CHECK(!dims_to_eval.empty());
+  COHERE_CHECK(std::is_sorted(dims_to_eval.begin(), dims_to_eval.end()));
+  COHERE_CHECK_GE(dims_to_eval.front(), 1u);
+  COHERE_CHECK_LE(dims_to_eval.back(), d);
+
+  // Accumulated squared distances over the first m columns, full n x n for
+  // cheap per-query scans (the diagonal stays zero and is skipped).
+  Matrix dist_sq(n, n);
+
+  DimensionSweepResult result;
+  size_t next_eval = 0;
+  for (size_t m = 1; m <= d && next_eval < dims_to_eval.size(); ++m) {
+    const size_t col = m - 1;
+    for (size_t i = 0; i < n; ++i) {
+      const double vi = scores.At(i, col);
+      double* row = dist_sq.RowPtr(i);
+      for (size_t j = i + 1; j < n; ++j) {
+        const double diff = vi - scores.At(j, col);
+        row[j] += diff * diff;
+      }
+    }
+
+    if (dims_to_eval[next_eval] != m) continue;
+    ++next_eval;
+
+    size_t matches = 0;
+    size_t slots = 0;
+    for (size_t i = 0; i < n; ++i) {
+      KnnCollector collector(k);
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double dsq = i < j ? dist_sq.At(i, j) : dist_sq.At(j, i);
+        collector.Offer(j, dsq);
+      }
+      for (const Neighbor& nb : collector.Take()) {
+        ++slots;
+        if (labels[nb.index] == labels[i]) ++matches;
+      }
+    }
+    result.points.push_back(
+        {m, static_cast<double>(matches) / static_cast<double>(slots)});
+  }
+  return result;
+}
+
+std::vector<size_t> MakeSweepDims(size_t d, size_t max_points) {
+  COHERE_CHECK_GE(d, 1u);
+  COHERE_CHECK_GE(max_points, 2u);
+  std::vector<size_t> dims;
+  if (d <= max_points) {
+    for (size_t m = 1; m <= d; ++m) dims.push_back(m);
+    return dims;
+  }
+  for (size_t i = 0; i < max_points; ++i) {
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(max_points - 1);
+    const size_t m =
+        1 + static_cast<size_t>(frac * static_cast<double>(d - 1) + 0.5);
+    if (dims.empty() || dims.back() != m) dims.push_back(m);
+  }
+  return dims;
+}
+
+}  // namespace cohere

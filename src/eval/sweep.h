@@ -1,0 +1,51 @@
+#ifndef COHERE_EVAL_SWEEP_H_
+#define COHERE_EVAL_SWEEP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace cohere {
+
+/// One evaluated point of a retained-dimensionality sweep.
+struct SweepPoint {
+  size_t dims = 0;
+  double accuracy = 0.0;
+};
+
+/// Result of sweeping prediction accuracy against the number of retained
+/// dimensions — the data behind the paper's Figures 5, 8, 11, 13 and 15.
+struct DimensionSweepResult {
+  std::vector<SweepPoint> points;
+
+  /// Dimensionality with the highest accuracy (smallest dims on ties).
+  size_t BestDims() const;
+  /// Highest accuracy over the sweep.
+  double BestAccuracy() const;
+  /// Accuracy of the largest evaluated dimensionality (the full space when
+  /// the sweep includes it).
+  double LastAccuracy() const;
+};
+
+/// Sweeps leave-one-out k-NN prediction accuracy (Euclidean metric) over
+/// growing prefixes of the columns of `scores`.
+///
+/// `scores` is an n x d matrix whose columns are the records' coordinates
+/// along the retained directions *in retention order* (e.g. the output of
+/// PcaModel::TransformRows with columns permuted by a selection ordering).
+/// For each m in `dims_to_eval` (ascending, each in [1, d]) the accuracy of
+/// the first m columns is computed. Squared distances are accumulated
+/// incrementally across the sweep, so the whole curve costs one O(n^2 d)
+/// pass instead of O(n^2 d^2).
+DimensionSweepResult SweepPredictionAccuracy(
+    const Matrix& scores, const std::vector<int>& labels, size_t k,
+    const std::vector<size_t>& dims_to_eval);
+
+/// Convenience: every dimensionality 1..d when d <= max_points, otherwise
+/// ~max_points values evenly spread over [1, d] (always including 1 and d).
+std::vector<size_t> MakeSweepDims(size_t d, size_t max_points = 64);
+
+}  // namespace cohere
+
+#endif  // COHERE_EVAL_SWEEP_H_

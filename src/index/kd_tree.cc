@@ -1,0 +1,150 @@
+#include "index/kd_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace cohere {
+
+KdTreeIndex::KdTreeIndex(Matrix data, const Metric* metric, size_t leaf_size)
+    : data_(std::move(data)), metric_(metric), leaf_size_(leaf_size) {
+  COHERE_CHECK(metric_ != nullptr);
+  COHERE_CHECK_MSG(metric_->IsTrueMetric(),
+                   "kd-tree pruning requires a true metric");
+  COHERE_CHECK_GE(leaf_size_, 1u);
+  order_.resize(data_.rows());
+  std::iota(order_.begin(), order_.end(), size_t{0});
+  if (!order_.empty()) BuildNode(0, order_.size());
+}
+
+size_t KdTreeIndex::BuildNode(size_t begin, size_t end) {
+  const size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+  const size_t d = data_.cols();
+
+  // Compute the bounding box of the points in [begin, end).
+  Vector lo(d);
+  Vector hi(d);
+  {
+    const double* first = data_.RowPtr(order_[begin]);
+    for (size_t j = 0; j < d; ++j) {
+      lo[j] = first[j];
+      hi[j] = first[j];
+    }
+    for (size_t i = begin + 1; i < end; ++i) {
+      const double* row = data_.RowPtr(order_[i]);
+      for (size_t j = 0; j < d; ++j) {
+        lo[j] = std::min(lo[j], row[j]);
+        hi[j] = std::max(hi[j], row[j]);
+      }
+    }
+  }
+
+  // Split on the widest dimension; a box with zero extent becomes a leaf
+  // regardless of size (all points identical).
+  size_t split_dim = 0;
+  double split_extent = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double extent = hi[j] - lo[j];
+    if (extent > split_extent) {
+      split_extent = extent;
+      split_dim = j;
+    }
+  }
+
+  if (end - begin <= leaf_size_ || split_extent == 0.0) {
+    Node& leaf = nodes_[node_index];
+    leaf.box_lo = std::move(lo);
+    leaf.box_hi = std::move(hi);
+    leaf.begin = begin;
+    leaf.end = end;
+    return node_index;
+  }
+
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + static_cast<ptrdiff_t>(begin),
+                   order_.begin() + static_cast<ptrdiff_t>(mid),
+                   order_.begin() + static_cast<ptrdiff_t>(end),
+                   [this, split_dim](size_t a, size_t b) {
+                     return data_.At(a, split_dim) < data_.At(b, split_dim);
+                   });
+
+  // Children are built after this node; store indices afterwards because
+  // recursion may reallocate `nodes_`.
+  const size_t left = BuildNode(begin, mid);
+  const size_t right = BuildNode(mid, end);
+  Node& node = nodes_[node_index];
+  node.box_lo = std::move(lo);
+  node.box_hi = std::move(hi);
+  node.begin = begin;
+  node.end = end;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+double KdTreeIndex::BoxMinComparable(const Vector& query, const Node& node,
+                                     Vector* scratch) const {
+  // The closest point of an axis-aligned box to `query` is the per-dimension
+  // clamp; any metric that is monotone per dimension attains its box minimum
+  // there.
+  Vector& clamped = *scratch;
+  for (size_t j = 0; j < query.size(); ++j) {
+    clamped[j] = std::clamp(query[j], node.box_lo[j], node.box_hi[j]);
+  }
+  return metric_->ComparableDistance(query, clamped);
+}
+
+std::vector<Neighbor> KdTreeIndex::Query(const Vector& query, size_t k,
+                                         size_t skip_index,
+                                         QueryStats* stats) const {
+  COHERE_CHECK_EQ(query.size(), data_.cols());
+  KnnCollector collector(k);
+  if (nodes_.empty() || k == 0) return collector.Take();
+
+  Vector scratch(data_.cols());
+  Vector row(data_.cols());
+
+  // Best-first traversal on (box min-distance, node).
+  using Entry = std::pair<double, size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
+  frontier.emplace(BoxMinComparable(query, nodes_[0], &scratch), 0);
+
+  while (!frontier.empty()) {
+    const auto [bound, node_index] = frontier.top();
+    frontier.pop();
+    if (collector.Full() && bound > collector.Threshold()) {
+      // Every remaining node is at least this far: done.
+      break;
+    }
+    const Node& node = nodes_[node_index];
+    if (stats != nullptr) ++stats->nodes_visited;
+
+    if (node.IsLeaf()) {
+      for (size_t i = node.begin; i < node.end; ++i) {
+        const size_t point = order_[i];
+        if (point == skip_index) continue;
+        const double* src = data_.RowPtr(point);
+        std::copy(src, src + data_.cols(), row.data());
+        const double comparable = metric_->ComparableDistance(query, row);
+        if (stats != nullptr) ++stats->distance_evaluations;
+        collector.Offer(point, comparable);
+      }
+      continue;
+    }
+    frontier.emplace(BoxMinComparable(query, nodes_[node.left], &scratch),
+                     node.left);
+    frontier.emplace(BoxMinComparable(query, nodes_[node.right], &scratch),
+                     node.right);
+  }
+
+  std::vector<Neighbor> out = collector.Take();
+  for (Neighbor& n : out) {
+    n.distance = metric_->ComparableToActual(n.distance);
+  }
+  return out;
+}
+
+}  // namespace cohere

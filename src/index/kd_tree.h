@@ -1,0 +1,73 @@
+#ifndef COHERE_INDEX_KD_TREE_H_
+#define COHERE_INDEX_KD_TREE_H_
+
+#include <vector>
+
+#include "index/knn.h"
+
+namespace cohere {
+
+/// Bulk-loaded kd-tree with best-first k-NN search.
+///
+/// Splits on the dimension of largest spread at the median, keeps per-node
+/// bounding boxes, and prunes a subtree when the box's minimum distance to
+/// the query exceeds the current k-th best (the "optimistic bound" pruning
+/// the paper describes index structures relying on). Requires a true metric
+/// whose per-dimension contributions are monotone in |a_i - b_i| (L1, L2,
+/// L-infinity qualify); construction checks Metric::IsTrueMetric().
+///
+/// In full high dimensionality the bound is rarely sharp enough to prune
+/// anything and the tree degrades to a (slower) linear scan — which is
+/// precisely the phenomenon dimensionality reduction repairs; see
+/// bench_index_pruning.
+class KdTreeIndex final : public KnnIndex {
+ public:
+  /// Indexes the rows of `data` (copied). `metric` must outlive the index.
+  /// `leaf_size` caps the number of points in a leaf node.
+  KdTreeIndex(Matrix data, const Metric* metric, size_t leaf_size = 16);
+
+  std::vector<Neighbor> Query(const Vector& query, size_t k,
+                              size_t skip_index,
+                              QueryStats* stats) const override;
+  using KnnIndex::Query;
+
+  size_t size() const override { return data_.rows(); }
+  size_t dims() const override { return data_.cols(); }
+  std::string name() const override { return "kd_tree"; }
+
+  /// Number of tree nodes (for structural tests).
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Bounding box of the points under this node.
+    Vector box_lo;
+    Vector box_hi;
+    // Range [begin, end) into `order_` for leaves.
+    size_t begin = 0;
+    size_t end = 0;
+    // Children (kInvalid for leaves).
+    size_t left = kInvalid;
+    size_t right = kInvalid;
+
+    bool IsLeaf() const { return left == kInvalid; }
+  };
+  static constexpr size_t kInvalid = static_cast<size_t>(-1);
+
+  size_t BuildNode(size_t begin, size_t end);
+
+  /// Minimum comparable distance from `query` to the node's box: distance to
+  /// the clamped (closest-in-box) point.
+  double BoxMinComparable(const Vector& query, const Node& node,
+                          Vector* scratch) const;
+
+  Matrix data_;
+  const Metric* metric_;
+  size_t leaf_size_;
+  std::vector<size_t> order_;  // permutation of row indices
+  std::vector<Node> nodes_;    // nodes_[0] is the root
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_INDEX_KD_TREE_H_

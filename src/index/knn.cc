@@ -1,0 +1,47 @@
+#include "index/knn.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cohere {
+namespace {
+
+// Max-heap ordering: the worst (largest distance, then largest index)
+// candidate sits at the root so it can be evicted first.
+bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+void KnnCollector::Offer(size_t index, double distance) {
+  if (heap_.size() < k_) {
+    heap_.push_back({index, distance});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+    return;
+  }
+  if (k_ == 0) return;
+  const Neighbor& worst = heap_.front();
+  if (distance > worst.distance ||
+      (distance == worst.distance && index > worst.index)) {
+    return;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
+  heap_.back() = {index, distance};
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+}
+
+double KnnCollector::Threshold() const {
+  if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
+  return heap_.front().distance;
+}
+
+std::vector<Neighbor> KnnCollector::Take() {
+  std::vector<Neighbor> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), HeapLess);
+  return out;
+}
+
+}  // namespace cohere

@@ -1,0 +1,83 @@
+#ifndef COHERE_INDEX_KNN_H_
+#define COHERE_INDEX_KNN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "index/metric.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// One answer of a k-nearest-neighbor query.
+struct Neighbor {
+  size_t index = 0;    ///< Row index into the indexed data matrix.
+  double distance = 0; ///< True (not comparable-form) distance.
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// Work counters for one query; the indexing experiments in the paper's
+/// motivation are about exactly these numbers (how much of the data an
+/// index must touch in high dimensionality).
+struct QueryStats {
+  size_t distance_evaluations = 0;  ///< Full-precision distance computations.
+  size_t nodes_visited = 0;         ///< Tree nodes or VA cells examined.
+  size_t candidates_refined = 0;    ///< Exact refinements after filtering.
+};
+
+/// Interface of all k-NN engines over a fixed set of points.
+class KnnIndex {
+ public:
+  virtual ~KnnIndex() = default;
+
+  /// Returns the `k` nearest rows to `query`, nearest first, with ties
+  /// broken by row index. Fewer than `k` results are returned only when the
+  /// index holds fewer than `k` points. `skip_index` (when not kNoSkip)
+  /// excludes one row — used by leave-one-out evaluation to exclude the
+  /// query point itself.
+  virtual std::vector<Neighbor> Query(const Vector& query, size_t k,
+                                      size_t skip_index,
+                                      QueryStats* stats) const = 0;
+
+  std::vector<Neighbor> Query(const Vector& query, size_t k) const {
+    return Query(query, k, kNoSkip, nullptr);
+  }
+
+  /// Number of indexed points.
+  virtual size_t size() const = 0;
+  /// Dimensionality of the indexed points.
+  virtual size_t dims() const = 0;
+  virtual std::string name() const = 0;
+
+  static constexpr size_t kNoSkip = static_cast<size_t>(-1);
+};
+
+/// Bounded max-heap collecting the k best candidates during a scan.
+class KnnCollector {
+ public:
+  explicit KnnCollector(size_t k) : k_(k) {}
+
+  /// Offers a candidate; keeps only the k smallest distances.
+  void Offer(size_t index, double distance);
+
+  /// Current k-th best distance, or +infinity while fewer than k collected.
+  double Threshold() const;
+
+  /// True once k candidates have been collected.
+  bool Full() const { return heap_.size() >= k_; }
+
+  /// Extracts results sorted by (distance, index) ascending.
+  std::vector<Neighbor> Take();
+
+ private:
+  size_t k_;
+  // Max-heap on (distance, index) so the worst candidate is on top.
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_INDEX_KNN_H_

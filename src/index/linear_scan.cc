@@ -1,0 +1,33 @@
+#include "index/linear_scan.h"
+
+#include "common/check.h"
+
+namespace cohere {
+
+LinearScanIndex::LinearScanIndex(Matrix data, const Metric* metric)
+    : data_(std::move(data)), metric_(metric) {
+  COHERE_CHECK(metric_ != nullptr);
+}
+
+std::vector<Neighbor> LinearScanIndex::Query(const Vector& query, size_t k,
+                                             size_t skip_index,
+                                             QueryStats* stats) const {
+  COHERE_CHECK_EQ(query.size(), data_.cols());
+  KnnCollector collector(k);
+  Vector row(data_.cols());
+  for (size_t i = 0; i < data_.rows(); ++i) {
+    if (i == skip_index) continue;
+    const double* src = data_.RowPtr(i);
+    std::copy(src, src + data_.cols(), row.data());
+    const double comparable = metric_->ComparableDistance(query, row);
+    if (stats != nullptr) ++stats->distance_evaluations;
+    collector.Offer(i, comparable);
+  }
+  std::vector<Neighbor> out = collector.Take();
+  for (Neighbor& n : out) {
+    n.distance = metric_->ComparableToActual(n.distance);
+  }
+  return out;
+}
+
+}  // namespace cohere

@@ -1,0 +1,35 @@
+#ifndef COHERE_INDEX_LINEAR_SCAN_H_
+#define COHERE_INDEX_LINEAR_SCAN_H_
+
+#include <memory>
+
+#include "index/knn.h"
+
+namespace cohere {
+
+/// Exhaustive-scan k-NN: the exact reference every other engine is checked
+/// against, and — per the paper's motivation — often the only competitive
+/// option in full dimensionality where partition pruning fails.
+class LinearScanIndex final : public KnnIndex {
+ public:
+  /// Indexes the rows of `data`. The matrix is copied; `metric` is shared
+  /// with the caller and must outlive the index.
+  LinearScanIndex(Matrix data, const Metric* metric);
+
+  std::vector<Neighbor> Query(const Vector& query, size_t k,
+                              size_t skip_index,
+                              QueryStats* stats) const override;
+  using KnnIndex::Query;
+
+  size_t size() const override { return data_.rows(); }
+  size_t dims() const override { return data_.cols(); }
+  std::string name() const override { return "linear_scan"; }
+
+ private:
+  Matrix data_;
+  const Metric* metric_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_INDEX_LINEAR_SCAN_H_

@@ -1,0 +1,127 @@
+#include "index/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cohere {
+namespace {
+
+class EuclideanMetric final : public Metric {
+ public:
+  double Distance(const Vector& a, const Vector& b) const override {
+    return std::sqrt(ComparableDistance(a, b));
+  }
+  double ComparableDistance(const Vector& a, const Vector& b) const override {
+    COHERE_CHECK_EQ(a.size(), b.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      sum += d * d;
+    }
+    return sum;
+  }
+  double ComparableToActual(double comparable) const override {
+    return std::sqrt(comparable);
+  }
+  MetricKind kind() const override { return MetricKind::kEuclidean; }
+  std::string name() const override { return "euclidean"; }
+};
+
+class ManhattanMetric final : public Metric {
+ public:
+  double Distance(const Vector& a, const Vector& b) const override {
+    COHERE_CHECK_EQ(a.size(), b.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+    return sum;
+  }
+  MetricKind kind() const override { return MetricKind::kManhattan; }
+  std::string name() const override { return "manhattan"; }
+};
+
+class ChebyshevMetric final : public Metric {
+ public:
+  double Distance(const Vector& a, const Vector& b) const override {
+    COHERE_CHECK_EQ(a.size(), b.size());
+    double best = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      best = std::max(best, std::fabs(a[i] - b[i]));
+    }
+    return best;
+  }
+  MetricKind kind() const override { return MetricKind::kChebyshev; }
+  std::string name() const override { return "chebyshev"; }
+};
+
+class FractionalMetric final : public Metric {
+ public:
+  explicit FractionalMetric(double p) : p_(p) {
+    COHERE_CHECK(p > 0.0 && p < 1.0);
+  }
+  double Distance(const Vector& a, const Vector& b) const override {
+    return std::pow(ComparableDistance(a, b), 1.0 / p_);
+  }
+  double ComparableDistance(const Vector& a, const Vector& b) const override {
+    COHERE_CHECK_EQ(a.size(), b.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      sum += std::pow(std::fabs(a[i] - b[i]), p_);
+    }
+    return sum;
+  }
+  double ComparableToActual(double comparable) const override {
+    return std::pow(comparable, 1.0 / p_);
+  }
+  MetricKind kind() const override { return MetricKind::kFractional; }
+  std::string name() const override {
+    return "fractional_l" + std::to_string(p_);
+  }
+  bool IsTrueMetric() const override { return false; }
+
+ private:
+  double p_;
+};
+
+class CosineMetric final : public Metric {
+ public:
+  double Distance(const Vector& a, const Vector& b) const override {
+    COHERE_CHECK_EQ(a.size(), b.size());
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      dot += a[i] * b[i];
+      na += a[i] * a[i];
+      nb += b[i] * b[i];
+    }
+    if (na == 0.0 || nb == 0.0) return 1.0;
+    const double sim = dot / std::sqrt(na * nb);
+    return 1.0 - std::clamp(sim, -1.0, 1.0);
+  }
+  MetricKind kind() const override { return MetricKind::kCosine; }
+  std::string name() const override { return "cosine"; }
+  bool IsTrueMetric() const override { return false; }
+};
+
+}  // namespace
+
+std::unique_ptr<Metric> MakeMetric(MetricKind kind, double p) {
+  switch (kind) {
+    case MetricKind::kEuclidean:
+      return std::make_unique<EuclideanMetric>();
+    case MetricKind::kManhattan:
+      return std::make_unique<ManhattanMetric>();
+    case MetricKind::kChebyshev:
+      return std::make_unique<ChebyshevMetric>();
+    case MetricKind::kFractional:
+      return std::make_unique<FractionalMetric>(p);
+    case MetricKind::kCosine:
+      return std::make_unique<CosineMetric>();
+  }
+  COHERE_CHECK_MSG(false, "unknown metric kind");
+  return nullptr;
+}
+
+}  // namespace cohere

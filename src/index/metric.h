@@ -1,0 +1,56 @@
+#ifndef COHERE_INDEX_METRIC_H_
+#define COHERE_INDEX_METRIC_H_
+
+#include <memory>
+#include <string>
+
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Identifiers for the built-in distance functions.
+enum class MetricKind {
+  kEuclidean,   // L2
+  kManhattan,   // L1
+  kChebyshev,   // L-infinity
+  kFractional,  // Lp with 0 < p < 1 (Aggarwal/Hinneburg/Keim)
+  kCosine,      // 1 - cosine similarity
+};
+
+/// Distance function over equal-dimension vectors.
+///
+/// Implementations must be symmetric and non-negative with D(x, x) = 0;
+/// kFractional and kCosine are not triangle-inequality metrics, which the
+/// kd-tree rejects (its pruning bound requires a true metric).
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// Distance between two points of equal dimension.
+  virtual double Distance(const Vector& a, const Vector& b) const = 0;
+
+  /// Distance raised to whatever power the implementation uses internally
+  /// for comparisons. Monotone in Distance; cheaper for L2 (no sqrt).
+  virtual double ComparableDistance(const Vector& a, const Vector& b) const {
+    return Distance(a, b);
+  }
+
+  /// Converts a ComparableDistance back to a true distance.
+  virtual double ComparableToActual(double comparable) const {
+    return comparable;
+  }
+
+  virtual MetricKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Whether the triangle inequality holds (required by kd-tree pruning).
+  virtual bool IsTrueMetric() const { return true; }
+};
+
+/// Creates one of the built-in metrics. `p` is only used by kFractional and
+/// must lie in (0, 1).
+std::unique_ptr<Metric> MakeMetric(MetricKind kind, double p = 0.5);
+
+}  // namespace cohere
+
+#endif  // COHERE_INDEX_METRIC_H_

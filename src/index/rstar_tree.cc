@@ -1,0 +1,490 @@
+#include "index/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace cohere {
+namespace {
+
+// Fraction of a node's entries evicted by forced reinsertion (the R* paper's
+// recommended 30%).
+constexpr double kReinsertFraction = 0.3;
+
+}  // namespace
+
+RStarTreeIndex::RStarTreeIndex(Matrix data, const Metric* metric,
+                               size_t max_entries)
+    : data_(std::move(data)), metric_(metric), max_entries_(max_entries) {
+  COHERE_CHECK(metric_ != nullptr);
+  COHERE_CHECK_MSG(metric_->IsTrueMetric(),
+                   "R*-tree pruning requires a true metric");
+  COHERE_CHECK_GE(max_entries_, 4u);
+  min_entries_ = std::max<size_t>(2, max_entries_ * 2 / 5);
+
+  if (data_.rows() == 0) return;
+  nodes_.emplace_back();  // root leaf
+  root_ = 0;
+  for (size_t i = 0; i < data_.rows(); ++i) Insert(i);
+}
+
+// --- geometry -------------------------------------------------------------
+
+double RStarTreeIndex::Area(const Vector& lo, const Vector& hi) {
+  double area = 1.0;
+  for (size_t j = 0; j < lo.size(); ++j) area *= hi[j] - lo[j];
+  return area;
+}
+
+double RStarTreeIndex::Margin(const Vector& lo, const Vector& hi) {
+  double margin = 0.0;
+  for (size_t j = 0; j < lo.size(); ++j) margin += hi[j] - lo[j];
+  return margin;
+}
+
+double RStarTreeIndex::Overlap(const Vector& alo, const Vector& ahi,
+                               const Vector& blo, const Vector& bhi) {
+  double overlap = 1.0;
+  for (size_t j = 0; j < alo.size(); ++j) {
+    const double lo = std::max(alo[j], blo[j]);
+    const double hi = std::min(ahi[j], bhi[j]);
+    if (hi <= lo) return 0.0;
+    overlap *= hi - lo;
+  }
+  return overlap;
+}
+
+void RStarTreeIndex::Extend(Vector* lo, Vector* hi, const Entry& e) {
+  for (size_t j = 0; j < lo->size(); ++j) {
+    (*lo)[j] = std::min((*lo)[j], e.lo[j]);
+    (*hi)[j] = std::max((*hi)[j], e.hi[j]);
+  }
+}
+
+double RStarTreeIndex::EnlargedArea(const Vector& lo, const Vector& hi,
+                                    const Entry& e) {
+  double area = 1.0;
+  for (size_t j = 0; j < lo.size(); ++j) {
+    area *= std::max(hi[j], e.hi[j]) - std::min(lo[j], e.lo[j]);
+  }
+  return area;
+}
+
+double RStarTreeIndex::MinComparableDistance(const Vector& query,
+                                             const Vector& lo,
+                                             const Vector& hi,
+                                             Vector* scratch) const {
+  Vector& clamped = *scratch;
+  for (size_t j = 0; j < query.size(); ++j) {
+    clamped[j] = std::clamp(query[j], lo[j], hi[j]);
+  }
+  return metric_->ComparableDistance(query, clamped);
+}
+
+RStarTreeIndex::Entry RStarTreeIndex::MakeLeafEntry(size_t row) const {
+  Entry e;
+  e.lo = data_.Row(row);
+  e.hi = e.lo;
+  e.row = row;
+  return e;
+}
+
+RStarTreeIndex::Entry RStarTreeIndex::MakeNodeEntry(size_t node_id) const {
+  const Node& node = nodes_[node_id];
+  COHERE_CHECK(!node.entries.empty());
+  Entry e;
+  e.lo = node.entries[0].lo;
+  e.hi = node.entries[0].hi;
+  for (size_t i = 1; i < node.entries.size(); ++i) {
+    Extend(&e.lo, &e.hi, node.entries[i]);
+  }
+  e.child = node_id;
+  return e;
+}
+
+// --- insertion ------------------------------------------------------------
+
+void RStarTreeIndex::Insert(size_t row) {
+  std::vector<bool> reinserted_at_level(height_ + 1, false);
+  InsertEntry(MakeLeafEntry(row), /*target_level=*/0, &reinserted_at_level);
+}
+
+size_t RStarTreeIndex::ChooseSubtree(const Entry& entry, size_t target_level,
+                                     std::vector<size_t>* path) const {
+  size_t current = root_;
+  path->clear();
+  path->push_back(current);
+  while (nodes_[current].level > target_level) {
+    const Node& node = nodes_[current];
+    const bool children_are_leaves = node.level == 1 && target_level == 0;
+    size_t best = 0;
+    if (children_are_leaves) {
+      // R* rule: minimum overlap enlargement, ties by area enlargement.
+      double best_overlap_delta = std::numeric_limits<double>::infinity();
+      double best_area_delta = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        Vector grown_lo = node.entries[i].lo;
+        Vector grown_hi = node.entries[i].hi;
+        Vector tmp_lo = grown_lo;
+        Vector tmp_hi = grown_hi;
+        Extend(&grown_lo, &grown_hi, entry);
+        double overlap_before = 0.0;
+        double overlap_after = 0.0;
+        for (size_t j = 0; j < node.entries.size(); ++j) {
+          if (j == i) continue;
+          overlap_before += Overlap(tmp_lo, tmp_hi, node.entries[j].lo,
+                                    node.entries[j].hi);
+          overlap_after += Overlap(grown_lo, grown_hi, node.entries[j].lo,
+                                   node.entries[j].hi);
+        }
+        const double overlap_delta = overlap_after - overlap_before;
+        const double area_delta =
+            EnlargedArea(tmp_lo, tmp_hi, entry) - Area(tmp_lo, tmp_hi);
+        if (overlap_delta < best_overlap_delta ||
+            (overlap_delta == best_overlap_delta &&
+             area_delta < best_area_delta)) {
+          best_overlap_delta = overlap_delta;
+          best_area_delta = area_delta;
+          best = i;
+        }
+      }
+    } else {
+      // Higher levels: minimum area enlargement, ties by area.
+      double best_area_delta = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        const double area = Area(node.entries[i].lo, node.entries[i].hi);
+        const double area_delta =
+            EnlargedArea(node.entries[i].lo, node.entries[i].hi, entry) -
+            area;
+        if (area_delta < best_area_delta ||
+            (area_delta == best_area_delta && area < best_area)) {
+          best_area_delta = area_delta;
+          best_area = area;
+          best = i;
+        }
+      }
+    }
+    current = node.entries[best].child;
+    path->push_back(current);
+  }
+  return current;
+}
+
+void RStarTreeIndex::AdjustPathMbrs(const std::vector<size_t>& path) {
+  for (size_t i = path.size(); i-- > 1;) {
+    Node& parent = nodes_[path[i - 1]];
+    const size_t child_id = path[i];
+    for (Entry& e : parent.entries) {
+      if (e.child == child_id) {
+        const Entry fresh = MakeNodeEntry(child_id);
+        e.lo = fresh.lo;
+        e.hi = fresh.hi;
+        break;
+      }
+    }
+  }
+}
+
+void RStarTreeIndex::InsertEntry(const Entry& entry, size_t target_level,
+                                 std::vector<bool>* reinserted_at_level) {
+  std::vector<size_t> path;
+  const size_t target = ChooseSubtree(entry, target_level, &path);
+  nodes_[target].entries.push_back(entry);
+  AdjustPathMbrs(path);
+  if (nodes_[target].entries.size() > max_entries_) {
+    OverflowTreatment(target, &path, reinserted_at_level);
+  }
+}
+
+void RStarTreeIndex::OverflowTreatment(
+    size_t node_id, std::vector<size_t>* path,
+    std::vector<bool>* reinserted_at_level) {
+  Node& node = nodes_[node_id];
+  const size_t level = node.level;
+  if (reinserted_at_level->size() <= level) {
+    reinserted_at_level->resize(level + 1, false);
+  }
+
+  if (node_id != root_ && !(*reinserted_at_level)[level]) {
+    (*reinserted_at_level)[level] = true;
+
+    // Forced reinsertion: evict the entries whose centers are farthest from
+    // the node's MBR center and insert them again at the same level.
+    const Entry node_mbr = MakeNodeEntry(node_id);
+    const size_t d = data_.cols();
+    Vector center(d);
+    for (size_t j = 0; j < d; ++j) {
+      center[j] = 0.5 * (node_mbr.lo[j] + node_mbr.hi[j]);
+    }
+    std::vector<std::pair<double, size_t>> scored;
+    scored.reserve(node.entries.size());
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      double dist = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double c = 0.5 * (node.entries[i].lo[j] + node.entries[i].hi[j]);
+        const double diff = c - center[j];
+        dist += diff * diff;
+      }
+      scored.emplace_back(dist, i);
+    }
+    const size_t evict =
+        std::max<size_t>(1, static_cast<size_t>(kReinsertFraction *
+                                                static_cast<double>(
+                                                    node.entries.size())));
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    std::vector<Entry> evicted;
+    std::vector<bool> remove(node.entries.size(), false);
+    for (size_t i = 0; i < evict; ++i) {
+      remove[scored[i].second] = true;
+      evicted.push_back(node.entries[scored[i].second]);
+    }
+    std::vector<Entry> kept;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      if (!remove[i]) kept.push_back(std::move(node.entries[i]));
+    }
+    node.entries = std::move(kept);
+    AdjustPathMbrs(*path);
+
+    for (const Entry& e : evicted) {
+      InsertEntry(e, level, reinserted_at_level);
+    }
+    return;
+  }
+
+  SplitNode(node_id, path);
+}
+
+void RStarTreeIndex::SplitNode(size_t node_id, std::vector<size_t>* path) {
+  // R* split: choose the axis with the smallest margin sum over all
+  // candidate distributions (sorting by both lower and upper MBR edges),
+  // then the distribution on that axis with minimum overlap (ties: area).
+  std::vector<Entry> entries = std::move(nodes_[node_id].entries);
+  const size_t total = entries.size();
+  const size_t d = data_.cols();
+  COHERE_CHECK_GT(total, max_entries_);
+
+  auto mbr_of = [&entries](const std::vector<size_t>& idx, size_t begin,
+                           size_t end, Vector* lo, Vector* hi) {
+    *lo = entries[idx[begin]].lo;
+    *hi = entries[idx[begin]].hi;
+    for (size_t i = begin + 1; i < end; ++i) {
+      for (size_t j = 0; j < lo->size(); ++j) {
+        (*lo)[j] = std::min((*lo)[j], entries[idx[i]].lo[j]);
+        (*hi)[j] = std::max((*hi)[j], entries[idx[i]].hi[j]);
+      }
+    }
+  };
+
+  size_t best_axis = 0;
+  bool best_axis_by_hi = false;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+
+  std::vector<size_t> order(total);
+  for (size_t axis = 0; axis < d; ++axis) {
+    for (bool by_hi : {false, true}) {
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(),
+                [&entries, axis, by_hi](size_t a, size_t b) {
+                  return by_hi ? entries[a].hi[axis] < entries[b].hi[axis]
+                               : entries[a].lo[axis] < entries[b].lo[axis];
+                });
+      double margin_sum = 0.0;
+      Vector lo1(d);
+      Vector hi1(d);
+      Vector lo2(d);
+      Vector hi2(d);
+      for (size_t split = min_entries_; split <= total - min_entries_;
+           ++split) {
+        mbr_of(order, 0, split, &lo1, &hi1);
+        mbr_of(order, split, total, &lo2, &hi2);
+        margin_sum += Margin(lo1, hi1) + Margin(lo2, hi2);
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = axis;
+        best_axis_by_hi = by_hi;
+      }
+    }
+  }
+
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&entries, best_axis, best_axis_by_hi](size_t a, size_t b) {
+              return best_axis_by_hi
+                         ? entries[a].hi[best_axis] < entries[b].hi[best_axis]
+                         : entries[a].lo[best_axis] <
+                               entries[b].lo[best_axis];
+            });
+
+  size_t best_split = min_entries_;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  {
+    Vector lo1(d);
+    Vector hi1(d);
+    Vector lo2(d);
+    Vector hi2(d);
+    for (size_t split = min_entries_; split <= total - min_entries_;
+         ++split) {
+      mbr_of(order, 0, split, &lo1, &hi1);
+      mbr_of(order, split, total, &lo2, &hi2);
+      const double overlap = Overlap(lo1, hi1, lo2, hi2);
+      const double area = Area(lo1, hi1) + Area(lo2, hi2);
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best_split = split;
+      }
+    }
+  }
+
+  // Materialize the two groups.
+  const size_t sibling_id = nodes_.size();
+  nodes_.emplace_back();
+  Node& node = nodes_[node_id];
+  Node& sibling = nodes_[sibling_id];
+  sibling.leaf = node.leaf;
+  sibling.level = node.level;
+  node.entries.clear();
+  for (size_t i = 0; i < best_split; ++i) {
+    node.entries.push_back(entries[order[i]]);
+  }
+  for (size_t i = best_split; i < total; ++i) {
+    sibling.entries.push_back(entries[order[i]]);
+  }
+
+  if (node_id == root_) {
+    const size_t new_root = nodes_.size();
+    nodes_.emplace_back();
+    Node& root = nodes_[new_root];
+    root.leaf = false;
+    root.level = nodes_[node_id].level + 1;
+    root.entries.push_back(MakeNodeEntry(node_id));
+    root.entries.push_back(MakeNodeEntry(sibling_id));
+    root_ = new_root;
+    height_ = root.level + 1;
+    return;
+  }
+
+  // Fix the parent: refresh the split node's entry, add the sibling.
+  COHERE_CHECK_GE(path->size(), 2u);
+  path->pop_back();
+  const size_t parent_id = path->back();
+  Node& parent = nodes_[parent_id];
+  for (Entry& e : parent.entries) {
+    if (e.child == node_id) {
+      const Entry fresh = MakeNodeEntry(node_id);
+      e.lo = fresh.lo;
+      e.hi = fresh.hi;
+      break;
+    }
+  }
+  parent.entries.push_back(MakeNodeEntry(sibling_id));
+  AdjustPathMbrs(*path);
+  if (parent.entries.size() > max_entries_) {
+    // Propagate: a split at the parent level (reinsert only applies once
+    // per level per insertion and is handled in OverflowTreatment).
+    SplitNode(parent_id, path);
+  }
+}
+
+// --- query ----------------------------------------------------------------
+
+std::vector<Neighbor> RStarTreeIndex::Query(const Vector& query, size_t k,
+                                            size_t skip_index,
+                                            QueryStats* stats) const {
+  COHERE_CHECK_EQ(query.size(), data_.cols());
+  KnnCollector collector(k);
+  if (root_ == kInvalid || k == 0) return collector.Take();
+
+  Vector scratch(data_.cols());
+  using Item = std::pair<double, size_t>;  // (mindist, node id)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  frontier.emplace(0.0, root_);
+
+  while (!frontier.empty()) {
+    const auto [bound, node_id] = frontier.top();
+    frontier.pop();
+    if (collector.Full() && bound > collector.Threshold()) break;
+    const Node& node = nodes_[node_id];
+    if (stats != nullptr) ++stats->nodes_visited;
+
+    for (const Entry& e : node.entries) {
+      if (node.leaf) {
+        if (e.row == skip_index) continue;
+        const double comparable =
+            MinComparableDistance(query, e.lo, e.hi, &scratch);
+        if (stats != nullptr) ++stats->distance_evaluations;
+        collector.Offer(e.row, comparable);
+      } else {
+        const double child_bound =
+            MinComparableDistance(query, e.lo, e.hi, &scratch);
+        if (!collector.Full() || child_bound <= collector.Threshold()) {
+          frontier.emplace(child_bound, e.child);
+        }
+      }
+    }
+  }
+
+  std::vector<Neighbor> out = collector.Take();
+  for (Neighbor& n : out) {
+    n.distance = metric_->ComparableToActual(n.distance);
+  }
+  return out;
+}
+
+// --- validation -----------------------------------------------------------
+
+size_t RStarTreeIndex::NumNodes() const { return nodes_.size(); }
+
+bool RStarTreeIndex::CheckNode(size_t node_id, size_t expected_level,
+                               std::vector<size_t>* row_counts) const {
+  const Node& node = nodes_[node_id];
+  if (node.level != expected_level) return false;
+  if (node.leaf != (node.level == 0)) return false;
+  if (node_id != root_ &&
+      (node.entries.size() < min_entries_ ||
+       node.entries.size() > max_entries_)) {
+    return false;
+  }
+  for (const Entry& e : node.entries) {
+    if (node.leaf) {
+      if (e.row >= row_counts->size()) return false;
+      ++(*row_counts)[e.row];
+      for (size_t j = 0; j < data_.cols(); ++j) {
+        if (e.lo[j] != data_.At(e.row, j) || e.hi[j] != data_.At(e.row, j)) {
+          return false;
+        }
+      }
+    } else {
+      // Entry MBR must equal the child's true MBR.
+      const Entry fresh = MakeNodeEntry(e.child);
+      for (size_t j = 0; j < data_.cols(); ++j) {
+        if (e.lo[j] != fresh.lo[j] || e.hi[j] != fresh.hi[j]) return false;
+      }
+      if (!CheckNode(e.child, expected_level - 1, row_counts)) return false;
+    }
+  }
+  return true;
+}
+
+bool RStarTreeIndex::CheckInvariants() const {
+  if (data_.rows() == 0) return root_ == kInvalid;
+  std::vector<size_t> row_counts(data_.rows(), 0);
+  if (!CheckNode(root_, nodes_[root_].level, &row_counts)) return false;
+  if (nodes_[root_].level + 1 != height_) return false;
+  for (size_t count : row_counts) {
+    if (count != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace cohere

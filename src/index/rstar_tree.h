@@ -1,0 +1,102 @@
+#ifndef COHERE_INDEX_RSTAR_TREE_H_
+#define COHERE_INDEX_RSTAR_TREE_H_
+
+#include <vector>
+
+#include "index/knn.h"
+
+namespace cohere {
+
+/// R*-tree (Beckmann et al., SIGMOD 1990) — the classic dynamic spatial
+/// index family the paper's introduction motivates from (Guttman's R-tree
+/// and its descendants), with the R* improvements: ChooseSubtree by minimum
+/// overlap enlargement at the leaf level, the margin-driven split with the
+/// minimum-overlap distribution, and forced reinsertion on first overflow
+/// per level.
+///
+/// k-NN queries run best-first on MBR minimum distances. Like every
+/// partition index, its pruning collapses in high dimensionality (MBRs
+/// overlap everywhere), which bench_index_pruning demonstrates alongside
+/// the kd-tree and VA-file.
+class RStarTreeIndex final : public KnnIndex {
+ public:
+  /// Builds by inserting the rows of `data` (copied) one at a time.
+  /// `metric` must outlive the index and be a true metric with monotone
+  /// per-dimension contributions (L1/L2/Linf). `max_entries` is the node
+  /// capacity M (>= 4); the minimum fill m is 40% of M.
+  RStarTreeIndex(Matrix data, const Metric* metric, size_t max_entries = 16);
+
+  std::vector<Neighbor> Query(const Vector& query, size_t k,
+                              size_t skip_index,
+                              QueryStats* stats) const override;
+  using KnnIndex::Query;
+
+  size_t size() const override { return data_.rows(); }
+  size_t dims() const override { return data_.cols(); }
+  std::string name() const override { return "rstar_tree"; }
+
+  /// Number of allocated tree nodes (structure probes in tests).
+  size_t NumNodes() const;
+  /// Tree height (1 for a single leaf).
+  size_t Height() const { return height_; }
+
+  /// Validates the tree invariants (entry counts, MBR containment, every
+  /// row present exactly once); used by the test suite.
+  bool CheckInvariants() const;
+
+ private:
+  struct Entry {
+    Vector lo;            // MBR lower corner
+    Vector hi;            // MBR upper corner
+    size_t child = kInvalid;  // node id for internal entries
+    size_t row = kInvalid;    // data row for leaf entries
+  };
+  struct Node {
+    bool leaf = true;
+    size_t level = 0;  // 0 = leaf level
+    std::vector<Entry> entries;
+  };
+  static constexpr size_t kInvalid = static_cast<size_t>(-1);
+
+  // --- geometry helpers ---
+  static double Area(const Vector& lo, const Vector& hi);
+  static double Margin(const Vector& lo, const Vector& hi);
+  static double Overlap(const Vector& alo, const Vector& ahi,
+                        const Vector& blo, const Vector& bhi);
+  static void Extend(Vector* lo, Vector* hi, const Entry& e);
+  static double EnlargedArea(const Vector& lo, const Vector& hi,
+                             const Entry& e);
+  double MinComparableDistance(const Vector& query, const Vector& lo,
+                               const Vector& hi, Vector* scratch) const;
+
+  Entry MakeLeafEntry(size_t row) const;
+  Entry MakeNodeEntry(size_t node_id) const;
+
+  // --- insertion machinery ---
+  void Insert(size_t row);
+  void InsertEntry(const Entry& entry, size_t target_level,
+                   std::vector<bool>* reinserted_at_level);
+  size_t ChooseSubtree(const Entry& entry, size_t target_level,
+                       std::vector<size_t>* path) const;
+  /// Handles an overflowing node: forced reinsert on first overflow at this
+  /// level during one insertion, split otherwise. Propagates up the path.
+  void OverflowTreatment(size_t node_id, std::vector<size_t>* path,
+                         std::vector<bool>* reinserted_at_level);
+  void SplitNode(size_t node_id, std::vector<size_t>* path);
+  void AdjustPathMbrs(const std::vector<size_t>& path);
+
+  bool CheckNode(size_t node_id, size_t expected_level,
+                 std::vector<size_t>* row_counts) const;
+
+  Matrix data_;
+  const Metric* metric_;
+  size_t max_entries_;
+  size_t min_entries_;
+  std::vector<Node> nodes_;
+  size_t root_ = kInvalid;
+  size_t height_ = 1;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_INDEX_RSTAR_TREE_H_

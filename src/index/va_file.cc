@@ -1,0 +1,143 @@
+#include "index/va_file.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace cohere {
+
+VaFileIndex::VaFileIndex(Matrix data, const Metric* metric,
+                         size_t bits_per_dim)
+    : data_(std::move(data)), metric_(metric) {
+  COHERE_CHECK(metric_ != nullptr);
+  const MetricKind kind = metric_->kind();
+  COHERE_CHECK_MSG(kind == MetricKind::kEuclidean ||
+                       kind == MetricKind::kManhattan ||
+                       kind == MetricKind::kChebyshev,
+                   "VA-file needs a per-dimension decomposable metric");
+  COHERE_CHECK(bits_per_dim >= 1 && bits_per_dim <= 8);
+  cells_ = size_t{1} << bits_per_dim;
+
+  const size_t n = data_.rows();
+  const size_t d = data_.cols();
+  boundaries_.resize(d);
+  codes_.assign(n * d, 0);
+
+  std::vector<double> column(n);
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t i = 0; i < n; ++i) column[i] = data_.At(i, j);
+    std::sort(column.begin(), column.end());
+
+    // Equi-frequency boundaries: cell c covers ranks [c*n/cells,
+    // (c+1)*n/cells). Duplicated boundaries (constant stretches) are legal —
+    // such cells are simply empty.
+    std::vector<double>& b = boundaries_[j];
+    b.resize(cells_ + 1);
+    b[0] = column.empty() ? 0.0 : column.front();
+    for (size_t c = 1; c < cells_; ++c) {
+      const size_t rank = c * n / cells_;
+      b[c] = column.empty() ? 0.0 : column[std::min(rank, n - 1)];
+    }
+    // Nudge the top boundary so max values land inside the last cell.
+    const double top = column.empty() ? 1.0 : column.back();
+    b[cells_] = top + (std::fabs(top) + 1.0) * 1e-12;
+
+    for (size_t i = 0; i < n; ++i) {
+      const double v = data_.At(i, j);
+      // Last boundary strictly above all values => upper_bound in [1, cells].
+      const size_t cell =
+          static_cast<size_t>(std::upper_bound(b.begin() + 1, b.end(), v) -
+                              (b.begin() + 1));
+      codes_[i * d + j] = static_cast<uint8_t>(std::min(cell, cells_ - 1));
+    }
+  }
+}
+
+std::vector<Neighbor> VaFileIndex::Query(const Vector& query, size_t k,
+                                         size_t skip_index,
+                                         QueryStats* stats) const {
+  const size_t n = data_.rows();
+  const size_t d = data_.cols();
+  COHERE_CHECK_EQ(query.size(), d);
+  if (k == 0 || n == 0) return {};
+
+  const MetricKind kind = metric_->kind();
+
+  // Phase 1: scan the approximations computing lower/upper bounds in the
+  // metric's comparable form.
+  std::vector<std::pair<double, size_t>> candidates;  // (lower bound, index)
+  candidates.reserve(n);
+  KnnCollector upper_bounds(k);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (i == skip_index) continue;
+    if (stats != nullptr) ++stats->nodes_visited;
+    const uint8_t* code = &codes_[i * d];
+    double lb = 0.0;
+    double ub = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double lo = CellLo(j, code[j]);
+      const double hi = CellHi(j, code[j]);
+      const double q = query[j];
+      double lb_j = 0.0;
+      if (q < lo) {
+        lb_j = lo - q;
+      } else if (q > hi) {
+        lb_j = q - hi;
+      }
+      const double ub_j = std::max(std::fabs(q - lo), std::fabs(q - hi));
+      switch (kind) {
+        case MetricKind::kEuclidean:
+          lb += lb_j * lb_j;
+          ub += ub_j * ub_j;
+          break;
+        case MetricKind::kManhattan:
+          lb += lb_j;
+          ub += ub_j;
+          break;
+        case MetricKind::kChebyshev:
+          lb = std::max(lb, lb_j);
+          ub = std::max(ub, ub_j);
+          break;
+        default:
+          COHERE_CHECK_MSG(false, "unreachable metric kind");
+      }
+    }
+    upper_bounds.Offer(i, ub);
+    candidates.emplace_back(lb, i);
+  }
+
+  // Points whose lower bound exceeds the k-th smallest upper bound can never
+  // make the answer set.
+  const double ub_threshold = upper_bounds.Threshold();
+  std::erase_if(candidates, [ub_threshold](const auto& c) {
+    return c.first > ub_threshold;
+  });
+  std::sort(candidates.begin(), candidates.end());
+
+  // Phase 2: refine candidates in ascending lower-bound order; stop as soon
+  // as the next lower bound exceeds the current exact k-th best.
+  KnnCollector collector(k);
+  Vector row(d);
+  for (const auto& [lb, i] : candidates) {
+    if (collector.Full() && lb > collector.Threshold()) break;
+    const double* src = data_.RowPtr(i);
+    std::copy(src, src + d, row.data());
+    const double comparable = metric_->ComparableDistance(query, row);
+    if (stats != nullptr) {
+      ++stats->distance_evaluations;
+      ++stats->candidates_refined;
+    }
+    collector.Offer(i, comparable);
+  }
+
+  std::vector<Neighbor> out = collector.Take();
+  for (Neighbor& nb : out) {
+    nb.distance = metric_->ComparableToActual(nb.distance);
+  }
+  return out;
+}
+
+}  // namespace cohere

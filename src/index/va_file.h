@@ -1,0 +1,57 @@
+#ifndef COHERE_INDEX_VA_FILE_H_
+#define COHERE_INDEX_VA_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/knn.h"
+
+namespace cohere {
+
+/// Vector-approximation file (Weber, Schek & Blott, VLDB 1998).
+///
+/// The classical high-dimensional baseline the paper cites [21]: each
+/// dimension is quantized into 2^bits cells with equi-frequency boundaries;
+/// a query first scans the compact approximations, computing a lower and an
+/// upper distance bound per point, then refines only the candidates whose
+/// lower bound beats the k-th smallest upper bound. Supports the
+/// per-dimension-decomposable metrics (L1, L2, L-infinity).
+class VaFileIndex final : public KnnIndex {
+ public:
+  /// Indexes the rows of `data` (copied). `metric` must outlive the index
+  /// and be one of kEuclidean, kManhattan, kChebyshev. `bits_per_dim` must
+  /// be in [1, 8].
+  VaFileIndex(Matrix data, const Metric* metric, size_t bits_per_dim = 5);
+
+  std::vector<Neighbor> Query(const Vector& query, size_t k,
+                              size_t skip_index,
+                              QueryStats* stats) const override;
+  using KnnIndex::Query;
+
+  size_t size() const override { return data_.rows(); }
+  size_t dims() const override { return data_.cols(); }
+  std::string name() const override { return "va_file"; }
+
+  /// Size in bytes of the approximation table (what would be scanned from
+  /// disk in the original system).
+  size_t ApproximationBytes() const { return codes_.size(); }
+
+ private:
+  /// Cell boundaries for dimension j: boundaries_[j] has cells+1 entries.
+  double CellLo(size_t dim, uint8_t cell) const {
+    return boundaries_[dim][cell];
+  }
+  double CellHi(size_t dim, uint8_t cell) const {
+    return boundaries_[dim][cell + 1];
+  }
+
+  Matrix data_;
+  const Metric* metric_;
+  size_t cells_;  // 2^bits_per_dim
+  std::vector<std::vector<double>> boundaries_;
+  std::vector<uint8_t> codes_;  // row-major n x d cell codes
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_INDEX_VA_FILE_H_

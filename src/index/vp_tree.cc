@@ -1,0 +1,143 @@
+#include "index/vp_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cohere {
+
+VpTreeIndex::VpTreeIndex(Matrix data, const Metric* metric, size_t leaf_size)
+    : data_(std::move(data)), metric_(metric), leaf_size_(leaf_size) {
+  COHERE_CHECK(metric_ != nullptr);
+  COHERE_CHECK_MSG(metric_->IsTrueMetric(),
+                   "vp-tree pruning requires a true metric");
+  COHERE_CHECK_GE(leaf_size_, 1u);
+  order_.resize(data_.rows());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (!order_.empty()) BuildNode(0, order_.size());
+}
+
+double VpTreeIndex::RowDistance(const Vector& query, size_t row) const {
+  double sum = 0.0;
+  // Materialize the row once; Metric works on Vectors.
+  Vector point(data_.cols());
+  const double* src = data_.RowPtr(row);
+  std::copy(src, src + data_.cols(), point.data());
+  sum = metric_->Distance(query, point);
+  return sum;
+}
+
+size_t VpTreeIndex::BuildNode(size_t begin, size_t end) {
+  const size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+
+  if (end - begin <= leaf_size_) {
+    Node& leaf = nodes_[node_index];
+    leaf.begin = begin;
+    leaf.end = end;
+    return node_index;
+  }
+
+  // Vantage point: the first point of the range (the permutation left by
+  // previous splits makes this effectively arbitrary).
+  const size_t vantage = order_[begin];
+  const Vector vantage_point = data_.Row(vantage);
+
+  // Distances of the remaining points to the vantage point.
+  const size_t rest_begin = begin + 1;
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(end - rest_begin);
+  for (size_t i = rest_begin; i < end; ++i) {
+    scored.emplace_back(RowDistance(vantage_point, order_[i]), order_[i]);
+  }
+  const size_t mid = scored.size() / 2;
+  std::nth_element(scored.begin(),
+                   scored.begin() + static_cast<ptrdiff_t>(mid),
+                   scored.end());
+  const double radius = scored[mid].first;
+
+  // Rewrite the range: [inside half][outside half].
+  size_t write = rest_begin;
+  for (const auto& [dist, row] : scored) {
+    if (dist <= radius) order_[write++] = row;
+  }
+  const size_t inside_end = write;
+  for (const auto& [dist, row] : scored) {
+    if (dist > radius) order_[write++] = row;
+  }
+  COHERE_CHECK_EQ(write, end);
+
+  size_t inside = kInvalid;
+  size_t outside = kInvalid;
+  if (inside_end > rest_begin) inside = BuildNode(rest_begin, inside_end);
+  if (end > inside_end) outside = BuildNode(inside_end, end);
+
+  Node& node = nodes_[node_index];
+  node.vantage = vantage;
+  node.radius = radius;
+  node.inside = inside;
+  node.outside = outside;
+  // A node with a vantage but no children still must not look like a leaf;
+  // mark the vantage-only payload through the begin/end range.
+  node.begin = begin;
+  node.end = begin + 1;
+  return node_index;
+}
+
+void VpTreeIndex::Search(size_t node_index, const Vector& query, size_t k,
+                         size_t skip_index, KnnCollector* collector,
+                         QueryStats* stats) const {
+  const Node& node = nodes_[node_index];
+  if (stats != nullptr) ++stats->nodes_visited;
+
+  if (node.IsLeaf()) {
+    for (size_t i = node.begin; i < node.end; ++i) {
+      const size_t row = order_[i];
+      if (row == skip_index) continue;
+      const double dist = RowDistance(query, row);
+      if (stats != nullptr) ++stats->distance_evaluations;
+      collector->Offer(row, dist);
+    }
+    return;
+  }
+
+  const double dist_to_vantage = RowDistance(query, node.vantage);
+  if (stats != nullptr) ++stats->distance_evaluations;
+  if (node.vantage != skip_index) {
+    collector->Offer(node.vantage, dist_to_vantage);
+  }
+
+  // Visit the half the query falls in first, then the other half only if
+  // the shell |dist - radius| could still contain a closer point.
+  const bool inside_first = dist_to_vantage <= node.radius;
+  const size_t first = inside_first ? node.inside : node.outside;
+  const size_t second = inside_first ? node.outside : node.inside;
+
+  if (first != kInvalid) {
+    Search(first, query, k, skip_index, collector, stats);
+  }
+  if (second != kInvalid) {
+    const double shell_gap = inside_first ? dist_to_vantage - node.radius
+                                          : node.radius - dist_to_vantage;
+    // shell_gap is negative here; the distance from the query to the other
+    // region is |dist_to_vantage - radius|.
+    const double boundary = std::fabs(shell_gap);
+    if (!collector->Full() || boundary <= collector->Threshold()) {
+      Search(second, query, k, skip_index, collector, stats);
+    }
+  }
+}
+
+std::vector<Neighbor> VpTreeIndex::Query(const Vector& query, size_t k,
+                                         size_t skip_index,
+                                         QueryStats* stats) const {
+  COHERE_CHECK_EQ(query.size(), data_.cols());
+  KnnCollector collector(k);
+  if (!nodes_.empty() && k > 0) {
+    Search(0, query, k, skip_index, &collector, stats);
+  }
+  return collector.Take();
+}
+
+}  // namespace cohere

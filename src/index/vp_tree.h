@@ -1,0 +1,68 @@
+#ifndef COHERE_INDEX_VP_TREE_H_
+#define COHERE_INDEX_VP_TREE_H_
+
+#include <vector>
+
+#include "index/knn.h"
+
+namespace cohere {
+
+/// Vantage-point tree: a metric index that needs only the triangle
+/// inequality, no coordinate geometry.
+///
+/// Each node stores a vantage point and the median distance of its subtree's
+/// points to it; the subtree splits into inside (closer than the median) and
+/// outside halves. A query descends both halves but prunes whichever the
+/// triangle inequality proves cannot contain a closer point than the current
+/// k-th best. Complements the kd-tree: works for any true Metric (including
+/// L1/L-infinity without per-dimension bounds) but, like every metric tree,
+/// loses its pruning power as the distance contrast collapses in high
+/// dimensionality.
+class VpTreeIndex final : public KnnIndex {
+ public:
+  /// Indexes the rows of `data` (copied). `metric` must outlive the index
+  /// and satisfy the triangle inequality.
+  VpTreeIndex(Matrix data, const Metric* metric, size_t leaf_size = 8);
+
+  std::vector<Neighbor> Query(const Vector& query, size_t k,
+                              size_t skip_index,
+                              QueryStats* stats) const override;
+  using KnnIndex::Query;
+
+  size_t size() const override { return data_.rows(); }
+  size_t dims() const override { return data_.cols(); }
+  std::string name() const override { return "vp_tree"; }
+
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    size_t vantage = 0;        // row index of the vantage point
+    double radius = 0.0;       // median distance of the subtree to vantage
+    size_t inside = kInvalid;  // child with distance <= radius
+    size_t outside = kInvalid; // child with distance > radius
+    // Leaf payload: range into order_.
+    size_t begin = 0;
+    size_t end = 0;
+
+    bool IsLeaf() const { return inside == kInvalid && outside == kInvalid; }
+  };
+  static constexpr size_t kInvalid = static_cast<size_t>(-1);
+
+  size_t BuildNode(size_t begin, size_t end);
+  void Search(size_t node_index, const Vector& query, size_t k,
+              size_t skip_index, KnnCollector* collector,
+              QueryStats* stats) const;
+
+  double RowDistance(const Vector& query, size_t row) const;
+
+  Matrix data_;
+  const Metric* metric_;
+  size_t leaf_size_;
+  std::vector<size_t> order_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_INDEX_VP_TREE_H_

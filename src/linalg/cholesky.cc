@@ -1,0 +1,59 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace cohere {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a.At(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l.At(j, k) * l.At(j, k);
+    if (diag <= 0.0) {
+      return Status::NumericalError(
+          "matrix is not positive definite (non-positive pivot)");
+    }
+    const double ljj = std::sqrt(diag);
+    l.At(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      l.At(i, j) = sum * inv;
+    }
+  }
+  return l;
+}
+
+Vector CholeskySolve(const Matrix& l, const Vector& b) {
+  const size_t n = l.rows();
+  COHERE_CHECK_EQ(l.cols(), n);
+  COHERE_CHECK_EQ(b.size(), n);
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+    y[i] = sum / l.At(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l.At(k, i) * x[k];
+    x[i] = sum / l.At(i, i);
+  }
+  return x;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  Result<Matrix> l = CholeskyFactor(a);
+  if (!l.ok()) return l.status();
+  return CholeskySolve(*l, b);
+}
+
+}  // namespace cohere

@@ -1,0 +1,26 @@
+#ifndef COHERE_LINALG_CHOLESKY_H_
+#define COHERE_LINALG_CHOLESKY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Computes the lower-triangular Cholesky factor L with A = L L^T.
+///
+/// Returns NumericalError if `a` is not (numerically) positive definite and
+/// InvalidArgument if it is not square. The strict upper triangle of the
+/// result is zero.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b given the lower Cholesky factor `l` of A by forward and
+/// back substitution.
+Vector CholeskySolve(const Matrix& l, const Vector& b);
+
+/// Solves A x = b for symmetric positive definite A (factor + solve).
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+}  // namespace cohere
+
+#endif  // COHERE_LINALG_CHOLESKY_H_

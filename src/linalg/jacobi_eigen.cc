@@ -1,0 +1,99 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace cohere {
+
+Result<EigenDecomposition> JacobiEigen(const Matrix& a, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("eigendecomposition requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
+    return Status::InvalidArgument("matrix is not symmetric");
+  }
+  const size_t n = a.rows();
+  if (n == 0) return EigenDecomposition{Vector(), Matrix()};
+
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&m, n]() {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) sum += m.At(i, j) * m.At(i, j);
+    }
+    return std::sqrt(2.0 * sum);
+  };
+
+  const double tol = 1e-14 * std::max(1.0, m.FrobeniusNorm());
+  bool converged = off_diagonal_norm() <= tol;
+
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m.At(p, q);
+        if (std::fabs(apq) <= tol / static_cast<double>(n)) continue;
+        const double app = m.At(p, p);
+        const double aqq = m.At(q, q);
+        // Stable rotation angle computation (Golub & Van Loan, sec. 8.4).
+        const double theta = (aqq - app) / (2.0 * apq);
+        double t;
+        if (theta >= 0.0) {
+          t = 1.0 / (theta + std::sqrt(1.0 + theta * theta));
+        } else {
+          t = -1.0 / (-theta + std::sqrt(1.0 + theta * theta));
+        }
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // Apply the rotation to rows/columns p and q of M.
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m.At(k, p);
+          const double mkq = m.At(k, q);
+          m.At(k, p) = c * mkp - s * mkq;
+          m.At(k, q) = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m.At(p, k);
+          const double mqk = m.At(q, k);
+          m.At(p, k) = c * mpk - s * mqk;
+          m.At(q, k) = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = off_diagonal_norm() <= tol;
+  }
+
+  if (!converged) {
+    return Status::NumericalError("Jacobi eigensolver did not converge");
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&m](size_t x, size_t y) {
+    return m.At(x, x) > m.At(y, y);
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.Resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = m.At(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      out.eigenvectors.At(i, j) = v.At(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cohere

@@ -1,0 +1,21 @@
+#ifndef COHERE_LINALG_JACOBI_EIGEN_H_
+#define COHERE_LINALG_JACOBI_EIGEN_H_
+
+#include "common/status.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace cohere {
+
+/// Computes the eigendecomposition of symmetric `a` with the cyclic Jacobi
+/// rotation method.
+///
+/// Slower than SymmetricEigen (O(d^3) per sweep, several sweeps) but
+/// delivers small-componentwise-error eigenvectors and serves as the
+/// cross-check reference implementation in the test suite and the
+/// eigensolver ablation bench. Eigenpairs are returned sorted by descending
+/// eigenvalue, matching SymmetricEigen.
+Result<EigenDecomposition> JacobiEigen(const Matrix& a, int max_sweeps = 64);
+
+}  // namespace cohere
+
+#endif  // COHERE_LINALG_JACOBI_EIGEN_H_

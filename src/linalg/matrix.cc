@@ -1,0 +1,323 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cohere {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  for (const auto& row : rows) {
+    if (cols_ == 0) cols_ = row.size();
+    COHERE_CHECK_MSG(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out.At(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix out(diag.size(), diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) out.At(i, i) = diag[i];
+  return out;
+}
+
+Vector Matrix::Row(size_t i) const {
+  COHERE_CHECK_LT(i, rows_);
+  Vector out(cols_);
+  const double* src = RowPtr(i);
+  std::copy(src, src + cols_, out.data());
+  return out;
+}
+
+Vector Matrix::Col(size_t j) const {
+  COHERE_CHECK_LT(j, cols_);
+  Vector out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = At(i, j);
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const Vector& row) {
+  COHERE_CHECK_LT(i, rows_);
+  COHERE_CHECK_EQ(row.size(), cols_);
+  std::copy(row.data(), row.data() + cols_, RowPtr(i));
+}
+
+void Matrix::SetCol(size_t j, const Vector& col) {
+  COHERE_CHECK_LT(j, cols_);
+  COHERE_CHECK_EQ(col.size(), rows_);
+  for (size_t i = 0; i < rows_; ++i) At(i, j) = col[i];
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) out.At(j, i) = src[j];
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  COHERE_CHECK_EQ(rows_, other.rows_);
+  COHERE_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  COHERE_CHECK_EQ(rows_, other.rows_);
+  COHERE_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Matrix::Trace() const {
+  COHERE_CHECK_EQ(rows_, cols_);
+  double sum = 0.0;
+  for (size_t i = 0; i < rows_; ++i) sum += At(i, i);
+  return sum;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t r = 0; r < row_indices.size(); ++r) {
+    COHERE_CHECK_LT(row_indices[r], rows_);
+    const double* src = RowPtr(row_indices[r]);
+    std::copy(src, src + cols_, out.RowPtr(r));
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& col_indices) const {
+  Matrix out(rows_, col_indices.size());
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    double* dst = out.RowPtr(i);
+    for (size_t c = 0; c < col_indices.size(); ++c) {
+      COHERE_CHECK_LT(col_indices[c], cols_);
+      dst[c] = src[col_indices[c]];
+    }
+  }
+  return out;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = i + 1; j < cols_; ++j) {
+      if (std::fabs(At(i, j) - At(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
+  std::string out;
+  char buf[64];
+  size_t show_rows = std::min(max_rows, rows_);
+  size_t show_cols = std::min(max_cols, cols_);
+  for (size_t i = 0; i < show_rows; ++i) {
+    out += "[";
+    for (size_t j = 0; j < show_cols; ++j) {
+      std::snprintf(buf, sizeof(buf), "%10.4g", At(i, j));
+      if (j > 0) out += " ";
+      out += buf;
+    }
+    if (show_cols < cols_) out += " ...";
+    out += "]\n";
+  }
+  if (show_rows < rows_) out += "...\n";
+  return out;
+}
+
+namespace {
+
+// Block edge for the cache-blocked GEMM kernels. 64 doubles = one 512-byte
+// panel row; small enough that three blocks fit in L1 at typical sizes here.
+constexpr size_t kGemmBlock = 64;
+
+}  // namespace
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  COHERE_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  Matrix c(m, n);
+  for (size_t ii = 0; ii < m; ii += kGemmBlock) {
+    const size_t i_end = std::min(ii + kGemmBlock, m);
+    for (size_t kk = 0; kk < k; kk += kGemmBlock) {
+      const size_t k_end = std::min(kk + kGemmBlock, k);
+      for (size_t i = ii; i < i_end; ++i) {
+        const double* a_row = a.RowPtr(i);
+        double* c_row = c.RowPtr(i);
+        for (size_t p = kk; p < k_end; ++p) {
+          const double a_ip = a_row[p];
+          if (a_ip == 0.0) continue;
+          const double* b_row = b.RowPtr(p);
+          for (size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b) {
+  COHERE_CHECK_EQ(a.rows(), b.rows());
+  const size_t m = a.cols();
+  const size_t k = a.rows();
+  const size_t n = b.cols();
+  Matrix c(m, n);
+  // Accumulate rank-1 updates row by row of a and b; sequential access on
+  // both inputs.
+  for (size_t p = 0; p < k; ++p) {
+    const double* a_row = a.RowPtr(p);
+    const double* b_row = b.RowPtr(p);
+    for (size_t i = 0; i < m; ++i) {
+      const double a_pi = a_row[i];
+      if (a_pi == 0.0) continue;
+      double* c_row = c.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposeB(const Matrix& a, const Matrix& b) {
+  COHERE_CHECK_EQ(a.cols(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  Matrix c(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const double* a_row = a.RowPtr(i);
+    double* c_row = c.RowPtr(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* b_row = b.RowPtr(j);
+      double sum = 0.0;
+      for (size_t p = 0; p < k; ++p) sum += a_row[p] * b_row[p];
+      c_row[j] = sum;
+    }
+  }
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  COHERE_CHECK_EQ(a.cols(), x.size());
+  Vector y(a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector MatTransposeVec(const Matrix& a, const Vector& x) {
+  COHERE_CHECK_EQ(a.rows(), x.size());
+  Vector y(a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix OuterProduct(const Vector& a, const Vector& b) {
+  Matrix out(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    double* row = out.RowPtr(i);
+    const double ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) row[j] = ai * b[j];
+  }
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix operator*(const Matrix& m, double scalar) {
+  Matrix out = m;
+  out *= scalar;
+  return out;
+}
+
+Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      if (a.At(i, j) != b.At(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+bool AllFinite(const Matrix& m) {
+  const double* data = m.data();
+  const size_t total = m.rows() * m.cols();
+  for (size_t i = 0; i < total; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+bool AllFinite(const Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      if (std::fabs(a.At(i, j) - b.At(i, j)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cohere

@@ -1,0 +1,143 @@
+#ifndef COHERE_LINALG_MATRIX_H_
+#define COHERE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Dense double-precision matrix in row-major order.
+///
+/// The storage layout is row-major because the dominant access pattern in
+/// this library is per-record (per-row) iteration over data sets. Kernels
+/// that would suffer from the layout (GEMM) are blocked accordingly.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Creates a zero matrix of shape `rows` x `cols`.
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+  /// Creates a constant matrix of shape `rows` x `cols`.
+  Matrix(size_t rows, size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Creates a matrix from nested initializer lists; all rows must have the
+  /// same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Identity matrix of order `n`.
+  static Matrix Identity(size_t n);
+  /// Diagonal matrix with the components of `diag` on the diagonal.
+  static Matrix Diagonal(const Vector& diag);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) {
+    COHERE_CHECK_LT(i, rows_);
+    COHERE_CHECK_LT(j, cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    COHERE_CHECK_LT(i, rows_);
+    COHERE_CHECK_LT(j, cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Unchecked access for inner loops of numerical kernels.
+  double& At(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double At(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  /// Pointer to the start of row `i`.
+  double* RowPtr(size_t i) { return data_.data() + i * cols_; }
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+
+  /// Copies row `i` into a Vector.
+  Vector Row(size_t i) const;
+  /// Copies column `j` into a Vector.
+  Vector Col(size_t j) const;
+  /// Overwrites row `i` (sizes must agree).
+  void SetRow(size_t i, const Vector& row);
+  /// Overwrites column `j` (sizes must agree).
+  void SetCol(size_t j, const Vector& col);
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// Returns the transpose as a new matrix.
+  Matrix Transposed() const;
+
+  /// In-place arithmetic; shapes must agree.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Frobenius norm: sqrt(sum of squared entries).
+  double FrobeniusNorm() const;
+  /// Maximum absolute entry.
+  double MaxAbs() const;
+  /// Sum of the diagonal entries (square matrices only).
+  double Trace() const;
+
+  /// Returns the sub-matrix of the given rows (copied in order).
+  Matrix SelectRows(const std::vector<size_t>& row_indices) const;
+  /// Returns the sub-matrix of the given columns (copied in order).
+  Matrix SelectCols(const std::vector<size_t>& col_indices) const;
+
+  /// True when the matrix equals its transpose up to `tol`.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  /// Human-readable rendering capped at `max_rows` x `max_cols`.
+  std::string ToString(size_t max_rows = 8, size_t max_cols = 8) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// C = A * B (blocked; shapes must agree).
+Matrix Multiply(const Matrix& a, const Matrix& b);
+/// C = A^T * B without forming A^T.
+Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b);
+/// C = A * B^T without forming B^T.
+Matrix MultiplyTransposeB(const Matrix& a, const Matrix& b);
+
+/// y = A * x.
+Vector MatVec(const Matrix& a, const Vector& x);
+/// y = A^T * x without forming A^T.
+Vector MatTransposeVec(const Matrix& a, const Vector& x);
+
+/// Rank-one product a * b^T.
+Matrix OuterProduct(const Vector& a, const Vector& b);
+
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix operator*(const Matrix& m, double scalar);
+Matrix operator*(double scalar, const Matrix& m);
+
+bool operator==(const Matrix& a, const Matrix& b);
+
+/// True when shapes agree and |a(i,j) - b(i,j)| <= tol everywhere.
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol);
+
+/// True when every entry is finite (no NaN/Inf). Numerical pipelines check
+/// this up front: a single NaN silently poisons a covariance matrix.
+bool AllFinite(const Matrix& m);
+bool AllFinite(const Vector& v);
+
+}  // namespace cohere
+
+#endif  // COHERE_LINALG_MATRIX_H_

@@ -1,0 +1,84 @@
+#include "linalg/power_iteration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "linalg/qr.h"
+
+namespace cohere {
+
+Result<EigenDecomposition> TopKEigen(const Matrix& a,
+                                     const TopKEigenOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("eigendecomposition requires a square matrix");
+  }
+  const size_t d = a.rows();
+  const size_t k = options.k;
+  if (k == 0 || k > d) {
+    return Status::InvalidArgument("k must be in [1, dims]");
+  }
+  if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
+    return Status::InvalidArgument("matrix is not symmetric");
+  }
+
+  // Random orthonormal start.
+  std::mt19937_64 engine(options.seed);
+  std::normal_distribution<double> gaussian(0.0, 1.0);
+  Matrix q(d, k);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < k; ++j) q.At(i, j) = gaussian(engine);
+  }
+  {
+    Result<QrDecomposition> qr = HouseholderQr(q);
+    if (!qr.ok()) return qr.status();
+    q = std::move(qr->q);
+  }
+
+  // Subspace iteration with Rayleigh-Ritz projection: each sweep multiplies
+  // the basis by A, re-orthonormalizes, and extracts Ritz values from the
+  // k x k projected matrix T = Q^T A Q. Ritz values converge even when
+  // individual eigenvectors rotate inside near-degenerate clusters, making
+  // the eigenvalue-based stopping rule robust.
+  Vector ritz(k);
+  Vector previous(k, std::numeric_limits<double>::infinity());
+  Matrix rotation;
+  bool converged = false;
+
+  for (int iter = 0; iter < options.max_iterations && !converged; ++iter) {
+    Matrix aq = Multiply(a, q);
+    Matrix t = MultiplyTransposeA(q, aq);
+    Result<EigenDecomposition> small = SymmetricEigen(t);
+    if (!small.ok()) return small.status();
+    ritz = small->eigenvalues;
+    rotation = std::move(small->eigenvectors);
+
+    const double scale = std::max(1.0, std::fabs(ritz[0]));
+    converged = true;
+    for (size_t j = 0; j < k; ++j) {
+      if (std::fabs(ritz[j] - previous[j]) > options.tolerance * scale) {
+        converged = false;
+      }
+    }
+    previous = ritz;
+    if (converged) break;
+
+    Result<QrDecomposition> qr = HouseholderQr(aq);
+    if (!qr.ok()) return qr.status();
+    q = std::move(qr->q);
+  }
+
+  if (!converged) {
+    return Status::NumericalError(
+        "subspace iteration did not converge (near-degenerate spectrum?)");
+  }
+
+  // Ritz vectors: rotate the settled basis by the small-problem
+  // eigenvectors; SymmetricEigen already sorts descending.
+  EigenDecomposition out;
+  out.eigenvalues = ritz;
+  out.eigenvectors = Multiply(q, rotation);
+  return out;
+}
+
+}  // namespace cohere

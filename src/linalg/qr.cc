@@ -1,0 +1,123 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+namespace cohere {
+namespace {
+
+// Householder vectors are stored below the diagonal of `w` and in `betas`;
+// `r_diag` carries the diagonal of R.
+struct HouseholderFactors {
+  Matrix w;
+  std::vector<double> betas;
+  std::vector<double> r_diag;
+};
+
+Result<HouseholderFactors> Factorize(const Matrix& a) {
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument("QR requires rows() >= cols()");
+  }
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  HouseholderFactors f{a, std::vector<double>(n, 0.0),
+                       std::vector<double>(n, 0.0)};
+  Matrix& w = f.w;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += w.At(i, k) * w.At(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      f.betas[k] = 0.0;
+      f.r_diag[k] = 0.0;
+      continue;
+    }
+    double alpha = w.At(k, k) >= 0.0 ? -norm : norm;
+    f.r_diag[k] = alpha;
+    const double vk = w.At(k, k) - alpha;
+    w.At(k, k) = vk;
+    // beta = 2 / (v^T v) with v the stored column tail.
+    double vtv = 0.0;
+    for (size_t i = k; i < m; ++i) vtv += w.At(i, k) * w.At(i, k);
+    f.betas[k] = vtv == 0.0 ? 0.0 : 2.0 / vtv;
+
+    // Apply the reflector to the remaining columns.
+    for (size_t j = k + 1; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += w.At(i, k) * w.At(i, j);
+      const double scale = f.betas[k] * dot;
+      for (size_t i = k; i < m; ++i) w.At(i, j) -= scale * w.At(i, k);
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+Result<QrDecomposition> HouseholderQr(const Matrix& a) {
+  Result<HouseholderFactors> fr = Factorize(a);
+  if (!fr.ok()) return fr.status();
+  const HouseholderFactors& f = *fr;
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+
+  QrDecomposition out;
+  out.r = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    out.r.At(i, i) = f.r_diag[i];
+    for (size_t j = i + 1; j < n; ++j) out.r.At(i, j) = f.w.At(i, j);
+  }
+
+  // Form thin Q by applying the reflectors to the first n identity columns,
+  // in reverse order.
+  out.q = Matrix(m, n);
+  for (size_t j = 0; j < n; ++j) out.q.At(j, j) = 1.0;
+  for (size_t k = n; k-- > 0;) {
+    if (f.betas[k] == 0.0) continue;
+    for (size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += f.w.At(i, k) * out.q.At(i, j);
+      const double scale = f.betas[k] * dot;
+      for (size_t i = k; i < m; ++i) out.q.At(i, j) -= scale * f.w.At(i, k);
+    }
+  }
+  return out;
+}
+
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("rhs size does not match matrix rows");
+  }
+  Result<HouseholderFactors> fr = Factorize(a);
+  if (!fr.ok()) return fr.status();
+  const HouseholderFactors& f = *fr;
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+
+  // Apply Q^T to b.
+  Vector y = b;
+  for (size_t k = 0; k < n; ++k) {
+    if (f.betas[k] == 0.0) continue;
+    double dot = 0.0;
+    for (size_t i = k; i < m; ++i) dot += f.w.At(i, k) * y[i];
+    const double scale = f.betas[k] * dot;
+    for (size_t i = k; i < m; ++i) y[i] -= scale * f.w.At(i, k);
+  }
+
+  // Back substitution with R.
+  Vector x(n);
+  for (size_t i = n; i-- > 0;) {
+    const double rii = f.r_diag[i];
+    if (std::fabs(rii) < 1e-14) {
+      return Status::NumericalError("matrix is numerically rank deficient");
+    }
+    double sum = y[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= f.w.At(i, j) * x[j];
+    x[i] = sum / rii;
+  }
+  return x;
+}
+
+}  // namespace cohere

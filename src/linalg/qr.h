@@ -1,0 +1,27 @@
+#ifndef COHERE_LINALG_QR_H_
+#define COHERE_LINALG_QR_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Thin QR decomposition A = Q R for an m x n matrix with m >= n:
+/// `q` is m x n with orthonormal columns and `r` is n x n upper triangular.
+struct QrDecomposition {
+  Matrix q;
+  Matrix r;
+};
+
+/// Computes the thin QR decomposition by Householder reflections.
+/// Requires rows() >= cols().
+Result<QrDecomposition> HouseholderQr(const Matrix& a);
+
+/// Solves the least-squares problem min_x |A x - b|_2 via QR.
+/// Returns NumericalError when A is (numerically) rank deficient.
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b);
+
+}  // namespace cohere
+
+#endif  // COHERE_LINALG_QR_H_

@@ -1,0 +1,127 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace cohere {
+namespace {
+
+// One-sided Jacobi on a tall (m >= n) matrix: rotates column pairs of `w`
+// until all pairs are numerically orthogonal, accumulating the right-hand
+// rotations into `v`.
+Status OrthogonalizeColumns(Matrix* w, Matrix* v, int max_sweeps) {
+  const size_t m = w->rows();
+  const size_t n = w->cols();
+  const double eps = 1e-15;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0;
+        double beta = 0.0;
+        double gamma = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          const double wip = w->At(i, p);
+          const double wiq = w->At(i, q);
+          alpha += wip * wip;
+          beta += wiq * wiq;
+          gamma += wip * wiq;
+        }
+        if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta) ||
+            alpha == 0.0 || beta == 0.0) {
+          continue;
+        }
+        rotated = true;
+        // Compute the rotation zeroing the inner product of columns p, q.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        double t;
+        if (zeta >= 0.0) {
+          t = 1.0 / (zeta + std::sqrt(1.0 + zeta * zeta));
+        } else {
+          t = -1.0 / (-zeta + std::sqrt(1.0 + zeta * zeta));
+        }
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          const double wip = w->At(i, p);
+          const double wiq = w->At(i, q);
+          w->At(i, p) = c * wip - s * wiq;
+          w->At(i, q) = s * wip + c * wiq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vip = v->At(i, p);
+          const double viq = v->At(i, q);
+          v->At(i, p) = c * vip - s * viq;
+          v->At(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+    if (!rotated) return Status::Ok();
+  }
+  return Status::NumericalError("one-sided Jacobi SVD did not converge");
+}
+
+}  // namespace
+
+Result<SvdDecomposition> JacobiSvd(const Matrix& a, int max_sweeps) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of an empty matrix");
+  }
+
+  // Work on a tall matrix; if the input is wide, decompose the transpose and
+  // swap the roles of U and V at the end.
+  const bool transposed = a.rows() < a.cols();
+  Matrix w = transposed ? a.Transposed() : a;
+  const size_t m = w.rows();
+  const size_t n = w.cols();
+
+  Matrix v = Matrix::Identity(n);
+  Status s = OrthogonalizeColumns(&w, &v, max_sweeps);
+  if (!s.ok()) return s;
+
+  // Singular values are the column norms; U is the normalized columns.
+  Vector sigma(n);
+  for (size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (size_t i = 0; i < m; ++i) norm += w.At(i, j) * w.At(i, j);
+    sigma[j] = std::sqrt(norm);
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&sigma](size_t x, size_t y) { return sigma[x] > sigma[y]; });
+
+  Matrix u_sorted(m, n);
+  Matrix v_sorted(n, n);
+  Vector sigma_sorted(n);
+  for (size_t j = 0; j < n; ++j) {
+    const size_t src = order[j];
+    sigma_sorted[j] = sigma[src];
+    if (sigma[src] > 0.0) {
+      const double inv = 1.0 / sigma[src];
+      for (size_t i = 0; i < m; ++i) u_sorted.At(i, j) = w.At(i, src) * inv;
+    } else {
+      // Zero singular value: leave a zero column in U; the thin factor is
+      // still consistent since sigma is zero.
+      for (size_t i = 0; i < m; ++i) u_sorted.At(i, j) = 0.0;
+    }
+    for (size_t i = 0; i < n; ++i) v_sorted.At(i, j) = v.At(i, src);
+  }
+
+  SvdDecomposition out;
+  out.singular_values = std::move(sigma_sorted);
+  if (transposed) {
+    out.u = std::move(v_sorted);
+    out.v = std::move(u_sorted);
+  } else {
+    out.u = std::move(u_sorted);
+    out.v = std::move(v_sorted);
+  }
+  return out;
+}
+
+}  // namespace cohere

@@ -1,0 +1,31 @@
+#ifndef COHERE_LINALG_SVD_H_
+#define COHERE_LINALG_SVD_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Thin singular value decomposition A = U diag(s) V^T.
+///
+/// For an m x n input with r = min(m, n): `u` is m x r with orthonormal
+/// columns, `singular_values` holds the r singular values in descending
+/// order, and `v` is n x r with orthonormal columns.
+struct SvdDecomposition {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+};
+
+/// Computes the thin SVD with the one-sided Jacobi (Hestenes) method.
+///
+/// The method orthogonalizes column pairs with plane rotations and computes
+/// singular values to high relative accuracy — useful for PCA when the
+/// covariance matrix would square the condition number. Returns
+/// NumericalError if sweeps fail to converge.
+Result<SvdDecomposition> JacobiSvd(const Matrix& a, int max_sweeps = 60);
+
+}  // namespace cohere
+
+#endif  // COHERE_LINALG_SVD_H_

@@ -1,0 +1,130 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cohere {
+
+void Vector::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  COHERE_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  COHERE_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  for (double& v : data_) v /= scalar;
+  return *this;
+}
+
+void Vector::Axpy(double alpha, const Vector& other) {
+  COHERE_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+double Vector::Norm2() const { return std::sqrt(SquaredNorm2()); }
+
+double Vector::SquaredNorm2() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return sum;
+}
+
+double Vector::Norm1() const {
+  double sum = 0.0;
+  for (double v : data_) sum += std::fabs(v);
+  return sum;
+}
+
+double Vector::NormInf() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Vector::Sum() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+void Vector::Normalize() {
+  double norm = Norm2();
+  if (norm > 0.0) *this /= norm;
+}
+
+std::string Vector::ToString(size_t max_elems) const {
+  std::string out = "[";
+  size_t shown = std::min(max_elems, data_.size());
+  char buf[64];
+  for (size_t i = 0; i < shown; ++i) {
+    std::snprintf(buf, sizeof(buf), "%g", data_[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  if (shown < data_.size()) out += ", ...";
+  out += "]";
+  return out;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  COHERE_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+  Vector out = a;
+  out += b;
+  return out;
+}
+
+Vector operator-(const Vector& a, const Vector& b) {
+  Vector out = a;
+  out -= b;
+  return out;
+}
+
+Vector operator*(const Vector& v, double scalar) {
+  Vector out = v;
+  out *= scalar;
+  return out;
+}
+
+Vector operator*(double scalar, const Vector& v) { return v * scalar; }
+
+Vector operator/(const Vector& v, double scalar) {
+  Vector out = v;
+  out /= scalar;
+  return out;
+}
+
+bool operator==(const Vector& a, const Vector& b) {
+  return a.values() == b.values();
+}
+
+bool AlmostEqual(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace cohere

@@ -1,0 +1,107 @@
+#ifndef COHERE_LINALG_VECTOR_H_
+#define COHERE_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cohere {
+
+/// Dense double-precision vector.
+///
+/// A thin owning wrapper over contiguous storage with the arithmetic used
+/// throughout the library. All binary operations check size agreement.
+class Vector {
+ public:
+  Vector() = default;
+  /// Creates a zero vector of dimension `size`.
+  explicit Vector(size_t size) : data_(size, 0.0) {}
+  /// Creates a constant vector of dimension `size`.
+  Vector(size_t size, double fill) : data_(size, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  /// Adopts an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](size_t i) {
+    COHERE_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+  double operator[](size_t i) const {
+    COHERE_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& values() const { return data_; }
+
+  std::vector<double>::iterator begin() { return data_.begin(); }
+  std::vector<double>::iterator end() { return data_.end(); }
+  std::vector<double>::const_iterator begin() const { return data_.begin(); }
+  std::vector<double>::const_iterator end() const { return data_.end(); }
+
+  /// Sets every component to `value`.
+  void Fill(double value);
+
+  /// Resizes, zero-filling any new components.
+  void Resize(size_t size) { data_.resize(size, 0.0); }
+
+  /// In-place arithmetic. Sizes must agree.
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+  Vector& operator/=(double scalar);
+
+  /// this += alpha * other (AXPY).
+  void Axpy(double alpha, const Vector& other);
+
+  /// Euclidean norm.
+  double Norm2() const;
+  /// Squared Euclidean norm.
+  double SquaredNorm2() const;
+  /// Sum of absolute values.
+  double Norm1() const;
+  /// Maximum absolute value.
+  double NormInf() const;
+  /// Sum of components.
+  double Sum() const;
+
+  /// Scales to unit Euclidean norm; a zero vector is left unchanged.
+  void Normalize();
+
+  /// "[v0, v1, ...]" with up to `max_elems` components shown.
+  std::string ToString(size_t max_elems = 16) const;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Inner product. Sizes must agree.
+double Dot(const Vector& a, const Vector& b);
+
+/// Component-wise arithmetic. Sizes must agree.
+Vector operator+(const Vector& a, const Vector& b);
+Vector operator-(const Vector& a, const Vector& b);
+Vector operator*(const Vector& v, double scalar);
+Vector operator*(double scalar, const Vector& v);
+Vector operator/(const Vector& v, double scalar);
+
+bool operator==(const Vector& a, const Vector& b);
+
+/// True when |a[i] - b[i]| <= tol for all i and sizes agree.
+bool AlmostEqual(const Vector& a, const Vector& b, double tol);
+
+}  // namespace cohere
+
+#endif  // COHERE_LINALG_VECTOR_H_

@@ -1,0 +1,105 @@
+#include "reduction/coherence.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/normal.h"
+
+namespace cohere {
+namespace {
+
+// Returns |sum c_j| / sqrt(sum c_j^2) given the two accumulated moments.
+double FactorFromMoments(double sum, double sum_sq) {
+  if (sum_sq <= 0.0) return 0.0;
+  return std::fabs(sum) / std::sqrt(sum_sq);
+}
+
+}  // namespace
+
+double CoherenceFactor(const Vector& point, const Vector& direction) {
+  COHERE_CHECK_EQ(point.size(), direction.size());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t j = 0; j < point.size(); ++j) {
+    const double c = point[j] * direction[j];
+    sum += c;
+    sum_sq += c * c;
+  }
+  return FactorFromMoments(sum, sum_sq);
+}
+
+double CoherenceProbability(const Vector& point, const Vector& direction) {
+  return TwoSidedNormalMass(CoherenceFactor(point, direction));
+}
+
+namespace {
+
+// Shared kernel: computes, for every (record r, eigenvector i), the two
+// moments sum_j c_j and sum_j c_j^2 where c_j = X_rj * P_ji, using two
+// matrix products: S = X P and Q = (X o X)(P o P).
+struct CoherenceMoments {
+  Matrix sums;     // n x d: S(r, i) = X_r . e_i
+  Matrix sum_sqs;  // n x d: Q(r, i) = sum_j c_j^2
+};
+
+CoherenceMoments ComputeMoments(const PcaModel& model, const Matrix& data) {
+  const Matrix normalized = model.NormalizeRows(data);
+  const Matrix& p = model.eigenvectors();
+  const size_t d = p.rows();
+
+  Matrix squared = normalized;
+  for (size_t i = 0; i < squared.rows(); ++i) {
+    double* row = squared.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) row[j] *= row[j];
+  }
+  Matrix p_squared = p;
+  for (size_t i = 0; i < d; ++i) {
+    double* row = p_squared.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) row[j] *= row[j];
+  }
+
+  CoherenceMoments moments;
+  moments.sums = Multiply(normalized, p);
+  moments.sum_sqs = Multiply(squared, p_squared);
+  return moments;
+}
+
+}  // namespace
+
+CoherenceAnalysis ComputeCoherence(const PcaModel& model, const Matrix& data) {
+  COHERE_CHECK_GT(data.rows(), 0u);
+  const CoherenceMoments moments = ComputeMoments(model, data);
+  const size_t n = data.rows();
+  const size_t d = model.dims();
+
+  CoherenceAnalysis out;
+  out.probability.Resize(d);
+  out.mean_factor.Resize(d);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < d; ++i) {
+      const double factor =
+          FactorFromMoments(moments.sums.At(r, i), moments.sum_sqs.At(r, i));
+      out.mean_factor[i] += factor;
+      out.probability[i] += TwoSidedNormalMass(factor);
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  out.probability *= inv_n;
+  out.mean_factor *= inv_n;
+  return out;
+}
+
+Matrix PerPointCoherenceProbabilities(const PcaModel& model,
+                                      const Matrix& data) {
+  const CoherenceMoments moments = ComputeMoments(model, data);
+  Matrix out(data.rows(), model.dims());
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t i = 0; i < out.cols(); ++i) {
+      out.At(r, i) = TwoSidedNormalMass(
+          FactorFromMoments(moments.sums.At(r, i), moments.sum_sqs.At(r, i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace cohere

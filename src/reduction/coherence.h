@@ -1,0 +1,59 @@
+#ifndef COHERE_REDUCTION_COHERENCE_H_
+#define COHERE_REDUCTION_COHERENCE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "reduction/pca.h"
+
+namespace cohere {
+
+/// The paper's coherence model (Section 2), which tests for every
+/// eigenvector whether the per-attribute contributions to a point's
+/// coordinate "agree" (a concept) or cancel like noise.
+///
+/// For a normalized point X and eigenvector e, the contributions are
+/// c_j = X_j * e_j. Under the null hypothesis that the c_j are iid draws
+/// from a zero-mean distribution, their average X.e/d is approximately
+/// N(0, sigma/sqrt(d)) with sigma = RMS(c). The coherence factor is the
+/// number of such standard deviations the observed average sits away from
+/// zero, which simplifies to
+///
+///     factor(X, e) = |sum_j c_j| / sqrt(sum_j c_j^2),
+///
+/// and the coherence probability is 2*Phi(factor) - 1.
+
+/// Coherence factor of a single (already normalized/centered) point along
+/// one direction. `direction` must be the same size as `point`. Returns 0
+/// when the point has no component along the direction.
+double CoherenceFactor(const Vector& point, const Vector& direction);
+
+/// Coherence probability 2*Phi(CoherenceFactor) - 1 of one point.
+double CoherenceProbability(const Vector& point, const Vector& direction);
+
+/// Dataset-level coherence analysis of a fitted PCA axis system.
+struct CoherenceAnalysis {
+  /// P(D, e_i): mean coherence probability of eigenvector i over all
+  /// records, in eigenvalue order (index i matches eigenvalue i).
+  Vector probability;
+  /// Mean coherence factor of eigenvector i (diagnostic).
+  Vector mean_factor;
+
+  size_t dims() const { return probability.size(); }
+};
+
+/// Computes P(D, e_i) for every eigenvector of `model` over the rows of
+/// `data` (given in the original attribute space; the model's normalization
+/// is applied internally). Cost: two n x d by d x d matrix products.
+CoherenceAnalysis ComputeCoherence(const PcaModel& model, const Matrix& data);
+
+/// Per-point coherence probabilities: entry (r, i) is the coherence
+/// probability of record r along eigenvector i. Heavier output than
+/// ComputeCoherence; used by the Figure-1 style diagnostics.
+Matrix PerPointCoherenceProbabilities(const PcaModel& model,
+                                      const Matrix& data);
+
+}  // namespace cohere
+
+#endif  // COHERE_REDUCTION_COHERENCE_H_

@@ -1,0 +1,94 @@
+#include "reduction/pipeline.h"
+
+#include <cstdio>
+
+namespace cohere {
+
+Result<ReductionPipeline> ReductionPipeline::Fit(
+    const Dataset& dataset, const ReductionOptions& options) {
+  ReductionPipeline pipeline;
+  pipeline.options_ = options;
+
+  Result<PcaModel> model =
+      PcaModel::Fit(dataset.features(), options.scaling);
+  if (!model.ok()) return model.status();
+  pipeline.model_ = std::move(*model);
+  pipeline.coherence_ =
+      ComputeCoherence(pipeline.model_, dataset.features());
+
+  const size_t d = pipeline.model_.dims();
+  if (options.target_dim > d) {
+    return Status::InvalidArgument("target_dim exceeds data dimensionality");
+  }
+
+  switch (options.strategy) {
+    case SelectionStrategy::kEigenvalueOrder: {
+      std::vector<size_t> order = OrderByEigenvalue(pipeline.model_);
+      const size_t count =
+          options.target_dim > 0
+              ? options.target_dim
+              : DetectSeparatedPrefix(pipeline.model_.eigenvalues(), order);
+      pipeline.components_ = TakePrefix(order, count);
+      break;
+    }
+    case SelectionStrategy::kCoherenceOrder: {
+      std::vector<size_t> order = OrderByCoherence(pipeline.coherence_);
+      const size_t count =
+          options.target_dim > 0
+              ? options.target_dim
+              : DetectSeparatedPrefix(pipeline.coherence_.probability, order);
+      pipeline.components_ = TakePrefix(order, count);
+      break;
+    }
+    case SelectionStrategy::kEnergyFraction:
+      pipeline.components_ =
+          SelectEnergyFraction(pipeline.model_, options.energy_fraction);
+      break;
+    case SelectionStrategy::kRelativeThreshold:
+      pipeline.components_ =
+          SelectRelativeThreshold(pipeline.model_, options.relative_threshold);
+      break;
+  }
+  return pipeline;
+}
+
+Result<ReductionPipeline> ReductionPipeline::FromParts(
+    const ReductionOptions& options, PcaModel model,
+    CoherenceAnalysis coherence, std::vector<size_t> components) {
+  const size_t d = model.dims();
+  if (coherence.dims() != d || coherence.mean_factor.size() != d) {
+    return Status::InvalidArgument(
+        "coherence analysis does not match model dimensionality");
+  }
+  std::vector<bool> seen(d, false);
+  for (size_t c : components) {
+    if (c >= d) return Status::InvalidArgument("component index out of range");
+    if (seen[c]) return Status::InvalidArgument("duplicate component index");
+    seen[c] = true;
+  }
+  ReductionPipeline pipeline;
+  pipeline.options_ = options;
+  pipeline.model_ = std::move(model);
+  pipeline.coherence_ = std::move(coherence);
+  pipeline.components_ = std::move(components);
+  return pipeline;
+}
+
+Dataset ReductionPipeline::TransformDataset(const Dataset& dataset) const {
+  Matrix reduced = model_.ProjectRows(dataset.features(), components_);
+  Dataset out = dataset.WithFeatures(std::move(reduced));
+  out.set_name(dataset.name() + "_reduced");
+  return out;
+}
+
+std::string ReductionPipeline::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s on %s PCA: kept %zu/%zu dims, %.1f%% variance",
+                SelectionStrategyName(options_.strategy),
+                PcaScalingName(options_.scaling), ReducedDims(), model_.dims(),
+                100.0 * VarianceRetainedFraction());
+  return buf;
+}
+
+}  // namespace cohere

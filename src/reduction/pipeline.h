@@ -1,0 +1,83 @@
+#ifndef COHERE_REDUCTION_PIPELINE_H_
+#define COHERE_REDUCTION_PIPELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "reduction/coherence.h"
+#include "reduction/pca.h"
+#include "reduction/selection.h"
+
+namespace cohere {
+
+/// Options controlling a fitted reduction.
+struct ReductionOptions {
+  PcaScaling scaling = PcaScaling::kCorrelation;
+  SelectionStrategy strategy = SelectionStrategy::kCoherenceOrder;
+  /// Retained dimensionality for the ordering strategies; 0 picks
+  /// automatically (the scatter-plot separation heuristic for the ordering
+  /// strategies; ignored by the threshold/fraction strategies which size
+  /// themselves).
+  size_t target_dim = 0;
+  /// Used only by kEnergyFraction.
+  double energy_fraction = 0.9;
+  /// Used only by kRelativeThreshold; 0.01 is the paper's baseline.
+  double relative_threshold = 0.01;
+};
+
+/// End-to-end dimensionality reduction: PCA fit + coherence analysis +
+/// component selection, with consistent transforms for data and queries.
+class ReductionPipeline {
+ public:
+  ReductionPipeline() = default;
+
+  /// Fits on `dataset` according to `options`.
+  static Result<ReductionPipeline> Fit(const Dataset& dataset,
+                                       const ReductionOptions& options);
+
+  /// Reassembles a fitted pipeline from stored parts (used by
+  /// serialization). Validates that the coherence analysis matches the
+  /// model's dimensionality and that the component indices are unique and
+  /// in range.
+  static Result<ReductionPipeline> FromParts(const ReductionOptions& options,
+                                             PcaModel model,
+                                             CoherenceAnalysis coherence,
+                                             std::vector<size_t> components);
+
+  const ReductionOptions& options() const { return options_; }
+  const PcaModel& model() const { return model_; }
+  const CoherenceAnalysis& coherence() const { return coherence_; }
+
+  /// Indices of the retained eigenvectors, in retention order.
+  const std::vector<size_t>& components() const { return components_; }
+  size_t ReducedDims() const { return components_.size(); }
+
+  /// Fraction of the total variance the retained components carry.
+  double VarianceRetainedFraction() const {
+    return model_.VarianceRetainedFraction(components_);
+  }
+
+  /// Projects a point from the original attribute space into the reduced
+  /// space.
+  Vector TransformPoint(const Vector& point) const {
+    return model_.Project(point, components_);
+  }
+
+  /// Projects a whole dataset (labels and name preserved).
+  Dataset TransformDataset(const Dataset& dataset) const;
+
+  /// One-line human-readable summary ("coherence_order on correlation PCA:
+  /// kept 10/34 dims, 37.2% variance").
+  std::string Describe() const;
+
+ private:
+  ReductionOptions options_;
+  PcaModel model_;
+  CoherenceAnalysis coherence_;
+  std::vector<size_t> components_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_REDUCTION_PIPELINE_H_

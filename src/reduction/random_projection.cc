@@ -1,0 +1,41 @@
+#include "reduction/random_projection.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/rng.h"
+
+namespace cohere {
+
+RandomProjection RandomProjection::Make(size_t input_dim, size_t target_dim,
+                                        uint64_t seed) {
+  COHERE_CHECK_GE(input_dim, 1u);
+  COHERE_CHECK_GE(target_dim, 1u);
+  COHERE_CHECK_LE(target_dim, input_dim);
+  Rng rng(seed);
+  RandomProjection out;
+  out.projection_ = Matrix(input_dim, target_dim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(target_dim));
+  for (size_t i = 0; i < input_dim; ++i) {
+    for (size_t j = 0; j < target_dim; ++j) {
+      out.projection_.At(i, j) = rng.Gaussian() * scale;
+    }
+  }
+  return out;
+}
+
+Vector RandomProjection::TransformPoint(const Vector& point) const {
+  return MatTransposeVec(projection_, point);
+}
+
+Matrix RandomProjection::TransformRows(const Matrix& data) const {
+  return Multiply(data, projection_);
+}
+
+Dataset RandomProjection::TransformDataset(const Dataset& dataset) const {
+  Dataset out = dataset.WithFeatures(TransformRows(dataset.features()));
+  out.set_name(dataset.name() + "_rp");
+  return out;
+}
+
+}  // namespace cohere

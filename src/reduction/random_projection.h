@@ -1,0 +1,40 @@
+#ifndef COHERE_REDUCTION_RANDOM_PROJECTION_H_
+#define COHERE_REDUCTION_RANDOM_PROJECTION_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Gaussian random projection baseline (Johnson-Lindenstrauss style).
+///
+/// Projects onto `target_dim` random directions with entries
+/// N(0, 1/target_dim). Preserves pairwise distances in expectation but — by
+/// construction — has no notion of concepts or noise, which is exactly what
+/// the ablation benches contrast against PCA-based selection.
+class RandomProjection {
+ public:
+  RandomProjection() = default;
+
+  /// Builds a projection from `input_dim` to `target_dim` (both >= 1,
+  /// target_dim <= input_dim).
+  static RandomProjection Make(size_t input_dim, size_t target_dim,
+                               uint64_t seed);
+
+  size_t input_dim() const { return projection_.rows(); }
+  size_t target_dim() const { return projection_.cols(); }
+
+  Vector TransformPoint(const Vector& point) const;
+  Matrix TransformRows(const Matrix& data) const;
+  Dataset TransformDataset(const Dataset& dataset) const;
+
+ private:
+  Matrix projection_;  // input_dim x target_dim
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_REDUCTION_RANDOM_PROJECTION_H_

@@ -1,0 +1,113 @@
+#include "reduction/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cohere {
+
+const char* SelectionStrategyName(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kEigenvalueOrder:
+      return "eigenvalue_order";
+    case SelectionStrategy::kCoherenceOrder:
+      return "coherence_order";
+    case SelectionStrategy::kEnergyFraction:
+      return "energy_fraction";
+    case SelectionStrategy::kRelativeThreshold:
+      return "relative_threshold";
+  }
+  return "unknown";
+}
+
+std::vector<size_t> OrderByEigenvalue(const PcaModel& model) {
+  std::vector<size_t> order(model.dims());
+  std::iota(order.begin(), order.end(), size_t{0});
+  return order;
+}
+
+std::vector<size_t> OrderByCoherence(const CoherenceAnalysis& coherence) {
+  std::vector<size_t> order(coherence.dims());
+  std::iota(order.begin(), order.end(), size_t{0});
+  const Vector& p = coherence.probability;
+  std::stable_sort(order.begin(), order.end(), [&p](size_t a, size_t b) {
+    if (p[a] != p[b]) return p[a] > p[b];
+    // Tie-break on eigenvalue rank: smaller index = larger eigenvalue.
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<size_t> TakePrefix(const std::vector<size_t>& ordering,
+                               size_t count) {
+  COHERE_CHECK_LE(count, ordering.size());
+  return std::vector<size_t>(ordering.begin(),
+                             ordering.begin() + static_cast<ptrdiff_t>(count));
+}
+
+std::vector<size_t> SelectEnergyFraction(const PcaModel& model,
+                                         double fraction) {
+  COHERE_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const Vector& ev = model.eigenvalues();
+  const double total = model.TotalVariance();
+  std::vector<size_t> out;
+  double kept = 0.0;
+  for (size_t i = 0; i < ev.size(); ++i) {
+    out.push_back(i);
+    kept += ev[i];
+    if (total <= 0.0 || kept / total >= fraction) break;
+  }
+  return out;
+}
+
+std::vector<size_t> SelectRelativeThreshold(const PcaModel& model,
+                                            double relative_threshold) {
+  COHERE_CHECK(relative_threshold >= 0.0 && relative_threshold <= 1.0);
+  const Vector& ev = model.eigenvalues();
+  COHERE_CHECK(!ev.empty());
+  const double cutoff = ev[0] * relative_threshold;
+  std::vector<size_t> out;
+  for (size_t i = 0; i < ev.size(); ++i) {
+    // Eigenvalues are sorted descending, so stop at the first miss.
+    if (ev[i] < cutoff && !out.empty()) break;
+    out.push_back(i);
+  }
+  return out;
+}
+
+size_t DetectSeparatedPrefix(const Vector& scores,
+                             const std::vector<size_t>& ordering,
+                             double separation) {
+  const size_t d = ordering.size();
+  COHERE_CHECK_GE(d, 1u);
+  COHERE_CHECK_EQ(scores.size(), d);
+  if (d < 3) return 1;
+
+  // Drops between consecutive ordered scores; the cut goes at the largest
+  // one when it dominates the typical drop. Only cuts in the first half are
+  // candidates: a "separated prefix" of nearly everything is not a prune,
+  // it is a tail artifact.
+  size_t best_gap_index = 0;
+  double best_gap = -1.0;
+  double gap_sum = 0.0;
+  const size_t max_cut = d / 2;
+  for (size_t i = 0; i + 1 < d; ++i) {
+    const double gap =
+        scores[ordering[i]] - scores[ordering[i + 1]];
+    gap_sum += gap;
+    if (i < max_cut && gap > best_gap) {
+      best_gap = gap;
+      best_gap_index = i;
+    }
+  }
+  const double mean_other_gap =
+      (gap_sum - best_gap) / static_cast<double>(d - 2);
+  if (best_gap > separation * std::max(mean_other_gap, 1e-12)) {
+    return best_gap_index + 1;
+  }
+  return 1;
+}
+
+}  // namespace cohere

@@ -1,0 +1,66 @@
+#ifndef COHERE_REDUCTION_SELECTION_H_
+#define COHERE_REDUCTION_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "reduction/coherence.h"
+#include "reduction/pca.h"
+
+namespace cohere {
+
+/// How to choose (and order) the retained eigenvectors.
+enum class SelectionStrategy {
+  /// Descending eigenvalue — the conventional "least information loss" rule.
+  kEigenvalueOrder,
+  /// Descending coherence probability — the paper's proposal.
+  kCoherenceOrder,
+  /// Smallest eigenvalue-ordered prefix retaining a fraction of variance.
+  kEnergyFraction,
+  /// Keep eigenvalues at least `relative_threshold` times the largest — the
+  /// paper's "1%-thresholding" baseline when the threshold is 0.01.
+  kRelativeThreshold,
+};
+
+const char* SelectionStrategyName(SelectionStrategy strategy);
+
+/// All component indices in descending-eigenvalue order (0, 1, ..., d-1 by
+/// PcaModel's convention).
+std::vector<size_t> OrderByEigenvalue(const PcaModel& model);
+
+/// Component indices in descending coherence probability, ties broken by
+/// descending eigenvalue.
+std::vector<size_t> OrderByCoherence(const CoherenceAnalysis& coherence);
+
+/// The first `count` entries of an ordering.
+std::vector<size_t> TakePrefix(const std::vector<size_t>& ordering,
+                               size_t count);
+
+/// Smallest eigenvalue-ordered prefix whose retained variance fraction is at
+/// least `fraction` (in (0, 1]). Always returns at least one component.
+std::vector<size_t> SelectEnergyFraction(const PcaModel& model,
+                                         double fraction);
+
+/// Components whose eigenvalue is at least `relative_threshold` times the
+/// largest eigenvalue. The paper's baseline uses 0.1. Always returns at
+/// least one component.
+std::vector<size_t> SelectRelativeThreshold(const PcaModel& model,
+                                            double relative_threshold);
+
+/// Detects the paper's scatter-plot "cut-off" heuristic: the number of
+/// leading components (in the given ordering, which must put scores in
+/// non-increasing order) that stand apart from the rest.
+///
+/// Implemented as a largest-gap rule: the cut is placed at the biggest drop
+/// between consecutive ordered scores, provided that drop exceeds
+/// `separation` times the mean of the other drops (otherwise the profile is
+/// considered flat — the paper's "unsuited to reduction" case — and 1 is
+/// returned). Returns a count in [1, ordering.size()]; inputs with fewer
+/// than 3 scores return 1.
+size_t DetectSeparatedPrefix(const Vector& scores,
+                             const std::vector<size_t>& ordering,
+                             double separation = 4.0);
+
+}  // namespace cohere
+
+#endif  // COHERE_REDUCTION_SELECTION_H_

@@ -1,0 +1,249 @@
+#include "reduction/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cohere {
+namespace {
+
+constexpr char kModelMagic[] = "cohere_pca_model v1";
+constexpr char kPipelineMagic[] = "cohere_reduction_pipeline v1";
+
+void WriteVector(std::ostream& out, const std::string& tag, const Vector& v) {
+  out << tag;
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+// Reads "<tag> v0 v1 ..." expecting exactly `size` values.
+Result<Vector> ReadVectorLine(std::istream& in, const std::string& tag,
+                              size_t size) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("unexpected end of file before " + tag);
+  }
+  std::istringstream fields(line);
+  std::string seen_tag;
+  fields >> seen_tag;
+  if (seen_tag != tag) {
+    return Status::ParseError("expected '" + tag + "', found '" + seen_tag +
+                              "'");
+  }
+  Vector out(size);
+  for (size_t i = 0; i < size; ++i) {
+    if (!(fields >> out[i])) {
+      return Status::ParseError("short " + tag + " line");
+    }
+  }
+  double extra;
+  if (fields >> extra) {
+    return Status::ParseError("trailing values on " + tag + " line");
+  }
+  return out;
+}
+
+Status WriteModelBody(std::ostream& out, const PcaModel& model) {
+  const size_t d = model.dims();
+  out.precision(17);
+  out << "scaling " << PcaScalingName(model.scaling()) << '\n';
+  out << "dims " << d << '\n';
+  WriteVector(out, "eigenvalues", model.eigenvalues());
+  WriteVector(out, "mean", model.mean());
+  WriteVector(out, "scale", model.scale());
+  for (size_t i = 0; i < d; ++i) {
+    WriteVector(out, "evrow", model.eigenvectors().Row(i));
+  }
+  return Status::Ok();
+}
+
+Result<PcaModel> ReadModelBody(std::istream& in) {
+  std::string line;
+  std::string word;
+
+  if (!std::getline(in, line)) return Status::ParseError("missing scaling");
+  std::istringstream scaling_line(line);
+  std::string scaling_name;
+  scaling_line >> word >> scaling_name;
+  if (word != "scaling") return Status::ParseError("expected scaling line");
+  PcaScaling scaling;
+  if (scaling_name == "covariance") {
+    scaling = PcaScaling::kCovariance;
+  } else if (scaling_name == "correlation") {
+    scaling = PcaScaling::kCorrelation;
+  } else {
+    return Status::ParseError("unknown scaling '" + scaling_name + "'");
+  }
+
+  if (!std::getline(in, line)) return Status::ParseError("missing dims");
+  std::istringstream dims_line(line);
+  size_t d = 0;
+  dims_line >> word >> d;
+  if (word != "dims" || d == 0) {
+    return Status::ParseError("bad dims line");
+  }
+
+  Result<Vector> eigenvalues = ReadVectorLine(in, "eigenvalues", d);
+  if (!eigenvalues.ok()) return eigenvalues.status();
+  Result<Vector> mean = ReadVectorLine(in, "mean", d);
+  if (!mean.ok()) return mean.status();
+  Result<Vector> scale = ReadVectorLine(in, "scale", d);
+  if (!scale.ok()) return scale.status();
+
+  Matrix eigenvectors(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    Result<Vector> row = ReadVectorLine(in, "evrow", d);
+    if (!row.ok()) return row.status();
+    eigenvectors.SetRow(i, *row);
+  }
+
+  return PcaModel::FromComponents(scaling, std::move(*eigenvalues),
+                                  std::move(eigenvectors), std::move(*mean),
+                                  std::move(*scale));
+}
+
+}  // namespace
+
+Status SavePcaModel(const PcaModel& model, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << kModelMagic << '\n';
+  Status body = WriteModelBody(file, model);
+  if (!body.ok()) return body;
+  if (!file) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<PcaModel> LoadPcaModel(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::string magic;
+  std::getline(file, magic);
+  if (magic != kModelMagic) {
+    return Status::ParseError("not a cohere PCA model file");
+  }
+  return ReadModelBody(file);
+}
+
+Status SaveReductionPipeline(const ReductionPipeline& pipeline,
+                             const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file.precision(17);
+  file << kPipelineMagic << '\n';
+  const ReductionOptions& options = pipeline.options();
+  file << "strategy " << SelectionStrategyName(options.strategy) << '\n';
+  file << "target_dim " << options.target_dim << '\n';
+  file << "energy_fraction " << options.energy_fraction << '\n';
+  file << "relative_threshold " << options.relative_threshold << '\n';
+  file << "components";
+  for (size_t c : pipeline.components()) file << ' ' << c;
+  file << '\n';
+  WriteVector(file, "coherence", pipeline.coherence().probability);
+  WriteVector(file, "mean_factor", pipeline.coherence().mean_factor);
+  Status body = WriteModelBody(file, pipeline.model());
+  if (!body.ok()) return body;
+  if (!file) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<ReductionPipeline> LoadReductionPipeline(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::string line;
+  std::getline(file, line);
+  if (line != kPipelineMagic) {
+    return Status::ParseError("not a cohere reduction pipeline file");
+  }
+
+  ReductionOptions options;
+  std::string word;
+
+  if (!std::getline(file, line)) return Status::ParseError("missing strategy");
+  {
+    std::istringstream fields(line);
+    std::string name;
+    fields >> word >> name;
+    if (word != "strategy") return Status::ParseError("expected strategy");
+    if (name == "eigenvalue_order") {
+      options.strategy = SelectionStrategy::kEigenvalueOrder;
+    } else if (name == "coherence_order") {
+      options.strategy = SelectionStrategy::kCoherenceOrder;
+    } else if (name == "energy_fraction") {
+      options.strategy = SelectionStrategy::kEnergyFraction;
+    } else if (name == "relative_threshold") {
+      options.strategy = SelectionStrategy::kRelativeThreshold;
+    } else {
+      return Status::ParseError("unknown strategy '" + name + "'");
+    }
+  }
+
+  auto read_scalar = [&file, &word](const std::string& tag,
+                                    double* value) -> Status {
+    std::string scalar_line;
+    if (!std::getline(file, scalar_line)) {
+      return Status::ParseError("missing " + tag);
+    }
+    std::istringstream fields(scalar_line);
+    fields >> word >> *value;
+    if (word != tag || fields.fail()) {
+      return Status::ParseError("bad " + tag + " line");
+    }
+    return Status::Ok();
+  };
+
+  double target_dim = 0.0;
+  Status s = read_scalar("target_dim", &target_dim);
+  if (!s.ok()) return s;
+  options.target_dim = static_cast<size_t>(target_dim);
+  s = read_scalar("energy_fraction", &options.energy_fraction);
+  if (!s.ok()) return s;
+  s = read_scalar("relative_threshold", &options.relative_threshold);
+  if (!s.ok()) return s;
+
+  if (!std::getline(file, line)) {
+    return Status::ParseError("missing components");
+  }
+  std::vector<size_t> components;
+  {
+    std::istringstream fields(line);
+    fields >> word;
+    if (word != "components") return Status::ParseError("expected components");
+    size_t c;
+    while (fields >> c) components.push_back(c);
+  }
+
+  // The coherence vectors precede the model body but their length is the
+  // model's dimensionality; peek it by buffering the lines.
+  std::string coherence_line;
+  std::string factor_line;
+  if (!std::getline(file, coherence_line) ||
+      !std::getline(file, factor_line)) {
+    return Status::ParseError("missing coherence block");
+  }
+
+  Result<PcaModel> model = ReadModelBody(file);
+  if (!model.ok()) return model.status();
+  const size_t d = model->dims();
+
+  auto parse_buffered = [d](const std::string& buffered,
+                            const std::string& tag) -> Result<Vector> {
+    std::istringstream stream(buffered + "\n");
+    return ReadVectorLine(stream, tag, d);
+  };
+  Result<Vector> probability = parse_buffered(coherence_line, "coherence");
+  if (!probability.ok()) return probability.status();
+  Result<Vector> mean_factor = parse_buffered(factor_line, "mean_factor");
+  if (!mean_factor.ok()) return mean_factor.status();
+
+  CoherenceAnalysis coherence;
+  coherence.probability = std::move(*probability);
+  coherence.mean_factor = std::move(*mean_factor);
+  options.scaling = model->scaling();
+  return ReductionPipeline::FromParts(options, std::move(*model),
+                                      std::move(coherence),
+                                      std::move(components));
+}
+
+}  // namespace cohere

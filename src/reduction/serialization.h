@@ -1,0 +1,31 @@
+#ifndef COHERE_REDUCTION_SERIALIZATION_H_
+#define COHERE_REDUCTION_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "reduction/pca.h"
+#include "reduction/pipeline.h"
+
+namespace cohere {
+
+/// Persists a fitted PcaModel as a versioned, line-oriented text file
+/// (full double precision). Text was chosen over a binary format so model
+/// files are portable across endianness and diffable in reviews.
+Status SavePcaModel(const PcaModel& model, const std::string& path);
+
+/// Loads a model saved by SavePcaModel; validates shapes and ordering.
+Result<PcaModel> LoadPcaModel(const std::string& path);
+
+/// Persists a fitted ReductionPipeline (options + model + coherence
+/// analysis + retained components) so an engine can be rebuilt without
+/// refitting.
+Status SaveReductionPipeline(const ReductionPipeline& pipeline,
+                             const std::string& path);
+
+/// Loads a pipeline saved by SaveReductionPipeline.
+Result<ReductionPipeline> LoadReductionPipeline(const std::string& path);
+
+}  // namespace cohere
+
+#endif  // COHERE_REDUCTION_SERIALIZATION_H_

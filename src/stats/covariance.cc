@@ -1,0 +1,137 @@
+#include "stats/covariance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cohere {
+
+Vector ColumnMeans(const Matrix& data) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  Vector means(d);
+  if (n == 0) return means;
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) means[j] += row[j];
+  }
+  means /= static_cast<double>(n);
+  return means;
+}
+
+Vector ColumnStdDevs(const Matrix& data) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  Vector out(d);
+  if (n == 0) return out;
+  const Vector means = ColumnMeans(data);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double dev = row[j] - means[j];
+      out[j] += dev * dev;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    out[j] = std::sqrt(out[j] / static_cast<double>(n));
+  }
+  return out;
+}
+
+Matrix CovarianceMatrix(const Matrix& data) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  COHERE_CHECK_GT(n, 0u);
+  const Vector means = ColumnMeans(data);
+
+  // Center into a scratch matrix, then form (1/N) X^T X with the sequential
+  // rank-1 kernel; this keeps the inner loops contiguous.
+  Matrix centered = data;
+  for (size_t i = 0; i < n; ++i) {
+    double* row = centered.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) row[j] -= means[j];
+  }
+  Matrix cov = MultiplyTransposeA(centered, centered);
+  cov *= 1.0 / static_cast<double>(n);
+  // Re-symmetrize to scrub accumulation asymmetry.
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) {
+      const double avg = 0.5 * (cov.At(i, j) + cov.At(j, i));
+      cov.At(i, j) = avg;
+      cov.At(j, i) = avg;
+    }
+  }
+  return cov;
+}
+
+Matrix CorrelationMatrix(const Matrix& data) {
+  Matrix cov = CovarianceMatrix(data);
+  const size_t d = cov.rows();
+  Vector inv_std(d);
+  for (size_t j = 0; j < d; ++j) {
+    const double var = cov.At(j, j);
+    inv_std[j] = var > 0.0 ? 1.0 / std::sqrt(var) : 0.0;
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      if (i == j) {
+        cov.At(i, j) = 1.0;
+      } else {
+        cov.At(i, j) *= inv_std[i] * inv_std[j];
+      }
+    }
+  }
+  return cov;
+}
+
+double PearsonCorrelation(const Vector& a, const Vector& b) {
+  COHERE_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n == 0) return 0.0;
+  const double mean_a = a.Sum() / static_cast<double>(n);
+  const double mean_b = b.Sum() / static_cast<double>(n);
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa == 0.0 || sbb == 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+Vector AverageRanks(const Vector& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&values](size_t x, size_t y) {
+    return values[x] < values[y];
+  });
+  Vector ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                                2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const Vector& a, const Vector& b) {
+  COHERE_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) return 0.0;
+  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+}
+
+}  // namespace cohere

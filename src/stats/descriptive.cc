@@ -1,0 +1,88 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cohere {
+
+double Mean(const Vector& values) {
+  if (values.empty()) return 0.0;
+  return values.Sum() / static_cast<double>(values.size());
+}
+
+double PopulationVariance(const Vector& values) {
+  const size_t n = values.size();
+  if (n < 1) return 0.0;
+  const double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(n);
+}
+
+double SampleVariance(const Vector& values) {
+  const size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(n - 1);
+}
+
+double SampleStdDev(const Vector& values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double RootMeanSquareAbout(const Vector& values, double center) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) {
+    const double d = v - center;
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(values.size()));
+}
+
+double Quantile(const Vector& values, double q) {
+  COHERE_CHECK(!values.empty());
+  COHERE_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Median(const Vector& values) { return Quantile(values, 0.5); }
+
+double Min(const Vector& values) {
+  COHERE_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const Vector& values) {
+  COHERE_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+Summary Summarize(const Vector& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.mean = Mean(values);
+  s.stddev = SampleStdDev(values);
+  s.min = Min(values);
+  s.max = Max(values);
+  return s;
+}
+
+}  // namespace cohere

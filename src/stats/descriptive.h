@@ -1,0 +1,51 @@
+#ifndef COHERE_STATS_DESCRIPTIVE_H_
+#define COHERE_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const Vector& values);
+
+/// Population variance (divide by N); 0 for inputs of size < 1.
+double PopulationVariance(const Vector& values);
+
+/// Sample variance (divide by N-1); 0 for inputs of size < 2.
+double SampleVariance(const Vector& values);
+
+/// Square root of SampleVariance.
+double SampleStdDev(const Vector& values);
+
+/// Root-mean-square of the values about an explicit center (the paper's
+/// sigma(e_i, X) uses center = 0).
+double RootMeanSquareAbout(const Vector& values, double center);
+
+/// Linear-interpolated quantile for q in [0, 1]; input need not be sorted.
+double Quantile(const Vector& values, double q);
+
+/// Median (Quantile at 0.5).
+double Median(const Vector& values);
+
+/// Minimum / maximum; inputs must be non-empty.
+double Min(const Vector& values);
+double Max(const Vector& values);
+
+/// One-pass summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; an empty input yields a zeroed Summary.
+Summary Summarize(const Vector& values);
+
+}  // namespace cohere
+
+#endif  // COHERE_STATS_DESCRIPTIVE_H_

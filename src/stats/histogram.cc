@@ -1,0 +1,62 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace cohere {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0) {
+  COHERE_CHECK_GT(hi, lo);
+  COHERE_CHECK_GE(num_bins, 1u);
+  bin_width_ = (hi - lo) / static_cast<double>(num_bins);
+}
+
+void Histogram::Add(double value) {
+  double pos = (value - lo_) / bin_width_;
+  long long bin = static_cast<long long>(std::floor(pos));
+  bin = std::clamp(bin, 0LL, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::AddAll(const Vector& values) {
+  for (double v : values) Add(v);
+}
+
+size_t Histogram::Count(size_t b) const {
+  COHERE_CHECK_LT(b, counts_.size());
+  return counts_[b];
+}
+
+double Histogram::Fraction(size_t b) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(Count(b)) / static_cast<double>(total_);
+}
+
+double Histogram::BinCenter(size_t b) const {
+  COHERE_CHECK_LT(b, counts_.size());
+  return lo_ + (static_cast<double>(b) + 0.5) * bin_width_;
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  size_t max_count = 0;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char buf[64];
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(buf, sizeof(buf), "%10.4g | ", BinCenter(b));
+    out += buf;
+    const size_t width =
+        max_count == 0 ? 0 : counts_[b] * max_width / max_count;
+    out.append(width, '#');
+    std::snprintf(buf, sizeof(buf), " %zu\n", counts_[b]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cohere

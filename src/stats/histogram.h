@@ -1,0 +1,49 @@
+#ifndef COHERE_STATS_HISTOGRAM_H_
+#define COHERE_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Fixed-width-bin histogram over a closed range.
+///
+/// Values below the range land in the first bin, above it in the last bin
+/// (clamping keeps totals conserved for the contribution plots of Figure 1).
+class Histogram {
+ public:
+  /// Creates `num_bins` equal bins spanning [lo, hi]; requires hi > lo and
+  /// num_bins >= 1.
+  Histogram(double lo, double hi, size_t num_bins);
+
+  /// Adds one observation.
+  void Add(double value);
+  /// Adds every component of `values`.
+  void AddAll(const Vector& values);
+
+  size_t num_bins() const { return counts_.size(); }
+  size_t total_count() const { return total_; }
+  /// Count in bin `b`.
+  size_t Count(size_t b) const;
+  /// Fraction of observations in bin `b` (0 when empty).
+  double Fraction(size_t b) const;
+  /// Center of bin `b`.
+  double BinCenter(size_t b) const;
+
+  /// Renders an ASCII bar chart, one bin per line.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_STATS_HISTOGRAM_H_

@@ -1,0 +1,25 @@
+#ifndef COHERE_STATS_NORMAL_H_
+#define COHERE_STATS_NORMAL_H_
+
+namespace cohere {
+
+/// Standard normal density at `z`.
+double NormalPdf(double z);
+
+/// Standard normal cumulative distribution Phi(z), computed from erf.
+/// This is the Phi(.) of the paper's coherence-probability formula.
+double NormalCdf(double z);
+
+/// Inverse of NormalCdf on (0, 1); returns +/-infinity at the endpoints.
+/// Uses the Acklam rational approximation refined by one Halley step,
+/// accurate to ~1e-15 over the full open interval.
+double NormalQuantile(double p);
+
+/// Probability mass of a standard normal within `z` standard deviations of
+/// the mean: 2*Phi(z) - 1 for z >= 0. This is exactly the paper's
+/// CoherenceProbability transform of a coherence factor.
+double TwoSidedNormalMass(double z);
+
+}  // namespace cohere
+
+#endif  // COHERE_STATS_NORMAL_H_

@@ -1,0 +1,59 @@
+#include "stats/rng.h"
+
+#include <numeric>
+
+namespace cohere {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian() {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Vector Rng::UniformVector(size_t size, double lo, double hi) {
+  Vector out(size);
+  for (size_t i = 0; i < size; ++i) out[i] = Uniform(lo, hi);
+  return out;
+}
+
+Vector Rng::GaussianVector(size_t size) {
+  Vector out(size);
+  for (size_t i = 0; i < size; ++i) out[i] = Gaussian();
+  return out;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t population,
+                                                  size_t count) {
+  COHERE_CHECK_LE(count, population);
+  std::vector<size_t> all(population);
+  std::iota(all.begin(), all.end(), size_t{0});
+  // Partial Fisher-Yates: shuffle only the prefix we need.
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = static_cast<size_t>(UniformInt(
+        static_cast<int64_t>(i), static_cast<int64_t>(population - 1)));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+}  // namespace cohere

@@ -1,0 +1,65 @@
+#ifndef COHERE_STATS_RNG_H_
+#define COHERE_STATS_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Seedable random source used by all generators in the library.
+///
+/// Wraps std::mt19937_64 with the sampling helpers the data generators need.
+/// Every experiment harness seeds its Rng explicitly so figures and tables
+/// are reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal (mean 0, stddev 1) variate.
+  double Gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p);
+
+  /// Vector of iid uniform variates in [lo, hi).
+  Vector UniformVector(size_t size, double lo = 0.0, double hi = 1.0);
+
+  /// Vector of iid standard normal variates.
+  Vector GaussianVector(size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      const size_t j = static_cast<size_t>(
+          UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Draws `count` distinct indices uniformly from [0, population).
+  std::vector<size_t> SampleWithoutReplacement(size_t population, size_t count);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_STATS_RNG_H_

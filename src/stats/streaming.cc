@@ -1,0 +1,78 @@
+#include "stats/streaming.h"
+
+#include "common/check.h"
+
+namespace cohere {
+
+StreamingMoments::StreamingMoments(size_t dims)
+    : mean_(dims), m2_(dims, dims) {}
+
+void StreamingMoments::Add(const Vector& x) {
+  COHERE_CHECK_EQ(x.size(), dims());
+  ++count_;
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  const size_t d = dims();
+
+  // delta = x - old_mean; mean += delta / n; M2 += delta (x - new_mean)^T.
+  Vector delta(d);
+  for (size_t j = 0; j < d; ++j) {
+    delta[j] = x[j] - mean_[j];
+    mean_[j] += delta[j] * inv_n;
+  }
+  for (size_t i = 0; i < d; ++i) {
+    double* row = m2_.RowPtr(i);
+    const double di = delta[i];
+    for (size_t j = 0; j < d; ++j) {
+      row[j] += di * (x[j] - mean_[j]);
+    }
+  }
+}
+
+void StreamingMoments::Merge(const StreamingMoments& other) {
+  COHERE_CHECK_EQ(dims(), other.dims());
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const size_t d = dims();
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+
+  Vector delta(d);
+  for (size_t j = 0; j < d; ++j) delta[j] = other.mean_[j] - mean_[j];
+
+  for (size_t i = 0; i < d; ++i) {
+    double* row = m2_.RowPtr(i);
+    const double* other_row = other.m2_.RowPtr(i);
+    const double di = delta[i];
+    for (size_t j = 0; j < d; ++j) {
+      row[j] += other_row[j] + di * delta[j] * na * nb / n;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) mean_[j] += delta[j] * nb / n;
+  count_ += other.count_;
+}
+
+Matrix StreamingMoments::Covariance() const {
+  Matrix out(dims(), dims());
+  if (count_ < 1) return out;
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  for (size_t i = 0; i < dims(); ++i) {
+    const double* src = m2_.RowPtr(i);
+    double* dst = out.RowPtr(i);
+    for (size_t j = 0; j < dims(); ++j) dst[j] = src[j] * inv_n;
+  }
+  return out;
+}
+
+Vector StreamingMoments::Variances() const {
+  Vector out(dims());
+  if (count_ < 1) return out;
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  for (size_t j = 0; j < dims(); ++j) out[j] = m2_.At(j, j) * inv_n;
+  return out;
+}
+
+}  // namespace cohere

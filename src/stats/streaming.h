@@ -1,0 +1,52 @@
+#ifndef COHERE_STATS_STREAMING_H_
+#define COHERE_STATS_STREAMING_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Single-pass mean/covariance accumulator (multivariate Welford) with a
+/// numerically stable parallel merge.
+///
+/// Lets the dynamic-index path maintain fit statistics incrementally instead
+/// of re-reading all records, and matches the batch CovarianceMatrix /
+/// ColumnMeans results to floating-point accuracy.
+class StreamingMoments {
+ public:
+  StreamingMoments() = default;
+  /// Accumulator over `dims`-dimensional observations.
+  explicit StreamingMoments(size_t dims);
+
+  size_t dims() const { return mean_.size(); }
+  size_t count() const { return count_; }
+
+  /// Adds one observation (size must match dims).
+  void Add(const Vector& x);
+
+  /// Merges another accumulator over the same dimensionality (Chan et al.
+  /// parallel update).
+  void Merge(const StreamingMoments& other);
+
+  /// Current mean (zero vector while empty).
+  Vector Mean() const { return mean_; }
+
+  /// Population covariance (divide by N; zero matrix while count < 1).
+  Matrix Covariance() const;
+
+  /// Population variances (the covariance diagonal, cheaper).
+  Vector Variances() const;
+
+ private:
+  size_t count_ = 0;
+  Vector mean_;
+  // Sum of outer products of deviations: M2 = sum (x - mean)(x - mean)^T,
+  // maintained with the Welford update.
+  Matrix m2_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_STATS_STREAMING_H_

@@ -1,0 +1,117 @@
+#include "cluster/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace cohere {
+namespace {
+
+// Three well-separated Gaussian blobs in 2-d.
+Matrix ThreeBlobs(size_t per_blob, Rng* rng) {
+  Matrix data(3 * per_blob, 2);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      data.At(b * per_blob + i, 0) = centers[b][0] + rng->Gaussian() * 0.3;
+      data.At(b * per_blob + i, 1) = centers[b][1] + rng->Gaussian() * 0.3;
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Rng rng(201);
+  Matrix data = ThreeBlobs(50, &rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 5;
+  Result<KMeansResult> result = RunKMeans(data, options);
+  ASSERT_TRUE(result.ok());
+  // Every blob must be pure: all members of a ground-truth blob share one id.
+  for (size_t b = 0; b < 3; ++b) {
+    const size_t id = result->assignment[b * 50];
+    for (size_t i = 1; i < 50; ++i) {
+      EXPECT_EQ(result->assignment[b * 50 + i], id) << "blob " << b;
+    }
+  }
+  // And the three blobs map to three distinct ids.
+  std::set<size_t> ids{result->assignment[0], result->assignment[50],
+                       result->assignment[100]};
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(KMeansTest, InertiaDecreasesToTightClusters) {
+  Rng rng(202);
+  Matrix data = ThreeBlobs(40, &rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  Result<KMeansResult> result = RunKMeans(data, options);
+  ASSERT_TRUE(result.ok());
+  // 120 points with sigma 0.3: inertia ~ 120 * 2 * 0.09 ~= 21.6.
+  EXPECT_LT(result->inertia, 40.0);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  Matrix data{{0.0, 0.0}, {2.0, 4.0}, {4.0, 2.0}};
+  KMeansOptions options;
+  options.num_clusters = 1;
+  Result<KMeansResult> result = RunKMeans(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(result->centroids(0, 1), 2.0, 1e-12);
+}
+
+TEST(KMeansTest, KEqualsNAssignsEachPointItsOwnCluster) {
+  Matrix data{{0.0}, {5.0}, {10.0}};
+  KMeansOptions options;
+  options.num_clusters = 3;
+  Result<KMeansResult> result = RunKMeans(data, options);
+  ASSERT_TRUE(result.ok());
+  std::set<size_t> ids(result->assignment.begin(), result->assignment.end());
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, Deterministic) {
+  Rng rng(203);
+  Matrix data = ThreeBlobs(20, &rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 99;
+  Result<KMeansResult> a = RunKMeans(data, options);
+  Result<KMeansResult> b = RunKMeans(data, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  Matrix data(2, 2);
+  KMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(RunKMeans(data, options).ok());
+  options.num_clusters = 3;
+  EXPECT_FALSE(RunKMeans(data, options).ok());
+}
+
+TEST(KMeansTest, NearestCentroid) {
+  Matrix centroids{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(NearestCentroid(centroids, Vector{1.0, 1.0}), 0u);
+  EXPECT_EQ(NearestCentroid(centroids, Vector{9.0, 9.0}), 1u);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  Matrix data(30, 2, 1.0);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  Result<KMeansResult> result = RunKMeans(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmitsToStderr) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  COHERE_LOG(Info) << "visible " << 42;
+  COHERE_LOG(Debug) << "suppressed";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("visible 42"), std::string::npos);
+  EXPECT_EQ(captured.find("suppressed"), std::string::npos);
+  EXPECT_NE(captured.find("[I "), std::string::npos);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessageDoesNotEvaluateNothing) {
+  // The macro must still be an expression statement usable in if/else.
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  if (true)
+    COHERE_LOG(Info) << "never";
+  else
+    COHERE_LOG(Info) << "also never";
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,174 @@
+#include "core/dynamic_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace cohere {
+namespace {
+
+LatentFactorConfig PopulationConfig(uint64_t seed) {
+  LatentFactorConfig config;
+  config.num_records = 300;
+  config.num_attributes = 30;
+  config.num_concepts = 5;
+  config.num_classes = 2;
+  config.noise_stddev = 0.5;
+  config.seed = seed;
+  return config;
+}
+
+DynamicEngineOptions DefaultOptions() {
+  DynamicEngineOptions options;
+  options.reduction.scaling = PcaScaling::kCorrelation;
+  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  options.reduction.target_dim = 5;
+  options.drift_threshold = 1.5;
+  options.drift_window = 40;
+  return options;
+}
+
+TEST(DynamicEngineTest, BuildsAndQueries) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(701));
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(data, DefaultOptions());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->size(), 300u);
+  const auto neighbors = index->Query(data.Record(0), 4);
+  ASSERT_EQ(neighbors.size(), 4u);
+  EXPECT_EQ(neighbors[0].index, 0u);
+  EXPECT_NEAR(neighbors[0].distance, 0.0, 1e-9);
+  EXPECT_EQ(index->label(0), data.label(0));
+}
+
+TEST(DynamicEngineTest, InsertedRecordsAreQueryable) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(702));
+  auto [fit_part, insert_part] = data.Split(250);
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(fit_part, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+
+  const Vector inserted = insert_part.Record(0);
+  ASSERT_TRUE(index->Insert(inserted, insert_part.label(0)).ok());
+  EXPECT_EQ(index->size(), 251u);
+  // Querying with the inserted record finds it first.
+  const auto neighbors = index->Query(inserted, 1);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].index, 250u);
+  EXPECT_NEAR(neighbors[0].distance, 0.0, 1e-9);
+  EXPECT_EQ(index->label(250), insert_part.label(0));
+}
+
+TEST(DynamicEngineTest, InsertRejectsWrongDimensionality) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(703));
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(data, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Insert(Vector(31)).ok());
+}
+
+TEST(DynamicEngineTest, SameDistributionInsertsDoNotAlarm) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(704));
+  auto [fit_part, insert_part] = data.Split(200);
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(fit_part, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  for (size_t i = 0; i < insert_part.NumRecords(); ++i) {
+    ASSERT_TRUE(index->Insert(insert_part.Record(i)).ok());
+  }
+  EXPECT_LT(index->DriftRatio(), 1.3);
+  EXPECT_FALSE(index->NeedsRefit());
+}
+
+TEST(DynamicEngineTest, DistributionShiftRaisesDriftAlarm) {
+  Dataset fit_data = GenerateLatentFactor(PopulationConfig(705));
+  // A different seed gives different concept loadings: the fitted axis
+  // system cannot represent the new population compactly.
+  Dataset shifted = GenerateLatentFactor(PopulationConfig(99705));
+
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(fit_data, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  EXPECT_NEAR(index->DriftRatio(), 1.0, 1e-9);  // empty window
+
+  for (size_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(index->Insert(shifted.Record(i)).ok());
+  }
+  EXPECT_GT(index->DriftRatio(), 1.5);
+  EXPECT_TRUE(index->NeedsRefit());
+}
+
+TEST(DynamicEngineTest, RefitClearsAlarmAndKeepsRecords) {
+  Dataset fit_data = GenerateLatentFactor(PopulationConfig(706));
+  Dataset shifted = GenerateLatentFactor(PopulationConfig(99706));
+
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(fit_data, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  for (size_t i = 0; i < 80; ++i) {
+    ASSERT_TRUE(index->Insert(shifted.Record(i), shifted.label(i)).ok());
+  }
+  ASSERT_TRUE(index->NeedsRefit());
+
+  const size_t before = index->size();
+  ASSERT_TRUE(index->Refit().ok());
+  EXPECT_EQ(index->size(), before);
+  EXPECT_FALSE(index->NeedsRefit());
+  EXPECT_NEAR(index->DriftRatio(), 1.0, 1e-9);
+
+  // Inserted records are still queryable after the refit.
+  const auto neighbors = index->Query(shifted.Record(0), 1);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].index, fit_data.NumRecords());
+}
+
+TEST(DynamicEngineTest, AlarmRequiresEnoughObservations) {
+  Dataset fit_data = GenerateLatentFactor(PopulationConfig(707));
+  Dataset shifted = GenerateLatentFactor(PopulationConfig(99707));
+  DynamicEngineOptions options = DefaultOptions();
+  options.drift_window = 100;
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(fit_data, options);
+  ASSERT_TRUE(index.ok());
+  // Fewer than a quarter of the window: no alarm even with huge drift.
+  for (size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index->Insert(shifted.Record(i)).ok());
+  }
+  EXPECT_FALSE(index->NeedsRefit());
+}
+
+TEST(DynamicEngineTest, SkipIndexWorks) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(708));
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(data, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  for (const Neighbor& n : index->Query(data.Record(5), 3, 5)) {
+    EXPECT_NE(n.index, 5u);
+  }
+}
+
+TEST(DynamicEngineTest, RejectsBadOptions) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(709));
+  DynamicEngineOptions options = DefaultOptions();
+  options.drift_threshold = 0.5;
+  EXPECT_FALSE(DynamicReducedIndex::Build(data, options).ok());
+  options = DefaultOptions();
+  options.drift_window = 0;
+  EXPECT_FALSE(DynamicReducedIndex::Build(data, options).ok());
+  EXPECT_FALSE(
+      DynamicReducedIndex::Build(Dataset(Matrix(0, 3)), DefaultOptions())
+          .ok());
+}
+
+TEST(DynamicEngineTest, DescribeReportsDrift) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(710));
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(data, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  const std::string desc = index->Describe();
+  EXPECT_NE(desc.find("n=300"), std::string::npos);
+  EXPECT_NE(desc.find("drift="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,151 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "data/uci_like.h"
+#include "index/linear_scan.h"
+
+namespace cohere {
+namespace {
+
+EngineOptions BasicOptions(IndexBackend backend) {
+  EngineOptions options;
+  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  options.reduction.target_dim = 8;
+  options.backend = backend;
+  return options;
+}
+
+TEST(EngineTest, BuildsAndQueries) {
+  Dataset data = IonosphereLike(151);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, BasicOptions(IndexBackend::kKdTree));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->ReducedDims(), 8u);
+  const auto neighbors = engine->Query(data.Record(0), 5);
+  ASSERT_EQ(neighbors.size(), 5u);
+  // The query point itself is indexed, so the nearest hit is itself at
+  // distance ~0.
+  EXPECT_EQ(neighbors[0].index, 0u);
+  EXPECT_NEAR(neighbors[0].distance, 0.0, 1e-9);
+}
+
+TEST(EngineTest, AllBackendsAgree) {
+  Dataset data = IonosphereLike(152);
+  Result<ReducedSearchEngine> scan =
+      ReducedSearchEngine::Build(data, BasicOptions(IndexBackend::kLinearScan));
+  Result<ReducedSearchEngine> tree =
+      ReducedSearchEngine::Build(data, BasicOptions(IndexBackend::kKdTree));
+  Result<ReducedSearchEngine> va =
+      ReducedSearchEngine::Build(data, BasicOptions(IndexBackend::kVaFile));
+  Result<ReducedSearchEngine> vp =
+      ReducedSearchEngine::Build(data, BasicOptions(IndexBackend::kVpTree));
+  Result<ReducedSearchEngine> rstar = ReducedSearchEngine::Build(
+      data, BasicOptions(IndexBackend::kRStarTree));
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vp.ok());
+  ASSERT_TRUE(rstar.ok());
+  for (size_t q = 0; q < 20; ++q) {
+    const Vector query = data.Record(q * 17 % data.NumRecords());
+    const auto expected = scan->Query(query, 4);
+    EXPECT_EQ(tree->Query(query, 4), expected);
+    EXPECT_EQ(va->Query(query, 4), expected);
+    EXPECT_EQ(rstar->Query(query, 4), expected);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      // The vp-tree computes true distances directly (no comparable-form
+      // round trip), so allow for last-ulp differences.
+      const auto vp_result = vp->Query(query, 4);
+      ASSERT_EQ(vp_result.size(), expected.size());
+      EXPECT_EQ(vp_result[i].index, expected[i].index);
+      EXPECT_NEAR(vp_result[i].distance, expected[i].distance, 1e-10);
+    }
+  }
+}
+
+TEST(EngineTest, SkipIndexSupportsLeaveOneOut) {
+  Dataset data = IonosphereLike(153);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, BasicOptions(IndexBackend::kKdTree));
+  ASSERT_TRUE(engine.ok());
+  const auto neighbors = engine->Query(data.Record(3), 2, /*skip_index=*/3);
+  for (const auto& n : neighbors) EXPECT_NE(n.index, 3u);
+}
+
+TEST(EngineTest, QueryStatsShowReducedWork) {
+  Dataset data = MuskLike(154);
+  EngineOptions options = BasicOptions(IndexBackend::kKdTree);
+  options.reduction.target_dim = 4;
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+  QueryStats stats;
+  engine->Query(data.Record(10), 3, KnnIndex::kNoSkip, &stats);
+  // In 4 reduced dimensions the kd-tree must prune a meaningful share.
+  EXPECT_LT(stats.distance_evaluations, data.NumRecords());
+}
+
+TEST(EngineTest, RejectsKdTreeWithNonTrueMetric) {
+  Dataset data = IonosphereLike(155);
+  EngineOptions options = BasicOptions(IndexBackend::kKdTree);
+  options.metric = MetricKind::kCosine;
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, RejectsVaFileWithFractionalMetric) {
+  Dataset data = IonosphereLike(156);
+  EngineOptions options = BasicOptions(IndexBackend::kVaFile);
+  options.metric = MetricKind::kFractional;
+  EXPECT_FALSE(ReducedSearchEngine::Build(data, options).ok());
+}
+
+TEST(EngineTest, LinearScanAllowsFractionalMetric) {
+  Dataset data = IonosphereLike(157);
+  EngineOptions options = BasicOptions(IndexBackend::kLinearScan);
+  options.metric = MetricKind::kFractional;
+  options.metric_p = 0.5;
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->Query(data.Record(1), 3).size(), 3u);
+}
+
+TEST(EngineTest, RejectsEmptyDataset) {
+  EXPECT_FALSE(
+      ReducedSearchEngine::Build(Dataset(Matrix(0, 3)),
+                                 BasicOptions(IndexBackend::kLinearScan))
+          .ok());
+}
+
+TEST(EngineTest, DescribeListsConfiguration) {
+  Dataset data = IonosphereLike(158);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, BasicOptions(IndexBackend::kVaFile));
+  ASSERT_TRUE(engine.ok());
+  const std::string desc = engine->Describe();
+  EXPECT_NE(desc.find("va_file"), std::string::npos);
+  EXPECT_NE(desc.find("coherence_order"), std::string::npos);
+  EXPECT_NE(desc.find("euclidean"), std::string::npos);
+}
+
+TEST(EngineTest, BackendNames) {
+  EXPECT_STREQ(IndexBackendName(IndexBackend::kLinearScan), "linear_scan");
+  EXPECT_STREQ(IndexBackendName(IndexBackend::kKdTree), "kd_tree");
+  EXPECT_STREQ(IndexBackendName(IndexBackend::kVaFile), "va_file");
+  EXPECT_STREQ(IndexBackendName(IndexBackend::kVpTree), "vp_tree");
+  EXPECT_STREQ(IndexBackendName(IndexBackend::kRStarTree), "rstar_tree");
+}
+
+TEST(EngineTest, RejectsVpTreeWithNonTrueMetric) {
+  Dataset data = IonosphereLike(159);
+  EngineOptions options = BasicOptions(IndexBackend::kVpTree);
+  options.metric = MetricKind::kFractional;
+  EXPECT_FALSE(ReducedSearchEngine::Build(data, options).ok());
+}
+
+}  // namespace
+}  // namespace cohere

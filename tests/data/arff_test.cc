@@ -1,0 +1,177 @@
+#include "data/arff.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+constexpr char kBasicArff[] = R"(% a comment
+@relation weather
+@attribute temperature numeric
+@attribute humidity real
+@attribute class {sunny, rainy}
+
+@data
+20.5, 60, sunny
+10.0, 90, rainy
+15.0, 75, sunny
+)";
+
+TEST(ArffTest, ParsesBasicFile) {
+  Result<Dataset> d = ParseArff(kBasicArff);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->name(), "weather");
+  EXPECT_EQ(d->NumRecords(), 3u);
+  EXPECT_EQ(d->NumAttributes(), 2u);
+  EXPECT_DOUBLE_EQ(d->features()(0, 0), 20.5);
+  ASSERT_TRUE(d->HasLabels());
+  EXPECT_EQ(d->label(0), 0);
+  EXPECT_EQ(d->label(1), 1);
+  EXPECT_EQ(d->class_names()[0], "sunny");
+  EXPECT_EQ(d->attribute_names()[1], "humidity");
+}
+
+TEST(ArffTest, PrefersAttributeNamedClass) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute class {a,b}\n"
+      "@attribute x numeric\n"
+      "@data\n"
+      "a, 1\n"
+      "b, 2\n";
+  Result<Dataset> d = ParseArff(arff);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->NumAttributes(), 1u);
+  EXPECT_EQ(d->label(1), 1);
+  EXPECT_EQ(d->attribute_names()[0], "x");
+}
+
+TEST(ArffTest, QuotedAttributeNames) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute 'my attr' numeric\n"
+      "@attribute class {p,q}\n"
+      "@data\n"
+      "3, q\n";
+  Result<Dataset> d = ParseArff(arff);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->attribute_names()[0], "my attr");
+  EXPECT_EQ(d->label(0), 1);
+}
+
+TEST(ArffTest, ImputesMissingNumericValues) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute x numeric\n"
+      "@attribute class {u,v}\n"
+      "@data\n"
+      "2, u\n"
+      "?, v\n"
+      "4, u\n";
+  Result<Dataset> d = ParseArff(arff);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->features()(1, 0), 3.0);
+}
+
+TEST(ArffTest, NoNominalAttributeMeansUnlabeled) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute x numeric\n"
+      "@attribute y numeric\n"
+      "@data\n"
+      "1, 2\n";
+  Result<Dataset> d = ParseArff(arff);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->HasLabels());
+  EXPECT_EQ(d->NumAttributes(), 2u);
+}
+
+TEST(ArffTest, RejectsUndeclaredClassValue) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute class {a,b}\n"
+      "@data\n"
+      "c\n";
+  EXPECT_FALSE(ParseArff(arff).ok());
+}
+
+TEST(ArffTest, RejectsMissingClassValue) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute x numeric\n"
+      "@attribute class {a,b}\n"
+      "@data\n"
+      "1, ?\n";
+  EXPECT_FALSE(ParseArff(arff).ok());
+}
+
+TEST(ArffTest, RejectsNonClassNominalAttribute) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute color {red,blue}\n"
+      "@attribute class {a,b}\n"
+      "@data\n"
+      "red, a\n";
+  EXPECT_FALSE(ParseArff(arff).ok());
+}
+
+TEST(ArffTest, RejectsSparseData) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute x numeric\n"
+      "@data\n"
+      "{0 5}\n";
+  EXPECT_FALSE(ParseArff(arff).ok());
+}
+
+TEST(ArffTest, RejectsStringAttributes) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute s string\n"
+      "@data\n"
+      "hello\n";
+  EXPECT_FALSE(ParseArff(arff).ok());
+}
+
+TEST(ArffTest, RejectsMissingDataSection) {
+  EXPECT_FALSE(ParseArff("@relation r\n@attribute x numeric\n").ok());
+}
+
+TEST(ArffTest, RejectsWrongFieldCount) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute x numeric\n"
+      "@attribute y numeric\n"
+      "@data\n"
+      "1\n";
+  EXPECT_FALSE(ParseArff(arff).ok());
+}
+
+TEST(ArffTest, RoundTripThroughFile) {
+  Matrix features{{1.0, 2.0}, {3.0, 4.0}};
+  Dataset original(features, std::vector<int>{0, 1});
+  original.set_name("rt");
+  original.SetAttributeNames({"f0", "f1"});
+  original.SetClassNames({"neg", "pos"});
+
+  const std::string path = ::testing::TempDir() + "/cohere_arff_rt.arff";
+  ASSERT_TRUE(WriteArff(original, path).ok());
+  Result<Dataset> loaded = LoadArff(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), "rt");
+  EXPECT_EQ(loaded->NumRecords(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->features()(1, 1), 4.0);
+  EXPECT_EQ(loaded->label(1), 1);
+  EXPECT_EQ(loaded->class_names()[0], "neg");
+  std::remove(path.c_str());
+}
+
+TEST(ArffTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadArff("/nonexistent/x.arff").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cohere

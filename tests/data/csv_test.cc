@@ -1,0 +1,126 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+TEST(CsvTest, ParsesUnlabeledNumeric) {
+  CsvOptions opts;
+  Result<Dataset> d = ParseCsv("1,2\n3,4\n", opts);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->NumRecords(), 2u);
+  EXPECT_EQ(d->NumAttributes(), 2u);
+  EXPECT_EQ(d->features()(1, 1), 4.0);
+  EXPECT_FALSE(d->HasLabels());
+}
+
+TEST(CsvTest, ParsesHeaderAndLabels) {
+  CsvOptions opts;
+  opts.has_header = true;
+  opts.label_column = -1;  // last column
+  Result<Dataset> d = ParseCsv("x,y,class\n1,2,cat\n3,4,dog\n5,6,cat\n", opts);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->NumAttributes(), 2u);
+  ASSERT_TRUE(d->HasLabels());
+  EXPECT_EQ(d->label(0), 0);
+  EXPECT_EQ(d->label(1), 1);
+  EXPECT_EQ(d->label(2), 0);
+  ASSERT_EQ(d->class_names().size(), 2u);
+  EXPECT_EQ(d->class_names()[0], "cat");
+  ASSERT_EQ(d->attribute_names().size(), 2u);
+  EXPECT_EQ(d->attribute_names()[1], "y");
+}
+
+TEST(CsvTest, LabelColumnInMiddle) {
+  CsvOptions opts;
+  opts.label_column = 1;
+  Result<Dataset> d = ParseCsv("1,a,2\n3,b,4\n", opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumAttributes(), 2u);
+  EXPECT_EQ(d->features()(0, 1), 2.0);
+  EXPECT_EQ(d->label(1), 1);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  CsvOptions opts;
+  Result<Dataset> d = ParseCsv("# comment\n\n1,2\n\n3,4\n", opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumRecords(), 2u);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = ';';
+  Result<Dataset> d = ParseCsv("1;2\n3;4\n", opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->features()(1, 0), 3.0);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  CsvOptions opts;
+  Result<Dataset> d = ParseCsv("1,2\n3\n", opts);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsNonNumericFeature) {
+  CsvOptions opts;
+  EXPECT_FALSE(ParseCsv("1,abc\n", opts).ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  CsvOptions opts;
+  EXPECT_FALSE(ParseCsv("", opts).ok());
+  EXPECT_FALSE(ParseCsv("# only a comment\n", opts).ok());
+}
+
+TEST(CsvTest, MissingValuesErrorByDefault) {
+  CsvOptions opts;
+  EXPECT_FALSE(ParseCsv("1,?\n2,3\n", opts).ok());
+}
+
+TEST(CsvTest, MissingValuesImputedWithColumnMean) {
+  CsvOptions opts;
+  opts.missing_values = MissingValuePolicy::kImputeColumnMean;
+  Result<Dataset> d = ParseCsv("1,?\n2,4\n3,8\n", opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->features()(0, 1), 6.0);  // mean of 4 and 8
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  Matrix features{{1.5, 2.5}, {3.5, 4.5}};
+  Dataset original(features, std::vector<int>{1, 0});
+  original.SetAttributeNames({"alpha", "beta"});
+  original.SetClassNames({"no", "yes"});
+
+  const std::string path = ::testing::TempDir() + "/cohere_csv_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+
+  CsvOptions opts;
+  opts.has_header = true;
+  opts.label_column = -1;
+  Result<Dataset> loaded = LoadCsv(path, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumRecords(), 2u);
+  EXPECT_EQ(loaded->NumAttributes(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->features()(0, 0), 1.5);
+  // "yes" is seen first in the file order (row 0), so ids may permute;
+  // compare through names.
+  EXPECT_EQ(loaded->class_names()[loaded->label(0)], "yes");
+  EXPECT_EQ(loaded->class_names()[loaded->label(1)], "no");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  CsvOptions opts;
+  Result<Dataset> d = LoadCsv("/nonexistent/definitely_missing.csv", opts);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cohere

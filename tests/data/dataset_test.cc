@@ -1,0 +1,118 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+Dataset MakeLabeled() {
+  Matrix features{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0},
+                  {10.0, 11.0, 12.0}};
+  Dataset d(std::move(features), std::vector<int>{0, 1, 0, 1});
+  d.set_name("toy");
+  d.SetAttributeNames({"a", "b", "c"});
+  d.SetClassNames({"neg", "pos"});
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeLabeled();
+  EXPECT_EQ(d.NumRecords(), 4u);
+  EXPECT_EQ(d.NumAttributes(), 3u);
+  EXPECT_TRUE(d.HasLabels());
+  EXPECT_EQ(d.label(2), 0);
+  EXPECT_EQ(d.NumClasses(), 2u);
+  EXPECT_EQ(d.name(), "toy");
+}
+
+TEST(DatasetTest, UnlabeledDataset) {
+  Dataset d(Matrix(3, 2));
+  EXPECT_FALSE(d.HasLabels());
+  EXPECT_EQ(d.NumClasses(), 0u);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset d = MakeLabeled();
+  const auto counts = d.ClassCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(DatasetTest, RecordCopies) {
+  Dataset d = MakeLabeled();
+  Vector r = d.Record(1);
+  EXPECT_EQ(r[0], 4.0);
+  EXPECT_EQ(r[2], 6.0);
+}
+
+TEST(DatasetTest, SelectAttributesKeepsLabelsAndNames) {
+  Dataset d = MakeLabeled();
+  Dataset sub = d.SelectAttributes({2, 0});
+  EXPECT_EQ(sub.NumAttributes(), 2u);
+  EXPECT_EQ(sub.features()(0, 0), 3.0);
+  EXPECT_EQ(sub.features()(0, 1), 1.0);
+  EXPECT_EQ(sub.labels(), d.labels());
+  ASSERT_EQ(sub.attribute_names().size(), 2u);
+  EXPECT_EQ(sub.attribute_names()[0], "c");
+  EXPECT_EQ(sub.class_names()[1], "pos");
+}
+
+TEST(DatasetTest, SelectRecords) {
+  Dataset d = MakeLabeled();
+  Dataset sub = d.SelectRecords({3, 1});
+  EXPECT_EQ(sub.NumRecords(), 2u);
+  EXPECT_EQ(sub.features()(0, 0), 10.0);
+  EXPECT_EQ(sub.label(0), 1);
+  EXPECT_EQ(sub.label(1), 1);
+}
+
+TEST(DatasetTest, WithFeaturesReplacesMatrixKeepsLabels) {
+  Dataset d = MakeLabeled();
+  Dataset reduced = d.WithFeatures(Matrix(4, 2, 1.0));
+  EXPECT_EQ(reduced.NumAttributes(), 2u);
+  EXPECT_EQ(reduced.labels(), d.labels());
+  // Attribute names no longer describe the new columns.
+  EXPECT_TRUE(reduced.attribute_names().empty());
+}
+
+TEST(DatasetTest, ShuffleKeepsRecordLabelPairing) {
+  Dataset d = MakeLabeled();
+  // Mark each record's first feature with its label for pair checking.
+  Matrix features = d.features();
+  for (size_t i = 0; i < 4; ++i) {
+    features.At(i, 0) = static_cast<double>(d.label(i));
+  }
+  Dataset tagged(features, d.labels());
+  Rng rng(77);
+  tagged.ShuffleRecords(&rng);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<int>(tagged.features()(i, 0)), tagged.label(i));
+  }
+}
+
+TEST(DatasetTest, SplitPartitionsInOrder) {
+  Dataset d = MakeLabeled();
+  auto [head, tail] = d.Split(3);
+  EXPECT_EQ(head.NumRecords(), 3u);
+  EXPECT_EQ(tail.NumRecords(), 1u);
+  EXPECT_EQ(tail.features()(0, 0), 10.0);
+  EXPECT_EQ(tail.label(0), 1);
+}
+
+TEST(DatasetDeathTest, MismatchedLabelsAbort) {
+  EXPECT_DEATH(Dataset(Matrix(3, 2), std::vector<int>{0, 1}), "COHERE_CHECK");
+}
+
+TEST(DatasetDeathTest, LabelAccessOnUnlabeledAborts) {
+  Dataset d(Matrix(2, 2));
+  EXPECT_DEATH(d.label(0), "COHERE_CHECK");
+}
+
+TEST(DatasetDeathTest, BadAttributeNamesAbort) {
+  Dataset d(Matrix(2, 3));
+  EXPECT_DEATH(d.SetAttributeNames({"only", "two"}), "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

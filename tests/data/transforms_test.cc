@@ -1,0 +1,95 @@
+#include "data/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "stats/covariance.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectVectorNear;
+using testing_util::RandomMatrix;
+
+TEST(ZScoreTest, ProducesZeroMeanUnitVarianceColumns) {
+  Rng rng(81);
+  Matrix data = RandomMatrix(200, 4, &rng);
+  // Stretch the columns so the transform has work to do.
+  for (size_t i = 0; i < data.rows(); ++i) {
+    data.At(i, 0) = data.At(i, 0) * 100.0 + 7.0;
+    data.At(i, 2) = data.At(i, 2) * 0.001 - 3.0;
+  }
+  auto transform = ColumnAffineTransform::FitZScore(data);
+  Matrix scaled = transform.ApplyToRows(data);
+  Vector means = ColumnMeans(scaled);
+  Vector stds = ColumnStdDevs(scaled);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(means[j], 0.0, 1e-10);
+    EXPECT_NEAR(stds[j], 1.0, 1e-10);
+  }
+}
+
+TEST(ZScoreTest, ConstantColumnStaysFinite) {
+  Matrix data{{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}};
+  auto transform = ColumnAffineTransform::FitZScore(data);
+  Matrix scaled = transform.ApplyToRows(data);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(scaled(i, 0), 0.0);  // (5-5)/1
+    EXPECT_TRUE(std::isfinite(scaled(i, 1)));
+  }
+}
+
+TEST(ZScoreTest, QueriesUseTrainingStatistics) {
+  Matrix data{{0.0}, {10.0}};
+  auto transform = ColumnAffineTransform::FitZScore(data);
+  // mean 5, population std 5 -> 20 maps to 3.
+  Vector out = transform.Apply(Vector{20.0});
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+}
+
+TEST(MinMaxTest, MapsOntoUnitInterval) {
+  Matrix data{{2.0, -1.0}, {4.0, 3.0}, {3.0, 1.0}};
+  auto transform = ColumnAffineTransform::FitMinMax(data);
+  Matrix scaled = transform.ApplyToRows(data);
+  EXPECT_DOUBLE_EQ(scaled(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scaled(2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scaled(1, 1), 1.0);
+}
+
+TEST(MeanCenterTest, CentersWithoutScaling) {
+  Matrix data{{1.0}, {3.0}};
+  auto transform = ColumnAffineTransform::FitMeanCenter(data);
+  Matrix out = transform.ApplyToRows(data);
+  EXPECT_DOUBLE_EQ(out(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 1.0);
+}
+
+TEST(TransformTest, InvertRoundTrips) {
+  Rng rng(82);
+  Matrix data = RandomMatrix(50, 3, &rng);
+  auto transform = ColumnAffineTransform::FitZScore(data);
+  const Vector point = data.Row(7);
+  ExpectVectorNear(transform.Invert(transform.Apply(point)), point, 1e-12);
+}
+
+TEST(TransformTest, ApplyToDatasetKeepsLabelsAndNames) {
+  Dataset d(Matrix{{1.0, 10.0}, {3.0, 30.0}}, std::vector<int>{0, 1});
+  d.SetAttributeNames({"a", "b"});
+  Dataset out = Studentize(d);
+  EXPECT_EQ(out.labels(), d.labels());
+  ASSERT_EQ(out.attribute_names().size(), 2u);
+  EXPECT_EQ(out.attribute_names()[0], "a");
+  Vector stds = ColumnStdDevs(out.features());
+  EXPECT_NEAR(stds[0], 1.0, 1e-12);
+  EXPECT_NEAR(stds[1], 1.0, 1e-12);
+}
+
+TEST(TransformDeathTest, DimensionMismatchAborts) {
+  auto transform = ColumnAffineTransform::FitZScore(Matrix(3, 2, 1.0));
+  EXPECT_DEATH(transform.Apply(Vector(3)), "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

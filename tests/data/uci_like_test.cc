@@ -1,0 +1,80 @@
+#include "data/uci_like.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/covariance.h"
+#include "stats/descriptive.h"
+
+namespace cohere {
+namespace {
+
+TEST(UciLikeTest, MuskLikeShape) {
+  Dataset d = MuskLike();
+  EXPECT_EQ(d.NumRecords(), 476u);
+  EXPECT_EQ(d.NumAttributes(), 166u);
+  EXPECT_EQ(d.NumClasses(), 2u);
+  EXPECT_EQ(d.name(), "musk_like");
+}
+
+TEST(UciLikeTest, IonosphereLikeShape) {
+  Dataset d = IonosphereLike();
+  EXPECT_EQ(d.NumRecords(), 351u);
+  EXPECT_EQ(d.NumAttributes(), 34u);
+  EXPECT_EQ(d.NumClasses(), 2u);
+}
+
+TEST(UciLikeTest, ArrhythmiaLikeShapeAndDominantClass) {
+  Dataset d = ArrhythmiaLike();
+  EXPECT_EQ(d.NumRecords(), 452u);
+  EXPECT_EQ(d.NumAttributes(), 279u);
+  EXPECT_EQ(d.NumClasses(), 8u);
+  const auto counts = d.ClassCounts();
+  // Class 0 (the "normal" stand-in) dominates.
+  for (size_t c = 1; c < counts.size(); ++c) {
+    EXPECT_GT(counts[0], counts[c]);
+  }
+}
+
+TEST(UciLikeTest, ScaleHeterogeneityPresent) {
+  Dataset d = ArrhythmiaLike();
+  Vector stds = ColumnStdDevs(d.features());
+  EXPECT_GT(Max(stds) / Min(stds), 20.0);
+}
+
+TEST(UciLikeTest, NoisyDataAShapeAndNoiseVariance) {
+  Dataset d = NoisyDataA();
+  EXPECT_EQ(d.NumRecords(), 351u);
+  EXPECT_EQ(d.NumAttributes(), 34u);
+  // The corrupted columns have variance ~3 (= 6^2/12) on top of the
+  // studentized unit-variance signal columns: the largest column variances
+  // must clearly exceed 1.
+  Vector stds = ColumnStdDevs(d.features());
+  EXPECT_GT(Max(stds) * Max(stds), 2.0);
+  // And a reasonable number of columns stay near unit variance.
+  size_t near_unit = 0;
+  for (double s : stds) {
+    if (std::fabs(s - 1.0) < 0.1) ++near_unit;
+  }
+  EXPECT_GE(near_unit, 20u);
+}
+
+TEST(UciLikeTest, NoisyDataBShape) {
+  Dataset d = NoisyDataB();
+  EXPECT_EQ(d.NumRecords(), 452u);
+  EXPECT_EQ(d.NumAttributes(), 279u);
+  EXPECT_TRUE(d.HasLabels());
+}
+
+TEST(UciLikeTest, SeedsChangeData) {
+  Dataset a = IonosphereLike(1);
+  Dataset b = IonosphereLike(2);
+  EXPECT_FALSE(a.features() == b.features());
+}
+
+TEST(UciLikeTest, DefaultSeedsAreReproducible) {
+  EXPECT_TRUE(MuskLike().features() == MuskLike().features());
+  EXPECT_TRUE(NoisyDataA().features() == NoisyDataA().features());
+}
+
+}  // namespace
+}  // namespace cohere

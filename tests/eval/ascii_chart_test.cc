@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+
+namespace cohere {
+namespace {
+
+TEST(AsciiChartTest, RendersSeriesGlyphsAndLegend) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<ChartSeries> series{
+      {"rising", {0.1, 0.2, 0.3, 0.4}},
+      {"falling", {0.4, 0.3, 0.2, 0.1}},
+  };
+  const std::string chart = RenderAsciiChart(x, series, 32, 8);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+  EXPECT_NE(chart.find("* = rising"), std::string::npos);
+  EXPECT_NE(chart.find("+ = falling"), std::string::npos);
+  // Axis labels carry the y range.
+  EXPECT_NE(chart.find("0.4"), std::string::npos);
+  EXPECT_NE(chart.find("0.1"), std::string::npos);
+}
+
+TEST(AsciiChartTest, ExtremesLandOnTopAndBottomRows) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<ChartSeries> series{{"line", {0.0, 1.0}}};
+  const std::string chart = RenderAsciiChart(x, series, 16, 6);
+  // First rendered row holds the max, the 6th the min.
+  std::istringstream lines(chart);
+  std::string row;
+  std::getline(lines, row);
+  EXPECT_NE(row.find('*'), std::string::npos);  // max value at the top
+  for (int i = 0; i < 5; ++i) std::getline(lines, row);
+  EXPECT_NE(row.find('*'), std::string::npos);  // min value at the bottom
+}
+
+TEST(AsciiChartTest, ConstantSeriesDoesNotDivideByZero) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<ChartSeries> series{{"flat", {0.5, 0.5, 0.5}}};
+  const std::string chart = RenderAsciiChart(x, series);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, SinglePoint) {
+  const std::vector<double> x{7.0};
+  const std::vector<ChartSeries> series{{"dot", {1.0}}};
+  EXPECT_NE(RenderAsciiChart(x, series).find('*'), std::string::npos);
+}
+
+TEST(AsciiChartDeathTest, BadInputsAbort) {
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_DEATH(RenderAsciiChart(x, {}), "COHERE_CHECK");
+  EXPECT_DEATH(RenderAsciiChart(x, {{"short", {1.0}}}), "COHERE_CHECK");
+  EXPECT_DEATH(RenderAsciiChart({2.0, 1.0}, {{"dec", {1.0, 2.0}}}),
+               "COHERE_CHECK");
+  EXPECT_DEATH(RenderAsciiChart({}, {{"empty", {}}}), "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,75 @@
+#include "eval/contrast.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace cohere {
+namespace {
+
+TEST(ContrastTest, LowDimensionalUniformHasHighContrast) {
+  Dataset d = GenerateUniformCube(500, 2, 0.0, 1.0, 181);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  Rng rng(182);
+  const ContrastResult r = RelativeContrast(d.features(), *metric, 100, &rng);
+  EXPECT_EQ(r.num_queries, 100u);
+  EXPECT_GT(r.mean_relative_contrast, 5.0);
+}
+
+TEST(ContrastTest, ContrastCollapsesWithDimensionality) {
+  // The Beyer et al. phenomenon the paper builds on: relative contrast
+  // shrinks monotonically (statistically) as dimensionality grows.
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t d : {2u, 10u, 50u, 200u}) {
+    Dataset data = GenerateUniformCube(400, d, 0.0, 1.0, 183 + d);
+    Rng rng(184);
+    const ContrastResult r =
+        RelativeContrast(data.features(), *metric, 80, &rng);
+    EXPECT_LT(r.mean_relative_contrast, prev) << "d=" << d;
+    prev = r.mean_relative_contrast;
+  }
+  EXPECT_LT(prev, 0.5);  // essentially no contrast at d=200
+}
+
+TEST(ContrastTest, AllRowsUsedWhenQueriesExceedData) {
+  Dataset d = GenerateUniformCube(50, 3, 0.0, 1.0, 185);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  Rng rng(186);
+  const ContrastResult r = RelativeContrast(d.features(), *metric, 500, &rng);
+  EXPECT_EQ(r.num_queries, 50u);
+}
+
+TEST(ContrastTest, DuplicatePointsSkipped) {
+  Matrix data(4, 2);
+  data.At(0, 0) = 1.0;
+  data.At(1, 0) = 1.0;  // duplicate of row 0
+  data.At(2, 0) = 5.0;
+  data.At(3, 0) = 9.0;
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  Rng rng(187);
+  const ContrastResult r = RelativeContrast(data, *metric, 4, &rng);
+  // Queries 0 and 1 have dmin = 0 and are skipped.
+  EXPECT_EQ(r.num_queries, 2u);
+  EXPECT_GT(r.mean_ratio, 1.0);
+}
+
+TEST(ContrastTest, MedianAndRatioConsistent) {
+  Dataset d = GenerateUniformCube(200, 5, 0.0, 1.0, 188);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  Rng rng(189);
+  const ContrastResult r = RelativeContrast(d.features(), *metric, 60, &rng);
+  EXPECT_GT(r.median_relative_contrast, 0.0);
+  // ratio = contrast + 1 per query, so means obey the same identity.
+  EXPECT_NEAR(r.mean_ratio, r.mean_relative_contrast + 1.0, 1e-9);
+}
+
+TEST(ContrastDeathTest, TooFewRowsAbort) {
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  Rng rng(190);
+  EXPECT_DEATH(RelativeContrast(Matrix(1, 2), *metric, 1, &rng),
+               "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,120 @@
+#include "eval/knn_quality.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "index/linear_scan.h"
+
+namespace cohere {
+namespace {
+
+TEST(KnnAccuracyTest, PerfectlySeparatedClustersScoreOne) {
+  // Two tight clusters far apart, labels matching clusters.
+  Matrix features(20, 2);
+  std::vector<int> labels(20);
+  Rng rng(161);
+  for (size_t i = 0; i < 20; ++i) {
+    const bool second = i >= 10;
+    features.At(i, 0) = (second ? 100.0 : 0.0) + rng.Gaussian() * 0.01;
+    features.At(i, 1) = rng.Gaussian() * 0.01;
+    labels[i] = second ? 1 : 0;
+  }
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  EXPECT_DOUBLE_EQ(KnnPredictionAccuracy(features, labels, 3, *metric), 1.0);
+}
+
+TEST(KnnAccuracyTest, AlternatingLineScoresZeroForKOne) {
+  // Points on a line with strictly alternating labels: every nearest
+  // neighbor has the other label.
+  Matrix features(10, 1);
+  std::vector<int> labels(10);
+  for (size_t i = 0; i < 10; ++i) {
+    features.At(i, 0) = static_cast<double>(i);
+    labels[i] = static_cast<int>(i % 2);
+  }
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  EXPECT_DOUBLE_EQ(KnnPredictionAccuracy(features, labels, 1, *metric), 0.0);
+}
+
+TEST(KnnAccuracyTest, RandomLabelsScoreNearChance) {
+  Rng rng(162);
+  Matrix features(300, 5);
+  std::vector<int> labels(300);
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t j = 0; j < 5; ++j) features.At(i, j) = rng.Gaussian();
+    labels[i] = static_cast<int>(rng.UniformInt(0, 1));
+  }
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  const double acc = KnnPredictionAccuracy(features, labels, 3, *metric);
+  EXPECT_NEAR(acc, 0.5, 0.08);
+}
+
+TEST(KnnAccuracyTest, IndexOverloadMatchesMatrixOverload) {
+  Rng rng(163);
+  Matrix features(60, 4);
+  std::vector<int> labels(60);
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = 0; j < 4; ++j) features.At(i, j) = rng.Gaussian();
+    labels[i] = static_cast<int>(rng.UniformInt(0, 2));
+  }
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(features, metric.get());
+  EXPECT_DOUBLE_EQ(KnnPredictionAccuracy(features, labels, 3, *metric),
+                   KnnPredictionAccuracy(index, features, labels, 3));
+}
+
+TEST(KnnAccuracyDeathTest, BadArgumentsAbort) {
+  Matrix features(5, 2);
+  std::vector<int> labels(4);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  EXPECT_DEATH(KnnPredictionAccuracy(features, labels, 3, *metric),
+               "COHERE_CHECK");
+  std::vector<int> ok_labels(5, 0);
+  EXPECT_DEATH(KnnPredictionAccuracy(features, ok_labels, 0, *metric),
+               "COHERE_CHECK");
+}
+
+TEST(OverlapTest, IdenticalSpacesOverlapFully) {
+  Rng rng(164);
+  Matrix features(40, 3);
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t j = 0; j < 3; ++j) features.At(i, j) = rng.Gaussian();
+  }
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  const NeighborOverlap o = ReducedSpaceOverlap(features, features, 4, *metric);
+  EXPECT_DOUBLE_EQ(o.precision, 1.0);
+  EXPECT_DOUBLE_EQ(o.recall, 1.0);
+  EXPECT_EQ(o.k, 4u);
+}
+
+TEST(OverlapTest, UnrelatedSpacesOverlapNearChance) {
+  Rng rng(165);
+  Matrix a(100, 4);
+  Matrix b(100, 4);
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      a.At(i, j) = rng.Gaussian();
+      b.At(i, j) = rng.Gaussian();
+    }
+  }
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  const NeighborOverlap o = ReducedSpaceOverlap(a, b, 3, *metric);
+  // Chance overlap for k of n-1 candidates is ~k/(n-1) ~= 0.03.
+  EXPECT_LT(o.precision, 0.15);
+}
+
+TEST(OverlapTest, ScaledSpaceKeepsNeighbors) {
+  // Isotropic scaling preserves the neighbor sets exactly.
+  Rng rng(166);
+  Matrix a(50, 3);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 3; ++j) a.At(i, j) = rng.Gaussian();
+  }
+  Matrix b = a;
+  b *= 42.0;
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  EXPECT_DOUBLE_EQ(ReducedSpaceOverlap(a, b, 5, *metric).precision, 1.0);
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,84 @@
+#include "eval/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22.5"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Column 2 entries start at the same offset on each data line.
+  std::istringstream lines(out);
+  std::string header;
+  std::string underline;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, underline);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find("value"), row1.find('1'));
+  EXPECT_EQ(header.find("value"), row2.find("22.5"));
+}
+
+TEST(TextTableTest, CountsRows) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.NumRows(), 0u);
+  table.AddRow({"1"});
+  EXPECT_EQ(table.NumRows(), 1u);
+}
+
+TEST(TextTableDeathTest, WrongArityAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "COHERE_CHECK");
+}
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-1.0, 0), "-1");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.4235), "42.4%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(SeriesCsvTest, WritesColumns) {
+  const std::string path = ::testing::TempDir() + "/cohere_series.csv";
+  Status s = WriteSeriesCsv(path, {"dims", "acc"},
+                            {{1.0, 2.0, 3.0}, {0.5, 0.75, 0.7}});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::ifstream file(path);
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "dims,acc");
+  std::getline(file, line);
+  EXPECT_EQ(line, "1,0.5");
+  std::remove(path.c_str());
+}
+
+TEST(SeriesCsvTest, RejectsMismatchedColumns) {
+  EXPECT_FALSE(WriteSeriesCsv("/tmp/x.csv", {"a"}, {{1.0}, {2.0}}).ok());
+  EXPECT_FALSE(
+      WriteSeriesCsv("/tmp/x.csv", {"a", "b"}, {{1.0}, {2.0, 3.0}}).ok());
+  EXPECT_FALSE(WriteSeriesCsv("/tmp/x.csv", {}, {}).ok());
+}
+
+TEST(SeriesCsvTest, BadPathFails) {
+  EXPECT_EQ(WriteSeriesCsv("/nonexistent_dir/x.csv", {"a"}, {{1.0}})
+                .code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cohere

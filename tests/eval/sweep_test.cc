@@ -1,0 +1,108 @@
+#include "eval/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/knn_quality.h"
+#include "index/metric.h"
+#include "stats/rng.h"
+
+namespace cohere {
+namespace {
+
+TEST(MakeSweepDimsTest, SmallDimensionalityEnumeratesAll) {
+  const auto dims = MakeSweepDims(5);
+  EXPECT_EQ(dims, (std::vector<size_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(MakeSweepDimsTest, LargeDimensionalityCapsPointsAndCoversEnds) {
+  const auto dims = MakeSweepDims(500, 20);
+  EXPECT_LE(dims.size(), 20u);
+  EXPECT_EQ(dims.front(), 1u);
+  EXPECT_EQ(dims.back(), 500u);
+  EXPECT_TRUE(std::is_sorted(dims.begin(), dims.end()));
+}
+
+TEST(MakeSweepDimsTest, SingleDimension) {
+  EXPECT_EQ(MakeSweepDims(1), (std::vector<size_t>{1}));
+}
+
+TEST(SweepTest, MatchesDirectAccuracyAtEachDimensionality) {
+  Rng rng(171);
+  Matrix scores(80, 6);
+  std::vector<int> labels(80);
+  for (size_t i = 0; i < 80; ++i) {
+    labels[i] = static_cast<int>(rng.UniformInt(0, 1));
+    for (size_t j = 0; j < 6; ++j) {
+      scores.At(i, j) = rng.Gaussian() + (labels[i] == 1 && j < 2 ? 2.0 : 0.0);
+    }
+  }
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  const auto dims = MakeSweepDims(6);
+  const DimensionSweepResult sweep =
+      SweepPredictionAccuracy(scores, labels, 3, dims);
+  ASSERT_EQ(sweep.points.size(), 6u);
+  for (const SweepPoint& p : sweep.points) {
+    std::vector<size_t> cols(p.dims);
+    for (size_t c = 0; c < p.dims; ++c) cols[c] = c;
+    const double direct =
+        KnnPredictionAccuracy(scores.SelectCols(cols), labels, 3, *metric);
+    EXPECT_NEAR(p.accuracy, direct, 1e-12) << "at dims=" << p.dims;
+  }
+}
+
+TEST(SweepTest, BestAccessorsConsistent) {
+  DimensionSweepResult r;
+  r.points = {{1, 0.5}, {2, 0.8}, {3, 0.8}, {4, 0.6}};
+  EXPECT_EQ(r.BestDims(), 2u);  // smallest dims among ties
+  EXPECT_DOUBLE_EQ(r.BestAccuracy(), 0.8);
+  EXPECT_DOUBLE_EQ(r.LastAccuracy(), 0.6);
+}
+
+TEST(SweepTest, InformativeFirstColumnPeaksEarly) {
+  // Column 0 separates the classes; the rest are pure noise. Accuracy must
+  // peak at low dimensionality and decay as noise is appended.
+  Rng rng(172);
+  const size_t n = 150;
+  Matrix scores(n, 12);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(rng.UniformInt(0, 1));
+    scores.At(i, 0) = labels[i] == 1 ? 4.0 + rng.Gaussian() * 0.2
+                                     : rng.Gaussian() * 0.2;
+    for (size_t j = 1; j < 12; ++j) scores.At(i, j) = rng.Gaussian() * 3.0;
+  }
+  const DimensionSweepResult sweep =
+      SweepPredictionAccuracy(scores, labels, 3, MakeSweepDims(12));
+  EXPECT_EQ(sweep.BestDims(), 1u);
+  EXPECT_GT(sweep.BestAccuracy(), 0.95);
+  EXPECT_LT(sweep.LastAccuracy(), sweep.BestAccuracy());
+}
+
+TEST(SweepTest, SubsetOfDimsEvaluated) {
+  Rng rng(173);
+  Matrix scores(30, 10);
+  std::vector<int> labels(30);
+  for (size_t i = 0; i < 30; ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    for (size_t j = 0; j < 10; ++j) scores.At(i, j) = rng.Gaussian();
+  }
+  const std::vector<size_t> dims{2, 5, 10};
+  const DimensionSweepResult sweep =
+      SweepPredictionAccuracy(scores, labels, 1, dims);
+  ASSERT_EQ(sweep.points.size(), 3u);
+  EXPECT_EQ(sweep.points[0].dims, 2u);
+  EXPECT_EQ(sweep.points[2].dims, 10u);
+}
+
+TEST(SweepDeathTest, BadArgumentsAbort) {
+  Matrix scores(10, 3);
+  std::vector<int> labels(10, 0);
+  EXPECT_DEATH(SweepPredictionAccuracy(scores, labels, 3, {}), "COHERE_CHECK");
+  EXPECT_DEATH(SweepPredictionAccuracy(scores, labels, 3, {4}),
+               "COHERE_CHECK");
+  EXPECT_DEATH(SweepPredictionAccuracy(scores, labels, 3, {2, 1}),
+               "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

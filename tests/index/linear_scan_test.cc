@@ -1,0 +1,111 @@
+#include "index/linear_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace cohere {
+namespace {
+
+TEST(KnnCollectorTest, KeepsKSmallest) {
+  KnnCollector c(2);
+  c.Offer(0, 5.0);
+  c.Offer(1, 1.0);
+  c.Offer(2, 3.0);
+  c.Offer(3, 0.5);
+  const auto out = c.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].index, 3u);
+  EXPECT_EQ(out[1].index, 1u);
+}
+
+TEST(KnnCollectorTest, ThresholdIsInfinityUntilFull) {
+  KnnCollector c(3);
+  EXPECT_TRUE(std::isinf(c.Threshold()));
+  c.Offer(0, 1.0);
+  c.Offer(1, 2.0);
+  EXPECT_TRUE(std::isinf(c.Threshold()));
+  c.Offer(2, 3.0);
+  EXPECT_EQ(c.Threshold(), 3.0);
+  c.Offer(3, 0.5);
+  EXPECT_EQ(c.Threshold(), 2.0);
+}
+
+TEST(KnnCollectorTest, TieBrokenByIndex) {
+  KnnCollector c(2);
+  c.Offer(5, 1.0);
+  c.Offer(2, 1.0);
+  c.Offer(9, 1.0);
+  const auto out = c.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].index, 2u);
+  EXPECT_EQ(out[1].index, 5u);
+}
+
+TEST(KnnCollectorTest, ZeroKReturnsEmpty) {
+  KnnCollector c(0);
+  c.Offer(0, 1.0);
+  EXPECT_TRUE(c.Take().empty());
+}
+
+TEST(LinearScanTest, FindsExactNeighbors) {
+  Matrix data{{0.0, 0.0}, {1.0, 0.0}, {0.0, 2.0}, {5.0, 5.0}};
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+  const auto result = index.Query(Vector{0.1, 0.0}, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].index, 0u);
+  EXPECT_EQ(result[1].index, 1u);
+  EXPECT_NEAR(result[0].distance, 0.1, 1e-12);
+  EXPECT_NEAR(result[1].distance, 0.9, 1e-12);
+}
+
+TEST(LinearScanTest, SkipIndexExcludesSelf) {
+  Matrix data{{0.0}, {1.0}, {2.0}};
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+  const auto result = index.Query(Vector{0.0}, 1, /*skip_index=*/0, nullptr);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].index, 1u);
+}
+
+TEST(LinearScanTest, KLargerThanDataReturnsAll) {
+  Matrix data{{0.0}, {1.0}};
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+  EXPECT_EQ(index.Query(Vector{0.0}, 10).size(), 2u);
+}
+
+TEST(LinearScanTest, StatsCountDistanceEvaluations) {
+  Rng rng(95);
+  Matrix data(50, 3);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 3; ++j) data.At(i, j) = rng.Gaussian();
+  }
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+  QueryStats stats;
+  index.Query(Vector(3), 5, KnnIndex::kNoSkip, &stats);
+  EXPECT_EQ(stats.distance_evaluations, 50u);
+}
+
+TEST(LinearScanTest, WorksWithNonMetricDistances) {
+  Matrix data{{1.0, 0.0}, {0.0, 1.0}, {0.7, 0.7}};
+  auto metric = MakeMetric(MetricKind::kCosine);
+  LinearScanIndex index(data, metric.get());
+  const auto result = index.Query(Vector{1.0, 1.0}, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].index, 2u);
+}
+
+TEST(LinearScanTest, SizeAndDims) {
+  Matrix data(7, 4);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+  EXPECT_EQ(index.size(), 7u);
+  EXPECT_EQ(index.dims(), 4u);
+  EXPECT_EQ(index.name(), "linear_scan");
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,111 @@
+#include "index/metric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace cohere {
+namespace {
+
+TEST(MetricTest, EuclideanKnownValues) {
+  auto m = MakeMetric(MetricKind::kEuclidean);
+  EXPECT_DOUBLE_EQ(m->Distance(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(m->ComparableDistance(Vector{0.0, 0.0}, Vector{3.0, 4.0}),
+                   25.0);
+  EXPECT_DOUBLE_EQ(m->ComparableToActual(25.0), 5.0);
+  EXPECT_TRUE(m->IsTrueMetric());
+}
+
+TEST(MetricTest, ManhattanKnownValues) {
+  auto m = MakeMetric(MetricKind::kManhattan);
+  EXPECT_DOUBLE_EQ(m->Distance(Vector{1.0, -1.0}, Vector{4.0, 1.0}), 5.0);
+  EXPECT_TRUE(m->IsTrueMetric());
+}
+
+TEST(MetricTest, ChebyshevKnownValues) {
+  auto m = MakeMetric(MetricKind::kChebyshev);
+  EXPECT_DOUBLE_EQ(m->Distance(Vector{1.0, -1.0}, Vector{4.0, 1.0}), 3.0);
+}
+
+TEST(MetricTest, FractionalKnownValues) {
+  auto m = MakeMetric(MetricKind::kFractional, 0.5);
+  // (sqrt(1) + sqrt(4))^2 = 9.
+  EXPECT_NEAR(m->Distance(Vector{0.0, 0.0}, Vector{1.0, 4.0}), 9.0, 1e-12);
+  EXPECT_FALSE(m->IsTrueMetric());
+}
+
+TEST(MetricTest, CosineKnownValues) {
+  auto m = MakeMetric(MetricKind::kCosine);
+  EXPECT_NEAR(m->Distance(Vector{1.0, 0.0}, Vector{0.0, 1.0}), 1.0, 1e-12);
+  EXPECT_NEAR(m->Distance(Vector{1.0, 0.0}, Vector{2.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(m->Distance(Vector{1.0, 0.0}, Vector{-1.0, 0.0}), 2.0, 1e-12);
+  EXPECT_EQ(m->Distance(Vector{0.0, 0.0}, Vector{1.0, 0.0}), 1.0);
+  EXPECT_FALSE(m->IsTrueMetric());
+}
+
+TEST(MetricTest, NamesAndKinds) {
+  EXPECT_EQ(MakeMetric(MetricKind::kEuclidean)->name(), "euclidean");
+  EXPECT_EQ(MakeMetric(MetricKind::kManhattan)->kind(),
+            MetricKind::kManhattan);
+}
+
+class MetricPropertyTest : public ::testing::TestWithParam<MetricKind> {};
+
+TEST_P(MetricPropertyTest, SymmetryAndIdentity) {
+  auto m = MakeMetric(GetParam(), 0.5);
+  Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vector a = rng.GaussianVector(6);
+    const Vector b = rng.GaussianVector(6);
+    EXPECT_NEAR(m->Distance(a, b), m->Distance(b, a), 1e-12);
+    EXPECT_NEAR(m->Distance(a, a), 0.0, 1e-12);
+    EXPECT_GE(m->Distance(a, b), 0.0);
+  }
+}
+
+TEST_P(MetricPropertyTest, ComparableIsMonotone) {
+  auto m = MakeMetric(GetParam(), 0.5);
+  Rng rng(92);
+  const Vector origin(5);
+  Vector prev_pair_a;
+  double prev_actual = -1.0;
+  double prev_comparable = -1.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vector x = rng.GaussianVector(5);
+    const double actual = m->Distance(origin, x);
+    const double comparable = m->ComparableDistance(origin, x);
+    EXPECT_NEAR(m->ComparableToActual(comparable), actual, 1e-10);
+    if (prev_actual >= 0.0) {
+      EXPECT_EQ(actual < prev_actual, comparable < prev_comparable)
+          << "comparable form must order like the actual distance";
+    }
+    prev_actual = actual;
+    prev_comparable = comparable;
+    prev_pair_a = x;
+  }
+}
+
+TEST_P(MetricPropertyTest, TrueMetricsSatisfyTriangleInequality) {
+  auto m = MakeMetric(GetParam(), 0.5);
+  if (!m->IsTrueMetric()) GTEST_SKIP() << "not a true metric";
+  Rng rng(93);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vector a = rng.GaussianVector(4);
+    const Vector b = rng.GaussianVector(4);
+    const Vector c = rng.GaussianVector(4);
+    EXPECT_LE(m->Distance(a, c),
+              m->Distance(a, b) + m->Distance(b, c) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricPropertyTest,
+                         ::testing::Values(MetricKind::kEuclidean,
+                                           MetricKind::kManhattan,
+                                           MetricKind::kChebyshev,
+                                           MetricKind::kFractional,
+                                           MetricKind::kCosine));
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,169 @@
+// Failure-injection and property tests across module boundaries: malformed
+// inputs must fail with Status (never crash or poison results), and the
+// selection machinery must honor its ordering contracts.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/arff.h"
+#include "data/csv.h"
+#include "data/uci_like.h"
+#include "index/linear_scan.h"
+#include "reduction/pipeline.h"
+#include "reduction/serialization.h"
+
+namespace cohere {
+namespace {
+
+TEST(RobustnessTest, MalformedCsvInputsFailCleanly) {
+  CsvOptions options;
+  const char* cases[] = {
+      "",                         // empty
+      "\n\n\n",                   // only blank lines
+      "a,b,c\n",                  // all non-numeric, no header flag
+      "1,2\n3\n",                 // ragged
+      "1,2\nx,y\n",               // numbers then garbage
+      "1,2\n3,1e999999\n",        // overflow
+      ",,,\n,,,\n",               // empty fields (missing, default policy)
+      "1;2\n",                    // wrong delimiter => one non-numeric field
+  };
+  for (const char* input : cases) {
+    Result<Dataset> parsed = ParseCsv(input, options);
+    EXPECT_FALSE(parsed.ok()) << "input: " << input;
+  }
+}
+
+TEST(RobustnessTest, MalformedArffInputsFailCleanly) {
+  const char* cases[] = {
+      "",
+      "@data\n1\n",                                  // data before attributes
+      "@relation r\n@attribute x numeric\n",         // missing @data
+      "@relation r\n@attribute x weird\n@data\n1\n", // bad type
+      "@relation r\n@attribute x numeric\n@data\n1,2\n",  // arity
+      "@relation r\n@attribute c {a\n@data\na\n",    // unterminated nominal
+      "random noise\n",
+  };
+  for (const char* input : cases) {
+    Result<Dataset> parsed = ParseArff(input);
+    EXPECT_FALSE(parsed.ok()) << "input: " << input;
+  }
+}
+
+TEST(RobustnessTest, PcaRejectsNonFiniteData) {
+  Matrix data(5, 3, 1.0);
+  data.At(2, 1) = std::nan("");
+  EXPECT_FALSE(PcaModel::Fit(data, PcaScaling::kCovariance).ok());
+  data.At(2, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(PcaModel::Fit(data, PcaScaling::kCorrelation).ok());
+  EXPECT_FALSE(PcaModel::FitWithSvd(data, PcaScaling::kCovariance).ok());
+}
+
+TEST(RobustnessTest, AllFiniteHelper) {
+  Matrix clean(2, 2, 1.0);
+  EXPECT_TRUE(AllFinite(clean));
+  clean.At(0, 1) = -std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AllFinite(clean));
+  EXPECT_TRUE(AllFinite(Vector{1.0, 2.0}));
+  EXPECT_FALSE(AllFinite(Vector{1.0, std::nan("")}));
+}
+
+TEST(PipelinePropertyTest, VarianceRetainedMonotoneInTargetDim) {
+  Dataset data = IonosphereLike(1301);
+  double previous = -1.0;
+  for (size_t dims = 1; dims <= data.NumAttributes(); dims += 3) {
+    ReductionOptions options;
+    options.strategy = SelectionStrategy::kEigenvalueOrder;
+    options.target_dim = dims;
+    Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+    ASSERT_TRUE(pipeline.ok());
+    EXPECT_GE(pipeline->VarianceRetainedFraction(), previous - 1e-12);
+    previous = pipeline->VarianceRetainedFraction();
+  }
+  EXPECT_GT(previous, 0.9);  // near-full dims retain almost everything
+}
+
+TEST(PipelinePropertyTest, EigenvalueOrderMaximizesVarianceAtEveryDim) {
+  // Among the built-in orderings, the eigenvalue prefix must retain at
+  // least as much variance as the coherence prefix of the same size.
+  Dataset data = NoisyDataA(1302);
+  for (size_t dims : {3u, 8u, 15u}) {
+    ReductionOptions eigen;
+    eigen.scaling = PcaScaling::kCovariance;
+    eigen.strategy = SelectionStrategy::kEigenvalueOrder;
+    eigen.target_dim = dims;
+    ReductionOptions coherence = eigen;
+    coherence.strategy = SelectionStrategy::kCoherenceOrder;
+    Result<ReductionPipeline> a = ReductionPipeline::Fit(data, eigen);
+    Result<ReductionPipeline> b = ReductionPipeline::Fit(data, coherence);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_GE(a->VarianceRetainedFraction(),
+              b->VarianceRetainedFraction() - 1e-12);
+  }
+}
+
+TEST(PipelinePropertyTest, CoherencePrefixMaximizesCoherenceSum) {
+  Dataset data = NoisyDataA(1303);
+  ReductionOptions options;
+  options.scaling = PcaScaling::kCovariance;
+  options.strategy = SelectionStrategy::kCoherenceOrder;
+  options.target_dim = 10;
+  Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+  ASSERT_TRUE(pipeline.ok());
+  const Vector& prob = pipeline->coherence().probability;
+  double kept = 0.0;
+  for (size_t c : pipeline->components()) kept += prob[c];
+  // No other 10-subset can beat it; check against the eigenvalue prefix.
+  double eigen_prefix = 0.0;
+  for (size_t i = 0; i < 10; ++i) eigen_prefix += prob[i];
+  EXPECT_GE(kept, eigen_prefix - 1e-12);
+}
+
+TEST(SerializationIntegrationTest, LoadedPipelineServesIdenticalQueries) {
+  Dataset data = IonosphereLike(1304);
+  ReductionOptions options;
+  options.strategy = SelectionStrategy::kCoherenceOrder;
+  options.target_dim = 8;
+  Result<ReductionPipeline> fitted = ReductionPipeline::Fit(data, options);
+  ASSERT_TRUE(fitted.ok());
+
+  const std::string path = ::testing::TempDir() + "/pipeline_queries.txt";
+  ASSERT_TRUE(SaveReductionPipeline(*fitted, path).ok());
+  Result<ReductionPipeline> loaded = LoadReductionPipeline(path);
+  ASSERT_TRUE(loaded.ok());
+
+  // Build identical indexes over both reduced spaces and compare answers.
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex fitted_index(fitted->TransformDataset(data).features(),
+                               metric.get());
+  LinearScanIndex loaded_index(loaded->TransformDataset(data).features(),
+                               metric.get());
+  for (size_t q = 0; q < data.NumRecords(); q += 13) {
+    const Vector fitted_query = fitted->TransformPoint(data.Record(q));
+    const Vector loaded_query = loaded->TransformPoint(data.Record(q));
+    EXPECT_EQ(fitted_index.Query(fitted_query, 5),
+              loaded_index.Query(loaded_query, 5));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, ConstantDatasetSurvivesTheWholePipeline) {
+  // All-identical records: zero variance everywhere. Nothing meaningful to
+  // find, but nothing may crash either.
+  Dataset data(Matrix(40, 6, 3.0), std::vector<int>(40, 0));
+  ReductionOptions options;
+  options.strategy = SelectionStrategy::kEigenvalueOrder;
+  options.target_dim = 2;
+  Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+  ASSERT_TRUE(pipeline.ok());
+  Dataset reduced = pipeline->TransformDataset(data);
+  EXPECT_EQ(reduced.NumAttributes(), 2u);
+  for (size_t i = 0; i < reduced.NumRecords(); ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_TRUE(std::isfinite(reduced.features()(i, j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cohere

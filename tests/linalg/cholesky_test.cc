@@ -1,0 +1,76 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectMatrixNear;
+using testing_util::ExpectVectorNear;
+using testing_util::RandomSpd;
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  // [[4,2],[2,3]] = L L^T with L = [[2,0],[1,sqrt(2)]].
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(l->At(0, 0), 2.0, 1e-14);
+  EXPECT_NEAR(l->At(1, 0), 1.0, 1e-14);
+  EXPECT_NEAR(l->At(1, 1), std::sqrt(2.0), 1e-14);
+  EXPECT_EQ(l->At(0, 1), 0.0);
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng rng(41);
+  const Matrix a = RandomSpd(10, &rng);
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  ExpectMatrixNear(MultiplyTransposeB(*l, *l), a, 1e-9);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Rng rng(42);
+  const Matrix a = RandomSpd(8, &rng);
+  const Vector x_true = rng.GaussianVector(8);
+  // Build the RHS from the true solution and solve back.
+  Vector b = MatVec(a, x_true);
+  Result<Vector> x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  ExpectVectorNear(*x, x_true, 1e-9);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(CholeskyFactor(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  Result<Matrix> l = CholeskyFactor(a);
+  EXPECT_FALSE(l.ok());
+  EXPECT_EQ(l.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskyPropertyTest, RoundTripSolve) {
+  const size_t n = GetParam();
+  Rng rng(600 + n);
+  const Matrix a = RandomSpd(n, &rng);
+  const Vector x_true = rng.GaussianVector(n);
+  Result<Vector> x = SolveSpd(a, MatVec(a, x_true));
+  ASSERT_TRUE(x.ok());
+  ExpectVectorNear(*x, x_true, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,84 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectMatrixNear;
+using testing_util::ExpectOrthonormalColumns;
+using testing_util::RandomSymmetric;
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix a = Matrix::Diagonal(Vector{1.0, 4.0, 2.0});
+  Result<EigenDecomposition> result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 4.0, 1e-13);
+  EXPECT_NEAR(result->eigenvalues[1], 2.0, 1e-13);
+  EXPECT_NEAR(result->eigenvalues[2], 1.0, 1e-13);
+}
+
+TEST(JacobiEigenTest, ReconstructsRandomMatrix) {
+  Rng rng(21);
+  const Matrix a = RandomSymmetric(12, &rng);
+  Result<EigenDecomposition> result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  const Matrix& v = result->eigenvectors;
+  ExpectMatrixNear(
+      Multiply(Multiply(v, Matrix::Diagonal(result->eigenvalues)),
+               v.Transposed()),
+      a, 1e-10);
+  ExpectOrthonormalColumns(v, 1e-12);
+}
+
+TEST(JacobiEigenTest, RejectsNonSquareAndNonSymmetric) {
+  EXPECT_FALSE(JacobiEigen(Matrix(2, 3)).ok());
+  Matrix asym{{1.0, 5.0}, {0.0, 1.0}};
+  EXPECT_FALSE(JacobiEigen(asym).ok());
+}
+
+// Cross-check: Jacobi and tridiagonal-QL must agree on the spectrum.
+class SolverAgreementTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SolverAgreementTest, EigenvaluesAgree) {
+  const size_t n = GetParam();
+  Rng rng(300 + n);
+  const Matrix a = RandomSymmetric(n, &rng);
+  Result<EigenDecomposition> jacobi = JacobiEigen(a);
+  Result<EigenDecomposition> ql = SymmetricEigen(a);
+  ASSERT_TRUE(jacobi.ok());
+  ASSERT_TRUE(ql.ok());
+  const double scale = std::max(1.0, a.MaxAbs());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(jacobi->eigenvalues[i], ql->eigenvalues[i], 1e-10 * scale);
+  }
+}
+
+TEST_P(SolverAgreementTest, EigenvectorsSpanSameSubspaces) {
+  const size_t n = GetParam();
+  Rng rng(400 + n);
+  const Matrix a = RandomSymmetric(n, &rng);
+  Result<EigenDecomposition> jacobi = JacobiEigen(a);
+  Result<EigenDecomposition> ql = SymmetricEigen(a);
+  ASSERT_TRUE(jacobi.ok());
+  ASSERT_TRUE(ql.ok());
+  // For each eigenvector of one solver, A v must equal lambda v for the
+  // other solver's eigenvalue at that rank (robust to sign/rotation within
+  // degenerate eigenspaces, which random matrices avoid anyway).
+  for (size_t i = 0; i < n; ++i) {
+    const Vector v = jacobi->eigenvectors.Col(i);
+    const Vector av = MatVec(a, v);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(av[j], ql->eigenvalues[i] * v[j], 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolverAgreementTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,187 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectMatrixNear;
+using testing_util::RandomMatrix;
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ShapeConstructorZeroFills) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 0.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixDeathTest, RaggedInitializerAborts) {
+  EXPECT_DEATH((Matrix{{1.0, 2.0}, {3.0}}), "ragged");
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_EQ(eye(0, 0), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+  EXPECT_EQ(eye.Trace(), 3.0);
+}
+
+TEST(MatrixTest, Diagonal) {
+  Matrix d = Matrix::Diagonal(Vector{2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAndColCopies) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  Vector row = m.Row(1);
+  Vector col = m.Col(0);
+  EXPECT_EQ(row[0], 3.0);
+  EXPECT_EQ(row[1], 4.0);
+  EXPECT_EQ(col[0], 1.0);
+  EXPECT_EQ(col[1], 3.0);
+}
+
+TEST(MatrixTest, SetRowAndSetCol) {
+  Matrix m(2, 2);
+  m.SetRow(0, Vector{1.0, 2.0});
+  m.SetCol(1, Vector{5.0, 6.0});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 5.0);
+  EXPECT_EQ(m(1, 1), 6.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, ArithmeticAndNorms) {
+  Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  Matrix b{{0.0, 2.0}, {3.0, 0.0}};
+  Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 1), 2.0);
+  Matrix diff = sum - b;
+  EXPECT_TRUE(diff == a);
+  Matrix scaled = a * 2.0;
+  EXPECT_EQ(scaled(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(b.FrobeniusNorm(), std::sqrt(13.0));
+  EXPECT_EQ(b.MaxAbs(), 3.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = Multiply(a, b);
+  Matrix expected{{19.0, 22.0}, {43.0, 50.0}};
+  EXPECT_TRUE(c == expected);
+}
+
+TEST(MatrixTest, MultiplyIdentityIsNoOp) {
+  Rng rng(1);
+  Matrix a = RandomMatrix(7, 7, &rng);
+  ExpectMatrixNear(Multiply(a, Matrix::Identity(7)), a, 1e-14);
+  ExpectMatrixNear(Multiply(Matrix::Identity(7), a), a, 1e-14);
+}
+
+TEST(MatrixTest, MultiplyTransposeAMatchesExplicit) {
+  Rng rng(2);
+  Matrix a = RandomMatrix(5, 3, &rng);
+  Matrix b = RandomMatrix(5, 4, &rng);
+  ExpectMatrixNear(MultiplyTransposeA(a, b),
+                   Multiply(a.Transposed(), b), 1e-12);
+}
+
+TEST(MatrixTest, MultiplyTransposeBMatchesExplicit) {
+  Rng rng(3);
+  Matrix a = RandomMatrix(4, 6, &rng);
+  Matrix b = RandomMatrix(5, 6, &rng);
+  ExpectMatrixNear(MultiplyTransposeB(a, b),
+                   Multiply(a, b.Transposed()), 1e-12);
+}
+
+TEST(MatrixTest, BlockedMultiplyMatchesNaiveOnLargerShapes) {
+  // Sizes straddling the 64-wide GEMM block boundary.
+  Rng rng(4);
+  Matrix a = RandomMatrix(70, 65, &rng);
+  Matrix b = RandomMatrix(65, 67, &rng);
+  Matrix c = Multiply(a, b);
+  // Naive reference.
+  Matrix expected(70, 67);
+  for (size_t i = 0; i < 70; ++i) {
+    for (size_t j = 0; j < 67; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < 65; ++k) sum += a.At(i, k) * b.At(k, j);
+      expected.At(i, j) = sum;
+    }
+  }
+  ExpectMatrixNear(c, expected, 1e-10);
+}
+
+TEST(MatrixTest, MatVecAndTransposeVec) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Vector x{1.0, 1.0};
+  Vector y = MatVec(a, x);
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[2], 11.0);
+  Vector z{1.0, 0.0, 1.0};
+  Vector w = MatTransposeVec(a, z);
+  EXPECT_EQ(w[0], 6.0);
+  EXPECT_EQ(w[1], 8.0);
+}
+
+TEST(MatrixTest, OuterProduct) {
+  Matrix m = OuterProduct(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 10.0);
+}
+
+TEST(MatrixTest, SelectRowsAndCols) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  Matrix rows = m.SelectRows({2, 0});
+  EXPECT_EQ(rows(0, 0), 7.0);
+  EXPECT_EQ(rows(1, 2), 3.0);
+  Matrix cols = m.SelectCols({1});
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_EQ(cols(2, 0), 8.0);
+}
+
+TEST(MatrixTest, IsSymmetric) {
+  Matrix sym{{1.0, 2.0}, {2.0, 3.0}};
+  Matrix asym{{1.0, 2.0}, {2.5, 3.0}};
+  EXPECT_TRUE(sym.IsSymmetric());
+  EXPECT_FALSE(asym.IsSymmetric());
+  EXPECT_TRUE(asym.IsSymmetric(1.0));
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(MatrixDeathTest, ShapeMismatchAborts) {
+  Matrix a(2, 3);
+  Matrix b(3, 3);
+  EXPECT_DEATH(a += b, "COHERE_CHECK");
+  EXPECT_DEATH(Multiply(a, a), "COHERE_CHECK");
+  EXPECT_DEATH(Matrix(2, 3).Trace(), "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

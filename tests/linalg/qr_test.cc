@@ -1,0 +1,118 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectMatrixNear;
+using testing_util::ExpectOrthonormalColumns;
+using testing_util::ExpectVectorNear;
+using testing_util::RandomMatrix;
+
+TEST(QrTest, ReconstructsSquareMatrix) {
+  Rng rng(51);
+  const Matrix a = RandomMatrix(6, 6, &rng);
+  Result<QrDecomposition> qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  ExpectMatrixNear(Multiply(qr->q, qr->r), a, 1e-11);
+  ExpectOrthonormalColumns(qr->q, 1e-12);
+}
+
+TEST(QrTest, ReconstructsTallMatrix) {
+  Rng rng(52);
+  const Matrix a = RandomMatrix(12, 4, &rng);
+  Result<QrDecomposition> qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->q.rows(), 12u);
+  EXPECT_EQ(qr->q.cols(), 4u);
+  EXPECT_EQ(qr->r.rows(), 4u);
+  ExpectMatrixNear(Multiply(qr->q, qr->r), a, 1e-11);
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  Rng rng(53);
+  const Matrix a = RandomMatrix(7, 5, &rng);
+  Result<QrDecomposition> qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  for (size_t i = 0; i < qr->r.rows(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_EQ(qr->r.At(i, j), 0.0);
+    }
+  }
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  EXPECT_FALSE(HouseholderQr(Matrix(3, 5)).ok());
+}
+
+TEST(QrTest, LeastSquaresExactSystem) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  Vector b{4.0, 9.0};
+  Result<Vector> x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-13);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-13);
+}
+
+TEST(QrTest, LeastSquaresOverdetermined) {
+  // Fit y = c0 + c1 * t to points on the exact line y = 1 + 2t.
+  Matrix a{{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  Vector b{1.0, 3.0, 5.0, 7.0};
+  Result<Vector> x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(QrTest, LeastSquaresMinimizesResidual) {
+  Rng rng(54);
+  const Matrix a = RandomMatrix(20, 5, &rng);
+  const Vector b = rng.GaussianVector(20);
+  Result<Vector> x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  // At the minimum, the residual is orthogonal to the column space.
+  Vector residual = MatVec(a, *x) - b;
+  Vector gradient = MatTransposeVec(a, residual);
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_NEAR(gradient[j], 0.0, 1e-10);
+  }
+}
+
+TEST(QrTest, LeastSquaresRejectsRankDeficient) {
+  Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  Vector b{1.0, 2.0, 3.0};
+  Result<Vector> x = LeastSquares(a, b);
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(QrTest, LeastSquaresRejectsSizeMismatch) {
+  EXPECT_FALSE(LeastSquares(Matrix(3, 2), Vector(4)).ok());
+}
+
+class QrPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(QrPropertyTest, FactorizationInvariants) {
+  const auto [m, n] = GetParam();
+  Rng rng(700 + m * 31 + n);
+  const Matrix a = RandomMatrix(m, n, &rng);
+  Result<QrDecomposition> qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  ExpectMatrixNear(Multiply(qr->q, qr->r), a, 1e-10);
+  ExpectOrthonormalColumns(qr->q, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrPropertyTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(1, 1),
+                      std::make_pair<size_t, size_t>(5, 5),
+                      std::make_pair<size_t, size_t>(10, 3),
+                      std::make_pair<size_t, size_t>(50, 20),
+                      std::make_pair<size_t, size_t>(30, 30)));
+
+}  // namespace
+}  // namespace cohere

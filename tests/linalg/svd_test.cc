@@ -1,0 +1,123 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectMatrixNear;
+using testing_util::ExpectOrthonormalColumns;
+using testing_util::RandomMatrix;
+
+Matrix ReassembleThin(const SvdDecomposition& svd) {
+  return Multiply(Multiply(svd.u, Matrix::Diagonal(svd.singular_values)),
+                  svd.v.Transposed());
+}
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix a = Matrix::Diagonal(Vector{3.0, 1.0, 2.0});
+  Result<SvdDecomposition> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd->singular_values[1], 2.0, 1e-12);
+  EXPECT_NEAR(svd->singular_values[2], 1.0, 1e-12);
+}
+
+TEST(SvdTest, ReconstructsTallMatrix) {
+  Rng rng(31);
+  const Matrix a = RandomMatrix(12, 5, &rng);
+  Result<SvdDecomposition> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  ExpectMatrixNear(ReassembleThin(*svd), a, 1e-10);
+  ExpectOrthonormalColumns(svd->u, 1e-12);
+  ExpectOrthonormalColumns(svd->v, 1e-12);
+}
+
+TEST(SvdTest, ReconstructsWideMatrix) {
+  Rng rng(32);
+  const Matrix a = RandomMatrix(4, 9, &rng);
+  Result<SvdDecomposition> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->u.rows(), 4u);
+  EXPECT_EQ(svd->u.cols(), 4u);
+  EXPECT_EQ(svd->v.rows(), 9u);
+  EXPECT_EQ(svd->v.cols(), 4u);
+  ExpectMatrixNear(ReassembleThin(*svd), a, 1e-10);
+}
+
+TEST(SvdTest, SingularValuesNonNegativeDescending) {
+  Rng rng(33);
+  const Matrix a = RandomMatrix(10, 7, &rng);
+  Result<SvdDecomposition> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 0; i < svd->singular_values.size(); ++i) {
+    EXPECT_GE(svd->singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(svd->singular_values[i], svd->singular_values[i - 1]);
+    }
+  }
+}
+
+TEST(SvdTest, RankDeficientHasZeroSingularValues) {
+  // Two identical columns -> rank 1.
+  Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  Result<SvdDecomposition> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_GT(svd->singular_values[0], 0.0);
+  EXPECT_NEAR(svd->singular_values[1], 0.0, 1e-12);
+  ExpectMatrixNear(ReassembleThin(*svd), a, 1e-10);
+}
+
+TEST(SvdTest, SingularValuesMatchEigenvaluesOfGram) {
+  // sigma_i^2 are the eigenvalues of A^T A.
+  Rng rng(34);
+  const Matrix a = RandomMatrix(15, 6, &rng);
+  Result<SvdDecomposition> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  Result<EigenDecomposition> eig = SymmetricEigen(MultiplyTransposeA(a, a));
+  ASSERT_TRUE(eig.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(svd->singular_values[i] * svd->singular_values[i],
+                eig->eigenvalues[i], 1e-9);
+  }
+}
+
+TEST(SvdTest, FrobeniusNormIsSingularValueNorm) {
+  Rng rng(35);
+  const Matrix a = RandomMatrix(8, 8, &rng);
+  Result<SvdDecomposition> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values.Norm2(), a.FrobeniusNorm(), 1e-10);
+}
+
+TEST(SvdTest, RejectsEmptyMatrix) { EXPECT_FALSE(JacobiSvd(Matrix()).ok()); }
+
+class SvdPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SvdPropertyTest, ReconstructionAndOrthogonality) {
+  const auto [m, n] = GetParam();
+  Rng rng(500 + m * 37 + n);
+  const Matrix a = RandomMatrix(m, n, &rng);
+  Result<SvdDecomposition> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  ExpectMatrixNear(ReassembleThin(*svd), a, 1e-9);
+  ExpectOrthonormalColumns(svd->u, 1e-11);
+  ExpectOrthonormalColumns(svd->v, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdPropertyTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(1, 1),
+                      std::make_pair<size_t, size_t>(5, 1),
+                      std::make_pair<size_t, size_t>(1, 5),
+                      std::make_pair<size_t, size_t>(6, 6),
+                      std::make_pair<size_t, size_t>(20, 7),
+                      std::make_pair<size_t, size_t>(7, 20),
+                      std::make_pair<size_t, size_t>(40, 25)));
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,175 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectMatrixNear;
+using testing_util::ExpectOrthonormalColumns;
+using testing_util::RandomSymmetric;
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Matrix a = Matrix::Diagonal(Vector{3.0, 1.0, 2.0});
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, TwoByTwoAnalytic) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1 with eigenvectors along
+  // (1,1)/sqrt(2) and (1,-1)/sqrt(2).
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], 1.0, 1e-12);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::fabs(result->eigenvectors.At(0, 0)), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(std::fabs(result->eigenvectors.At(1, 0)), inv_sqrt2, 1e-12);
+}
+
+TEST(SymmetricEigenTest, ReconstructsRandomMatrix) {
+  Rng rng(11);
+  const Matrix a = RandomSymmetric(20, &rng);
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  // A = V diag(w) V^T.
+  const Matrix& v = result->eigenvectors;
+  Matrix reconstructed =
+      Multiply(Multiply(v, Matrix::Diagonal(result->eigenvalues)),
+               v.Transposed());
+  ExpectMatrixNear(reconstructed, a, 1e-10);
+}
+
+TEST(SymmetricEigenTest, EigenvectorsAreOrthonormal) {
+  Rng rng(12);
+  const Matrix a = RandomSymmetric(15, &rng);
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  ExpectOrthonormalColumns(result->eigenvectors, 1e-12);
+}
+
+TEST(SymmetricEigenTest, EigenvaluesSortedDescending) {
+  Rng rng(13);
+  const Matrix a = RandomSymmetric(25, &rng);
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->eigenvalues.size(); ++i) {
+    EXPECT_GE(result->eigenvalues[i - 1], result->eigenvalues[i]);
+  }
+}
+
+TEST(SymmetricEigenTest, TraceEqualsEigenvalueSum) {
+  Rng rng(14);
+  const Matrix a = RandomSymmetric(30, &rng);
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues.Sum(), a.Trace(), 1e-9);
+}
+
+TEST(SymmetricEigenTest, SatisfiesEigenEquation) {
+  Rng rng(15);
+  const Matrix a = RandomSymmetric(12, &rng);
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const Vector v = result->eigenvectors.Col(i);
+    const Vector av = MatVec(a, v);
+    const Vector lv = v * result->eigenvalues[i];
+    for (size_t j = 0; j < v.size(); ++j) {
+      EXPECT_NEAR(av[j], lv[j], 1e-9);
+    }
+  }
+}
+
+TEST(SymmetricEigenTest, RepeatedEigenvalues) {
+  // 3x identity scaled: all eigenvalues 5.
+  Matrix a = Matrix::Identity(3);
+  a *= 5.0;
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(result->eigenvalues[i], 5.0, 1e-12);
+  }
+  ExpectOrthonormalColumns(result->eigenvectors, 1e-12);
+}
+
+TEST(SymmetricEigenTest, RankDeficientMatrix) {
+  // Rank-1: outer product of (1,2,3) with itself.
+  const Vector u{1.0, 2.0, 3.0};
+  Matrix a = OuterProduct(u, u);
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], u.SquaredNorm2(), 1e-10);
+  EXPECT_NEAR(result->eigenvalues[1], 0.0, 1e-10);
+  EXPECT_NEAR(result->eigenvalues[2], 0.0, 1e-10);
+}
+
+TEST(SymmetricEigenTest, OneByOne) {
+  Matrix a{{4.0}};
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->eigenvalues[0], 4.0);
+  EXPECT_NEAR(std::fabs(result->eigenvectors.At(0, 0)), 1.0, 1e-15);
+}
+
+TEST(SymmetricEigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+}
+
+TEST(SymmetricEigenTest, RejectsNonSymmetric) {
+  Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SymmetricEigenTest, HouseholderProducesSimilarTridiagonal) {
+  Rng rng(16);
+  const Matrix a = RandomSymmetric(10, &rng);
+  Matrix z;
+  Vector d;
+  Vector e;
+  HouseholderTridiagonalize(a, &z, &d, &e);
+  // Rebuild T from d, e and verify Z T Z^T == A.
+  Matrix t(10, 10);
+  for (size_t i = 0; i < 10; ++i) {
+    t.At(i, i) = d[i];
+    if (i > 0) {
+      t.At(i, i - 1) = e[i];
+      t.At(i - 1, i) = e[i];
+    }
+  }
+  ExpectMatrixNear(Multiply(Multiply(z, t), z.Transposed()), a, 1e-10);
+  ExpectOrthonormalColumns(z, 1e-12);
+}
+
+// Property sweep over sizes: decomposition invariants hold for every n.
+class SymmetricEigenPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SymmetricEigenPropertyTest, InvariantsHold) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  const Matrix a = RandomSymmetric(n, &rng);
+  Result<EigenDecomposition> result = SymmetricEigen(a);
+  ASSERT_TRUE(result.ok());
+  ExpectOrthonormalColumns(result->eigenvectors, 1e-11);
+  EXPECT_NEAR(result->eigenvalues.Sum(), a.Trace(),
+              1e-9 * std::max(1.0, std::fabs(a.Trace())));
+  const Matrix& v = result->eigenvectors;
+  Matrix reconstructed =
+      Multiply(Multiply(v, Matrix::Diagonal(result->eigenvalues)),
+               v.Transposed());
+  ExpectMatrixNear(reconstructed, a, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymmetricEigenPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace cohere

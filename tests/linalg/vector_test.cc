@@ -1,0 +1,145 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+TEST(VectorTest, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(VectorTest, SizeConstructorZeroFills) {
+  Vector v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(VectorTest, FillConstructor) {
+  Vector v(3, 2.5);
+  EXPECT_EQ(v[0], 2.5);
+  EXPECT_EQ(v[2], 2.5);
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.0);
+}
+
+TEST(VectorTest, AdoptBuffer) {
+  Vector v(std::vector<double>{4.0, 5.0});
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 4.0);
+}
+
+TEST(VectorTest, IndexingIsWritable) {
+  Vector v(2);
+  v[1] = 7.0;
+  EXPECT_EQ(v[1], 7.0);
+}
+
+TEST(VectorTest, AdditionSubtraction) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 5.0};
+  Vector sum = a + b;
+  Vector diff = b - a;
+  EXPECT_EQ(sum[0], 4.0);
+  EXPECT_EQ(sum[1], 7.0);
+  EXPECT_EQ(diff[0], 2.0);
+  EXPECT_EQ(diff[1], 3.0);
+}
+
+TEST(VectorTest, ScalarOps) {
+  Vector v{1.0, -2.0};
+  Vector doubled = v * 2.0;
+  Vector halved = v / 2.0;
+  EXPECT_EQ(doubled[1], -4.0);
+  EXPECT_EQ(halved[0], 0.5);
+  EXPECT_EQ((3.0 * v)[0], 3.0);
+}
+
+TEST(VectorTest, Axpy) {
+  Vector y{1.0, 1.0};
+  Vector x{2.0, 3.0};
+  y.Axpy(0.5, x);
+  EXPECT_EQ(y[0], 2.0);
+  EXPECT_EQ(y[1], 2.5);
+}
+
+TEST(VectorTest, DotProduct) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_EQ(Dot(a, b), 32.0);
+}
+
+TEST(VectorTest, Norms) {
+  Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.Norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.Norm1(), 7.0);
+  EXPECT_DOUBLE_EQ(v.NormInf(), 4.0);
+}
+
+TEST(VectorTest, SumAndFill) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.Sum(), 6.0);
+  v.Fill(1.0);
+  EXPECT_EQ(v.Sum(), 3.0);
+}
+
+TEST(VectorTest, NormalizeUnitLength) {
+  Vector v{3.0, 4.0};
+  v.Normalize();
+  EXPECT_NEAR(v.Norm2(), 1.0, 1e-15);
+  EXPECT_NEAR(v[0], 0.6, 1e-15);
+}
+
+TEST(VectorTest, NormalizeZeroVectorIsNoOp) {
+  Vector v(3);
+  v.Normalize();
+  EXPECT_EQ(v.Norm2(), 0.0);
+}
+
+TEST(VectorTest, ResizePreservesAndZeroFills) {
+  Vector v{1.0, 2.0};
+  v.Resize(4);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[3], 0.0);
+}
+
+TEST(VectorTest, EqualityAndAlmostEqual) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0, 2.0};
+  Vector c{1.0, 2.0001};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(AlmostEqual(a, c, 1e-3));
+  EXPECT_FALSE(AlmostEqual(a, c, 1e-6));
+  EXPECT_FALSE(AlmostEqual(a, Vector(3), 1.0));
+}
+
+TEST(VectorTest, ToStringTruncates) {
+  Vector v(20, 1.0);
+  const std::string s = v.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(VectorDeathTest, SizeMismatchAborts) {
+  Vector a{1.0};
+  Vector b{1.0, 2.0};
+  EXPECT_DEATH(Dot(a, b), "COHERE_CHECK");
+  EXPECT_DEATH(a += b, "COHERE_CHECK");
+}
+
+TEST(VectorDeathTest, OutOfBoundsAborts) {
+  Vector v(2);
+  EXPECT_DEATH(v[2], "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

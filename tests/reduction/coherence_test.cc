@@ -1,0 +1,193 @@
+#include "reduction/coherence.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "data/synthetic.h"
+#include "data/uci_like.h"
+#include "reduction/selection.h"
+#include "stats/covariance.h"
+#include "stats/descriptive.h"
+#include "stats/normal.h"
+
+namespace cohere {
+namespace {
+
+// 2*Phi(1) - 1, the paper's uniform-data coherence probability.
+constexpr double kUniformCoherence = 0.6826894921370859;
+
+TEST(CoherenceFactorTest, AxisVectorGivesFactorOne) {
+  // Section 3 of the paper: for e1 = (1, 0, ..., 0) the contributions are
+  // (x1, 0, ..., 0) and the factor is exactly 1 regardless of x1 != 0.
+  const Vector point{3.7, -1.2, 0.4, 9.9};
+  const Vector e1{1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(CoherenceFactor(point, e1), 1.0, 1e-14);
+  EXPECT_NEAR(CoherenceProbability(point, e1), kUniformCoherence, 1e-12);
+}
+
+TEST(CoherenceFactorTest, PerfectAgreementGrowsWithDimension) {
+  // All contributions equal: factor = |d*c| / sqrt(d*c^2) = sqrt(d).
+  for (size_t d : {4u, 16u, 64u}) {
+    const Vector point(d, 1.0);
+    Vector e(d, 1.0 / std::sqrt(static_cast<double>(d)));
+    EXPECT_NEAR(CoherenceFactor(point, e), std::sqrt(static_cast<double>(d)),
+                1e-12);
+  }
+}
+
+TEST(CoherenceFactorTest, PerfectCancellationGivesZero) {
+  const Vector point{1.0, -1.0};
+  const Vector e{0.5, 0.5};
+  EXPECT_NEAR(CoherenceFactor(point, e), 0.0, 1e-14);
+  EXPECT_NEAR(CoherenceProbability(point, e), 0.0, 1e-14);
+}
+
+TEST(CoherenceFactorTest, ZeroPointGivesZero) {
+  EXPECT_EQ(CoherenceFactor(Vector(5), Vector(5, 0.3)), 0.0);
+}
+
+TEST(CoherenceFactorTest, ScaleInvariantInPointMagnitude) {
+  const Vector point{1.0, 2.0, -0.5};
+  const Vector e{0.3, 0.2, 0.93};
+  const Vector scaled = point * 17.0;
+  EXPECT_NEAR(CoherenceFactor(point, e), CoherenceFactor(scaled, e), 1e-12);
+}
+
+TEST(ComputeCoherenceTest, UniformDataAxisDirectionsGivePaperConstant) {
+  // The flagship analytical result (paper Section 3): for uniform data with
+  // the axis system as eigenvectors, every point has coherence factor
+  // exactly 1, so P(D, e_i) = 2*Phi(1) - 1 ~= 0.68 exactly — per point, not
+  // just on average.
+  Dataset uniform = GenerateUniformCube(200, 12, -0.5, 0.5, 121);
+  const Vector mean(12);  // centered by construction up to sampling error
+  for (size_t axis = 0; axis < 12; ++axis) {
+    Vector e(12);
+    e[axis] = 1.0;
+    double total = 0.0;
+    for (size_t r = 0; r < uniform.NumRecords(); ++r) {
+      const double p = CoherenceProbability(uniform.Record(r), e);
+      EXPECT_NEAR(p, kUniformCoherence, 1e-12);
+      total += p;
+    }
+    EXPECT_NEAR(total / static_cast<double>(uniform.NumRecords()),
+                kUniformCoherence, 1e-12);
+  }
+}
+
+TEST(ComputeCoherenceTest, UniformDataHasFlatCoherenceProfile) {
+  // Finite-sample PCA on uniform data returns an arbitrary rotation of a
+  // near-degenerate spectrum; the paper's operational conclusion is that no
+  // direction stands out, so nothing can be pruned. Assert the flatness.
+  Dataset uniform = GenerateUniformCube(800, 20, -0.5, 0.5, 121);
+  Result<PcaModel> pca =
+      PcaModel::Fit(uniform.features(), PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  CoherenceAnalysis coherence = ComputeCoherence(*pca, uniform.features());
+  ASSERT_EQ(coherence.dims(), 20u);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (size_t i = 0; i < 20; ++i) {
+    lo = std::min(lo, coherence.probability[i]);
+    hi = std::max(hi, coherence.probability[i]);
+  }
+  EXPECT_GT(lo, 0.40);
+  EXPECT_LT(hi, 0.70);
+  EXPECT_LT(hi - lo, 0.15);
+  // And the automatic cut-off heuristic refuses to prune: the profile has
+  // no separated prefix.
+  EXPECT_EQ(DetectSeparatedPrefix(coherence.probability,
+                                  OrderByCoherence(coherence)),
+            1u);
+}
+
+TEST(ComputeCoherenceTest, ConceptDirectionsBeatNoiseDirections) {
+  // Latent-factor data: the top (concept) eigenvectors must carry clearly
+  // higher coherence probability than the trailing noise directions.
+  LatentFactorConfig config;
+  config.num_records = 400;
+  config.num_attributes = 40;
+  config.num_concepts = 4;
+  config.noise_stddev = 0.3;
+  config.seed = 122;
+  Dataset data = GenerateLatentFactor(config);
+  Result<PcaModel> pca =
+      PcaModel::Fit(data.features(), PcaScaling::kCorrelation);
+  ASSERT_TRUE(pca.ok());
+  CoherenceAnalysis coherence = ComputeCoherence(*pca, data.features());
+  double top_mean = 0.0;
+  for (size_t i = 0; i < 4; ++i) top_mean += coherence.probability[i];
+  top_mean /= 4.0;
+  double tail_mean = 0.0;
+  for (size_t i = 20; i < 40; ++i) tail_mean += coherence.probability[i];
+  tail_mean /= 20.0;
+  EXPECT_GT(top_mean, tail_mean + 0.1);
+}
+
+TEST(ComputeCoherenceTest, ProbabilitiesAreInUnitInterval) {
+  Dataset data = IonosphereLike(123);
+  Result<PcaModel> pca =
+      PcaModel::Fit(data.features(), PcaScaling::kCorrelation);
+  ASSERT_TRUE(pca.ok());
+  CoherenceAnalysis coherence = ComputeCoherence(*pca, data.features());
+  for (size_t i = 0; i < coherence.dims(); ++i) {
+    EXPECT_GE(coherence.probability[i], 0.0);
+    EXPECT_LE(coherence.probability[i], 1.0);
+    EXPECT_GE(coherence.mean_factor[i], 0.0);
+  }
+}
+
+TEST(ComputeCoherenceTest, MatchesNaivePerPointComputation) {
+  Rng rng(124);
+  Matrix data = testing_util::RandomMatrix(30, 6, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  CoherenceAnalysis fast = ComputeCoherence(*pca, data);
+
+  // Naive recomputation straight from the definition.
+  Matrix normalized = pca->NormalizeRows(data);
+  for (size_t i = 0; i < 6; ++i) {
+    const Vector e = pca->eigenvectors().Col(i);
+    double mean_prob = 0.0;
+    for (size_t r = 0; r < 30; ++r) {
+      mean_prob += CoherenceProbability(normalized.Row(r), e);
+    }
+    mean_prob /= 30.0;
+    EXPECT_NEAR(fast.probability[i], mean_prob, 1e-10);
+  }
+}
+
+TEST(PerPointCoherenceTest, ShapeAndAgreement) {
+  Rng rng(125);
+  Matrix data = testing_util::RandomMatrix(12, 4, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  Matrix per_point = PerPointCoherenceProbabilities(*pca, data);
+  EXPECT_EQ(per_point.rows(), 12u);
+  EXPECT_EQ(per_point.cols(), 4u);
+  // Column means equal the dataset-level probabilities.
+  CoherenceAnalysis agg = ComputeCoherence(*pca, data);
+  for (size_t i = 0; i < 4; ++i) {
+    double mean = 0.0;
+    for (size_t r = 0; r < 12; ++r) mean += per_point.At(r, i);
+    mean /= 12.0;
+    EXPECT_NEAR(mean, agg.probability[i], 1e-12);
+  }
+}
+
+TEST(ComputeCoherenceTest, StudentizationRaisesCoherence) {
+  // Paper Section 2.2: scaling the attributes to unit variance raises the
+  // absolute coherence probabilities on scale-heterogeneous data.
+  Dataset data = ArrhythmiaLike(126);
+  Result<PcaModel> cov =
+      PcaModel::Fit(data.features(), PcaScaling::kCovariance);
+  Result<PcaModel> corr =
+      PcaModel::Fit(data.features(), PcaScaling::kCorrelation);
+  ASSERT_TRUE(cov.ok());
+  ASSERT_TRUE(corr.ok());
+  const CoherenceAnalysis raw = ComputeCoherence(*cov, data.features());
+  const CoherenceAnalysis scaled = ComputeCoherence(*corr, data.features());
+  EXPECT_GT(Mean(scaled.probability), Mean(raw.probability));
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "reduction/pca.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::RandomMatrix;
+
+// The SVD path and the eigen path must produce the same model up to
+// floating-point error and eigenvector sign.
+class PcaSvdAgreementTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(PcaSvdAgreementTest, MatchesEigenPath) {
+  const auto [n, d] = GetParam();
+  Rng rng(900 + n + d);
+  Matrix data = RandomMatrix(n, d, &rng);
+  for (size_t i = 0; i < n; ++i) data.At(i, 0) *= 50.0;  // scale spread
+
+  for (PcaScaling scaling :
+       {PcaScaling::kCovariance, PcaScaling::kCorrelation}) {
+    Result<PcaModel> eig = PcaModel::Fit(data, scaling);
+    Result<PcaModel> svd = PcaModel::FitWithSvd(data, scaling);
+    ASSERT_TRUE(eig.ok());
+    ASSERT_TRUE(svd.ok());
+    for (size_t i = 0; i < d; ++i) {
+      EXPECT_NEAR(svd->eigenvalues()[i], eig->eigenvalues()[i],
+                  1e-8 * std::max(1.0, eig->eigenvalues()[0]));
+      // Columns agree up to sign.
+      double dot = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        dot += svd->eigenvectors().At(j, i) * eig->eigenvectors().At(j, i);
+      }
+      EXPECT_NEAR(std::fabs(dot), 1.0, 1e-6)
+          << "eigenvector " << i << " scaling "
+          << PcaScalingName(scaling);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PcaSvdAgreementTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(30, 5),
+                      std::make_pair<size_t, size_t>(100, 12),
+                      std::make_pair<size_t, size_t>(64, 64)));
+
+TEST(PcaSvdTest, ProjectionsAgreeUpToSign) {
+  Rng rng(910);
+  Matrix data = RandomMatrix(80, 6, &rng);
+  Result<PcaModel> eig = PcaModel::Fit(data, PcaScaling::kCorrelation);
+  Result<PcaModel> svd = PcaModel::FitWithSvd(data, PcaScaling::kCorrelation);
+  ASSERT_TRUE(eig.ok());
+  ASSERT_TRUE(svd.ok());
+  const Vector point = data.Row(17);
+  const Vector a = eig->Transform(point);
+  const Vector b = svd->Transform(point);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(std::fabs(a[i]), std::fabs(b[i]), 1e-8);
+  }
+}
+
+TEST(PcaSvdTest, RejectsWideData) {
+  EXPECT_FALSE(
+      PcaModel::FitWithSvd(Matrix(3, 5, 1.0), PcaScaling::kCovariance).ok());
+}
+
+TEST(PcaSvdTest, RejectsEmptyData) {
+  EXPECT_FALSE(PcaModel::FitWithSvd(Matrix(), PcaScaling::kCovariance).ok());
+}
+
+TEST(PcaSvdTest, RankDeficientDataGetsZeroEigenvalues) {
+  // Duplicate column -> one zero eigenvalue; the SVD path handles this
+  // without forming a singular covariance matrix.
+  Rng rng(911);
+  Matrix data(40, 3);
+  for (size_t i = 0; i < 40; ++i) {
+    data.At(i, 0) = rng.Gaussian();
+    data.At(i, 1) = rng.Gaussian();
+    data.At(i, 2) = data.At(i, 0);
+  }
+  Result<PcaModel> svd = PcaModel::FitWithSvd(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->eigenvalues()[2], 0.0, 1e-10);
+  EXPECT_GT(svd->eigenvalues()[0], 0.0);
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,190 @@
+#include "reduction/pca.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "data/transforms.h"
+#include "stats/covariance.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectOrthonormalColumns;
+using testing_util::ExpectVectorNear;
+using testing_util::RandomMatrix;
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data along the line y = x with a little orthogonal jitter: the first
+  // eigenvector must align with (1,1)/sqrt(2).
+  Rng rng(101);
+  Matrix data(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    const double t = rng.Gaussian() * 5.0;
+    const double jitter = rng.Gaussian() * 0.1;
+    data.At(i, 0) = t + jitter;
+    data.At(i, 1) = t - jitter;
+  }
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::fabs(pca->eigenvectors().At(0, 0)), inv_sqrt2, 0.01);
+  EXPECT_NEAR(std::fabs(pca->eigenvectors().At(1, 0)), inv_sqrt2, 0.01);
+  EXPECT_GT(pca->eigenvalues()[0], 10.0 * pca->eigenvalues()[1]);
+}
+
+TEST(PcaTest, EigenvaluesDescendingAndVectorsOrthonormal) {
+  Rng rng(102);
+  Matrix data = RandomMatrix(120, 10, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  for (size_t i = 1; i < 10; ++i) {
+    EXPECT_GE(pca->eigenvalues()[i - 1], pca->eigenvalues()[i]);
+  }
+  ExpectOrthonormalColumns(pca->eigenvectors(), 1e-10);
+}
+
+TEST(PcaTest, TotalVarianceMatchesCovarianceTrace) {
+  Rng rng(103);
+  Matrix data = RandomMatrix(80, 6, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_NEAR(pca->TotalVariance(), CovarianceMatrix(data).Trace(), 1e-9);
+}
+
+TEST(PcaTest, CorrelationScalingTotalVarianceIsDimension) {
+  // The correlation matrix has unit diagonal, so its trace is d.
+  Rng rng(104);
+  Matrix data = RandomMatrix(60, 8, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCorrelation);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_NEAR(pca->TotalVariance(), 8.0, 1e-9);
+}
+
+TEST(PcaTest, TransformedDataHasEigenvalueVariances) {
+  Rng rng(105);
+  Matrix data = RandomMatrix(300, 5, &rng);
+  // Stretch column 2 to make the spectrum interesting.
+  for (size_t i = 0; i < data.rows(); ++i) data.At(i, 2) *= 4.0;
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  Matrix scores = pca->TransformRows(data);
+  for (size_t j = 0; j < 5; ++j) {
+    const Vector col = scores.Col(j);
+    double var = 0.0;
+    for (double v : col) var += v * v;  // scores are centered
+    var /= static_cast<double>(col.size());
+    EXPECT_NEAR(var, pca->eigenvalues()[j],
+                1e-8 * std::max(1.0, pca->eigenvalues()[j]));
+  }
+}
+
+TEST(PcaTest, TransformedColumnsAreUncorrelated) {
+  Rng rng(106);
+  Matrix data = RandomMatrix(200, 4, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  Matrix cov = CovarianceMatrix(pca->TransformRows(data));
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_NEAR(cov(i, j), 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PcaTest, ProjectMatchesTransformColumns) {
+  Rng rng(107);
+  Matrix data = RandomMatrix(50, 6, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCorrelation);
+  ASSERT_TRUE(pca.ok());
+  const Vector point = data.Row(3);
+  const Vector full = pca->Transform(point);
+  const Vector projected = pca->Project(point, {4, 0, 2});
+  EXPECT_NEAR(projected[0], full[4], 1e-12);
+  EXPECT_NEAR(projected[1], full[0], 1e-12);
+  EXPECT_NEAR(projected[2], full[2], 1e-12);
+}
+
+TEST(PcaTest, ProjectRowsMatchesPerPointProject) {
+  Rng rng(108);
+  Matrix data = RandomMatrix(20, 5, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  const std::vector<size_t> comps{1, 3};
+  Matrix projected = pca->ProjectRows(data, comps);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    ExpectVectorNear(projected.Row(i), pca->Project(data.Row(i), comps),
+                     1e-11);
+  }
+}
+
+TEST(PcaTest, FullReconstructionRoundTrips) {
+  Rng rng(109);
+  Matrix data = RandomMatrix(40, 4, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCorrelation);
+  ASSERT_TRUE(pca.ok());
+  const std::vector<size_t> all{0, 1, 2, 3};
+  const Vector point = data.Row(11);
+  ExpectVectorNear(pca->Reconstruct(pca->Project(point, all), all), point,
+                   1e-10);
+}
+
+TEST(PcaTest, PartialReconstructionLosesOnlyDiscardedVariance) {
+  Rng rng(110);
+  Matrix data = RandomMatrix(200, 6, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  const std::vector<size_t> kept{0, 1, 2};
+  double error_sum = 0.0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const Vector rec = pca->Reconstruct(pca->Project(data.Row(i), kept), kept);
+    error_sum += (rec - data.Row(i)).SquaredNorm2();
+  }
+  error_sum /= static_cast<double>(data.rows());
+  const double discarded = pca->eigenvalues()[3] + pca->eigenvalues()[4] +
+                           pca->eigenvalues()[5];
+  EXPECT_NEAR(error_sum, discarded, 1e-8 * std::max(1.0, discarded));
+}
+
+TEST(PcaTest, VarianceRetainedFraction) {
+  Rng rng(111);
+  Matrix data = RandomMatrix(60, 3, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_NEAR(pca->VarianceRetainedFraction({0, 1, 2}), 1.0, 1e-12);
+  const double f0 = pca->VarianceRetainedFraction({0});
+  EXPECT_GT(f0, 1.0 / 3.0 - 1e-9);
+  EXPECT_LT(f0, 1.0);
+}
+
+TEST(PcaTest, CorrelationScalingEqualsStudentizeThenCovariance) {
+  // Fitting correlation PCA must match covariance PCA on studentized data.
+  Rng rng(112);
+  Matrix data = RandomMatrix(100, 5, &rng);
+  for (size_t i = 0; i < data.rows(); ++i) data.At(i, 1) *= 40.0;
+
+  Result<PcaModel> corr = PcaModel::Fit(data, PcaScaling::kCorrelation);
+  ASSERT_TRUE(corr.ok());
+
+  Dataset studentized = Studentize(Dataset(data));
+  Result<PcaModel> cov =
+      PcaModel::Fit(studentized.features(), PcaScaling::kCovariance);
+  ASSERT_TRUE(cov.ok());
+
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(corr->eigenvalues()[i], cov->eigenvalues()[i], 1e-9);
+  }
+}
+
+TEST(PcaTest, RejectsEmptyData) {
+  EXPECT_FALSE(PcaModel::Fit(Matrix(), PcaScaling::kCovariance).ok());
+}
+
+TEST(PcaTest, ScalingNames) {
+  EXPECT_STREQ(PcaScalingName(PcaScaling::kCovariance), "covariance");
+  EXPECT_STREQ(PcaScalingName(PcaScaling::kCorrelation), "correlation");
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,60 @@
+#include "reduction/random_projection.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace cohere {
+namespace {
+
+TEST(RandomProjectionTest, ShapeAndDeterminism) {
+  RandomProjection a = RandomProjection::Make(20, 5, 7);
+  RandomProjection b = RandomProjection::Make(20, 5, 7);
+  EXPECT_EQ(a.input_dim(), 20u);
+  EXPECT_EQ(a.target_dim(), 5u);
+  Rng rng(141);
+  const Vector x = rng.GaussianVector(20);
+  testing_util::ExpectVectorNear(a.TransformPoint(x), b.TransformPoint(x),
+                                 1e-15);
+}
+
+TEST(RandomProjectionTest, TransformRowsMatchesPerPoint) {
+  RandomProjection rp = RandomProjection::Make(10, 3, 8);
+  Rng rng(142);
+  Matrix data = testing_util::RandomMatrix(15, 10, &rng);
+  Matrix rows = rp.TransformRows(data);
+  for (size_t i = 0; i < 15; ++i) {
+    testing_util::ExpectVectorNear(rows.Row(i),
+                                   rp.TransformPoint(data.Row(i)), 1e-12);
+  }
+}
+
+TEST(RandomProjectionTest, ApproximatelyPreservesNormsInExpectation) {
+  // JL property: E[|Rx|^2] = |x|^2; with many trials the average ratio is
+  // near 1.
+  Rng rng(143);
+  double ratio_sum = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    RandomProjection rp = RandomProjection::Make(50, 25, 1000 + t);
+    const Vector x = rng.GaussianVector(50);
+    ratio_sum += rp.TransformPoint(x).SquaredNorm2() / x.SquaredNorm2();
+  }
+  EXPECT_NEAR(ratio_sum / trials, 1.0, 0.1);
+}
+
+TEST(RandomProjectionTest, DatasetTransformKeepsLabels) {
+  Dataset d(Matrix(6, 8), std::vector<int>{0, 1, 0, 1, 0, 1});
+  RandomProjection rp = RandomProjection::Make(8, 2, 9);
+  Dataset out = rp.TransformDataset(d);
+  EXPECT_EQ(out.NumAttributes(), 2u);
+  EXPECT_EQ(out.labels(), d.labels());
+}
+
+TEST(RandomProjectionDeathTest, BadDimsAbort) {
+  EXPECT_DEATH(RandomProjection::Make(5, 6, 1), "COHERE_CHECK");
+  EXPECT_DEATH(RandomProjection::Make(0, 0, 1), "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,109 @@
+#include "reduction/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace cohere {
+namespace {
+
+// Builds a PcaModel via Fit on data whose covariance spectrum we control by
+// construction: independent columns with the given standard deviations.
+PcaModel ModelWithSpectrum(const std::vector<double>& stddevs, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(4000, stddevs.size());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (size_t j = 0; j < stddevs.size(); ++j) {
+      data.At(i, j) = rng.Gaussian() * stddevs[j];
+    }
+  }
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  COHERE_CHECK(pca.ok());
+  return std::move(*pca);
+}
+
+TEST(SelectionTest, OrderByEigenvalueIsIdentityPermutation) {
+  PcaModel model = ModelWithSpectrum({3.0, 2.0, 1.0}, 1);
+  const auto order = OrderByEigenvalue(model);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(SelectionTest, OrderByCoherenceSortsDescending) {
+  CoherenceAnalysis coherence;
+  coherence.probability = Vector{0.3, 0.9, 0.6, 0.9};
+  coherence.mean_factor = Vector(4);
+  const auto order = OrderByCoherence(coherence);
+  // 0.9 (index 1), 0.9 (index 3, tie broken by smaller index first), 0.6, 0.3.
+  EXPECT_EQ(order, (std::vector<size_t>{1, 3, 2, 0}));
+}
+
+TEST(SelectionTest, TakePrefix) {
+  const std::vector<size_t> order{5, 2, 8};
+  EXPECT_EQ(TakePrefix(order, 2), (std::vector<size_t>{5, 2}));
+  EXPECT_TRUE(TakePrefix(order, 0).empty());
+}
+
+TEST(SelectionDeathTest, TakePrefixOverrunAborts) {
+  EXPECT_DEATH(TakePrefix({1, 2}, 3), "COHERE_CHECK");
+}
+
+TEST(SelectionTest, EnergyFractionKeepsSmallestSufficientPrefix) {
+  // Variances ~ 9, 4, 1 -> fractions ~ 0.643, 0.929, 1.0.
+  PcaModel model = ModelWithSpectrum({3.0, 2.0, 1.0}, 2);
+  EXPECT_EQ(SelectEnergyFraction(model, 0.5).size(), 1u);
+  EXPECT_EQ(SelectEnergyFraction(model, 0.9).size(), 2u);
+  EXPECT_EQ(SelectEnergyFraction(model, 0.99).size(), 3u);
+  EXPECT_EQ(SelectEnergyFraction(model, 1.0).size(), 3u);
+}
+
+TEST(SelectionTest, EnergyFractionAlwaysKeepsOne) {
+  PcaModel model = ModelWithSpectrum({1.0, 1.0}, 3);
+  EXPECT_GE(SelectEnergyFraction(model, 0.001).size(), 1u);
+}
+
+TEST(SelectionTest, RelativeThresholdMatchesPaperBaseline) {
+  // Eigenvalues ~ 100, 25, 4, 0.25: with the 10% rule (cutoff ~10) only the
+  // first two survive.
+  PcaModel model = ModelWithSpectrum({10.0, 5.0, 2.0, 0.5}, 4);
+  const auto kept = SelectRelativeThreshold(model, 0.1);
+  EXPECT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 0u);
+  EXPECT_EQ(kept[1], 1u);
+}
+
+TEST(SelectionTest, RelativeThresholdZeroKeepsAll) {
+  PcaModel model = ModelWithSpectrum({2.0, 1.0, 0.5}, 5);
+  EXPECT_EQ(SelectRelativeThreshold(model, 0.0).size(), 3u);
+}
+
+TEST(SelectionTest, RelativeThresholdOneKeepsAtLeastTop) {
+  PcaModel model = ModelWithSpectrum({2.0, 1.0}, 6);
+  EXPECT_GE(SelectRelativeThreshold(model, 1.0).size(), 1u);
+}
+
+TEST(SelectionTest, DetectSeparatedPrefixFindsCluster) {
+  // Scores: 3 clear leaders far above a flat tail.
+  Vector scores{0.95, 0.93, 0.90, 0.31, 0.30, 0.29, 0.30, 0.31, 0.30, 0.29};
+  std::vector<size_t> order{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(DetectSeparatedPrefix(scores, order), 3u);
+}
+
+TEST(SelectionTest, DetectSeparatedPrefixFlatScoresGiveOne) {
+  Vector scores(8, 0.68);
+  std::vector<size_t> order{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(DetectSeparatedPrefix(scores, order), 1u);
+}
+
+TEST(SelectionTest, StrategyNames) {
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kEigenvalueOrder),
+               "eigenvalue_order");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kCoherenceOrder),
+               "coherence_order");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kEnergyFraction),
+               "energy_fraction");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kRelativeThreshold),
+               "relative_threshold");
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,182 @@
+#include "reduction/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "data/uci_like.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectMatrixNear;
+using testing_util::ExpectVectorNear;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(ModelSerializationTest, RoundTripPreservesModel) {
+  Dataset data = IonosphereLike(601);
+  Result<PcaModel> original =
+      PcaModel::Fit(data.features(), PcaScaling::kCorrelation);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = TempPath("model_roundtrip.txt");
+  ASSERT_TRUE(SavePcaModel(*original, path).ok());
+  Result<PcaModel> loaded = LoadPcaModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->scaling(), original->scaling());
+  ExpectVectorNear(loaded->eigenvalues(), original->eigenvalues(), 0.0);
+  ExpectVectorNear(loaded->mean(), original->mean(), 0.0);
+  ExpectVectorNear(loaded->scale(), original->scale(), 0.0);
+  ExpectMatrixNear(loaded->eigenvectors(), original->eigenvectors(), 0.0);
+
+  // Behavioral equivalence: identical transforms.
+  const Vector point = data.Record(5);
+  ExpectVectorNear(loaded->Transform(point), original->Transform(point), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, RejectsCorruptFiles) {
+  const std::string path = TempPath("model_corrupt.txt");
+  {
+    std::ofstream file(path);
+    file << "not a model\n";
+  }
+  EXPECT_EQ(LoadPcaModel(path).status().code(), StatusCode::kParseError);
+  {
+    std::ofstream file(path);
+    file << "cohere_pca_model v1\nscaling correlation\ndims 2\n"
+         << "eigenvalues 1.0\n";  // short line
+  }
+  EXPECT_FALSE(LoadPcaModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadPcaModel("/nonexistent/m.txt").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(PipelineSerializationTest, RoundTripPreservesBehavior) {
+  Dataset data = NoisyDataA(602);
+  ReductionOptions options;
+  options.scaling = PcaScaling::kCovariance;
+  options.strategy = SelectionStrategy::kCoherenceOrder;
+  options.target_dim = 7;
+  Result<ReductionPipeline> original = ReductionPipeline::Fit(data, options);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = TempPath("pipeline_roundtrip.txt");
+  ASSERT_TRUE(SaveReductionPipeline(*original, path).ok());
+  Result<ReductionPipeline> loaded = LoadReductionPipeline(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->options().strategy, options.strategy);
+  EXPECT_EQ(loaded->options().scaling, options.scaling);
+  EXPECT_EQ(loaded->options().target_dim, options.target_dim);
+  EXPECT_EQ(loaded->components(), original->components());
+  ExpectVectorNear(loaded->coherence().probability,
+                   original->coherence().probability, 0.0);
+
+  const Vector point = data.Record(13);
+  ExpectVectorNear(loaded->TransformPoint(point),
+                   original->TransformPoint(point), 0.0);
+  EXPECT_DOUBLE_EQ(loaded->VarianceRetainedFraction(),
+                   original->VarianceRetainedFraction());
+  std::remove(path.c_str());
+}
+
+TEST(PipelineSerializationTest, AllStrategiesRoundTrip) {
+  Dataset data = IonosphereLike(603);
+  const std::string path = TempPath("pipeline_strategies.txt");
+  for (SelectionStrategy strategy :
+       {SelectionStrategy::kEigenvalueOrder,
+        SelectionStrategy::kCoherenceOrder,
+        SelectionStrategy::kEnergyFraction,
+        SelectionStrategy::kRelativeThreshold}) {
+    ReductionOptions options;
+    options.strategy = strategy;
+    options.target_dim =
+        (strategy == SelectionStrategy::kEigenvalueOrder ||
+         strategy == SelectionStrategy::kCoherenceOrder)
+            ? 6
+            : 0;
+    Result<ReductionPipeline> original =
+        ReductionPipeline::Fit(data, options);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(SaveReductionPipeline(*original, path).ok());
+    Result<ReductionPipeline> loaded = LoadReductionPipeline(path);
+    ASSERT_TRUE(loaded.ok()) << SelectionStrategyName(strategy) << ": "
+                             << loaded.status().ToString();
+    EXPECT_EQ(loaded->options().strategy, strategy);
+    EXPECT_EQ(loaded->components(), original->components());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PipelineSerializationTest, RejectsCorruptFile) {
+  const std::string path = TempPath("pipeline_corrupt.txt");
+  {
+    std::ofstream file(path);
+    file << "cohere_reduction_pipeline v1\nstrategy bogus\n";
+  }
+  EXPECT_FALSE(LoadReductionPipeline(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FromComponentsTest, ValidatesInputs) {
+  // Shape mismatch.
+  EXPECT_FALSE(PcaModel::FromComponents(PcaScaling::kCovariance, Vector(3),
+                                        Matrix(3, 3), Vector(2), Vector(3))
+                   .ok());
+  // Non-descending eigenvalues.
+  EXPECT_FALSE(PcaModel::FromComponents(PcaScaling::kCovariance,
+                                        Vector{1.0, 2.0}, Matrix::Identity(2),
+                                        Vector(2), Vector(2, 1.0))
+                   .ok());
+  // Non-positive scale.
+  EXPECT_FALSE(PcaModel::FromComponents(PcaScaling::kCovariance,
+                                        Vector{2.0, 1.0}, Matrix::Identity(2),
+                                        Vector(2), Vector(2, 0.0))
+                   .ok());
+  // Valid.
+  EXPECT_TRUE(PcaModel::FromComponents(PcaScaling::kCovariance,
+                                       Vector{2.0, 1.0}, Matrix::Identity(2),
+                                       Vector(2), Vector(2, 1.0))
+                  .ok());
+}
+
+TEST(FromPartsTest, ValidatesComponents) {
+  Result<PcaModel> model = PcaModel::FromComponents(
+      PcaScaling::kCovariance, Vector{2.0, 1.0}, Matrix::Identity(2),
+      Vector(2), Vector(2, 1.0));
+  ASSERT_TRUE(model.ok());
+  CoherenceAnalysis coherence;
+  coherence.probability = Vector(2, 0.5);
+  coherence.mean_factor = Vector(2, 1.0);
+
+  ReductionOptions options;
+  // Out of range.
+  EXPECT_FALSE(
+      ReductionPipeline::FromParts(options, *model, coherence, {0, 2}).ok());
+  // Duplicate.
+  EXPECT_FALSE(
+      ReductionPipeline::FromParts(options, *model, coherence, {1, 1}).ok());
+  // Mismatched coherence.
+  CoherenceAnalysis bad;
+  bad.probability = Vector(3, 0.5);
+  bad.mean_factor = Vector(3, 1.0);
+  EXPECT_FALSE(
+      ReductionPipeline::FromParts(options, *model, bad, {0}).ok());
+  // Valid.
+  EXPECT_TRUE(
+      ReductionPipeline::FromParts(options, *model, coherence, {1}).ok());
+}
+
+}  // namespace
+}  // namespace cohere

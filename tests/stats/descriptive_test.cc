@@ -1,0 +1,71 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+TEST(DescriptiveTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean(Vector{1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(Mean(Vector()), 0.0);
+}
+
+TEST(DescriptiveTest, Variances) {
+  const Vector v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(PopulationVariance(v), 4.0);
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-14);
+  EXPECT_NEAR(SampleStdDev(v), std::sqrt(32.0 / 7.0), 1e-14);
+}
+
+TEST(DescriptiveTest, VarianceEdgeCases) {
+  EXPECT_EQ(SampleVariance(Vector{5.0}), 0.0);
+  EXPECT_EQ(PopulationVariance(Vector{5.0}), 0.0);
+  EXPECT_EQ(PopulationVariance(Vector()), 0.0);
+}
+
+TEST(DescriptiveTest, RootMeanSquareAboutZero) {
+  EXPECT_DOUBLE_EQ(RootMeanSquareAbout(Vector{3.0, 4.0}, 0.0),
+                   std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(RootMeanSquareAbout(Vector{1.0, 1.0}, 1.0), 0.0);
+  EXPECT_EQ(RootMeanSquareAbout(Vector(), 0.0), 0.0);
+}
+
+TEST(DescriptiveTest, QuantilesAndMedian) {
+  const Vector v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+  EXPECT_DOUBLE_EQ(Median(Vector{1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const Vector v{3.0, -1.0, 2.0};
+  EXPECT_EQ(Min(v), -1.0);
+  EXPECT_EQ(Max(v), 3.0);
+}
+
+TEST(DescriptiveTest, Summarize) {
+  const Summary s = Summarize(Vector{1.0, 2.0, 3.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 1.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
+TEST(DescriptiveTest, SummarizeEmpty) {
+  const Summary s = Summarize(Vector());
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(DescriptiveDeathTest, EmptyInputAborts) {
+  EXPECT_DEATH(Min(Vector()), "COHERE_CHECK");
+  EXPECT_DEATH(Quantile(Vector(), 0.5), "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

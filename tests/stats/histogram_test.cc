@@ -1,0 +1,67 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+TEST(HistogramTest, BinsValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(1.0);   // bin 0
+  h.Add(3.0);   // bin 1
+  h.Add(9.9);   // bin 4
+  EXPECT_EQ(h.Count(0), 1u);
+  EXPECT_EQ(h.Count(1), 1u);
+  EXPECT_EQ(h.Count(4), 1u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(7.0);
+  EXPECT_EQ(h.Count(0), 1u);
+  EXPECT_EQ(h.Count(1), 1u);
+}
+
+TEST(HistogramTest, UpperEdgeGoesToLastBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(1.0);
+  EXPECT_EQ(h.Count(3), 1u);
+}
+
+TEST(HistogramTest, FractionsAndCenters) {
+  Histogram h(0.0, 4.0, 4);
+  h.AddAll(Vector{0.5, 1.5, 1.7, 3.5});
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(3), 3.5);
+}
+
+TEST(HistogramTest, FractionOfEmptyHistogramIsZero) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_EQ(h.Fraction(0), 0.0);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find(" 2\n"), std::string::npos);
+}
+
+TEST(HistogramDeathTest, BadConstructionAborts) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 3), "COHERE_CHECK");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "COHERE_CHECK");
+}
+
+TEST(HistogramDeathTest, OutOfRangeBinAborts) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DEATH(h.Count(2), "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,75 @@
+#include "stats/normal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+TEST(NormalPdfTest, KnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_DOUBLE_EQ(NormalPdf(2.0), NormalPdf(-2.0));
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(-6.0), 9.865876450377018e-10, 1e-18);
+}
+
+TEST(NormalCdfTest, Monotone) {
+  double prev = 0.0;
+  for (double z = -8.0; z <= 8.0; z += 0.25) {
+    const double p = NormalCdf(z);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.017) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429), 1.0, 1e-9);
+}
+
+TEST(NormalQuantileTest, TailBehaviour) {
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+  EXPECT_LT(NormalQuantile(0.0), 0.0);
+  EXPECT_GT(NormalQuantile(1.0), 0.0);
+  EXPECT_NEAR(NormalQuantile(1e-10), -6.361340902404056, 1e-6);
+}
+
+TEST(TwoSidedNormalMassTest, MatchesCdfIdentity) {
+  // 2*Phi(z) - 1 for z >= 0.
+  for (double z = 0.0; z <= 5.0; z += 0.1) {
+    EXPECT_NEAR(TwoSidedNormalMass(z), 2.0 * NormalCdf(z) - 1.0, 1e-12);
+  }
+}
+
+TEST(TwoSidedNormalMassTest, SymmetricInSign) {
+  EXPECT_DOUBLE_EQ(TwoSidedNormalMass(1.5), TwoSidedNormalMass(-1.5));
+}
+
+TEST(TwoSidedNormalMassTest, PaperConstantAtOneSigma) {
+  // The paper's Section 3 result: P(D(d), e_i) = 2*Phi(1) - 1 ~= 0.68.
+  EXPECT_NEAR(TwoSidedNormalMass(1.0), 0.6826894921370859, 1e-12);
+}
+
+TEST(TwoSidedNormalMassTest, Bounds) {
+  EXPECT_EQ(TwoSidedNormalMass(0.0), 0.0);
+  EXPECT_NEAR(TwoSidedNormalMass(40.0), 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace cohere

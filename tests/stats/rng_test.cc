@@ -1,0 +1,105 @@
+#include "stats/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace cohere {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.UniformInt(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit with overwhelming odds
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(5);
+  Vector sample = rng.GaussianVector(20000);
+  EXPECT_NEAR(Mean(sample), 0.0, 0.03);
+  EXPECT_NEAR(SampleStdDev(sample), 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(6);
+  Vector sample(5000);
+  for (size_t i = 0; i < sample.size(); ++i) sample[i] = rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(Mean(sample), 10.0, 0.15);
+  EXPECT_NEAR(SampleStdDev(sample), 2.0, 0.15);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(8);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  rng.Shuffle(&items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(9);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWholePopulation) {
+  Rng rng(10);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngDeathTest, OversampleAborts) {
+  Rng rng(11);
+  EXPECT_DEATH(rng.SampleWithoutReplacement(3, 4), "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

@@ -1,0 +1,107 @@
+#include "stats/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "stats/covariance.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::ExpectMatrixNear;
+using testing_util::ExpectVectorNear;
+using testing_util::RandomMatrix;
+
+TEST(StreamingMomentsTest, EmptyAccumulator) {
+  StreamingMoments m(3);
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.Mean().Norm2(), 0.0);
+  EXPECT_EQ(m.Covariance().FrobeniusNorm(), 0.0);
+}
+
+TEST(StreamingMomentsTest, MatchesBatchStatistics) {
+  Rng rng(1201);
+  Matrix data = RandomMatrix(200, 6, &rng);
+  for (size_t i = 0; i < data.rows(); ++i) data.At(i, 2) *= 30.0;
+
+  StreamingMoments m(6);
+  for (size_t i = 0; i < data.rows(); ++i) m.Add(data.Row(i));
+
+  EXPECT_EQ(m.count(), 200u);
+  ExpectVectorNear(m.Mean(), ColumnMeans(data), 1e-10);
+  ExpectMatrixNear(m.Covariance(), CovarianceMatrix(data), 1e-8);
+  const Vector stds = ColumnStdDevs(data);
+  const Vector vars = m.Variances();
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(vars[j], stds[j] * stds[j], 1e-8 * std::max(1.0, vars[j]));
+  }
+}
+
+TEST(StreamingMomentsTest, SingleObservation) {
+  StreamingMoments m(2);
+  m.Add(Vector{3.0, 4.0});
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.Mean()[0], 3.0);
+  EXPECT_DOUBLE_EQ(m.Covariance()(0, 0), 0.0);
+}
+
+TEST(StreamingMomentsTest, MergeMatchesSequential) {
+  Rng rng(1202);
+  Matrix data = RandomMatrix(150, 4, &rng);
+
+  StreamingMoments sequential(4);
+  for (size_t i = 0; i < 150; ++i) sequential.Add(data.Row(i));
+
+  StreamingMoments a(4);
+  StreamingMoments b(4);
+  for (size_t i = 0; i < 60; ++i) a.Add(data.Row(i));
+  for (size_t i = 60; i < 150; ++i) b.Add(data.Row(i));
+  a.Merge(b);
+
+  EXPECT_EQ(a.count(), sequential.count());
+  ExpectVectorNear(a.Mean(), sequential.Mean(), 1e-11);
+  ExpectMatrixNear(a.Covariance(), sequential.Covariance(), 1e-9);
+}
+
+TEST(StreamingMomentsTest, MergeWithEmptySides) {
+  Rng rng(1203);
+  Matrix data = RandomMatrix(30, 3, &rng);
+  StreamingMoments filled(3);
+  for (size_t i = 0; i < 30; ++i) filled.Add(data.Row(i));
+
+  StreamingMoments empty(3);
+  StreamingMoments copy = filled;
+  copy.Merge(empty);  // no-op
+  ExpectMatrixNear(copy.Covariance(), filled.Covariance(), 0.0);
+
+  StreamingMoments other(3);
+  other.Merge(filled);  // adopt
+  EXPECT_EQ(other.count(), 30u);
+  ExpectVectorNear(other.Mean(), filled.Mean(), 0.0);
+}
+
+TEST(StreamingMomentsTest, NumericallyStableUnderLargeOffsets) {
+  // Welford's selling point: a large common offset does not destroy the
+  // variance estimate.
+  Rng rng(1204);
+  StreamingMoments m(1);
+  Matrix data(500, 1);
+  for (size_t i = 0; i < 500; ++i) {
+    data.At(i, 0) = 1e9 + rng.Gaussian();
+    m.Add(data.Row(i));
+  }
+  const Matrix batch = CovarianceMatrix(data);
+  EXPECT_NEAR(m.Covariance()(0, 0), batch(0, 0),
+              1e-6 * std::max(1.0, batch(0, 0)));
+  EXPECT_NEAR(m.Covariance()(0, 0), 1.0, 0.2);
+}
+
+TEST(StreamingMomentsDeathTest, DimensionMismatchAborts) {
+  StreamingMoments m(2);
+  EXPECT_DEATH(m.Add(Vector(3)), "COHERE_CHECK");
+  StreamingMoments other(3);
+  EXPECT_DEATH(m.Merge(other), "COHERE_CHECK");
+}
+
+}  // namespace
+}  // namespace cohere

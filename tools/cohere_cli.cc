@@ -1,0 +1,299 @@
+// cohere command-line tool: coherence analysis, reduction and k-NN queries
+// over CSV/ARFF files without writing any C++.
+//
+//   cohere_cli analyze <data-file> [--scaling cov|corr]
+//   cohere_cli reduce  <data-file> <output.csv> [--dims N]
+//                      [--strategy coherence|eigenvalue|threshold|energy]
+//                      [--scaling cov|corr]
+//   cohere_cli query   <data-file> --row R [--k K] [--dims N]
+//   cohere_cli demo    (self-contained smoke run on synthetic data)
+//
+// Data files ending in .arff are parsed as ARFF; anything else as CSV with
+// the last column as the class attribute (use --no-label for unlabeled
+// CSV). Missing values are mean-imputed.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "data/arff.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "eval/knn_quality.h"
+#include "eval/report.h"
+#include "reduction/selection.h"
+
+namespace cohere {
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+  bool no_label = false;
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--no-label") {
+      args.no_label = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      std::string value;
+      if (i + 1 < argc) value = argv[++i];
+      args.flags[key] = value;
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+Result<Dataset> LoadData(const std::string& path, bool no_label) {
+  if (path.size() > 5 &&
+      EqualsIgnoreCase(path.substr(path.size() - 5), ".arff")) {
+    return LoadArff(path);
+  }
+  CsvOptions options;
+  options.label_column = no_label ? CsvOptions::kNoLabelColumn : -1;
+  options.missing_values = MissingValuePolicy::kImputeColumnMean;
+  options.has_header = false;
+  Result<Dataset> loaded = LoadCsv(path, options);
+  if (!loaded.ok() && !no_label) {
+    // Retry with a header line; common for exported CSVs.
+    options.has_header = true;
+    return LoadCsv(path, options);
+  }
+  return loaded;
+}
+
+PcaScaling ScalingFromFlags(const Args& args) {
+  auto it = args.flags.find("scaling");
+  if (it != args.flags.end() && (it->second == "cov" ||
+                                 it->second == "covariance")) {
+    return PcaScaling::kCovariance;
+  }
+  return PcaScaling::kCorrelation;
+}
+
+int Analyze(const Dataset& data, PcaScaling scaling) {
+  Result<PcaModel> pca = PcaModel::Fit(data.features(), scaling);
+  if (!pca.ok()) {
+    std::fprintf(stderr, "PCA failed: %s\n", pca.status().ToString().c_str());
+    return 1;
+  }
+  const CoherenceAnalysis coherence = ComputeCoherence(*pca, data.features());
+  const std::vector<size_t> order = OrderByCoherence(coherence);
+  const size_t cut = DetectSeparatedPrefix(coherence.probability, order);
+
+  std::printf("data: %zu records x %zu attributes", data.NumRecords(),
+              data.NumAttributes());
+  if (data.HasLabels()) std::printf(", %zu classes", data.NumClasses());
+  std::printf("\nPCA scaling: %s\n\n", PcaScalingName(scaling));
+
+  TextTable table({"rank", "eigenvalue", "coherence", "variance%"});
+  const double total = pca->TotalVariance();
+  const size_t shown = std::min<size_t>(data.NumAttributes(), 20);
+  for (size_t i = 0; i < shown; ++i) {
+    table.AddRow({std::to_string(i),
+                  FormatDouble(pca->eigenvalues()[i], 4),
+                  FormatDouble(coherence.probability[i], 4),
+                  FormatPercent(total > 0 ? pca->eigenvalues()[i] / total
+                                          : 0.0)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  if (shown < data.NumAttributes()) {
+    std::printf("... (%zu more)\n", data.NumAttributes() - shown);
+  }
+  std::printf(
+      "\ncoherence cut-off heuristic keeps %zu direction(s); "
+      "highest-coherence directions (eigen rank): ",
+      cut);
+  for (size_t i = 0; i < std::min<size_t>(cut, 10); ++i) {
+    std::printf("%zu ", order[i]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Reduce(const Dataset& data, const Args& args,
+           const std::string& output) {
+  ReductionOptions options;
+  options.scaling = ScalingFromFlags(args);
+  auto strategy_it = args.flags.find("strategy");
+  const std::string strategy =
+      strategy_it == args.flags.end() ? "coherence" : strategy_it->second;
+  if (strategy == "coherence") {
+    options.strategy = SelectionStrategy::kCoherenceOrder;
+  } else if (strategy == "eigenvalue") {
+    options.strategy = SelectionStrategy::kEigenvalueOrder;
+  } else if (strategy == "threshold") {
+    options.strategy = SelectionStrategy::kRelativeThreshold;
+  } else if (strategy == "energy") {
+    options.strategy = SelectionStrategy::kEnergyFraction;
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s'\n", strategy.c_str());
+    return 1;
+  }
+  auto dims_it = args.flags.find("dims");
+  if (dims_it != args.flags.end()) {
+    Result<long long> dims = ParseInt(dims_it->second);
+    if (!dims.ok() || *dims <= 0) {
+      std::fprintf(stderr, "bad --dims value\n");
+      return 1;
+    }
+    options.target_dim = static_cast<size_t>(*dims);
+  }
+
+  Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "reduction failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", pipeline->Describe().c_str());
+  Dataset reduced = pipeline->TransformDataset(data);
+  Status written = WriteCsv(reduced, output);
+  if (!written.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu x %zu to %s\n", reduced.NumRecords(),
+              reduced.NumAttributes(), output.c_str());
+  return 0;
+}
+
+int QueryCmd(const Dataset& data, const Args& args) {
+  auto row_it = args.flags.find("row");
+  if (row_it == args.flags.end()) {
+    std::fprintf(stderr, "query requires --row R\n");
+    return 1;
+  }
+  Result<long long> row = ParseInt(row_it->second);
+  if (!row.ok() || *row < 0 ||
+      static_cast<size_t>(*row) >= data.NumRecords()) {
+    std::fprintf(stderr, "bad --row value\n");
+    return 1;
+  }
+  size_t k = 5;
+  if (auto it = args.flags.find("k"); it != args.flags.end()) {
+    Result<long long> parsed = ParseInt(it->second);
+    if (!parsed.ok() || *parsed <= 0) {
+      std::fprintf(stderr, "bad --k value\n");
+      return 1;
+    }
+    k = static_cast<size_t>(*parsed);
+  }
+
+  EngineOptions options;
+  options.reduction.scaling = ScalingFromFlags(args);
+  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  if (auto it = args.flags.find("dims"); it != args.flags.end()) {
+    Result<long long> dims = ParseInt(it->second);
+    if (!dims.ok() || *dims <= 0) {
+      std::fprintf(stderr, "bad --dims value\n");
+      return 1;
+    }
+    options.reduction.target_dim = static_cast<size_t>(*dims);
+  }
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", engine->Describe().c_str());
+
+  const size_t query_row = static_cast<size_t>(*row);
+  TextTable table({"record", "distance", "class"});
+  for (const Neighbor& n :
+       engine->Query(data.Record(query_row), k, query_row)) {
+    std::string label = "-";
+    if (data.HasLabels()) {
+      const size_t id = static_cast<size_t>(data.label(n.index));
+      label = id < data.class_names().size() ? data.class_names()[id]
+                                             : std::to_string(id);
+    }
+    table.AddRow({std::to_string(n.index), FormatDouble(n.distance, 4),
+                  label});
+  }
+  std::printf("\n%zu nearest neighbors of record %zu:\n%s", k, query_row,
+              table.Render().c_str());
+  return 0;
+}
+
+// Self-contained end-to-end exercise used as the CLI smoke test.
+int Demo() {
+  LatentFactorConfig config;
+  config.num_records = 200;
+  config.num_attributes = 30;
+  config.num_concepts = 5;
+  config.num_classes = 2;
+  config.seed = 123;
+  Dataset data = GenerateLatentFactor(config);
+
+  if (Analyze(data, PcaScaling::kCorrelation) != 0) return 1;
+
+  Args reduce_args;
+  reduce_args.flags["dims"] = "5";
+  const std::string out = "/tmp/cohere_cli_demo_reduced.csv";
+  if (Reduce(data, reduce_args, out) != 0) return 1;
+  std::remove(out.c_str());
+
+  Args query_args;
+  query_args.flags["row"] = "0";
+  query_args.flags["k"] = "3";
+  query_args.flags["dims"] = "5";
+  return QueryCmd(data, query_args);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cohere_cli analyze <data-file> [--scaling cov|corr] "
+               "[--no-label]\n"
+               "  cohere_cli reduce  <data-file> <output.csv> [--dims N]\n"
+               "             [--strategy coherence|eigenvalue|threshold|"
+               "energy] [--scaling cov|corr]\n"
+               "  cohere_cli query   <data-file> --row R [--k K] [--dims N]\n"
+               "  cohere_cli demo\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "demo") return Demo();
+
+  Args args = ParseArgs(argc, argv, 2);
+  if (args.positional.empty()) return Usage();
+
+  Result<Dataset> data = LoadData(args.positional[0], args.no_label);
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n",
+                 args.positional[0].c_str(),
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "analyze") {
+    return Analyze(*data, ScalingFromFlags(args));
+  }
+  if (command == "reduce") {
+    if (args.positional.size() < 2) return Usage();
+    return Reduce(*data, args, args.positional[1]);
+  }
+  if (command == "query") {
+    return QueryCmd(*data, args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cohere
+
+int main(int argc, char** argv) { return cohere::Main(argc, argv); }
