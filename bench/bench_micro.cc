@@ -3,6 +3,7 @@
 // Jacobi) called out in DESIGN.md.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "data/synthetic.h"
 #include "index/kd_tree.h"
 #include "index/linear_scan.h"
@@ -195,6 +196,78 @@ void BM_KdTreeBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KdTreeBuild)->Arg(4)->Arg(34);
+
+// Serial-vs-parallel sweeps for the kernels routed through the shared
+// thread pool (common/parallel.h). range(0) is the problem size, range(1)
+// the thread count; the {size, 1} rows are the serial baseline the parallel
+// rows are measured against. The pool configuration is restored to
+// automatic sizing after each benchmark so the rest of the suite is
+// unaffected.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(size_t threads) { SetParallelThreadCount(threads); }
+  ~ThreadCountGuard() { SetParallelThreadCount(0); }
+};
+
+void BM_GemmThreads(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<size_t>(state.range(1)));
+  const Matrix a = RandomDataMatrix(n, n, 4);
+  const Matrix b = RandomDataMatrix(n, n, 5);
+  for (auto _ : state) {
+    Matrix c = Multiply(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_GemmThreads)
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})
+    ->UseRealTime();
+
+void BM_CovarianceMatrixThreads(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<size_t>(state.range(1)));
+  const Matrix data = RandomDataMatrix(500, d, 6);
+  for (auto _ : state) {
+    Matrix cov = CovarianceMatrix(data);
+    benchmark::DoNotOptimize(cov);
+  }
+}
+BENCHMARK(BM_CovarianceMatrixThreads)
+    ->Args({279, 1})->Args({279, 2})->Args({279, 4})
+    ->UseRealTime();
+
+void BM_ComputeCoherenceThreads(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  ThreadCountGuard guard(static_cast<size_t>(state.range(1)));
+  const Matrix data = RandomDataMatrix(450, d, 8);
+  auto model = PcaModel::Fit(data, PcaScaling::kCorrelation);
+  for (auto _ : state) {
+    CoherenceAnalysis coherence = ComputeCoherence(*model, data);
+    benchmark::DoNotOptimize(coherence);
+  }
+}
+BENCHMARK(BM_ComputeCoherenceThreads)
+    ->Args({279, 1})->Args({279, 2})->Args({279, 4})
+    ->UseRealTime();
+
+void BM_QueryBatchThreads(benchmark::State& state) {
+  const size_t d = 166;
+  ThreadCountGuard guard(static_cast<size_t>(state.range(1)));
+  const Matrix data = RandomDataMatrix(2000, d, 9);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+  const Matrix queries =
+      RandomDataMatrix(static_cast<size_t>(state.range(0)), d, 10);
+  for (auto _ : state) {
+    auto result = index.QueryBatch(queries, 5);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_QueryBatchThreads)
+    ->Args({64, 1})->Args({64, 2})->Args({64, 4})
+    ->UseRealTime();
 
 void BM_LatentFactorGeneration(benchmark::State& state) {
   LatentFactorConfig config;

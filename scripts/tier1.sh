@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the standard build + full ctest run, then a ThreadSanitizer
+# build that re-runs the concurrency-sensitive suites. Run from the repo root:
+#
+#   scripts/tier1.sh [build-dir] [tsan-build-dir]
+#
+# Set COHERE_SKIP_TSAN=1 to skip the sanitizer stage (e.g. on toolchains or
+# kernels where TSAN is unavailable).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+TSAN_DIR="${2:-$ROOT/build-tsan}"
+
+echo "==> tier-1: standard build"
+cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "==> tier-1: full test suite"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${COHERE_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "==> tier-1: TSAN stage skipped (COHERE_SKIP_TSAN=1)"
+  exit 0
+fi
+
+echo "==> tier-1: ThreadSanitizer build"
+cmake -B "$TSAN_DIR" -S "$ROOT" -DCOHERE_SANITIZE=thread \
+  -DCOHERE_BUILD_BENCHMARKS=OFF >/dev/null
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target common_tests index_tests \
+  linalg_tests stats_tests reduction_tests core_tests
+
+echo "==> tier-1: parallel suites under TSAN"
+"$TSAN_DIR/tests/common_tests" --gtest_filter='Parallel*'
+"$TSAN_DIR/tests/index_tests" --gtest_filter='QueryBatch*'
+"$TSAN_DIR/tests/linalg_tests" --gtest_filter='MatrixParallelTest*'
+"$TSAN_DIR/tests/stats_tests" --gtest_filter='CovarianceParallelTest*'
+"$TSAN_DIR/tests/reduction_tests" --gtest_filter='CoherenceParallelTest*'
+"$TSAN_DIR/tests/core_tests" \
+  --gtest_filter='EngineTest.QueryBatch*:EngineTest.NumThreads*'
+
+echo "==> tier-1: all stages passed"

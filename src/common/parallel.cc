@@ -1,0 +1,229 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cohere {
+namespace {
+
+// Set inside pool workers so nested parallel regions degrade to serial
+// execution instead of deadlocking on the (single) pool.
+thread_local bool tls_in_pool_worker = false;
+
+size_t AutoThreadCount() {
+  if (const char* env = std::getenv("COHERE_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+// Persistent pool of `threads - 1` workers; the thread entering Run()
+// participates as the final lane. One job runs at a time (Run serializes);
+// workers pull chunk ordinals from a shared atomic counter, so load balances
+// dynamically while output placement stays fixed by chunk index.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads) : threads_(std::max<size_t>(threads, 1)) {
+    workers_.reserve(threads_ - 1);
+    for (size_t i = 0; i + 1 < threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  size_t threads() const { return threads_; }
+
+  void Run(size_t num_chunks, const std::function<void(size_t)>& chunk_fn) {
+    if (num_chunks == 0) return;
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_fn_ = &chunk_fn;
+      num_chunks_ = num_chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      first_error_ = nullptr;
+      idle_workers_ = 0;
+      ++job_id_;
+    }
+    work_cv_.notify_all();
+    // The caller participates as the final lane. Mark it as in-pool so a
+    // nested parallel region inside `chunk_fn` degrades to serial instead of
+    // re-entering Run() and self-deadlocking on run_mu_.
+    const bool was_in_pool = tls_in_pool_worker;
+    tls_in_pool_worker = true;
+    DrainChunks(chunk_fn);
+    tls_in_pool_worker = was_in_pool;
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return idle_workers_ == workers_.size(); });
+    job_fn_ = nullptr;
+    if (first_error_ != nullptr) {
+      std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void WorkerLoop() {
+    tls_in_pool_worker = true;
+    std::uint64_t seen_job = 0;
+    for (;;) {
+      const std::function<void(size_t)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen_job; });
+        if (stop_) return;
+        seen_job = job_id_;
+        fn = job_fn_;
+      }
+      DrainChunks(*fn);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (++idle_workers_ == workers_.size()) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void DrainChunks(const std::function<void(size_t)>& fn) {
+    for (;;) {
+      const size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks_) return;
+      try {
+        fn(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
+    }
+  }
+
+  const size_t threads_;
+  std::mutex run_mu_;  // serializes concurrent external Run() callers
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t job_id_ = 0;
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t num_chunks_ = 0;
+  std::atomic<size_t> next_chunk_{0};
+  size_t idle_workers_ = 0;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+struct PoolState {
+  std::mutex mu;
+  size_t configured = 0;  // 0 = auto
+  std::unique_ptr<ThreadPool> pool;
+};
+
+PoolState& State() {
+  static PoolState state;
+  return state;
+}
+
+size_t ResolvedThreadCount(const PoolState& state) {
+  return state.configured != 0 ? state.configured : AutoThreadCount();
+}
+
+// Returns the pool sized to the current configuration, (re)creating it if
+// the requested size changed since the last parallel region.
+ThreadPool& GetPool() {
+  PoolState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const size_t want = ResolvedThreadCount(state);
+  if (state.pool == nullptr || state.pool->threads() != want) {
+    state.pool.reset();  // join old workers before spawning replacements
+    state.pool = std::make_unique<ThreadPool>(want);
+  }
+  return *state.pool;
+}
+
+}  // namespace
+
+size_t ParallelThreadCount() {
+  PoolState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return ResolvedThreadCount(state);
+}
+
+void SetParallelThreadCount(size_t count) {
+  PoolState& state = State();
+  std::unique_ptr<ThreadPool> retired;
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.configured = count;
+  if (state.pool != nullptr &&
+      state.pool->threads() != ResolvedThreadCount(state)) {
+    retired = std::move(state.pool);  // joined on scope exit
+  }
+}
+
+size_t ParallelChunkCount(size_t range, size_t grain) {
+  if (range == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (range + grain - 1) / grain;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t range = end - begin;
+  if (range <= grain || tls_in_pool_worker || ParallelThreadCount() <= 1) {
+    body(begin, end);
+    return;
+  }
+  const size_t chunks = ParallelChunkCount(range, grain);
+  GetPool().Run(chunks, [&](size_t chunk) {
+    const size_t b = begin + chunk * grain;
+    const size_t e = std::min(end, b + grain);
+    body(b, e);
+  });
+}
+
+void ParallelForIndexed(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t range = end - begin;
+  const size_t chunks = ParallelChunkCount(range, grain);
+  if (chunks == 1 || tls_in_pool_worker || ParallelThreadCount() <= 1) {
+    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+      const size_t b = begin + chunk * grain;
+      const size_t e = std::min(end, b + grain);
+      body(chunk, b, e);
+    }
+    return;
+  }
+  GetPool().Run(chunks, [&](size_t chunk) {
+    const size_t b = begin + chunk * grain;
+    const size_t e = std::min(end, b + grain);
+    body(chunk, b, e);
+  });
+}
+
+}  // namespace cohere

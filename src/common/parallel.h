@@ -1,0 +1,64 @@
+#ifndef COHERE_COMMON_PARALLEL_H_
+#define COHERE_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace cohere {
+
+/// Shared parallel-execution layer.
+///
+/// A single lazily-initialized process-wide thread pool backs every parallel
+/// kernel in the library (GEMM row-blocking, covariance accumulation,
+/// coherence moments, batched k-NN queries). The pool is created on the
+/// first parallel region and sized by, in priority order:
+///
+///   1. SetParallelThreadCount(n) with n >= 1 (EngineOptions::num_threads
+///      routes here),
+///   2. the COHERE_THREADS environment variable,
+///   3. std::thread::hardware_concurrency().
+///
+/// Determinism: with 1 thread every ParallelFor runs the body once over the
+/// whole range on the calling thread — byte-for-byte the pre-parallel serial
+/// code path. With N threads, ParallelFor callers must write disjoint
+/// outputs (results are then identical for any partition), and reductions
+/// go through ParallelForIndexed, whose chunk layout depends only on
+/// (range, grain) — never on the thread count — so merging per-chunk
+/// partials in chunk order yields the same floating-point result at any
+/// thread count.
+
+/// Thread count the next parallel region will use (always >= 1).
+size_t ParallelThreadCount();
+
+/// Overrides the pool size; 0 restores automatic sizing (COHERE_THREADS,
+/// then hardware_concurrency). Recreates the pool lazily on next use. Not
+/// safe to call concurrently with running parallel regions.
+void SetParallelThreadCount(size_t count);
+
+/// Runs `body(chunk_begin, chunk_end)` over a partition of [begin, end).
+/// Chunks hold at least `grain` indices (the last may be short). The body
+/// must tolerate any partition: write disjoint outputs, no order-dependent
+/// accumulation across chunk boundaries. Serial (single call over the whole
+/// range) when 1 thread is configured, when called from inside another
+/// parallel region, or when the range is no larger than `grain`.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Like ParallelFor but with a stable chunk decomposition for reductions:
+/// exactly ParallelChunkCount(end - begin, grain) chunks of size `grain`
+/// (last short), fixed by the range and grain alone. `body(chunk, b, e)`
+/// receives the chunk ordinal so callers can accumulate into per-chunk
+/// partials and merge them in chunk order, making the reduction independent
+/// of the thread count. With 1 thread the chunks run sequentially in
+/// ascending order on the calling thread.
+void ParallelForIndexed(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& body);
+
+/// Number of chunks ParallelForIndexed uses for a range of `range` indices:
+/// ceil(range / max(grain, 1)); 0 for an empty range.
+size_t ParallelChunkCount(size_t range, size_t grain);
+
+}  // namespace cohere
+
+#endif  // COHERE_COMMON_PARALLEL_H_

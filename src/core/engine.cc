@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "common/parallel.h"
 #include "index/kd_tree.h"
 #include "index/linear_scan.h"
 #include "index/va_file.h"
@@ -32,6 +33,9 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
 
   ReducedSearchEngine engine;
   engine.options_ = options;
+  if (options.num_threads != 0) {
+    SetParallelThreadCount(options.num_threads);
+  }
 
   Result<ReductionPipeline> pipeline =
       ReductionPipeline::Fit(dataset, options.reduction);
@@ -95,6 +99,21 @@ std::vector<Neighbor> ReducedSearchEngine::Query(
     QueryStats* stats) const {
   const Vector reduced = pipeline_.TransformPoint(original_space_query);
   return index_->Query(reduced, k, skip_index, stats);
+}
+
+std::vector<std::vector<Neighbor>> ReducedSearchEngine::QueryBatch(
+    const Matrix& original_space_queries, size_t k, QueryStats* stats) const {
+  const size_t n = original_space_queries.rows();
+  Matrix reduced(n, ReducedDims());
+  // Row transforms are independent; reduce them across the pool before the
+  // index fans the reduced rows back out.
+  ParallelFor(0, n, /*grain=*/16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      reduced.SetRow(i,
+                     pipeline_.TransformPoint(original_space_queries.Row(i)));
+    }
+  });
+  return index_->QueryBatch(reduced, k, stats);
 }
 
 std::string ReducedSearchEngine::Describe() const {

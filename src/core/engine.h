@@ -35,6 +35,13 @@ struct EngineOptions {
   size_t va_bits_per_dim = 5;
   size_t vp_leaf_size = 8;
   size_t rstar_max_entries = 16;
+  /// Threads for the shared parallel-execution layer (see common/parallel.h):
+  /// fitting kernels and QueryBatch fan-out. 0 keeps the current pool
+  /// configuration (COHERE_THREADS env var, else hardware concurrency); a
+  /// nonzero value reconfigures the process-wide pool at Build time, so the
+  /// most recently built engine's setting wins. 1 forces fully serial,
+  /// deterministic execution.
+  size_t num_threads = 0;
 };
 
 /// The library's top-level facade: fits a coherence-driven dimensionality
@@ -60,6 +67,14 @@ class ReducedSearchEngine {
   std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
                               size_t skip_index = KnnIndex::kNoSkip,
                               QueryStats* stats = nullptr) const;
+
+  /// Batched form of Query: one original-space query per row. Rows are
+  /// reduced and answered across the shared thread pool; entry i equals
+  /// Query(queries.Row(i), k) exactly, and per-thread QueryStats are merged
+  /// into `stats`.
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& original_space_queries, size_t k,
+      QueryStats* stats = nullptr) const;
 
   const ReductionPipeline& pipeline() const { return pipeline_; }
   const KnnIndex& index() const { return *index_; }

@@ -105,7 +105,6 @@ std::vector<Neighbor> KdTreeIndex::Query(const Vector& query, size_t k,
   if (nodes_.empty() || k == 0) return collector.Take();
 
   Vector scratch(data_.cols());
-  Vector row(data_.cols());
 
   // Best-first traversal on (box min-distance, node).
   using Entry = std::pair<double, size_t>;
@@ -126,9 +125,8 @@ std::vector<Neighbor> KdTreeIndex::Query(const Vector& query, size_t k,
       for (size_t i = node.begin; i < node.end; ++i) {
         const size_t point = order_[i];
         if (point == skip_index) continue;
-        const double* src = data_.RowPtr(point);
-        std::copy(src, src + data_.cols(), row.data());
-        const double comparable = metric_->ComparableDistance(query, row);
+        const double comparable = metric_->ComparableDistance(
+            query.data(), data_.RowPtr(point), data_.cols());
         if (stats != nullptr) ++stats->distance_evaluations;
         collector.Offer(point, comparable);
       }

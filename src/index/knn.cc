@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
+#include "common/parallel.h"
+
 namespace cohere {
 namespace {
 
@@ -12,6 +15,11 @@ bool HeapLess(const Neighbor& a, const Neighbor& b) {
   if (a.distance != b.distance) return a.distance < b.distance;
   return a.index < b.index;
 }
+
+// Queries per work chunk in QueryBatch. Each query is already a coarse unit
+// of work (a full index traversal), so small chunks keep the pool's lanes
+// busy even for modest batches.
+constexpr size_t kBatchGrain = 4;
 
 }  // namespace
 
@@ -33,6 +41,9 @@ void KnnCollector::Offer(size_t index, double distance) {
 }
 
 double KnnCollector::Threshold() const {
+  // k = 0 is trivially full with nothing collectable: report the strongest
+  // possible pruning bound instead of reading the front of an empty heap.
+  if (k_ == 0) return -std::numeric_limits<double>::infinity();
   if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
   return heap_.front().distance;
 }
@@ -41,6 +52,31 @@ std::vector<Neighbor> KnnCollector::Take() {
   std::vector<Neighbor> out = std::move(heap_);
   heap_.clear();
   std::sort(out.begin(), out.end(), HeapLess);
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(
+    const Matrix& queries, size_t k, QueryStats* stats) const {
+  const size_t n = queries.rows();
+  std::vector<std::vector<Neighbor>> out(n);
+  if (n == 0) return out;
+  COHERE_CHECK_EQ(queries.cols(), dims());
+
+  const size_t chunks = ParallelChunkCount(n, kBatchGrain);
+  std::vector<QueryStats> partial(stats != nullptr ? chunks : 0);
+  ParallelForIndexed(0, n, kBatchGrain,
+                     [&](size_t chunk, size_t begin, size_t end) {
+    QueryStats* local = stats != nullptr ? &partial[chunk] : nullptr;
+    Vector query(queries.cols());
+    for (size_t i = begin; i < end; ++i) {
+      const double* src = queries.RowPtr(i);
+      std::copy(src, src + queries.cols(), query.data());
+      out[i] = Query(query, k, kNoSkip, local);
+    }
+  });
+  if (stats != nullptr) {
+    for (const QueryStats& p : partial) stats->MergeFrom(p);
+  }
   return out;
 }
 

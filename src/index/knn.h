@@ -26,6 +26,14 @@ struct QueryStats {
   size_t distance_evaluations = 0;  ///< Full-precision distance computations.
   size_t nodes_visited = 0;         ///< Tree nodes or VA cells examined.
   size_t candidates_refined = 0;    ///< Exact refinements after filtering.
+
+  /// Accumulates another query's counters (batch paths merge per-thread
+  /// stats through this).
+  void MergeFrom(const QueryStats& other) {
+    distance_evaluations += other.distance_evaluations;
+    nodes_visited += other.nodes_visited;
+    candidates_refined += other.candidates_refined;
+  }
 };
 
 /// Interface of all k-NN engines over a fixed set of points.
@@ -45,6 +53,14 @@ class KnnIndex {
   std::vector<Neighbor> Query(const Vector& query, size_t k) const {
     return Query(query, k, kNoSkip, nullptr);
   }
+
+  /// Answers one query per row of `queries`, fanning the rows across the
+  /// shared thread pool (see common/parallel.h). Entry i of the result is
+  /// exactly Query(queries.Row(i), k): queries are independent, so the
+  /// parallel path is bitwise identical to the serial one. When `stats` is
+  /// non-null the per-thread counters are merged into it.
+  virtual std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& queries, size_t k, QueryStats* stats = nullptr) const;
 
   /// Number of indexed points.
   virtual size_t size() const = 0;

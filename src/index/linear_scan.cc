@@ -14,12 +14,13 @@ std::vector<Neighbor> LinearScanIndex::Query(const Vector& query, size_t k,
                                              QueryStats* stats) const {
   COHERE_CHECK_EQ(query.size(), data_.cols());
   KnnCollector collector(k);
-  Vector row(data_.cols());
+  const double* q = query.data();
+  const size_t d = data_.cols();
   for (size_t i = 0; i < data_.rows(); ++i) {
     if (i == skip_index) continue;
-    const double* src = data_.RowPtr(i);
-    std::copy(src, src + data_.cols(), row.data());
-    const double comparable = metric_->ComparableDistance(query, row);
+    // Raw-buffer distance straight against row storage: the innermost scan
+    // loop performs no copies.
+    const double comparable = metric_->ComparableDistance(q, data_.RowPtr(i), d);
     if (stats != nullptr) ++stats->distance_evaluations;
     collector.Offer(i, comparable);
   }

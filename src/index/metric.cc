@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/check.h"
 
@@ -10,13 +11,15 @@ namespace {
 
 class EuclideanMetric final : public Metric {
  public:
-  double Distance(const Vector& a, const Vector& b) const override {
-    return std::sqrt(ComparableDistance(a, b));
+  using Metric::ComparableDistance;
+  using Metric::Distance;
+  double Distance(const double* a, const double* b, size_t n) const override {
+    return std::sqrt(ComparableDistance(a, b, n));
   }
-  double ComparableDistance(const Vector& a, const Vector& b) const override {
-    COHERE_CHECK_EQ(a.size(), b.size());
+  double ComparableDistance(const double* a, const double* b,
+                            size_t n) const override {
     double sum = 0.0;
-    for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       const double d = a[i] - b[i];
       sum += d * d;
     }
@@ -31,10 +34,10 @@ class EuclideanMetric final : public Metric {
 
 class ManhattanMetric final : public Metric {
  public:
-  double Distance(const Vector& a, const Vector& b) const override {
-    COHERE_CHECK_EQ(a.size(), b.size());
+  using Metric::Distance;
+  double Distance(const double* a, const double* b, size_t n) const override {
     double sum = 0.0;
-    for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+    for (size_t i = 0; i < n; ++i) sum += std::fabs(a[i] - b[i]);
     return sum;
   }
   MetricKind kind() const override { return MetricKind::kManhattan; }
@@ -43,10 +46,10 @@ class ManhattanMetric final : public Metric {
 
 class ChebyshevMetric final : public Metric {
  public:
-  double Distance(const Vector& a, const Vector& b) const override {
-    COHERE_CHECK_EQ(a.size(), b.size());
+  using Metric::Distance;
+  double Distance(const double* a, const double* b, size_t n) const override {
     double best = 0.0;
-    for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       best = std::max(best, std::fabs(a[i] - b[i]));
     }
     return best;
@@ -60,13 +63,15 @@ class FractionalMetric final : public Metric {
   explicit FractionalMetric(double p) : p_(p) {
     COHERE_CHECK(p > 0.0 && p < 1.0);
   }
-  double Distance(const Vector& a, const Vector& b) const override {
-    return std::pow(ComparableDistance(a, b), 1.0 / p_);
+  using Metric::ComparableDistance;
+  using Metric::Distance;
+  double Distance(const double* a, const double* b, size_t n) const override {
+    return std::pow(ComparableDistance(a, b, n), 1.0 / p_);
   }
-  double ComparableDistance(const Vector& a, const Vector& b) const override {
-    COHERE_CHECK_EQ(a.size(), b.size());
+  double ComparableDistance(const double* a, const double* b,
+                            size_t n) const override {
     double sum = 0.0;
-    for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       sum += std::pow(std::fabs(a[i] - b[i]), p_);
     }
     return sum;
@@ -76,7 +81,11 @@ class FractionalMetric final : public Metric {
   }
   MetricKind kind() const override { return MetricKind::kFractional; }
   std::string name() const override {
-    return "fractional_l" + std::to_string(p_);
+    // %g trims the trailing zeros std::to_string would keep, so sweep and
+    // report output reads "fractional_l0.5", not "fractional_l0.500000".
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "fractional_l%g", p_);
+    return buf;
   }
   bool IsTrueMetric() const override { return false; }
 
@@ -86,16 +95,20 @@ class FractionalMetric final : public Metric {
 
 class CosineMetric final : public Metric {
  public:
-  double Distance(const Vector& a, const Vector& b) const override {
-    COHERE_CHECK_EQ(a.size(), b.size());
+  using Metric::Distance;
+  double Distance(const double* a, const double* b, size_t n) const override {
     double dot = 0.0;
     double na = 0.0;
     double nb = 0.0;
-    for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       dot += a[i] * b[i];
       na += a[i] * a[i];
       nb += b[i] * b[i];
     }
+    // Zero vectors have no direction. Two of them are indistinguishable
+    // (D = 0, preserving D(x, x) = 0); against a nonzero vector the
+    // similarity is taken as 0 (D = 1).
+    if (na == 0.0 && nb == 0.0) return 0.0;
     if (na == 0.0 || nb == 0.0) return 1.0;
     const double sim = dot / std::sqrt(na * nb);
     return 1.0 - std::clamp(sim, -1.0, 1.0);

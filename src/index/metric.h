@@ -1,9 +1,11 @@
 #ifndef COHERE_INDEX_METRIC_H_
 #define COHERE_INDEX_METRIC_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
+#include "common/check.h"
 #include "linalg/vector.h"
 
 namespace cohere {
@@ -22,17 +24,36 @@ enum class MetricKind {
 /// Implementations must be symmetric and non-negative with D(x, x) = 0;
 /// kFractional and kCosine are not triangle-inequality metrics, which the
 /// kd-tree rejects (its pruning bound requires a true metric).
+///
+/// The primitive operations take raw buffers so index inner loops can
+/// evaluate distances straight against matrix row storage without
+/// materializing a Vector per candidate; the Vector overloads are
+/// size-checked conveniences over the same code.
 class Metric {
  public:
   virtual ~Metric() = default;
 
-  /// Distance between two points of equal dimension.
-  virtual double Distance(const Vector& a, const Vector& b) const = 0;
+  /// Distance between two n-dimensional points given as raw buffers.
+  virtual double Distance(const double* a, const double* b,
+                          size_t n) const = 0;
 
   /// Distance raised to whatever power the implementation uses internally
   /// for comparisons. Monotone in Distance; cheaper for L2 (no sqrt).
-  virtual double ComparableDistance(const Vector& a, const Vector& b) const {
-    return Distance(a, b);
+  virtual double ComparableDistance(const double* a, const double* b,
+                                    size_t n) const {
+    return Distance(a, b, n);
+  }
+
+  /// Distance between two points of equal dimension.
+  double Distance(const Vector& a, const Vector& b) const {
+    COHERE_CHECK_EQ(a.size(), b.size());
+    return Distance(a.data(), b.data(), a.size());
+  }
+
+  /// Comparable-form distance between two points of equal dimension.
+  double ComparableDistance(const Vector& a, const Vector& b) const {
+    COHERE_CHECK_EQ(a.size(), b.size());
+    return ComparableDistance(a.data(), b.data(), a.size());
   }
 
   /// Converts a ComparableDistance back to a true distance.

@@ -120,12 +120,10 @@ std::vector<Neighbor> VaFileIndex::Query(const Vector& query, size_t k,
   // Phase 2: refine candidates in ascending lower-bound order; stop as soon
   // as the next lower bound exceeds the current exact k-th best.
   KnnCollector collector(k);
-  Vector row(d);
   for (const auto& [lb, i] : candidates) {
     if (collector.Full() && lb > collector.Threshold()) break;
-    const double* src = data_.RowPtr(i);
-    std::copy(src, src + d, row.data());
-    const double comparable = metric_->ComparableDistance(query, row);
+    const double comparable =
+        metric_->ComparableDistance(query.data(), data_.RowPtr(i), d);
     if (stats != nullptr) {
       ++stats->distance_evaluations;
       ++stats->candidates_refined;

@@ -19,13 +19,7 @@ VpTreeIndex::VpTreeIndex(Matrix data, const Metric* metric, size_t leaf_size)
 }
 
 double VpTreeIndex::RowDistance(const Vector& query, size_t row) const {
-  double sum = 0.0;
-  // Materialize the row once; Metric works on Vectors.
-  Vector point(data_.cols());
-  const double* src = data_.RowPtr(row);
-  std::copy(src, src + data_.cols(), point.data());
-  sum = metric_->Distance(query, point);
-  return sum;
+  return metric_->Distance(query.data(), data_.RowPtr(row), data_.cols());
 }
 
 size_t VpTreeIndex::BuildNode(size_t begin, size_t end) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/parallel.h"
+
 namespace cohere {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
@@ -161,6 +163,9 @@ namespace {
 
 // Block edge for the cache-blocked GEMM kernels. 64 doubles = one 512-byte
 // panel row; small enough that three blocks fit in L1 at typical sizes here.
+// Also the parallel grain: each pool lane owns whole row blocks of C, so
+// writes are disjoint and the per-element accumulation order matches the
+// serial kernel exactly (parallel results are bitwise identical).
 constexpr size_t kGemmBlock = 64;
 
 }  // namespace
@@ -171,22 +176,24 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
   const size_t k = a.cols();
   const size_t n = b.cols();
   Matrix c(m, n);
-  for (size_t ii = 0; ii < m; ii += kGemmBlock) {
-    const size_t i_end = std::min(ii + kGemmBlock, m);
-    for (size_t kk = 0; kk < k; kk += kGemmBlock) {
-      const size_t k_end = std::min(kk + kGemmBlock, k);
-      for (size_t i = ii; i < i_end; ++i) {
-        const double* a_row = a.RowPtr(i);
-        double* c_row = c.RowPtr(i);
-        for (size_t p = kk; p < k_end; ++p) {
-          const double a_ip = a_row[p];
-          if (a_ip == 0.0) continue;
-          const double* b_row = b.RowPtr(p);
-          for (size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+  ParallelFor(0, m, kGemmBlock, [&](size_t row_begin, size_t row_end) {
+    for (size_t ii = row_begin; ii < row_end; ii += kGemmBlock) {
+      const size_t i_end = std::min(ii + kGemmBlock, row_end);
+      for (size_t kk = 0; kk < k; kk += kGemmBlock) {
+        const size_t k_end = std::min(kk + kGemmBlock, k);
+        for (size_t i = ii; i < i_end; ++i) {
+          const double* a_row = a.RowPtr(i);
+          double* c_row = c.RowPtr(i);
+          for (size_t p = kk; p < k_end; ++p) {
+            const double a_ip = a_row[p];
+            if (a_ip == 0.0) continue;
+            const double* b_row = b.RowPtr(p);
+            for (size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+          }
         }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -197,17 +204,21 @@ Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b) {
   const size_t n = b.cols();
   Matrix c(m, n);
   // Accumulate rank-1 updates row by row of a and b; sequential access on
-  // both inputs.
-  for (size_t p = 0; p < k; ++p) {
-    const double* a_row = a.RowPtr(p);
-    const double* b_row = b.RowPtr(p);
-    for (size_t i = 0; i < m; ++i) {
-      const double a_pi = a_row[i];
-      if (a_pi == 0.0) continue;
-      double* c_row = c.RowPtr(i);
-      for (size_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+  // both inputs. Parallel lanes own disjoint stripes of C's rows; each lane
+  // still walks p in ascending order, so every C(i, j) accumulates its terms
+  // in the same order as the serial kernel.
+  ParallelFor(0, m, /*grain=*/16, [&](size_t i_begin, size_t i_end) {
+    for (size_t p = 0; p < k; ++p) {
+      const double* a_row = a.RowPtr(p);
+      const double* b_row = b.RowPtr(p);
+      for (size_t i = i_begin; i < i_end; ++i) {
+        const double a_pi = a_row[i];
+        if (a_pi == 0.0) continue;
+        double* c_row = c.RowPtr(i);
+        for (size_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -217,16 +228,18 @@ Matrix MultiplyTransposeB(const Matrix& a, const Matrix& b) {
   const size_t k = a.cols();
   const size_t n = b.rows();
   Matrix c(m, n);
-  for (size_t i = 0; i < m; ++i) {
-    const double* a_row = a.RowPtr(i);
-    double* c_row = c.RowPtr(i);
-    for (size_t j = 0; j < n; ++j) {
-      const double* b_row = b.RowPtr(j);
-      double sum = 0.0;
-      for (size_t p = 0; p < k; ++p) sum += a_row[p] * b_row[p];
-      c_row[j] = sum;
+  ParallelFor(0, m, /*grain=*/16, [&](size_t i_begin, size_t i_end) {
+    for (size_t i = i_begin; i < i_end; ++i) {
+      const double* a_row = a.RowPtr(i);
+      double* c_row = c.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) {
+        const double* b_row = b.RowPtr(j);
+        double sum = 0.0;
+        for (size_t p = 0; p < k; ++p) sum += a_row[p] * b_row[p];
+        c_row[j] = sum;
+      }
     }
-  }
+  });
   return c;
 }
 

@@ -1,8 +1,10 @@
 #include "reduction/coherence.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "stats/normal.h"
 
 namespace cohere {
@@ -42,16 +44,23 @@ struct CoherenceMoments {
   Matrix sum_sqs;  // n x d: Q(r, i) = sum_j c_j^2
 };
 
+// Per-record work chunk for the parallel loops below. Small enough to keep
+// every pool lane busy on the paper-scale datasets (~350-500 records), large
+// enough that chunk bookkeeping is negligible.
+constexpr size_t kRecordGrain = 64;
+
 CoherenceMoments ComputeMoments(const PcaModel& model, const Matrix& data) {
   const Matrix normalized = model.NormalizeRows(data);
   const Matrix& p = model.eigenvectors();
   const size_t d = p.rows();
 
   Matrix squared = normalized;
-  for (size_t i = 0; i < squared.rows(); ++i) {
-    double* row = squared.RowPtr(i);
-    for (size_t j = 0; j < d; ++j) row[j] *= row[j];
-  }
+  ParallelFor(0, squared.rows(), kRecordGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double* row = squared.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) row[j] *= row[j];
+    }
+  });
   Matrix p_squared = p;
   for (size_t i = 0; i < d; ++i) {
     double* row = p_squared.RowPtr(i);
@@ -72,16 +81,33 @@ CoherenceAnalysis ComputeCoherence(const PcaModel& model, const Matrix& data) {
   const size_t n = data.rows();
   const size_t d = model.dims();
 
+  // Per-chunk partial sums over the records, merged in chunk order. The
+  // chunk layout depends only on (n, grain) — see ParallelForIndexed — so
+  // the summation tree, and therefore the result, is identical at every
+  // thread count.
+  const size_t chunks = ParallelChunkCount(n, kRecordGrain);
+  std::vector<Vector> partial_prob(chunks, Vector(d));
+  std::vector<Vector> partial_factor(chunks, Vector(d));
+  ParallelForIndexed(0, n, kRecordGrain,
+                     [&](size_t chunk, size_t begin, size_t end) {
+    Vector& prob = partial_prob[chunk];
+    Vector& factor_sum = partial_factor[chunk];
+    for (size_t r = begin; r < end; ++r) {
+      for (size_t i = 0; i < d; ++i) {
+        const double factor =
+            FactorFromMoments(moments.sums.At(r, i), moments.sum_sqs.At(r, i));
+        factor_sum[i] += factor;
+        prob[i] += TwoSidedNormalMass(factor);
+      }
+    }
+  });
+
   CoherenceAnalysis out;
   out.probability.Resize(d);
   out.mean_factor.Resize(d);
-  for (size_t r = 0; r < n; ++r) {
-    for (size_t i = 0; i < d; ++i) {
-      const double factor =
-          FactorFromMoments(moments.sums.At(r, i), moments.sum_sqs.At(r, i));
-      out.mean_factor[i] += factor;
-      out.probability[i] += TwoSidedNormalMass(factor);
-    }
+  for (size_t chunk = 0; chunk < chunks; ++chunk) {
+    out.probability += partial_prob[chunk];
+    out.mean_factor += partial_factor[chunk];
   }
   const double inv_n = 1.0 / static_cast<double>(n);
   out.probability *= inv_n;
@@ -93,12 +119,14 @@ Matrix PerPointCoherenceProbabilities(const PcaModel& model,
                                       const Matrix& data) {
   const CoherenceMoments moments = ComputeMoments(model, data);
   Matrix out(data.rows(), model.dims());
-  for (size_t r = 0; r < out.rows(); ++r) {
-    for (size_t i = 0; i < out.cols(); ++i) {
-      out.At(r, i) = TwoSidedNormalMass(
-          FactorFromMoments(moments.sums.At(r, i), moments.sum_sqs.At(r, i)));
+  ParallelFor(0, out.rows(), kRecordGrain, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      for (size_t i = 0; i < out.cols(); ++i) {
+        out.At(r, i) = TwoSidedNormalMass(FactorFromMoments(
+            moments.sums.At(r, i), moments.sum_sqs.At(r, i)));
+      }
     }
-  }
+  });
   return out;
 }
 

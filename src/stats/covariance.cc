@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace cohere {
 
@@ -47,13 +48,19 @@ Matrix CovarianceMatrix(const Matrix& data) {
   COHERE_CHECK_GT(n, 0u);
   const Vector means = ColumnMeans(data);
 
-  // Center into a scratch matrix, then form (1/N) X^T X with the sequential
-  // rank-1 kernel; this keeps the inner loops contiguous.
+  // Center into a scratch matrix, then form (1/N) X^T X with the rank-1
+  // kernel; this keeps the inner loops contiguous. The centering is
+  // element-wise (disjoint rows, exact under any partition) and the product
+  // parallelizes inside MultiplyTransposeA; the mean pass stays serial — it
+  // is O(nd) against the product's O(nd^2), and keeping it sequential keeps
+  // the accumulation order (and thus the result) independent of threading.
   Matrix centered = data;
-  for (size_t i = 0; i < n; ++i) {
-    double* row = centered.RowPtr(i);
-    for (size_t j = 0; j < d; ++j) row[j] -= means[j];
-  }
+  ParallelFor(0, n, /*grain=*/64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double* row = centered.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) row[j] -= means[j];
+    }
+  });
   Matrix cov = MultiplyTransposeA(centered, centered);
   cov *= 1.0 / static_cast<double>(n);
   // Re-symmetrize to scrub accumulation asymmetry.

@@ -1,0 +1,168 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace {
+
+// Forces a known pool size for the duration of one test and restores
+// automatic sizing afterwards so tests stay order-independent.
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(size_t n) { SetParallelThreadCount(n); }
+  ~ScopedThreadCount() { SetParallelThreadCount(0); }
+};
+
+TEST(ParallelThreadCountTest, ExplicitSettingWins) {
+  ScopedThreadCount guard(3);
+  EXPECT_EQ(ParallelThreadCount(), 3u);
+}
+
+TEST(ParallelThreadCountTest, AutoIsAtLeastOne) {
+  ScopedThreadCount guard(0);
+  EXPECT_GE(ParallelThreadCount(), 1u);
+}
+
+TEST(ParallelThreadCountTest, EnvironmentVariableFeedsAutoSizing) {
+  ASSERT_EQ(setenv("COHERE_THREADS", "5", /*overwrite=*/1), 0);
+  {
+    ScopedThreadCount guard(0);
+    EXPECT_EQ(ParallelThreadCount(), 5u);
+    // An explicit setting overrides the environment.
+    SetParallelThreadCount(2);
+    EXPECT_EQ(ParallelThreadCount(), 2u);
+  }
+  ASSERT_EQ(unsetenv("COHERE_THREADS"), 0);
+}
+
+TEST(ParallelChunkCountTest, CeilDivisionWithZeroGuards) {
+  EXPECT_EQ(ParallelChunkCount(0, 16), 0u);
+  EXPECT_EQ(ParallelChunkCount(1, 16), 1u);
+  EXPECT_EQ(ParallelChunkCount(16, 16), 1u);
+  EXPECT_EQ(ParallelChunkCount(17, 16), 2u);
+  EXPECT_EQ(ParallelChunkCount(100, 7), 15u);
+  EXPECT_EQ(ParallelChunkCount(10, 0), 10u);  // grain 0 behaves like 1
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 4u}) {
+    ScopedThreadCount guard(threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(0, hits.size(), 16, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ScopedThreadCount guard(4);
+  bool called = false;
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { called = true; });
+  ParallelFor(7, 3, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, NonZeroBeginIsRespected) {
+  ScopedThreadCount guard(4);
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(10, 90, 8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ParallelForIndexedTest, ChunkLayoutIsIndependentOfThreadCount) {
+  const size_t n = 103;
+  const size_t grain = 10;
+  const size_t chunks = ParallelChunkCount(n, grain);
+  ASSERT_EQ(chunks, 11u);
+  for (size_t threads : {1u, 4u}) {
+    ScopedThreadCount guard(threads);
+    std::vector<std::pair<size_t, size_t>> bounds(chunks, {0, 0});
+    ParallelForIndexed(0, n, grain, [&](size_t chunk, size_t b, size_t e) {
+      bounds[chunk] = {b, e};
+    });
+    for (size_t c = 0; c < chunks; ++c) {
+      EXPECT_EQ(bounds[c].first, c * grain);
+      EXPECT_EQ(bounds[c].second, std::min(n, (c + 1) * grain));
+    }
+  }
+}
+
+TEST(ParallelForIndexedTest, ChunkOrderedReductionMatchesSerialSum) {
+  // The canonical reduction pattern: per-chunk partials merged in chunk
+  // order must give the same result at every thread count.
+  const size_t n = 1000;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 / (1.0 + static_cast<double>(i));
+  }
+  std::vector<double> sums;
+  for (size_t threads : {1u, 2u, 4u}) {
+    ScopedThreadCount guard(threads);
+    const size_t chunks = ParallelChunkCount(n, 64);
+    std::vector<double> partial(chunks, 0.0);
+    ParallelForIndexed(0, n, 64, [&](size_t chunk, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) partial[chunk] += values[i];
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    sums.push_back(total);
+  }
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[0], sums[2]);
+}
+
+TEST(ParallelForTest, NestedRegionsRunSeriallyWithoutDeadlock) {
+  ScopedThreadCount guard(4);
+  std::atomic<int> total{0};
+  ParallelFor(0, 8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ParallelFor(0, 10, 2, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  ScopedThreadCount guard(4);
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [](size_t begin, size_t) {
+                    if (begin == 57) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, PoolSurvivesThreadCountReconfiguration) {
+  std::atomic<int> count{0};
+  const auto body = [&](size_t begin, size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  };
+  for (size_t threads : {2u, 4u, 1u, 3u}) {
+    SetParallelThreadCount(threads);
+    ParallelFor(0, 50, 4, body);
+  }
+  SetParallelThreadCount(0);
+  EXPECT_EQ(count.load(), 200);
+}
+
+}  // namespace
+}  // namespace cohere

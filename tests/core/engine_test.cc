@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "data/uci_like.h"
 #include "index/linear_scan.h"
 
@@ -145,6 +146,51 @@ TEST(EngineTest, RejectsVpTreeWithNonTrueMetric) {
   EngineOptions options = BasicOptions(IndexBackend::kVpTree);
   options.metric = MetricKind::kFractional;
   EXPECT_FALSE(ReducedSearchEngine::Build(data, options).ok());
+}
+
+TEST(EngineTest, QueryBatchMatchesPerQueryResults) {
+  Dataset data = IonosphereLike(160);
+  for (IndexBackend backend :
+       {IndexBackend::kLinearScan, IndexBackend::kKdTree,
+        IndexBackend::kVaFile}) {
+    EngineOptions options = BasicOptions(backend);
+    options.num_threads = 4;  // exercise the pool even on small machines
+    Result<ReducedSearchEngine> engine =
+        ReducedSearchEngine::Build(data, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+    Matrix queries(30, data.NumAttributes());
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      queries.SetRow(i, data.Record(i * 7 % data.NumRecords()));
+    }
+    QueryStats batch_stats;
+    const auto batch = engine->QueryBatch(queries, 4, &batch_stats);
+    ASSERT_EQ(batch.size(), queries.rows());
+
+    QueryStats expected_stats;
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      const auto expected =
+          engine->Query(queries.Row(i), 4, KnnIndex::kNoSkip, &expected_stats);
+      EXPECT_EQ(batch[i], expected) << "query " << i;
+    }
+    EXPECT_EQ(batch_stats.distance_evaluations,
+              expected_stats.distance_evaluations);
+    EXPECT_EQ(batch_stats.nodes_visited, expected_stats.nodes_visited);
+    EXPECT_EQ(batch_stats.candidates_refined,
+              expected_stats.candidates_refined);
+  }
+  SetParallelThreadCount(0);
+}
+
+TEST(EngineTest, NumThreadsOptionConfiguresThePool) {
+  Dataset data = IonosphereLike(161);
+  EngineOptions options = BasicOptions(IndexBackend::kLinearScan);
+  options.num_threads = 2;
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(ParallelThreadCount(), 2u);
+  SetParallelThreadCount(0);
 }
 
 }  // namespace

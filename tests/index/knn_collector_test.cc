@@ -1,0 +1,101 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "index/knn.h"
+
+namespace cohere {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(KnnCollectorTest, ThresholdIsInfiniteUntilFull) {
+  KnnCollector collector(3);
+  EXPECT_EQ(collector.Threshold(), kInf);
+  collector.Offer(0, 5.0);
+  EXPECT_FALSE(collector.Full());
+  EXPECT_EQ(collector.Threshold(), kInf);
+  collector.Offer(1, 2.0);
+  EXPECT_EQ(collector.Threshold(), kInf);
+  collector.Offer(2, 7.0);
+  EXPECT_TRUE(collector.Full());
+  EXPECT_EQ(collector.Threshold(), 7.0);
+}
+
+TEST(KnnCollectorTest, ThresholdShrinksAsBetterCandidatesArrive) {
+  KnnCollector collector(2);
+  collector.Offer(0, 10.0);
+  collector.Offer(1, 8.0);
+  EXPECT_EQ(collector.Threshold(), 10.0);
+  collector.Offer(2, 4.0);  // evicts 10.0
+  EXPECT_EQ(collector.Threshold(), 8.0);
+  collector.Offer(3, 1.0);  // evicts 8.0
+  EXPECT_EQ(collector.Threshold(), 4.0);
+  collector.Offer(4, 9.0);  // worse than threshold: ignored
+  EXPECT_EQ(collector.Threshold(), 4.0);
+}
+
+TEST(KnnCollectorTest, KZeroCollectsNothingAndPrunesEverything) {
+  KnnCollector collector(0);
+  // Trivially full: any pruning bound exceeds the threshold, so index scans
+  // can stop immediately.
+  EXPECT_TRUE(collector.Full());
+  EXPECT_EQ(collector.Threshold(), -kInf);
+  collector.Offer(0, 1.0);
+  collector.Offer(1, 0.0);
+  EXPECT_EQ(collector.Threshold(), -kInf);
+  EXPECT_TRUE(collector.Take().empty());
+}
+
+TEST(KnnCollectorTest, EqualDistanceTiesPreferSmallerIndices) {
+  // Arrival order must not matter: offering equal distances in any order
+  // keeps the smallest row indices.
+  {
+    KnnCollector collector(2);
+    collector.Offer(5, 1.0);
+    collector.Offer(7, 1.0);
+    collector.Offer(3, 1.0);  // displaces index 7
+    const auto out = collector.Take();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].index, 3u);
+    EXPECT_EQ(out[1].index, 5u);
+  }
+  {
+    KnnCollector collector(2);
+    collector.Offer(3, 1.0);
+    collector.Offer(5, 1.0);
+    collector.Offer(7, 1.0);  // worse tie: ignored
+    const auto out = collector.Take();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].index, 3u);
+    EXPECT_EQ(out[1].index, 5u);
+  }
+}
+
+TEST(KnnCollectorTest, TakeSortsByDistanceThenIndex) {
+  KnnCollector collector(4);
+  collector.Offer(9, 2.0);
+  collector.Offer(1, 3.0);
+  collector.Offer(4, 2.0);
+  collector.Offer(0, 1.0);
+  const auto out = collector.Take();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], (Neighbor{0, 1.0}));
+  EXPECT_EQ(out[1], (Neighbor{4, 2.0}));
+  EXPECT_EQ(out[2], (Neighbor{9, 2.0}));
+  EXPECT_EQ(out[3], (Neighbor{1, 3.0}));
+}
+
+TEST(KnnCollectorTest, FewerOffersThanKReturnsAll) {
+  KnnCollector collector(10);
+  collector.Offer(2, 0.5);
+  collector.Offer(1, 0.25);
+  const auto out = collector.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].index, 1u);
+  EXPECT_EQ(out[1].index, 2u);
+}
+
+}  // namespace
+}  // namespace cohere

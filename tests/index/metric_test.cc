@@ -45,10 +45,45 @@ TEST(MetricTest, CosineKnownValues) {
   EXPECT_FALSE(m->IsTrueMetric());
 }
 
+TEST(MetricTest, CosineZeroVectorsSatisfyIdentity) {
+  // D(x, x) = 0 must hold for the all-zero vector too; only a zero vector
+  // against a nonzero one has undefined direction and maximal distance.
+  auto m = MakeMetric(MetricKind::kCosine);
+  const Vector zero(3);
+  EXPECT_EQ(m->Distance(zero, zero), 0.0);
+  EXPECT_EQ(m->Distance(zero, Vector{0.0, 2.0, 0.0}), 1.0);
+  EXPECT_EQ(m->Distance(Vector{0.0, 2.0, 0.0}, zero), 1.0);
+}
+
 TEST(MetricTest, NamesAndKinds) {
   EXPECT_EQ(MakeMetric(MetricKind::kEuclidean)->name(), "euclidean");
   EXPECT_EQ(MakeMetric(MetricKind::kManhattan)->kind(),
             MetricKind::kManhattan);
+}
+
+TEST(MetricTest, FractionalNameTrimsPrecision) {
+  EXPECT_EQ(MakeMetric(MetricKind::kFractional, 0.5)->name(),
+            "fractional_l0.5");
+  EXPECT_EQ(MakeMetric(MetricKind::kFractional, 0.25)->name(),
+            "fractional_l0.25");
+  EXPECT_EQ(MakeMetric(MetricKind::kFractional, 0.3)->name(),
+            "fractional_l0.3");
+}
+
+TEST(MetricTest, RawBufferPathMatchesVectorPath) {
+  Rng rng(94);
+  for (MetricKind kind : {MetricKind::kEuclidean, MetricKind::kManhattan,
+                          MetricKind::kChebyshev, MetricKind::kFractional,
+                          MetricKind::kCosine}) {
+    auto m = MakeMetric(kind, 0.5);
+    for (int trial = 0; trial < 10; ++trial) {
+      const Vector a = rng.GaussianVector(7);
+      const Vector b = rng.GaussianVector(7);
+      EXPECT_EQ(m->Distance(a, b), m->Distance(a.data(), b.data(), a.size()));
+      EXPECT_EQ(m->ComparableDistance(a, b),
+                m->ComparableDistance(a.data(), b.data(), a.size()));
+    }
+  }
 }
 
 class MetricPropertyTest : public ::testing::TestWithParam<MetricKind> {};

@@ -1,0 +1,133 @@
+// QueryBatch must agree exactly with per-query Query for every backend and
+// at every thread count — batch queries are independent, so parallel fan-out
+// may not change a single bit of the answers.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "index/kd_tree.h"
+#include "index/knn.h"
+#include "index/linear_scan.h"
+#include "index/rstar_tree.h"
+#include "index/va_file.h"
+#include "index/vp_tree.h"
+#include "stats/rng.h"
+
+namespace cohere {
+namespace {
+
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(size_t n) { SetParallelThreadCount(n); }
+  ~ScopedThreadCount() { SetParallelThreadCount(0); }
+};
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m.At(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+struct Backend {
+  const char* name;
+  std::unique_ptr<KnnIndex> (*make)(const Matrix&, const Metric*);
+};
+
+const Backend kBackends[] = {
+    {"linear_scan",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<LinearScanIndex>(data, metric);
+     }},
+    {"kd_tree",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<KdTreeIndex>(data, metric, 16);
+     }},
+    {"va_file",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<VaFileIndex>(data, metric, 5);
+     }},
+    {"vp_tree",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<VpTreeIndex>(data, metric, 8);
+     }},
+    {"rstar_tree",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<RStarTreeIndex>(data, metric, 16);
+     }},
+};
+
+TEST(QueryBatchTest, MatchesPerQueryResultsOnEveryBackend) {
+  const Matrix data = RandomMatrix(200, 8, 41);
+  const Matrix queries = RandomMatrix(37, 8, 42);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  for (const Backend& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    auto index = backend.make(data, metric.get());
+    for (size_t threads : {1u, 4u}) {
+      SCOPED_TRACE(threads);
+      ScopedThreadCount guard(threads);
+      const auto batch = index->QueryBatch(queries, 5);
+      ASSERT_EQ(batch.size(), queries.rows());
+      for (size_t i = 0; i < queries.rows(); ++i) {
+        const auto expected = index->Query(queries.Row(i), 5);
+        EXPECT_EQ(batch[i], expected) << "query " << i;
+      }
+    }
+  }
+}
+
+TEST(QueryBatchTest, MergedStatsEqualPerQuerySums) {
+  const Matrix data = RandomMatrix(300, 6, 43);
+  const Matrix queries = RandomMatrix(25, 6, 44);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  for (const Backend& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    auto index = backend.make(data, metric.get());
+    QueryStats expected;
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      index->Query(queries.Row(i), 3, KnnIndex::kNoSkip, &expected);
+    }
+    for (size_t threads : {1u, 4u}) {
+      SCOPED_TRACE(threads);
+      ScopedThreadCount guard(threads);
+      QueryStats merged;
+      index->QueryBatch(queries, 3, &merged);
+      EXPECT_EQ(merged.distance_evaluations, expected.distance_evaluations);
+      EXPECT_EQ(merged.nodes_visited, expected.nodes_visited);
+      EXPECT_EQ(merged.candidates_refined, expected.candidates_refined);
+    }
+  }
+}
+
+TEST(QueryBatchTest, NonTrueMetricsWorkThroughTheScanBatchPath) {
+  const Matrix data = RandomMatrix(150, 5, 45);
+  const Matrix queries = RandomMatrix(11, 5, 46);
+  ScopedThreadCount guard(4);
+  for (MetricKind kind : {MetricKind::kCosine, MetricKind::kFractional}) {
+    auto metric = MakeMetric(kind, 0.5);
+    LinearScanIndex index(data, metric.get());
+    const auto batch = index.QueryBatch(queries, 4);
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      EXPECT_EQ(batch[i], index.Query(queries.Row(i), 4));
+    }
+  }
+}
+
+TEST(QueryBatchTest, EmptyBatchAndKZero) {
+  const Matrix data = RandomMatrix(50, 4, 47);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+  EXPECT_TRUE(index.QueryBatch(Matrix(), 5).empty());
+  const Matrix queries = RandomMatrix(7, 4, 48);
+  const auto batch = index.QueryBatch(queries, 0);
+  ASSERT_EQ(batch.size(), 7u);
+  for (const auto& result : batch) EXPECT_TRUE(result.empty());
+}
+
+}  // namespace
+}  // namespace cohere

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
+#include "common/parallel.h"
 
 namespace cohere {
 namespace {
@@ -173,6 +174,27 @@ TEST(MatrixTest, IsSymmetric) {
   EXPECT_FALSE(asym.IsSymmetric());
   EXPECT_TRUE(asym.IsSymmetric(1.0));
   EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(MatrixParallelTest, ProductsAreBitwiseIdenticalAcrossThreadCounts) {
+  // The GEMM kernels stripe output rows across the pool without changing any
+  // per-element accumulation order, so the parallel results must match the
+  // serial ones exactly — not just within tolerance.
+  Rng rng(77);
+  const Matrix a = testing_util::RandomMatrix(130, 70, &rng);
+  const Matrix b = testing_util::RandomMatrix(70, 90, &rng);
+  const Matrix c = testing_util::RandomMatrix(90, 70, &rng);
+
+  SetParallelThreadCount(1);
+  const Matrix ab_serial = Multiply(a, b);
+  const Matrix ata_serial = MultiplyTransposeA(a, a);
+  const Matrix act_serial = MultiplyTransposeB(a, c);
+
+  SetParallelThreadCount(4);
+  EXPECT_EQ(Multiply(a, b), ab_serial);
+  EXPECT_EQ(MultiplyTransposeA(a, a), ata_serial);
+  EXPECT_EQ(MultiplyTransposeB(a, c), act_serial);
+  SetParallelThreadCount(0);
 }
 
 TEST(MatrixDeathTest, ShapeMismatchAborts) {

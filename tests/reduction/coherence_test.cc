@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
+#include "common/parallel.h"
 #include "data/synthetic.h"
 #include "data/uci_like.h"
 #include "reduction/selection.h"
@@ -171,6 +172,55 @@ TEST(PerPointCoherenceTest, ShapeAndAgreement) {
     for (size_t r = 0; r < 12; ++r) mean += per_point.At(r, i);
     mean /= 12.0;
     EXPECT_NEAR(mean, agg.probability[i], 1e-12);
+  }
+}
+
+TEST(CoherenceParallelTest, ResultsAreIdenticalAcrossThreadCounts) {
+  // ComputeCoherence reduces over records through fixed-layout chunks
+  // (common/parallel.h), so its summation tree — and therefore its result —
+  // is the same at every thread count, not merely close.
+  Dataset data = IonosphereLike(321);
+  Result<PcaModel> pca =
+      PcaModel::Fit(data.features(), PcaScaling::kCorrelation);
+  ASSERT_TRUE(pca.ok());
+  SetParallelThreadCount(1);
+  const CoherenceAnalysis serial = ComputeCoherence(*pca, data.features());
+  const Matrix per_point_serial =
+      PerPointCoherenceProbabilities(*pca, data.features());
+  for (size_t threads : {2u, 4u}) {
+    SetParallelThreadCount(threads);
+    const CoherenceAnalysis parallel = ComputeCoherence(*pca, data.features());
+    ASSERT_EQ(parallel.dims(), serial.dims());
+    for (size_t i = 0; i < serial.dims(); ++i) {
+      EXPECT_EQ(parallel.probability[i], serial.probability[i]);
+      EXPECT_EQ(parallel.mean_factor[i], serial.mean_factor[i]);
+    }
+    EXPECT_EQ(PerPointCoherenceProbabilities(*pca, data.features()),
+              per_point_serial);
+  }
+  SetParallelThreadCount(0);
+}
+
+TEST(CoherenceParallelTest, ChunkedReductionStaysNearExactSerialSum) {
+  // The chunked reduction reassociates floating-point addition; it must
+  // still agree with a straight per-record loop to ~1e-12.
+  Rng rng(322);
+  Matrix data = testing_util::RandomMatrix(200, 10, &rng);
+  Result<PcaModel> pca = PcaModel::Fit(data, PcaScaling::kCovariance);
+  ASSERT_TRUE(pca.ok());
+  SetParallelThreadCount(4);
+  const CoherenceAnalysis fast = ComputeCoherence(*pca, data);
+  SetParallelThreadCount(0);
+
+  Matrix normalized = pca->NormalizeRows(data);
+  for (size_t i = 0; i < fast.dims(); ++i) {
+    const Vector e = pca->eigenvectors().Col(i);
+    double mean_prob = 0.0;
+    for (size_t r = 0; r < data.rows(); ++r) {
+      mean_prob += CoherenceProbability(normalized.Row(r), e);
+    }
+    mean_prob /= static_cast<double>(data.rows());
+    EXPECT_NEAR(fast.probability[i], mean_prob, 1e-12);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
+#include "common/parallel.h"
 
 namespace cohere {
 namespace {
@@ -102,6 +103,21 @@ TEST(SpearmanTest, MonotoneNonlinearIsOne) {
 
 TEST(SpearmanTest, TinyInputs) {
   EXPECT_EQ(SpearmanCorrelation(Vector{1.0}, Vector{2.0}), 0.0);
+}
+
+TEST(CovarianceParallelTest, MatrixIsBitwiseIdenticalAcrossThreadCounts) {
+  // Centering is element-wise and the product keeps its per-element
+  // accumulation order under row striping, so the covariance matrix must be
+  // exactly the same at any thread count.
+  Rng rng(177);
+  const Matrix data = testing_util::RandomMatrix(220, 35, &rng);
+  SetParallelThreadCount(1);
+  const Matrix serial = CovarianceMatrix(data);
+  const Matrix corr_serial = CorrelationMatrix(data);
+  SetParallelThreadCount(4);
+  EXPECT_EQ(CovarianceMatrix(data), serial);
+  EXPECT_EQ(CorrelationMatrix(data), corr_serial);
+  SetParallelThreadCount(0);
 }
 
 }  // namespace
