@@ -114,5 +114,9 @@ int main() {
       "4-d) — the paper's argument that greater aggression in reduction "
       "translates directly to index performance.\n",
       data.NumRecords());
+  // The registry has been accumulating the same counters underneath the
+  // QueryStats this table was built from; drop them as a machine-readable
+  // artifact next to the figure CSVs.
+  EmitMetricsSnapshot("index_pruning");
   return 0;
 }

@@ -3,9 +3,12 @@
 #include <cstdio>
 #include <filesystem>
 
+#include <fstream>
+
 #include "common/check.h"
 #include "common/logging.h"
 #include "eval/report.h"
+#include "obs/metrics.h"
 #include "reduction/selection.h"
 
 namespace cohere {
@@ -179,6 +182,23 @@ void RunDatasetFigureBlock(const Dataset& dataset,
                      accuracy_figure + ": accuracy vs dims retained (" +
                          dataset_tag + ", k=3, eigenvalue order)",
                      dataset_tag + "_accuracy.csv");
+  EmitMetricsSnapshot(dataset_tag);
+}
+
+void EmitMetricsSnapshot(const std::string& tag) {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  std::printf("\n--- metrics after %s ---\n%s", tag.c_str(),
+              snapshot.ToText().c_str());
+
+  const std::string path = ResultPath(tag + "_metrics.json");
+  std::ofstream out(path);
+  if (!out) {
+    COHERE_LOG(Warning) << "cannot write metrics snapshot to " << path;
+    return;
+  }
+  out << snapshot.ToJson() << "\n";
+  std::printf("[metrics snapshot written to %s]\n", path.c_str());
 }
 
 }  // namespace bench

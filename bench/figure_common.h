@@ -66,11 +66,18 @@ DimensionSweepResult SweepOrdering(const Dataset& dataset,
 
 /// The complete Figure-3/4/5-style block for one dataset: scatter (scaled),
 /// coherence-by-rank (both scalings), accuracy curves (both scalings).
+/// Finishes by dropping a metrics snapshot tagged with `dataset_tag`.
 void RunDatasetFigureBlock(const Dataset& dataset,
                            const std::string& dataset_tag,
                            const std::string& scatter_figure,
                            const std::string& coherence_figure,
                            const std::string& accuracy_figure);
+
+/// Writes the current observability-registry snapshot as JSON to
+/// ResultPath(tag + "_metrics.json") and prints the human-readable form, so
+/// every figure run leaves its query-path counters and latency quantiles
+/// next to the CSV series it produced.
+void EmitMetricsSnapshot(const std::string& tag);
 
 }  // namespace bench
 }  // namespace cohere

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the standard build + full ctest run, then a ThreadSanitizer
-# build that re-runs the concurrency-sensitive suites. Run from the repo root:
+# build that re-runs the concurrency-sensitive suites, then an
+# UndefinedBehaviorSanitizer build that re-runs the numeric/metrics suites
+# (the histogram binning paths cast doubles around; UBSan is the regression
+# net for the non-finite-cast class of bug). Run from the repo root:
 #
-#   scripts/tier1.sh [build-dir] [tsan-build-dir]
+#   scripts/tier1.sh [build-dir] [tsan-build-dir] [ubsan-build-dir]
 #
-# Set COHERE_SKIP_TSAN=1 to skip the sanitizer stage (e.g. on toolchains or
-# kernels where TSAN is unavailable).
+# Set COHERE_SKIP_TSAN=1 / COHERE_SKIP_UBSAN=1 to skip a sanitizer stage
+# (e.g. on toolchains or kernels where it is unavailable).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 TSAN_DIR="${2:-$ROOT/build-tsan}"
+UBSAN_DIR="${3:-$ROOT/build-ubsan}"
 
 echo "==> tier-1: standard build"
 cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
@@ -21,22 +25,35 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 if [[ "${COHERE_SKIP_TSAN:-0}" == "1" ]]; then
   echo "==> tier-1: TSAN stage skipped (COHERE_SKIP_TSAN=1)"
-  exit 0
+else
+  echo "==> tier-1: ThreadSanitizer build"
+  cmake -B "$TSAN_DIR" -S "$ROOT" -DCOHERE_SANITIZE=thread \
+    -DCOHERE_BUILD_BENCHMARKS=OFF >/dev/null
+  cmake --build "$TSAN_DIR" -j "$(nproc)" --target common_tests index_tests \
+    linalg_tests stats_tests reduction_tests core_tests obs_tests
+
+  echo "==> tier-1: parallel suites under TSAN"
+  "$TSAN_DIR/tests/common_tests" --gtest_filter='Parallel*'
+  "$TSAN_DIR/tests/index_tests" --gtest_filter='QueryBatch*'
+  "$TSAN_DIR/tests/linalg_tests" --gtest_filter='MatrixParallelTest*'
+  "$TSAN_DIR/tests/stats_tests" --gtest_filter='CovarianceParallelTest*'
+  "$TSAN_DIR/tests/reduction_tests" --gtest_filter='CoherenceParallelTest*'
+  "$TSAN_DIR/tests/core_tests" \
+    --gtest_filter='EngineTest.QueryBatch*:EngineTest.NumThreads*'
+  "$TSAN_DIR/tests/obs_tests" --gtest_filter='*Concurrent*'
 fi
 
-echo "==> tier-1: ThreadSanitizer build"
-cmake -B "$TSAN_DIR" -S "$ROOT" -DCOHERE_SANITIZE=thread \
-  -DCOHERE_BUILD_BENCHMARKS=OFF >/dev/null
-cmake --build "$TSAN_DIR" -j "$(nproc)" --target common_tests index_tests \
-  linalg_tests stats_tests reduction_tests core_tests
+if [[ "${COHERE_SKIP_UBSAN:-0}" == "1" ]]; then
+  echo "==> tier-1: UBSAN stage skipped (COHERE_SKIP_UBSAN=1)"
+else
+  echo "==> tier-1: UndefinedBehaviorSanitizer build"
+  cmake -B "$UBSAN_DIR" -S "$ROOT" -DCOHERE_SANITIZE=undefined \
+    -DCOHERE_BUILD_BENCHMARKS=OFF >/dev/null
+  cmake --build "$UBSAN_DIR" -j "$(nproc)" --target stats_tests obs_tests
 
-echo "==> tier-1: parallel suites under TSAN"
-"$TSAN_DIR/tests/common_tests" --gtest_filter='Parallel*'
-"$TSAN_DIR/tests/index_tests" --gtest_filter='QueryBatch*'
-"$TSAN_DIR/tests/linalg_tests" --gtest_filter='MatrixParallelTest*'
-"$TSAN_DIR/tests/stats_tests" --gtest_filter='CovarianceParallelTest*'
-"$TSAN_DIR/tests/reduction_tests" --gtest_filter='CoherenceParallelTest*'
-"$TSAN_DIR/tests/core_tests" \
-  --gtest_filter='EngineTest.QueryBatch*:EngineTest.NumThreads*'
+  echo "==> tier-1: stats + obs suites under UBSAN"
+  "$UBSAN_DIR/tests/stats_tests"
+  "$UBSAN_DIR/tests/obs_tests"
+fi
 
 echo "==> tier-1: all stages passed"

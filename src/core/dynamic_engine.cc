@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/stopwatch.h"
+
 namespace cohere {
 
 Result<DynamicReducedIndex> DynamicReducedIndex::Build(
@@ -17,10 +19,18 @@ Result<DynamicReducedIndex> DynamicReducedIndex::Build(
     return Status::InvalidArgument("drift_window must be positive");
   }
 
+  obs::ScopedTrace trace("dynamic_index.build");
+
   DynamicReducedIndex index;
   index.options_ = options;
   index.metric_ = MakeMetric(options.metric, options.metric_p);
   index.dims_ = dataset.NumAttributes();
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  index.query_metrics_ = &obs::QueryPathMetricsFor("dynamic_index");
+  index.inserts_ = registry.GetCounter("dynamic_index.inserts");
+  index.refits_ = registry.GetCounter("dynamic_index.refits");
+  index.drift_gauge_ = registry.GetGauge("dynamic_index.drift_ratio");
 
   Result<ReductionPipeline> pipeline =
       ReductionPipeline::Fit(dataset, options.reduction);
@@ -87,6 +97,10 @@ Status DynamicReducedIndex::Insert(const Vector& record, int label) {
   while (recent_errors_.size() > options_.drift_window) {
     recent_errors_.pop_front();
   }
+  if (obs::MetricsRegistry::Enabled()) {
+    inserts_->Increment();
+    drift_gauge_->Set(DriftRatio());
+  }
   return Status::Ok();
 }
 
@@ -94,10 +108,13 @@ std::vector<Neighbor> DynamicReducedIndex::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats) const {
   COHERE_CHECK_EQ(original_space_query.size(), dims_);
+  const bool instrumented = obs::MetricsRegistry::Enabled();
+  Stopwatch watch;
   const Vector query = pipeline_.TransformPoint(original_space_query);
   const size_t reduced_dims = pipeline_.ReducedDims();
   const size_t n = labels_.size();
 
+  QueryStats local;
   KnnCollector collector(k);
   Vector row(reduced_dims);
   for (size_t i = 0; i < n; ++i) {
@@ -107,13 +124,18 @@ std::vector<Neighbor> DynamicReducedIndex::Query(
         reduced_.begin() + static_cast<ptrdiff_t>((i + 1) * reduced_dims),
         row.data());
     const double comparable = metric_->ComparableDistance(query, row);
-    if (stats != nullptr) ++stats->distance_evaluations;
+    ++local.distance_evaluations;
     collector.Offer(i, comparable);
   }
   std::vector<Neighbor> out = collector.Take();
   for (Neighbor& nb : out) {
     nb.distance = metric_->ComparableToActual(nb.distance);
   }
+  if (instrumented) {
+    query_metrics_->Record(local.distance_evaluations, local.nodes_visited,
+                           local.candidates_refined, watch.ElapsedMicros());
+  }
+  if (stats != nullptr) stats->MergeFrom(local);
   return out;
 }
 
@@ -143,6 +165,12 @@ bool DynamicReducedIndex::NeedsRefit() const {
 }
 
 Status DynamicReducedIndex::Refit() {
+  obs::ScopedTrace trace("dynamic_index.refit");
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::Enabled()
+          ? obs::MetricsRegistry::Global().GetHistogram(
+                "dynamic_index.refit_latency_us")
+          : nullptr);
   const size_t n = labels_.size();
   Matrix features(n, dims_);
   std::copy(originals_.begin(), originals_.end(), features.data());

@@ -10,6 +10,8 @@
 #include "data/dataset.h"
 #include "index/knn.h"
 #include "index/metric.h"
+#include "obs/metrics.h"
+#include "obs/query_metrics.h"
 #include "reduction/pipeline.h"
 
 namespace cohere {
@@ -107,6 +109,14 @@ class DynamicReducedIndex {
 
   double baseline_error_ = 0.0;
   std::deque<double> recent_errors_;
+
+  // Registry metrics (process-lifetime pointers), resolved once at Build:
+  // the query path reports through the shared "dynamic_index" bundle, and
+  // the mutation path records insert/refit counters plus a drift gauge.
+  const obs::QueryPathMetrics* query_metrics_ = nullptr;
+  obs::Counter* inserts_ = nullptr;
+  obs::Counter* refits_ = nullptr;
+  obs::Gauge* drift_gauge_ = nullptr;
 };
 
 }  // namespace cohere

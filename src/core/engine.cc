@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
+#include "common/logging.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "index/kd_tree.h"
 #include "index/linear_scan.h"
 #include "index/va_file.h"
@@ -31,10 +33,27 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
     return Status::InvalidArgument("cannot build an engine on an empty dataset");
   }
 
+  obs::ScopedTrace trace("engine.build");
+  Stopwatch build_watch;
+
   ReducedSearchEngine engine;
   engine.options_ = options;
   if (options.num_threads != 0) {
+    const size_t before = ParallelThreadCount();
     SetParallelThreadCount(options.num_threads);
+    const size_t after = ParallelThreadCount();
+    if (after != before) {
+      // "Most recently built engine wins" is easy to trip over (a stray
+      // num_threads=1 build silently serializes the whole process); make the
+      // reconfiguration observable.
+      COHERE_LOG(Info) << "ReducedSearchEngine::Build resized the shared "
+                          "thread pool from " << before << " to " << after
+                       << " threads (EngineOptions::num_threads)";
+    }
+  }
+  if (obs::MetricsRegistry::Enabled()) {
+    obs::MetricsRegistry::Global().GetGauge("parallel.threads")->Set(
+        static_cast<double>(ParallelThreadCount()));
   }
 
   Result<ReductionPipeline> pipeline =
@@ -91,18 +110,34 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
       break;
     }
   }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  engine.query_latency_us_ = registry.GetHistogram("engine.query_latency_us");
+  engine.batch_latency_us_ = registry.GetHistogram("engine.batch_latency_us");
+  engine.queries_ = registry.GetCounter("engine.queries");
+  if (obs::MetricsRegistry::Enabled()) {
+    registry.GetCounter("engine.builds")->Increment();
+    registry.GetHistogram("engine.build_latency_us")
+        ->Record(build_watch.ElapsedMicros());
+  }
   return engine;
 }
 
 std::vector<Neighbor> ReducedSearchEngine::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats) const {
+  const bool instrumented = obs::MetricsRegistry::Enabled();
+  obs::ScopedTimer timer(instrumented ? query_latency_us_ : nullptr);
+  if (instrumented) queries_->Increment();
   const Vector reduced = pipeline_.TransformPoint(original_space_query);
   return index_->Query(reduced, k, skip_index, stats);
 }
 
 std::vector<std::vector<Neighbor>> ReducedSearchEngine::QueryBatch(
     const Matrix& original_space_queries, size_t k, QueryStats* stats) const {
+  obs::ScopedTrace trace("engine.query_batch");
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::Enabled() ? batch_latency_us_ : nullptr);
   const size_t n = original_space_queries.rows();
   Matrix reduced(n, ReducedDims());
   // Row transforms are independent; reduce them across the pool before the

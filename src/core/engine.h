@@ -9,6 +9,7 @@
 #include "data/dataset.h"
 #include "index/knn.h"
 #include "index/metric.h"
+#include "obs/metrics.h"
 #include "reduction/pipeline.h"
 
 namespace cohere {
@@ -91,6 +92,13 @@ class ReducedSearchEngine {
   ReductionPipeline pipeline_;
   std::unique_ptr<Metric> metric_;
   std::unique_ptr<KnnIndex> index_;
+
+  // Engine-level registry metrics, resolved once at Build (registry-owned,
+  // process lifetime). The per-backend work counters live one level down in
+  // the KnnIndex query wrapper.
+  obs::LatencyHistogram* query_latency_us_ = nullptr;
+  obs::LatencyHistogram* batch_latency_us_ = nullptr;
+  obs::Counter* queries_ = nullptr;
 };
 
 }  // namespace cohere

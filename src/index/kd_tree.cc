@@ -97,9 +97,9 @@ double KdTreeIndex::BoxMinComparable(const Vector& query, const Node& node,
   return metric_->ComparableDistance(query, clamped);
 }
 
-std::vector<Neighbor> KdTreeIndex::Query(const Vector& query, size_t k,
-                                         size_t skip_index,
-                                         QueryStats* stats) const {
+std::vector<Neighbor> KdTreeIndex::QueryImpl(const Vector& query, size_t k,
+                                             size_t skip_index,
+                                             QueryStats* stats) const {
   COHERE_CHECK_EQ(query.size(), data_.cols());
   KnnCollector collector(k);
   if (nodes_.empty() || k == 0) return collector.Take();
@@ -111,6 +111,12 @@ std::vector<Neighbor> KdTreeIndex::Query(const Vector& query, size_t k,
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
   frontier.emplace(BoxMinComparable(query, nodes_[0], &scratch), 0);
 
+  // Work counts accumulate in locals (registers — their address never
+  // escapes, so the opaque metric calls can't force a spill) and reach
+  // `stats` in one add; the hot loops stay free of pointer-indirect stores.
+  uint64_t nodes_visited = 0;
+  uint64_t distance_evaluations = 0;
+
   while (!frontier.empty()) {
     const auto [bound, node_index] = frontier.top();
     frontier.pop();
@@ -119,7 +125,7 @@ std::vector<Neighbor> KdTreeIndex::Query(const Vector& query, size_t k,
       break;
     }
     const Node& node = nodes_[node_index];
-    if (stats != nullptr) ++stats->nodes_visited;
+    ++nodes_visited;
 
     if (node.IsLeaf()) {
       for (size_t i = node.begin; i < node.end; ++i) {
@@ -127,7 +133,7 @@ std::vector<Neighbor> KdTreeIndex::Query(const Vector& query, size_t k,
         if (point == skip_index) continue;
         const double comparable = metric_->ComparableDistance(
             query.data(), data_.RowPtr(point), data_.cols());
-        if (stats != nullptr) ++stats->distance_evaluations;
+        ++distance_evaluations;
         collector.Offer(point, comparable);
       }
       continue;
@@ -136,6 +142,10 @@ std::vector<Neighbor> KdTreeIndex::Query(const Vector& query, size_t k,
                      node.left);
     frontier.emplace(BoxMinComparable(query, nodes_[node.right], &scratch),
                      node.right);
+  }
+  if (stats != nullptr) {
+    stats->nodes_visited += nodes_visited;
+    stats->distance_evaluations += distance_evaluations;
   }
 
   std::vector<Neighbor> out = collector.Take();

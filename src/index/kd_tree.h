@@ -26,11 +26,12 @@ class KdTreeIndex final : public KnnIndex {
   /// `leaf_size` caps the number of points in a leaf node.
   KdTreeIndex(Matrix data, const Metric* metric, size_t leaf_size = 16);
 
-  std::vector<Neighbor> Query(const Vector& query, size_t k,
-                              size_t skip_index,
-                              QueryStats* stats) const override;
-  using KnnIndex::Query;
+ protected:
+  std::vector<Neighbor> QueryImpl(const Vector& query, size_t k,
+                                  size_t skip_index,
+                                  QueryStats* stats) const override;
 
+ public:
   size_t size() const override { return data_.rows(); }
   size_t dims() const override { return data_.cols(); }
   std::string name() const override { return "kd_tree"; }

@@ -5,6 +5,9 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/query_metrics.h"
 
 namespace cohere {
 namespace {
@@ -52,6 +55,32 @@ std::vector<Neighbor> KnnCollector::Take() {
   std::vector<Neighbor> out = std::move(heap_);
   heap_.clear();
   std::sort(out.begin(), out.end(), HeapLess);
+  return out;
+}
+
+const obs::QueryPathMetrics& KnnIndex::Instrument() const {
+  const obs::QueryPathMetrics* bundle =
+      instrument_.load(std::memory_order_acquire);
+  if (bundle == nullptr) {
+    bundle = &obs::QueryPathMetricsFor("index." + name());
+    instrument_.store(bundle, std::memory_order_release);
+  }
+  return *bundle;
+}
+
+std::vector<Neighbor> KnnIndex::Query(const Vector& query, size_t k,
+                                      size_t skip_index,
+                                      QueryStats* stats) const {
+  if (!obs::MetricsRegistry::Enabled()) {
+    // Metrics off: byte-for-byte the uninstrumented path, no timing.
+    return QueryImpl(query, k, skip_index, stats);
+  }
+  QueryStats local;
+  Stopwatch watch;
+  std::vector<Neighbor> out = QueryImpl(query, k, skip_index, &local);
+  Instrument().Record(local.distance_evaluations, local.nodes_visited,
+                      local.candidates_refined, watch.ElapsedMicros());
+  if (stats != nullptr) stats->MergeFrom(local);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef COHERE_INDEX_KNN_H_
 #define COHERE_INDEX_KNN_H_
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -8,6 +9,12 @@
 #include "index/metric.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+
+namespace cohere {
+namespace obs {
+struct QueryPathMetrics;
+}  // namespace obs
+}  // namespace cohere
 
 namespace cohere {
 
@@ -46,9 +53,14 @@ class KnnIndex {
   /// index holds fewer than `k` points. `skip_index` (when not kNoSkip)
   /// excludes one row — used by leave-one-out evaluation to exclude the
   /// query point itself.
-  virtual std::vector<Neighbor> Query(const Vector& query, size_t k,
-                                      size_t skip_index,
-                                      QueryStats* stats) const = 0;
+  ///
+  /// This is the instrumented entry point: it forwards to the backend's
+  /// QueryImpl and, while obs::MetricsRegistry::Enabled(), publishes the
+  /// per-query latency and work counters to the global registry under
+  /// `index.<name()>.*`. The registry totals accumulate exactly the
+  /// `QueryStats` fields the `stats` out-param receives.
+  std::vector<Neighbor> Query(const Vector& query, size_t k,
+                              size_t skip_index, QueryStats* stats) const;
 
   std::vector<Neighbor> Query(const Vector& query, size_t k) const {
     return Query(query, k, kNoSkip, nullptr);
@@ -69,6 +81,21 @@ class KnnIndex {
   virtual std::string name() const = 0;
 
   static constexpr size_t kNoSkip = static_cast<size_t>(-1);
+
+ protected:
+  /// Backend hook behind Query(): answers one query, accumulating work
+  /// counters into `stats` when it is non-null.
+  virtual std::vector<Neighbor> QueryImpl(const Vector& query, size_t k,
+                                          size_t skip_index,
+                                          QueryStats* stats) const = 0;
+
+ private:
+  /// Registry metric bundle for this backend, resolved from name() on the
+  /// first instrumented query and cached (concurrent first queries resolve
+  /// to the same process-lifetime bundle, so the race is benign).
+  const obs::QueryPathMetrics& Instrument() const;
+
+  mutable std::atomic<const obs::QueryPathMetrics*> instrument_{nullptr};
 };
 
 /// Bounded max-heap collecting the k best candidates during a scan.

@@ -9,20 +9,25 @@ LinearScanIndex::LinearScanIndex(Matrix data, const Metric* metric)
   COHERE_CHECK(metric_ != nullptr);
 }
 
-std::vector<Neighbor> LinearScanIndex::Query(const Vector& query, size_t k,
-                                             size_t skip_index,
-                                             QueryStats* stats) const {
+std::vector<Neighbor> LinearScanIndex::QueryImpl(const Vector& query, size_t k,
+                                                 size_t skip_index,
+                                                 QueryStats* stats) const {
   COHERE_CHECK_EQ(query.size(), data_.cols());
   KnnCollector collector(k);
   const double* q = query.data();
   const size_t d = data_.cols();
-  for (size_t i = 0; i < data_.rows(); ++i) {
+  const size_t n = data_.rows();
+  for (size_t i = 0; i < n; ++i) {
     if (i == skip_index) continue;
     // Raw-buffer distance straight against row storage: the innermost scan
     // loop performs no copies.
     const double comparable = metric_->ComparableDistance(q, data_.RowPtr(i), d);
-    if (stats != nullptr) ++stats->distance_evaluations;
     collector.Offer(i, comparable);
+  }
+  if (stats != nullptr) {
+    // The scan evaluates every non-skipped row; count in one add instead of
+    // a pointer-indirect increment inside the hot loop.
+    stats->distance_evaluations += n - (skip_index < n ? 1 : 0);
   }
   std::vector<Neighbor> out = collector.Take();
   for (Neighbor& n : out) {

@@ -16,11 +16,12 @@ class LinearScanIndex final : public KnnIndex {
   /// with the caller and must outlive the index.
   LinearScanIndex(Matrix data, const Metric* metric);
 
-  std::vector<Neighbor> Query(const Vector& query, size_t k,
-                              size_t skip_index,
-                              QueryStats* stats) const override;
-  using KnnIndex::Query;
+ protected:
+  std::vector<Neighbor> QueryImpl(const Vector& query, size_t k,
+                                  size_t skip_index,
+                                  QueryStats* stats) const override;
 
+ public:
   size_t size() const override { return data_.rows(); }
   size_t dims() const override { return data_.cols(); }
   std::string name() const override { return "linear_scan"; }

@@ -398,9 +398,9 @@ void RStarTreeIndex::SplitNode(size_t node_id, std::vector<size_t>* path) {
 
 // --- query ----------------------------------------------------------------
 
-std::vector<Neighbor> RStarTreeIndex::Query(const Vector& query, size_t k,
-                                            size_t skip_index,
-                                            QueryStats* stats) const {
+std::vector<Neighbor> RStarTreeIndex::QueryImpl(const Vector& query, size_t k,
+                                                size_t skip_index,
+                                                QueryStats* stats) const {
   COHERE_CHECK_EQ(query.size(), data_.cols());
   KnnCollector collector(k);
   if (root_ == kInvalid || k == 0) return collector.Take();
@@ -410,19 +410,23 @@ std::vector<Neighbor> RStarTreeIndex::Query(const Vector& query, size_t k,
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
   frontier.emplace(0.0, root_);
 
+  // Register accumulators, published to `stats` in one add after the loop.
+  uint64_t nodes_visited = 0;
+  uint64_t distance_evaluations = 0;
+
   while (!frontier.empty()) {
     const auto [bound, node_id] = frontier.top();
     frontier.pop();
     if (collector.Full() && bound > collector.Threshold()) break;
     const Node& node = nodes_[node_id];
-    if (stats != nullptr) ++stats->nodes_visited;
+    ++nodes_visited;
 
     for (const Entry& e : node.entries) {
       if (node.leaf) {
         if (e.row == skip_index) continue;
         const double comparable =
             MinComparableDistance(query, e.lo, e.hi, &scratch);
-        if (stats != nullptr) ++stats->distance_evaluations;
+        ++distance_evaluations;
         collector.Offer(e.row, comparable);
       } else {
         const double child_bound =
@@ -432,6 +436,10 @@ std::vector<Neighbor> RStarTreeIndex::Query(const Vector& query, size_t k,
         }
       }
     }
+  }
+  if (stats != nullptr) {
+    stats->nodes_visited += nodes_visited;
+    stats->distance_evaluations += distance_evaluations;
   }
 
   std::vector<Neighbor> out = collector.Take();

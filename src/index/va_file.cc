@@ -55,9 +55,9 @@ VaFileIndex::VaFileIndex(Matrix data, const Metric* metric,
   }
 }
 
-std::vector<Neighbor> VaFileIndex::Query(const Vector& query, size_t k,
-                                         size_t skip_index,
-                                         QueryStats* stats) const {
+std::vector<Neighbor> VaFileIndex::QueryImpl(const Vector& query, size_t k,
+                                             size_t skip_index,
+                                             QueryStats* stats) const {
   const size_t n = data_.rows();
   const size_t d = data_.cols();
   COHERE_CHECK_EQ(query.size(), d);
@@ -71,9 +71,12 @@ std::vector<Neighbor> VaFileIndex::Query(const Vector& query, size_t k,
   candidates.reserve(n);
   KnnCollector upper_bounds(k);
 
+  // Phase 1 touches every non-skipped approximation cell; count in one add.
+  if (stats != nullptr) {
+    stats->nodes_visited += n - (skip_index < n ? 1 : 0);
+  }
   for (size_t i = 0; i < n; ++i) {
     if (i == skip_index) continue;
-    if (stats != nullptr) ++stats->nodes_visited;
     const uint8_t* code = &codes_[i * d];
     double lb = 0.0;
     double ub = 0.0;
@@ -120,15 +123,17 @@ std::vector<Neighbor> VaFileIndex::Query(const Vector& query, size_t k,
   // Phase 2: refine candidates in ascending lower-bound order; stop as soon
   // as the next lower bound exceeds the current exact k-th best.
   KnnCollector collector(k);
+  uint64_t refined = 0;  // register accumulator; published once below
   for (const auto& [lb, i] : candidates) {
     if (collector.Full() && lb > collector.Threshold()) break;
     const double comparable =
         metric_->ComparableDistance(query.data(), data_.RowPtr(i), d);
-    if (stats != nullptr) {
-      ++stats->distance_evaluations;
-      ++stats->candidates_refined;
-    }
+    ++refined;
     collector.Offer(i, comparable);
+  }
+  if (stats != nullptr) {
+    stats->distance_evaluations += refined;
+    stats->candidates_refined += refined;
   }
 
   std::vector<Neighbor> out = collector.Take();

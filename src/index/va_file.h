@@ -23,11 +23,12 @@ class VaFileIndex final : public KnnIndex {
   /// be in [1, 8].
   VaFileIndex(Matrix data, const Metric* metric, size_t bits_per_dim = 5);
 
-  std::vector<Neighbor> Query(const Vector& query, size_t k,
-                              size_t skip_index,
-                              QueryStats* stats) const override;
-  using KnnIndex::Query;
+ protected:
+  std::vector<Neighbor> QueryImpl(const Vector& query, size_t k,
+                                  size_t skip_index,
+                                  QueryStats* stats) const override;
 
+ public:
   size_t size() const override { return data_.rows(); }
   size_t dims() const override { return data_.cols(); }
   std::string name() const override { return "va_file"; }

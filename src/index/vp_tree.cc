@@ -123,9 +123,9 @@ void VpTreeIndex::Search(size_t node_index, const Vector& query, size_t k,
   }
 }
 
-std::vector<Neighbor> VpTreeIndex::Query(const Vector& query, size_t k,
-                                         size_t skip_index,
-                                         QueryStats* stats) const {
+std::vector<Neighbor> VpTreeIndex::QueryImpl(const Vector& query, size_t k,
+                                             size_t skip_index,
+                                             QueryStats* stats) const {
   COHERE_CHECK_EQ(query.size(), data_.cols());
   KnnCollector collector(k);
   if (!nodes_.empty() && k > 0) {

@@ -24,11 +24,12 @@ class VpTreeIndex final : public KnnIndex {
   /// and satisfy the triangle inequality.
   VpTreeIndex(Matrix data, const Metric* metric, size_t leaf_size = 8);
 
-  std::vector<Neighbor> Query(const Vector& query, size_t k,
-                              size_t skip_index,
-                              QueryStats* stats) const override;
-  using KnnIndex::Query;
+ protected:
+  std::vector<Neighbor> QueryImpl(const Vector& query, size_t k,
+                                  size_t skip_index,
+                                  QueryStats* stats) const override;
 
+ public:
   size_t size() const override { return data_.rows(); }
   size_t dims() const override { return data_.cols(); }
   std::string name() const override { return "vp_tree"; }

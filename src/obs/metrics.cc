@@ -1,0 +1,431 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace cohere {
+namespace obs {
+
+namespace {
+
+// COHERE_METRICS=0 (or "off") starts the process with instrumentation
+// disabled, mirroring the COHERE_THREADS convention; SetEnabled() can still
+// flip it at runtime.
+bool InitialEnabled() {
+  const char* env = std::getenv("COHERE_METRICS");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0;
+}
+
+}  // namespace
+
+std::atomic<bool> MetricsRegistry::enabled_{InitialEnabled()};
+
+size_t CurrentThreadStripe() {
+  // Round-robin assignment on first use gives adjacent pool lanes distinct
+  // stripes, which is what matters for the QueryBatch fan-out.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+// --- LatencyHistogram -----------------------------------------------------
+
+namespace {
+
+// Atomically raises `slot` to at least `value`.
+void AtomicMax(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t LatencyHistogram::BinFor(double value) {
+  // NaN never reaches here (Record routes it to the non_finite counter);
+  // treat it as underflow defensively anyway via the negated comparison.
+  if (!(value > 0.0)) return 0;  // <= 0 and -inf underflow
+  if (std::isinf(value)) return kNumBins - 1;
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // value = frac * 2^exp
+  if (exp < kMinExp) return 0;
+  if (exp >= kMaxExp) return kNumBins - 1;
+  // frac in [0.5, 1): sub-bucket by the leading mantissa bits.
+  const size_t sub = std::min(
+      kSubBuckets - 1,
+      static_cast<size_t>((frac - 0.5) * 2.0 * static_cast<double>(kSubBuckets)));
+  return 1 + static_cast<size_t>(exp - kMinExp) * kSubBuckets + sub;
+}
+
+double LatencyHistogram::BinLowerBound(size_t b) {
+  COHERE_CHECK_LT(b, kNumBins);
+  if (b == 0) return 0.0;
+  const size_t t = b - 1;
+  const int exp = kMinExp + static_cast<int>(t / kSubBuckets);
+  const size_t sub = t % kSubBuckets;
+  return std::ldexp(
+      0.5 + 0.5 * static_cast<double>(sub) / static_cast<double>(kSubBuckets),
+      exp);
+}
+
+double LatencyHistogram::BinUpperBound(size_t b) {
+  COHERE_CHECK_LT(b, kNumBins);
+  if (b == kNumBins - 1) return std::numeric_limits<double>::infinity();
+  return BinLowerBound(b + 1);
+}
+
+void LatencyHistogram::RecordAt(size_t stripe_index, double value) {
+  Stripe& stripe = stripes_[stripe_index];
+  if (std::isnan(value)) {
+    stripe.non_finite.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stripe.bins[BinFor(value)].fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(value)) {
+    stripe.sum.fetch_add(value, std::memory_order_relaxed);
+    AtomicMax(&stripe.max, value);
+  }
+}
+
+std::array<uint64_t, LatencyHistogram::kNumBins>
+LatencyHistogram::MergedBins() const {
+  std::array<uint64_t, kNumBins> merged{};
+  for (const Stripe& s : stripes_) {
+    for (size_t b = 0; b < kNumBins; ++b) {
+      merged[b] += s.bins[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : MergedBins()) total += c;
+  return total;
+}
+
+uint64_t LatencyHistogram::NonFiniteCount() const {
+  uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.non_finite.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double LatencyHistogram::Sum() const {
+  double total = 0.0;
+  for (const Stripe& s : stripes_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double LatencyHistogram::Max() const {
+  double max = 0.0;
+  for (const Stripe& s : stripes_) {
+    max = std::max(max, s.max.load(std::memory_order_relaxed));
+  }
+  return max;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::array<uint64_t, kNumBins> bins = MergedBins();
+  uint64_t total = 0;
+  for (uint64_t c : bins) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+
+  // Rank of the requested quantile among the sorted observations, then
+  // linear interpolation inside the bin that holds it.
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBins; ++b) {
+    if (bins[b] == 0) continue;
+    const uint64_t next = cumulative + bins[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = BinLowerBound(b);
+      double hi = BinUpperBound(b);
+      if (std::isinf(hi)) hi = std::max(lo, Max());  // overflow bin
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(bins[b]);
+      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+    }
+    cumulative = next;
+  }
+  // q == 0 with all mass above, or rounding: report the last populated bin.
+  for (size_t b = kNumBins; b-- > 0;) {
+    if (bins[b] != 0) return BinLowerBound(b);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void LatencyHistogram::Reset() {
+  for (Stripe& s : stripes_) {
+    for (auto& bin : s.bins) bin.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.max.store(0.0, std::memory_order_relaxed);
+    s.non_finite.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // node-based maps: pointers to mapped values stay valid across inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  // Leaked singleton: metric pointers handed to instrumented code must stay
+  // valid through static destruction.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  COHERE_CHECK_MSG(state.gauges.find(name) == state.gauges.end() &&
+                       state.histograms.find(name) == state.histograms.end(),
+                   "metric name registered with a different type");
+  auto& slot = state.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name);
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  COHERE_CHECK_MSG(state.counters.find(name) == state.counters.end() &&
+                       state.histograms.find(name) == state.histograms.end(),
+                   "metric name registered with a different type");
+  auto& slot = state.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(name);
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  COHERE_CHECK_MSG(state.counters.find(name) == state.counters.end() &&
+                       state.gauges.find(name) == state.gauges.end(),
+                   "metric name registered with a different type");
+  auto& slot = state.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>(name);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(state.gauges.size());
+  for (const auto& [name, gauge] : state.gauges) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(state.histograms.size());
+  for (const auto& [name, histogram] : state.histograms) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->TotalCount();
+    h.non_finite = histogram->NonFiniteCount();
+    h.sum = histogram->Sum();
+    h.max = histogram->Max();
+    if (h.count > 0) {
+      h.p50 = histogram->Quantile(0.50);
+      h.p95 = histogram->Quantile(0.95);
+      h.p99 = histogram->Quantile(0.99);
+    }
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& [name, counter] : state.counters) counter->Reset();
+  for (auto& [name, gauge] : state.gauges) gauge->Reset();
+  for (auto& [name, histogram] : state.histograms) histogram->Reset();
+}
+
+// --- snapshot rendering ---------------------------------------------------
+
+namespace {
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// JSON has no NaN/inf literals; export them as null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return FormatValue(v);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[256];
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : counters) {
+      std::snprintf(buf, sizeof(buf), "  %-48s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += buf;
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : gauges) {
+      std::snprintf(buf, sizeof(buf), "  %-48s %s\n", name.c_str(),
+                    FormatValue(value).c_str());
+      out += buf;
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:\n";
+    for (const HistogramSnapshot& h : histograms) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-48s count=%llu p50=%s p95=%s p99=%s max=%s\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    FormatValue(h.p50).c_str(), FormatValue(h.p95).c_str(),
+                    FormatValue(h.p99).c_str(), FormatValue(h.max).c_str());
+      out += buf;
+    }
+  }
+  if (out.empty()) out = "(no metrics registered)\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) +
+           "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + JsonNumber(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(h.name) + "\": {\"count\": " +
+           std::to_string(h.count) +
+           ", \"non_finite\": " + std::to_string(h.non_finite) +
+           ", \"sum\": " + JsonNumber(h.sum) +
+           ", \"max\": " + JsonNumber(h.max) +
+           ", \"p50\": " + JsonNumber(h.p50) +
+           ", \"p95\": " + JsonNumber(h.p95) +
+           ", \"p99\": " + JsonNumber(h.p99) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+// --- trace hooks ----------------------------------------------------------
+
+namespace {
+
+struct TraceHookState {
+  std::mutex mu;
+  TraceHookFn hook = nullptr;
+  void* user_data = nullptr;
+  std::atomic<bool> installed{false};
+};
+
+TraceHookState& TraceState() {
+  static TraceHookState* state = new TraceHookState();
+  return *state;
+}
+
+}  // namespace
+
+void SetTraceHook(TraceHookFn hook, void* user_data) {
+  TraceHookState& state = TraceState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.hook = hook;
+  state.user_data = user_data;
+  state.installed.store(hook != nullptr, std::memory_order_release);
+}
+
+bool TraceHookInstalled() {
+  return TraceState().installed.load(std::memory_order_relaxed);
+}
+
+void EmitTraceEvent(const char* name, double duration_us) {
+  TraceHookState& state = TraceState();
+  if (!state.installed.load(std::memory_order_acquire)) return;
+  TraceHookFn hook = nullptr;
+  void* user_data = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    hook = state.hook;
+    user_data = state.user_data;
+  }
+  if (hook == nullptr) return;
+  const TraceEvent event{name, duration_us};
+  hook(event, user_data);
+}
+
+}  // namespace obs
+}  // namespace cohere

@@ -1,0 +1,285 @@
+#ifndef COHERE_OBS_METRICS_H_
+#define COHERE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace cohere {
+namespace obs {
+
+/// Process-wide query-path observability: named counters, gauges and
+/// log-scaled latency histograms behind a single `MetricsRegistry`.
+///
+/// Design constraints (see DESIGN.md §7):
+///  * writers are the hot query paths fanned across the shared thread pool
+///    (common/parallel.h), so every mutation is a relaxed atomic on a
+///    per-thread *stripe* — no locks, no shared cache line between pool
+///    lanes;
+///  * readers (snapshot export) merge the stripes on demand; reads are
+///    monotonic but not a consistent cut across metrics, which is the usual
+///    contract for process metrics;
+///  * metric objects are registered once and never destroyed, so the raw
+///    pointers handed out by the registry stay valid for the process
+///    lifetime and can be cached at index/engine build time.
+
+/// Number of stripes each counter/histogram spreads its writes over. Threads
+/// are assigned stripes round-robin on first use.
+inline constexpr size_t kMetricStripes = 8;
+
+/// Stable stripe index of the calling thread in [0, kMetricStripes).
+size_t CurrentThreadStripe();
+
+/// Monotonically increasing counter with per-thread-striped storage.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    IncrementAt(CurrentThreadStripe(), delta);
+  }
+
+  /// Increment against a pre-resolved stripe — lets callers updating several
+  /// metrics per event look the thread's stripe up once.
+  void IncrementAt(size_t stripe, uint64_t delta = 1) {
+    stripes_[stripe].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Merged value across all stripes.
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Stripe& s : stripes_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Zeroes every stripe (snapshot readers may observe a partial reset).
+  void Reset() {
+    for (Stripe& s : stripes_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> value{0};
+  };
+  std::string name_;
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Last-write-wins instantaneous value (thread count, drift ratio, ...).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scaled histogram for latency-like positive quantities.
+///
+/// Bins grow geometrically (4 sub-buckets per power of two, ~19% relative
+/// width), so one fixed 202-bin table spans sub-nanosecond to ~12-day
+/// latencies in microseconds with bounded quantile error. Non-finite inputs
+/// are routed explicitly — NaN increments a separate `non_finite` counter,
+/// +inf lands in the overflow bin, values <= 0 or -inf in the underflow bin
+/// — mirroring the hardened stats::Histogram semantics.
+class LatencyHistogram {
+ public:
+  /// frexp exponents covered by the geometric bins; values below
+  /// 2^(kMinExp-1) fall into the underflow bin, values at or above
+  /// 2^kMaxExp into the overflow bin.
+  static constexpr int kMinExp = -10;
+  static constexpr int kMaxExp = 40;
+  static constexpr size_t kSubBuckets = 4;  // per power of two
+  static constexpr size_t kNumBins =
+      static_cast<size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  explicit LatencyHistogram(std::string name) : name_(std::move(name)) {}
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one observation (conventionally microseconds).
+  void Record(double value) { RecordAt(CurrentThreadStripe(), value); }
+  /// Record against a pre-resolved stripe (see Counter::IncrementAt).
+  void RecordAt(size_t stripe, double value);
+
+  /// Observations binned so far (includes +/-inf, excludes NaN).
+  uint64_t TotalCount() const;
+  /// NaN observations rejected from the bins.
+  uint64_t NonFiniteCount() const;
+  /// Sum of all finite observations.
+  double Sum() const;
+  /// Largest finite observation (0 when none recorded).
+  double Max() const;
+  /// Linear-interpolated quantile estimate, q in [0, 1]; NaN when empty.
+  double Quantile(double q) const;
+
+  const std::string& name() const { return name_; }
+  void Reset();
+
+  /// Bin index an observation falls into (exposed for tests).
+  static size_t BinFor(double value);
+  /// Inclusive lower bound of bin `b`.
+  static double BinLowerBound(size_t b);
+  /// Exclusive upper bound of bin `b` (+inf for the overflow bin).
+  static double BinUpperBound(size_t b);
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, kNumBins> bins{};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+    std::atomic<uint64_t> non_finite{0};
+  };
+
+  /// Merged bin counts across stripes.
+  std::array<uint64_t, kNumBins> MergedBins() const;
+
+  std::string name_;
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Point-in-time export of one histogram.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t non_finite = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time export of the whole registry, name-sorted.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Aligned human-readable rendering.
+  std::string ToText() const;
+  /// Machine-readable rendering: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, non_finite, sum, max, p50, p95, p99}}}.
+  std::string ToJson() const;
+};
+
+/// Process-wide name -> metric table. Lookups take a mutex and should be
+/// done once at build time; the returned pointers are valid forever.
+class MetricsRegistry {
+ public:
+  /// The singleton every instrumented path reports through.
+  static MetricsRegistry& Global();
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// Requesting the same name with a different metric type aborts.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registration survives). Intended for
+  /// tests and benchmark harness epochs.
+  void ResetAll();
+
+  /// Global instrumentation switch, default on (set COHERE_METRICS=0 or
+  /// "off" in the environment to start disabled). When off the query-path
+  /// wrappers skip all recording (and their per-query timing).
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Impl;
+  Impl& impl() const;
+
+  static std::atomic<bool> enabled_;
+};
+
+/// Records the lifetime of a scope into a latency histogram, in
+/// microseconds. A null histogram disables the timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* histogram)
+      : histogram_(histogram) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(watch_.ElapsedMicros());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedMicros() const { return watch_.ElapsedMicros(); }
+
+ private:
+  LatencyHistogram* histogram_;
+  Stopwatch watch_;
+};
+
+/// One completed trace span, delivered synchronously on the thread that
+/// closed the span.
+struct TraceEvent {
+  const char* name;    ///< Static span name ("engine.build", ...).
+  double duration_us;  ///< Wall time the span covered.
+};
+
+/// Trace callback; `user_data` is the pointer passed to SetTraceHook.
+using TraceHookFn = void (*)(const TraceEvent& event, void* user_data);
+
+/// Installs (or, with nullptr, clears) the process-wide trace hook. The
+/// hook must be callable from any thread; keep it cheap.
+void SetTraceHook(TraceHookFn hook, void* user_data);
+
+/// True when a hook is installed — spans skip all work otherwise.
+bool TraceHookInstalled();
+
+/// Delivers an event to the installed hook, if any.
+void EmitTraceEvent(const char* name, double duration_us);
+
+/// Emits a TraceEvent covering its lifetime when a hook is installed; near
+/// zero cost (one relaxed atomic load) otherwise.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const char* name) : name_(name) {
+    armed_ = TraceHookInstalled();
+  }
+  ~ScopedTrace() {
+    if (armed_) EmitTraceEvent(name_, watch_.ElapsedMicros());
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  const char* name_;
+  bool armed_;
+  Stopwatch watch_;
+};
+
+}  // namespace obs
+}  // namespace cohere
+
+#endif  // COHERE_OBS_METRICS_H_

@@ -1,0 +1,38 @@
+#include "obs/query_metrics.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace cohere {
+namespace obs {
+
+const QueryPathMetrics& QueryPathMetricsFor(const std::string& scope) {
+  struct Table {
+    std::mutex mu;
+    std::map<std::string, std::unique_ptr<QueryPathMetrics>> bundles;
+  };
+  // Leaked for the same reason as the registry: cached bundle pointers must
+  // survive static destruction.
+  static Table* table = new Table();
+
+  std::lock_guard<std::mutex> lock(table->mu);
+  auto& slot = table->bundles[scope];
+  if (slot == nullptr) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    auto bundle = std::make_unique<QueryPathMetrics>();
+    bundle->queries = registry.GetCounter(scope + ".queries");
+    bundle->distance_evaluations =
+        registry.GetCounter(scope + ".distance_evaluations");
+    bundle->nodes_visited = registry.GetCounter(scope + ".nodes_visited");
+    bundle->candidates_refined =
+        registry.GetCounter(scope + ".candidates_refined");
+    bundle->query_latency_us =
+        registry.GetHistogram(scope + ".query_latency_us");
+    slot = std::move(bundle);
+  }
+  return *slot;
+}
+
+}  // namespace obs
+}  // namespace cohere

@@ -1,0 +1,56 @@
+#ifndef COHERE_OBS_QUERY_METRICS_H_
+#define COHERE_OBS_QUERY_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cohere {
+namespace obs {
+
+/// The registry metric bundle every query path reports through: one latency
+/// histogram plus the paper's three work counters (the quantities
+/// `QueryStats` carries per query, accumulated process-wide).
+///
+/// For a scope `S` the bundle registers
+///   S.queries                 (counter)
+///   S.distance_evaluations    (counter)
+///   S.nodes_visited           (counter)
+///   S.candidates_refined      (counter)
+///   S.query_latency_us        (histogram)
+/// Bundles are created once per scope and cached, so Record() is lock-free;
+/// resolve the bundle at build time, not per query.
+struct QueryPathMetrics {
+  Counter* queries = nullptr;
+  Counter* distance_evaluations = nullptr;
+  Counter* nodes_visited = nullptr;
+  Counter* candidates_refined = nullptr;
+  LatencyHistogram* query_latency_us = nullptr;
+
+  /// Publishes one finished query. The three counts must be exactly the
+  /// per-query `QueryStats` fields so registry totals and the `stats`
+  /// out-params stay consistent.
+  void Record(uint64_t distance_evals, uint64_t nodes, uint64_t refined,
+              double latency_us) const {
+    // One stripe lookup for the whole bundle keeps the per-query cost to a
+    // handful of relaxed atomics.
+    const size_t stripe = CurrentThreadStripe();
+    queries->IncrementAt(stripe);
+    if (distance_evals != 0) {
+      distance_evaluations->IncrementAt(stripe, distance_evals);
+    }
+    if (nodes != 0) nodes_visited->IncrementAt(stripe, nodes);
+    if (refined != 0) candidates_refined->IncrementAt(stripe, refined);
+    query_latency_us->RecordAt(stripe, latency_us);
+  }
+};
+
+/// Returns the process-lifetime bundle for `scope` (e.g. "index.kd_tree",
+/// "dynamic_index"), registering its metrics on first use.
+const QueryPathMetrics& QueryPathMetricsFor(const std::string& scope);
+
+}  // namespace obs
+}  // namespace cohere
+
+#endif  // COHERE_OBS_QUERY_METRICS_H_

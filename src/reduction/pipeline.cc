@@ -2,10 +2,19 @@
 
 #include <cstdio>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
 namespace cohere {
 
 Result<ReductionPipeline> ReductionPipeline::Fit(
     const Dataset& dataset, const ReductionOptions& options) {
+  obs::ScopedTrace trace("pipeline.fit");
+  const bool instrumented = obs::MetricsRegistry::Enabled();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  Stopwatch fit_watch;
+  Stopwatch phase_watch;
+
   ReductionPipeline pipeline;
   pipeline.options_ = options;
 
@@ -13,14 +22,25 @@ Result<ReductionPipeline> ReductionPipeline::Fit(
       PcaModel::Fit(dataset.features(), options.scaling);
   if (!model.ok()) return model.status();
   pipeline.model_ = std::move(*model);
+  if (instrumented) {
+    registry.GetHistogram("pipeline.pca_fit_us")
+        ->Record(phase_watch.ElapsedMicros());
+  }
+
+  phase_watch.Restart();
   pipeline.coherence_ =
       ComputeCoherence(pipeline.model_, dataset.features());
+  if (instrumented) {
+    registry.GetHistogram("pipeline.coherence_us")
+        ->Record(phase_watch.ElapsedMicros());
+  }
 
   const size_t d = pipeline.model_.dims();
   if (options.target_dim > d) {
     return Status::InvalidArgument("target_dim exceeds data dimensionality");
   }
 
+  phase_watch.Restart();
   switch (options.strategy) {
     case SelectionStrategy::kEigenvalueOrder: {
       std::vector<size_t> order = OrderByEigenvalue(pipeline.model_);
@@ -48,6 +68,13 @@ Result<ReductionPipeline> ReductionPipeline::Fit(
       pipeline.components_ =
           SelectRelativeThreshold(pipeline.model_, options.relative_threshold);
       break;
+  }
+  if (instrumented) {
+    registry.GetHistogram("pipeline.selection_us")
+        ->Record(phase_watch.ElapsedMicros());
+    registry.GetHistogram("pipeline.fit_us")
+        ->Record(fit_watch.ElapsedMicros());
+    registry.GetCounter("pipeline.fits")->Increment();
   }
   return pipeline;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/check.h"
 
@@ -16,10 +17,26 @@ Histogram::Histogram(double lo, double hi, size_t num_bins)
 }
 
 void Histogram::Add(double value) {
-  double pos = (value - lo_) / bin_width_;
-  long long bin = static_cast<long long>(std::floor(pos));
-  bin = std::clamp(bin, 0LL, static_cast<long long>(counts_.size()) - 1);
-  ++counts_[static_cast<size_t>(bin)];
+  // Route non-finite inputs before any float->int conversion: casting a
+  // non-finite (or out-of-range) double to an integer is UB.
+  if (std::isnan(value)) {
+    ++non_finite_;
+    return;
+  }
+  size_t bin;
+  if (std::isinf(value)) {
+    bin = value > 0 ? counts_.size() - 1 : 0;
+  } else {
+    const double pos = std::floor((value - lo_) / bin_width_);
+    if (pos <= 0.0) {
+      bin = 0;
+    } else if (pos >= static_cast<double>(counts_.size()) - 1.0) {
+      bin = counts_.size() - 1;
+    } else {
+      bin = static_cast<size_t>(pos);
+    }
+  }
+  ++counts_[bin];
   ++total_;
 }
 
@@ -42,6 +59,27 @@ double Histogram::BinCenter(size_t b) const {
   return lo_ + (static_cast<double>(b) + 0.5) * bin_width_;
 }
 
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  size_t cumulative = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const size_t next = cumulative + counts_[b];
+    if (static_cast<double>(next) >= target) {
+      const double within = std::clamp(
+          (target - static_cast<double>(cumulative)) /
+              static_cast<double>(counts_[b]),
+          0.0, 1.0);
+      return lo_ + (static_cast<double>(b) + within) * bin_width_;
+    }
+    cumulative = next;
+  }
+  // Unreachable for total_ > 0, but keep a defined answer.
+  return hi_;
+}
+
 std::string Histogram::ToAscii(size_t max_width) const {
   size_t max_count = 0;
   for (size_t c : counts_) max_count = std::max(max_count, c);
@@ -50,8 +88,14 @@ std::string Histogram::ToAscii(size_t max_width) const {
   for (size_t b = 0; b < counts_.size(); ++b) {
     std::snprintf(buf, sizeof(buf), "%10.4g | ", BinCenter(b));
     out += buf;
+    // Bar width in floating point: the integer product
+    // counts_[b] * max_width overflows size_t for large counts.
     const size_t width =
-        max_count == 0 ? 0 : counts_[b] * max_width / max_count;
+        max_count == 0
+            ? 0
+            : static_cast<size_t>(static_cast<double>(counts_[b]) *
+                                  static_cast<double>(max_width) /
+                                  static_cast<double>(max_count));
     out.append(width, '#');
     std::snprintf(buf, sizeof(buf), " %zu\n", counts_[b]);
     out += buf;

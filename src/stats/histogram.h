@@ -11,8 +11,12 @@ namespace cohere {
 
 /// Fixed-width-bin histogram over a closed range.
 ///
-/// Values below the range land in the first bin, above it in the last bin
-/// (clamping keeps totals conserved for the contribution plots of Figure 1).
+/// Finite values below the range land in the first bin, above it in the
+/// last bin (clamping keeps totals conserved for the contribution plots of
+/// Figure 1). Non-finite inputs are routed explicitly: +inf counts in the
+/// last bin, -inf in the first, and NaN in a separate `non_finite` counter
+/// — converting a non-finite double to an integer bin index is undefined
+/// behavior, so it must never reach the cast.
 class Histogram {
  public:
   /// Creates `num_bins` equal bins spanning [lo, hi]; requires hi > lo and
@@ -25,13 +29,21 @@ class Histogram {
   void AddAll(const Vector& values);
 
   size_t num_bins() const { return counts_.size(); }
+  /// Binned observations (includes clamped +/-inf, excludes NaN).
   size_t total_count() const { return total_; }
+  /// NaN observations excluded from the bins.
+  size_t non_finite_count() const { return non_finite_; }
   /// Count in bin `b`.
   size_t Count(size_t b) const;
   /// Fraction of observations in bin `b` (0 when empty).
   double Fraction(size_t b) const;
   /// Center of bin `b`.
   double BinCenter(size_t b) const;
+
+  /// Quantile estimate for q in [0, 1], linearly interpolated inside the
+  /// bin holding the requested rank (observations are assumed uniform
+  /// within a bin). Returns NaN while the histogram is empty.
+  double Quantile(double q) const;
 
   /// Renders an ASCII bar chart, one bin per line.
   std::string ToAscii(size_t max_width = 50) const;
@@ -42,6 +54,7 @@ class Histogram {
   double bin_width_;
   std::vector<size_t> counts_;
   size_t total_ = 0;
+  size_t non_finite_ = 0;
 };
 
 }  // namespace cohere

@@ -193,5 +193,38 @@ TEST(EngineTest, NumThreadsOptionConfiguresThePool) {
   SetParallelThreadCount(0);
 }
 
+TEST(EngineTest, NumThreadsReconfigurationIsObservableAsGauge) {
+  Dataset data = IonosphereLike(162);
+  EngineOptions options = BasicOptions(IndexBackend::kLinearScan);
+  options.num_threads = 3;
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_DOUBLE_EQ(
+      obs::MetricsRegistry::Global().GetGauge("parallel.threads")->Value(),
+      3.0);
+  SetParallelThreadCount(0);
+}
+
+TEST(EngineTest, QueriesFeedTheEngineRegistryMetrics) {
+  Dataset data = IonosphereLike(163);
+  Result<ReducedSearchEngine> engine = ReducedSearchEngine::Build(
+      data, BasicOptions(IndexBackend::kLinearScan));
+  ASSERT_TRUE(engine.ok());
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t queries_before =
+      registry.GetCounter("engine.queries")->Value();
+  const uint64_t latencies_before =
+      registry.GetHistogram("engine.query_latency_us")->TotalCount();
+  engine->Query(data.Record(0), 3);
+  engine->Query(data.Record(1), 3);
+  EXPECT_EQ(registry.GetCounter("engine.queries")->Value() - queries_before,
+            2u);
+  EXPECT_EQ(registry.GetHistogram("engine.query_latency_us")->TotalCount() -
+                latencies_before,
+            2u);
+  EXPECT_GE(registry.GetCounter("engine.builds")->Value(), 1u);
+}
+
 }  // namespace
 }  // namespace cohere

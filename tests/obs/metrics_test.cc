@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace cohere {
+namespace obs {
+namespace {
+
+// Registry metrics are process-lifetime, so every test uses names unique to
+// itself (prefixed "test.") and resets them up front instead of assuming a
+// clean slate.
+
+TEST(CounterTest, IncrementsAndMerges) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter.basic");
+  c->Reset();
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter.parallel");
+  c->Reset();
+  SetParallelThreadCount(4);
+  constexpr size_t kItems = 100000;
+  ParallelFor(0, kItems, /*grain=*/256, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) c->Increment();
+  });
+  SetParallelThreadCount(0);
+  EXPECT_EQ(c->Value(), kItems);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge.basic");
+  g->Set(3.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 3.5);
+  g->Set(-1.0);
+  EXPECT_DOUBLE_EQ(g->Value(), -1.0);
+  g->Reset();
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+}
+
+TEST(LatencyHistogramTest, BinBoundsArePartition) {
+  // Every bin's upper bound is the next bin's lower bound; bounds increase.
+  for (size_t b = 0; b + 1 < LatencyHistogram::kNumBins; ++b) {
+    EXPECT_DOUBLE_EQ(LatencyHistogram::BinUpperBound(b),
+                     LatencyHistogram::BinLowerBound(b + 1));
+    EXPECT_LT(LatencyHistogram::BinLowerBound(b),
+              LatencyHistogram::BinLowerBound(b + 1));
+  }
+  EXPECT_TRUE(std::isinf(
+      LatencyHistogram::BinUpperBound(LatencyHistogram::kNumBins - 1)));
+}
+
+TEST(LatencyHistogramTest, BinForRespectsItsOwnBounds) {
+  for (double v : {1e-4, 0.5, 1.0, 3.7, 100.0, 12345.6, 1e9}) {
+    const size_t b = LatencyHistogram::BinFor(v);
+    EXPECT_GE(v, LatencyHistogram::BinLowerBound(b)) << "v=" << v;
+    EXPECT_LT(v, LatencyHistogram::BinUpperBound(b)) << "v=" << v;
+  }
+}
+
+TEST(LatencyHistogramTest, NonFiniteRouting) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.hist.nonfinite");
+  h->Reset();
+  h->Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h->TotalCount(), 0u);
+  EXPECT_EQ(h->NonFiniteCount(), 1u);
+
+  h->Record(std::numeric_limits<double>::infinity());
+  h->Record(-std::numeric_limits<double>::infinity());
+  h->Record(-5.0);  // finite but <= 0: underflows into bin 0
+  EXPECT_EQ(h->TotalCount(), 3u);
+  // Infinities are binned but do not pollute the finite sum/max; the finite
+  // -5 is still part of the sum, and Max only tracks the largest-so-far.
+  EXPECT_DOUBLE_EQ(h->Sum(), -5.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesTrackUniformData) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.hist.quantiles");
+  h->Reset();
+  EXPECT_TRUE(std::isnan(h->Quantile(0.5)));
+  for (int i = 1; i <= 1000; ++i) h->Record(static_cast<double>(i));
+  // Log-scaled bins are ~19% wide, so allow that much relative slack.
+  EXPECT_NEAR(h->Quantile(0.5), 500.0, 500.0 * 0.2);
+  EXPECT_NEAR(h->Quantile(0.95), 950.0, 950.0 * 0.2);
+  EXPECT_NEAR(h->Quantile(0.99), 990.0, 990.0 * 0.2);
+  double prev = h->Quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double est = h->Quantile(q);
+    EXPECT_GE(est, prev);
+    prev = est;
+  }
+  EXPECT_DOUBLE_EQ(h->Max(), 1000.0);
+  EXPECT_NEAR(h->Sum(), 500500.0, 1e-6);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsMergeExactly) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.hist.parallel");
+  h->Reset();
+  SetParallelThreadCount(4);
+  constexpr size_t kItems = 50000;
+  ParallelFor(0, kItems, /*grain=*/128, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      h->Record(static_cast<double>(i % 100) + 1.0);
+    }
+  });
+  SetParallelThreadCount(0);
+  EXPECT_EQ(h->TotalCount(), kItems);
+  EXPECT_DOUBLE_EQ(h->Max(), 100.0);
+}
+
+TEST(ScopedTimerTest, RecordsOnDestruction) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.hist.scoped_timer");
+  h->Reset();
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h->TotalCount(), 1u);
+  { ScopedTimer disabled(nullptr); }  // must be a no-op
+  EXPECT_EQ(h->TotalCount(), 1u);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.registry.same");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.registry.same");
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryDeathTest, CrossTypeNameCollisionAborts) {
+  MetricsRegistry::Global().GetCounter("test.registry.collision");
+  EXPECT_DEATH(MetricsRegistry::Global().GetGauge("test.registry.collision"),
+               "different type");
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesRegisteredMetrics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* c = registry.GetCounter("test.snapshot.counter");
+  Gauge* g = registry.GetGauge("test.snapshot.gauge");
+  LatencyHistogram* h = registry.GetHistogram("test.snapshot.hist");
+  c->Reset();
+  h->Reset();
+  c->Increment(7);
+  g->Set(2.25);
+  h->Record(10.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  bool saw_counter = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "test.snapshot.counter") {
+      saw_counter = true;
+      EXPECT_EQ(value, 7u);
+    }
+  }
+  bool saw_gauge = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "test.snapshot.gauge") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(value, 2.25);
+    }
+  }
+  bool saw_hist = false;
+  for (const HistogramSnapshot& hs : snapshot.histograms) {
+    if (hs.name == "test.snapshot.hist") {
+      saw_hist = true;
+      EXPECT_EQ(hs.count, 1u);
+      EXPECT_DOUBLE_EQ(hs.max, 10.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+
+  const std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("test.snapshot.counter"), std::string::npos);
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"test.snapshot.counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(TraceHookTest, DeliversSpansWhileInstalled) {
+  struct Capture {
+    std::vector<std::string> names;
+  } capture;
+  ASSERT_FALSE(TraceHookInstalled());
+  SetTraceHook(
+      [](const TraceEvent& event, void* user_data) {
+        static_cast<Capture*>(user_data)->names.emplace_back(event.name);
+      },
+      &capture);
+  EXPECT_TRUE(TraceHookInstalled());
+  { ScopedTrace span("test.span"); }
+  SetTraceHook(nullptr, nullptr);
+  EXPECT_FALSE(TraceHookInstalled());
+  { ScopedTrace span("test.untraced"); }
+
+  ASSERT_EQ(capture.names.size(), 1u);
+  EXPECT_EQ(capture.names[0], "test.span");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cohere

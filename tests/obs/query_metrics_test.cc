@@ -1,0 +1,212 @@
+// The registry's per-backend work counters must agree *exactly* with the
+// QueryStats out-params — they are published from the same per-query local
+// in the KnnIndex::Query wrapper, and this suite pins that contract for all
+// five backends, including the QueryBatch fan-out and the disabled switch.
+#include "obs/query_metrics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "index/kd_tree.h"
+#include "index/knn.h"
+#include "index/linear_scan.h"
+#include "index/rstar_tree.h"
+#include "index/va_file.h"
+#include "index/vp_tree.h"
+#include "obs/metrics.h"
+#include "stats/rng.h"
+
+namespace cohere {
+namespace {
+
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(size_t n) { SetParallelThreadCount(n); }
+  ~ScopedThreadCount() { SetParallelThreadCount(0); }
+};
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m.At(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+struct Backend {
+  const char* name;
+  std::unique_ptr<KnnIndex> (*make)(const Matrix&, const Metric*);
+};
+
+const Backend kBackends[] = {
+    {"linear_scan",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<LinearScanIndex>(data, metric);
+     }},
+    {"kd_tree",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<KdTreeIndex>(data, metric, 16);
+     }},
+    {"va_file",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<VaFileIndex>(data, metric, 5);
+     }},
+    {"vp_tree",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<VpTreeIndex>(data, metric, 8);
+     }},
+    {"rstar_tree",
+     [](const Matrix& data, const Metric* metric) -> std::unique_ptr<KnnIndex> {
+       return std::make_unique<RStarTreeIndex>(data, metric, 16);
+     }},
+};
+
+// Counter totals of one backend's "index.<name>" bundle.
+struct BundleReading {
+  uint64_t queries;
+  uint64_t distance_evaluations;
+  uint64_t nodes_visited;
+  uint64_t candidates_refined;
+  uint64_t latency_count;
+};
+
+BundleReading ReadBundle(const std::string& backend) {
+  const obs::QueryPathMetrics& bundle =
+      obs::QueryPathMetricsFor("index." + backend);
+  BundleReading reading;
+  reading.queries = bundle.queries->Value();
+  reading.distance_evaluations = bundle.distance_evaluations->Value();
+  reading.nodes_visited = bundle.nodes_visited->Value();
+  reading.candidates_refined = bundle.candidates_refined->Value();
+  reading.latency_count = bundle.query_latency_us->TotalCount();
+  return reading;
+}
+
+TEST(QueryMetricsTest, BundleRegistersTheFiveScopeMetrics) {
+  const obs::QueryPathMetrics& bundle =
+      obs::QueryPathMetricsFor("test.bundle");
+  ASSERT_NE(bundle.queries, nullptr);
+  ASSERT_NE(bundle.distance_evaluations, nullptr);
+  ASSERT_NE(bundle.nodes_visited, nullptr);
+  ASSERT_NE(bundle.candidates_refined, nullptr);
+  ASSERT_NE(bundle.query_latency_us, nullptr);
+  // Same scope resolves to the same bundle (and thus the same counters).
+  EXPECT_EQ(&bundle, &obs::QueryPathMetricsFor("test.bundle"));
+  EXPECT_EQ(bundle.queries,
+            obs::MetricsRegistry::Global().GetCounter("test.bundle.queries"));
+}
+
+TEST(QueryMetricsTest, CountersMatchQueryStatsExactlyOnEveryBackend) {
+  const Matrix data = RandomMatrix(250, 7, 51);
+  const Matrix queries = RandomMatrix(20, 7, 52);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  for (const Backend& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    auto index = backend.make(data, metric.get());
+    const BundleReading before = ReadBundle(backend.name);
+
+    QueryStats stats;
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      index->Query(queries.Row(i), 4, KnnIndex::kNoSkip, &stats);
+    }
+
+    const BundleReading after = ReadBundle(backend.name);
+    EXPECT_EQ(after.queries - before.queries, queries.rows());
+    EXPECT_EQ(after.latency_count - before.latency_count, queries.rows());
+    EXPECT_EQ(after.distance_evaluations - before.distance_evaluations,
+              stats.distance_evaluations);
+    EXPECT_EQ(after.nodes_visited - before.nodes_visited,
+              stats.nodes_visited);
+    EXPECT_EQ(after.candidates_refined - before.candidates_refined,
+              stats.candidates_refined);
+  }
+}
+
+TEST(QueryMetricsTest, CountersAccumulateWithoutStatsOutParam) {
+  // The registry must see the work counters even when the caller passes no
+  // QueryStats — the wrapper always counts into its own local.
+  const Matrix data = RandomMatrix(120, 5, 53);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+
+  const BundleReading before = ReadBundle("linear_scan");
+  index.Query(data.Row(0), 3);
+  const BundleReading after = ReadBundle("linear_scan");
+  EXPECT_EQ(after.queries - before.queries, 1u);
+  // A linear scan evaluates every record.
+  EXPECT_EQ(after.distance_evaluations - before.distance_evaluations,
+            data.rows());
+}
+
+TEST(QueryMetricsTest, QueryBatchPublishesTheSameTotals) {
+  const Matrix data = RandomMatrix(200, 6, 54);
+  const Matrix queries = RandomMatrix(30, 6, 55);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  for (const Backend& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    auto index = backend.make(data, metric.get());
+    for (size_t threads : {1u, 4u}) {
+      SCOPED_TRACE(threads);
+      ScopedThreadCount guard(threads);
+      const BundleReading before = ReadBundle(backend.name);
+      QueryStats merged;
+      index->QueryBatch(queries, 3, &merged);
+      const BundleReading after = ReadBundle(backend.name);
+      EXPECT_EQ(after.queries - before.queries, queries.rows());
+      EXPECT_EQ(after.latency_count - before.latency_count, queries.rows());
+      EXPECT_EQ(after.distance_evaluations - before.distance_evaluations,
+                merged.distance_evaluations);
+      EXPECT_EQ(after.nodes_visited - before.nodes_visited,
+                merged.nodes_visited);
+      EXPECT_EQ(after.candidates_refined - before.candidates_refined,
+                merged.candidates_refined);
+    }
+  }
+}
+
+TEST(QueryMetricsTest, ConcurrentBatchCountsRemainExact) {
+  // The striped counters must not lose updates when pool workers publish
+  // concurrently; QueryBatch over the 4-thread pool is the production
+  // concurrent writer. (Runs under TSAN via the tier-1 script.)
+  const Matrix data = RandomMatrix(150, 5, 56);
+  const Matrix queries = RandomMatrix(64, 5, 57);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+
+  ScopedThreadCount guard(4);
+  const BundleReading before = ReadBundle("linear_scan");
+  index.QueryBatch(queries, 3);
+  const BundleReading after = ReadBundle("linear_scan");
+  EXPECT_EQ(after.queries - before.queries, queries.rows());
+  // Every query scans every record.
+  EXPECT_EQ(after.distance_evaluations - before.distance_evaluations,
+            queries.rows() * data.rows());
+}
+
+TEST(QueryMetricsTest, DisabledSwitchStopsPublishingButKeepsStats) {
+  const Matrix data = RandomMatrix(100, 4, 58);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  LinearScanIndex index(data, metric.get());
+
+  ASSERT_TRUE(obs::MetricsRegistry::Enabled());
+  obs::MetricsRegistry::SetEnabled(false);
+  const BundleReading before = ReadBundle("linear_scan");
+  QueryStats stats;
+  index.Query(data.Row(1), 3, KnnIndex::kNoSkip, &stats);
+  const BundleReading after = ReadBundle("linear_scan");
+  obs::MetricsRegistry::SetEnabled(true);
+
+  EXPECT_EQ(after.queries, before.queries);
+  EXPECT_EQ(after.distance_evaluations, before.distance_evaluations);
+  EXPECT_EQ(after.latency_count, before.latency_count);
+  // The caller's stats still work with instrumentation off.
+  EXPECT_EQ(stats.distance_evaluations, data.rows());
+}
+
+}  // namespace
+}  // namespace cohere

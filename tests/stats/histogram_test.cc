@@ -1,5 +1,8 @@
 #include "stats/histogram.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace cohere {
@@ -51,6 +54,86 @@ TEST(HistogramTest, AsciiRendering) {
   const std::string art = h.ToAscii(10);
   EXPECT_NE(art.find('#'), std::string::npos);
   EXPECT_NE(art.find(" 2\n"), std::string::npos);
+}
+
+// Regression: Add() used to cast the raw double straight to int, which is
+// undefined behavior for NaN/inf and produced garbage bins under UBSan.
+TEST(HistogramTest, NanGoesToNonFiniteCounterNotBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(0.5);
+  EXPECT_EQ(h.non_finite_count(), 1u);
+  EXPECT_EQ(h.total_count(), 1u);
+  size_t binned = 0;
+  for (size_t b = 0; b < h.num_bins(); ++b) binned += h.Count(b);
+  EXPECT_EQ(binned, 1u);
+}
+
+TEST(HistogramTest, InfinitiesClampToEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.Count(3), 1u);
+  EXPECT_EQ(h.Count(0), 1u);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.non_finite_count(), 0u);
+}
+
+TEST(HistogramTest, HugeFiniteValuesClampWithoutOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(std::numeric_limits<double>::max());
+  h.Add(-std::numeric_limits<double>::max());
+  EXPECT_EQ(h.Count(3), 1u);
+  EXPECT_EQ(h.Count(0), 1u);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsNan) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+}
+
+TEST(HistogramTest, QuantileSingleSampleStaysInItsBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(3.5);  // bin 3 spans [3, 4)
+  for (double q : {0.0, 0.25, 0.5, 1.0}) {
+    const double est = h.Quantile(q);
+    EXPECT_GE(est, 3.0) << "q=" << q;
+    EXPECT_LE(est, 4.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileSingleBinInterpolatesAcrossRange) {
+  Histogram h(0.0, 1.0, 1);
+  for (int i = 0; i < 100; ++i) h.Add(0.5);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(h.Quantile(1.0), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBracketUniformData) {
+  Histogram h(0.0, 100.0, 20);
+  for (int i = 0; i < 1000; ++i) h.Add(static_cast<double>(i) * 0.1);
+  double prev = h.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double est = h.Quantile(q);
+    EXPECT_GE(est, prev);
+    prev = est;
+  }
+  // Uniform data on [0, 100): the interpolated median lands near 50.
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 5.0);
+  EXPECT_NEAR(h.Quantile(0.95), 95.0, 5.0);
+}
+
+TEST(HistogramTest, AsciiBarWidthsStayProportional) {
+  // Companion to the bar-math overflow fix (counts * max_width used to be
+  // computed in size_t): widths now come from floating point and the
+  // fullest bin always gets exactly max_width characters.
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 4; ++i) h.Add(0.25);
+  h.Add(0.75);
+  const std::string art = h.ToAscii(40);
+  EXPECT_NE(art.find(std::string(40, '#') + " 4\n"), std::string::npos);
+  EXPECT_NE(art.find(std::string(10, '#') + " 1\n"), std::string::npos);
 }
 
 TEST(HistogramDeathTest, BadConstructionAborts) {

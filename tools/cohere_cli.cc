@@ -8,6 +8,11 @@
 //   cohere_cli query   <data-file> --row R [--k K] [--dims N]
 //   cohere_cli demo    (self-contained smoke run on synthetic data)
 //
+// Every command additionally accepts `--metrics text|json` to dump the
+// process-wide observability registry (counters, gauges, latency histogram
+// quantiles) after the command finishes, and `--metrics-out FILE` to write
+// the snapshot to a file instead of stdout.
+//
 // Data files ending in .arff are parsed as ARFF; anything else as CSV with
 // the last column as the class attribute (use --no-label for unlabeled
 // CSV). Missing values are mean-imputed.
@@ -18,6 +23,7 @@
 
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "data/arff.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
@@ -260,16 +266,53 @@ int Usage() {
                "             [--strategy coherence|eigenvalue|threshold|"
                "energy] [--scaling cov|corr]\n"
                "  cohere_cli query   <data-file> --row R [--k K] [--dims N]\n"
-               "  cohere_cli demo\n");
+               "  cohere_cli demo\n"
+               "common flags:\n"
+               "  --metrics text|json   dump the observability registry "
+               "after the command\n"
+               "  --metrics-out FILE    write the snapshot to FILE instead "
+               "of stdout\n");
   return 2;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  if (command == "demo") return Demo();
+// Renders the registry per --metrics/--metrics-out; 0 on success (or when
+// --metrics is absent), nonzero on a bad format or unwritable output file.
+int EmitMetrics(const Args& args) {
+  auto format_it = args.flags.find("metrics");
+  if (format_it == args.flags.end()) return 0;
+  const std::string& format = format_it->second;
 
-  Args args = ParseArgs(argc, argv, 2);
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  std::string rendered;
+  if (format == "json") {
+    rendered = snapshot.ToJson() + "\n";
+  } else if (format == "text" || format.empty()) {
+    rendered = snapshot.ToText();
+  } else {
+    std::fprintf(stderr, "bad --metrics value '%s' (want text or json)\n",
+                 format.c_str());
+    return 1;
+  }
+
+  auto out_it = args.flags.find("metrics-out");
+  if (out_it != args.flags.end() && !out_it->second.empty()) {
+    FILE* f = std::fopen(out_it->second.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   out_it->second.c_str());
+      return 1;
+    }
+    std::fputs(rendered.c_str(), f);
+    std::fclose(f);
+    std::printf("metrics snapshot written to %s\n", out_it->second.c_str());
+  } else {
+    std::printf("\n-- metrics snapshot --\n%s", rendered.c_str());
+  }
+  return 0;
+}
+
+int Dispatch(const std::string& command, const Args& args) {
+  if (command == "demo") return Demo();
   if (args.positional.empty()) return Usage();
 
   Result<Dataset> data = LoadData(args.positional[0], args.no_label);
@@ -291,6 +334,18 @@ int Main(int argc, char** argv) {
     return QueryCmd(*data, args);
   }
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  // Flags are parsed before dispatch so --metrics works on every command,
+  // including `demo`.
+  Args args = ParseArgs(argc, argv, 2);
+
+  const int rc = Dispatch(command, args);
+  if (rc != 0) return rc;
+  return EmitMetrics(args);
 }
 
 }  // namespace
