@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "eval/report.h"
 #include "obs/metrics.h"
+#include "obs/tracing.h"
 #include "reduction/selection.h"
 
 namespace cohere {
@@ -199,6 +200,21 @@ void EmitMetricsSnapshot(const std::string& tag) {
   }
   out << snapshot.ToJson() << "\n";
   std::printf("[metrics snapshot written to %s]\n", path.c_str());
+
+  // When the harness runs under the structured tracer (COHERE_TRACE=1 or
+  // COHERE_TRACE_SLOW_US), drop the Perfetto-loadable trace next to the
+  // snapshot as well.
+  if (obs::Tracer::Enabled()) {
+    const std::string trace_path = ResultPath(tag + "_trace.json");
+    const Status written =
+        obs::Tracer::Global().WriteChromeTrace(trace_path);
+    if (!written.ok()) {
+      COHERE_LOG(Warning) << "cannot write trace to " << trace_path << ": "
+                          << written.ToString();
+      return;
+    }
+    std::printf("[trace written to %s]\n", trace_path.c_str());
+  }
 }
 
 }  // namespace bench

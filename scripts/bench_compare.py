@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate and diff cohere_bench BENCH_*.json documents.
+
+Usage:
+  bench_compare.py --validate FILE
+      Schema-check one document; exit 0 when it is a well-formed
+      cohere.bench.v1 file, 2 otherwise.
+
+  bench_compare.py [--threshold FRAC] [--all] OLD NEW
+      Compare two documents series-by-series. A gated series regresses when
+      its NEW p50 or mean latency exceeds OLD by more than FRAC (default
+      0.25, i.e. +25%). Exit codes: 0 no regression, 1 regression, 2 schema
+      error or a gated OLD series missing from NEW. --all also gates series
+      marked "gate": false (pooled runs, machine-sensitive).
+
+Latency-only gating is deliberate: throughput is derived from the same
+interval (wall clock), so gating it too would double-report every miss.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "cohere.bench.v1"
+
+SERIES_FIELDS = {
+    "name": str,
+    "dataset": str,
+    "dataset_fingerprint": str,
+    "backend": str,
+    "target_dim": str,
+    "reduced_dims": int,
+    "k": int,
+    "mode": str,
+    "gate": bool,
+    "queries": int,
+    "wall_us": (int, float),
+    "throughput_qps": (int, float),
+    "latency_us": dict,
+    "work": dict,
+}
+
+LATENCY_FIELDS = ("count", "mean", "p50", "p95", "p99", "max")
+WORK_FIELDS = ("distance_evaluations", "nodes_visited", "candidates_refined")
+
+
+def fail(msg):
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def validate(doc, path):
+    """Checks `doc` against the cohere.bench.v1 schema; exits 2 on error."""
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("suite", "generated_by"):
+        if not isinstance(doc.get(key), str):
+            fail(f"{path}: missing or non-string {key!r}")
+    if not isinstance(doc.get("machine"), dict):
+        fail(f"{path}: missing machine object")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        fail(f"{path}: missing or empty series list")
+    seen = set()
+    for s in series:
+        if not isinstance(s, dict):
+            fail(f"{path}: series entry is not an object")
+        for field, types in SERIES_FIELDS.items():
+            if field not in s:
+                fail(f"{path}: series {s.get('name', '?')!r} missing {field!r}")
+            if not isinstance(s[field], types) or isinstance(s[field], bool) != (
+                types is bool
+            ):
+                fail(f"{path}: series {s['name']!r} field {field!r} has wrong type")
+        name = s["name"]
+        if name in seen:
+            fail(f"{path}: duplicate series {name!r}")
+        seen.add(name)
+        for field in LATENCY_FIELDS:
+            v = s["latency_us"].get(field)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(f"{path}: series {name!r} latency_us.{field} is not numeric")
+            if isinstance(v, float) and not math.isfinite(v):
+                fail(f"{path}: series {name!r} latency_us.{field} is not finite")
+        if s["latency_us"]["count"] <= 0:
+            fail(f"{path}: series {name!r} recorded no latencies")
+        for field in WORK_FIELDS:
+            v = s["work"].get(field)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(f"{path}: series {name!r} work.{field} is not a count")
+
+
+def compare(old_doc, new_doc, threshold, gate_all):
+    """Prints a per-series delta table; returns the number of regressions."""
+    new_by_name = {s["name"]: s for s in new_doc["series"]}
+    regressions = 0
+    width = max(len(s["name"]) for s in old_doc["series"])
+    print(f"{'series':<{width}}  {'old p50':>10}  {'new p50':>10}  "
+          f"{'delta':>8}  gate")
+    for old in old_doc["series"]:
+        name = old["name"]
+        gated = old["gate"] or gate_all
+        new = new_by_name.get(name)
+        if new is None:
+            if gated:
+                fail(f"gated series {name!r} missing from the new document")
+            print(f"{name:<{width}}  {'-':>10}  {'-':>10}  {'-':>8}  skipped")
+            continue
+        if old["dataset_fingerprint"] != new["dataset_fingerprint"]:
+            fail(f"series {name!r}: dataset fingerprints differ "
+                 f"({old['dataset_fingerprint']} vs "
+                 f"{new['dataset_fingerprint']}) — not comparable")
+        worst = 0.0
+        for field in ("p50", "mean"):
+            old_v = old["latency_us"][field]
+            new_v = new["latency_us"][field]
+            if old_v > 0:
+                worst = max(worst, (new_v - old_v) / old_v)
+        regressed = gated and worst > threshold
+        regressions += regressed
+        flag = "REGRESSED" if regressed else ("yes" if gated else "no")
+        print(f"{name:<{width}}  {old['latency_us']['p50']:>10.3f}  "
+              f"{new['latency_us']['p50']:>10.3f}  {worst:>+7.1%}  {flag}")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check a single file")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative latency growth tolerated (default 0.25)")
+    parser.add_argument("--all", action="store_true",
+                        help="gate every series, including machine-sensitive ones")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args()
+
+    if args.validate:
+        if len(args.files) != 1:
+            fail("--validate takes exactly one file")
+        doc = load(args.files[0])
+        validate(doc, args.files[0])
+        print(f"{args.files[0]}: valid {SCHEMA} "
+              f"({len(doc['series'])} series, suite {doc['suite']!r})")
+        return 0
+
+    if len(args.files) != 2:
+        fail("compare mode takes exactly two files (OLD NEW)")
+    if not 0 <= args.threshold:
+        fail("--threshold must be non-negative")
+    old_doc, new_doc = load(args.files[0]), load(args.files[1])
+    validate(old_doc, args.files[0])
+    validate(new_doc, args.files[1])
+    if old_doc["suite"] != new_doc["suite"]:
+        fail(f"suite mismatch: {old_doc['suite']!r} vs {new_doc['suite']!r}")
+
+    regressions = compare(old_doc, new_doc, args.threshold, args.all)
+    if regressions:
+        print(f"bench_compare: {regressions} series regressed beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("bench_compare: no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the standard build + full ctest run, then a ThreadSanitizer
+# Tier-1 gate: the standard build + full ctest run, a cohere_bench smoke
+# run whose JSON is schema-validated and pushed through the
+# bench_compare.py regression gate (self-compare must pass, an injected
+# 50% latency inflation must fail), then a ThreadSanitizer
 # build that re-runs the concurrency-sensitive suites, then an
 # UndefinedBehaviorSanitizer build that re-runs the numeric/metrics suites
 # (the histogram binning paths cast doubles around; UBSan is the regression
@@ -22,6 +25,30 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 echo "==> tier-1: full test suite"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "==> tier-1: benchmark smoke suite + regression-gate self-check"
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$BENCH_TMP"' EXIT
+"$BUILD_DIR/tools/cohere_bench" --suite smoke --out "$BENCH_TMP/BENCH_smoke.json"
+python3 "$ROOT/scripts/bench_compare.py" --validate "$BENCH_TMP/BENCH_smoke.json"
+# A document must never regress against itself...
+python3 "$ROOT/scripts/bench_compare.py" \
+  "$BENCH_TMP/BENCH_smoke.json" "$BENCH_TMP/BENCH_smoke.json"
+# ...and a 50% latency inflation must trip the gate (exit 1).
+python3 - "$BENCH_TMP/BENCH_smoke.json" "$BENCH_TMP/BENCH_inflated.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for series in doc["series"]:
+    for field in ("mean", "p50", "p95", "p99"):
+        series["latency_us"][field] *= 1.5
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+if python3 "$ROOT/scripts/bench_compare.py" \
+    "$BENCH_TMP/BENCH_smoke.json" "$BENCH_TMP/BENCH_inflated.json" >/dev/null; then
+  echo "ERROR: bench_compare did not flag a 50% latency inflation" >&2
+  exit 1
+fi
+echo "==> tier-1: bench gate OK (self-compare clean, inflation flagged)"
 
 if [[ "${COHERE_SKIP_TSAN:-0}" == "1" ]]; then
   echo "==> tier-1: TSAN stage skipped (COHERE_SKIP_TSAN=1)"

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/stopwatch.h"
+#include "obs/tracing.h"
 
 namespace cohere {
 
@@ -19,7 +20,7 @@ Result<DynamicReducedIndex> DynamicReducedIndex::Build(
     return Status::InvalidArgument("drift_window must be positive");
   }
 
-  obs::ScopedTrace trace("dynamic_index.build");
+  obs::TraceSpan trace("dynamic_index.build");
 
   DynamicReducedIndex index;
   index.options_ = options;
@@ -108,6 +109,8 @@ std::vector<Neighbor> DynamicReducedIndex::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats) const {
   COHERE_CHECK_EQ(original_space_query.size(), dims_);
+  obs::TraceSpan span("dynamic_index.query");
+  span.AddArg("k", static_cast<double>(k));
   const bool instrumented = obs::MetricsRegistry::Enabled();
   Stopwatch watch;
   const Vector query = pipeline_.TransformPoint(original_space_query);
@@ -165,7 +168,7 @@ bool DynamicReducedIndex::NeedsRefit() const {
 }
 
 Status DynamicReducedIndex::Refit() {
-  obs::ScopedTrace trace("dynamic_index.refit");
+  obs::TraceSpan trace("dynamic_index.refit");
   obs::ScopedTimer timer(
       obs::MetricsRegistry::Enabled()
           ? obs::MetricsRegistry::Global().GetHistogram(

@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "obs/tracing.h"
 #include "index/kd_tree.h"
 #include "index/linear_scan.h"
 #include "index/va_file.h"
@@ -33,11 +34,14 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
     return Status::InvalidArgument("cannot build an engine on an empty dataset");
   }
 
-  obs::ScopedTrace trace("engine.build");
+  obs::TraceSpan trace("engine.build");
   Stopwatch build_watch;
 
   ReducedSearchEngine engine;
   engine.options_ = options;
+  if (options.trace_slow_query_us > 0.0) {
+    obs::Tracer::Global().EnableSlowQueryCapture(options.trace_slow_query_us);
+  }
   if (options.num_threads != 0) {
     const size_t before = ParallelThreadCount();
     SetParallelThreadCount(options.num_threads);
@@ -62,9 +66,15 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
   engine.pipeline_ = std::move(*pipeline);
 
   engine.metric_ = MakeMetric(options.metric, options.metric_p);
-  Matrix reduced = engine.pipeline_.model().ProjectRows(
-      dataset.features(), engine.pipeline_.components());
+  Matrix reduced = [&] {
+    obs::TraceSpan project("engine.project_dataset");
+    return engine.pipeline_.model().ProjectRows(
+        dataset.features(), engine.pipeline_.components());
+  }();
 
+  // Covers the backend construction (and the trailing registry lookups,
+  // which are negligible against any real index build).
+  obs::TraceSpan index_build("engine.index_build");
   switch (options.backend) {
     case IndexBackend::kLinearScan:
       engine.index_ = std::make_unique<LinearScanIndex>(std::move(reduced),
@@ -127,27 +137,44 @@ std::vector<Neighbor> ReducedSearchEngine::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats) const {
   const bool instrumented = obs::MetricsRegistry::Enabled();
+  if (!instrumented && !obs::Tracer::Enabled()) {
+    // Both layers off: the exact uninstrumented path.
+    const Vector reduced = pipeline_.TransformPoint(original_space_query);
+    return index_->Query(reduced, k, skip_index, stats);
+  }
+  // Root span of the serial query path; the per-query sampling (and slow-
+  // query) decision is made here, and the projection / backend phases below
+  // nest under it.
+  obs::TraceSpan span("engine.query");
+  span.AddArg("k", static_cast<double>(k));
   obs::ScopedTimer timer(instrumented ? query_latency_us_ : nullptr);
   if (instrumented) queries_->Increment();
-  const Vector reduced = pipeline_.TransformPoint(original_space_query);
+  Vector reduced = [&] {
+    obs::TraceSpan project("engine.project");
+    return pipeline_.TransformPoint(original_space_query);
+  }();
   return index_->Query(reduced, k, skip_index, stats);
 }
 
 std::vector<std::vector<Neighbor>> ReducedSearchEngine::QueryBatch(
     const Matrix& original_space_queries, size_t k, QueryStats* stats) const {
-  obs::ScopedTrace trace("engine.query_batch");
+  obs::TraceSpan trace("engine.query_batch");
   obs::ScopedTimer timer(
       obs::MetricsRegistry::Enabled() ? batch_latency_us_ : nullptr);
   const size_t n = original_space_queries.rows();
   Matrix reduced(n, ReducedDims());
-  // Row transforms are independent; reduce them across the pool before the
-  // index fans the reduced rows back out.
-  ParallelFor(0, n, /*grain=*/16, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      reduced.SetRow(i,
-                     pipeline_.TransformPoint(original_space_queries.Row(i)));
-    }
-  });
+  {
+    // Row transforms are independent; reduce them across the pool before
+    // the index fans the reduced rows back out. Pool-lane chunks emit no
+    // spans of their own — the caller-side span covers the whole phase.
+    obs::TraceSpan project("engine.project_batch");
+    ParallelFor(0, n, /*grain=*/16, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        reduced.SetRow(
+            i, pipeline_.TransformPoint(original_space_queries.Row(i)));
+      }
+    });
+  }
   return index_->QueryBatch(reduced, k, stats);
 }
 

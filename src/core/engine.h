@@ -43,6 +43,12 @@ struct EngineOptions {
   /// most recently built engine's setting wins. 1 forces fully serial,
   /// deterministic execution.
   size_t num_threads = 0;
+  /// Slow-query tracing threshold in microseconds: root query spans at
+  /// least this slow are always captured into the tracer's slow-query log,
+  /// regardless of sampling (see obs/tracing.h). 0 keeps the current tracer
+  /// configuration (the `COHERE_TRACE_SLOW_US` environment variable, else
+  /// disabled); like num_threads, the most recently built engine wins.
+  double trace_slow_query_us = 0.0;
 };
 
 /// The library's top-level facade: fits a coherence-driven dimensionality

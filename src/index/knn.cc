@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/query_metrics.h"
+#include "obs/tracing.h"
 
 namespace cohere {
 namespace {
@@ -68,18 +69,35 @@ const obs::QueryPathMetrics& KnnIndex::Instrument() const {
   return *bundle;
 }
 
+const char* KnnIndex::TraceName() const {
+  const char* cached = trace_name_.load(std::memory_order_acquire);
+  if (cached == nullptr) {
+    cached = obs::Tracer::InternName("index." + name() + ".query");
+    trace_name_.store(cached, std::memory_order_release);
+  }
+  return cached;
+}
+
 std::vector<Neighbor> KnnIndex::Query(const Vector& query, size_t k,
                                       size_t skip_index,
                                       QueryStats* stats) const {
-  if (!obs::MetricsRegistry::Enabled()) {
-    // Metrics off: byte-for-byte the uninstrumented path, no timing.
+  const bool metrics = obs::MetricsRegistry::Enabled();
+  if (!metrics && !obs::Tracer::Enabled()) {
+    // Metrics and tracing off: byte-for-byte the uninstrumented path, no
+    // timing and no span bookkeeping.
     return QueryImpl(query, k, skip_index, stats);
   }
+  obs::TraceSpan span(TraceName());
+  span.AddArg("k", static_cast<double>(k));
   QueryStats local;
   Stopwatch watch;
   std::vector<Neighbor> out = QueryImpl(query, k, skip_index, &local);
-  Instrument().Record(local.distance_evaluations, local.nodes_visited,
-                      local.candidates_refined, watch.ElapsedMicros());
+  if (metrics) {
+    Instrument().Record(local.distance_evaluations, local.nodes_visited,
+                        local.candidates_refined, watch.ElapsedMicros());
+  }
+  span.AddArg("distance_evaluations",
+              static_cast<double>(local.distance_evaluations));
   if (stats != nullptr) stats->MergeFrom(local);
   return out;
 }

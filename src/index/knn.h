@@ -95,7 +95,13 @@ class KnnIndex {
   /// to the same process-lifetime bundle, so the race is benign).
   const obs::QueryPathMetrics& Instrument() const;
 
+  /// Interned "index.<name()>.query" span name, lazily resolved and cached
+  /// the same way as the metric bundle (interned names have process
+  /// lifetime, so the race is equally benign).
+  const char* TraceName() const;
+
   mutable std::atomic<const obs::QueryPathMetrics*> instrument_{nullptr};
+  mutable std::atomic<const char*> trace_name_{nullptr};
 };
 
 /// Bounded max-heap collecting the k best candidates during a scan.

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -141,9 +142,15 @@ double LatencyHistogram::Max() const {
   return max;
 }
 
-double LatencyHistogram::Quantile(double q) const {
+namespace {
+
+// Shared quantile kernel over a merged bin table; `max_hint` closes the
+// overflow bin (cumulative max for live reads, interval upper bound for
+// snapshot deltas).
+double QuantileFromBins(
+    const std::array<uint64_t, LatencyHistogram::kNumBins>& bins, double q,
+    double max_hint) {
   q = std::clamp(q, 0.0, 1.0);
-  const std::array<uint64_t, kNumBins> bins = MergedBins();
   uint64_t total = 0;
   for (uint64_t c : bins) total += c;
   if (total == 0) return std::numeric_limits<double>::quiet_NaN();
@@ -152,13 +159,13 @@ double LatencyHistogram::Quantile(double q) const {
   // linear interpolation inside the bin that holds it.
   const double target = q * static_cast<double>(total);
   uint64_t cumulative = 0;
-  for (size_t b = 0; b < kNumBins; ++b) {
+  for (size_t b = 0; b < LatencyHistogram::kNumBins; ++b) {
     if (bins[b] == 0) continue;
     const uint64_t next = cumulative + bins[b];
     if (static_cast<double>(next) >= target) {
-      const double lo = BinLowerBound(b);
-      double hi = BinUpperBound(b);
-      if (std::isinf(hi)) hi = std::max(lo, Max());  // overflow bin
+      const double lo = LatencyHistogram::BinLowerBound(b);
+      double hi = LatencyHistogram::BinUpperBound(b);
+      if (std::isinf(hi)) hi = std::max(lo, max_hint);  // overflow bin
       const double within =
           (target - static_cast<double>(cumulative)) /
           static_cast<double>(bins[b]);
@@ -167,10 +174,58 @@ double LatencyHistogram::Quantile(double q) const {
     cumulative = next;
   }
   // q == 0 with all mass above, or rounding: report the last populated bin.
-  for (size_t b = kNumBins; b-- > 0;) {
-    if (bins[b] != 0) return BinLowerBound(b);
+  for (size_t b = LatencyHistogram::kNumBins; b-- > 0;) {
+    if (bins[b] != 0) return LatencyHistogram::BinLowerBound(b);
   }
   return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace
+
+double LatencyHistogram::Quantile(double q) const {
+  return QuantileFromBins(MergedBins(), q, Max());
+}
+
+uint64_t LatencyHistogram::Bins::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : bins) total += c;
+  return total;
+}
+
+double LatencyHistogram::Bins::Mean() const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(total);
+}
+
+double LatencyHistogram::Bins::Quantile(double q) const {
+  return QuantileFromBins(bins, q, max);
+}
+
+LatencyHistogram::Bins LatencyHistogram::SnapshotBins() const {
+  Bins out;
+  out.bins = MergedBins();
+  out.non_finite = NonFiniteCount();
+  out.sum = Sum();
+  out.max = Max();
+  return out;
+}
+
+LatencyHistogram::Bins LatencyHistogram::Delta(const Bins& before,
+                                               const Bins& after) {
+  Bins out;
+  for (size_t b = 0; b < kNumBins; ++b) {
+    // Cumulative counts are monotonic between snapshots of one histogram;
+    // clamp defensively in case a Reset() slipped in between.
+    out.bins[b] =
+        after.bins[b] >= before.bins[b] ? after.bins[b] - before.bins[b] : 0;
+  }
+  out.non_finite = after.non_finite >= before.non_finite
+                       ? after.non_finite - before.non_finite
+                       : 0;
+  out.sum = after.sum - before.sum;
+  out.max = after.max;  // upper bound: the interval max is unrecoverable
+  return out;
 }
 
 void LatencyHistogram::Reset() {
@@ -241,6 +296,12 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   Impl& state = impl();
   std::lock_guard<std::mutex> lock(state.mu);
   MetricsSnapshot snapshot;
+  // steady_clock so the stamp is monotonic across snapshots of one process;
+  // the std::map iteration below guarantees name-sorted sections.
+  snapshot.monotonic_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
   snapshot.counters.reserve(state.counters.size());
   for (const auto& [name, counter] : state.counters) {
     snapshot.counters.emplace_back(name, counter->Value());
@@ -314,6 +375,9 @@ std::string JsonEscape(const std::string& s) {
 std::string MetricsSnapshot::ToText() const {
   std::string out;
   char buf[256];
+  std::snprintf(buf, sizeof(buf), "snapshot: monotonic_us=%llu\n",
+                static_cast<unsigned long long>(monotonic_us));
+  out += buf;
   if (!counters.empty()) {
     out += "counters:\n";
     for (const auto& [name, value] : counters) {
@@ -341,12 +405,12 @@ std::string MetricsSnapshot::ToText() const {
       out += buf;
     }
   }
-  if (out.empty()) out = "(no metrics registered)\n";
   return out;
 }
 
 std::string MetricsSnapshot::ToJson() const {
-  std::string out = "{\n  \"counters\": {";
+  std::string out = "{\n  \"snapshot\": {\"monotonic_us\": " +
+                    std::to_string(monotonic_us) + "},\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
     out += first ? "\n" : ",\n";

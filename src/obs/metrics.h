@@ -122,6 +122,33 @@ class LatencyHistogram {
   /// Record against a pre-resolved stripe (see Counter::IncrementAt).
   void RecordAt(size_t stripe, double value);
 
+  /// Cumulative bin-level snapshot, subtractable via Delta() so harnesses
+  /// (cohere_bench) can compute per-stage interval quantiles without
+  /// resetting process-wide state mid-run.
+  struct Bins {
+    std::array<uint64_t, kNumBins> bins{};
+    uint64_t non_finite = 0;
+    double sum = 0.0;
+    double max = 0.0;
+
+    /// Observations across all bins.
+    uint64_t TotalCount() const;
+    /// Sum of finite observations divided by TotalCount(); NaN when empty.
+    double Mean() const;
+    /// Linear-interpolated quantile estimate over these bins, q in [0, 1];
+    /// NaN when empty. The overflow bin is closed at `max`.
+    double Quantile(double q) const;
+  };
+
+  /// Merged cumulative bins across stripes.
+  Bins SnapshotBins() const;
+
+  /// Interval statistics between two cumulative snapshots taken from the
+  /// same histogram with no Reset() in between: counts and sum subtract
+  /// per-bin (clamped at 0 defensively); `max` keeps the `after` cumulative
+  /// maximum, which is an upper bound for the interval.
+  static Bins Delta(const Bins& before, const Bins& after);
+
   /// Observations binned so far (includes +/-inf, excludes NaN).
   uint64_t TotalCount() const;
   /// NaN observations rejected from the bins.
@@ -170,15 +197,21 @@ struct HistogramSnapshot {
   double p99 = 0.0;
 };
 
-/// Point-in-time export of the whole registry, name-sorted.
+/// Point-in-time export of the whole registry. Each section is sorted by
+/// metric name and both renderings emit sections in a fixed order, so two
+/// exports of the same registry diff cleanly line-by-line across runs.
 struct MetricsSnapshot {
+  /// Monotonic (steady_clock) timestamp of the snapshot, microseconds.
+  /// Subtracting two snapshots' timestamps gives the interval between them.
+  uint64_t monotonic_us = 0;
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
 
-  /// Aligned human-readable rendering.
+  /// Aligned human-readable rendering (leads with the snapshot timestamp).
   std::string ToText() const;
-  /// Machine-readable rendering: {"counters": {...}, "gauges": {...},
+  /// Machine-readable rendering: {"snapshot": {"monotonic_us": N},
+  /// "counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, non_finite, sum, max, p50, p95, p99}}}.
   std::string ToJson() const;
 };

@@ -1,0 +1,225 @@
+#ifndef COHERE_OBS_TRACING_H_
+#define COHERE_OBS_TRACING_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace cohere {
+namespace obs {
+
+/// Structured tracing: nested spans with parent linkage, captured into a
+/// lock-free bounded ring buffer and exportable as Chrome `trace_event`
+/// JSON (loadable in Perfetto / chrome://tracing).
+///
+/// This grows the PR-2 trace hook (obs/metrics.h, `SetTraceHook`) into a
+/// real subsystem. Design constraints mirror the metrics layer (see
+/// DESIGN.md §7):
+///  * with the tracer disabled a `TraceSpan` costs two relaxed atomic loads
+///    and touches no clock — the query path stays bit-identical to the
+///    uninstrumented one;
+///  * span capture is decided once per *root* span (probabilistic sampling,
+///    deterministic under a fixed seed); child spans inherit the decision
+///    through a thread-local context, so unsampled trees do no work beyond
+///    depth bookkeeping;
+///  * independently of sampling, every root span slower than the slow-query
+///    threshold (`EngineOptions::trace_slow_query_us` or the
+///    `COHERE_TRACE_SLOW_US` environment variable) is always captured into a
+///    dedicated slow-query log;
+///  * writers are pool threads on the query hot path, so the ring buffer is
+///    lock-free multi-producer (one fetch_add ticket + one release store per
+///    event) and never blocks; when full, new events are dropped and
+///    counted, preserving the already-captured parents.
+
+class TraceSpan;
+
+/// One numeric key/value attached to a span ("k", "distance_evaluations").
+/// Keys must be string literals or interned names (process lifetime).
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+/// Maximum args carried per span; extra AddArg calls are ignored.
+inline constexpr size_t kMaxSpanArgs = 2;
+
+/// Nesting depth tracked per thread; deeper spans are not captured (still
+/// correctly paired, just absent from the output).
+inline constexpr size_t kMaxTraceDepth = 32;
+
+/// One completed span, as stored in the ring buffer and returned by
+/// CapturedSpans()/SlowQueries().
+struct SpanRecord {
+  const char* name = nullptr;  ///< Static or interned span name.
+  uint64_t id = 0;             ///< Unique per tracer epoch, starts at 1.
+  uint64_t parent_id = 0;      ///< 0 for root spans.
+  uint32_t thread_id = 0;      ///< Small stable per-thread id (1, 2, ...).
+  bool slow = false;           ///< Crossed the slow-query threshold.
+  double start_us = 0.0;       ///< Microseconds since the tracer epoch.
+  double duration_us = 0.0;    ///< Wall time the span covered.
+  TraceArg args[kMaxSpanArgs];
+  size_t num_args = 0;
+};
+
+/// Configuration for Tracer::Start.
+struct TracerOptions {
+  /// Capacity of the span ring buffer. When full, further events are
+  /// dropped (and counted) rather than overwriting captured parents.
+  size_t ring_capacity = 1 << 14;
+  /// Probability that a root span (and with it its whole subtree) is
+  /// captured. 1 captures everything, 0 only the slow-query log.
+  double sample_probability = 1.0;
+  /// Root spans at least this slow (µs) are always captured into the
+  /// slow-query log, regardless of sampling. +inf disables the log.
+  double slow_query_us = std::numeric_limits<double>::infinity();
+  /// Seed for the sampling decision sequence: the i-th root span's decision
+  /// is a pure function of (seed, i), so runs with a fixed seed and a
+  /// deterministic span order capture identical sets.
+  uint64_t sample_seed = 0;
+};
+
+/// Process-wide tracing facility. `Start` resets all buffers and enables
+/// span capture; `Stop` disables capture but keeps captured events around
+/// for export. Start/Stop/Clear must not race live spans (configure between
+/// workloads); span *emission* itself is thread-safe and lock-free.
+///
+/// Environment: `COHERE_TRACE=1` starts the process with full sampling;
+/// `COHERE_TRACE_SLOW_US=<µs>` starts it in slow-query-only mode (sampling
+/// probability 0) with the given threshold. Both combine.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void Start(const TracerOptions& options);
+  void Stop();
+
+  /// Hot-path switch; one relaxed load.
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Adjusts the slow-query threshold of a running tracer; when the tracer
+  /// is disabled, starts it in slow-query-only mode with this threshold
+  /// (this is what `EngineOptions::trace_slow_query_us` calls).
+  void EnableSlowQueryCapture(double slow_query_us);
+  double slow_query_threshold_us() const {
+    return slow_query_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Events captured in the ring this epoch.
+  uint64_t CapturedCount() const;
+  /// Events rejected because the ring was full.
+  uint64_t DroppedCount() const;
+  /// Root spans that crossed the slow-query threshold.
+  uint64_t SlowCount() const;
+
+  /// Copies the captured ring events, in capture order. Safe to call while
+  /// writers are active (in-flight events may be missed, never torn).
+  std::vector<SpanRecord> CapturedSpans() const;
+  /// Copies the slow-query log (most recent kSlowLogCapacity roots).
+  std::vector<SpanRecord> SlowQueries() const;
+
+  /// Renders ring + slow-log events as a Chrome trace_event JSON document:
+  /// complete ("ph":"X") events, timestamps in microseconds, ring events
+  /// under pid 1 and slow-query events under pid 2 so Perfetto shows the
+  /// slow log as its own process group.
+  std::string ToChromeTraceJson() const;
+  /// Writes ToChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Drops all captured events and restarts ids/sampling sequence. Must not
+  /// race live spans.
+  void Clear();
+
+  /// Interns a dynamically built span name ("index.kd_tree.query"),
+  /// returning a pointer valid for the process lifetime. Intern once at
+  /// build time, not per span.
+  static const char* InternName(const std::string& name);
+
+  static constexpr size_t kSlowLogCapacity = 256;
+
+ private:
+  friend class TraceSpan;
+  Tracer() = default;
+
+  void OpenSpan(TraceSpan* span);
+  void CloseSpan(TraceSpan* span);
+  bool SampleDecision();
+  void RecordSlow(const SpanRecord& record);
+
+  struct Impl;
+  Impl& impl() const;
+
+  std::atomic<double> slow_query_us_{
+      std::numeric_limits<double>::infinity()};
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span. Opens on construction when the tracer is enabled (and/or the
+/// legacy PR-2 trace hook is installed — completed spans are still
+/// delivered to it), closes and publishes on destruction.
+///
+/// Cost: disabled, two relaxed loads and no clock access; enabled but
+/// unsampled, clock reads on root spans only (needed for the slow-query
+/// log) plus depth bookkeeping.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : name_(name) {
+    hook_armed_ = TraceHookInstalled();
+    if (hook_armed_) {
+      start_ = std::chrono::steady_clock::now();
+      has_start_ = true;
+    }
+    if (Tracer::Enabled()) Tracer::Global().OpenSpan(this);
+  }
+  ~TraceSpan() {
+    if (opened_) Tracer::Global().CloseSpan(this);
+    if (hook_armed_) {
+      EmitTraceEvent(
+          name_,
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start_)
+              .count());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric arg to a captured span; no-op when the span is not
+  /// being recorded. `key` must outlive the tracer epoch (string literal or
+  /// interned name).
+  void AddArg(const char* key, double value) {
+    if (!recorded_ || num_args_ >= kMaxSpanArgs) return;
+    args_[num_args_++] = {key, value};
+  }
+
+  /// True when this span is being captured into the ring (sampled root or
+  /// descendant of one). Lets callers skip arg computation.
+  bool recording() const { return recorded_; }
+
+ private:
+  friend class Tracer;
+
+  const char* name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  double start_us_ = 0.0;
+  TraceArg args_[kMaxSpanArgs];
+  uint8_t num_args_ = 0;
+  bool hook_armed_ = false;
+  bool has_start_ = false;
+  bool opened_ = false;    ///< Participates in the thread's span stack.
+  bool recorded_ = false;  ///< Will be pushed into the ring on close.
+  bool root_ = false;
+};
+
+}  // namespace obs
+}  // namespace cohere
+
+#endif  // COHERE_OBS_TRACING_H_

@@ -4,12 +4,13 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/tracing.h"
 
 namespace cohere {
 
 Result<ReductionPipeline> ReductionPipeline::Fit(
     const Dataset& dataset, const ReductionOptions& options) {
-  obs::ScopedTrace trace("pipeline.fit");
+  obs::TraceSpan trace("pipeline.fit");
   const bool instrumented = obs::MetricsRegistry::Enabled();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   Stopwatch fit_watch;
@@ -18,18 +19,24 @@ Result<ReductionPipeline> ReductionPipeline::Fit(
   ReductionPipeline pipeline;
   pipeline.options_ = options;
 
-  Result<PcaModel> model =
-      PcaModel::Fit(dataset.features(), options.scaling);
-  if (!model.ok()) return model.status();
-  pipeline.model_ = std::move(*model);
+  {
+    obs::TraceSpan phase("pipeline.pca_fit");
+    Result<PcaModel> model =
+        PcaModel::Fit(dataset.features(), options.scaling);
+    if (!model.ok()) return model.status();
+    pipeline.model_ = std::move(*model);
+  }
   if (instrumented) {
     registry.GetHistogram("pipeline.pca_fit_us")
         ->Record(phase_watch.ElapsedMicros());
   }
 
   phase_watch.Restart();
-  pipeline.coherence_ =
-      ComputeCoherence(pipeline.model_, dataset.features());
+  {
+    obs::TraceSpan phase("pipeline.coherence");
+    pipeline.coherence_ =
+        ComputeCoherence(pipeline.model_, dataset.features());
+  }
   if (instrumented) {
     registry.GetHistogram("pipeline.coherence_us")
         ->Record(phase_watch.ElapsedMicros());
@@ -41,6 +48,7 @@ Result<ReductionPipeline> ReductionPipeline::Fit(
   }
 
   phase_watch.Restart();
+  obs::TraceSpan selection_phase("pipeline.selection");
   switch (options.strategy) {
     case SelectionStrategy::kEigenvalueOrder: {
       std::vector<size_t> order = OrderByEigenvalue(pipeline.model_);

@@ -191,6 +191,65 @@ TEST(MetricsRegistryTest, SnapshotCarriesRegisteredMetrics) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, SnapshotIsNameSortedAndTimestamped) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  // Register in non-sorted order; the snapshot must come back sorted.
+  registry.GetCounter("test.sort.zzz");
+  registry.GetCounter("test.sort.aaa");
+  registry.GetGauge("test.sort.g2");
+  registry.GetGauge("test.sort.g1");
+  registry.GetHistogram("test.sort.h2");
+  registry.GetHistogram("test.sort.h1");
+
+  const MetricsSnapshot first = registry.Snapshot();
+  for (size_t i = 1; i < first.counters.size(); ++i) {
+    EXPECT_LT(first.counters[i - 1].first, first.counters[i].first);
+  }
+  for (size_t i = 1; i < first.gauges.size(); ++i) {
+    EXPECT_LT(first.gauges[i - 1].first, first.gauges[i].first);
+  }
+  for (size_t i = 1; i < first.histograms.size(); ++i) {
+    EXPECT_LT(first.histograms[i - 1].name, first.histograms[i].name);
+  }
+
+  EXPECT_GT(first.monotonic_us, 0u);
+  const MetricsSnapshot second = registry.Snapshot();
+  EXPECT_GE(second.monotonic_us, first.monotonic_us);
+
+  // Both renderings lead with the timestamp so exports self-describe when
+  // they were cut.
+  EXPECT_EQ(first.ToText().rfind("snapshot: monotonic_us=", 0), 0u);
+  EXPECT_NE(first.ToJson().find("\"monotonic_us\""), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, BinsDeltaIsolatesTheInterval) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.hist.delta");
+  h->Reset();
+  for (int i = 0; i < 100; ++i) h->Record(1.0);
+  const LatencyHistogram::Bins before = h->SnapshotBins();
+  EXPECT_EQ(before.TotalCount(), 100u);
+  for (int i = 0; i < 100; ++i) h->Record(1000.0);
+  const LatencyHistogram::Bins after = h->SnapshotBins();
+  EXPECT_EQ(after.TotalCount(), 200u);
+
+  const LatencyHistogram::Bins delta = LatencyHistogram::Delta(before, after);
+  EXPECT_EQ(delta.TotalCount(), 100u);
+  // Only the interval's observations (all 1000 µs) remain: the median sits
+  // in the 1000 µs bin (~19% relative bin width), far from the 1 µs mass.
+  EXPECT_GT(delta.Quantile(0.5), 800.0);
+  EXPECT_LT(delta.Quantile(0.5), 1300.0);
+  EXPECT_NEAR(delta.Mean(), 1000.0, 1.0);
+  EXPECT_NEAR(delta.sum, 100000.0, 1.0);
+  // The cumulative histogram still sees both populations.
+  EXPECT_LT(h->Quantile(0.25), 2.0);
+
+  // Delta against an identical snapshot is empty, and Quantile reports NaN.
+  const LatencyHistogram::Bins empty = LatencyHistogram::Delta(after, after);
+  EXPECT_EQ(empty.TotalCount(), 0u);
+  EXPECT_TRUE(std::isnan(empty.Quantile(0.5)));
+}
+
 TEST(TraceHookTest, DeliversSpansWhileInstalled) {
   struct Capture {
     std::vector<std::string> names;

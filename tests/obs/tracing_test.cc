@@ -1,0 +1,358 @@
+#include "obs/tracing.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/engine.h"
+#include "data/synthetic.h"
+
+namespace cohere {
+namespace obs {
+namespace {
+
+// The tracer is a process-wide singleton; every test Starts it with its own
+// options (which resets all buffers) and Stops it on the way out so tests
+// stay order-independent.
+
+struct TracerGuard {
+  explicit TracerGuard(const TracerOptions& options) {
+    Tracer::Global().Start(options);
+  }
+  ~TracerGuard() { Tracer::Global().Stop(); }
+};
+
+const SpanRecord* FindByName(const std::vector<SpanRecord>& spans,
+                             const char* name) {
+  for (const SpanRecord& s : spans) {
+    if (std::string(s.name) == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TraceSpanTest, DisabledTracerCapturesNothing) {
+  Tracer::Global().Stop();
+  const uint64_t before = Tracer::Global().CapturedCount();
+  {
+    TraceSpan root("test.disabled.root");
+    TraceSpan child("test.disabled.child");
+    EXPECT_FALSE(root.recording());
+    EXPECT_FALSE(child.recording());
+  }
+  EXPECT_EQ(Tracer::Global().CapturedCount(), before);
+}
+
+TEST(TraceSpanTest, NestedSpansLinkToTheirParents) {
+  TracerGuard guard(TracerOptions{});
+  {
+    TraceSpan a("test.nest.a");
+    {
+      TraceSpan b("test.nest.b");
+      TraceSpan c("test.nest.c");
+      EXPECT_TRUE(c.recording());
+    }
+  }
+  const std::vector<SpanRecord> spans = Tracer::Global().CapturedSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  const SpanRecord* a = FindByName(spans, "test.nest.a");
+  const SpanRecord* b = FindByName(spans, "test.nest.b");
+  const SpanRecord* c = FindByName(spans, "test.nest.c");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(a->parent_id, 0u);
+  EXPECT_EQ(b->parent_id, a->id);
+  EXPECT_EQ(c->parent_id, b->id);
+  EXPECT_NE(a->id, b->id);
+  EXPECT_NE(b->id, c->id);
+  // Children close first, so they precede their parents in capture order.
+  EXPECT_GE(a->duration_us, 0.0);
+  EXPECT_LE(b->start_us, c->start_us);
+}
+
+TEST(TraceSpanTest, ArgsAreCapturedUpToTheLimit) {
+  TracerGuard guard(TracerOptions{});
+  {
+    TraceSpan span("test.args");
+    span.AddArg("k", 7.0);
+    span.AddArg("evals", 123.0);
+    span.AddArg("overflow", 1.0);  // beyond kMaxSpanArgs: dropped
+  }
+  const std::vector<SpanRecord> spans = Tracer::Global().CapturedSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].num_args, kMaxSpanArgs);
+  EXPECT_STREQ(spans[0].args[0].key, "k");
+  EXPECT_DOUBLE_EQ(spans[0].args[0].value, 7.0);
+  EXPECT_STREQ(spans[0].args[1].key, "evals");
+  EXPECT_DOUBLE_EQ(spans[0].args[1].value, 123.0);
+}
+
+TEST(TracerTest, RingOverflowDropsNewestAndCounts) {
+  TracerOptions options;
+  options.ring_capacity = 8;
+  TracerGuard guard(options);
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span("test.overflow");
+  }
+  EXPECT_EQ(Tracer::Global().CapturedCount(), 8u);
+  EXPECT_EQ(Tracer::Global().DroppedCount(), 12u);
+  // Keep-oldest: the survivors are the first eight spans (ids 1..8), so
+  // captured parents are never orphaned by later overflow.
+  const std::vector<SpanRecord> spans = Tracer::Global().CapturedSpans();
+  ASSERT_EQ(spans.size(), 8u);
+  for (const SpanRecord& s : spans) EXPECT_LE(s.id, 8u);
+}
+
+TEST(TracerTest, SamplingIsDeterministicUnderAFixedSeed) {
+  TracerOptions options;
+  options.sample_probability = 0.5;
+  options.sample_seed = 42;
+
+  // Runs 200 root spans, each tagged with its sequence index, and returns
+  // the set of indices that were captured.
+  auto run = [&options]() {
+    Tracer::Global().Start(options);
+    for (int i = 0; i < 200; ++i) {
+      TraceSpan span("test.sample");
+      span.AddArg("i", static_cast<double>(i));
+    }
+    Tracer::Global().Stop();
+    std::set<int> captured;
+    for (const SpanRecord& s : Tracer::Global().CapturedSpans()) {
+      EXPECT_EQ(s.num_args, 1u) << "sampled root lost its arg";
+      if (s.num_args == 1) captured.insert(static_cast<int>(s.args[0].value));
+    }
+    return captured;
+  };
+
+  const std::set<int> first = run();
+  // p = 0.5 over 200 trials: expect a two-sided but non-degenerate split.
+  EXPECT_GT(first.size(), 50u);
+  EXPECT_LT(first.size(), 150u);
+  EXPECT_EQ(first, run());
+
+  // A different seed flips at least one decision over 200 roots.
+  options.sample_seed = 43;
+  EXPECT_NE(first, run());
+}
+
+TEST(TracerTest, SampleProbabilityExtremes) {
+  TracerOptions options;
+  options.sample_probability = 0.0;
+  {
+    TracerGuard guard(options);
+    for (int i = 0; i < 50; ++i) TraceSpan span("test.none");
+    EXPECT_EQ(Tracer::Global().CapturedCount(), 0u);
+  }
+  options.sample_probability = 1.0;
+  {
+    TracerGuard guard(options);
+    for (int i = 0; i < 50; ++i) TraceSpan span("test.all");
+    EXPECT_EQ(Tracer::Global().CapturedCount(), 50u);
+  }
+}
+
+TEST(TracerTest, SlowRootsAreLoggedRegardlessOfSampling) {
+  TracerOptions options;
+  options.sample_probability = 0.0;  // slow-query log only
+  options.slow_query_us = 0.0;       // every root qualifies
+  TracerGuard guard(options);
+  {
+    TraceSpan root("test.slow.root");
+    TraceSpan child("test.slow.child");  // non-root: never in the slow log
+  }
+  EXPECT_EQ(Tracer::Global().CapturedCount(), 0u);
+  EXPECT_EQ(Tracer::Global().SlowCount(), 1u);
+  const std::vector<SpanRecord> slow = Tracer::Global().SlowQueries();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_STREQ(slow[0].name, "test.slow.root");
+  EXPECT_TRUE(slow[0].slow);
+  EXPECT_NE(slow[0].id, 0u);
+}
+
+TEST(TracerTest, SlowThresholdSeparatesFastFromSlow) {
+  TracerOptions options;
+  options.sample_probability = 0.0;
+  options.slow_query_us = 1000.0;  // 1 ms
+  TracerGuard guard(options);
+  {
+    TraceSpan fast("test.threshold.fast");
+  }
+  EXPECT_EQ(Tracer::Global().SlowCount(), 0u);
+  {
+    TraceSpan slow("test.threshold.slow");
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  EXPECT_EQ(Tracer::Global().SlowCount(), 1u);
+  const std::vector<SpanRecord> slow = Tracer::Global().SlowQueries();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_STREQ(slow[0].name, "test.threshold.slow");
+  EXPECT_GE(slow[0].duration_us, 1000.0);
+}
+
+TEST(TracerTest, EnableSlowQueryCaptureAdjustsARunningTracer) {
+  TracerGuard guard(TracerOptions{});
+  Tracer::Global().EnableSlowQueryCapture(0.0);
+  EXPECT_DOUBLE_EQ(Tracer::Global().slow_query_threshold_us(), 0.0);
+  {
+    TraceSpan span("test.adjust");
+  }
+  EXPECT_EQ(Tracer::Global().SlowCount(), 1u);
+  // Raising the threshold takes effect immediately.
+  Tracer::Global().EnableSlowQueryCapture(1e12);
+  {
+    TraceSpan span("test.adjust2");
+  }
+  EXPECT_EQ(Tracer::Global().SlowCount(), 1u);
+}
+
+TEST(TracerTest, InternNameReturnsStablePointers) {
+  const char* a = Tracer::InternName("test.intern.alpha");
+  const char* b = Tracer::InternName("test.intern.alpha");
+  const char* c = Tracer::InternName("test.intern.beta");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_STREQ(a, "test.intern.alpha");
+  EXPECT_STREQ(c, "test.intern.beta");
+}
+
+TEST(TracerTest, ChromeTraceJsonExportsNestedSpans) {
+  TracerGuard guard(TracerOptions{});
+  {
+    TraceSpan a("test.chrome.a");
+    TraceSpan b("test.chrome.b");
+  }
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("test.chrome.a"), std::string::npos);
+  EXPECT_NE(json.find("test.chrome.b"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "cohere_trace_test.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeTrace(path).ok());
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(Tracer::Global()
+                   .WriteChromeTrace("/nonexistent-dir/trace.json")
+                   .ok());
+}
+
+TEST(TracerTest, EngineQueryProducesEngineToBackendSpanTree) {
+  LatentFactorConfig config;
+  config.num_records = 120;
+  config.num_attributes = 24;
+  config.num_concepts = 4;
+  config.seed = 7;
+  const Dataset data = GenerateLatentFactor(config);
+
+  TracerGuard guard(TracerOptions{});
+  EngineOptions options;
+  options.backend = IndexBackend::kKdTree;
+  Result<ReducedSearchEngine> engine = ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+  (void)engine->Query(data.Record(0), 3);
+
+  const std::vector<SpanRecord> spans = Tracer::Global().CapturedSpans();
+  const SpanRecord* query = FindByName(spans, "engine.query");
+  const SpanRecord* project = FindByName(spans, "engine.project");
+  const SpanRecord* backend = FindByName(spans, "index.kd_tree.query");
+  const SpanRecord* build = FindByName(spans, "engine.build");
+  const SpanRecord* fit = FindByName(spans, "pipeline.fit");
+  ASSERT_NE(query, nullptr);
+  ASSERT_NE(project, nullptr);
+  ASSERT_NE(backend, nullptr);
+  ASSERT_NE(build, nullptr);
+  ASSERT_NE(fit, nullptr);
+  EXPECT_EQ(query->parent_id, 0u);
+  EXPECT_EQ(project->parent_id, query->id);
+  EXPECT_EQ(backend->parent_id, query->id);
+  EXPECT_EQ(fit->parent_id, build->id);
+  // The backend span carries the query's k as an arg.
+  ASSERT_GE(backend->num_args, 1u);
+  EXPECT_STREQ(backend->args[0].key, "k");
+  EXPECT_DOUBLE_EQ(backend->args[0].value, 3.0);
+}
+
+TEST(TracerTest, SlowQueryLogCapsAtCapacity) {
+  TracerOptions options;
+  options.sample_probability = 0.0;
+  options.slow_query_us = 0.0;
+  TracerGuard guard(options);
+  const size_t n = Tracer::kSlowLogCapacity + 20;
+  for (size_t i = 0; i < n; ++i) {
+    TraceSpan span("test.slowcap");
+  }
+  EXPECT_EQ(Tracer::Global().SlowCount(), n);
+  EXPECT_EQ(Tracer::Global().SlowQueries().size(), Tracer::kSlowLogCapacity);
+}
+
+// Exercised under TSAN by scripts/tier1.sh (--gtest_filter='*Concurrent*'):
+// pool lanes emit nested spans while another lane snapshots the ring.
+TEST(TracerTest, ConcurrentSpansFromPoolThreadsAreCapturedSafely) {
+  TracerOptions options;
+  options.ring_capacity = 1 << 12;
+  TracerGuard guard(options);
+  SetParallelThreadCount(4);
+  constexpr size_t kItems = 600;
+  ParallelFor(0, kItems, /*grain=*/16, [](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      TraceSpan root("test.concurrent.root");
+      TraceSpan child("test.concurrent.child");
+      if (i % 37 == 0) {
+        // Readers may run concurrently with writers.
+        (void)Tracer::Global().CapturedSpans();
+        (void)Tracer::Global().ToChromeTraceJson();
+      }
+    }
+  });
+  SetParallelThreadCount(0);
+  EXPECT_EQ(Tracer::Global().CapturedCount() + Tracer::Global().DroppedCount(),
+            2 * kItems);
+  // Every captured child names its parent, and the parent is in the ring
+  // (keep-oldest drop policy).
+  const std::vector<SpanRecord> spans = Tracer::Global().CapturedSpans();
+  std::set<uint64_t> ids;
+  for (const SpanRecord& s : spans) ids.insert(s.id);
+  for (const SpanRecord& s : spans) {
+    if (std::string(s.name) == "test.concurrent.child") {
+      EXPECT_NE(s.parent_id, 0u);
+    }
+  }
+}
+
+TEST(TracerTest, EngineOptionsSlowThresholdFeedsTheSlowLog) {
+  LatentFactorConfig config;
+  config.num_records = 80;
+  config.num_attributes = 16;
+  config.seed = 11;
+  const Dataset data = GenerateLatentFactor(config);
+
+  Tracer::Global().Stop();
+  EngineOptions options;
+  options.backend = IndexBackend::kLinearScan;
+  options.trace_slow_query_us = 0.001;  // everything is "slow"
+  Result<ReducedSearchEngine> engine = ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(Tracer::Enabled());
+  const uint64_t before = Tracer::Global().SlowCount();
+  (void)engine->Query(data.Record(0), 2);
+  EXPECT_GT(Tracer::Global().SlowCount(), before);
+  const std::vector<SpanRecord> slow = Tracer::Global().SlowQueries();
+  ASSERT_FALSE(slow.empty());
+  EXPECT_STREQ(slow.back().name, "engine.query");
+  Tracer::Global().Stop();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cohere

@@ -1,0 +1,440 @@
+// cohere_bench: the canonical performance-trajectory harness.
+//
+//   cohere_bench [--suite smoke|standard] [--out FILE] [--queries N] [--list]
+//
+// Runs a fixed grid of k-NN benchmark cases — per-backend query latency and
+// throughput at several (d', k) points, on synthetic and UCI-like data, in
+// serial (engine.Query loop) and pooled (engine.QueryBatch) modes, at
+// reduced and full dimensionality — and writes one schema-versioned JSON
+// document (`BENCH_<suite>.json` by default). Latency quantiles come from
+// interval deltas of the `index.<backend>.query_latency_us` registry
+// histograms (obs::LatencyHistogram::Bins), work counts from the matching
+// counters, throughput from wall clock, so the numbers are exactly what the
+// observability layer reports in production.
+//
+// `scripts/bench_compare.py OLD NEW` diffs two such documents and exits
+// nonzero on regression; `scripts/tier1.sh` runs the smoke suite as a gate.
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "data/uci_like.h"
+#include "obs/metrics.h"
+
+namespace cohere {
+namespace {
+
+/// Schema identifier stamped into every emitted document. Bump on any
+/// backwards-incompatible change and teach bench_compare.py both versions.
+constexpr const char* kBenchSchema = "cohere.bench.v1";
+
+/// target_dim sentinel: index at full (rotated) dimensionality — every
+/// principal component is kept, so distances match the original space.
+constexpr size_t kFullDim = static_cast<size_t>(-1);
+
+/// One cell of the benchmark grid.
+struct CaseSpec {
+  const char* dataset;   ///< Key into MakeDataset.
+  IndexBackend backend;
+  size_t target_dim;     ///< 0 = automatic (coherence cut), kFullDim = all.
+  size_t k;
+  bool pooled;           ///< QueryBatch across the pool vs serial Query loop.
+  bool gate;             ///< Regression-gated by bench_compare.py.
+};
+
+/// The smoke suite: one pass is a few hundred milliseconds, small enough to
+/// run in tier-1 CI, but still covering backend x (d', k) x execution-mode
+/// variation. Pooled series are not gated — their latency depends on the
+/// machine's core count.
+const CaseSpec kSmokeSuite[] = {
+    {"synthetic", IndexBackend::kLinearScan, 0, 4, false, true},
+    {"synthetic", IndexBackend::kKdTree, 0, 4, false, true},
+    {"synthetic", IndexBackend::kVaFile, 0, 4, false, true},
+    {"synthetic", IndexBackend::kKdTree, 4, 2, false, true},
+    {"synthetic", IndexBackend::kKdTree, 8, 8, false, true},
+    {"synthetic", IndexBackend::kKdTree, kFullDim, 4, false, true},
+    {"synthetic", IndexBackend::kKdTree, 0, 4, true, false},
+    {"ionosphere_like", IndexBackend::kLinearScan, 0, 4, false, true},
+    {"ionosphere_like", IndexBackend::kKdTree, 0, 4, false, true},
+};
+
+/// The standard suite: the full dataset grid the paper's experiments walk —
+/// all three UCI stand-ins plus synthetic, four backends, reduced vs full
+/// dimensionality, small and large k.
+const CaseSpec kStandardSuite[] = {
+    // synthetic
+    {"synthetic", IndexBackend::kLinearScan, 0, 10, false, true},
+    {"synthetic", IndexBackend::kKdTree, 0, 10, false, true},
+    {"synthetic", IndexBackend::kVaFile, 0, 10, false, true},
+    {"synthetic", IndexBackend::kVpTree, 0, 10, false, true},
+    {"synthetic", IndexBackend::kKdTree, 4, 1, false, true},
+    {"synthetic", IndexBackend::kKdTree, 8, 10, false, true},
+    {"synthetic", IndexBackend::kKdTree, kFullDim, 10, false, true},
+    {"synthetic", IndexBackend::kKdTree, 0, 10, true, false},
+    // musk_like (166 attributes; the paper's optimum keeps 13)
+    {"musk_like", IndexBackend::kLinearScan, 0, 10, false, true},
+    {"musk_like", IndexBackend::kKdTree, 13, 10, false, true},
+    {"musk_like", IndexBackend::kVaFile, 13, 10, false, true},
+    {"musk_like", IndexBackend::kKdTree, kFullDim, 10, false, true},
+    {"musk_like", IndexBackend::kKdTree, 13, 10, true, false},
+    // ionosphere_like (34 attributes; optimum at 10)
+    {"ionosphere_like", IndexBackend::kLinearScan, 0, 10, false, true},
+    {"ionosphere_like", IndexBackend::kKdTree, 10, 10, false, true},
+    {"ionosphere_like", IndexBackend::kVpTree, 10, 10, false, true},
+    {"ionosphere_like", IndexBackend::kKdTree, kFullDim, 10, false, true},
+    // arrhythmia_like (279 attributes; optimum at 10)
+    {"arrhythmia_like", IndexBackend::kLinearScan, 0, 10, false, true},
+    {"arrhythmia_like", IndexBackend::kKdTree, 10, 10, false, true},
+    {"arrhythmia_like", IndexBackend::kVaFile, 10, 10, false, true},
+    {"arrhythmia_like", IndexBackend::kKdTree, kFullDim, 10, false, true},
+    {"arrhythmia_like", IndexBackend::kKdTree, 10, 10, true, false},
+};
+
+Dataset MakeDataset(const std::string& key) {
+  if (key == "synthetic") {
+    LatentFactorConfig config;
+    config.num_records = 320;
+    config.num_attributes = 48;
+    config.num_concepts = 6;
+    config.num_classes = 2;
+    config.seed = 9001;
+    return GenerateLatentFactor(config);
+  }
+  if (key == "musk_like") return MuskLike();
+  if (key == "ionosphere_like") return IonosphereLike();
+  if (key == "arrhythmia_like") return ArrhythmiaLike();
+  std::fprintf(stderr, "unknown benchmark dataset '%s'\n", key.c_str());
+  std::abort();
+}
+
+/// FNV-1a over the dataset's feature bytes (plus its shape), so two BENCH
+/// documents can prove they measured the same inputs.
+uint64_t DatasetFingerprint(const Dataset& dataset) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, size_t bytes) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const uint64_t rows = dataset.NumRecords();
+  const uint64_t cols = dataset.NumAttributes();
+  mix(&rows, sizeof(rows));
+  mix(&cols, sizeof(cols));
+  mix(dataset.features().data(), rows * cols * sizeof(double));
+  return h;
+}
+
+std::string DimLabel(size_t target_dim) {
+  if (target_dim == 0) return "dauto";
+  if (target_dim == kFullDim) return "dfull";
+  return "d" + std::to_string(target_dim);
+}
+
+std::string SeriesName(const CaseSpec& spec) {
+  return std::string(spec.dataset) + "." + IndexBackendName(spec.backend) +
+         "." + DimLabel(spec.target_dim) + ".k" + std::to_string(spec.k) +
+         (spec.pooled ? ".pooled" : ".serial");
+}
+
+/// %.17g formatting: round-trips doubles and keeps the JSON diffable.
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct SeriesResult {
+  std::string name;
+  const CaseSpec* spec = nullptr;
+  uint64_t dataset_fingerprint = 0;
+  size_t reduced_dims = 0;
+  size_t num_queries = 0;
+  double wall_us = 0.0;
+  double throughput_qps = 0.0;
+  obs::LatencyHistogram::Bins latency;
+  uint64_t distance_evaluations = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t candidates_refined = 0;
+};
+
+struct WorkSnapshot {
+  obs::LatencyHistogram::Bins latency;
+  uint64_t distance_evaluations = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t candidates_refined = 0;
+};
+
+WorkSnapshot TakeWorkSnapshot(const std::string& scope) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  WorkSnapshot snap;
+  snap.latency =
+      registry.GetHistogram(scope + ".query_latency_us")->SnapshotBins();
+  snap.distance_evaluations =
+      registry.GetCounter(scope + ".distance_evaluations")->Value();
+  snap.nodes_visited = registry.GetCounter(scope + ".nodes_visited")->Value();
+  snap.candidates_refined =
+      registry.GetCounter(scope + ".candidates_refined")->Value();
+  return snap;
+}
+
+Result<SeriesResult> RunCase(const CaseSpec& spec, const Dataset& dataset,
+                             size_t num_queries) {
+  EngineOptions options;
+  options.backend = spec.backend;
+  options.metric = MetricKind::kEuclidean;
+  if (spec.target_dim == kFullDim) {
+    // Keep every principal component: a pure rotation, so the index serves
+    // the original-space distances — the paper's unreduced baseline.
+    options.reduction.strategy = SelectionStrategy::kEigenvalueOrder;
+    options.reduction.target_dim = dataset.NumAttributes();
+  } else {
+    options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+    options.reduction.target_dim = spec.target_dim;  // 0 = automatic cut
+  }
+
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(dataset, options);
+  if (!engine.ok()) return engine.status();
+
+  const size_t nq = std::min(num_queries, dataset.NumRecords());
+  Matrix queries(nq, dataset.NumAttributes());
+  for (size_t i = 0; i < nq; ++i) queries.SetRow(i, dataset.Record(i));
+
+  // Touch the path once so lazy metric registration, pool spin-up and cache
+  // warming happen outside the measured interval.
+  (void)engine->Query(dataset.Record(0), spec.k);
+
+  const std::string scope =
+      "index." + std::string(IndexBackendName(spec.backend));
+  const WorkSnapshot before = TakeWorkSnapshot(scope);
+
+  Stopwatch wall;
+  if (spec.pooled) {
+    (void)engine->QueryBatch(queries, spec.k);
+  } else {
+    Vector query(dataset.NumAttributes());
+    for (size_t i = 0; i < nq; ++i) {
+      const double* src = queries.RowPtr(i);
+      std::copy(src, src + queries.cols(), query.data());
+      (void)engine->Query(query, spec.k);
+    }
+  }
+  const double wall_us = wall.ElapsedMicros();
+  const WorkSnapshot after = TakeWorkSnapshot(scope);
+
+  SeriesResult out;
+  out.name = SeriesName(spec);
+  out.spec = &spec;
+  out.dataset_fingerprint = DatasetFingerprint(dataset);
+  out.reduced_dims = engine->ReducedDims();
+  out.num_queries = nq;
+  out.wall_us = wall_us;
+  out.throughput_qps =
+      wall_us > 0.0 ? static_cast<double>(nq) / (wall_us * 1e-6) : 0.0;
+  out.latency =
+      obs::LatencyHistogram::Delta(before.latency, after.latency);
+  out.distance_evaluations =
+      after.distance_evaluations - before.distance_evaluations;
+  out.nodes_visited = after.nodes_visited - before.nodes_visited;
+  out.candidates_refined =
+      after.candidates_refined - before.candidates_refined;
+  return out;
+}
+
+void AppendSeriesJson(const SeriesResult& r, std::string* out) {
+  const CaseSpec& spec = *r.spec;
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.dataset_fingerprint);
+  *out += "    {\n";
+  *out += "      \"name\": \"" + r.name + "\",\n";
+  *out += "      \"dataset\": \"" + std::string(spec.dataset) + "\",\n";
+  *out += "      \"dataset_fingerprint\": \"" + std::string(fp) + "\",\n";
+  *out += "      \"backend\": \"" +
+          std::string(IndexBackendName(spec.backend)) + "\",\n";
+  *out += "      \"target_dim\": \"" + DimLabel(spec.target_dim) + "\",\n";
+  *out += "      \"reduced_dims\": " + std::to_string(r.reduced_dims) + ",\n";
+  *out += "      \"k\": " + std::to_string(spec.k) + ",\n";
+  *out += "      \"mode\": \"" +
+          std::string(spec.pooled ? "pooled" : "serial") + "\",\n";
+  *out += "      \"gate\": " + std::string(spec.gate ? "true" : "false") +
+          ",\n";
+  *out += "      \"queries\": " + std::to_string(r.num_queries) + ",\n";
+  *out += "      \"wall_us\": " + Num(r.wall_us) + ",\n";
+  *out += "      \"throughput_qps\": " + Num(r.throughput_qps) + ",\n";
+  *out += "      \"latency_us\": {";
+  *out += "\"count\": " + std::to_string(r.latency.TotalCount());
+  *out += ", \"mean\": " + Num(r.latency.Mean());
+  *out += ", \"p50\": " + Num(r.latency.Quantile(0.5));
+  *out += ", \"p95\": " + Num(r.latency.Quantile(0.95));
+  *out += ", \"p99\": " + Num(r.latency.Quantile(0.99));
+  *out += ", \"max\": " + Num(r.latency.max);
+  *out += "},\n";
+  *out += "      \"work\": {";
+  *out += "\"distance_evaluations\": " +
+          std::to_string(r.distance_evaluations);
+  *out += ", \"nodes_visited\": " + std::to_string(r.nodes_visited);
+  *out += ", \"candidates_refined\": " + std::to_string(r.candidates_refined);
+  *out += "}\n";
+  *out += "    }";
+}
+
+std::string RenderDocument(const std::string& suite, size_t num_queries,
+                           const std::vector<SeriesResult>& series) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string(kBenchSchema) + "\",\n";
+  out += "  \"suite\": \"" + suite + "\",\n";
+  out += "  \"generated_by\": \"cohere_bench\",\n";
+  out += "  \"machine\": {";
+  out += "\"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency());
+  out += ", \"pool_threads\": " + std::to_string(ParallelThreadCount());
+  out += ", \"pointer_bits\": " + std::to_string(sizeof(void*) * 8);
+#ifdef NDEBUG
+  out += ", \"assertions\": false";
+#else
+  out += ", \"assertions\": true";
+#endif
+  out += ", \"compiler\": \"" __VERSION__ "\"";
+  out += "},\n";
+  out += "  \"config\": {\"queries_per_case\": " +
+         std::to_string(num_queries) + "},\n";
+  out += "  \"series\": [\n";
+  for (size_t i = 0; i < series.size(); ++i) {
+    AppendSeriesJson(series[i], &out);
+    out += i + 1 < series.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cohere_bench [--suite smoke|standard] [--out FILE]\n"
+               "                    [--queries N] [--list]\n"
+               "  --suite    case grid to run (default smoke)\n"
+               "  --out      output path (default BENCH_<suite>.json)\n"
+               "  --queries  queries per case (default: 64 smoke, 256 "
+               "standard)\n"
+               "  --list     print the suite's series names and exit\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  std::string suite = "smoke";
+  std::string out_path;
+  size_t num_queries = 0;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--suite") {
+      suite = value();
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--queries") {
+      Result<long long> parsed = ParseInt(value());
+      if (!parsed.ok() || *parsed <= 0) {
+        std::fprintf(stderr, "bad --queries value\n");
+        return 2;
+      }
+      num_queries = static_cast<size_t>(*parsed);
+    } else if (arg == "--list") {
+      list_only = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  const CaseSpec* cases = nullptr;
+  size_t num_cases = 0;
+  if (suite == "smoke") {
+    cases = kSmokeSuite;
+    num_cases = sizeof(kSmokeSuite) / sizeof(kSmokeSuite[0]);
+    if (num_queries == 0) num_queries = 64;
+  } else if (suite == "standard") {
+    cases = kStandardSuite;
+    num_cases = sizeof(kStandardSuite) / sizeof(kStandardSuite[0]);
+    if (num_queries == 0) num_queries = 256;
+  } else {
+    std::fprintf(stderr, "unknown suite '%s' (want smoke or standard)\n",
+                 suite.c_str());
+    return 2;
+  }
+  if (out_path.empty()) out_path = "BENCH_" + suite + ".json";
+
+  if (list_only) {
+    for (size_t i = 0; i < num_cases; ++i) {
+      std::printf("%s\n", SeriesName(cases[i]).c_str());
+    }
+    return 0;
+  }
+
+  if (!obs::MetricsRegistry::Enabled()) {
+    std::fprintf(stderr,
+                 "cohere_bench needs the metrics registry (unset "
+                 "COHERE_METRICS)\n");
+    return 2;
+  }
+
+  std::map<std::string, Dataset> datasets;
+  std::vector<SeriesResult> series;
+  series.reserve(num_cases);
+  for (size_t i = 0; i < num_cases; ++i) {
+    const CaseSpec& spec = cases[i];
+    auto it = datasets.find(spec.dataset);
+    if (it == datasets.end()) {
+      it = datasets.emplace(spec.dataset, MakeDataset(spec.dataset)).first;
+    }
+    Result<SeriesResult> result = RunCase(spec, it->second, num_queries);
+    if (!result.ok()) {
+      std::fprintf(stderr, "case %s failed: %s\n",
+                   SeriesName(spec).c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%-44s p50 %8.2f us  %10.0f q/s\n",
+                 result->name.c_str(), result->latency.Quantile(0.5),
+                 result->throughput_qps);
+    series.push_back(std::move(*result));
+  }
+
+  const std::string rendered = RenderDocument(suite, num_queries, series);
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const size_t written = std::fwrite(rendered.data(), 1, rendered.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != rendered.size() || !closed) {
+    std::fprintf(stderr, "short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu series to %s\n", series.size(),
+               out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace cohere
+
+int main(int argc, char** argv) { return cohere::Main(argc, argv); }

@@ -10,12 +10,16 @@
 //
 // Every command additionally accepts `--metrics text|json` to dump the
 // process-wide observability registry (counters, gauges, latency histogram
-// quantiles) after the command finishes, and `--metrics-out FILE` to write
-// the snapshot to a file instead of stdout.
+// quantiles) after the command finishes, `--metrics-out FILE` to write the
+// snapshot to a file (implies `--metrics text` when the format flag is
+// absent), and `--trace-out FILE` to capture the command under the
+// structured tracer and write a Chrome trace_event JSON file loadable in
+// Perfetto. An unwritable output path is a hard error (nonzero exit).
 //
 // Data files ending in .arff are parsed as ARFF; anything else as CSV with
 // the last column as the class attribute (use --no-label for unlabeled
 // CSV). Missing values are mean-imputed.
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -24,6 +28,7 @@
 #include "common/string_util.h"
 #include "core/engine.h"
 #include "obs/metrics.h"
+#include "obs/tracing.h"
 #include "data/arff.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
@@ -271,16 +276,25 @@ int Usage() {
                "  --metrics text|json   dump the observability registry "
                "after the command\n"
                "  --metrics-out FILE    write the snapshot to FILE instead "
-               "of stdout\n");
+               "of stdout\n"
+               "                        (implies --metrics text)\n"
+               "  --trace-out FILE      trace the command and write Chrome "
+               "trace_event JSON\n"
+               "                        (open in Perfetto / "
+               "chrome://tracing)\n");
   return 2;
 }
 
 // Renders the registry per --metrics/--metrics-out; 0 on success (or when
-// --metrics is absent), nonzero on a bad format or unwritable output file.
+// neither flag is given), nonzero on a bad format or unwritable output
+// file. `--metrics-out` alone implies text format — the snapshot must never
+// be dropped silently when the user asked for an output file.
 int EmitMetrics(const Args& args) {
   auto format_it = args.flags.find("metrics");
-  if (format_it == args.flags.end()) return 0;
-  const std::string& format = format_it->second;
+  auto out_it = args.flags.find("metrics-out");
+  if (format_it == args.flags.end() && out_it == args.flags.end()) return 0;
+  const std::string format =
+      format_it == args.flags.end() ? "text" : format_it->second;
 
   const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
   std::string rendered;
@@ -294,12 +308,11 @@ int EmitMetrics(const Args& args) {
     return 1;
   }
 
-  auto out_it = args.flags.find("metrics-out");
   if (out_it != args.flags.end() && !out_it->second.empty()) {
     FILE* f = std::fopen(out_it->second.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "cannot write metrics to %s\n",
-                   out_it->second.c_str());
+      std::fprintf(stderr, "cannot write metrics to %s: %s\n",
+                   out_it->second.c_str(), std::strerror(errno));
       return 1;
     }
     std::fputs(rendered.c_str(), f);
@@ -336,16 +349,51 @@ int Dispatch(const std::string& command, const Args& args) {
   return Usage();
 }
 
+// Writes the captured trace per --trace-out; 0 on success (or when the
+// flag is absent), nonzero on an unwritable output file.
+int EmitTrace(const Args& args) {
+  auto out_it = args.flags.find("trace-out");
+  if (out_it == args.flags.end()) return 0;
+  if (out_it->second.empty()) {
+    std::fprintf(stderr, "--trace-out requires a file path\n");
+    return 1;
+  }
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Stop();
+  const Status written = tracer.WriteChromeTrace(out_it->second);
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write trace to %s: %s\n",
+                 out_it->second.c_str(), written.ToString().c_str());
+    return 1;
+  }
+  std::printf("trace written to %s (%llu spans, %llu dropped)\n",
+              out_it->second.c_str(),
+              static_cast<unsigned long long>(tracer.CapturedCount()),
+              static_cast<unsigned long long>(tracer.DroppedCount()));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  // Flags are parsed before dispatch so --metrics works on every command,
-  // including `demo`.
+  // Flags are parsed before dispatch so --metrics/--trace-out work on every
+  // command, including `demo`.
   Args args = ParseArgs(argc, argv, 2);
 
+  if (args.flags.count("trace-out") != 0) {
+    // Capture everything the command does; the default ring is plenty for
+    // one CLI invocation. A COHERE_TRACE_SLOW_US threshold (applied by the
+    // tracer's env init before main) survives the restart.
+    obs::TracerOptions trace_options;
+    trace_options.slow_query_us =
+        obs::Tracer::Global().slow_query_threshold_us();
+    obs::Tracer::Global().Start(trace_options);
+  }
   const int rc = Dispatch(command, args);
   if (rc != 0) return rc;
-  return EmitMetrics(args);
+  const int metrics_rc = EmitMetrics(args);
+  if (metrics_rc != 0) return metrics_rc;
+  return EmitTrace(args);
 }
 
 }  // namespace
