@@ -6,18 +6,24 @@
 # build that re-runs the concurrency-sensitive suites, then an
 # UndefinedBehaviorSanitizer build that re-runs the numeric/metrics suites
 # (the histogram binning paths cast doubles around; UBSan is the regression
-# net for the non-finite-cast class of bug). Run from the repo root:
+# net for the non-finite-cast class of bug), then an AddressSanitizer build
+# that re-runs the suites exercising the failure paths, and finally a
+# fault-injection sweep: the robustness suite re-runs with each registered
+# COHERE_FAULT point forced at probability 1.0, proving every documented
+# failure outcome holds when its fault actually fires. Run from the repo
+# root:
 #
-#   scripts/tier1.sh [build-dir] [tsan-build-dir] [ubsan-build-dir]
+#   scripts/tier1.sh [build-dir] [tsan-build-dir] [ubsan-build-dir] [asan-build-dir]
 #
-# Set COHERE_SKIP_TSAN=1 / COHERE_SKIP_UBSAN=1 to skip a sanitizer stage
-# (e.g. on toolchains or kernels where it is unavailable).
+# Set COHERE_SKIP_TSAN=1 / COHERE_SKIP_UBSAN=1 / COHERE_SKIP_ASAN=1 to skip
+# a sanitizer stage (e.g. on toolchains or kernels where it is unavailable).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 TSAN_DIR="${2:-$ROOT/build-tsan}"
 UBSAN_DIR="${3:-$ROOT/build-ubsan}"
+ASAN_DIR="${4:-$ROOT/build-asan}"
 
 echo "==> tier-1: standard build"
 cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
@@ -82,5 +88,47 @@ else
   "$UBSAN_DIR/tests/stats_tests"
   "$UBSAN_DIR/tests/obs_tests"
 fi
+
+if [[ "${COHERE_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "==> tier-1: ASAN stage skipped (COHERE_SKIP_ASAN=1)"
+else
+  echo "==> tier-1: AddressSanitizer build"
+  cmake -B "$ASAN_DIR" -S "$ROOT" -DCOHERE_SANITIZE=address \
+    -DCOHERE_BUILD_BENCHMARKS=OFF >/dev/null
+  cmake --build "$ASAN_DIR" -j "$(nproc)" --target common_tests core_tests \
+    reduction_tests integration_tests
+
+  echo "==> tier-1: failure-path suites under ASAN"
+  "$ASAN_DIR/tests/common_tests" --gtest_filter='Fault*:Parallel*'
+  "$ASAN_DIR/tests/core_tests" --gtest_filter='DynamicEngine*'
+  "$ASAN_DIR/tests/reduction_tests" --gtest_filter='Pipeline*'
+  "$ASAN_DIR/tests/integration_tests"
+fi
+
+echo "==> tier-1: fault-injection sweep (each point at probability 1.0)"
+# The robustness suite documents one outcome per fault point; sweeping each
+# point armed unconditionally proves those outcomes hold when the fault
+# really fires, not just in the targeted Arm()-based tests.
+#
+# parallel.dispatch is special-cased: at p=1.0 it poisons *every* pooled
+# region in the process, so only the FaultMatrix tests (which disarm in
+# their fixture before touching the pool) can run under it.
+ROBUSTNESS_FILTER='RobustnessTest.*:PipelinePropertyTest.*'
+ROBUSTNESS_FILTER+=':SerializationIntegrationTest.*:FaultMatrix*'
+FAULT_POINTS=(
+  linalg.symmetric_eigen.converge linalg.jacobi_eigen.converge
+  linalg.power_iteration.converge linalg.svd.converge
+  data.loader.io reduction.fit.primary dynamic_index.refit
+  parallel.dispatch
+)
+for point in "${FAULT_POINTS[@]}"; do
+  filter="$ROBUSTNESS_FILTER"
+  if [[ "$point" == "parallel.dispatch" ]]; then
+    filter='FaultMatrix*'
+  fi
+  echo "==> tier-1: sweep COHERE_FAULT=$point:1.0"
+  COHERE_FAULT="$point:1.0" "$BUILD_DIR/tests/integration_tests" \
+    --gtest_filter="$filter" --gtest_brief=1
+done
 
 echo "==> tier-1: all stages passed"

@@ -1,0 +1,148 @@
+#ifndef COHERE_COMMON_FAULT_H_
+#define COHERE_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cohere {
+namespace fault {
+
+/// Deterministic fault injection for robustness testing.
+///
+/// A *fault point* is a named site in library code where a failure can be
+/// forced: a linalg routine pretending not to converge, a loader pretending
+/// the file is unreadable, a pool task throwing mid-dispatch. Points are
+/// armed programmatically (Arm/Disarm) or from the environment:
+///
+///   COHERE_FAULT=point[:probability[:seed]][,point2[:...]]...
+///
+/// e.g. COHERE_FAULT=linalg.svd.converge:1.0 or
+///      COHERE_FAULT=data.loader.io:0.25:42,parallel.dispatch:0.1
+///
+/// When nothing is armed the per-site cost is the same as disabled tracing:
+/// one relaxed atomic load (the global armed count) behind the
+/// COHERE_INJECT_FAULT macro — the code path is otherwise byte-identical.
+/// Probability draws use a per-point SplitMix64 stream keyed on
+/// (seed, draw ordinal), so a given (probability, seed) pair fires on the
+/// same draws in every run regardless of thread interleaving.
+///
+/// Each point keeps a trigger counter; the metrics registry surfaces them
+/// as `fault.<point>.triggers` counters in snapshots.
+
+/// One registered fault point. Instances are created lazily by Point() and
+/// leaked (never destroyed), so raw pointers stay valid for process life.
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string name) : name_(std::move(name)) {}
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  /// True when the point is armed and this draw fires. Increments the
+  /// trigger counter on fire. Thread-safe; deterministic for a fixed
+  /// (probability, seed) independent of interleaving.
+  bool ShouldFire();
+
+  const std::string& name() const { return name_; }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  std::uint64_t triggers() const {
+    return triggers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend void Arm(const std::string&, double, std::uint64_t);
+  friend void Disarm(const std::string&);
+  friend void DisarmAll();
+  friend void ResetCounters();
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  /// Probability in [0,1] scaled to 2^64; 0 means "always fire" sentinel is
+  /// not used — kAlways below marks probability >= 1.
+  std::atomic<std::uint64_t> threshold_{0};
+  std::atomic<bool> always_{false};
+  std::atomic<std::uint64_t> seed_{0};
+  std::atomic<std::uint64_t> draws_{0};
+  std::atomic<std::uint64_t> triggers_{0};
+};
+
+/// One relaxed load; true when at least one point is armed. The macro below
+/// short-circuits on this so unarmed call sites never touch the registry.
+bool AnyArmed();
+
+/// Returns the fault point registered under `name`, creating it on first
+/// use. The returned pointer is valid for the life of the process.
+FaultPoint* Point(const std::string& name);
+
+/// Arms `name` so it fires with `probability` (clamped to [0,1]) using
+/// `seed` for the deterministic draw stream.
+void Arm(const std::string& name, double probability = 1.0,
+         std::uint64_t seed = 0);
+
+/// Disarms `name` (no-op when the point was never registered or armed).
+void Disarm(const std::string& name);
+
+/// Disarms every registered point.
+void DisarmAll();
+
+/// Resets every point's trigger/draw counters (points stay armed).
+void ResetCounters();
+
+/// Snapshot row for one registered point.
+struct PointInfo {
+  std::string name;
+  bool armed = false;
+  std::uint64_t triggers = 0;
+};
+
+/// Every point registered so far (armed or not), sorted by name.
+std::vector<PointInfo> Points();
+
+/// Parses and applies a COHERE_FAULT-style spec:
+/// `point[:probability[:seed]]` entries separated by commas. Returns
+/// InvalidArgument (arming nothing further) on a malformed entry.
+Status ArmFromSpec(const std::string& spec);
+
+/// Thrown by fault points that live inside noexcept-free callback plumbing
+/// (thread-pool task dispatch) where a Status cannot be returned.
+class InjectedFaultError : public std::runtime_error {
+ public:
+  explicit InjectedFaultError(const std::string& point)
+      : std::runtime_error("injected fault: " + point) {}
+};
+
+// Catalog of the points wired into the library. Tests and the tier-1 fault
+// sweep iterate KnownPoints(); keep DESIGN.md §8 in sync when adding one.
+inline constexpr char kPointSymmetricEigen[] = "linalg.symmetric_eigen.converge";
+inline constexpr char kPointJacobiEigen[] = "linalg.jacobi_eigen.converge";
+inline constexpr char kPointPowerIteration[] = "linalg.power_iteration.converge";
+inline constexpr char kPointSvd[] = "linalg.svd.converge";
+inline constexpr char kPointLoaderIo[] = "data.loader.io";
+inline constexpr char kPointParallelDispatch[] = "parallel.dispatch";
+inline constexpr char kPointReductionFit[] = "reduction.fit.primary";
+inline constexpr char kPointDynamicRefit[] = "dynamic_index.refit";
+
+/// The wired-in catalog above, as a list (sorted by name).
+std::vector<std::string> KnownPoints();
+
+}  // namespace fault
+}  // namespace cohere
+
+/// `if (COHERE_INJECT_FAULT(fault::kPointSvd)) return Status::...;`
+///
+/// Disabled cost: one relaxed load of the armed count. The point pointer is
+/// resolved once per call site (function-local static) only after something
+/// is armed for the first time.
+#define COHERE_INJECT_FAULT(point_name)                         \
+  (::cohere::fault::AnyArmed() && [] {                          \
+    static ::cohere::fault::FaultPoint* cohere_fault_point =    \
+        ::cohere::fault::Point(point_name);                     \
+    return cohere_fault_point->ShouldFire();                    \
+  }())
+
+#endif  // COHERE_COMMON_FAULT_H_

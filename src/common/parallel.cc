@@ -11,12 +11,19 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace cohere {
 namespace {
 
 // Set inside pool workers so nested parallel regions degrade to serial
 // execution instead of deadlocking on the (single) pool.
 thread_local bool tls_in_pool_worker = false;
+
+// Pool tasks that died with an exception, for the whole process. Surfaced
+// as `parallel.task_failures` by the metrics registry (cohere_common cannot
+// link cohere_obs, so the registry pulls the value at snapshot time).
+std::atomic<std::uint64_t> g_task_failures{0};
 
 size_t AutoThreadCount() {
   if (const char* env = std::getenv("COHERE_THREADS")) {
@@ -112,6 +119,7 @@ class ThreadPool {
       try {
         fn(chunk);
       } catch (...) {
+        g_task_failures.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mu_);
         if (first_error_ == nullptr) first_error_ = std::current_exception();
       }
@@ -187,6 +195,14 @@ size_t ParallelChunkCount(size_t range, size_t grain) {
   return (range + grain - 1) / grain;
 }
 
+std::uint64_t ParallelTaskFailureCount() {
+  return g_task_failures.load(std::memory_order_relaxed);
+}
+
+void ResetParallelTaskFailureCount() {
+  g_task_failures.store(0, std::memory_order_relaxed);
+}
+
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body) {
   if (end <= begin) return;
@@ -198,6 +214,9 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   }
   const size_t chunks = ParallelChunkCount(range, grain);
   GetPool().Run(chunks, [&](size_t chunk) {
+    if (COHERE_INJECT_FAULT(fault::kPointParallelDispatch)) {
+      throw fault::InjectedFaultError(fault::kPointParallelDispatch);
+    }
     const size_t b = begin + chunk * grain;
     const size_t e = std::min(end, b + grain);
     body(b, e);
@@ -220,6 +239,9 @@ void ParallelForIndexed(
     return;
   }
   GetPool().Run(chunks, [&](size_t chunk) {
+    if (COHERE_INJECT_FAULT(fault::kPointParallelDispatch)) {
+      throw fault::InjectedFaultError(fault::kPointParallelDispatch);
+    }
     const size_t b = begin + chunk * grain;
     const size_t e = std::min(end, b + grain);
     body(chunk, b, e);

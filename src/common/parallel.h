@@ -2,6 +2,7 @@
 #define COHERE_COMMON_PARALLEL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace cohere {
@@ -58,6 +59,16 @@ void ParallelForIndexed(
 /// Number of chunks ParallelForIndexed uses for a range of `range` indices:
 /// ceil(range / max(grain, 1)); 0 for an empty range.
 size_t ParallelChunkCount(size_t range, size_t grain);
+
+/// Process-lifetime count of pool tasks that terminated with an exception.
+/// Each failed chunk counts once; the first exception per parallel region is
+/// additionally rethrown to the submitter. The metrics registry surfaces
+/// this as the `parallel.task_failures` counter.
+std::uint64_t ParallelTaskFailureCount();
+
+/// Resets the task-failure count (used by MetricsRegistry::ResetAll and
+/// tests).
+void ResetParallelTaskFailureCount();
 
 }  // namespace cohere
 

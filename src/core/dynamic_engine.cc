@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/fault.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/tracing.h"
 
@@ -31,6 +33,8 @@ Result<DynamicReducedIndex> DynamicReducedIndex::Build(
   index.query_metrics_ = &obs::QueryPathMetricsFor("dynamic_index");
   index.inserts_ = registry.GetCounter("dynamic_index.inserts");
   index.refits_ = registry.GetCounter("dynamic_index.refits");
+  index.refit_failures_ = registry.GetCounter("dynamic_index.refit_failures");
+  index.deadline_exceeded_ = registry.GetCounter("queries.deadline_exceeded");
   index.drift_gauge_ = registry.GetGauge("dynamic_index.drift_ratio");
 
   Result<ReductionPipeline> pipeline =
@@ -98,6 +102,7 @@ Status DynamicReducedIndex::Insert(const Vector& record, int label) {
   while (recent_errors_.size() > options_.drift_window) {
     recent_errors_.pop_front();
   }
+  if (backoff_remaining_inserts_ > 0) --backoff_remaining_inserts_;
   if (obs::MetricsRegistry::Enabled()) {
     inserts_->Increment();
     drift_gauge_->Set(DriftRatio());
@@ -108,6 +113,12 @@ Status DynamicReducedIndex::Insert(const Vector& record, int label) {
 std::vector<Neighbor> DynamicReducedIndex::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats) const {
+  return Query(original_space_query, k, skip_index, stats, QueryLimits{});
+}
+
+std::vector<Neighbor> DynamicReducedIndex::Query(
+    const Vector& original_space_query, size_t k, size_t skip_index,
+    QueryStats* stats, const QueryLimits& limits) const {
   COHERE_CHECK_EQ(original_space_query.size(), dims_);
   obs::TraceSpan span("dynamic_index.query");
   span.AddArg("k", static_cast<double>(k));
@@ -117,11 +128,15 @@ std::vector<Neighbor> DynamicReducedIndex::Query(
   const size_t reduced_dims = pipeline_.ReducedDims();
   const size_t n = labels_.size();
 
+  QueryControl control = QueryControl::FromLimits(limits);
+  QueryControl* control_ptr = limits.active() ? &control : nullptr;
+
   QueryStats local;
   KnnCollector collector(k);
   Vector row(reduced_dims);
   for (size_t i = 0; i < n; ++i) {
     if (i == skip_index) continue;
+    if (control_ptr != nullptr && control_ptr->ShouldStop()) break;
     std::copy(
         reduced_.begin() + static_cast<ptrdiff_t>(i * reduced_dims),
         reduced_.begin() + static_cast<ptrdiff_t>((i + 1) * reduced_dims),
@@ -130,6 +145,9 @@ std::vector<Neighbor> DynamicReducedIndex::Query(
     ++local.distance_evaluations;
     collector.Offer(i, comparable);
   }
+  if (control_ptr != nullptr && control_ptr->stopped()) {
+    local.truncated = true;
+  }
   std::vector<Neighbor> out = collector.Take();
   for (Neighbor& nb : out) {
     nb.distance = metric_->ComparableToActual(nb.distance);
@@ -137,7 +155,11 @@ std::vector<Neighbor> DynamicReducedIndex::Query(
   if (instrumented) {
     query_metrics_->Record(local.distance_evaluations, local.nodes_visited,
                            local.candidates_refined, watch.ElapsedMicros());
+    if (control_ptr != nullptr && control_ptr->deadline_exceeded()) {
+      deadline_exceeded_->Increment();
+    }
   }
+  if (local.truncated) span.AddArg("truncated", 1.0);
   if (stats != nullptr) stats->MergeFrom(local);
   return out;
 }
@@ -163,6 +185,7 @@ double DynamicReducedIndex::DriftRatio() const {
 }
 
 bool DynamicReducedIndex::NeedsRefit() const {
+  if (backoff_remaining_inserts_ > 0) return false;
   if (recent_errors_.size() * 4 < options_.drift_window) return false;
   return DriftRatio() > options_.drift_threshold;
 }
@@ -180,11 +203,34 @@ Status DynamicReducedIndex::Refit() {
   Dataset dataset(std::move(features));
   // Labels may be partially kNoLabel; the reduction does not need them.
 
-  Result<ReductionPipeline> pipeline =
-      ReductionPipeline::Fit(dataset, options_.reduction);
-  if (!pipeline.ok()) return pipeline.status();
+  // Build the replacement pipeline aside; nothing the index serves from is
+  // touched until the fit has succeeded, so a failed refit leaves the old
+  // projection answering queries exactly as before.
+  Result<ReductionPipeline> pipeline = [&]() -> Result<ReductionPipeline> {
+    if (COHERE_INJECT_FAULT(fault::kPointDynamicRefit)) {
+      return Status::NumericalError(
+          "injected fault: " + std::string(fault::kPointDynamicRefit));
+    }
+    return ReductionPipeline::Fit(dataset, options_.reduction);
+  }();
+  if (!pipeline.ok()) {
+    ++consecutive_refit_failures_;
+    backoff_remaining_inserts_ =
+        std::min(kRefitBackoffCapInserts,
+                 kRefitBackoffBaseInserts << std::min<size_t>(
+                     consecutive_refit_failures_ - 1, size_t{16}));
+    if (obs::MetricsRegistry::Enabled()) refit_failures_->Increment();
+    COHERE_LOG(Warning) << "DynamicReducedIndex::Refit failed ("
+                        << pipeline.status().ToString()
+                        << "); keeping the previous projection and backing "
+                           "off for " << backoff_remaining_inserts_
+                        << " inserts";
+    return pipeline.status();
+  }
   pipeline_ = std::move(*pipeline);
   fitted_records_ = n;
+  consecutive_refit_failures_ = 0;
+  backoff_remaining_inserts_ = 0;
   ReprojectAll();
 
   double error_sum = 0.0;
@@ -193,6 +239,7 @@ Status DynamicReducedIndex::Refit() {
   }
   baseline_error_ = error_sum / static_cast<double>(n);
   recent_errors_.clear();
+  if (obs::MetricsRegistry::Enabled()) refits_->Increment();
   return Status::Ok();
 }
 

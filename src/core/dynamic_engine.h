@@ -60,6 +60,13 @@ class DynamicReducedIndex {
                               size_t skip_index = KnnIndex::kNoSkip,
                               QueryStats* stats = nullptr) const;
 
+  /// Query under explicit limits: when the deadline passes or the token is
+  /// cancelled the scan stops at its next control check and returns the
+  /// best neighbors so far with `stats->truncated` set (see KnnIndex).
+  std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
+                              size_t skip_index, QueryStats* stats,
+                              const QueryLimits& limits) const;
+
   /// Total records currently indexed.
   size_t size() const { return labels_.size(); }
   /// Label of record `i` (kNoLabel when unlabeled).
@@ -74,12 +81,26 @@ class DynamicReducedIndex {
   /// Recent / baseline; 1 means "as fresh as at fit time".
   double DriftRatio() const;
   /// True when DriftRatio() exceeds the configured threshold and the window
-  /// holds enough observations (at least a quarter of drift_window).
+  /// holds enough observations (at least a quarter of drift_window) — and
+  /// the index is not inside the post-failure retry backoff (see Refit).
   bool NeedsRefit() const;
 
   /// Refits the reduction on all current records, reprojects everything and
   /// resets the drift monitor.
+  ///
+  /// Transactional: the replacement pipeline is built aside and swapped in
+  /// only on success. On failure (e.g. NumericalError) the index keeps
+  /// serving the previous projection unchanged, the
+  /// `dynamic_index.refit_failures` counter is bumped, and NeedsRefit()
+  /// goes quiet for a capped-exponential number of inserts so a poisoned
+  /// dataset cannot wedge the insert path in refit retries. An explicit
+  /// Refit() call always attempts (the backoff only gates the
+  /// recommendation); success resets the backoff.
   Status Refit();
+
+  /// Inserts remaining before NeedsRefit() may recommend again after a
+  /// failed refit (0 when not backing off).
+  size_t RefitBackoffRemaining() const { return backoff_remaining_inserts_; }
 
   const ReductionPipeline& pipeline() const { return pipeline_; }
 
@@ -110,12 +131,21 @@ class DynamicReducedIndex {
   double baseline_error_ = 0.0;
   std::deque<double> recent_errors_;
 
+  // Post-failure retry backoff: 8, 16, 32, ... up to 128 inserts between
+  // refit recommendations; reset by a successful Refit().
+  static constexpr size_t kRefitBackoffBaseInserts = 8;
+  static constexpr size_t kRefitBackoffCapInserts = 128;
+  size_t consecutive_refit_failures_ = 0;
+  size_t backoff_remaining_inserts_ = 0;
+
   // Registry metrics (process-lifetime pointers), resolved once at Build:
   // the query path reports through the shared "dynamic_index" bundle, and
   // the mutation path records insert/refit counters plus a drift gauge.
   const obs::QueryPathMetrics* query_metrics_ = nullptr;
   obs::Counter* inserts_ = nullptr;
   obs::Counter* refits_ = nullptr;
+  obs::Counter* refit_failures_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
   obs::Gauge* drift_gauge_ = nullptr;
 };
 

@@ -136,11 +136,19 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
 std::vector<Neighbor> ReducedSearchEngine::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats) const {
+  QueryLimits limits;
+  limits.deadline_us = options_.query_deadline_us;
+  return Query(original_space_query, k, skip_index, stats, limits);
+}
+
+std::vector<Neighbor> ReducedSearchEngine::Query(
+    const Vector& original_space_query, size_t k, size_t skip_index,
+    QueryStats* stats, const QueryLimits& limits) const {
   const bool instrumented = obs::MetricsRegistry::Enabled();
   if (!instrumented && !obs::Tracer::Enabled()) {
     // Both layers off: the exact uninstrumented path.
     const Vector reduced = pipeline_.TransformPoint(original_space_query);
-    return index_->Query(reduced, k, skip_index, stats);
+    return index_->Query(reduced, k, skip_index, stats, limits);
   }
   // Root span of the serial query path; the per-query sampling (and slow-
   // query) decision is made here, and the projection / backend phases below
@@ -153,11 +161,19 @@ std::vector<Neighbor> ReducedSearchEngine::Query(
     obs::TraceSpan project("engine.project");
     return pipeline_.TransformPoint(original_space_query);
   }();
-  return index_->Query(reduced, k, skip_index, stats);
+  return index_->Query(reduced, k, skip_index, stats, limits);
 }
 
 std::vector<std::vector<Neighbor>> ReducedSearchEngine::QueryBatch(
     const Matrix& original_space_queries, size_t k, QueryStats* stats) const {
+  QueryLimits limits;
+  limits.deadline_us = options_.query_deadline_us;
+  return QueryBatch(original_space_queries, k, stats, limits);
+}
+
+std::vector<std::vector<Neighbor>> ReducedSearchEngine::QueryBatch(
+    const Matrix& original_space_queries, size_t k, QueryStats* stats,
+    const QueryLimits& limits) const {
   obs::TraceSpan trace("engine.query_batch");
   obs::ScopedTimer timer(
       obs::MetricsRegistry::Enabled() ? batch_latency_us_ : nullptr);
@@ -175,7 +191,7 @@ std::vector<std::vector<Neighbor>> ReducedSearchEngine::QueryBatch(
       }
     });
   }
-  return index_->QueryBatch(reduced, k, stats);
+  return index_->QueryBatch(reduced, k, stats, limits);
 }
 
 std::string ReducedSearchEngine::Describe() const {

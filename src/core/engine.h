@@ -49,6 +49,14 @@ struct EngineOptions {
   /// configuration (the `COHERE_TRACE_SLOW_US` environment variable, else
   /// disabled); like num_threads, the most recently built engine wins.
   double trace_slow_query_us = 0.0;
+  /// Default wall-clock budget per Query (and per QueryBatch as a whole) in
+  /// microseconds; 0 disables. When the budget runs out the index traversal
+  /// stops at its next control check (every QueryControl::kCheckInterval
+  /// distance evaluations) and the best neighbors found so far come back
+  /// with `QueryStats::truncated` set — a bounded-time partial answer
+  /// instead of an unbounded exact one. Per-call QueryLimits override this
+  /// default.
+  double query_deadline_us = 0.0;
 };
 
 /// The library's top-level facade: fits a coherence-driven dimensionality
@@ -70,18 +78,33 @@ class ReducedSearchEngine {
                                            const EngineOptions& options);
 
   /// k nearest indexed records to a query given in the original attribute
-  /// space. `skip_index`/`stats` as in KnnIndex::Query.
+  /// space. `skip_index`/`stats` as in KnnIndex::Query. Honors
+  /// EngineOptions::query_deadline_us (the deadline covers the index
+  /// traversal; the projection is a fixed small cost).
   std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
                               size_t skip_index = KnnIndex::kNoSkip,
                               QueryStats* stats = nullptr) const;
 
+  /// Query under explicit per-call limits (overriding the engine default).
+  /// See KnnIndex::Query for deadline/cancellation semantics.
+  std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
+                              size_t skip_index, QueryStats* stats,
+                              const QueryLimits& limits) const;
+
   /// Batched form of Query: one original-space query per row. Rows are
   /// reduced and answered across the shared thread pool; entry i equals
   /// Query(queries.Row(i), k) exactly, and per-thread QueryStats are merged
-  /// into `stats`.
+  /// into `stats`. Honors EngineOptions::query_deadline_us as a batch-wide
+  /// budget.
   std::vector<std::vector<Neighbor>> QueryBatch(
       const Matrix& original_space_queries, size_t k,
       QueryStats* stats = nullptr) const;
+
+  /// QueryBatch under explicit per-call limits (overriding the engine
+  /// default). The deadline is batch-wide; see KnnIndex::QueryBatch.
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& original_space_queries, size_t k, QueryStats* stats,
+      const QueryLimits& limits) const;
 
   const ReductionPipeline& pipeline() const { return pipeline_; }
   const KnnIndex& index() const { return *index_; }

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace cohere {
@@ -239,6 +240,11 @@ Result<Dataset> ParseArff(const std::string& content) {
 }
 
 Result<Dataset> LoadArff(const std::string& path) {
+  if (COHERE_INJECT_FAULT(fault::kPointLoaderIo)) {
+    return Status::IoError("injected fault: " +
+                           std::string(fault::kPointLoaderIo) + " reading " +
+                           path);
+  }
   std::ifstream file(path);
   if (!file) return Status::IoError("cannot open " + path);
   std::ostringstream buffer;

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace cohere {
@@ -148,6 +149,11 @@ Result<Dataset> ParseCsv(const std::string& content,
 }
 
 Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options) {
+  if (COHERE_INJECT_FAULT(fault::kPointLoaderIo)) {
+    return Status::IoError("injected fault: " +
+                           std::string(fault::kPointLoaderIo) + " reading " +
+                           path);
+  }
   std::ifstream file(path);
   if (!file) return Status::IoError("cannot open " + path);
   std::ostringstream buffer;

@@ -99,7 +99,8 @@ double KdTreeIndex::BoxMinComparable(const Vector& query, const Node& node,
 
 std::vector<Neighbor> KdTreeIndex::QueryImpl(const Vector& query, size_t k,
                                              size_t skip_index,
-                                             QueryStats* stats) const {
+                                             QueryStats* stats,
+                                             QueryControl* control) const {
   COHERE_CHECK_EQ(query.size(), data_.cols());
   KnnCollector collector(k);
   if (nodes_.empty() || k == 0) return collector.Take();
@@ -118,6 +119,9 @@ std::vector<Neighbor> KdTreeIndex::QueryImpl(const Vector& query, size_t k,
   uint64_t distance_evaluations = 0;
 
   while (!frontier.empty()) {
+    // One control check per node keeps the per-distance cost zero while
+    // still bounding overshoot by a leaf's worth of evaluations.
+    if (control != nullptr && control->ShouldStop()) break;
     const auto [bound, node_index] = frontier.top();
     frontier.pop();
     if (collector.Full() && bound > collector.Threshold()) {

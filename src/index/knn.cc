@@ -78,26 +78,76 @@ const char* KnnIndex::TraceName() const {
   return cached;
 }
 
+QueryControl QueryControl::FromLimits(const QueryLimits& limits) {
+  const bool has_deadline = limits.deadline_us > 0.0;
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(
+                   static_cast<long long>(limits.deadline_us));
+  }
+  return QueryControl(limits.cancel, deadline, has_deadline);
+}
+
+namespace {
+
+// Deadline expiries are a service-level event worth counting even though
+// each one also shows up as a truncated QueryStats. Counter pointers have
+// process lifetime, so caching one in a function-local static is safe.
+void CountDeadlineExceeded() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("queries.deadline_exceeded");
+  counter->Increment();
+}
+
+}  // namespace
+
 std::vector<Neighbor> KnnIndex::Query(const Vector& query, size_t k,
                                       size_t skip_index,
                                       QueryStats* stats) const {
+  return QueryWithControl(query, k, skip_index, stats, nullptr);
+}
+
+std::vector<Neighbor> KnnIndex::Query(const Vector& query, size_t k,
+                                      size_t skip_index, QueryStats* stats,
+                                      const QueryLimits& limits) const {
+  if (!limits.active()) {
+    return QueryWithControl(query, k, skip_index, stats, nullptr);
+  }
+  QueryControl control = QueryControl::FromLimits(limits);
+  return QueryWithControl(query, k, skip_index, stats, &control);
+}
+
+std::vector<Neighbor> KnnIndex::QueryWithControl(const Vector& query,
+                                                 size_t k, size_t skip_index,
+                                                 QueryStats* stats,
+                                                 QueryControl* control) const {
   const bool metrics = obs::MetricsRegistry::Enabled();
   if (!metrics && !obs::Tracer::Enabled()) {
     // Metrics and tracing off: byte-for-byte the uninstrumented path, no
     // timing and no span bookkeeping.
-    return QueryImpl(query, k, skip_index, stats);
+    std::vector<Neighbor> out = QueryImpl(query, k, skip_index, stats, control);
+    if (control != nullptr && control->stopped() && stats != nullptr) {
+      stats->truncated = true;
+    }
+    return out;
   }
   obs::TraceSpan span(TraceName());
   span.AddArg("k", static_cast<double>(k));
   QueryStats local;
   Stopwatch watch;
-  std::vector<Neighbor> out = QueryImpl(query, k, skip_index, &local);
+  std::vector<Neighbor> out = QueryImpl(query, k, skip_index, &local, control);
+  if (control != nullptr && control->stopped()) local.truncated = true;
   if (metrics) {
     Instrument().Record(local.distance_evaluations, local.nodes_visited,
                         local.candidates_refined, watch.ElapsedMicros());
+    if (control != nullptr && control->deadline_exceeded()) {
+      CountDeadlineExceeded();
+    }
   }
   span.AddArg("distance_evaluations",
               static_cast<double>(local.distance_evaluations));
+  if (local.truncated) span.AddArg("truncated", 1.0);
   if (stats != nullptr) stats->MergeFrom(local);
   return out;
 }
@@ -119,6 +169,46 @@ std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(
       const double* src = queries.RowPtr(i);
       std::copy(src, src + queries.cols(), query.data());
       out[i] = Query(query, k, kNoSkip, local);
+    }
+  });
+  if (stats != nullptr) {
+    for (const QueryStats& p : partial) stats->MergeFrom(p);
+  }
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(
+    const Matrix& queries, size_t k, QueryStats* stats,
+    const QueryLimits& limits) const {
+  if (!limits.active()) return QueryBatch(queries, k, stats);
+
+  const size_t n = queries.rows();
+  std::vector<std::vector<Neighbor>> out(n);
+  if (n == 0) return out;
+  COHERE_CHECK_EQ(queries.cols(), dims());
+
+  // One absolute deadline for the whole batch: rows started after expiry
+  // stop at their first control check, so batch latency is bounded by the
+  // budget plus one check interval per pool lane.
+  const bool has_deadline = limits.deadline_us > 0.0;
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(
+                   static_cast<long long>(limits.deadline_us));
+  }
+
+  const size_t chunks = ParallelChunkCount(n, kBatchGrain);
+  std::vector<QueryStats> partial(stats != nullptr ? chunks : 0);
+  ParallelForIndexed(0, n, kBatchGrain,
+                     [&](size_t chunk, size_t begin, size_t end) {
+    QueryStats* local = stats != nullptr ? &partial[chunk] : nullptr;
+    Vector query(queries.cols());
+    for (size_t i = begin; i < end; ++i) {
+      const double* src = queries.RowPtr(i);
+      std::copy(src, src + queries.cols(), query.data());
+      QueryControl control(limits.cancel, deadline, has_deadline);
+      out[i] = QueryWithControl(query, k, kNoSkip, local, &control);
     }
   });
   if (stats != nullptr) {

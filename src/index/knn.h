@@ -2,6 +2,7 @@
 #define COHERE_INDEX_KNN_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -33,6 +34,9 @@ struct QueryStats {
   size_t distance_evaluations = 0;  ///< Full-precision distance computations.
   size_t nodes_visited = 0;         ///< Tree nodes or VA cells examined.
   size_t candidates_refined = 0;    ///< Exact refinements after filtering.
+  /// True when the query stopped early (deadline or cancellation) and the
+  /// results are the best found so far rather than the exact answer.
+  bool truncated = false;
 
   /// Accumulates another query's counters (batch paths merge per-thread
   /// stats through this).
@@ -40,7 +44,84 @@ struct QueryStats {
     distance_evaluations += other.distance_evaluations;
     nodes_visited += other.nodes_visited;
     candidates_refined += other.candidates_refined;
+    truncated = truncated || other.truncated;
   }
+};
+
+/// Cooperative cancellation flag. The caller keeps the token alive for the
+/// duration of the query (or batch) and may flip it from any thread; running
+/// queries notice at their next control check and return partial results
+/// with `QueryStats::truncated` set.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-query execution limits. Default-constructed limits are inactive and
+/// leave the query path byte-identical to the pre-deadline code.
+struct QueryLimits {
+  /// Wall-clock budget for the query in microseconds; <= 0 disables the
+  /// deadline. For QueryBatch the budget covers the whole batch (one
+  /// absolute deadline shared by every row).
+  double deadline_us = 0.0;
+  /// Optional external cancellation; not owned, may be null.
+  const CancelToken* cancel = nullptr;
+
+  bool active() const { return deadline_us > 0.0 || cancel != nullptr; }
+};
+
+/// Countdown-gated deadline/cancel checker threaded through QueryImpl. The
+/// clock is only consulted every kCheckInterval calls, so the per-distance
+/// cost is a decrement and branch; a query therefore overshoots its
+/// deadline by at most one check interval of work. Not thread-safe: each
+/// query (batch row) gets its own instance.
+class QueryControl {
+ public:
+  /// Distance evaluations between clock reads.
+  static constexpr size_t kCheckInterval = 64;
+
+  QueryControl(const CancelToken* cancel,
+               std::chrono::steady_clock::time_point deadline,
+               bool has_deadline)
+      : cancel_(cancel), deadline_(deadline), has_deadline_(has_deadline) {}
+
+  /// Builds a control whose deadline is `limits.deadline_us` from now.
+  static QueryControl FromLimits(const QueryLimits& limits);
+
+  /// True when the query should stop now. Latches: once stopped, every
+  /// subsequent call returns true immediately. The first call always
+  /// evaluates the clock so sub-interval deadlines fire deterministically.
+  bool ShouldStop() {
+    if (stopped_) return true;
+    if (--countdown_ > 0) return false;
+    countdown_ = kCheckInterval;
+    if (cancel_ != nullptr && cancel_->Cancelled()) {
+      stopped_ = true;
+    } else if (has_deadline_ &&
+               std::chrono::steady_clock::now() >= deadline_) {
+      stopped_ = true;
+      deadline_exceeded_ = true;
+    }
+    return stopped_;
+  }
+
+  bool stopped() const { return stopped_; }
+  bool deadline_exceeded() const { return deadline_exceeded_; }
+
+ private:
+  const CancelToken* cancel_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_;
+  size_t countdown_ = 1;  // first call evaluates, then every kCheckInterval
+  bool stopped_ = false;
+  bool deadline_exceeded_ = false;
 };
 
 /// Interface of all k-NN engines over a fixed set of points.
@@ -62,6 +143,16 @@ class KnnIndex {
   std::vector<Neighbor> Query(const Vector& query, size_t k,
                               size_t skip_index, QueryStats* stats) const;
 
+  /// Like the 4-argument Query but subject to `limits`: when the deadline
+  /// passes or the token is cancelled the traversal stops at its next
+  /// control check and the best neighbors found so far are returned with
+  /// `stats->truncated` set (deadline expiries also bump the
+  /// `queries.deadline_exceeded` counter). Inactive limits take the exact
+  /// unlimited path.
+  std::vector<Neighbor> Query(const Vector& query, size_t k,
+                              size_t skip_index, QueryStats* stats,
+                              const QueryLimits& limits) const;
+
   std::vector<Neighbor> Query(const Vector& query, size_t k) const {
     return Query(query, k, kNoSkip, nullptr);
   }
@@ -74,6 +165,16 @@ class KnnIndex {
   virtual std::vector<std::vector<Neighbor>> QueryBatch(
       const Matrix& queries, size_t k, QueryStats* stats = nullptr) const;
 
+  /// QueryBatch under `limits`. The deadline is batch-wide: one absolute
+  /// expiry computed on entry and shared by every row (each row still keeps
+  /// its own check countdown), so a stalled batch returns within one check
+  /// interval per in-flight row. Rows answered after expiry come back
+  /// truncated (possibly empty); `stats->truncated` reports whether any row
+  /// was cut short.
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& queries, size_t k, QueryStats* stats,
+      const QueryLimits& limits) const;
+
   /// Number of indexed points.
   virtual size_t size() const = 0;
   /// Dimensionality of the indexed points.
@@ -84,12 +185,23 @@ class KnnIndex {
 
  protected:
   /// Backend hook behind Query(): answers one query, accumulating work
-  /// counters into `stats` when it is non-null.
+  /// counters into `stats` when it is non-null. `control` is null for
+  /// unlimited queries; when non-null the backend must call
+  /// control->ShouldStop() around each distance evaluation (or node visit)
+  /// and, once it returns true, stop traversing and return the best
+  /// candidates collected so far. The wrapper translates a stopped control
+  /// into `QueryStats::truncated`.
   virtual std::vector<Neighbor> QueryImpl(const Vector& query, size_t k,
                                           size_t skip_index,
-                                          QueryStats* stats) const = 0;
+                                          QueryStats* stats,
+                                          QueryControl* control) const = 0;
 
  private:
+  /// Shared body of both Query overloads: instruments unless disabled and
+  /// folds a stopped control into the stats.
+  std::vector<Neighbor> QueryWithControl(const Vector& query, size_t k,
+                                         size_t skip_index, QueryStats* stats,
+                                         QueryControl* control) const;
   /// Registry metric bundle for this backend, resolved from name() on the
   /// first instrumented query and cached (concurrent first queries resolve
   /// to the same process-lifetime bundle, so the race is benign).

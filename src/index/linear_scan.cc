@@ -11,23 +11,38 @@ LinearScanIndex::LinearScanIndex(Matrix data, const Metric* metric)
 
 std::vector<Neighbor> LinearScanIndex::QueryImpl(const Vector& query, size_t k,
                                                  size_t skip_index,
-                                                 QueryStats* stats) const {
+                                                 QueryStats* stats,
+                                                 QueryControl* control) const {
   COHERE_CHECK_EQ(query.size(), data_.cols());
   KnnCollector collector(k);
   const double* q = query.data();
   const size_t d = data_.cols();
   const size_t n = data_.rows();
-  for (size_t i = 0; i < n; ++i) {
-    if (i == skip_index) continue;
-    // Raw-buffer distance straight against row storage: the innermost scan
-    // loop performs no copies.
-    const double comparable = metric_->ComparableDistance(q, data_.RowPtr(i), d);
-    collector.Offer(i, comparable);
-  }
-  if (stats != nullptr) {
-    // The scan evaluates every non-skipped row; count in one add instead of
-    // a pointer-indirect increment inside the hot loop.
-    stats->distance_evaluations += n - (skip_index < n ? 1 : 0);
+  if (control == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i == skip_index) continue;
+      // Raw-buffer distance straight against row storage: the innermost
+      // scan loop performs no copies.
+      const double comparable =
+          metric_->ComparableDistance(q, data_.RowPtr(i), d);
+      collector.Offer(i, comparable);
+    }
+    if (stats != nullptr) {
+      // The scan evaluates every non-skipped row; count in one add instead
+      // of a pointer-indirect increment inside the hot loop.
+      stats->distance_evaluations += n - (skip_index < n ? 1 : 0);
+    }
+  } else {
+    size_t evaluated = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == skip_index) continue;
+      if (control->ShouldStop()) break;
+      const double comparable =
+          metric_->ComparableDistance(q, data_.RowPtr(i), d);
+      collector.Offer(i, comparable);
+      ++evaluated;
+    }
+    if (stats != nullptr) stats->distance_evaluations += evaluated;
   }
   std::vector<Neighbor> out = collector.Take();
   for (Neighbor& n : out) {

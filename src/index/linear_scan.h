@@ -18,8 +18,8 @@ class LinearScanIndex final : public KnnIndex {
 
  protected:
   std::vector<Neighbor> QueryImpl(const Vector& query, size_t k,
-                                  size_t skip_index,
-                                  QueryStats* stats) const override;
+                                  size_t skip_index, QueryStats* stats,
+                                  QueryControl* control) const override;
 
  public:
   size_t size() const override { return data_.rows(); }

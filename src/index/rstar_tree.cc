@@ -400,7 +400,8 @@ void RStarTreeIndex::SplitNode(size_t node_id, std::vector<size_t>* path) {
 
 std::vector<Neighbor> RStarTreeIndex::QueryImpl(const Vector& query, size_t k,
                                                 size_t skip_index,
-                                                QueryStats* stats) const {
+                                                QueryStats* stats,
+                                                QueryControl* control) const {
   COHERE_CHECK_EQ(query.size(), data_.cols());
   KnnCollector collector(k);
   if (root_ == kInvalid || k == 0) return collector.Take();
@@ -415,6 +416,9 @@ std::vector<Neighbor> RStarTreeIndex::QueryImpl(const Vector& query, size_t k,
   uint64_t distance_evaluations = 0;
 
   while (!frontier.empty()) {
+    // One control check per node bounds deadline overshoot by a node's
+    // worth of entries without touching the per-entry hot path.
+    if (control != nullptr && control->ShouldStop()) break;
     const auto [bound, node_id] = frontier.top();
     frontier.pop();
     if (collector.Full() && bound > collector.Threshold()) break;

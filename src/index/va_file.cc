@@ -57,7 +57,8 @@ VaFileIndex::VaFileIndex(Matrix data, const Metric* metric,
 
 std::vector<Neighbor> VaFileIndex::QueryImpl(const Vector& query, size_t k,
                                              size_t skip_index,
-                                             QueryStats* stats) const {
+                                             QueryStats* stats,
+                                             QueryControl* control) const {
   const size_t n = data_.rows();
   const size_t d = data_.cols();
   COHERE_CHECK_EQ(query.size(), d);
@@ -71,12 +72,19 @@ std::vector<Neighbor> VaFileIndex::QueryImpl(const Vector& query, size_t k,
   candidates.reserve(n);
   KnnCollector upper_bounds(k);
 
-  // Phase 1 touches every non-skipped approximation cell; count in one add.
-  if (stats != nullptr) {
+  // Phase 1 touches every non-skipped approximation cell; without a control
+  // the total is known up front, so count in one add and keep the hot loop
+  // free of bookkeeping.
+  size_t visited = 0;
+  if (control == nullptr && stats != nullptr) {
     stats->nodes_visited += n - (skip_index < n ? 1 : 0);
   }
   for (size_t i = 0; i < n; ++i) {
     if (i == skip_index) continue;
+    if (control != nullptr) {
+      if (control->ShouldStop()) break;
+      ++visited;
+    }
     const uint8_t* code = &codes_[i * d];
     double lb = 0.0;
     double ub = 0.0;
@@ -126,12 +134,14 @@ std::vector<Neighbor> VaFileIndex::QueryImpl(const Vector& query, size_t k,
   uint64_t refined = 0;  // register accumulator; published once below
   for (const auto& [lb, i] : candidates) {
     if (collector.Full() && lb > collector.Threshold()) break;
+    if (control != nullptr && control->ShouldStop()) break;
     const double comparable =
         metric_->ComparableDistance(query.data(), data_.RowPtr(i), d);
     ++refined;
     collector.Offer(i, comparable);
   }
   if (stats != nullptr) {
+    if (control != nullptr) stats->nodes_visited += visited;
     stats->distance_evaluations += refined;
     stats->candidates_refined += refined;
   }

@@ -81,7 +81,10 @@ size_t VpTreeIndex::BuildNode(size_t begin, size_t end) {
 
 void VpTreeIndex::Search(size_t node_index, const Vector& query, size_t k,
                          size_t skip_index, KnnCollector* collector,
-                         QueryStats* stats) const {
+                         QueryStats* stats, QueryControl* control) const {
+  // ShouldStop latches, so once it fires every pending recursive call
+  // returns immediately and the partial collector surfaces.
+  if (control != nullptr && control->ShouldStop()) return;
   const Node& node = nodes_[node_index];
   if (stats != nullptr) ++stats->nodes_visited;
 
@@ -109,7 +112,7 @@ void VpTreeIndex::Search(size_t node_index, const Vector& query, size_t k,
   const size_t second = inside_first ? node.outside : node.inside;
 
   if (first != kInvalid) {
-    Search(first, query, k, skip_index, collector, stats);
+    Search(first, query, k, skip_index, collector, stats, control);
   }
   if (second != kInvalid) {
     const double shell_gap = inside_first ? dist_to_vantage - node.radius
@@ -118,18 +121,19 @@ void VpTreeIndex::Search(size_t node_index, const Vector& query, size_t k,
     // region is |dist_to_vantage - radius|.
     const double boundary = std::fabs(shell_gap);
     if (!collector->Full() || boundary <= collector->Threshold()) {
-      Search(second, query, k, skip_index, collector, stats);
+      Search(second, query, k, skip_index, collector, stats, control);
     }
   }
 }
 
 std::vector<Neighbor> VpTreeIndex::QueryImpl(const Vector& query, size_t k,
                                              size_t skip_index,
-                                             QueryStats* stats) const {
+                                             QueryStats* stats,
+                                             QueryControl* control) const {
   COHERE_CHECK_EQ(query.size(), data_.cols());
   KnnCollector collector(k);
   if (!nodes_.empty() && k > 0) {
-    Search(0, query, k, skip_index, &collector, stats);
+    Search(0, query, k, skip_index, &collector, stats, control);
   }
   return collector.Take();
 }

@@ -26,8 +26,8 @@ class VpTreeIndex final : public KnnIndex {
 
  protected:
   std::vector<Neighbor> QueryImpl(const Vector& query, size_t k,
-                                  size_t skip_index,
-                                  QueryStats* stats) const override;
+                                  size_t skip_index, QueryStats* stats,
+                                  QueryControl* control) const override;
 
  public:
   size_t size() const override { return data_.rows(); }
@@ -52,8 +52,8 @@ class VpTreeIndex final : public KnnIndex {
 
   size_t BuildNode(size_t begin, size_t end);
   void Search(size_t node_index, const Vector& query, size_t k,
-              size_t skip_index, KnnCollector* collector,
-              QueryStats* stats) const;
+              size_t skip_index, KnnCollector* collector, QueryStats* stats,
+              QueryControl* control) const;
 
   double RowDistance(const Vector& query, size_t row) const;
 

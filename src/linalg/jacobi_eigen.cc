@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace cohere {
 
 Result<EigenDecomposition> JacobiEigen(const Matrix& a, int max_sweeps) {
@@ -13,6 +15,10 @@ Result<EigenDecomposition> JacobiEigen(const Matrix& a, int max_sweeps) {
   }
   if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
     return Status::InvalidArgument("matrix is not symmetric");
+  }
+  if (COHERE_INJECT_FAULT(fault::kPointJacobiEigen)) {
+    return Status::NumericalError(
+        "injected fault: " + std::string(fault::kPointJacobiEigen));
   }
   const size_t n = a.rows();
   if (n == 0) return EigenDecomposition{Vector(), Matrix()};

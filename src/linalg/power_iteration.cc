@@ -4,6 +4,7 @@
 #include <cmath>
 #include <random>
 
+#include "common/fault.h"
 #include "linalg/qr.h"
 
 namespace cohere {
@@ -20,6 +21,10 @@ Result<EigenDecomposition> TopKEigen(const Matrix& a,
   }
   if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
     return Status::InvalidArgument("matrix is not symmetric");
+  }
+  if (COHERE_INJECT_FAULT(fault::kPointPowerIteration)) {
+    return Status::NumericalError(
+        "injected fault: " + std::string(fault::kPointPowerIteration));
   }
 
   // Random orthonormal start.

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace cohere {
 namespace {
 
@@ -69,6 +71,10 @@ Status OrthogonalizeColumns(Matrix* w, Matrix* v, int max_sweeps) {
 Result<SvdDecomposition> JacobiSvd(const Matrix& a, int max_sweeps) {
   if (a.rows() == 0 || a.cols() == 0) {
     return Status::InvalidArgument("SVD of an empty matrix");
+  }
+  if (COHERE_INJECT_FAULT(fault::kPointSvd)) {
+    return Status::NumericalError("injected fault: " +
+                                  std::string(fault::kPointSvd));
   }
 
   // Work on a tall matrix; if the input is wide, decompose the transpose and

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace cohere {
 
 // The tridiagonalization and QL iteration below follow the classic
@@ -190,6 +192,10 @@ Result<EigenDecomposition> SymmetricEigen(const Matrix& a) {
   }
   if (!a.IsSymmetric(1e-8 * std::max(1.0, a.MaxAbs()))) {
     return Status::InvalidArgument("matrix is not symmetric");
+  }
+  if (COHERE_INJECT_FAULT(fault::kPointSymmetricEigen)) {
+    return Status::NumericalError(
+        "injected fault: " + std::string(fault::kPointSymmetricEigen));
   }
   const size_t n = a.rows();
   if (n == 0) {

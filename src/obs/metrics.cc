@@ -12,6 +12,8 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "common/fault.h"
+#include "common/parallel.h"
 
 namespace cohere {
 namespace obs {
@@ -306,6 +308,25 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, counter] : state.counters) {
     snapshot.counters.emplace_back(name, counter->Value());
   }
+  // Synthetic counters owned by cohere_common (which cannot link cohere_obs):
+  // per-point fault triggers and pool task failures are merged here. Both
+  // sets are empty in a fault-free process, so fault-free snapshots are
+  // byte-identical to pre-fault builds.
+  {
+    bool appended = false;
+    for (const fault::PointInfo& point : fault::Points()) {
+      snapshot.counters.emplace_back("fault." + point.name + ".triggers",
+                                     point.triggers);
+      appended = true;
+    }
+    if (const uint64_t failures = ParallelTaskFailureCount(); failures > 0) {
+      snapshot.counters.emplace_back("parallel.task_failures", failures);
+      appended = true;
+    }
+    if (appended) {
+      std::sort(snapshot.counters.begin(), snapshot.counters.end());
+    }
+  }
   snapshot.gauges.reserve(state.gauges.size());
   for (const auto& [name, gauge] : state.gauges) {
     snapshot.gauges.emplace_back(name, gauge->Value());
@@ -334,6 +355,10 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : state.counters) counter->Reset();
   for (auto& [name, gauge] : state.gauges) gauge->Reset();
   for (auto& [name, histogram] : state.histograms) histogram->Reset();
+  // The synthetic counters merged into Snapshot() live in cohere_common;
+  // reset them too so ResetAll means what it says.
+  fault::ResetCounters();
+  ResetParallelTaskFailureCount();
 }
 
 // --- snapshot rendering ---------------------------------------------------

@@ -1,12 +1,42 @@
 #include "reduction/pca.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "linalg/svd.h"
 #include "linalg/symmetric_eigen.h"
+#include "obs/metrics.h"
 #include "stats/covariance.h"
 
 namespace cohere {
+
+namespace {
+
+// Fills the per-column divisors for correlation (studentized) scaling —
+// zero-variance columns are pinned to divisor 1 so they pass through
+// centered but unscaled — and publishes how many columns were degenerate
+// (`scaling.zero_variance_dims`), since a constant attribute silently
+// contributes nothing to a correlation-scaled reduction.
+void ApplyCorrelationScale(const Matrix& data, Vector* scale) {
+  const Vector stds = ColumnStdDevs(data);
+  size_t zero_variance = 0;
+  for (size_t j = 0; j < stds.size(); ++j) {
+    if (stds[j] > 0.0) {
+      (*scale)[j] = stds[j];
+    } else {
+      (*scale)[j] = 1.0;
+      ++zero_variance;
+    }
+  }
+  if (obs::MetricsRegistry::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("scaling.zero_variance_dims")
+        ->Set(static_cast<double>(zero_variance));
+  }
+}
+
+}  // namespace
 
 const char* PcaScalingName(PcaScaling scaling) {
   switch (scaling) {
@@ -33,10 +63,7 @@ Result<PcaModel> PcaModel::Fit(const Matrix& data, PcaScaling scaling) {
 
   Matrix moment;
   if (scaling == PcaScaling::kCorrelation) {
-    Vector stds = ColumnStdDevs(data);
-    for (size_t j = 0; j < stds.size(); ++j) {
-      model.scale_[j] = stds[j] > 0.0 ? stds[j] : 1.0;
-    }
+    ApplyCorrelationScale(data, &model.scale_);
     moment = CorrelationMatrix(data);
   } else {
     moment = CovarianceMatrix(data);
@@ -76,10 +103,7 @@ Result<PcaModel> PcaModel::FitWithSvd(const Matrix& data,
   model.mean_ = ColumnMeans(data);
   model.scale_ = Vector(data.cols(), 1.0);
   if (scaling == PcaScaling::kCorrelation) {
-    Vector stds = ColumnStdDevs(data);
-    for (size_t j = 0; j < stds.size(); ++j) {
-      model.scale_[j] = stds[j] > 0.0 ? stds[j] : 1.0;
-    }
+    ApplyCorrelationScale(data, &model.scale_);
   }
 
   const Matrix normalized = model.NormalizeRows(data);
@@ -96,6 +120,48 @@ Result<PcaModel> PcaModel::FitWithSvd(const Matrix& data,
     model.eigenvalues_[i] = sigma * sigma * inv_n;
   }
   model.eigenvectors_ = std::move(svd->v);
+  return model;
+}
+
+Result<PcaModel> PcaModel::FitIdentity(const Matrix& data,
+                                       PcaScaling scaling) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("PCA requires a non-empty data matrix");
+  }
+  if (!AllFinite(data)) {
+    return Status::InvalidArgument("data contains NaN or Inf");
+  }
+
+  PcaModel model;
+  model.scaling_ = scaling;
+  model.mean_ = ColumnMeans(data);
+  model.scale_ = Vector(data.cols(), 1.0);
+  if (scaling == PcaScaling::kCorrelation) {
+    ApplyCorrelationScale(data, &model.scale_);
+  }
+
+  // The normalized data's per-attribute variances stand in for eigenvalues:
+  // raw column variances under covariance scaling; 1 under correlation
+  // scaling (0 for a constant column, whose divisor is pinned at 1).
+  const size_t d = data.cols();
+  const Vector stds = ColumnStdDevs(data);
+  Vector variances(d);
+  for (size_t j = 0; j < d; ++j) {
+    const double sigma = stds[j] / model.scale_[j];
+    variances[j] = sigma * sigma;
+  }
+  std::vector<size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return variances[a] > variances[b];
+  });
+
+  model.eigenvalues_.Resize(d);
+  model.eigenvectors_ = Matrix(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    model.eigenvalues_[i] = variances[order[i]];
+    model.eigenvectors_.At(order[i], i) = 1.0;
+  }
   return model;
 }
 

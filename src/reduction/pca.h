@@ -44,6 +44,15 @@ class PcaModel {
   /// to floating-point error and eigenvector sign.
   static Result<PcaModel> FitWithSvd(const Matrix& data, PcaScaling scaling);
 
+  /// Last-resort degraded fit: no diagonalization at all. The "eigenvectors"
+  /// are the attribute axes themselves (a permutation matrix ordering the
+  /// studentized per-attribute variances descending) and the "eigenvalues"
+  /// are those variances. Transform/Project then just center, scale and
+  /// reorder coordinates — a valid, if uninformed, axis system that cannot
+  /// fail on finite non-empty data. Used by ReductionPipeline::Fit as the
+  /// bottom of its fallback chain.
+  static Result<PcaModel> FitIdentity(const Matrix& data, PcaScaling scaling);
+
   /// Reassembles a model from stored components (used by serialization).
   /// Validates shape agreement, descending eigenvalue order and positive
   /// scales; does NOT re-verify eigenvector orthonormality.

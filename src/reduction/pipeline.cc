@@ -1,12 +1,58 @@
 #include "reduction/pipeline.h"
 
 #include <cstdio>
+#include <string>
 
+#include "common/fault.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/tracing.h"
 
 namespace cohere {
+
+namespace {
+
+// The degradation ladder of ReductionPipeline::Fit. Each rung only engages
+// on a *numerical* failure of the previous one (argument errors propagate
+// unchanged: retrying cannot fix an empty or non-finite matrix).
+Result<PcaModel> FitModelWithFallback(const Matrix& data,
+                                      const ReductionOptions& options) {
+  Result<PcaModel> primary = [&]() -> Result<PcaModel> {
+    if (COHERE_INJECT_FAULT(fault::kPointReductionFit)) {
+      return Status::NumericalError("injected fault: " +
+                                    std::string(fault::kPointReductionFit));
+    }
+    return PcaModel::Fit(data, options.scaling);
+  }();
+  if (primary.ok() || !options.allow_degraded_fit ||
+      primary.status().code() != StatusCode::kNumericalError) {
+    return primary;
+  }
+
+  COHERE_LOG(Warning) << "ReductionPipeline::Fit: primary eigensolver failed ("
+                      << primary.status().ToString()
+                      << "); falling back to the SVD path";
+  if (obs::MetricsRegistry::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter("pipeline.fallback_svd")
+        ->Increment();
+  }
+  // The SVD path requires n >= d; when that precondition fails (an
+  // InvalidArgument, not a numerical breakdown) skip straight to identity.
+  Result<PcaModel> svd = PcaModel::FitWithSvd(data, options.scaling);
+  if (svd.ok()) return svd;
+
+  COHERE_LOG(Warning) << "ReductionPipeline::Fit: SVD fallback failed too ("
+                      << svd.status().ToString()
+                      << "); degrading to a studentized identity projection";
+  if (obs::MetricsRegistry::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter("pipeline.fallback_identity")
+        ->Increment();
+  }
+  return PcaModel::FitIdentity(data, options.scaling);
+}
+
+}  // namespace
 
 Result<ReductionPipeline> ReductionPipeline::Fit(
     const Dataset& dataset, const ReductionOptions& options) {
@@ -22,7 +68,7 @@ Result<ReductionPipeline> ReductionPipeline::Fit(
   {
     obs::TraceSpan phase("pipeline.pca_fit");
     Result<PcaModel> model =
-        PcaModel::Fit(dataset.features(), options.scaling);
+        FitModelWithFallback(dataset.features(), options);
     if (!model.ok()) return model.status();
     pipeline.model_ = std::move(*model);
   }

@@ -24,6 +24,13 @@ struct ReductionOptions {
   double energy_fraction = 0.9;
   /// Used only by kRelativeThreshold; 0.01 is the paper's baseline.
   double relative_threshold = 0.01;
+  /// When the primary eigensolver fails with a numerical error, Fit falls
+  /// back to the SVD path and, failing that too, to a studentized identity
+  /// projection (axis-aligned, variance-ordered) — each step logged and
+  /// counted (`pipeline.fallback_svd` / `pipeline.fallback_identity`), so
+  /// callers that can tolerate a degraded axis system never see a hard
+  /// failure. Set to false to propagate the primary error instead.
+  bool allow_degraded_fit = true;
 };
 
 /// End-to-end dimensionality reduction: PCA fit + coherence analysis +

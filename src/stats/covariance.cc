@@ -1,11 +1,13 @@
 #include "stats/covariance.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <vector>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/parallel.h"
 
 namespace cohere {
@@ -78,9 +80,29 @@ Matrix CorrelationMatrix(const Matrix& data) {
   Matrix cov = CovarianceMatrix(data);
   const size_t d = cov.rows();
   Vector inv_std(d);
+  size_t zero_variance = 0;
   for (size_t j = 0; j < d; ++j) {
     const double var = cov.At(j, j);
-    inv_std[j] = var > 0.0 ? 1.0 / std::sqrt(var) : 0.0;
+    if (var > 0.0) {
+      inv_std[j] = 1.0 / std::sqrt(var);
+    } else {
+      // A constant attribute has no correlation with anything; mapping its
+      // inverse deviation to 0 zeroes its off-diagonal row/column (the
+      // diagonal is pinned to 1 below), which keeps the matrix finite and
+      // positive semi-definite but silently drops the attribute from the
+      // analysis — worth one warning per process.
+      inv_std[j] = 0.0;
+      ++zero_variance;
+    }
+  }
+  if (zero_variance > 0) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      COHERE_LOG(Warning)
+          << "CorrelationMatrix: " << zero_variance << " of " << d
+          << " attributes have zero variance; they are studentized to zero "
+             "and carry no correlation signal (warning logged once)";
+    }
   }
   for (size_t i = 0; i < d; ++i) {
     for (size_t j = 0; j < d; ++j) {

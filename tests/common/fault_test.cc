@@ -1,0 +1,176 @@
+// Unit tests for the deterministic fault-injection registry.
+#include "common/fault.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cohere {
+namespace fault {
+namespace {
+
+// Every test leaves the registry disarmed; faults must never leak across
+// test boundaries (other suites in this binary run fault-free paths).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DisarmAll();
+    ResetCounters();
+  }
+  void TearDown() override {
+    DisarmAll();
+    ResetCounters();
+  }
+};
+
+TEST_F(FaultTest, UnarmedPointNeverFires) {
+  EXPECT_FALSE(AnyArmed());
+  FaultPoint* point = Point("test.unarmed");
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(point->ShouldFire());
+  EXPECT_EQ(point->triggers(), 0u);
+  EXPECT_FALSE(COHERE_INJECT_FAULT("test.unarmed"));
+}
+
+TEST_F(FaultTest, ArmAtProbabilityOneAlwaysFires) {
+  Arm("test.always", 1.0);
+  EXPECT_TRUE(AnyArmed());
+  FaultPoint* point = Point("test.always");
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(point->ShouldFire());
+  EXPECT_EQ(point->triggers(), 50u);
+  Disarm("test.always");
+  EXPECT_FALSE(point->ShouldFire());
+}
+
+TEST_F(FaultTest, ProbabilityZeroNeverFires) {
+  Arm("test.never", 0.0);
+  FaultPoint* point = Point("test.never");
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(point->ShouldFire());
+  EXPECT_EQ(point->triggers(), 0u);
+}
+
+TEST_F(FaultTest, DrawsAreDeterministicForAFixedSeed) {
+  // Two arming sessions with the same (probability, seed) must fire on the
+  // same draw ordinals; a different seed should give a different pattern.
+  auto draw_pattern = [](std::uint64_t seed) {
+    Arm("test.deterministic", 0.5, seed);
+    FaultPoint* point = Point("test.deterministic");
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(point->ShouldFire());
+    Disarm("test.deterministic");
+    return fired;
+  };
+  const std::vector<bool> a = draw_pattern(7);
+  const std::vector<bool> b = draw_pattern(7);
+  const std::vector<bool> c = draw_pattern(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // p=0.5 over 64 draws: some fire, some don't.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST_F(FaultTest, IntermediateProbabilityFiresAtRoughlyTheRequestedRate) {
+  Arm("test.quarter", 0.25, 1234);
+  FaultPoint* point = Point("test.quarter");
+  int fired = 0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) fired += point->ShouldFire() ? 1 : 0;
+  EXPECT_GT(fired, kDraws / 8);      // well above 12.5%
+  EXPECT_LT(fired, kDraws / 2);      // well below 50%
+  EXPECT_EQ(point->triggers(), static_cast<std::uint64_t>(fired));
+}
+
+TEST_F(FaultTest, ResetCountersClearsTriggersButKeepsArming) {
+  Arm("test.reset", 1.0);
+  FaultPoint* point = Point("test.reset");
+  ASSERT_TRUE(point->ShouldFire());
+  ASSERT_GT(point->triggers(), 0u);
+  ResetCounters();
+  EXPECT_EQ(point->triggers(), 0u);
+  EXPECT_TRUE(point->armed());
+  EXPECT_TRUE(point->ShouldFire());
+}
+
+TEST_F(FaultTest, PointsSnapshotListsRegisteredPointsSorted) {
+  Arm("test.zz_b", 1.0);
+  Point("test.aa_a");
+  const std::vector<PointInfo> points = Points();
+  ASSERT_GE(points.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(
+      points.begin(), points.end(),
+      [](const PointInfo& x, const PointInfo& y) { return x.name < y.name; }));
+  bool saw_armed = false;
+  bool saw_unarmed = false;
+  for (const PointInfo& info : points) {
+    if (info.name == "test.zz_b") saw_armed = info.armed;
+    if (info.name == "test.aa_a") saw_unarmed = !info.armed;
+  }
+  EXPECT_TRUE(saw_armed);
+  EXPECT_TRUE(saw_unarmed);
+}
+
+TEST_F(FaultTest, ArmFromSpecParsesEntries) {
+  ASSERT_TRUE(ArmFromSpec("test.spec_a").ok());
+  EXPECT_TRUE(Point("test.spec_a")->armed());
+  EXPECT_TRUE(Point("test.spec_a")->ShouldFire());  // bare name => p=1
+
+  ASSERT_TRUE(ArmFromSpec("test.spec_b:0.0").ok());
+  EXPECT_TRUE(Point("test.spec_b")->armed());
+  EXPECT_FALSE(Point("test.spec_b")->ShouldFire());
+
+  ASSERT_TRUE(ArmFromSpec(" test.spec_c : 0.5 : 99 ,test.spec_d:1.0").ok());
+  EXPECT_TRUE(Point("test.spec_c")->armed());
+  EXPECT_TRUE(Point("test.spec_d")->ShouldFire());
+}
+
+TEST_F(FaultTest, ArmFromSpecRejectsMalformedEntries) {
+  EXPECT_TRUE(ArmFromSpec("").ok());                      // empty = no-op
+  EXPECT_FALSE(ArmFromSpec(":0.5").ok());                 // empty name
+  EXPECT_FALSE(ArmFromSpec("test.bad:frequently").ok());  // non-numeric p
+  EXPECT_FALSE(ArmFromSpec("test.bad:1.5").ok());         // p out of range
+  EXPECT_FALSE(ArmFromSpec("test.bad:-0.1").ok());
+  EXPECT_FALSE(ArmFromSpec("test.bad:0.5:soon").ok());    // non-numeric seed
+  EXPECT_FALSE(ArmFromSpec("test.bad:0.5:1:extra").ok()); // too many fields
+  EXPECT_FALSE(Point("test.bad")->armed());
+}
+
+TEST_F(FaultTest, DisarmAllQuiescesEveryPoint) {
+  Arm("test.bulk_a", 1.0);
+  Arm("test.bulk_b", 0.5);
+  ASSERT_TRUE(AnyArmed());
+  DisarmAll();
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_FALSE(Point("test.bulk_a")->ShouldFire());
+  EXPECT_FALSE(Point("test.bulk_b")->ShouldFire());
+}
+
+TEST_F(FaultTest, KnownPointsCatalogIsSortedAndComplete) {
+  const std::vector<std::string> points = KnownPoints();
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  for (const char* expected :
+       {kPointSymmetricEigen, kPointJacobiEigen, kPointPowerIteration,
+        kPointSvd, kPointLoaderIo, kPointParallelDispatch, kPointReductionFit,
+        kPointDynamicRefit}) {
+    EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
+        << "missing " << expected;
+  }
+}
+
+TEST_F(FaultTest, InjectMacroFiresOnlyWhenArmed) {
+  EXPECT_FALSE(COHERE_INJECT_FAULT("test.macro"));
+  Arm("test.macro", 1.0);
+  EXPECT_TRUE(COHERE_INJECT_FAULT("test.macro"));
+  Disarm("test.macro");
+  EXPECT_FALSE(COHERE_INJECT_FAULT("test.macro"));
+}
+
+TEST_F(FaultTest, InjectedFaultErrorNamesThePoint) {
+  const InjectedFaultError error("some.point");
+  EXPECT_NE(std::string(error.what()).find("some.point"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace cohere

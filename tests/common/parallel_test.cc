@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
+
 namespace cohere {
 namespace {
 
@@ -149,6 +151,79 @@ TEST(ParallelForTest, PropagatesBodyException) {
                     if (begin == 57) throw std::runtime_error("boom");
                   }),
       std::runtime_error);
+}
+
+TEST(ParallelExceptionTest, PoolSurvivesAThrowingTask) {
+  ScopedThreadCount guard(4);
+  ResetParallelTaskFailureCount();
+  EXPECT_THROW(
+      ParallelFor(0, 64, 1,
+                  [](size_t begin, size_t) {
+                    if (begin % 2 == 0) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  EXPECT_GT(ParallelTaskFailureCount(), 0u);
+
+  // The pool must keep dispatching normally afterwards — no wedged workers,
+  // no dead queue.
+  std::atomic<int> count{0};
+  ParallelFor(0, 100, 4, [&](size_t begin, size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 100);
+  ResetParallelTaskFailureCount();
+}
+
+TEST(ParallelExceptionTest, EachFailedChunkCountsOnce) {
+  ScopedThreadCount guard(2);
+  ResetParallelTaskFailureCount();
+  // 8 chunks of 8, every chunk throws: exactly 8 failures, first rethrown.
+  EXPECT_THROW(ParallelFor(0, 64, 8,
+                           [](size_t, size_t) {
+                             throw std::runtime_error("each chunk fails");
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(ParallelTaskFailureCount(), 8u);
+  ResetParallelTaskFailureCount();
+  EXPECT_EQ(ParallelTaskFailureCount(), 0u);
+}
+
+TEST(ParallelExceptionTest, FaultInjectedDispatchThrowsAndPoolRecovers) {
+  ScopedThreadCount guard(4);
+  ResetParallelTaskFailureCount();
+  fault::Arm(fault::kPointParallelDispatch, 1.0);
+  EXPECT_THROW(ParallelFor(0, 256, 1, [](size_t, size_t) {}),
+               fault::InjectedFaultError);
+  EXPECT_GT(ParallelTaskFailureCount(), 0u);
+  fault::DisarmAll();
+  fault::ResetCounters();
+  ResetParallelTaskFailureCount();
+
+  std::atomic<int> count{0};
+  ParallelFor(0, 64, 2, [&](size_t begin, size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelExceptionTest, IndexedFormAlsoRethrowsAndSurvives) {
+  ScopedThreadCount guard(4);
+  ResetParallelTaskFailureCount();
+  EXPECT_THROW(ParallelForIndexed(0, 64, 4,
+                                  [](size_t chunk, size_t, size_t) {
+                                    if (chunk == 3) {
+                                      throw std::runtime_error("chunk 3");
+                                    }
+                                  }),
+               std::runtime_error);
+  EXPECT_EQ(ParallelTaskFailureCount(), 1u);
+  ResetParallelTaskFailureCount();
+
+  std::atomic<int> chunks_run{0};
+  ParallelForIndexed(0, 64, 4, [&](size_t, size_t, size_t) {
+    chunks_run.fetch_add(1);
+  });
+  EXPECT_EQ(chunks_run.load(), 16);
 }
 
 TEST(ParallelForTest, PoolSurvivesThreadCountReconfiguration) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "data/synthetic.h"
 
 namespace cohere {
@@ -158,6 +159,95 @@ TEST(DynamicEngineTest, RejectsBadOptions) {
   EXPECT_FALSE(
       DynamicReducedIndex::Build(Dataset(Matrix(0, 3)), DefaultOptions())
           .ok());
+}
+
+TEST(DynamicEngineTest, FailedRefitKeepsTheOldProjectionServing) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(711));
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(data, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  const auto before = index->Query(data.Record(3), 5);
+  const std::vector<size_t> components_before = index->pipeline().components();
+
+  fault::Arm(fault::kPointDynamicRefit, 1.0);
+  const Status failed = index->Refit();
+  fault::DisarmAll();
+  fault::ResetCounters();
+
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kNumericalError);
+  // Transactional: the old pipeline answers exactly as before the failure.
+  EXPECT_EQ(index->Query(data.Record(3), 5), before);
+  EXPECT_EQ(index->pipeline().components(), components_before);
+}
+
+TEST(DynamicEngineTest, RefitFailureBackoffGrowsAndGatesNeedsRefit) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(712));
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(data, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->RefitBackoffRemaining(), 0u);
+
+  fault::Arm(fault::kPointDynamicRefit, 1.0);
+  ASSERT_FALSE(index->Refit().ok());
+  EXPECT_EQ(index->RefitBackoffRemaining(), 8u);
+  ASSERT_FALSE(index->Refit().ok());  // explicit Refit still attempts
+  EXPECT_EQ(index->RefitBackoffRemaining(), 16u);
+  ASSERT_FALSE(index->Refit().ok());
+  EXPECT_EQ(index->RefitBackoffRemaining(), 32u);
+  fault::DisarmAll();
+  fault::ResetCounters();
+
+  // Backoff gates only the recommendation; inserts tick it down.
+  EXPECT_FALSE(index->NeedsRefit());
+  const size_t before = index->RefitBackoffRemaining();
+  ASSERT_TRUE(index->Insert(data.Record(0)).ok());
+  EXPECT_EQ(index->RefitBackoffRemaining(), before - 1);
+
+  // A successful explicit Refit clears the backoff entirely.
+  ASSERT_TRUE(index->Refit().ok());
+  EXPECT_EQ(index->RefitBackoffRemaining(), 0u);
+}
+
+TEST(DynamicEngineTest, BackoffCapsAtTheConfiguredCeiling) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(713));
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(data, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+  fault::Arm(fault::kPointDynamicRefit, 1.0);
+  for (int i = 0; i < 8; ++i) ASSERT_FALSE(index->Refit().ok());
+  fault::DisarmAll();
+  fault::ResetCounters();
+  EXPECT_EQ(index->RefitBackoffRemaining(), 128u);
+}
+
+TEST(DynamicEngineTest, QueryDeadlineTruncatesTheScan) {
+  Dataset data = GenerateLatentFactor(PopulationConfig(714));
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(data, DefaultOptions());
+  ASSERT_TRUE(index.ok());
+
+  QueryLimits limits;
+  limits.deadline_us = 1e-3;  // already expired at the first control check
+  QueryStats stats;
+  index->Query(data.Record(0), 5, KnnIndex::kNoSkip, &stats, limits);
+  EXPECT_TRUE(stats.truncated);
+
+  CancelToken token;
+  token.Cancel();
+  QueryLimits cancelled;
+  cancelled.cancel = &token;
+  QueryStats cancel_stats;
+  index->Query(data.Record(0), 5, KnnIndex::kNoSkip, &cancel_stats, cancelled);
+  EXPECT_TRUE(cancel_stats.truncated);
+
+  // Inactive limits leave the answer exact and untruncated.
+  QueryStats exact_stats;
+  const auto exact =
+      index->Query(data.Record(0), 5, KnnIndex::kNoSkip, &exact_stats,
+                   QueryLimits{});
+  EXPECT_FALSE(exact_stats.truncated);
+  EXPECT_EQ(exact, index->Query(data.Record(0), 5));
 }
 
 TEST(DynamicEngineTest, DescribeReportsDrift) {

@@ -206,6 +206,78 @@ TEST(EngineTest, NumThreadsReconfigurationIsObservableAsGauge) {
   SetParallelThreadCount(0);
 }
 
+TEST(EngineTest, QueryBatchHonorsTheEngineDeadlineOption) {
+  Dataset data = IonosphereLike(164);
+  EngineOptions options = BasicOptions(IndexBackend::kLinearScan);
+  options.num_threads = 4;
+  options.query_deadline_us = 1e-3;  // expired at the first control check
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+
+  Matrix queries(12, data.NumAttributes());
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    queries.SetRow(i, data.Record(i));
+  }
+  QueryStats stats;
+  const auto batch = engine->QueryBatch(queries, 4, &stats);
+  ASSERT_EQ(batch.size(), queries.rows());
+  EXPECT_TRUE(stats.truncated);
+
+  // Per-call limits override the engine default: a generous budget restores
+  // the exact answers.
+  QueryLimits generous;
+  generous.deadline_us = 60e6;
+  QueryStats exact_stats;
+  const auto exact = engine->QueryBatch(queries, 4, &exact_stats, generous);
+  EXPECT_FALSE(exact_stats.truncated);
+  QueryLimits off;  // inactive limits: deadline disabled entirely
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    EXPECT_EQ(exact[i], engine->Query(queries.Row(i), 4, KnnIndex::kNoSkip,
+                                      nullptr, off))
+        << "query " << i;
+  }
+  SetParallelThreadCount(0);
+}
+
+TEST(EngineTest, QueryBatchCancelTokenStopsAllRows) {
+  Dataset data = IonosphereLike(165);
+  EngineOptions options = BasicOptions(IndexBackend::kKdTree);
+  options.num_threads = 4;
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+
+  Matrix queries(8, data.NumAttributes());
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    queries.SetRow(i, data.Record(i * 3 % data.NumRecords()));
+  }
+  CancelToken token;
+  token.Cancel();
+  QueryLimits limits;
+  limits.cancel = &token;
+  QueryStats stats;
+  const auto batch = engine->QueryBatch(queries, 4, &stats, limits);
+  ASSERT_EQ(batch.size(), queries.rows());
+  EXPECT_TRUE(stats.truncated);
+  SetParallelThreadCount(0);
+}
+
+TEST(EngineTest, QueryDeadlineOptionAppliesToSerialQueries) {
+  Dataset data = IonosphereLike(166);
+  EngineOptions options = BasicOptions(IndexBackend::kLinearScan);
+  options.query_deadline_us = 1e-3;
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+  QueryStats stats;
+  engine->Query(data.Record(0), 5, KnnIndex::kNoSkip, &stats);
+  EXPECT_TRUE(stats.truncated);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  EXPECT_GT(registry.GetCounter("queries.deadline_exceeded")->Value(), 0u);
+}
+
 TEST(EngineTest, QueriesFeedTheEngineRegistryMetrics) {
   Dataset data = IonosphereLike(163);
   Result<ReducedSearchEngine> engine = ReducedSearchEngine::Build(

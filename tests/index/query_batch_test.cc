@@ -118,6 +118,117 @@ TEST(QueryBatchTest, NonTrueMetricsWorkThroughTheScanBatchPath) {
   }
 }
 
+TEST(QueryBatchDeadlineTest, InactiveLimitsMatchTheDefaultPath) {
+  const Matrix data = RandomMatrix(180, 6, 51);
+  const Matrix queries = RandomMatrix(19, 6, 52);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  const QueryLimits inactive;  // deadline 0, no token
+  ASSERT_FALSE(inactive.active());
+  for (const Backend& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    auto index = backend.make(data, metric.get());
+    ScopedThreadCount guard(4);
+    QueryStats plain_stats;
+    QueryStats limited_stats;
+    const auto plain = index->QueryBatch(queries, 5, &plain_stats);
+    const auto limited =
+        index->QueryBatch(queries, 5, &limited_stats, inactive);
+    EXPECT_EQ(plain, limited);
+    EXPECT_FALSE(limited_stats.truncated);
+    EXPECT_EQ(plain_stats.distance_evaluations,
+              limited_stats.distance_evaluations);
+  }
+}
+
+TEST(QueryBatchDeadlineTest, GenerousDeadlineLeavesAnswersExact) {
+  const Matrix data = RandomMatrix(150, 5, 53);
+  const Matrix queries = RandomMatrix(13, 5, 54);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  QueryLimits limits;
+  limits.deadline_us = 60e6;  // one minute: never expires inside the test
+  for (const Backend& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    auto index = backend.make(data, metric.get());
+    ScopedThreadCount guard(4);
+    QueryStats stats;
+    const auto batch = index->QueryBatch(queries, 4, &stats, limits);
+    EXPECT_FALSE(stats.truncated);
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      EXPECT_EQ(batch[i], index->Query(queries.Row(i), 4)) << "query " << i;
+    }
+  }
+}
+
+TEST(QueryBatchDeadlineTest, ExpiredDeadlineTruncatesEveryBackend) {
+  const Matrix data = RandomMatrix(400, 6, 55);
+  const Matrix queries = RandomMatrix(9, 6, 56);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  QueryLimits limits;
+  limits.deadline_us = 1e-3;  // already in the past at the first check
+  for (const Backend& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    auto index = backend.make(data, metric.get());
+    for (size_t threads : {1u, 4u}) {
+      SCOPED_TRACE(threads);
+      ScopedThreadCount guard(threads);
+      QueryStats stats;
+      const auto batch = index->QueryBatch(queries, 5, &stats, limits);
+      ASSERT_EQ(batch.size(), queries.rows());
+      EXPECT_TRUE(stats.truncated);
+      // The first control check fires before a full scan's worth of work:
+      // far fewer evaluations than the exact answer needs.
+      EXPECT_LT(stats.distance_evaluations,
+                queries.rows() * data.rows());
+    }
+  }
+}
+
+TEST(QueryBatchDeadlineTest, CancelTokenStopsTheBatch) {
+  const Matrix data = RandomMatrix(300, 5, 57);
+  const Matrix queries = RandomMatrix(7, 5, 58);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  CancelToken token;
+  token.Cancel();  // pre-cancelled: every row stops at its first check
+  QueryLimits limits;
+  limits.cancel = &token;
+  ASSERT_TRUE(limits.active());
+  for (const Backend& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    auto index = backend.make(data, metric.get());
+    ScopedThreadCount guard(4);
+    QueryStats stats;
+    const auto batch = index->QueryBatch(queries, 5, &stats, limits);
+    ASSERT_EQ(batch.size(), queries.rows());
+    EXPECT_TRUE(stats.truncated);
+
+    token.Reset();
+    QueryStats fresh;
+    const auto exact = index->QueryBatch(queries, 5, &fresh, limits);
+    EXPECT_FALSE(fresh.truncated);
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      EXPECT_EQ(exact[i], index->Query(queries.Row(i), 5));
+    }
+    token.Cancel();  // restore for the next backend
+  }
+}
+
+TEST(QueryBatchDeadlineTest, PerQueryDeadlineTruncatesSingleQueries) {
+  const Matrix data = RandomMatrix(500, 6, 59);
+  const Vector query = RandomMatrix(1, 6, 60).Row(0);
+  auto metric = MakeMetric(MetricKind::kEuclidean);
+  QueryLimits limits;
+  limits.deadline_us = 1e-3;
+  for (const Backend& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    auto index = backend.make(data, metric.get());
+    QueryStats stats;
+    const auto result =
+        index->Query(query, 5, KnnIndex::kNoSkip, &stats, limits);
+    EXPECT_TRUE(stats.truncated);
+    EXPECT_LE(result.size(), 5u);
+  }
+}
+
 TEST(QueryBatchTest, EmptyBatchAndKZero) {
   const Matrix data = RandomMatrix(50, 4, 47);
   auto metric = MakeMetric(MetricKind::kEuclidean);

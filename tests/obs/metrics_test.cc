@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/fault.h"
 #include "common/parallel.h"
 
 namespace cohere {
@@ -220,6 +224,59 @@ TEST(MetricsRegistryTest, SnapshotIsNameSortedAndTimestamped) {
   // they were cut.
   EXPECT_EQ(first.ToText().rfind("snapshot: monotonic_us=", 0), 0u);
   EXPECT_NE(first.ToJson().find("\"monotonic_us\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SnapshotSurfacesFaultTriggersAndTaskFailures) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  fault::DisarmAll();
+  fault::ResetCounters();
+  ResetParallelTaskFailureCount();
+
+  // With the failure count at zero, the synthetic counter is absent — a
+  // fault-free process snapshot is byte-identical to the pre-fault layout.
+  {
+    const MetricsSnapshot clean = registry.Snapshot();
+    for (const auto& [name, value] : clean.counters) {
+      EXPECT_NE(name, "parallel.task_failures");
+    }
+  }
+
+  fault::Arm("test.metrics.point", 1.0);
+  ASSERT_TRUE(fault::Point("test.metrics.point")->ShouldFire());
+  ASSERT_TRUE(fault::Point("test.metrics.point")->ShouldFire());
+  SetParallelThreadCount(2);
+  EXPECT_THROW(ParallelFor(0, 64, 8,
+                           [](size_t, size_t) {
+                             throw std::runtime_error("fail");
+                           }),
+               std::runtime_error);
+  SetParallelThreadCount(0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  bool saw_triggers = false;
+  bool saw_failures = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "fault.test.metrics.point.triggers") {
+      saw_triggers = true;
+      EXPECT_EQ(value, 2u);
+    }
+    if (name == "parallel.task_failures") {
+      saw_failures = true;
+      EXPECT_GT(value, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_triggers);
+  EXPECT_TRUE(saw_failures);
+  // The merged counter list stays sorted despite the synthetic entries.
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.counters.begin(), snapshot.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+
+  // ResetAll clears the synthetic sources along with the registry.
+  registry.ResetAll();
+  EXPECT_EQ(fault::Point("test.metrics.point")->triggers(), 0u);
+  EXPECT_EQ(ParallelTaskFailureCount(), 0u);
+  fault::DisarmAll();
 }
 
 TEST(LatencyHistogramTest, BinsDeltaIsolatesTheInterval) {

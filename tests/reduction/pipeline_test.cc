@@ -1,9 +1,13 @@
 #include "reduction/pipeline.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
+#include "common/fault.h"
 #include "data/uci_like.h"
+#include "obs/metrics.h"
 
 namespace cohere {
 namespace {
@@ -107,6 +111,108 @@ TEST(PipelineTest, RejectsOversizedTargetDim) {
   Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
   EXPECT_FALSE(pipeline.ok());
   EXPECT_EQ(pipeline.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The degradation ladder: primary eigensolver -> SVD -> studentized
+// identity. Faults are disarmed even when assertions fail (fixture
+// teardown), so a broken expectation cannot poison later tests.
+class PipelineFallbackTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::DisarmAll();
+    fault::ResetCounters();
+  }
+};
+
+TEST_F(PipelineFallbackTest, PrimaryFailureFallsBackToSvd) {
+  Dataset data = IonosphereLike(140);
+  ReductionOptions options;
+  options.strategy = SelectionStrategy::kCoherenceOrder;
+  options.target_dim = 6;
+  const uint64_t svd_before =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.fallback_svd")
+          ->Value();
+
+  fault::Arm(fault::kPointReductionFit, 1.0);
+  Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ(pipeline->ReducedDims(), 6u);
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("pipeline.fallback_svd")
+                ->Value(),
+            svd_before);
+  // The SVD path fits the same model as the eigensolver path (up to sign),
+  // so the degraded pipeline still retains real variance.
+  EXPECT_GT(pipeline->VarianceRetainedFraction(), 0.0);
+  const Vector projected = pipeline->TransformPoint(data.Record(0));
+  for (size_t j = 0; j < projected.size(); ++j) {
+    EXPECT_TRUE(std::isfinite(projected[j]));
+  }
+}
+
+TEST_F(PipelineFallbackTest, RealEigensolverFailureAlsoEngagesTheChain) {
+  // Arm the solver-level point instead of the pipeline-level one: the chain
+  // must catch a NumericalError coming out of the actual linalg call.
+  Dataset data = IonosphereLike(141);
+  ReductionOptions options;
+  options.strategy = SelectionStrategy::kEigenvalueOrder;
+  options.target_dim = 5;
+  fault::Arm(fault::kPointSymmetricEigen, 1.0);
+  Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ(pipeline->ReducedDims(), 5u);
+}
+
+TEST_F(PipelineFallbackTest, DoubleFailureDegradesToIdentityProjection) {
+  Dataset data = IonosphereLike(142);
+  ReductionOptions options;
+  options.strategy = SelectionStrategy::kEigenvalueOrder;
+  options.target_dim = 4;
+  const uint64_t identity_before =
+      obs::MetricsRegistry::Global()
+          .GetCounter("pipeline.fallback_identity")
+          ->Value();
+
+  fault::Arm(fault::kPointReductionFit, 1.0);
+  fault::Arm(fault::kPointSvd, 1.0);
+  Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ(pipeline->ReducedDims(), 4u);
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("pipeline.fallback_identity")
+                ->Value(),
+            identity_before);
+
+  // The identity model is axis-aligned: every "eigenvector" is a standard
+  // basis vector, so transforms are finite and well-defined.
+  const PcaModel& model = pipeline->model();
+  for (size_t j = 0; j < model.dims(); ++j) {
+    double col_sum = 0.0;
+    for (size_t i = 0; i < model.dims(); ++i) {
+      col_sum += std::abs(model.eigenvectors().At(i, j));
+    }
+    EXPECT_NEAR(col_sum, 1.0, 1e-12) << "column " << j;
+  }
+  // Eigenvalues descend.
+  for (size_t i = 1; i < model.eigenvalues().size(); ++i) {
+    EXPECT_LE(model.eigenvalues()[i], model.eigenvalues()[i - 1] + 1e-12);
+  }
+  const Vector projected = pipeline->TransformPoint(data.Record(3));
+  for (size_t j = 0; j < projected.size(); ++j) {
+    EXPECT_TRUE(std::isfinite(projected[j]));
+  }
+}
+
+TEST_F(PipelineFallbackTest, DegradationCanBeDisabled) {
+  Dataset data = IonosphereLike(143);
+  ReductionOptions options;
+  options.strategy = SelectionStrategy::kEigenvalueOrder;
+  options.target_dim = 4;
+  options.allow_degraded_fit = false;
+  fault::Arm(fault::kPointReductionFit, 1.0);
+  Result<ReductionPipeline> pipeline = ReductionPipeline::Fit(data, options);
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), StatusCode::kNumericalError);
 }
 
 TEST(PipelineTest, DescribeMentionsStrategyAndDims) {

@@ -1,5 +1,7 @@
 #include "stats/covariance.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
@@ -103,6 +105,30 @@ TEST(SpearmanTest, MonotoneNonlinearIsOne) {
 
 TEST(SpearmanTest, TinyInputs) {
   EXPECT_EQ(SpearmanCorrelation(Vector{1.0}, Vector{2.0}), 0.0);
+}
+
+TEST(CorrelationTest, ZeroVarianceColumnsStayFinite) {
+  // Column 1 is constant: its correlation row/column must be zero (no
+  // correlation signal) with a 1 on the diagonal — never NaN or Inf.
+  Matrix data(6, 3);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    data.At(i, 0) = static_cast<double>(i);
+    data.At(i, 1) = 42.0;
+    data.At(i, 2) = static_cast<double>(i * i);
+  }
+  const Matrix corr = CorrelationMatrix(data);
+  for (size_t i = 0; i < corr.rows(); ++i) {
+    for (size_t j = 0; j < corr.cols(); ++j) {
+      EXPECT_TRUE(std::isfinite(corr.At(i, j))) << i << "," << j;
+    }
+    EXPECT_DOUBLE_EQ(corr.At(i, i), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(corr.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(corr.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(corr.At(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(corr.At(2, 1), 0.0);
+  // The varying columns keep their real (perfectly monotone) correlation.
+  EXPECT_GT(corr.At(0, 2), 0.9);
 }
 
 TEST(CovarianceParallelTest, MatrixIsBitwiseIdenticalAcrossThreadCounts) {

@@ -210,6 +210,14 @@ int QueryCmd(const Dataset& data, const Args& args) {
     }
     options.reduction.target_dim = static_cast<size_t>(*dims);
   }
+  if (auto it = args.flags.find("deadline-us"); it != args.flags.end()) {
+    Result<double> deadline = ParseDouble(it->second);
+    if (!deadline.ok() || *deadline < 0.0) {
+      std::fprintf(stderr, "bad --deadline-us value\n");
+      return 1;
+    }
+    options.query_deadline_us = *deadline;
+  }
   Result<ReducedSearchEngine> engine =
       ReducedSearchEngine::Build(data, options);
   if (!engine.ok()) {
@@ -220,9 +228,10 @@ int QueryCmd(const Dataset& data, const Args& args) {
   std::printf("%s", engine->Describe().c_str());
 
   const size_t query_row = static_cast<size_t>(*row);
+  QueryStats stats;
   TextTable table({"record", "distance", "class"});
   for (const Neighbor& n :
-       engine->Query(data.Record(query_row), k, query_row)) {
+       engine->Query(data.Record(query_row), k, query_row, &stats)) {
     std::string label = "-";
     if (data.HasLabels()) {
       const size_t id = static_cast<size_t>(data.label(n.index));
@@ -234,6 +243,9 @@ int QueryCmd(const Dataset& data, const Args& args) {
   }
   std::printf("\n%zu nearest neighbors of record %zu:\n%s", k, query_row,
               table.Render().c_str());
+  if (stats.truncated) {
+    std::printf("(deadline exceeded: partial answer)\n");
+  }
   return 0;
 }
 
@@ -271,6 +283,8 @@ int Usage() {
                "             [--strategy coherence|eigenvalue|threshold|"
                "energy] [--scaling cov|corr]\n"
                "  cohere_cli query   <data-file> --row R [--k K] [--dims N]\n"
+               "             [--deadline-us T]   per-query wall-clock budget "
+               "(partial answer on expiry)\n"
                "  cohere_cli demo\n"
                "common flags:\n"
                "  --metrics text|json   dump the observability registry "
