@@ -71,8 +71,11 @@ else
   "$TSAN_DIR/tests/linalg_tests" --gtest_filter='MatrixParallelTest*'
   "$TSAN_DIR/tests/stats_tests" --gtest_filter='CovarianceParallelTest*'
   "$TSAN_DIR/tests/reduction_tests" --gtest_filter='CoherenceParallelTest*'
-  "$TSAN_DIR/tests/core_tests" \
-    --gtest_filter='EngineTest.QueryBatch*:EngineTest.NumThreads*'
+  # scripts/tsan.supp masks the libstdc++ atomic<shared_ptr> false positive
+  # (GCC PR 101761) that the snapshot handle would otherwise trip.
+  TSAN_OPTIONS="suppressions=$ROOT/scripts/tsan.supp ${TSAN_OPTIONS:-}" \
+    "$TSAN_DIR/tests/core_tests" \
+    --gtest_filter='EngineTest.QueryBatch*:EngineTest.NumThreads*:Serving*'
   "$TSAN_DIR/tests/obs_tests" --gtest_filter='*Concurrent*'
 fi
 
@@ -110,20 +113,22 @@ echo "==> tier-1: fault-injection sweep (each point at probability 1.0)"
 # point armed unconditionally proves those outcomes hold when the fault
 # really fires, not just in the targeted Arm()-based tests.
 #
-# parallel.dispatch is special-cased: at p=1.0 it poisons *every* pooled
-# region in the process, so only the FaultMatrix tests (which disarm in
-# their fixture before touching the pool) can run under it.
+# parallel.dispatch and core.snapshot.publish are special-cased: at p=1.0
+# the former poisons *every* pooled region and the latter fails *every*
+# replacement snapshot publish (insert/refit/rebuild) in the process, so
+# only the FaultMatrix tests (which disarm in their fixture before touching
+# those paths) can run under them.
 ROBUSTNESS_FILTER='RobustnessTest.*:PipelinePropertyTest.*'
 ROBUSTNESS_FILTER+=':SerializationIntegrationTest.*:FaultMatrix*'
 FAULT_POINTS=(
   linalg.symmetric_eigen.converge linalg.jacobi_eigen.converge
   linalg.power_iteration.converge linalg.svd.converge
   data.loader.io reduction.fit.primary dynamic_index.refit
-  parallel.dispatch
+  parallel.dispatch core.snapshot.publish
 )
 for point in "${FAULT_POINTS[@]}"; do
   filter="$ROBUSTNESS_FILTER"
-  if [[ "$point" == "parallel.dispatch" ]]; then
+  if [[ "$point" == "parallel.dispatch" || "$point" == "core.snapshot.publish" ]]; then
     filter='FaultMatrix*'
   fi
   echo "==> tier-1: sweep COHERE_FAULT=$point:1.0"

@@ -177,7 +177,7 @@ std::vector<std::string> KnownPoints() {
   std::vector<std::string> points = {
       kPointLoaderIo,       kPointDynamicRefit,   kPointJacobiEigen,
       kPointPowerIteration, kPointSymmetricEigen, kPointSvd,
-      kPointParallelDispatch, kPointReductionFit,
+      kPointParallelDispatch, kPointReductionFit, kPointSnapshotPublish,
   };
   std::sort(points.begin(), points.end());
   return points;

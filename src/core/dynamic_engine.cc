@@ -6,6 +6,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "index/linear_scan.h"
 #include "obs/tracing.h"
 
 namespace cohere {
@@ -26,86 +27,120 @@ Result<DynamicReducedIndex> DynamicReducedIndex::Build(
 
   DynamicReducedIndex index;
   index.options_ = options;
-  index.metric_ = MakeMetric(options.metric, options.metric_p);
   index.dims_ = dataset.NumAttributes();
+  index.writer_ = std::make_unique<WriterState>();
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  index.query_metrics_ = &obs::QueryPathMetricsFor("dynamic_index");
   index.inserts_ = registry.GetCounter("dynamic_index.inserts");
   index.refits_ = registry.GetCounter("dynamic_index.refits");
   index.refit_failures_ = registry.GetCounter("dynamic_index.refit_failures");
-  index.deadline_exceeded_ = registry.GetCounter("queries.deadline_exceeded");
   index.drift_gauge_ = registry.GetGauge("dynamic_index.drift_ratio");
 
   Result<ReductionPipeline> pipeline =
       ReductionPipeline::Fit(dataset, options.reduction);
   if (!pipeline.ok()) return pipeline.status();
-  index.pipeline_ = std::move(*pipeline);
 
   const size_t n = dataset.NumRecords();
-  index.fitted_records_ = n;
-  index.originals_.assign(dataset.features().data(),
-                          dataset.features().data() + n * index.dims_);
-  if (dataset.HasLabels()) {
-    index.labels_ = dataset.labels();
-  } else {
-    index.labels_.assign(n, kNoLabel);
+  const size_t reduced_dims = pipeline->ReducedDims();
+  Matrix reduced(n, reduced_dims);
+  for (size_t i = 0; i < n; ++i) {
+    reduced.SetRow(i, pipeline->TransformPoint(dataset.Record(i)));
   }
-  index.ReprojectAll();
 
+  auto snapshot = std::make_shared<EngineSnapshot>();
+  snapshot->metric = MakeMetric(options.metric, options.metric_p);
+  snapshot->originals = dataset.features();
+  if (dataset.HasLabels()) {
+    snapshot->labels = dataset.labels();
+  } else {
+    snapshot->labels.assign(n, kNoLabel);
+  }
+  SnapshotShard shard;
+  shard.pipeline = std::move(*pipeline);
+  shard.index = std::make_unique<LinearScanIndex>(std::move(reduced),
+                                                  snapshot->metric.get());
+  snapshot->shards.push_back(std::move(shard));
+
+  index.writer_->fitted_records = n;
   double error_sum = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    error_sum += index.ReconstructionErrorSq(dataset.Record(i));
+    error_sum += ReconstructionErrorSq(snapshot->shards[0].pipeline,
+                                       dataset.Record(i));
   }
-  index.baseline_error_ = error_sum / static_cast<double>(n);
+  index.writer_->baseline_error = error_sum / static_cast<double>(n);
+
+  ServingCoreOptions serving_options;
+  serving_options.scope = "dynamic_index";
+  serving_options.default_deadline_us = options.query_deadline_us;
+  index.serving_ = std::make_unique<ServingCore>(serving_options);
+  COHERE_CHECK(index.serving_->Publish(std::move(snapshot)).ok());
   return index;
 }
 
 double DynamicReducedIndex::ReconstructionErrorSq(
-    const Vector& record) const {
-  const PcaModel& model = pipeline_.model();
+    const ReductionPipeline& pipeline, const Vector& record) {
+  const PcaModel& model = pipeline.model();
   const Vector normalized = model.Normalize(record);
   // Energy identity: |normalized|^2 = |full coords|^2, so the error of
   // keeping only the retained components is |normalized|^2 - |kept|^2.
-  const Vector kept = model.Project(record, pipeline_.components());
+  const Vector kept = model.Project(record, pipeline.components());
   const double err = normalized.SquaredNorm2() - kept.SquaredNorm2();
   return std::max(err, 0.0);
-}
-
-void DynamicReducedIndex::ReprojectAll() {
-  const size_t n = labels_.size();
-  const size_t reduced_dims = pipeline_.ReducedDims();
-  reduced_.assign(n * reduced_dims, 0.0);
-  Vector record(dims_);
-  for (size_t i = 0; i < n; ++i) {
-    std::copy(originals_.begin() + static_cast<ptrdiff_t>(i * dims_),
-              originals_.begin() + static_cast<ptrdiff_t>((i + 1) * dims_),
-              record.data());
-    const Vector projected = pipeline_.TransformPoint(record);
-    std::copy(projected.data(), projected.data() + reduced_dims,
-              reduced_.begin() + static_cast<ptrdiff_t>(i * reduced_dims));
-  }
 }
 
 Status DynamicReducedIndex::Insert(const Vector& record, int label) {
   if (record.size() != dims_) {
     return Status::InvalidArgument("record dimensionality mismatch");
   }
-  originals_.insert(originals_.end(), record.data(),
-                    record.data() + dims_);
-  labels_.push_back(label);
-  const Vector projected = pipeline_.TransformPoint(record);
-  reduced_.insert(reduced_.end(), projected.data(),
-                  projected.data() + projected.size());
+  std::lock_guard<std::mutex> lock(writer_->mu);
+  const std::shared_ptr<const EngineSnapshot> snapshot = serving_->snapshot();
+  const SnapshotShard& shard = snapshot->shards[0];
+  const Matrix& old_reduced =
+      static_cast<const LinearScanIndex&>(*shard.index).data();
+  const size_t n = snapshot->labels.size();
+  const size_t reduced_dims = old_reduced.cols();
 
-  recent_errors_.push_back(ReconstructionErrorSq(record));
-  while (recent_errors_.size() > options_.drift_window) {
-    recent_errors_.pop_front();
+  // Copy-on-write: build the successor snapshot aside (extended originals,
+  // extended reduced rows, fresh index over them) and publish it atomically.
+  // In-flight queries keep the old snapshot alive until they finish.
+  auto next = std::make_shared<EngineSnapshot>();
+  next->metric = snapshot->metric;
+  next->labels = snapshot->labels;
+  next->labels.push_back(label);
+  next->originals = Matrix(n + 1, dims_);
+  std::copy(snapshot->originals.data(),
+            snapshot->originals.data() + n * dims_, next->originals.data());
+  std::copy(record.data(), record.data() + dims_, next->originals.RowPtr(n));
+  Matrix reduced(n + 1, reduced_dims);
+  std::copy(old_reduced.data(), old_reduced.data() + n * reduced_dims,
+            reduced.data());
+  const Vector projected = shard.pipeline.TransformPoint(record);
+  std::copy(projected.data(), projected.data() + reduced_dims,
+            reduced.RowPtr(n));
+  SnapshotShard next_shard;
+  next_shard.pipeline = shard.pipeline;  // unchanged by inserts
+  next_shard.index = std::make_unique<LinearScanIndex>(std::move(reduced),
+                                                       next->metric.get());
+  next->shards.push_back(std::move(next_shard));
+
+  Status published = serving_->Publish(std::move(next));
+  if (!published.ok()) {
+    // The old snapshot is still serving and the record was not inserted;
+    // leave the drift monitor untouched.
+    return published;
   }
-  if (backoff_remaining_inserts_ > 0) --backoff_remaining_inserts_;
+
+  writer_->recent_errors.push_back(
+      ReconstructionErrorSq(shard.pipeline, record));
+  while (writer_->recent_errors.size() > options_.drift_window) {
+    writer_->recent_errors.pop_front();
+  }
+  if (writer_->backoff_remaining_inserts > 0) {
+    --writer_->backoff_remaining_inserts;
+  }
   if (obs::MetricsRegistry::Enabled()) {
     inserts_->Increment();
-    drift_gauge_->Set(DriftRatio());
+    drift_gauge_->Set(DriftRatioLocked());
   }
   return Status::Ok();
 }
@@ -113,99 +148,110 @@ Status DynamicReducedIndex::Insert(const Vector& record, int label) {
 std::vector<Neighbor> DynamicReducedIndex::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats) const {
-  return Query(original_space_query, k, skip_index, stats, QueryLimits{});
+  COHERE_CHECK_EQ(original_space_query.size(), dims_);
+  return serving_->Query(original_space_query, k, skip_index, stats);
 }
 
 std::vector<Neighbor> DynamicReducedIndex::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats, const QueryLimits& limits) const {
   COHERE_CHECK_EQ(original_space_query.size(), dims_);
-  obs::TraceSpan span("dynamic_index.query");
-  span.AddArg("k", static_cast<double>(k));
-  const bool instrumented = obs::MetricsRegistry::Enabled();
-  Stopwatch watch;
-  const Vector query = pipeline_.TransformPoint(original_space_query);
-  const size_t reduced_dims = pipeline_.ReducedDims();
-  const size_t n = labels_.size();
+  return serving_->Query(original_space_query, k, skip_index, stats, limits);
+}
 
-  QueryControl control = QueryControl::FromLimits(limits);
-  QueryControl* control_ptr = limits.active() ? &control : nullptr;
+std::vector<std::vector<Neighbor>> DynamicReducedIndex::QueryBatch(
+    const Matrix& original_space_queries, size_t k, QueryStats* stats) const {
+  return serving_->QueryBatch(original_space_queries, k, stats);
+}
 
-  QueryStats local;
-  KnnCollector collector(k);
-  Vector row(reduced_dims);
-  for (size_t i = 0; i < n; ++i) {
-    if (i == skip_index) continue;
-    if (control_ptr != nullptr && control_ptr->ShouldStop()) break;
-    std::copy(
-        reduced_.begin() + static_cast<ptrdiff_t>(i * reduced_dims),
-        reduced_.begin() + static_cast<ptrdiff_t>((i + 1) * reduced_dims),
-        row.data());
-    const double comparable = metric_->ComparableDistance(query, row);
-    ++local.distance_evaluations;
-    collector.Offer(i, comparable);
-  }
-  if (control_ptr != nullptr && control_ptr->stopped()) {
-    local.truncated = true;
-  }
-  std::vector<Neighbor> out = collector.Take();
-  for (Neighbor& nb : out) {
-    nb.distance = metric_->ComparableToActual(nb.distance);
-  }
-  if (instrumented) {
-    query_metrics_->Record(local.distance_evaluations, local.nodes_visited,
-                           local.candidates_refined, watch.ElapsedMicros());
-    if (control_ptr != nullptr && control_ptr->deadline_exceeded()) {
-      deadline_exceeded_->Increment();
-    }
-  }
-  if (local.truncated) span.AddArg("truncated", 1.0);
-  if (stats != nullptr) stats->MergeFrom(local);
-  return out;
+std::vector<std::vector<Neighbor>> DynamicReducedIndex::QueryBatch(
+    const Matrix& original_space_queries, size_t k, QueryStats* stats,
+    const QueryLimits& limits) const {
+  return serving_->QueryBatch(original_space_queries, k, stats, limits);
 }
 
 int DynamicReducedIndex::label(size_t i) const {
-  COHERE_CHECK_LT(i, labels_.size());
-  return labels_[i];
+  const std::shared_ptr<const EngineSnapshot> snapshot = serving_->snapshot();
+  COHERE_CHECK_LT(i, snapshot->labels.size());
+  return snapshot->labels[i];
+}
+
+double DynamicReducedIndex::BaselineReconstructionError() const {
+  std::lock_guard<std::mutex> lock(writer_->mu);
+  return writer_->baseline_error;
+}
+
+double DynamicReducedIndex::RecentReconstructionErrorLocked() const {
+  if (writer_->recent_errors.empty()) return writer_->baseline_error;
+  double sum = 0.0;
+  for (double e : writer_->recent_errors) sum += e;
+  return sum / static_cast<double>(writer_->recent_errors.size());
 }
 
 double DynamicReducedIndex::RecentReconstructionError() const {
-  if (recent_errors_.empty()) return baseline_error_;
-  double sum = 0.0;
-  for (double e : recent_errors_) sum += e;
-  return sum / static_cast<double>(recent_errors_.size());
+  std::lock_guard<std::mutex> lock(writer_->mu);
+  return RecentReconstructionErrorLocked();
+}
+
+double DynamicReducedIndex::DriftRatioLocked() const {
+  if (writer_->baseline_error <= 0.0) {
+    return RecentReconstructionErrorLocked() > 0.0
+               ? options_.drift_threshold + 1.0
+               : 1.0;
+  }
+  return RecentReconstructionErrorLocked() / writer_->baseline_error;
 }
 
 double DynamicReducedIndex::DriftRatio() const {
-  if (baseline_error_ <= 0.0) {
-    return RecentReconstructionError() > 0.0 ? options_.drift_threshold + 1.0
-                                             : 1.0;
-  }
-  return RecentReconstructionError() / baseline_error_;
+  std::lock_guard<std::mutex> lock(writer_->mu);
+  return DriftRatioLocked();
 }
 
 bool DynamicReducedIndex::NeedsRefit() const {
-  if (backoff_remaining_inserts_ > 0) return false;
-  if (recent_errors_.size() * 4 < options_.drift_window) return false;
-  return DriftRatio() > options_.drift_threshold;
+  std::lock_guard<std::mutex> lock(writer_->mu);
+  if (writer_->backoff_remaining_inserts > 0) return false;
+  if (writer_->recent_errors.size() * 4 < options_.drift_window) return false;
+  return DriftRatioLocked() > options_.drift_threshold;
+}
+
+size_t DynamicReducedIndex::RefitBackoffRemaining() const {
+  std::lock_guard<std::mutex> lock(writer_->mu);
+  return writer_->backoff_remaining_inserts;
 }
 
 Status DynamicReducedIndex::Refit() {
+  std::lock_guard<std::mutex> lock(writer_->mu);
   obs::TraceSpan trace("dynamic_index.refit");
   obs::ScopedTimer timer(
       obs::MetricsRegistry::Enabled()
           ? obs::MetricsRegistry::Global().GetHistogram(
                 "dynamic_index.refit_latency_us")
           : nullptr);
-  const size_t n = labels_.size();
-  Matrix features(n, dims_);
-  std::copy(originals_.begin(), originals_.end(), features.data());
+  const std::shared_ptr<const EngineSnapshot> snapshot = serving_->snapshot();
+  const size_t n = snapshot->labels.size();
+  Matrix features = snapshot->originals;
   Dataset dataset(std::move(features));
   // Labels may be partially kNoLabel; the reduction does not need them.
 
+  auto fail = [&](const Status& status) {
+    ++writer_->consecutive_refit_failures;
+    writer_->backoff_remaining_inserts =
+        std::min(kRefitBackoffCapInserts,
+                 kRefitBackoffBaseInserts << std::min<size_t>(
+                     writer_->consecutive_refit_failures - 1, size_t{16}));
+    if (obs::MetricsRegistry::Enabled()) refit_failures_->Increment();
+    COHERE_LOG(Warning) << "DynamicReducedIndex::Refit failed ("
+                        << status.ToString()
+                        << "); keeping the previous snapshot and backing "
+                           "off for " << writer_->backoff_remaining_inserts
+                        << " inserts";
+    return status;
+  };
+
   // Build the replacement pipeline aside; nothing the index serves from is
-  // touched until the fit has succeeded, so a failed refit leaves the old
-  // projection answering queries exactly as before.
+  // touched until the whole successor snapshot has been published, so a
+  // failed refit (fit error or publish fault) leaves the old snapshot
+  // answering queries exactly as before.
   Result<ReductionPipeline> pipeline = [&]() -> Result<ReductionPipeline> {
     if (COHERE_INJECT_FAULT(fault::kPointDynamicRefit)) {
       return Status::NumericalError(
@@ -213,43 +259,55 @@ Status DynamicReducedIndex::Refit() {
     }
     return ReductionPipeline::Fit(dataset, options_.reduction);
   }();
-  if (!pipeline.ok()) {
-    ++consecutive_refit_failures_;
-    backoff_remaining_inserts_ =
-        std::min(kRefitBackoffCapInserts,
-                 kRefitBackoffBaseInserts << std::min<size_t>(
-                     consecutive_refit_failures_ - 1, size_t{16}));
-    if (obs::MetricsRegistry::Enabled()) refit_failures_->Increment();
-    COHERE_LOG(Warning) << "DynamicReducedIndex::Refit failed ("
-                        << pipeline.status().ToString()
-                        << "); keeping the previous projection and backing "
-                           "off for " << backoff_remaining_inserts_
-                        << " inserts";
-    return pipeline.status();
+  if (!pipeline.ok()) return fail(pipeline.status());
+
+  const size_t reduced_dims = pipeline->ReducedDims();
+  Matrix reduced(n, reduced_dims);
+  for (size_t i = 0; i < n; ++i) {
+    reduced.SetRow(i, pipeline->TransformPoint(dataset.Record(i)));
   }
-  pipeline_ = std::move(*pipeline);
-  fitted_records_ = n;
-  consecutive_refit_failures_ = 0;
-  backoff_remaining_inserts_ = 0;
-  ReprojectAll();
+  auto next = std::make_shared<EngineSnapshot>();
+  next->metric = snapshot->metric;
+  next->labels = snapshot->labels;
+  next->originals = snapshot->originals;
+  SnapshotShard next_shard;
+  next_shard.pipeline = std::move(*pipeline);
+  next_shard.index = std::make_unique<LinearScanIndex>(std::move(reduced),
+                                                       next->metric.get());
+  next->shards.push_back(std::move(next_shard));
 
   double error_sum = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    error_sum += ReconstructionErrorSq(dataset.Record(i));
+    error_sum += ReconstructionErrorSq(next->shards[0].pipeline,
+                                       dataset.Record(i));
   }
-  baseline_error_ = error_sum / static_cast<double>(n);
-  recent_errors_.clear();
+
+  Status published = serving_->Publish(std::move(next));
+  if (!published.ok()) return fail(published);
+
+  writer_->fitted_records = n;
+  writer_->consecutive_refit_failures = 0;
+  writer_->backoff_remaining_inserts = 0;
+  writer_->baseline_error = error_sum / static_cast<double>(n);
+  writer_->recent_errors.clear();
   if (obs::MetricsRegistry::Enabled()) refits_->Increment();
   return Status::Ok();
 }
 
 std::string DynamicReducedIndex::Describe() const {
+  const std::shared_ptr<const EngineSnapshot> snapshot = serving_->snapshot();
+  size_t fitted;
+  {
+    std::lock_guard<std::mutex> lock(writer_->mu);
+    fitted = writer_->fitted_records;
+  }
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "DynamicReducedIndex: n=%zu (fitted on %zu) dims=%zu->%zu "
                 "drift=%.2f%s",
-                size(), fitted_records_, dims_, pipeline_.ReducedDims(),
-                DriftRatio(), NeedsRefit() ? " REFIT" : "");
+                snapshot->labels.size(), fitted, dims_,
+                snapshot->shards[0].pipeline.ReducedDims(), DriftRatio(),
+                NeedsRefit() ? " REFIT" : "");
   return buf;
 }
 

@@ -3,15 +3,17 @@
 
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/serving.h"
+#include "core/snapshot.h"
 #include "data/dataset.h"
 #include "index/knn.h"
 #include "index/metric.h"
 #include "obs/metrics.h"
-#include "obs/query_metrics.h"
 #include "reduction/pipeline.h"
 
 namespace cohere {
@@ -27,6 +29,9 @@ struct DynamicEngineOptions {
   double drift_threshold = 1.5;
   /// Number of most recent insertions in the drift estimate.
   size_t drift_window = 100;
+  /// Default wall-clock budget per Query (and per QueryBatch as a whole) in
+  /// microseconds; 0 disables. Per-call QueryLimits override it.
+  double query_deadline_us = 0.0;
 };
 
 /// A reduced similarity index for *dynamic* data sets (the concern of the
@@ -38,6 +43,13 @@ struct DynamicEngineOptions {
 /// The monitor's logic: the retained components were chosen for the fit-time
 /// distribution; if newly inserted records systematically lose more energy
 /// under projection than the fit-time records did, the concepts have moved.
+///
+/// Concurrency: queries are lock-free readers of an RCU-published snapshot
+/// (see core/snapshot.h) and may run from any number of threads concurrently
+/// with Insert() and Refit(). Writers build the successor snapshot aside
+/// under an internal mutex (serializing Insert/Refit against each other) and
+/// publish it atomically; a query that started on the old snapshot keeps it
+/// alive and finishes on it.
 class DynamicReducedIndex {
  public:
   DynamicReducedIndex(DynamicReducedIndex&&) = default;
@@ -50,12 +62,16 @@ class DynamicReducedIndex {
       const Dataset& dataset, const DynamicEngineOptions& options);
 
   /// Inserts a record given in the original attribute space. `label` may be
-  /// kNoLabel for unlabeled records. The record is immediately queryable.
+  /// kNoLabel for unlabeled records. The record is immediately queryable:
+  /// the insert copy-on-writes a successor snapshot and publishes it, so
+  /// concurrent queries see either the old or the new state, never a torn
+  /// one.
   Status Insert(const Vector& record, int label = kNoLabel);
 
   /// k nearest records (by the reduced-space metric) to an original-space
   /// query. Indices are insertion-ordered: the fit-time records first, then
-  /// inserts in arrival order.
+  /// inserts in arrival order. Honors
+  /// DynamicEngineOptions::query_deadline_us.
   std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
                               size_t skip_index = KnnIndex::kNoSkip,
                               QueryStats* stats = nullptr) const;
@@ -67,14 +83,26 @@ class DynamicReducedIndex {
                               size_t skip_index, QueryStats* stats,
                               const QueryLimits& limits) const;
 
+  /// Batched form of Query: one original-space query per row, fanned across
+  /// the shared thread pool; entry i equals Query(queries.Row(i), k)
+  /// exactly. The default deadline applies batch-wide.
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& original_space_queries, size_t k,
+      QueryStats* stats = nullptr) const;
+
+  /// QueryBatch under explicit per-call limits (batch-wide deadline).
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& original_space_queries, size_t k, QueryStats* stats,
+      const QueryLimits& limits) const;
+
   /// Total records currently indexed.
-  size_t size() const { return labels_.size(); }
+  size_t size() const { return serving_->snapshot()->labels.size(); }
   /// Label of record `i` (kNoLabel when unlabeled).
   int label(size_t i) const;
 
   /// Mean squared normalized-space reconstruction error of the fit-time
   /// records under the current pipeline.
-  double BaselineReconstructionError() const { return baseline_error_; }
+  double BaselineReconstructionError() const;
   /// Same statistic over the drift window of recent inserts; falls back to
   /// the baseline while the window is empty.
   double RecentReconstructionError() const;
@@ -88,9 +116,10 @@ class DynamicReducedIndex {
   /// Refits the reduction on all current records, reprojects everything and
   /// resets the drift monitor.
   ///
-  /// Transactional: the replacement pipeline is built aside and swapped in
-  /// only on success. On failure (e.g. NumericalError) the index keeps
-  /// serving the previous projection unchanged, the
+  /// Transactional: the replacement pipeline, projection, and index are
+  /// built aside and swapped in as one snapshot publish only on success. On
+  /// failure (e.g. NumericalError, or an injected publish fault) the index
+  /// keeps serving the previous snapshot unchanged, the
   /// `dynamic_index.refit_failures` counter is bumped, and NeedsRefit()
   /// goes quiet for a capped-exponential number of inserts so a poisoned
   /// dataset cannot wedge the insert path in refit retries. An explicit
@@ -100,9 +129,21 @@ class DynamicReducedIndex {
 
   /// Inserts remaining before NeedsRefit() may recommend again after a
   /// failed refit (0 when not backing off).
-  size_t RefitBackoffRemaining() const { return backoff_remaining_inserts_; }
+  size_t RefitBackoffRemaining() const;
 
-  const ReductionPipeline& pipeline() const { return pipeline_; }
+  /// The currently serving pipeline. The reference is valid until the next
+  /// Insert()/Refit() publish; callers that mutate concurrently should copy
+  /// what they need.
+  const ReductionPipeline& pipeline() const {
+    return serving_->snapshot()->shards[0].pipeline;
+  }
+
+  /// Version of the serving snapshot (1 after Build, +1 per successful
+  /// Insert/Refit publish).
+  uint64_t SnapshotVersion() const { return serving_->version(); }
+
+  /// The serving substrate (snapshot handle, metrics, query plumbing).
+  const ServingCore& serving() const { return *serving_; }
 
   /// One-line status ("n=520 dims=8 drift=1.82 REFIT").
   std::string Describe() const;
@@ -114,38 +155,40 @@ class DynamicReducedIndex {
 
   /// Squared reconstruction error of an original-space record in the
   /// pipeline's normalized space.
-  double ReconstructionErrorSq(const Vector& record) const;
+  static double ReconstructionErrorSq(const ReductionPipeline& pipeline,
+                                      const Vector& record);
 
-  void ReprojectAll();
+  /// Drift-monitor and refit-backoff state, owned by the writer side and
+  /// guarded by `mu` (readers of the serving snapshot never touch it).
+  /// Boxed so the facade stays movable.
+  struct WriterState {
+    std::mutex mu;
+    size_t fitted_records = 0;  // records the current fit used
+    double baseline_error = 0.0;
+    std::deque<double> recent_errors;
+    size_t consecutive_refit_failures = 0;
+    size_t backoff_remaining_inserts = 0;
+  };
 
-  DynamicEngineOptions options_;
-  ReductionPipeline pipeline_;
-  std::unique_ptr<Metric> metric_;
-
-  size_t dims_ = 0;          // original dimensionality
-  size_t fitted_records_ = 0; // number of records the fit used
-  std::vector<double> originals_;  // row-major original-space records
-  std::vector<double> reduced_;    // row-major reduced-space records
-  std::vector<int> labels_;
-
-  double baseline_error_ = 0.0;
-  std::deque<double> recent_errors_;
+  double RecentReconstructionErrorLocked() const;
+  double DriftRatioLocked() const;
 
   // Post-failure retry backoff: 8, 16, 32, ... up to 128 inserts between
   // refit recommendations; reset by a successful Refit().
   static constexpr size_t kRefitBackoffBaseInserts = 8;
   static constexpr size_t kRefitBackoffCapInserts = 128;
-  size_t consecutive_refit_failures_ = 0;
-  size_t backoff_remaining_inserts_ = 0;
 
-  // Registry metrics (process-lifetime pointers), resolved once at Build:
-  // the query path reports through the shared "dynamic_index" bundle, and
-  // the mutation path records insert/refit counters plus a drift gauge.
-  const obs::QueryPathMetrics* query_metrics_ = nullptr;
+  DynamicEngineOptions options_;
+  size_t dims_ = 0;  // original dimensionality (immutable after Build)
+  std::unique_ptr<ServingCore> serving_;
+  std::unique_ptr<WriterState> writer_;
+
+  // Registry metrics (process-lifetime pointers), resolved once at Build;
+  // the query path reports through the serving core, the mutation path
+  // records insert/refit counters plus a drift gauge.
   obs::Counter* inserts_ = nullptr;
   obs::Counter* refits_ = nullptr;
   obs::Counter* refit_failures_ = nullptr;
-  obs::Counter* deadline_exceeded_ = nullptr;
   obs::Gauge* drift_gauge_ = nullptr;
 };
 

@@ -63,69 +63,84 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
   Result<ReductionPipeline> pipeline =
       ReductionPipeline::Fit(dataset, options.reduction);
   if (!pipeline.ok()) return pipeline.status();
-  engine.pipeline_ = std::move(*pipeline);
 
-  engine.metric_ = MakeMetric(options.metric, options.metric_p);
+  std::shared_ptr<const Metric> metric =
+      MakeMetric(options.metric, options.metric_p);
   Matrix reduced = [&] {
     obs::TraceSpan project("engine.project_dataset");
-    return engine.pipeline_.model().ProjectRows(
-        dataset.features(), engine.pipeline_.components());
+    return pipeline->model().ProjectRows(dataset.features(),
+                                         pipeline->components());
   }();
 
-  // Covers the backend construction (and the trailing registry lookups,
-  // which are negligible against any real index build).
+  // Covers the backend construction (and the trailing publish, which is
+  // negligible against any real index build).
   obs::TraceSpan index_build("engine.index_build");
+  std::unique_ptr<KnnIndex> index;
   switch (options.backend) {
     case IndexBackend::kLinearScan:
-      engine.index_ = std::make_unique<LinearScanIndex>(std::move(reduced),
-                                                        engine.metric_.get());
+      index = std::make_unique<LinearScanIndex>(std::move(reduced),
+                                                metric.get());
       break;
     case IndexBackend::kKdTree:
-      if (!engine.metric_->IsTrueMetric()) {
+      if (!metric->IsTrueMetric()) {
         return Status::InvalidArgument(
             "kd_tree backend requires a true metric; use linear_scan");
       }
-      engine.index_ = std::make_unique<KdTreeIndex>(
-          std::move(reduced), engine.metric_.get(), options.kd_leaf_size);
+      index = std::make_unique<KdTreeIndex>(std::move(reduced), metric.get(),
+                                            options.kd_leaf_size);
       break;
     case IndexBackend::kVaFile: {
-      const MetricKind kind = engine.metric_->kind();
+      const MetricKind kind = metric->kind();
       if (kind != MetricKind::kEuclidean && kind != MetricKind::kManhattan &&
           kind != MetricKind::kChebyshev) {
         return Status::InvalidArgument(
             "va_file backend requires an L1/L2/Linf metric");
       }
-      engine.index_ = std::make_unique<VaFileIndex>(
-          std::move(reduced), engine.metric_.get(), options.va_bits_per_dim);
+      index = std::make_unique<VaFileIndex>(std::move(reduced), metric.get(),
+                                            options.va_bits_per_dim);
       break;
     }
     case IndexBackend::kVpTree:
-      if (!engine.metric_->IsTrueMetric()) {
+      if (!metric->IsTrueMetric()) {
         return Status::InvalidArgument(
             "vp_tree backend requires a true metric; use linear_scan");
       }
-      engine.index_ = std::make_unique<VpTreeIndex>(
-          std::move(reduced), engine.metric_.get(), options.vp_leaf_size);
+      index = std::make_unique<VpTreeIndex>(std::move(reduced), metric.get(),
+                                            options.vp_leaf_size);
       break;
     case IndexBackend::kRStarTree: {
-      const MetricKind kind = engine.metric_->kind();
+      const MetricKind kind = metric->kind();
       if (kind != MetricKind::kEuclidean && kind != MetricKind::kManhattan &&
           kind != MetricKind::kChebyshev) {
         return Status::InvalidArgument(
             "rstar_tree backend requires an L1/L2/Linf metric");
       }
-      engine.index_ = std::make_unique<RStarTreeIndex>(
-          std::move(reduced), engine.metric_.get(),
-          options.rstar_max_entries);
+      index = std::make_unique<RStarTreeIndex>(std::move(reduced),
+                                               metric.get(),
+                                               options.rstar_max_entries);
       break;
     }
   }
 
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  engine.query_latency_us_ = registry.GetHistogram("engine.query_latency_us");
-  engine.batch_latency_us_ = registry.GetHistogram("engine.batch_latency_us");
-  engine.queries_ = registry.GetCounter("engine.queries");
+  auto snapshot = std::make_shared<EngineSnapshot>();
+  snapshot->metric = std::move(metric);
+  SnapshotShard shard;
+  shard.pipeline = std::move(*pipeline);
+  shard.index = std::move(index);
+  snapshot->shards.push_back(std::move(shard));
+  if (dataset.HasLabels()) snapshot->labels = dataset.labels();
+
+  ServingCoreOptions serving_options;
+  serving_options.scope = "engine";
+  serving_options.default_deadline_us = options.query_deadline_us;
+  engine.serving_ = std::make_unique<ServingCore>(serving_options);
+  // The initial publish of a handle never fails (the fault point only
+  // covers replacement publishes).
+  COHERE_CHECK(engine.serving_->Publish(std::move(snapshot)).ok());
+  engine.snapshot_ = engine.serving_->snapshot();
+
   if (obs::MetricsRegistry::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
     registry.GetCounter("engine.builds")->Increment();
     registry.GetHistogram("engine.build_latency_us")
         ->Record(build_watch.ElapsedMicros());
@@ -136,69 +151,31 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
 std::vector<Neighbor> ReducedSearchEngine::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats) const {
-  QueryLimits limits;
-  limits.deadline_us = options_.query_deadline_us;
-  return Query(original_space_query, k, skip_index, stats, limits);
+  return serving_->Query(original_space_query, k, skip_index, stats);
 }
 
 std::vector<Neighbor> ReducedSearchEngine::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats, const QueryLimits& limits) const {
-  const bool instrumented = obs::MetricsRegistry::Enabled();
-  if (!instrumented && !obs::Tracer::Enabled()) {
-    // Both layers off: the exact uninstrumented path.
-    const Vector reduced = pipeline_.TransformPoint(original_space_query);
-    return index_->Query(reduced, k, skip_index, stats, limits);
-  }
-  // Root span of the serial query path; the per-query sampling (and slow-
-  // query) decision is made here, and the projection / backend phases below
-  // nest under it.
-  obs::TraceSpan span("engine.query");
-  span.AddArg("k", static_cast<double>(k));
-  obs::ScopedTimer timer(instrumented ? query_latency_us_ : nullptr);
-  if (instrumented) queries_->Increment();
-  Vector reduced = [&] {
-    obs::TraceSpan project("engine.project");
-    return pipeline_.TransformPoint(original_space_query);
-  }();
-  return index_->Query(reduced, k, skip_index, stats, limits);
+  return serving_->Query(original_space_query, k, skip_index, stats, limits);
 }
 
 std::vector<std::vector<Neighbor>> ReducedSearchEngine::QueryBatch(
     const Matrix& original_space_queries, size_t k, QueryStats* stats) const {
-  QueryLimits limits;
-  limits.deadline_us = options_.query_deadline_us;
-  return QueryBatch(original_space_queries, k, stats, limits);
+  return serving_->QueryBatch(original_space_queries, k, stats);
 }
 
 std::vector<std::vector<Neighbor>> ReducedSearchEngine::QueryBatch(
     const Matrix& original_space_queries, size_t k, QueryStats* stats,
     const QueryLimits& limits) const {
-  obs::TraceSpan trace("engine.query_batch");
-  obs::ScopedTimer timer(
-      obs::MetricsRegistry::Enabled() ? batch_latency_us_ : nullptr);
-  const size_t n = original_space_queries.rows();
-  Matrix reduced(n, ReducedDims());
-  {
-    // Row transforms are independent; reduce them across the pool before
-    // the index fans the reduced rows back out. Pool-lane chunks emit no
-    // spans of their own — the caller-side span covers the whole phase.
-    obs::TraceSpan project("engine.project_batch");
-    ParallelFor(0, n, /*grain=*/16, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        reduced.SetRow(
-            i, pipeline_.TransformPoint(original_space_queries.Row(i)));
-      }
-    });
-  }
-  return index_->QueryBatch(reduced, k, stats, limits);
+  return serving_->QueryBatch(original_space_queries, k, stats, limits);
 }
 
 std::string ReducedSearchEngine::Describe() const {
   std::string out = "ReducedSearchEngine\n";
-  out += "  reduction: " + pipeline_.Describe() + "\n";
+  out += "  reduction: " + pipeline().Describe() + "\n";
   out += "  backend:   " + std::string(IndexBackendName(options_.backend)) +
-         " (" + metric_->name() + ")\n";
+         " (" + snapshot_->metric->name() + ")\n";
   return out;
 }
 

@@ -6,10 +6,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/serving.h"
+#include "core/snapshot.h"
 #include "data/dataset.h"
 #include "index/knn.h"
 #include "index/metric.h"
-#include "obs/metrics.h"
 #include "reduction/pipeline.h"
 
 namespace cohere {
@@ -106,10 +107,15 @@ class ReducedSearchEngine {
       const Matrix& original_space_queries, size_t k, QueryStats* stats,
       const QueryLimits& limits) const;
 
-  const ReductionPipeline& pipeline() const { return pipeline_; }
-  const KnnIndex& index() const { return *index_; }
+  const ReductionPipeline& pipeline() const {
+    return snapshot_->shards[0].pipeline;
+  }
+  const KnnIndex& index() const { return *snapshot_->shards[0].index; }
   const EngineOptions& options() const { return options_; }
-  size_t ReducedDims() const { return pipeline_.ReducedDims(); }
+  size_t ReducedDims() const { return pipeline().ReducedDims(); }
+
+  /// The serving substrate (snapshot handle, metrics, query plumbing).
+  const ServingCore& serving() const { return *serving_; }
 
   /// Multi-line human-readable configuration summary.
   std::string Describe() const;
@@ -118,16 +124,13 @@ class ReducedSearchEngine {
   ReducedSearchEngine() = default;
 
   EngineOptions options_;
-  ReductionPipeline pipeline_;
-  std::unique_ptr<Metric> metric_;
-  std::unique_ptr<KnnIndex> index_;
-
-  // Engine-level registry metrics, resolved once at Build (registry-owned,
-  // process lifetime). The per-backend work counters live one level down in
-  // the KnnIndex query wrapper.
-  obs::LatencyHistogram* query_latency_us_ = nullptr;
-  obs::LatencyHistogram* batch_latency_us_ = nullptr;
-  obs::Counter* queries_ = nullptr;
+  // All query-path plumbing (deadlines, batching, metrics, tracing) lives
+  // in the shared serving core; this facade only assembles the snapshot.
+  std::unique_ptr<ServingCore> serving_;
+  // The engine is static — its one snapshot is never replaced — so pinning
+  // it here keeps the pipeline()/index() references valid for the engine's
+  // lifetime.
+  std::shared_ptr<const EngineSnapshot> snapshot_;
 };
 
 }  // namespace cohere

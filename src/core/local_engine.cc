@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <limits>
+#include <utility>
 
 #include "cluster/kmeans.h"
+#include "cluster/projected.h"
+#include "common/stopwatch.h"
+#include "data/transforms.h"
 #include "index/linear_scan.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
 
 namespace cohere {
 
-Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
-    const Dataset& dataset, const LocalEngineOptions& options) {
+Result<std::shared_ptr<EngineSnapshot>>
+LocalReducedSearchEngine::BuildSnapshot(const Dataset& dataset,
+                                        const LocalEngineOptions& options,
+                                        std::shared_ptr<const Metric> metric) {
   if (dataset.NumRecords() == 0) {
     return Status::InvalidArgument("cannot build on an empty dataset");
   }
@@ -24,17 +31,17 @@ Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
     return Status::InvalidArgument("fewer records than clusters");
   }
 
-  LocalReducedSearchEngine engine;
-  engine.options_ = options;
-  engine.metric_ = MakeMetric(options.metric, options.metric_p);
+  auto snapshot = std::make_shared<EngineSnapshot>();
+  snapshot->metric = std::move(metric);
+  if (dataset.HasLabels()) snapshot->labels = dataset.labels();
 
   // Cluster in the globally studentized space so heterogeneous attribute
   // scales do not dominate the partitioning (Section 2.2 all over again).
-  engine.studentizer_ =
-      ColumnAffineTransform::FitZScore(dataset.features());
-  engine.studentized_records_ =
-      engine.studentizer_.ApplyToRows(dataset.features());
-  const Matrix& studentized = engine.studentized_records_;
+  snapshot->has_studentizer = true;
+  snapshot->studentizer = ColumnAffineTransform::FitZScore(dataset.features());
+  snapshot->studentized_records =
+      snapshot->studentizer.ApplyToRows(dataset.features());
+  const Matrix& studentized = snapshot->studentized_records;
 
   std::vector<std::vector<size_t>> member_lists;
   std::vector<Vector> centroids;
@@ -48,7 +55,7 @@ Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
     Result<ProjectedClusteringResult> clustering =
         RunProjectedClustering(studentized, cluster_options);
     if (!clustering.ok()) return clustering.status();
-    engine.assignment_ = clustering->assignment;
+    snapshot->assignment = clustering->assignment;
     for (ProjectedCluster& cluster : clustering->clusters) {
       member_lists.push_back(std::move(cluster.members));
       centroids.push_back(std::move(cluster.centroid));
@@ -60,10 +67,10 @@ Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
     cluster_options.seed = options.seed;
     Result<KMeansResult> clustering = RunKMeans(studentized, cluster_options);
     if (!clustering.ok()) return clustering.status();
-    engine.assignment_ = clustering->assignment;
+    snapshot->assignment = clustering->assignment;
     member_lists.resize(options.num_clusters);
-    for (size_t i = 0; i < engine.assignment_.size(); ++i) {
-      member_lists[engine.assignment_[i]].push_back(i);
+    for (size_t i = 0; i < snapshot->assignment.size(); ++i) {
+      member_lists[snapshot->assignment[i]].push_back(i);
     }
     for (size_t c = 0; c < options.num_clusters; ++c) {
       centroids.push_back(clustering->centroids.Row(c));
@@ -74,12 +81,12 @@ Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
   // Fit a coherence reduction and build an index per locality. Small or
   // degenerate localities fall back to keeping all their dimensions.
   for (size_t c = 0; c < member_lists.size(); ++c) {
-    Locality locality;
-    locality.members = std::move(member_lists[c]);
-    locality.centroid = std::move(centroids[c]);
-    locality.cluster_basis = std::move(bases[c]);
+    SnapshotShard shard;
+    shard.members = std::move(member_lists[c]);
+    shard.centroid = std::move(centroids[c]);
+    shard.cluster_basis = std::move(bases[c]);
 
-    Dataset member_data = dataset.SelectRecords(locality.members);
+    Dataset member_data = dataset.SelectRecords(shard.members);
     ReductionOptions reduction = options.reduction;
     if (reduction.target_dim > member_data.NumAttributes()) {
       reduction.target_dim = member_data.NumAttributes();
@@ -87,106 +94,112 @@ Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
     Result<ReductionPipeline> pipeline =
         ReductionPipeline::Fit(member_data, reduction);
     if (!pipeline.ok()) return pipeline.status();
-    locality.pipeline = std::move(*pipeline);
+    shard.pipeline = std::move(*pipeline);
 
-    Matrix reduced = locality.pipeline.TransformDataset(member_data)
-                         .features();
-    locality.index = std::make_unique<LinearScanIndex>(std::move(reduced),
-                                                       engine.metric_.get());
-    engine.localities_.push_back(std::move(locality));
+    Matrix reduced = shard.pipeline.TransformDataset(member_data).features();
+    shard.index = std::make_unique<LinearScanIndex>(std::move(reduced),
+                                                    snapshot->metric.get());
+    snapshot->shards.push_back(std::move(shard));
+  }
+  return snapshot;
+}
+
+Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
+    const Dataset& dataset, const LocalEngineOptions& options) {
+  obs::TraceSpan trace("local_engine.build");
+  Stopwatch build_watch;
+
+  LocalReducedSearchEngine engine;
+  engine.options_ = options;
+  Result<std::shared_ptr<EngineSnapshot>> snapshot = BuildSnapshot(
+      dataset, options, MakeMetric(options.metric, options.metric_p));
+  if (!snapshot.ok()) return snapshot.status();
+
+  ServingCoreOptions serving_options;
+  serving_options.scope = "local_engine";
+  serving_options.default_deadline_us = options.query_deadline_us;
+  serving_options.probe_shards = options.probe_clusters;
+  serving_options.rerank_multi_probe = true;
+  engine.serving_ = std::make_unique<ServingCore>(serving_options);
+  COHERE_CHECK(engine.serving_->Publish(std::move(*snapshot)).ok());
+
+  if (obs::MetricsRegistry::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("local_engine.builds")->Increment();
+    registry.GetHistogram("local_engine.build_latency_us")
+        ->Record(build_watch.ElapsedMicros());
   }
   return engine;
 }
 
-std::vector<size_t> LocalReducedSearchEngine::RouteQuery(
-    const Vector& studentized_query, size_t probes) const {
-  std::vector<std::pair<double, size_t>> scored;
-  scored.reserve(localities_.size());
-  for (size_t c = 0; c < localities_.size(); ++c) {
-    const Locality& locality = localities_[c];
-    double dist;
-    if (!locality.cluster_basis.empty()) {
-      ProjectedCluster view;
-      view.centroid = locality.centroid;
-      view.basis = locality.cluster_basis;
-      dist = ProjectedSquaredDistance(studentized_query, view);
-    } else {
-      dist = (studentized_query - locality.centroid).SquaredNorm2();
-    }
-    scored.emplace_back(dist, c);
+Status LocalReducedSearchEngine::Rebuild(const Dataset& dataset) {
+  obs::TraceSpan trace("local_engine.build");
+  Stopwatch build_watch;
+  const std::shared_ptr<const EngineSnapshot> current = serving_->snapshot();
+  Result<std::shared_ptr<EngineSnapshot>> snapshot =
+      BuildSnapshot(dataset, options_, current->metric);
+  if (!snapshot.ok()) return snapshot.status();
+  Status published = serving_->Publish(std::move(*snapshot));
+  if (!published.ok()) return published;
+  if (obs::MetricsRegistry::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("local_engine.builds")->Increment();
+    registry.GetHistogram("local_engine.build_latency_us")
+        ->Record(build_watch.ElapsedMicros());
   }
-  std::sort(scored.begin(), scored.end());
-  std::vector<size_t> out;
-  for (size_t i = 0; i < std::min(probes, scored.size()); ++i) {
-    out.push_back(scored[i].second);
-  }
-  return out;
+  return Status::Ok();
 }
 
 std::vector<Neighbor> LocalReducedSearchEngine::Query(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats) const {
-  const Vector studentized = studentizer_.Apply(original_space_query);
-  const bool rerank = options_.probe_clusters > 1;
+  return serving_->Query(original_space_query, k, skip_index, stats);
+}
 
-  KnnCollector collector(k);
-  for (size_t cluster :
-       RouteQuery(studentized, options_.probe_clusters)) {
-    const Locality& locality = localities_[cluster];
-    if (stats != nullptr) ++stats->nodes_visited;
-    const Vector local_query =
-        locality.pipeline.TransformPoint(original_space_query);
-    // Translate the global skip index into a local row, if it lives here.
-    size_t local_skip = KnnIndex::kNoSkip;
-    if (skip_index != KnnIndex::kNoSkip) {
-      auto it = std::find(locality.members.begin(), locality.members.end(),
-                          skip_index);
-      if (it != locality.members.end()) {
-        local_skip = static_cast<size_t>(it - locality.members.begin());
-      }
-    }
-    for (const Neighbor& local :
-         locality.index->Query(local_query, k, local_skip, stats)) {
-      const size_t global_row = locality.members[local.index];
-      if (rerank) {
-        // Local distances are not comparable across concept spaces: score
-        // merged candidates by the metric in the shared studentized space.
-        const double dist =
-            metric_->Distance(studentized, studentized_records_.Row(global_row));
-        if (stats != nullptr) ++stats->distance_evaluations;
-        collector.Offer(global_row, dist);
-      } else {
-        collector.Offer(global_row, local.distance);
-      }
-    }
-  }
-  return collector.Take();
+std::vector<Neighbor> LocalReducedSearchEngine::Query(
+    const Vector& original_space_query, size_t k, size_t skip_index,
+    QueryStats* stats, const QueryLimits& limits) const {
+  return serving_->Query(original_space_query, k, skip_index, stats, limits);
+}
+
+std::vector<std::vector<Neighbor>> LocalReducedSearchEngine::QueryBatch(
+    const Matrix& original_space_queries, size_t k, QueryStats* stats) const {
+  return serving_->QueryBatch(original_space_queries, k, stats);
+}
+
+std::vector<std::vector<Neighbor>> LocalReducedSearchEngine::QueryBatch(
+    const Matrix& original_space_queries, size_t k, QueryStats* stats,
+    const QueryLimits& limits) const {
+  return serving_->QueryBatch(original_space_queries, k, stats, limits);
 }
 
 const std::vector<size_t>& LocalReducedSearchEngine::ClusterMembers(
     size_t c) const {
-  COHERE_CHECK_LT(c, localities_.size());
-  return localities_[c].members;
+  const std::shared_ptr<const EngineSnapshot> snapshot = serving_->snapshot();
+  COHERE_CHECK_LT(c, snapshot->shards.size());
+  return snapshot->shards[c].members;
 }
 
 const ReductionPipeline& LocalReducedSearchEngine::ClusterPipeline(
     size_t c) const {
-  COHERE_CHECK_LT(c, localities_.size());
-  return localities_[c].pipeline;
+  const std::shared_ptr<const EngineSnapshot> snapshot = serving_->snapshot();
+  COHERE_CHECK_LT(c, snapshot->shards.size());
+  return snapshot->shards[c].pipeline;
 }
 
 std::string LocalReducedSearchEngine::Describe() const {
+  const std::shared_ptr<const EngineSnapshot> snapshot = serving_->snapshot();
   std::string out = "LocalReducedSearchEngine (" +
                     std::string(options_.use_projected_clustering
                                     ? "projected clustering"
                                     : "k-means") +
-                    ", " + std::to_string(localities_.size()) +
+                    ", " + std::to_string(snapshot->shards.size()) +
                     " localities)\n";
   char buf[160];
-  for (size_t c = 0; c < localities_.size(); ++c) {
+  for (size_t c = 0; c < snapshot->shards.size(); ++c) {
     std::snprintf(buf, sizeof(buf), "  locality %zu: %zu records, %s\n", c,
-                  localities_[c].members.size(),
-                  localities_[c].pipeline.Describe().c_str());
+                  snapshot->shards[c].members.size(),
+                  snapshot->shards[c].pipeline.Describe().c_str());
     out += buf;
   }
   return out;

@@ -5,10 +5,10 @@
 #include <string>
 #include <vector>
 
-#include "cluster/projected.h"
 #include "common/status.h"
+#include "core/serving.h"
+#include "core/snapshot.h"
 #include "data/dataset.h"
-#include "data/transforms.h"
 #include "index/knn.h"
 #include "index/metric.h"
 #include "reduction/pipeline.h"
@@ -35,6 +35,9 @@ struct LocalEngineOptions {
   MetricKind metric = MetricKind::kEuclidean;
   double metric_p = 0.5;
   uint64_t seed = 1;
+  /// Default wall-clock budget per Query (and per QueryBatch as a whole) in
+  /// microseconds; 0 disables. Per-call QueryLimits override it.
+  double query_deadline_us = 0.0;
 };
 
 /// The Section 3.1 extension the paper sketches: when the *global* implicit
@@ -42,7 +45,12 @@ struct LocalEngineOptions {
 /// localities of low implicit dimensionality (generalized projected
 /// clustering, ORCLUS-style) and run the coherence reduction machinery per
 /// locality. Queries are routed to their locality and answered in its
-/// concept space.
+/// concept space; multi-probe queries scatter across the probed localities
+/// on the shared thread pool and gather with a full-space re-rank.
+///
+/// Concurrency: the per-locality pipelines and indexes live inside one
+/// RCU-published snapshot (see core/snapshot.h), so queries are lock-free
+/// readers and may run concurrently with Rebuild().
 class LocalReducedSearchEngine {
  public:
   LocalReducedSearchEngine(LocalReducedSearchEngine&&) = default;
@@ -54,49 +62,73 @@ class LocalReducedSearchEngine {
   static Result<LocalReducedSearchEngine> Build(
       const Dataset& dataset, const LocalEngineOptions& options);
 
+  /// Re-clusters and refits on `dataset` under the engine's options and
+  /// atomically publishes the replacement snapshot. Queries in flight keep
+  /// the old snapshot alive until they finish; on failure (fit error or
+  /// injected publish fault) the old snapshot keeps serving unchanged.
+  /// Neighbor indices refer to rows of the *new* dataset after a successful
+  /// rebuild. Callers mutate from one thread at a time.
+  Status Rebuild(const Dataset& dataset);
+
   /// k nearest records to a query in the original attribute space. Neighbor
   /// indices refer to rows of the dataset the engine was built on. With one
   /// probe, distances are measured in the locality's concept space; with
   /// several probes the localities generate candidates and the final
   /// ranking (and reported distances) use the metric in the shared
-  /// studentized full space.
+  /// studentized full space. Honors LocalEngineOptions::query_deadline_us.
   std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
                               size_t skip_index = KnnIndex::kNoSkip,
                               QueryStats* stats = nullptr) const;
 
-  size_t NumClusters() const { return localities_.size(); }
-  /// Member rows (global ids) of cluster `c`.
+  /// Query under explicit limits: every probe shares one absolute deadline;
+  /// when it passes the probes stop at their next control check and the
+  /// best candidates so far come back with `stats->truncated` set.
+  std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
+                              size_t skip_index, QueryStats* stats,
+                              const QueryLimits& limits) const;
+
+  /// Batched form of Query: one original-space query per row, fanned across
+  /// the shared thread pool; entry i equals Query(queries.Row(i), k)
+  /// exactly. The default deadline applies batch-wide.
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& original_space_queries, size_t k,
+      QueryStats* stats = nullptr) const;
+
+  /// QueryBatch under explicit per-call limits (batch-wide deadline).
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& original_space_queries, size_t k, QueryStats* stats,
+      const QueryLimits& limits) const;
+
+  size_t NumClusters() const { return serving_->snapshot()->shards.size(); }
+  /// Member rows (global ids) of cluster `c`. The reference is valid until
+  /// the next Rebuild() publish.
   const std::vector<size_t>& ClusterMembers(size_t c) const;
-  /// The fitted reduction of cluster `c`.
+  /// The fitted reduction of cluster `c` (same lifetime note).
   const ReductionPipeline& ClusterPipeline(size_t c) const;
-  /// Cluster assignment per original row.
-  const std::vector<size_t>& assignment() const { return assignment_; }
+  /// Cluster assignment per original row (same lifetime note).
+  const std::vector<size_t>& assignment() const {
+    return serving_->snapshot()->assignment;
+  }
+
+  /// Version of the serving snapshot (1 after Build, +1 per successful
+  /// Rebuild publish).
+  uint64_t SnapshotVersion() const { return serving_->version(); }
+
+  /// The serving substrate (snapshot handle, metrics, query plumbing).
+  const ServingCore& serving() const { return *serving_; }
 
   std::string Describe() const;
 
  private:
-  struct Locality {
-    std::vector<size_t> members;          // global row ids
-    Vector centroid;                      // in studentized space
-    Matrix cluster_basis;                 // projected-clustering basis (d x l)
-    ReductionPipeline pipeline;           // fitted on the member subset
-    std::unique_ptr<KnnIndex> index;      // over reduced member rows
-  };
-
   LocalReducedSearchEngine() = default;
 
-  /// Clusters to probe for a studentized query, nearest first.
-  std::vector<size_t> RouteQuery(const Vector& studentized_query,
-                                 size_t probes) const;
+  /// Clusters, fits, and indexes `dataset` into a publishable snapshot.
+  static Result<std::shared_ptr<EngineSnapshot>> BuildSnapshot(
+      const Dataset& dataset, const LocalEngineOptions& options,
+      std::shared_ptr<const Metric> metric);
 
   LocalEngineOptions options_;
-  ColumnAffineTransform studentizer_;  // global, fitted on the whole data
-  std::unique_ptr<Metric> metric_;
-  std::vector<Locality> localities_;
-  std::vector<size_t> assignment_;
-  // Studentized copies of all records, used to re-rank multi-probe
-  // candidates in one comparable space.
-  Matrix studentized_records_;
+  std::unique_ptr<ServingCore> serving_;
 };
 
 }  // namespace cohere

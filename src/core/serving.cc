@@ -1,0 +1,280 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "cluster/projected.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
+
+namespace cohere {
+namespace {
+
+// Queries per work chunk when a batch fans rows across the pool; matches
+// the KnnIndex::QueryBatch grain so both fan-outs decompose identically.
+constexpr size_t kBatchGrain = 4;
+
+// Rows per chunk for batch projection (cheap per-row work).
+constexpr size_t kProjectGrain = 16;
+
+// One absolute expiry for a whole call (shared by every probe and every
+// batch row), computed once on entry.
+std::pair<std::chrono::steady_clock::time_point, bool> AbsoluteDeadline(
+    const QueryLimits& limits) {
+  const bool has_deadline = limits.deadline_us > 0.0;
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(
+                   static_cast<long long>(limits.deadline_us));
+  }
+  return {deadline, has_deadline};
+}
+
+}  // namespace
+
+ServingCore::ServingCore(ServingCoreOptions options)
+    : options_(std::move(options)) {
+  metrics_ = obs::ServingPathMetricsFor(options_.scope);
+  span_query_ = obs::Tracer::InternName(options_.scope + ".query");
+  span_project_ = obs::Tracer::InternName(options_.scope + ".project");
+  span_query_batch_ = obs::Tracer::InternName(options_.scope + ".query_batch");
+  span_project_batch_ =
+      obs::Tracer::InternName(options_.scope + ".project_batch");
+  span_probe_ = obs::Tracer::InternName(options_.scope + ".probe");
+}
+
+std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
+                                         size_t k, size_t skip_index,
+                                         QueryStats* stats) const {
+  QueryLimits limits;
+  limits.deadline_us = options_.default_deadline_us;
+  return Query(original_space_query, k, skip_index, stats, limits);
+}
+
+std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
+                                         size_t k, size_t skip_index,
+                                         QueryStats* stats,
+                                         const QueryLimits& limits) const {
+  const std::shared_ptr<const EngineSnapshot> snapshot = handle_.Acquire();
+  COHERE_CHECK(snapshot != nullptr);
+  const bool instrumented = obs::MetricsRegistry::Enabled();
+  if (!instrumented && !obs::Tracer::Enabled()) {
+    // Both layers off: the exact uninstrumented path.
+    return QueryOnSnapshot(*snapshot, original_space_query, k, skip_index,
+                           stats, limits, /*traced=*/false);
+  }
+  // Root span of the serial query path; the per-query sampling (and slow-
+  // query) decision is made here, and the projection / probe phases nest
+  // under it.
+  obs::TraceSpan span(span_query_);
+  span.AddArg("k", static_cast<double>(k));
+  QueryStats local;
+  Stopwatch watch;
+  std::vector<Neighbor> out =
+      QueryOnSnapshot(*snapshot, original_space_query, k, skip_index, &local,
+                      limits, /*traced=*/true);
+  if (instrumented) {
+    metrics_.query->Record(local.distance_evaluations, local.nodes_visited,
+                           local.candidates_refined, watch.ElapsedMicros());
+  }
+  if (local.truncated) span.AddArg("truncated", 1.0);
+  if (stats != nullptr) stats->MergeFrom(local);
+  return out;
+}
+
+std::vector<Neighbor> ServingCore::QueryOnSnapshot(
+    const EngineSnapshot& snapshot, const Vector& query, size_t k,
+    size_t skip_index, QueryStats* stats, const QueryLimits& limits,
+    bool traced) const {
+  if (SingleShard(snapshot)) {
+    const SnapshotShard& shard = snapshot.shards[0];
+    if (!traced) {
+      const Vector reduced = shard.pipeline.TransformPoint(query);
+      return shard.index->Query(reduced, k, skip_index, stats, limits);
+    }
+    Vector reduced = [&] {
+      obs::TraceSpan project(span_project_);
+      return shard.pipeline.TransformPoint(query);
+    }();
+    return shard.index->Query(reduced, k, skip_index, stats, limits);
+  }
+  const auto [deadline, has_deadline] = AbsoluteDeadline(limits);
+  return QueryMultiShard(snapshot, query, k, skip_index, stats, limits.cancel,
+                         deadline, has_deadline, traced,
+                         /*allow_parallel=*/true);
+}
+
+std::vector<size_t> ServingCore::RouteShards(
+    const EngineSnapshot& snapshot, const Vector& studentized_query) const {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(snapshot.shards.size());
+  for (size_t c = 0; c < snapshot.shards.size(); ++c) {
+    const SnapshotShard& shard = snapshot.shards[c];
+    double dist;
+    if (!shard.cluster_basis.empty()) {
+      ProjectedCluster view;
+      view.centroid = shard.centroid;
+      view.basis = shard.cluster_basis;
+      dist = ProjectedSquaredDistance(studentized_query, view);
+    } else {
+      dist = (studentized_query - shard.centroid).SquaredNorm2();
+    }
+    scored.emplace_back(dist, c);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<size_t> out;
+  for (size_t i = 0; i < std::min(options_.probe_shards, scored.size());
+       ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+std::vector<Neighbor> ServingCore::QueryMultiShard(
+    const EngineSnapshot& snapshot, const Vector& query, size_t k,
+    size_t skip_index, QueryStats* stats, const CancelToken* cancel,
+    std::chrono::steady_clock::time_point deadline, bool has_deadline,
+    bool traced, bool allow_parallel) const {
+  COHERE_CHECK(snapshot.has_studentizer);
+  const Vector studentized = snapshot.studentizer.Apply(query);
+  const std::vector<size_t> probes = RouteShards(snapshot, studentized);
+  const bool rerank = options_.rerank_multi_probe && probes.size() > 1;
+  const bool limited = has_deadline || cancel != nullptr;
+
+  // Scatter: each probe fills its own slot (results and stats), so the
+  // probes can run on the pool without sharing anything; the gather below
+  // merges in probe order. The merged result is order-independent anyway —
+  // KnnCollector keeps the k smallest in the (distance, index) total order.
+  std::vector<std::vector<Neighbor>> gathered(probes.size());
+  std::vector<QueryStats> probe_stats(probes.size());
+  auto probe_one = [&](size_t pi) {
+    const SnapshotShard& shard = snapshot.shards[probes[pi]];
+    QueryStats* local = &probe_stats[pi];
+    std::optional<obs::TraceSpan> span;
+    if (traced) {
+      span.emplace(span_probe_);
+      span->AddArg("shard", static_cast<double>(probes[pi]));
+    }
+    // The routing decision that sent the query here is the one node this
+    // layer visits per probe; everything else is the shard index's count.
+    ++local->nodes_visited;
+    const Vector local_query = shard.pipeline.TransformPoint(query);
+    // Translate the global skip index into a local row, if it lives here.
+    size_t local_skip = KnnIndex::kNoSkip;
+    if (skip_index != KnnIndex::kNoSkip && !shard.members.empty()) {
+      auto it = std::find(shard.members.begin(), shard.members.end(),
+                          skip_index);
+      if (it != shard.members.end()) {
+        local_skip = static_cast<size_t>(it - shard.members.begin());
+      }
+    }
+    std::vector<Neighbor> found;
+    if (limited) {
+      // Every probe (and batch row) shares the one absolute deadline; each
+      // gets its own control so the check countdown stays per-traversal.
+      QueryControl control(cancel, deadline, has_deadline);
+      found = shard.index->QueryWithControl(local_query, k, local_skip, local,
+                                            &control);
+    } else {
+      found = shard.index->Query(local_query, k, local_skip, local);
+    }
+    gathered[pi].reserve(found.size());
+    for (const Neighbor& nb : found) {
+      const size_t global_row =
+          shard.members.empty() ? nb.index : shard.members[nb.index];
+      if (rerank) {
+        // Local distances are not comparable across concept spaces: score
+        // merged candidates by the metric in the shared studentized space.
+        const double dist = snapshot.metric->Distance(
+            studentized, snapshot.studentized_records.Row(global_row));
+        ++local->candidates_refined;
+        gathered[pi].push_back({global_row, dist});
+      } else {
+        gathered[pi].push_back({global_row, nb.distance});
+      }
+    }
+  };
+  if (allow_parallel && probes.size() > 1) {
+    ParallelFor(0, probes.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+      for (size_t pi = begin; pi < end; ++pi) probe_one(pi);
+    });
+  } else {
+    for (size_t pi = 0; pi < probes.size(); ++pi) probe_one(pi);
+  }
+
+  KnnCollector collector(k);
+  for (const std::vector<Neighbor>& candidates : gathered) {
+    for (const Neighbor& nb : candidates) {
+      collector.Offer(nb.index, nb.distance);
+    }
+  }
+  if (stats != nullptr) {
+    for (const QueryStats& ps : probe_stats) stats->MergeFrom(ps);
+  }
+  return collector.Take();
+}
+
+std::vector<std::vector<Neighbor>> ServingCore::QueryBatch(
+    const Matrix& original_space_queries, size_t k, QueryStats* stats) const {
+  QueryLimits limits;
+  limits.deadline_us = options_.default_deadline_us;
+  return QueryBatch(original_space_queries, k, stats, limits);
+}
+
+std::vector<std::vector<Neighbor>> ServingCore::QueryBatch(
+    const Matrix& original_space_queries, size_t k, QueryStats* stats,
+    const QueryLimits& limits) const {
+  const std::shared_ptr<const EngineSnapshot> snapshot = handle_.Acquire();
+  COHERE_CHECK(snapshot != nullptr);
+  obs::TraceSpan span(span_query_batch_);
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::Enabled() ? metrics_.batch_latency_us : nullptr);
+  const size_t n = original_space_queries.rows();
+  if (SingleShard(*snapshot)) {
+    const SnapshotShard& shard = snapshot->shards[0];
+    Matrix reduced(n, shard.pipeline.ReducedDims());
+    {
+      // Row transforms are independent; reduce them across the pool before
+      // the index fans the reduced rows back out. Pool-lane chunks emit no
+      // spans of their own — the caller-side span covers the whole phase.
+      obs::TraceSpan project(span_project_batch_);
+      ParallelFor(0, n, kProjectGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          reduced.SetRow(
+              i, shard.pipeline.TransformPoint(original_space_queries.Row(i)));
+        }
+      });
+    }
+    return shard.index->QueryBatch(reduced, k, stats, limits);
+  }
+
+  std::vector<std::vector<Neighbor>> out(n);
+  if (n == 0) return out;
+  const auto [deadline, has_deadline] = AbsoluteDeadline(limits);
+  const bool traced = obs::Tracer::Enabled();
+  const size_t chunks = ParallelChunkCount(n, kBatchGrain);
+  std::vector<QueryStats> partial(stats != nullptr ? chunks : 0);
+  ParallelForIndexed(0, n, kBatchGrain,
+                     [&](size_t chunk, size_t begin, size_t end) {
+    QueryStats* local = stats != nullptr ? &partial[chunk] : nullptr;
+    for (size_t i = begin; i < end; ++i) {
+      // Probes stay serial inside a batch row: the row fan-out already owns
+      // the pool (nested regions run serial regardless).
+      out[i] = QueryMultiShard(*snapshot, original_space_queries.Row(i), k,
+                               KnnIndex::kNoSkip, local, limits.cancel,
+                               deadline, has_deadline, traced,
+                               /*allow_parallel=*/false);
+    }
+  });
+  if (stats != nullptr) {
+    for (const QueryStats& p : partial) stats->MergeFrom(p);
+  }
+  return out;
+}
+
+}  // namespace cohere

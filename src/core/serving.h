@@ -1,0 +1,140 @@
+#ifndef COHERE_CORE_SERVING_H_
+#define COHERE_CORE_SERVING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/snapshot.h"
+#include "index/knn.h"
+#include "obs/query_metrics.h"
+
+namespace cohere {
+
+/// Static configuration of one ServingCore (fixed at engine build).
+struct ServingCoreOptions {
+  /// Metric/trace scope prefix: the core records the S.queries /
+  /// S.distance_evaluations / S.nodes_visited / S.candidates_refined /
+  /// S.query_latency_us bundle plus S.batch_latency_us, and emits S.query /
+  /// S.project / S.query_batch / S.project_batch / S.probe spans.
+  std::string scope = "engine";
+  /// Default wall-clock budget per Query (and per QueryBatch as a whole) in
+  /// microseconds; 0 disables. Per-call QueryLimits override it.
+  double default_deadline_us = 0.0;
+  /// Shards probed per query on multi-shard snapshots, nearest first.
+  size_t probe_shards = 1;
+  /// When more than one shard is probed, re-rank the merged candidates by
+  /// the metric in the shared studentized full space (per-shard concept
+  /// spaces are not mutually comparable).
+  bool rerank_multi_probe = false;
+};
+
+/// The query-path substrate shared by all engine facades: one place that
+/// owns snapshot publication (RCU handle + version), deadline/cancellation
+/// resolution, pooled batch fan-out with batch-wide deadlines and QueryStats
+/// merging, scope-prefixed metrics and trace spans, and — on multi-shard
+/// snapshots — routed multi-probe scatter-gather with optional full-space
+/// re-rank.
+///
+/// Work accounting is defined here, once, for every engine:
+///   - `distance_evaluations` and `candidates_refined` are whatever the
+///     probed shard indexes report, plus one `candidates_refined` per
+///     merged candidate scored during full-space re-rank;
+///   - `nodes_visited` is the shard indexes' count plus one per probed
+///     shard (the routing decision).
+/// Single-shard snapshots add nothing on top of the index's own counters.
+///
+/// Thread safety: Query/QueryBatch are safe from any number of threads
+/// concurrently with Publish; each call acquires the current snapshot once
+/// and never touches mutable engine state afterwards.
+class ServingCore {
+ public:
+  explicit ServingCore(ServingCoreOptions options);
+  ServingCore(const ServingCore&) = delete;
+  ServingCore& operator=(const ServingCore&) = delete;
+
+  /// Publishes the successor snapshot (see SnapshotHandle::Publish).
+  Status Publish(std::shared_ptr<EngineSnapshot> snapshot) {
+    return handle_.Publish(std::move(snapshot));
+  }
+
+  /// The currently served snapshot (null until the first Publish).
+  std::shared_ptr<const EngineSnapshot> snapshot() const {
+    return handle_.Acquire();
+  }
+
+  /// Version of the current snapshot (0 before the first publish).
+  uint64_t version() const { return handle_.version(); }
+
+  const ServingCoreOptions& options() const { return options_; }
+
+  /// k nearest records to an original-space query under the configured
+  /// default deadline. `skip_index` is a *global* record id (translated to
+  /// shard-local rows on multi-shard snapshots).
+  std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
+                              size_t skip_index = KnnIndex::kNoSkip,
+                              QueryStats* stats = nullptr) const;
+
+  /// Query under explicit per-call limits (overriding the default). On
+  /// multi-shard snapshots every probe shares one absolute deadline.
+  std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
+                              size_t skip_index, QueryStats* stats,
+                              const QueryLimits& limits) const;
+
+  /// One query per row, fanned across the shared thread pool; entry i
+  /// equals Query(queries.Row(i), k) exactly. The default deadline applies
+  /// batch-wide (one absolute expiry shared by every row).
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& original_space_queries, size_t k,
+      QueryStats* stats = nullptr) const;
+
+  /// QueryBatch under explicit per-call limits (batch-wide deadline).
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& original_space_queries, size_t k, QueryStats* stats,
+      const QueryLimits& limits) const;
+
+ private:
+  /// True for the global single-index layout (no member mapping, no
+  /// routing): the query path is projection + one index call.
+  static bool SingleShard(const EngineSnapshot& snapshot) {
+    return snapshot.shards.size() == 1 && snapshot.shards[0].members.empty();
+  }
+
+  /// Uninstrumented query body; `traced` controls phase-span emission.
+  std::vector<Neighbor> QueryOnSnapshot(const EngineSnapshot& snapshot,
+                                        const Vector& query, size_t k,
+                                        size_t skip_index, QueryStats* stats,
+                                        const QueryLimits& limits,
+                                        bool traced) const;
+
+  /// Routed multi-probe scatter-gather over the shard set. `allow_parallel`
+  /// is false on batch rows (the row fan-out already owns the pool).
+  std::vector<Neighbor> QueryMultiShard(
+      const EngineSnapshot& snapshot, const Vector& query, size_t k,
+      size_t skip_index, QueryStats* stats, const CancelToken* cancel,
+      std::chrono::steady_clock::time_point deadline, bool has_deadline,
+      bool traced, bool allow_parallel) const;
+
+  /// Probed shard ids for a studentized query, nearest first.
+  std::vector<size_t> RouteShards(const EngineSnapshot& snapshot,
+                                  const Vector& studentized_query) const;
+
+  ServingCoreOptions options_;
+  SnapshotHandle handle_;
+
+  // Registry metrics and interned span names (process lifetime), resolved
+  // once at construction.
+  obs::ServingPathMetrics metrics_;
+  const char* span_query_ = nullptr;
+  const char* span_project_ = nullptr;
+  const char* span_query_batch_ = nullptr;
+  const char* span_project_batch_ = nullptr;
+  const char* span_probe_ = nullptr;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_CORE_SERVING_H_

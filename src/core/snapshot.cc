@@ -1,0 +1,36 @@
+#include "core/snapshot.h"
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace cohere {
+
+Status SnapshotHandle::Publish(std::shared_ptr<EngineSnapshot> next) {
+  COHERE_CHECK(next != nullptr);
+  const bool replacement = versions_.load(std::memory_order_relaxed) > 0;
+  if (replacement && COHERE_INJECT_FAULT(fault::kPointSnapshotPublish)) {
+    return Status::Internal("injected fault: " +
+                            std::string(fault::kPointSnapshotPublish));
+  }
+  const uint64_t version =
+      versions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  next->version = version;
+  current_.store(std::shared_ptr<const EngineSnapshot>(std::move(next)),
+                 std::memory_order_release);
+  if (obs::MetricsRegistry::Enabled()) {
+    // Counter/gauge pointers have process lifetime; resolve them once.
+    static obs::Counter* publishes =
+        obs::MetricsRegistry::Global().GetCounter("core.snapshot.publishes");
+    static obs::Counter* retired =
+        obs::MetricsRegistry::Global().GetCounter("core.snapshot.retired");
+    static obs::Gauge* version_gauge =
+        obs::MetricsRegistry::Global().GetGauge("core.snapshot.version");
+    publishes->Increment();
+    if (replacement) retired->Increment();
+    version_gauge->Set(static_cast<double>(version));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cohere

@@ -19,6 +19,8 @@ struct QueryPathMetrics;
 
 namespace cohere {
 
+class ServingCore;
+
 /// One answer of a k-nearest-neighbor query.
 struct Neighbor {
   size_t index = 0;    ///< Row index into the indexed data matrix.
@@ -197,6 +199,11 @@ class KnnIndex {
                                           QueryControl* control) const = 0;
 
  private:
+  /// The serving core's multi-probe scatter-gather shares one absolute
+  /// deadline across per-probe (and per-batch-row) controls, which requires
+  /// the control-taking entry point rather than the relative-limits one.
+  friend class ServingCore;
+
   /// Shared body of both Query overloads: instruments unless disabled and
   /// folds a stopped control into the stats.
   std::vector<Neighbor> QueryWithControl(const Vector& query, size_t k,

@@ -26,6 +26,10 @@ class LinearScanIndex final : public KnnIndex {
   size_t dims() const override { return data_.cols(); }
   std::string name() const override { return "linear_scan"; }
 
+  /// The indexed rows. The dynamic engine's copy-on-write insert path reads
+  /// these to extend the reduced matrix without re-projecting every record.
+  const Matrix& data() const { return data_; }
+
  private:
   Matrix data_;
   const Metric* metric_;

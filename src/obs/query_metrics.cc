@@ -34,5 +34,13 @@ const QueryPathMetrics& QueryPathMetricsFor(const std::string& scope) {
   return *slot;
 }
 
+ServingPathMetrics ServingPathMetricsFor(const std::string& scope) {
+  ServingPathMetrics bundle;
+  bundle.query = &QueryPathMetricsFor(scope);
+  bundle.batch_latency_us =
+      MetricsRegistry::Global().GetHistogram(scope + ".batch_latency_us");
+  return bundle;
+}
+
 }  // namespace obs
 }  // namespace cohere

@@ -50,6 +50,19 @@ struct QueryPathMetrics {
 /// "dynamic_index"), registering its metrics on first use.
 const QueryPathMetrics& QueryPathMetricsFor(const std::string& scope);
 
+/// The metric surface of one serving facade: the per-query bundle above
+/// plus the batch-level latency histogram (`S.batch_latency_us`) the
+/// QueryBatch entry point records as a whole. Pointers have process
+/// lifetime; resolve once at engine build.
+struct ServingPathMetrics {
+  const QueryPathMetrics* query = nullptr;
+  LatencyHistogram* batch_latency_us = nullptr;
+};
+
+/// Returns the serving-facade bundle for `scope` (e.g. "engine",
+/// "dynamic_index", "local_engine"), registering on first use.
+ServingPathMetrics ServingPathMetricsFor(const std::string& scope);
+
 }  // namespace obs
 }  // namespace cohere
 

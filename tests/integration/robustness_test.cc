@@ -351,6 +351,43 @@ TEST_F(FaultMatrixTest, DynamicRefitFailureKeepsServingAndCounts) {
   EXPECT_TRUE(index->Refit().ok());  // recovery once the fault clears
 }
 
+TEST_F(FaultMatrixTest, SnapshotPublishFaultKeepsOldSnapshotServing) {
+  // core.snapshot.publish sits at the RCU swap itself: when a replacement
+  // publish fails, the mutation (insert or refit) must report the error and
+  // the previously published snapshot must keep serving, unchanged.
+  LatentFactorConfig config;
+  config.num_records = 200;
+  config.num_attributes = 20;
+  config.num_concepts = 4;
+  config.num_classes = 2;
+  config.seed = 1405;
+  Dataset data = GenerateLatentFactor(config);
+  DynamicEngineOptions options;
+  options.reduction.target_dim = 4;
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(data, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ASSERT_EQ(index->SnapshotVersion(), 1u);
+
+  const auto before = index->Query(data.Record(3), 4);
+  fault::Arm(fault::kPointSnapshotPublish, 1.0);
+  const Status insert = index->Insert(data.Record(0));
+  EXPECT_FALSE(insert.ok());
+  EXPECT_EQ(insert.code(), StatusCode::kInternal);
+  ASSERT_FALSE(index->Refit().ok());
+  fault::DisarmAll();
+
+  // Old snapshot still serving: same size, same version, same answers.
+  EXPECT_EQ(index->size(), data.NumRecords());
+  EXPECT_EQ(index->SnapshotVersion(), 1u);
+  EXPECT_EQ(index->Query(data.Record(3), 4), before);
+
+  // Recovery once the fault clears.
+  EXPECT_TRUE(index->Insert(data.Record(0)).ok());
+  EXPECT_EQ(index->size(), data.NumRecords() + 1);
+  EXPECT_EQ(index->SnapshotVersion(), 2u);
+}
+
 TEST_F(FaultMatrixTest, DeadlineTruncationFeedsTheCounter) {
   Dataset data = IonosphereLike(1404);
   EngineOptions options;

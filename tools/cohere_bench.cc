@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,7 +29,9 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/dynamic_engine.h"
 #include "core/engine.h"
+#include "core/local_engine.h"
 #include "data/dataset.h"
 #include "data/synthetic.h"
 #include "data/uci_like.h"
@@ -45,6 +48,22 @@ constexpr const char* kBenchSchema = "cohere.bench.v1";
 /// principal component is kept, so distances match the original space.
 constexpr size_t kFullDim = static_cast<size_t>(-1);
 
+/// Which serving facade a case exercises. Dynamic and local cases ignore
+/// `backend` (their shards are linear scans under the serving core).
+enum class EngineKind { kStatic, kDynamic, kLocal };
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kStatic:
+      return "static";
+    case EngineKind::kDynamic:
+      return "dynamic";
+    case EngineKind::kLocal:
+      return "local";
+  }
+  return "unknown";
+}
+
 /// One cell of the benchmark grid.
 struct CaseSpec {
   const char* dataset;   ///< Key into MakeDataset.
@@ -53,6 +72,8 @@ struct CaseSpec {
   size_t k;
   bool pooled;           ///< QueryBatch across the pool vs serial Query loop.
   bool gate;             ///< Regression-gated by bench_compare.py.
+  EngineKind engine = EngineKind::kStatic;
+  size_t probes = 1;     ///< Localities probed per query (local engine only).
 };
 
 /// The smoke suite: one pass is a few hundred milliseconds, small enough to
@@ -69,6 +90,14 @@ const CaseSpec kSmokeSuite[] = {
     {"synthetic", IndexBackend::kKdTree, 0, 4, true, false},
     {"ionosphere_like", IndexBackend::kLinearScan, 0, 4, false, true},
     {"ionosphere_like", IndexBackend::kKdTree, 0, 4, false, true},
+    // Snapshot-serving facades: the dynamic index and the local engine
+    // route the same query path through the serving core.
+    {"synthetic", IndexBackend::kLinearScan, 8, 4, false, true,
+     EngineKind::kDynamic},
+    {"synthetic", IndexBackend::kLinearScan, 6, 4, false, true,
+     EngineKind::kLocal, 2},
+    {"synthetic", IndexBackend::kLinearScan, 6, 4, true, false,
+     EngineKind::kLocal, 2},
 };
 
 /// The standard suite: the full dataset grid the paper's experiments walk —
@@ -101,6 +130,15 @@ const CaseSpec kStandardSuite[] = {
     {"arrhythmia_like", IndexBackend::kVaFile, 10, 10, false, true},
     {"arrhythmia_like", IndexBackend::kKdTree, kFullDim, 10, false, true},
     {"arrhythmia_like", IndexBackend::kKdTree, 10, 10, true, false},
+    // snapshot-serving facades
+    {"synthetic", IndexBackend::kLinearScan, 8, 10, false, true,
+     EngineKind::kDynamic},
+    {"synthetic", IndexBackend::kLinearScan, 8, 10, true, false,
+     EngineKind::kDynamic},
+    {"synthetic", IndexBackend::kLinearScan, 6, 10, false, true,
+     EngineKind::kLocal, 2},
+    {"synthetic", IndexBackend::kLinearScan, 6, 10, true, false,
+     EngineKind::kLocal, 2},
 };
 
 Dataset MakeDataset(const std::string& key) {
@@ -146,8 +184,20 @@ std::string DimLabel(size_t target_dim) {
 }
 
 std::string SeriesName(const CaseSpec& spec) {
-  return std::string(spec.dataset) + "." + IndexBackendName(spec.backend) +
-         "." + DimLabel(spec.target_dim) + ".k" + std::to_string(spec.k) +
+  std::string facade;
+  switch (spec.engine) {
+    case EngineKind::kStatic:
+      facade = IndexBackendName(spec.backend);
+      break;
+    case EngineKind::kDynamic:
+      facade = "dynamic";
+      break;
+    case EngineKind::kLocal:
+      facade = "local_p" + std::to_string(spec.probes);
+      break;
+  }
+  return std::string(spec.dataset) + "." + facade + "." +
+         DimLabel(spec.target_dim) + ".k" + std::to_string(spec.k) +
          (spec.pooled ? ".pooled" : ".serial");
 }
 
@@ -195,22 +245,85 @@ WorkSnapshot TakeWorkSnapshot(const std::string& scope) {
 
 Result<SeriesResult> RunCase(const CaseSpec& spec, const Dataset& dataset,
                              size_t num_queries) {
-  EngineOptions options;
-  options.backend = spec.backend;
-  options.metric = MetricKind::kEuclidean;
+  ReductionOptions reduction;
   if (spec.target_dim == kFullDim) {
     // Keep every principal component: a pure rotation, so the index serves
     // the original-space distances — the paper's unreduced baseline.
-    options.reduction.strategy = SelectionStrategy::kEigenvalueOrder;
-    options.reduction.target_dim = dataset.NumAttributes();
+    reduction.strategy = SelectionStrategy::kEigenvalueOrder;
+    reduction.target_dim = dataset.NumAttributes();
   } else {
-    options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
-    options.reduction.target_dim = spec.target_dim;  // 0 = automatic cut
+    reduction.strategy = SelectionStrategy::kCoherenceOrder;
+    reduction.target_dim = spec.target_dim;  // 0 = automatic cut
   }
 
-  Result<ReducedSearchEngine> engine =
-      ReducedSearchEngine::Build(dataset, options);
-  if (!engine.ok()) return engine.status();
+  // Build the facade under test. All three route queries through the same
+  // serving core; the work snapshot scope follows where each path records
+  // its per-query numbers: the static engine reports at the index level,
+  // the dynamic/local serial paths at their serving scope, and the pooled
+  // dynamic/local fan-outs at the per-row shard indexes (linear scans).
+  std::optional<ReducedSearchEngine> static_engine;
+  std::optional<DynamicReducedIndex> dynamic_engine;
+  std::optional<LocalReducedSearchEngine> local_engine;
+  std::string scope;
+  size_t reduced_dims = 0;
+  switch (spec.engine) {
+    case EngineKind::kStatic: {
+      EngineOptions options;
+      options.backend = spec.backend;
+      options.metric = MetricKind::kEuclidean;
+      options.reduction = reduction;
+      Result<ReducedSearchEngine> engine =
+          ReducedSearchEngine::Build(dataset, options);
+      if (!engine.ok()) return engine.status();
+      static_engine.emplace(std::move(*engine));
+      scope = "index." + std::string(IndexBackendName(spec.backend));
+      reduced_dims = static_engine->ReducedDims();
+      break;
+    }
+    case EngineKind::kDynamic: {
+      DynamicEngineOptions options;
+      options.metric = MetricKind::kEuclidean;
+      options.reduction = reduction;
+      Result<DynamicReducedIndex> engine =
+          DynamicReducedIndex::Build(dataset, options);
+      if (!engine.ok()) return engine.status();
+      dynamic_engine.emplace(std::move(*engine));
+      scope = spec.pooled ? "index.linear_scan" : "dynamic_index";
+      reduced_dims = dynamic_engine->pipeline().ReducedDims();
+      break;
+    }
+    case EngineKind::kLocal: {
+      LocalEngineOptions options;
+      options.metric = MetricKind::kEuclidean;
+      options.reduction = reduction;
+      options.probe_clusters = spec.probes;
+      Result<LocalReducedSearchEngine> engine =
+          LocalReducedSearchEngine::Build(dataset, options);
+      if (!engine.ok()) return engine.status();
+      local_engine.emplace(std::move(*engine));
+      scope = spec.pooled ? "index.linear_scan" : "local_engine";
+      reduced_dims = local_engine->ClusterPipeline(0).ReducedDims();
+      break;
+    }
+  }
+  auto query_one = [&](const Vector& query) {
+    if (static_engine) {
+      (void)static_engine->Query(query, spec.k);
+    } else if (dynamic_engine) {
+      (void)dynamic_engine->Query(query, spec.k);
+    } else {
+      (void)local_engine->Query(query, spec.k);
+    }
+  };
+  auto query_batch = [&](const Matrix& batch) {
+    if (static_engine) {
+      (void)static_engine->QueryBatch(batch, spec.k);
+    } else if (dynamic_engine) {
+      (void)dynamic_engine->QueryBatch(batch, spec.k);
+    } else {
+      (void)local_engine->QueryBatch(batch, spec.k);
+    }
+  };
 
   const size_t nq = std::min(num_queries, dataset.NumRecords());
   Matrix queries(nq, dataset.NumAttributes());
@@ -218,21 +331,19 @@ Result<SeriesResult> RunCase(const CaseSpec& spec, const Dataset& dataset,
 
   // Touch the path once so lazy metric registration, pool spin-up and cache
   // warming happen outside the measured interval.
-  (void)engine->Query(dataset.Record(0), spec.k);
+  query_one(dataset.Record(0));
 
-  const std::string scope =
-      "index." + std::string(IndexBackendName(spec.backend));
   const WorkSnapshot before = TakeWorkSnapshot(scope);
 
   Stopwatch wall;
   if (spec.pooled) {
-    (void)engine->QueryBatch(queries, spec.k);
+    query_batch(queries);
   } else {
     Vector query(dataset.NumAttributes());
     for (size_t i = 0; i < nq; ++i) {
       const double* src = queries.RowPtr(i);
       std::copy(src, src + queries.cols(), query.data());
-      (void)engine->Query(query, spec.k);
+      query_one(query);
     }
   }
   const double wall_us = wall.ElapsedMicros();
@@ -242,7 +353,7 @@ Result<SeriesResult> RunCase(const CaseSpec& spec, const Dataset& dataset,
   out.name = SeriesName(spec);
   out.spec = &spec;
   out.dataset_fingerprint = DatasetFingerprint(dataset);
-  out.reduced_dims = engine->ReducedDims();
+  out.reduced_dims = reduced_dims;
   out.num_queries = nq;
   out.wall_us = wall_us;
   out.throughput_qps =
@@ -265,6 +376,8 @@ void AppendSeriesJson(const SeriesResult& r, std::string* out) {
   *out += "      \"name\": \"" + r.name + "\",\n";
   *out += "      \"dataset\": \"" + std::string(spec.dataset) + "\",\n";
   *out += "      \"dataset_fingerprint\": \"" + std::string(fp) + "\",\n";
+  *out += "      \"engine\": \"" + std::string(EngineKindName(spec.engine)) +
+          "\",\n";
   *out += "      \"backend\": \"" +
           std::string(IndexBackendName(spec.backend)) + "\",\n";
   *out += "      \"target_dim\": \"" + DimLabel(spec.target_dim) + "\",\n";

@@ -6,6 +6,7 @@
 //                      [--strategy coherence|eigenvalue|threshold|energy]
 //                      [--scaling cov|corr]
 //   cohere_cli query   <data-file> --row R [--k K] [--dims N]
+//                      [--engine static|local] [--clusters N] [--probes P]
 //   cohere_cli demo    (self-contained smoke run on synthetic data)
 //
 // Every command additionally accepts `--metrics text|json` to dump the
@@ -27,6 +28,7 @@
 
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "core/local_engine.h"
 #include "obs/metrics.h"
 #include "obs/tracing.h"
 #include "data/arff.h"
@@ -199,39 +201,85 @@ int QueryCmd(const Dataset& data, const Args& args) {
     k = static_cast<size_t>(*parsed);
   }
 
-  EngineOptions options;
-  options.reduction.scaling = ScalingFromFlags(args);
-  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  ReductionOptions reduction;
+  reduction.scaling = ScalingFromFlags(args);
+  reduction.strategy = SelectionStrategy::kCoherenceOrder;
   if (auto it = args.flags.find("dims"); it != args.flags.end()) {
     Result<long long> dims = ParseInt(it->second);
     if (!dims.ok() || *dims <= 0) {
       std::fprintf(stderr, "bad --dims value\n");
       return 1;
     }
-    options.reduction.target_dim = static_cast<size_t>(*dims);
+    reduction.target_dim = static_cast<size_t>(*dims);
   }
+  double deadline_us = 0.0;
   if (auto it = args.flags.find("deadline-us"); it != args.flags.end()) {
     Result<double> deadline = ParseDouble(it->second);
     if (!deadline.ok() || *deadline < 0.0) {
       std::fprintf(stderr, "bad --deadline-us value\n");
       return 1;
     }
-    options.query_deadline_us = *deadline;
+    deadline_us = *deadline;
   }
-  Result<ReducedSearchEngine> engine =
-      ReducedSearchEngine::Build(data, options);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine build failed: %s\n",
-                 engine.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("%s", engine->Describe().c_str());
+
+  const std::string engine_kind = [&] {
+    auto it = args.flags.find("engine");
+    return it == args.flags.end() ? std::string("static") : it->second;
+  }();
 
   const size_t query_row = static_cast<size_t>(*row);
   QueryStats stats;
+  std::vector<Neighbor> neighbors;
+  if (engine_kind == "local") {
+    LocalEngineOptions options;
+    options.reduction = reduction;
+    options.query_deadline_us = deadline_us;
+    if (auto it = args.flags.find("clusters"); it != args.flags.end()) {
+      Result<long long> clusters = ParseInt(it->second);
+      if (!clusters.ok() || *clusters <= 0) {
+        std::fprintf(stderr, "bad --clusters value\n");
+        return 1;
+      }
+      options.num_clusters = static_cast<size_t>(*clusters);
+    }
+    if (auto it = args.flags.find("probes"); it != args.flags.end()) {
+      Result<long long> probes = ParseInt(it->second);
+      if (!probes.ok() || *probes <= 0) {
+        std::fprintf(stderr, "bad --probes value\n");
+        return 1;
+      }
+      options.probe_clusters = static_cast<size_t>(*probes);
+    }
+    Result<LocalReducedSearchEngine> engine =
+        LocalReducedSearchEngine::Build(data, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine build failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", engine->Describe().c_str());
+    neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
+  } else if (engine_kind == "static") {
+    EngineOptions options;
+    options.reduction = reduction;
+    options.query_deadline_us = deadline_us;
+    Result<ReducedSearchEngine> engine =
+        ReducedSearchEngine::Build(data, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine build failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", engine->Describe().c_str());
+    neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
+  } else {
+    std::fprintf(stderr, "bad --engine value '%s' (want static or local)\n",
+                 engine_kind.c_str());
+    return 1;
+  }
+
   TextTable table({"record", "distance", "class"});
-  for (const Neighbor& n :
-       engine->Query(data.Record(query_row), k, query_row, &stats)) {
+  for (const Neighbor& n : neighbors) {
     std::string label = "-";
     if (data.HasLabels()) {
       const size_t id = static_cast<size_t>(data.label(n.index));
@@ -285,6 +333,10 @@ int Usage() {
                "  cohere_cli query   <data-file> --row R [--k K] [--dims N]\n"
                "             [--deadline-us T]   per-query wall-clock budget "
                "(partial answer on expiry)\n"
+               "             [--engine static|local]   serving engine "
+               "(default static)\n"
+               "             [--clusters N] [--probes P]   local-engine "
+               "localities and probes per query\n"
                "  cohere_cli demo\n"
                "common flags:\n"
                "  --metrics text|json   dump the observability registry "
