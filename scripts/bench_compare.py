@@ -6,12 +6,16 @@ Usage:
       Schema-check one document; exit 0 when it is a well-formed
       cohere.bench.v1 file, 2 otherwise.
 
-  bench_compare.py [--threshold FRAC] [--all] OLD NEW
+  bench_compare.py [--threshold FRAC] [--floor-us US] [--all] OLD NEW
       Compare two documents series-by-series. A gated series regresses when
       its NEW p50 or mean latency exceeds OLD by more than FRAC (default
-      0.25, i.e. +25%). Exit codes: 0 no regression, 1 regression, 2 schema
-      error or a gated OLD series missing from NEW. --all also gates series
-      marked "gate": false (pooled runs, machine-sensitive).
+      0.25, i.e. +25%). Relative growth is measured against
+      max(OLD, --floor-us) — the absolute floor (default 0.5µs) keeps a
+      zero or near-zero OLD latency from swallowing the gate: without it,
+      OLD p50 == 0 made any NEW value pass trivially. Exit codes: 0 no
+      regression, 1 regression, 2 schema error or a gated OLD series
+      missing from NEW. --all also gates series marked "gate": false
+      (pooled runs, machine-sensitive).
 
 Latency-only gating is deliberate: throughput is derived from the same
 interval (wall clock), so gating it too would double-report every miss.
@@ -101,7 +105,7 @@ def validate(doc, path):
                 fail(f"{path}: series {name!r} work.{field} is not a count")
 
 
-def compare(old_doc, new_doc, threshold, gate_all):
+def compare(old_doc, new_doc, threshold, gate_all, floor_us):
     """Prints a per-series delta table; returns the number of regressions."""
     new_by_name = {s["name"]: s for s in new_doc["series"]}
     regressions = 0
@@ -125,8 +129,9 @@ def compare(old_doc, new_doc, threshold, gate_all):
         for field in ("p50", "mean"):
             old_v = old["latency_us"][field]
             new_v = new["latency_us"][field]
-            if old_v > 0:
-                worst = max(worst, (new_v - old_v) / old_v)
+            # Growth against max(old, floor): a zero/near-zero OLD sample
+            # (clock granularity, degenerate run) must not disable the gate.
+            worst = max(worst, (new_v - old_v) / max(old_v, floor_us))
         regressed = gated and worst > threshold
         regressions += regressed
         flag = "REGRESSED" if regressed else ("yes" if gated else "no")
@@ -141,6 +146,9 @@ def main():
                         help="schema-check a single file")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative latency growth tolerated (default 0.25)")
+    parser.add_argument("--floor-us", type=float, default=0.5,
+                        help="absolute latency floor in µs used as the "
+                        "denominator for near-zero OLD samples (default 0.5)")
     parser.add_argument("--all", action="store_true",
                         help="gate every series, including machine-sensitive ones")
     parser.add_argument("files", nargs="+", metavar="FILE")
@@ -159,13 +167,16 @@ def main():
         fail("compare mode takes exactly two files (OLD NEW)")
     if not 0 <= args.threshold:
         fail("--threshold must be non-negative")
+    if not args.floor_us > 0:
+        fail("--floor-us must be positive")
     old_doc, new_doc = load(args.files[0]), load(args.files[1])
     validate(old_doc, args.files[0])
     validate(new_doc, args.files[1])
     if old_doc["suite"] != new_doc["suite"]:
         fail(f"suite mismatch: {old_doc['suite']!r} vs {new_doc['suite']!r}")
 
-    regressions = compare(old_doc, new_doc, args.threshold, args.all)
+    regressions = compare(old_doc, new_doc, args.threshold, args.all,
+                          args.floor_us)
     if regressions:
         print(f"bench_compare: {regressions} series regressed beyond "
               f"{args.threshold:.0%}", file=sys.stderr)

@@ -54,7 +54,39 @@ if python3 "$ROOT/scripts/bench_compare.py" \
   echo "ERROR: bench_compare did not flag a 50% latency inflation" >&2
   exit 1
 fi
-echo "==> tier-1: bench gate OK (self-compare clean, inflation flagged)"
+# ...and a zeroed OLD latency must not bypass the gate: the --floor-us
+# denominator floor turns OLD p50 == 0 vs a real NEW latency into a
+# regression, while 0-vs-0 still compares clean.
+python3 - "$BENCH_TMP/BENCH_smoke.json" "$BENCH_TMP/BENCH_zero_old.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for series in doc["series"]:
+    if series["gate"]:
+        series["latency_us"]["p50"] = 0.0
+        series["latency_us"]["mean"] = 0.0
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+if python3 "$ROOT/scripts/bench_compare.py" \
+    "$BENCH_TMP/BENCH_zero_old.json" "$BENCH_TMP/BENCH_smoke.json" >/dev/null; then
+  echo "ERROR: bench_compare passed gated series whose OLD p50 was zero" >&2
+  exit 1
+fi
+python3 "$ROOT/scripts/bench_compare.py" \
+  "$BENCH_TMP/BENCH_zero_old.json" "$BENCH_TMP/BENCH_zero_old.json" >/dev/null
+# The cached Zipf series must beat the cold one by >=5x at p50 — the
+# end-to-end proof that the result cache actually serves repeat queries.
+python3 - "$BENCH_TMP/BENCH_smoke.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+p50 = {s["name"]: s["latency_us"]["p50"] for s in doc["series"]}
+cold = p50["synthetic.kd_tree.d8.k4.zipf_cold.serial"]
+cached = p50["synthetic.kd_tree.d8.k4.zipf_cached.serial"]
+speedup = cold / max(cached, 1e-9)
+print(f"zipf cache speedup: {speedup:.1f}x (cold {cold}us, cached {cached}us)")
+if speedup < 5.0:
+    sys.exit("ERROR: cached Zipf series is not >=5x faster than cold")
+EOF
+echo "==> tier-1: bench gate OK (self-compare clean, inflation + zero-floor flagged)"
 
 if [[ "${COHERE_SKIP_TSAN:-0}" == "1" ]]; then
   echo "==> tier-1: TSAN stage skipped (COHERE_SKIP_TSAN=1)"
@@ -63,11 +95,14 @@ else
   cmake -B "$TSAN_DIR" -S "$ROOT" -DCOHERE_SANITIZE=thread \
     -DCOHERE_BUILD_BENCHMARKS=OFF >/dev/null
   cmake --build "$TSAN_DIR" -j "$(nproc)" --target common_tests index_tests \
-    linalg_tests stats_tests reduction_tests core_tests obs_tests
+    linalg_tests stats_tests reduction_tests core_tests obs_tests cache_tests
 
   echo "==> tier-1: parallel suites under TSAN"
   "$TSAN_DIR/tests/common_tests" --gtest_filter='Parallel*'
   "$TSAN_DIR/tests/index_tests" --gtest_filter='QueryBatch*'
+  # The whole cache binary is concurrency-sensitive (lock-striped shards,
+  # lossy frequency buffer, manager rebalance), so run it unfiltered.
+  "$TSAN_DIR/tests/cache_tests"
   "$TSAN_DIR/tests/linalg_tests" --gtest_filter='MatrixParallelTest*'
   "$TSAN_DIR/tests/stats_tests" --gtest_filter='CovarianceParallelTest*'
   "$TSAN_DIR/tests/reduction_tests" --gtest_filter='CoherenceParallelTest*'
@@ -124,7 +159,7 @@ FAULT_POINTS=(
   linalg.symmetric_eigen.converge linalg.jacobi_eigen.converge
   linalg.power_iteration.converge linalg.svd.converge
   data.loader.io reduction.fit.primary dynamic_index.refit
-  parallel.dispatch core.snapshot.publish
+  parallel.dispatch core.snapshot.publish cache.insert.pressure
 )
 for point in "${FAULT_POINTS[@]}"; do
   filter="$ROBUSTNESS_FILTER"

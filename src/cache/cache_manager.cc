@@ -1,0 +1,177 @@
+#include "cache/cache_manager.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace cohere {
+namespace cache {
+namespace {
+
+size_t EnvTotalBudget() {
+  const char* env = std::getenv("COHERE_CACHE_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<size_t>(value);
+}
+
+void SetGauge(const char* name, double value) {
+  if (!obs::MetricsRegistry::Enabled()) return;
+  obs::MetricsRegistry::Global().GetGauge(name)->Set(value);
+}
+
+// The occupancy gauges sit on the insert/evict path; resolve them once
+// (gauge pointers have process lifetime) instead of a registry lookup per
+// delta.
+void SetOccupancyGauges(double bytes, double entries) {
+  if (!obs::MetricsRegistry::Enabled()) return;
+  static obs::Gauge* bytes_gauge =
+      obs::MetricsRegistry::Global().GetGauge("cache.bytes");
+  static obs::Gauge* entries_gauge =
+      obs::MetricsRegistry::Global().GetGauge("cache.entries");
+  bytes_gauge->Set(bytes);
+  entries_gauge->Set(entries);
+}
+
+}  // namespace
+
+CacheManager& CacheManager::Global() {
+  // Leaked on purpose: caches resolved from it may outlive static teardown.
+  static CacheManager* manager = new CacheManager();
+  return *manager;
+}
+
+CacheManager::CacheManager() : total_budget_(EnvTotalBudget()) {}
+
+std::shared_ptr<ResultCache> CacheManager::CreateCache(
+    const std::string& scope, size_t requested_bytes) {
+  ResultCacheOptions options;
+  options.scope = scope;
+  options.budget_bytes = requested_bytes;
+  auto cache = std::make_shared<ResultCache>(std::move(options));
+  cache->manager_ = this;
+  std::lock_guard<std::mutex> lock(mu_);
+  Registration reg;
+  reg.cache = cache;
+  reg.requested_bytes = requested_bytes;
+  reg.scope = scope;
+  caches_.push_back(std::move(reg));
+  RebalanceLocked();
+  return cache;
+}
+
+void CacheManager::SetTotalBudget(size_t bytes) {
+  total_budget_.store(bytes, std::memory_order_relaxed);
+  Rebalance();
+}
+
+void CacheManager::Rebalance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RebalanceLocked();
+}
+
+void CacheManager::RebalanceLocked() {
+  // Prune retired caches first; their budget returns to the pool.
+  std::vector<std::shared_ptr<ResultCache>> live;
+  live.reserve(caches_.size());
+  size_t write = 0;
+  for (size_t read = 0; read < caches_.size(); ++read) {
+    std::shared_ptr<ResultCache> cache = caches_[read].cache.lock();
+    if (cache == nullptr) continue;
+    live.push_back(std::move(cache));
+    // Guard the no-gap case: self-move-assignment would empty the weak_ptr.
+    if (write != read) caches_[write] = std::move(caches_[read]);
+    ++write;
+  }
+  caches_.resize(write);
+  ++rebalances_;
+
+  const size_t total = total_budget_.load(std::memory_order_relaxed);
+  size_t granted = 0;
+  if (total == 0) {
+    // Uncapped: every cache keeps exactly what it asked for.
+    for (size_t i = 0; i < caches_.size(); ++i) {
+      live[i]->SetBudget(caches_[i].requested_bytes);
+      granted += caches_[i].requested_bytes;
+    }
+  } else if (!caches_.empty()) {
+    // Demand-weighted split of the global cap: each cache's weight is its
+    // request scaled by the hits it served since the last rebalance, so a
+    // hot engine's cache grows at the expense of idle ones. The kMinGrant
+    // floor keeps starved caches able to earn budget back (the sum may
+    // overshoot the cap by at most caches * kMinGrant).
+    std::vector<double> weights(caches_.size());
+    double weight_sum = 0.0;
+    for (size_t i = 0; i < caches_.size(); ++i) {
+      const uint64_t hits_now = live[i]->Stats().hits;
+      const uint64_t delta = hits_now - caches_[i].hits_at_last_rebalance;
+      caches_[i].hits_at_last_rebalance = hits_now;
+      weights[i] = static_cast<double>(caches_[i].requested_bytes) *
+                   (1.0 + static_cast<double>(delta));
+      weight_sum += weights[i];
+    }
+    for (size_t i = 0; i < caches_.size(); ++i) {
+      size_t grant = weight_sum > 0.0
+                         ? static_cast<size_t>(static_cast<double>(total) *
+                                               (weights[i] / weight_sum))
+                         : total / caches_.size();
+      if (grant < kMinGrant) grant = kMinGrant;
+      live[i]->SetBudget(grant);
+      granted += grant;
+    }
+  }
+  SetGauge("cache.caches", static_cast<double>(caches_.size()));
+  SetGauge("cache.budget_bytes", static_cast<double>(granted));
+}
+
+CacheManager::ManagerStats CacheManager::GetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ManagerStats out;
+  out.total_budget = total_budget_.load(std::memory_order_relaxed);
+  out.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  out.rebalances = rebalances_;
+  for (Registration& reg : caches_) {
+    std::shared_ptr<ResultCache> cache = reg.cache.lock();
+    if (cache == nullptr) continue;
+    ++out.caches;
+    out.granted_bytes += cache->budget_bytes();
+  }
+  return out;
+}
+
+void CacheManager::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  caches_.clear();
+  total_budget_.store(0, std::memory_order_relaxed);
+  pressure_events_.store(0, std::memory_order_relaxed);
+}
+
+void CacheManager::OnOccupancyDelta(ptrdiff_t byte_delta,
+                                    ptrdiff_t entry_delta) {
+  const size_t bytes =
+      resident_bytes_.fetch_add(static_cast<size_t>(byte_delta),
+                                std::memory_order_relaxed) +
+      static_cast<size_t>(byte_delta);
+  const size_t entries =
+      resident_entries_.fetch_add(static_cast<size_t>(entry_delta),
+                                  std::memory_order_relaxed) +
+      static_cast<size_t>(entry_delta);
+  SetOccupancyGauges(static_cast<double>(bytes),
+                     static_cast<double>(entries));
+}
+
+void CacheManager::OnEvictionPressure() {
+  const uint64_t events =
+      pressure_events_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Only a capped pool has anything to shift between caches.
+  if (events % kPressureInterval == 0 &&
+      total_budget_.load(std::memory_order_relaxed) > 0) {
+    Rebalance();
+  }
+}
+
+}  // namespace cache
+}  // namespace cohere

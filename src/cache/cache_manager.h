@@ -1,0 +1,112 @@
+#ifndef COHERE_CACHE_CACHE_MANAGER_H_
+#define COHERE_CACHE_CACHE_MANAGER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/query_cache.h"
+
+namespace cohere {
+namespace cache {
+
+/// Process-wide owner of every query-result cache: each serving core asks it
+/// for a ResultCache with a *requested* byte budget, and the manager decides
+/// what each cache is actually *granted*.
+///
+/// With no global cap (the default) every cache is granted exactly what it
+/// requested. Once a total budget is set — programmatically or through the
+/// `COHERE_CACHE_BUDGET` environment variable (bytes, read at first use) —
+/// the total is divided across the live caches proportionally to demand
+/// (request size weighted by observed hits), and re-divided whenever a cache
+/// reports sustained eviction pressure, so a hot engine's cache grows at the
+/// expense of idle ones without any cache ever exceeding the global cap.
+///
+/// The manager also owns the process-wide occupancy gauges (`cache.bytes`,
+/// `cache.entries`, `cache.budget_bytes`, `cache.caches`): caches report
+/// occupancy deltas through it with lock-free counters, so the roll-up never
+/// takes the registration mutex on the query path.
+class CacheManager {
+ public:
+  /// The process-wide instance (created on first use, never destroyed).
+  static CacheManager& Global();
+
+  CacheManager();
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  /// Creates a new cache for one serving core. `scope` labels it in stats;
+  /// `requested_bytes` is its demand, granted in full while no total budget
+  /// is set. Caches are independent — two cores with the same scope get
+  /// distinct caches. The manager keeps only a weak reference: dropping the
+  /// returned pointer retires the cache at the next rebalance.
+  std::shared_ptr<ResultCache> CreateCache(const std::string& scope,
+                                           size_t requested_bytes);
+
+  /// Sets the global byte cap divided across all caches (0 restores
+  /// uncapped grant-what-was-requested behavior) and rebalances.
+  void SetTotalBudget(size_t bytes);
+
+  size_t total_budget() const {
+    return total_budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-divides the budget across live caches now (also runs automatically
+  /// under sustained eviction pressure).
+  void Rebalance();
+
+  struct ManagerStats {
+    size_t caches = 0;          ///< Live registered caches.
+    size_t total_budget = 0;    ///< Global cap; 0 when uncapped.
+    size_t granted_bytes = 0;   ///< Sum of per-cache budgets.
+    size_t resident_bytes = 0;  ///< Sum of per-cache occupancy.
+    uint64_t rebalances = 0;
+  };
+  ManagerStats GetStats();
+
+  /// Test hook: forgets every registered cache and restores the uncapped
+  /// default. Live caches keep serving with their current budgets.
+  void ResetForTest();
+
+ private:
+  friend class ResultCache;
+
+  struct Registration {
+    std::weak_ptr<ResultCache> cache;
+    size_t requested_bytes = 0;
+    std::string scope;
+    uint64_t hits_at_last_rebalance = 0;
+  };
+
+  // Eviction-pressure events between automatic rebalances.
+  static constexpr uint64_t kPressureInterval = 256;
+  // No cache is ever granted less than this (a starved cache could
+  // otherwise never build the hit history that would earn budget back).
+  static constexpr size_t kMinGrant = 4096;
+
+  /// Lock-free occupancy roll-up from caches (updates the global gauges).
+  void OnOccupancyDelta(ptrdiff_t byte_delta, ptrdiff_t entry_delta);
+  /// Lock-free pressure signal from caches; triggers a rebalance every
+  /// kPressureInterval events. Never called with a shard lock held.
+  void OnEvictionPressure();
+
+  void RebalanceLocked();
+
+  std::mutex mu_;
+  std::vector<Registration> caches_;
+  uint64_t rebalances_ = 0;
+
+  std::atomic<size_t> total_budget_{0};
+  std::atomic<size_t> resident_bytes_{0};
+  std::atomic<size_t> resident_entries_{0};
+  std::atomic<uint64_t> pressure_events_{0};
+};
+
+}  // namespace cache
+}  // namespace cohere
+
+#endif  // COHERE_CACHE_CACHE_MANAGER_H_

@@ -1,0 +1,366 @@
+#include "cache/query_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "cache/cache_manager.h"
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace cohere {
+namespace cache {
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+// Hash-map node, bucket, and clock-ring overhead charged per entry on top of
+// the payload bytes. An estimate on purpose: the budget bounds footprint to
+// within a small constant factor, it is not an allocator audit.
+constexpr size_t kEntryOverhead = 48;
+
+uint64_t MixU64(uint64_t h, uint64_t v) {
+  return FingerprintBytes(&v, sizeof(v), h);
+}
+
+// Registry instruments, resolved once per site (process lifetime pointers,
+// snapshot.cc pattern) and updated only while metrics are enabled — the
+// cache's own atomic stats are always live regardless.
+#define COHERE_CACHE_COUNT(counter_name, delta)                            \
+  do {                                                                     \
+    const uint64_t cohere_cache_delta = (delta);                           \
+    if (obs::MetricsRegistry::Enabled() && cohere_cache_delta > 0) {       \
+      static obs::Counter* cohere_cache_counter =                          \
+          obs::MetricsRegistry::Global().GetCounter(counter_name);         \
+      cohere_cache_counter->Increment(cohere_cache_delta);                 \
+    }                                                                      \
+  } while (false)
+
+}  // namespace
+
+uint64_t FingerprintBytes(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FingerprintVector(const Vector& v) {
+  const uint64_t dims = v.size();
+  uint64_t hash = FingerprintBytes(&dims, sizeof(dims));
+  return FingerprintBytes(v.data(), v.size() * sizeof(double), hash);
+}
+
+uint64_t HashKey(const CacheKey& key) {
+  uint64_t hash = key.query_fingerprint;
+  hash = MixU64(hash, key.snapshot_version);
+  hash = MixU64(hash, key.metric_hash);
+  hash = MixU64(hash, (uint64_t{key.k} << 32) | key.probes);
+  return hash;
+}
+
+namespace {
+
+uint64_t ProjectionHash(uint64_t snapshot_version, uint64_t query_fingerprint,
+                        uint64_t metric_hash) {
+  uint64_t hash = query_fingerprint;
+  hash = MixU64(hash, snapshot_version);
+  hash = MixU64(hash, metric_hash);
+  return hash;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(std::move(options)),
+      shards_(RoundUpPow2(options_.num_shards == 0 ? 1 : options_.num_shards)),
+      budget_bytes_(options_.budget_bytes) {}
+
+void ResultCache::NoteHot(Shard& shard, uint64_t hash) {
+  const size_t pos =
+      shard.frequency_pos.fetch_add(1, std::memory_order_relaxed) %
+      kFrequencySlots;
+  shard.frequency[pos].store(hash, std::memory_order_relaxed);
+}
+
+bool ResultCache::HintedHot(const Shard& shard, uint64_t hash) const {
+  for (size_t i = 0; i < kFrequencySlots; ++i) {
+    if (shard.frequency[i].load(std::memory_order_relaxed) == hash) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ResultCache::EvictLocked(Shard& shard, size_t target) {
+  // Bounded sweep: after two full passes every reference bit has been
+  // cleared, so the hand force-evicts regardless of the frequency hint (a
+  // uniformly hot shard must still respect the budget).
+  size_t second_chances = shard.clock.size() * 2 + 2;
+  uint64_t evicted = 0;
+  while (shard.bytes > target && !shard.clock.empty()) {
+    const ClockRef ref = shard.clock.front();
+    shard.clock.pop_front();
+    const bool force = second_chances == 0;
+    if (second_chances > 0) --second_chances;
+    size_t charge = 0;
+    if (ref.projection) {
+      auto it = shard.projections.find(ref.hash);
+      if (it == shard.projections.end()) continue;  // replaced or cleared
+      if (!force &&
+          (it->second.referenced || HintedHot(shard, ref.hash))) {
+        it->second.referenced = false;
+        shard.clock.push_back(ref);
+        continue;
+      }
+      charge = it->second.charge;
+      shard.projections.erase(it);
+    } else {
+      auto it = shard.results.find(ref.hash);
+      if (it == shard.results.end()) continue;
+      if (!force &&
+          (it->second.referenced || HintedHot(shard, ref.hash))) {
+        it->second.referenced = false;
+        shard.clock.push_back(ref);
+        continue;
+      }
+      charge = it->second.charge;
+      shard.results.erase(it);
+    }
+    shard.bytes -= charge;
+    AccountBytes(-static_cast<ptrdiff_t>(charge), -1);
+    ++evicted;
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    COHERE_CACHE_COUNT("cache.evictions", evicted);
+  }
+}
+
+bool ResultCache::AdmitLocked(Shard& shard, size_t charge) {
+  const size_t budget = PerShardBudget();
+  if (charge > budget) return false;
+  EvictLocked(shard, budget - charge);
+  return true;
+}
+
+void ResultCache::AccountBytes(ptrdiff_t byte_delta, ptrdiff_t entry_delta) {
+  resident_bytes_.fetch_add(static_cast<size_t>(byte_delta),
+                            std::memory_order_relaxed);
+  resident_entries_.fetch_add(static_cast<size_t>(entry_delta),
+                              std::memory_order_relaxed);
+  if (manager_ != nullptr) {
+    manager_->OnOccupancyDelta(byte_delta, entry_delta);
+  }
+}
+
+bool ResultCache::Lookup(const CacheKey& key, std::vector<Neighbor>* out) {
+  const uint64_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.results.find(hash);
+    // The full key disambiguates 64-bit hash collisions: a colliding probe
+    // is a miss, never a wrong answer.
+    if (it != shard.results.end() && it->second.key == key) {
+      *out = it->second.neighbors;
+      it->second.referenced = true;
+      hit = true;
+    }
+  }
+  if (hit) {
+    NoteHot(shard, hash);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    COHERE_CACHE_COUNT("cache.hits", 1);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    COHERE_CACHE_COUNT("cache.misses", 1);
+  }
+  return hit;
+}
+
+void ResultCache::Insert(const CacheKey& key,
+                         const std::vector<Neighbor>& neighbors) {
+  // The pressure point models allocation pressure: the store is dropped and
+  // the cache simply stays colder — correctness never depends on an insert
+  // landing.
+  if (COHERE_INJECT_FAULT(fault::kPointCacheInsertPressure)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    COHERE_CACHE_COUNT("cache.insert_rejected", 1);
+    return;
+  }
+  const uint64_t hash = HashKey(key);
+  const size_t charge =
+      sizeof(ResultEntry) + neighbors.size() * sizeof(Neighbor) +
+      kEntryOverhead;
+  Shard& shard = ShardFor(hash);
+  bool rejected = false;
+  bool evicted_for_room = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.results.find(hash);
+    if (it != shard.results.end()) {
+      // Replacement (same key, or a colliding hash: last writer wins — the
+      // full key stored with the entry keeps lookups exact either way).
+      shard.bytes -= it->second.charge;
+      AccountBytes(-static_cast<ptrdiff_t>(it->second.charge), 0);
+      it->second.key = key;
+      it->second.neighbors = neighbors;
+      it->second.charge = charge;
+      it->second.referenced = true;
+      shard.bytes += charge;
+      AccountBytes(static_cast<ptrdiff_t>(charge), 0);
+      EvictLocked(shard, PerShardBudget());
+    } else {
+      const bool needs_room = shard.bytes + charge > PerShardBudget();
+      if (!AdmitLocked(shard, charge)) {
+        rejected = true;
+      } else {
+        evicted_for_room = needs_room;
+        ResultEntry entry;
+        entry.key = key;
+        entry.neighbors = neighbors;
+        entry.charge = charge;
+        shard.results.emplace(hash, std::move(entry));
+        shard.clock.push_back({hash, /*projection=*/false});
+        shard.bytes += charge;
+        AccountBytes(static_cast<ptrdiff_t>(charge), 1);
+      }
+    }
+  }
+  if (rejected) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    COHERE_CACHE_COUNT("cache.insert_rejected", 1);
+    return;
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  COHERE_CACHE_COUNT("cache.insertions", 1);
+  // Pressure (we evicted to admit) feeds the manager's rebalance trigger;
+  // reported outside the shard lock so the manager may take its own mutex.
+  if (evicted_for_room && manager_ != nullptr) {
+    manager_->OnEvictionPressure();
+  }
+}
+
+bool ResultCache::LookupProjection(uint64_t snapshot_version,
+                                   uint64_t query_fingerprint,
+                                   uint64_t metric_hash, Vector* out) {
+  const uint64_t hash =
+      ProjectionHash(snapshot_version, query_fingerprint, metric_hash);
+  Shard& shard = ShardFor(hash);
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.projections.find(hash);
+    if (it != shard.projections.end() &&
+        it->second.snapshot_version == snapshot_version &&
+        it->second.query_fingerprint == query_fingerprint &&
+        it->second.metric_hash == metric_hash) {
+      *out = it->second.projected;
+      it->second.referenced = true;
+      hit = true;
+    }
+  }
+  if (hit) NoteHot(shard, hash);
+  return hit;
+}
+
+void ResultCache::InsertProjection(uint64_t snapshot_version,
+                                   uint64_t query_fingerprint,
+                                   uint64_t metric_hash,
+                                   const Vector& projected) {
+  if (COHERE_INJECT_FAULT(fault::kPointCacheInsertPressure)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    COHERE_CACHE_COUNT("cache.insert_rejected", 1);
+    return;
+  }
+  const uint64_t hash =
+      ProjectionHash(snapshot_version, query_fingerprint, metric_hash);
+  const size_t charge = sizeof(ProjectionEntry) +
+                        projected.size() * sizeof(double) + kEntryOverhead;
+  Shard& shard = ShardFor(hash);
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.projections.find(hash);
+    if (it != shard.projections.end()) {
+      shard.bytes -= it->second.charge;
+      AccountBytes(-static_cast<ptrdiff_t>(it->second.charge), 0);
+      it->second.snapshot_version = snapshot_version;
+      it->second.query_fingerprint = query_fingerprint;
+      it->second.metric_hash = metric_hash;
+      it->second.projected = projected;
+      it->second.charge = charge;
+      it->second.referenced = true;
+      shard.bytes += charge;
+      AccountBytes(static_cast<ptrdiff_t>(charge), 0);
+      EvictLocked(shard, PerShardBudget());
+    } else if (!AdmitLocked(shard, charge)) {
+      rejected = true;
+    } else {
+      ProjectionEntry entry;
+      entry.snapshot_version = snapshot_version;
+      entry.query_fingerprint = query_fingerprint;
+      entry.metric_hash = metric_hash;
+      entry.projected = projected;
+      entry.charge = charge;
+      shard.projections.emplace(hash, std::move(entry));
+      shard.clock.push_back({hash, /*projection=*/true});
+      shard.bytes += charge;
+      AccountBytes(static_cast<ptrdiff_t>(charge), 1);
+    }
+  }
+  if (rejected) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    COHERE_CACHE_COUNT("cache.insert_rejected", 1);
+    return;
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  COHERE_CACHE_COUNT("cache.insertions", 1);
+}
+
+void ResultCache::SetBudget(size_t bytes) {
+  budget_bytes_.store(bytes, std::memory_order_relaxed);
+  const size_t per_shard = bytes / shards_.size();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvictLocked(shard, per_shard);
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.bytes = resident_bytes_.load(std::memory_order_relaxed);
+  out.entries = resident_entries_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const ptrdiff_t entries = static_cast<ptrdiff_t>(
+        shard.results.size() + shard.projections.size());
+    AccountBytes(-static_cast<ptrdiff_t>(shard.bytes), -entries);
+    shard.results.clear();
+    shard.projections.clear();
+    shard.clock.clear();
+    shard.bytes = 0;
+  }
+}
+
+}  // namespace cache
+}  // namespace cohere

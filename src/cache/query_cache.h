@@ -1,0 +1,230 @@
+#ifndef COHERE_CACHE_QUERY_CACHE_H_
+#define COHERE_CACHE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/knn.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+namespace cache {
+
+class CacheManager;
+
+/// FNV-1a over raw bytes; the fingerprint primitive behind every cache key.
+uint64_t FingerprintBytes(const void* data, size_t size,
+                          uint64_t seed = 14695981039346656037ULL);
+
+/// Fingerprint of a query vector: FNV-1a over the dimensionality followed by
+/// the raw IEEE-754 bytes, so equal-prefix vectors of different lengths do
+/// not collide trivially. Bitwise-equal vectors (including signed zeros and
+/// NaN payloads) fingerprint identically; nothing else is guaranteed to.
+uint64_t FingerprintVector(const Vector& v);
+
+/// Full identity of one cached k-NN result list. The snapshot version is the
+/// invalidation mechanism: a COW publish bumps the version, so entries keyed
+/// on the old version can never be looked up again and simply age out under
+/// eviction — no write-side coordination with the RCU publish path.
+struct CacheKey {
+  uint64_t snapshot_version = 0;
+  /// FNV-1a of the metric's name() — part of the key schema so result lists
+  /// produced under different metrics can never alias.
+  uint64_t metric_hash = 0;
+  uint64_t query_fingerprint = 0;
+  uint32_t k = 0;
+  /// Shards probed per query (ServingCoreOptions::probe_shards); probing
+  /// width changes the answer on multi-shard snapshots.
+  uint32_t probes = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+/// Mixes every key field into the shard/bucket hash.
+uint64_t HashKey(const CacheKey& key);
+
+struct ResultCacheOptions {
+  /// Metric/trace scope of the owning serving core (labels only).
+  std::string scope = "cache";
+  /// Hard byte cap; inserts evict (CLOCK order) to stay under it. A zero
+  /// budget accepts nothing.
+  size_t budget_bytes = 0;
+  /// Lock stripes; rounded up to a power of two. Readers only contend when
+  /// their keys land on the same stripe.
+  size_t num_shards = 8;
+};
+
+/// Monotonic counters plus current occupancy, merged across shards.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Inserts dropped without storing (over-budget single entries, zero
+  /// budget, or the cache.insert.pressure fault point firing).
+  uint64_t rejected = 0;
+  size_t bytes = 0;
+  size_t entries = 0;
+};
+
+/// Sharded, memory-budgeted cache of hot k-NN result lists and projected
+/// query vectors, keyed by CacheKey. Designed to sit beside the RCU query
+/// path: lookups take one shard mutex for a hash probe and a copy-out, so
+/// readers on different stripes never contend and writers never block the
+/// snapshot publish path.
+///
+/// Eviction is CLOCK-style second chance: entries enter a per-shard clock
+/// ring at insert, a hit sets their reference bit, and the eviction hand
+/// clears bits as it sweeps, reclaiming the first entry it passes twice. A
+/// small per-shard frequency buffer (a lossy ring of recently hit hashes,
+/// written with relaxed stores outside the shard lock) additionally hints
+/// the hand away from keys that were hot a moment ago even when their
+/// reference bit was already spent.
+///
+/// Projected query vectors are cached in a second per-shard table keyed on
+/// (snapshot_version, query_fingerprint, metric_hash) — deliberately without
+/// k/probes, so a repeat of a hot query with a different k still skips the
+/// original-space projection. Both tables charge the same shard budget.
+///
+/// Thread safety: all methods are safe from any number of threads.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options);
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// True and fills `*out` when `key` is present; false (counting a miss)
+  /// otherwise. Hits set the entry's reference bit and feed the frequency
+  /// buffer.
+  bool Lookup(const CacheKey& key, std::vector<Neighbor>* out);
+
+  /// Stores a result list under `key`, evicting colder entries as needed to
+  /// respect the budget. Entries larger than the whole shard budget — and
+  /// every insert while the cache.insert.pressure fault point fires — are
+  /// rejected (the cache stays correct, only colder). Re-inserting an
+  /// existing key replaces its value.
+  void Insert(const CacheKey& key, const std::vector<Neighbor>& neighbors);
+
+  /// True and fills `*out` when a projected vector for this (version,
+  /// fingerprint, metric) is cached, regardless of which k stored it.
+  bool LookupProjection(uint64_t snapshot_version, uint64_t query_fingerprint,
+                        uint64_t metric_hash, Vector* out);
+
+  /// Caches a projected query vector (same budget/eviction rules as result
+  /// inserts, including the pressure fault point).
+  void InsertProjection(uint64_t snapshot_version, uint64_t query_fingerprint,
+                        uint64_t metric_hash, const Vector& projected);
+
+  /// Retargets the byte budget (the manager's rebalance hook), evicting down
+  /// immediately when shrinking.
+  void SetBudget(size_t bytes);
+
+  size_t budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Merged counters and occupancy across shards.
+  ResultCacheStats Stats() const;
+
+  /// Current resident bytes across shards.
+  size_t bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every entry (budget unchanged).
+  void Clear();
+
+  const std::string& scope() const { return options_.scope; }
+
+ private:
+  friend class CacheManager;
+
+  // Slots in the per-shard frequency buffer. Small on purpose: it only needs
+  // to remember the working set of the last few dozen hits to steer the
+  // clock hand, and eviction scans it linearly.
+  static constexpr size_t kFrequencySlots = 32;
+
+  struct ResultEntry {
+    CacheKey key;
+    std::vector<Neighbor> neighbors;
+    size_t charge = 0;
+    bool referenced = false;
+  };
+
+  struct ProjectionEntry {
+    uint64_t snapshot_version = 0;
+    uint64_t query_fingerprint = 0;
+    uint64_t metric_hash = 0;
+    Vector projected;
+    size_t charge = 0;
+    bool referenced = false;
+  };
+
+  /// One CLOCK-ring slot: which table the hash lives in plus the hash.
+  struct ClockRef {
+    uint64_t hash = 0;
+    bool projection = false;
+  };
+
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, ResultEntry> results;
+    std::unordered_map<uint64_t, ProjectionEntry> projections;
+    // Insertion-ordered eviction ring; front is the clock hand.
+    std::deque<ClockRef> clock;
+    size_t bytes = 0;
+    // Lossy frequency buffer: recently hit hashes, relaxed and lock-free. A
+    // stale read only costs one extra second chance during eviction.
+    std::atomic<uint64_t> frequency[kFrequencySlots] = {};
+    std::atomic<size_t> frequency_pos{0};
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    // shards_.size() is a power of two; mix the high bits down first so
+    // shard choice is not just the bucket bits the maps also use.
+    const uint64_t mixed = hash ^ (hash >> 32);
+    return shards_[mixed & (shards_.size() - 1)];
+  }
+
+  size_t PerShardBudget() const {
+    return budget_bytes_.load(std::memory_order_relaxed) / shards_.size();
+  }
+
+  void NoteHot(Shard& shard, uint64_t hash);
+  bool HintedHot(const Shard& shard, uint64_t hash) const;
+  /// Evicts under `shard.mu` until the shard holds at most `target` bytes.
+  void EvictLocked(Shard& shard, size_t target);
+  /// True when a `charge`-byte insert is admissible (fits the shard budget
+  /// and the pressure fault point did not fire); evicts to make room.
+  bool AdmitLocked(Shard& shard, size_t charge);
+
+  void AccountBytes(ptrdiff_t byte_delta, ptrdiff_t entry_delta);
+
+  ResultCacheOptions options_;
+  std::vector<Shard> shards_;
+  std::atomic<size_t> budget_bytes_{0};
+  std::atomic<size_t> resident_bytes_{0};
+  std::atomic<size_t> resident_entries_{0};
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> rejected_{0};
+
+  // Set by the manager so occupancy deltas and eviction pressure roll up
+  // into the process-wide gauges and the rebalance trigger; null for
+  // standalone caches.
+  CacheManager* manager_ = nullptr;
+};
+
+}  // namespace cache
+}  // namespace cohere
+
+#endif  // COHERE_CACHE_QUERY_CACHE_H_

@@ -178,6 +178,7 @@ std::vector<std::string> KnownPoints() {
       kPointLoaderIo,       kPointDynamicRefit,   kPointJacobiEigen,
       kPointPowerIteration, kPointSymmetricEigen, kPointSvd,
       kPointParallelDispatch, kPointReductionFit, kPointSnapshotPublish,
+      kPointCacheInsertPressure,
   };
   std::sort(points.begin(), points.end());
   return points;

@@ -127,6 +127,7 @@ inline constexpr char kPointParallelDispatch[] = "parallel.dispatch";
 inline constexpr char kPointReductionFit[] = "reduction.fit.primary";
 inline constexpr char kPointDynamicRefit[] = "dynamic_index.refit";
 inline constexpr char kPointSnapshotPublish[] = "core.snapshot.publish";
+inline constexpr char kPointCacheInsertPressure[] = "cache.insert.pressure";
 
 /// The wired-in catalog above, as a list (sorted by name).
 std::vector<std::string> KnownPoints();

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 
@@ -79,7 +80,10 @@ Result<double> ParseDouble(std::string_view s) {
     return Status::ParseError("trailing characters in number: '" + trimmed +
                               "'");
   }
-  if (errno == ERANGE) {
+  // strtod sets ERANGE on *underflow* too (denormals like 1e-320 come back
+  // as the nearest representable value) — those are fine. Only overflow,
+  // where the magnitude saturates to HUGE_VAL, is an error.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
     return Status::ParseError("number out of range: '" + trimmed + "'");
   }
   return value;

@@ -32,6 +32,10 @@ struct DynamicEngineOptions {
   /// Default wall-clock budget per Query (and per QueryBatch as a whole) in
   /// microseconds; 0 disables. Per-call QueryLimits override it.
   double query_deadline_us = 0.0;
+  /// Query-result cache budget in bytes (see EngineOptions). Entries are
+  /// keyed on the snapshot version, so every Insert/Refit publish
+  /// implicitly invalidates — stale versions age out via eviction.
+  size_t cache_budget_bytes = 0;
 };
 
 /// A reduced similarity index for *dynamic* data sets (the concern of the

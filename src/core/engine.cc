@@ -133,6 +133,7 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
   ServingCoreOptions serving_options;
   serving_options.scope = "engine";
   serving_options.default_deadline_us = options.query_deadline_us;
+  serving_options.cache_budget_bytes = options.cache_budget_bytes;
   engine.serving_ = std::make_unique<ServingCore>(serving_options);
   // The initial publish of a handle never fails (the fault point only
   // covers replacement publishes).

@@ -58,6 +58,14 @@ struct EngineOptions {
   /// instead of an unbounded exact one. Per-call QueryLimits override this
   /// default.
   double query_deadline_us = 0.0;
+  /// Byte budget for the engine's query-result cache, requested from the
+  /// process-wide cache::CacheManager (which may rebalance it when a global
+  /// COHERE_CACHE_BUDGET cap is set). 0 — the default — disables caching
+  /// and keeps the query path bit-identical to the cache-free code. With a
+  /// budget, repeated queries are served from entries keyed on
+  /// (snapshot version, metric, query fingerprint, k, probes); a truncated
+  /// (deadline/cancel) answer is never cached.
+  size_t cache_budget_bytes = 0;
 };
 
 /// The library's top-level facade: fits a coherence-driven dimensionality

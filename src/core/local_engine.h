@@ -38,6 +38,10 @@ struct LocalEngineOptions {
   /// Default wall-clock budget per Query (and per QueryBatch as a whole) in
   /// microseconds; 0 disables. Per-call QueryLimits override it.
   double query_deadline_us = 0.0;
+  /// Query-result cache budget in bytes (see EngineOptions). Keys include
+  /// probe_clusters, and a Rebuild's new snapshot version implicitly
+  /// invalidates every cached answer.
+  size_t cache_budget_bytes = 0;
 };
 
 /// The Section 3.1 extension the paper sketches: when the *global* implicit

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "cache/cache_manager.h"
 #include "cluster/projected.h"
 #include "common/check.h"
 #include "common/parallel.h"
@@ -22,17 +23,28 @@ constexpr size_t kBatchGrain = 4;
 constexpr size_t kProjectGrain = 16;
 
 // One absolute expiry for a whole call (shared by every probe and every
-// batch row), computed once on entry.
+// batch row), computed once on entry. The budget goes through
+// QueryControl::DeadlineMicros so fractional budgets round up instead of
+// truncating to an already-expired deadline, and negative/NaN budgets are
+// explicitly inactive.
 std::pair<std::chrono::steady_clock::time_point, bool> AbsoluteDeadline(
     const QueryLimits& limits) {
-  const bool has_deadline = limits.deadline_us > 0.0;
+  const long long budget_us = QueryControl::DeadlineMicros(limits.deadline_us);
+  const bool has_deadline = budget_us > 0;
   auto deadline = std::chrono::steady_clock::time_point::max();
   if (has_deadline) {
     deadline = std::chrono::steady_clock::now() +
-               std::chrono::microseconds(
-                   static_cast<long long>(limits.deadline_us));
+               std::chrono::microseconds(budget_us);
   }
   return {deadline, has_deadline};
+}
+
+// FNV-1a of the snapshot metric's name — the metric component of every
+// cache key built against that snapshot (computed once per call, not per
+// batch row).
+uint64_t MetricHashOf(const EngineSnapshot& snapshot) {
+  const std::string name = snapshot.metric->name();
+  return cache::FingerprintBytes(name.data(), name.size());
 }
 
 }  // namespace
@@ -46,6 +58,25 @@ ServingCore::ServingCore(ServingCoreOptions options)
   span_project_batch_ =
       obs::Tracer::InternName(options_.scope + ".project_batch");
   span_probe_ = obs::Tracer::InternName(options_.scope + ".probe");
+  span_cache_lookup_ =
+      obs::Tracer::InternName(options_.scope + ".cache_lookup");
+  if (options_.cache_budget_bytes > 0) {
+    cache_ = cache::CacheManager::Global().CreateCache(
+        options_.scope, options_.cache_budget_bytes);
+  }
+}
+
+cache::CacheKey ServingCore::MakeCacheKey(uint64_t snapshot_version,
+                                          uint64_t metric_hash,
+                                          const Vector& query,
+                                          size_t k) const {
+  cache::CacheKey key;
+  key.snapshot_version = snapshot_version;
+  key.metric_hash = metric_hash;
+  key.query_fingerprint = cache::FingerprintVector(query);
+  key.k = static_cast<uint32_t>(k);
+  key.probes = static_cast<uint32_t>(options_.probe_shards);
+  return key;
 }
 
 std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
@@ -62,11 +93,34 @@ std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
                                          const QueryLimits& limits) const {
   const std::shared_ptr<const EngineSnapshot> snapshot = handle_.Acquire();
   COHERE_CHECK(snapshot != nullptr);
+  // Cacheable: cache enabled, no row exclusion (skip changes the answer but
+  // is not part of the key), and the token is not already cancelled (an
+  // aborted caller gets the usual truncated answer, never a cached full
+  // one). A cache hit trivially respects any deadline — it does no work.
+  const bool cacheable =
+      cache_ != nullptr && skip_index == KnnIndex::kNoSkip &&
+      (limits.cancel == nullptr || !limits.cancel->Cancelled());
+  cache::CacheKey key;
+  if (cacheable) {
+    key = MakeCacheKey(snapshot->version, MetricHashOf(*snapshot),
+                       original_space_query, k);
+  }
   const bool instrumented = obs::MetricsRegistry::Enabled();
   if (!instrumented && !obs::Tracer::Enabled()) {
-    // Both layers off: the exact uninstrumented path.
-    return QueryOnSnapshot(*snapshot, original_space_query, k, skip_index,
-                           stats, limits, /*traced=*/false);
+    if (!cacheable) {
+      // Both layers off, cache off: the exact uninstrumented path.
+      return QueryOnSnapshot(*snapshot, original_space_query, k, skip_index,
+                             stats, limits, /*traced=*/false);
+    }
+    std::vector<Neighbor> out;
+    if (cache_->Lookup(key, &out)) return out;
+    QueryStats local;
+    out = QueryOnSnapshot(*snapshot, original_space_query, k, skip_index,
+                          &local, limits, /*traced=*/false, &key);
+    // Truncated answers are partial, never cacheable.
+    if (!local.truncated) cache_->Insert(key, out);
+    if (stats != nullptr) stats->MergeFrom(local);
+    return out;
   }
   // Root span of the serial query path; the per-query sampling (and slow-
   // query) decision is made here, and the projection / probe phases nest
@@ -75,14 +129,28 @@ std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
   span.AddArg("k", static_cast<double>(k));
   QueryStats local;
   Stopwatch watch;
-  std::vector<Neighbor> out =
-      QueryOnSnapshot(*snapshot, original_space_query, k, skip_index, &local,
-                      limits, /*traced=*/true);
+  std::vector<Neighbor> out;
+  bool cache_hit = false;
+  if (cacheable) {
+    obs::TraceSpan lookup(span_cache_lookup_);
+    cache_hit = cache_->Lookup(key, &out);
+    lookup.AddArg("hit", cache_hit ? 1.0 : 0.0);
+  }
+  if (!cache_hit) {
+    out = QueryOnSnapshot(*snapshot, original_space_query, k, skip_index,
+                          &local, limits, /*traced=*/true,
+                          cacheable ? &key : nullptr);
+  }
   if (instrumented) {
+    // Hits record a (0 work, tiny latency) sample: the latency histogram
+    // reflects what callers actually observed, and the work counters stay
+    // consistent with QueryStats (a hit does no index work).
     metrics_.query->Record(local.distance_evaluations, local.nodes_visited,
                            local.candidates_refined, watch.ElapsedMicros());
   }
+  if (cache_hit) span.AddArg("cache_hit", 1.0);
   if (local.truncated) span.AddArg("truncated", 1.0);
+  if (cacheable && !cache_hit && !local.truncated) cache_->Insert(key, out);
   if (stats != nullptr) stats->MergeFrom(local);
   return out;
 }
@@ -90,16 +158,37 @@ std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
 std::vector<Neighbor> ServingCore::QueryOnSnapshot(
     const EngineSnapshot& snapshot, const Vector& query, size_t k,
     size_t skip_index, QueryStats* stats, const QueryLimits& limits,
-    bool traced) const {
+    bool traced, const cache::CacheKey* cache_key) const {
   if (SingleShard(snapshot)) {
     const SnapshotShard& shard = snapshot.shards[0];
+    // With a cache key, the projection is itself cached under (version,
+    // fingerprint, metric) — without k — so a hot query repeated with a
+    // different k still skips the original-space transform. TransformPoint
+    // is deterministic, so the reused vector is bit-identical to a
+    // recompute.
+    auto project = [&]() -> Vector {
+      if (cache_key != nullptr) {
+        Vector reduced;
+        if (cache_->LookupProjection(cache_key->snapshot_version,
+                                     cache_key->query_fingerprint,
+                                     cache_key->metric_hash, &reduced)) {
+          return reduced;
+        }
+        reduced = shard.pipeline.TransformPoint(query);
+        cache_->InsertProjection(cache_key->snapshot_version,
+                                 cache_key->query_fingerprint,
+                                 cache_key->metric_hash, reduced);
+        return reduced;
+      }
+      return shard.pipeline.TransformPoint(query);
+    };
     if (!traced) {
-      const Vector reduced = shard.pipeline.TransformPoint(query);
+      const Vector reduced = project();
       return shard.index->Query(reduced, k, skip_index, stats, limits);
     }
     Vector reduced = [&] {
-      obs::TraceSpan project(span_project_);
-      return shard.pipeline.TransformPoint(query);
+      obs::TraceSpan span(span_project_);
+      return project();
     }();
     return shard.index->Query(reduced, k, skip_index, stats, limits);
   }
@@ -235,22 +324,65 @@ std::vector<std::vector<Neighbor>> ServingCore::QueryBatch(
   obs::ScopedTimer timer(
       obs::MetricsRegistry::Enabled() ? metrics_.batch_latency_us : nullptr);
   const size_t n = original_space_queries.rows();
+  // As in the serial path: no caching for an already-cancelled token, and a
+  // batch row's hit does no work (trivially within the batch deadline).
+  const bool cacheable =
+      cache_ != nullptr &&
+      (limits.cancel == nullptr || !limits.cancel->Cancelled());
+  const uint64_t metric_hash = cacheable ? MetricHashOf(*snapshot) : 0;
   if (SingleShard(*snapshot)) {
     const SnapshotShard& shard = snapshot->shards[0];
-    Matrix reduced(n, shard.pipeline.ReducedDims());
+    if (!cacheable) {
+      Matrix reduced(n, shard.pipeline.ReducedDims());
+      {
+        // Row transforms are independent; reduce them across the pool
+        // before the index fans the reduced rows back out. Pool-lane chunks
+        // emit no spans of their own — the caller-side span covers the
+        // whole phase.
+        obs::TraceSpan project(span_project_batch_);
+        ParallelFor(0, n, kProjectGrain, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            reduced.SetRow(i, shard.pipeline.TransformPoint(
+                                  original_space_queries.Row(i)));
+          }
+        });
+      }
+      return shard.index->QueryBatch(reduced, k, stats, limits);
+    }
+    // Cached batch: answer hits up front, fan out only the misses.
+    std::vector<std::vector<Neighbor>> out(n);
+    std::vector<size_t> miss_rows;
+    std::vector<cache::CacheKey> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = MakeCacheKey(snapshot->version, metric_hash,
+                             original_space_queries.Row(i), k);
+      if (!cache_->Lookup(keys[i], &out[i])) miss_rows.push_back(i);
+    }
+    if (miss_rows.empty()) return out;
+    Matrix reduced(miss_rows.size(), shard.pipeline.ReducedDims());
     {
-      // Row transforms are independent; reduce them across the pool before
-      // the index fans the reduced rows back out. Pool-lane chunks emit no
-      // spans of their own — the caller-side span covers the whole phase.
       obs::TraceSpan project(span_project_batch_);
-      ParallelFor(0, n, kProjectGrain, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          reduced.SetRow(
-              i, shard.pipeline.TransformPoint(original_space_queries.Row(i)));
+      ParallelFor(0, miss_rows.size(), kProjectGrain,
+                  [&](size_t begin, size_t end) {
+        for (size_t j = begin; j < end; ++j) {
+          reduced.SetRow(j, shard.pipeline.TransformPoint(
+                                original_space_queries.Row(miss_rows[j])));
         }
       });
     }
-    return shard.index->QueryBatch(reduced, k, stats, limits);
+    QueryStats local;
+    std::vector<std::vector<Neighbor>> found =
+        shard.index->QueryBatch(reduced, k, &local, limits);
+    // Truncation is reported batch-wide, not per row, so a truncated batch
+    // conservatively stores nothing (a partial row must never be served as
+    // the exact answer later).
+    const bool store = !local.truncated;
+    for (size_t j = 0; j < miss_rows.size(); ++j) {
+      out[miss_rows[j]] = std::move(found[j]);
+      if (store) cache_->Insert(keys[miss_rows[j]], out[miss_rows[j]]);
+    }
+    if (stats != nullptr) stats->MergeFrom(local);
+    return out;
   }
 
   std::vector<std::vector<Neighbor>> out(n);
@@ -265,10 +397,25 @@ std::vector<std::vector<Neighbor>> ServingCore::QueryBatch(
     for (size_t i = begin; i < end; ++i) {
       // Probes stay serial inside a batch row: the row fan-out already owns
       // the pool (nested regions run serial regardless).
+      if (!cacheable) {
+        out[i] = QueryMultiShard(*snapshot, original_space_queries.Row(i), k,
+                                 KnnIndex::kNoSkip, local, limits.cancel,
+                                 deadline, has_deadline, traced,
+                                 /*allow_parallel=*/false);
+        continue;
+      }
+      const cache::CacheKey row_key = MakeCacheKey(
+          snapshot->version, metric_hash, original_space_queries.Row(i), k);
+      if (cache_->Lookup(row_key, &out[i])) continue;
+      // Row-local stats so the row's own truncation flag gates its insert
+      // (the chunk merge would smear one row's truncation over all).
+      QueryStats row_stats;
       out[i] = QueryMultiShard(*snapshot, original_space_queries.Row(i), k,
-                               KnnIndex::kNoSkip, local, limits.cancel,
+                               KnnIndex::kNoSkip, &row_stats, limits.cancel,
                                deadline, has_deadline, traced,
                                /*allow_parallel=*/false);
+      if (!row_stats.truncated) cache_->Insert(row_key, out[i]);
+      if (local != nullptr) local->MergeFrom(row_stats);
     }
   });
   if (stats != nullptr) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "common/status.h"
 #include "core/snapshot.h"
 #include "index/knn.h"
@@ -30,6 +31,13 @@ struct ServingCoreOptions {
   /// the metric in the shared studentized full space (per-shard concept
   /// spaces are not mutually comparable).
   bool rerank_multi_probe = false;
+  /// Byte budget for this core's result cache (requested from the process-
+  /// wide cache::CacheManager, which may rebalance it under a global cap).
+  /// 0 disables caching entirely: the query path is bit-identical to the
+  /// cache-free code. With a budget, repeated queries are answered from
+  /// snapshot-version-keyed entries — a COW publish implicitly invalidates
+  /// by bumping the version, and stale entries age out via eviction.
+  size_t cache_budget_bytes = 0;
 };
 
 /// The query-path substrate shared by all engine facades: one place that
@@ -71,6 +79,10 @@ class ServingCore {
 
   const ServingCoreOptions& options() const { return options_; }
 
+  /// The result cache backing this core, or null when
+  /// `cache_budget_bytes == 0` (tests read its hit/miss stats).
+  const cache::ResultCache* result_cache() const { return cache_.get(); }
+
   /// k nearest records to an original-space query under the configured
   /// default deadline. `skip_index` is a *global* record id (translated to
   /// shard-local rows on multi-shard snapshots).
@@ -104,11 +116,19 @@ class ServingCore {
   }
 
   /// Uninstrumented query body; `traced` controls phase-span emission.
+  /// `cache_key` (null when the call is not cacheable) lets the single-
+  /// shard path reuse and store the projected query vector in the cache.
   std::vector<Neighbor> QueryOnSnapshot(const EngineSnapshot& snapshot,
                                         const Vector& query, size_t k,
                                         size_t skip_index, QueryStats* stats,
-                                        const QueryLimits& limits,
-                                        bool traced) const;
+                                        const QueryLimits& limits, bool traced,
+                                        const cache::CacheKey* cache_key =
+                                            nullptr) const;
+
+  /// Full cache key for one serial query (or batch row) against `snapshot`.
+  cache::CacheKey MakeCacheKey(uint64_t snapshot_version,
+                               uint64_t metric_hash, const Vector& query,
+                               size_t k) const;
 
   /// Routed multi-probe scatter-gather over the shard set. `allow_parallel`
   /// is false on batch rows (the row fan-out already owns the pool).
@@ -125,6 +145,11 @@ class ServingCore {
   ServingCoreOptions options_;
   SnapshotHandle handle_;
 
+  // Result/projection cache from the process-wide manager; null while
+  // cache_budget_bytes == 0 (every cache branch below gates on that, so the
+  // disabled query path stays bit-identical to the cache-free code).
+  std::shared_ptr<cache::ResultCache> cache_;
+
   // Registry metrics and interned span names (process lifetime), resolved
   // once at construction.
   obs::ServingPathMetrics metrics_;
@@ -133,6 +158,7 @@ class ServingCore {
   const char* span_query_batch_ = nullptr;
   const char* span_project_batch_ = nullptr;
   const char* span_probe_ = nullptr;
+  const char* span_cache_lookup_ = nullptr;
 };
 
 }  // namespace cohere

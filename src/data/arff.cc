@@ -191,6 +191,12 @@ Result<Dataset> ParseArff(const std::string& content) {
         return Status::ParseError("line " + std::to_string(line_no) + ": " +
                                   value.status().message());
       }
+      // Reject "inf"/"nan" literals (strtod parses them): a non-finite
+      // feature poisons distances and dataset fingerprints downstream.
+      if (!std::isfinite(*value)) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": non-finite value '" + field + "'");
+      }
       row.push_back(*value);
       row_missing.push_back(false);
     }

@@ -91,6 +91,15 @@ Result<Dataset> ParseCsv(const std::string& content,
         return Status::ParseError("line " + std::to_string(line_no) + ": " +
                                   value.status().message());
       }
+      // strtod accepts "inf"/"nan" literals; a non-finite feature value
+      // silently corrupts every downstream distance (and the dataset
+      // fingerprints cache keys are built from), so reject it here with the
+      // line number attached.
+      if (!std::isfinite(*value)) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": non-finite value '" +
+                                  std::string(Trim(fields[j])) + "'");
+      }
       row.push_back(*value);
       row_missing.push_back(false);
     }

@@ -1,6 +1,7 @@
 #include "index/knn.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.h"
@@ -78,13 +79,27 @@ const char* KnnIndex::TraceName() const {
   return cached;
 }
 
+long long QueryControl::DeadlineMicros(double deadline_us) {
+  // The comparison is written so NaN also lands in the inactive branch.
+  if (!(deadline_us > 0.0)) return 0;
+  // ~285 years in microseconds: far beyond any real budget, comfortably
+  // inside long long, and safe to add to steady_clock::now().
+  constexpr double kMaxBudgetUs = 9.0e15;
+  if (deadline_us >= kMaxBudgetUs) {
+    return static_cast<long long>(kMaxBudgetUs);
+  }
+  // Round *up*: a (0,1) budget used to truncate to 0us — an already-expired
+  // deadline that made every first control check fire.
+  return std::max(1LL, static_cast<long long>(std::ceil(deadline_us)));
+}
+
 QueryControl QueryControl::FromLimits(const QueryLimits& limits) {
-  const bool has_deadline = limits.deadline_us > 0.0;
+  const long long budget_us = DeadlineMicros(limits.deadline_us);
+  const bool has_deadline = budget_us > 0;
   auto deadline = std::chrono::steady_clock::time_point::max();
   if (has_deadline) {
     deadline = std::chrono::steady_clock::now() +
-               std::chrono::microseconds(
-                   static_cast<long long>(limits.deadline_us));
+               std::chrono::microseconds(budget_us);
   }
   return QueryControl(limits.cancel, deadline, has_deadline);
 }
@@ -190,12 +205,12 @@ std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(
   // One absolute deadline for the whole batch: rows started after expiry
   // stop at their first control check, so batch latency is bounded by the
   // budget plus one check interval per pool lane.
-  const bool has_deadline = limits.deadline_us > 0.0;
+  const long long budget_us = QueryControl::DeadlineMicros(limits.deadline_us);
+  const bool has_deadline = budget_us > 0;
   auto deadline = std::chrono::steady_clock::time_point::max();
   if (has_deadline) {
     deadline = std::chrono::steady_clock::now() +
-               std::chrono::microseconds(
-                   static_cast<long long>(limits.deadline_us));
+               std::chrono::microseconds(budget_us);
   }
 
   const size_t chunks = ParallelChunkCount(n, kBatchGrain);

@@ -69,9 +69,11 @@ class CancelToken {
 /// Per-query execution limits. Default-constructed limits are inactive and
 /// leave the query path byte-identical to the pre-deadline code.
 struct QueryLimits {
-  /// Wall-clock budget for the query in microseconds; <= 0 disables the
-  /// deadline. For QueryBatch the budget covers the whole batch (one
-  /// absolute deadline shared by every row).
+  /// Wall-clock budget for the query in microseconds; <= 0 (and NaN)
+  /// disables the deadline, and fractional budgets round *up* to a whole
+  /// microsecond (see QueryControl::DeadlineMicros), so a tiny positive
+  /// budget is short but never born expired. For QueryBatch the budget
+  /// covers the whole batch (one absolute deadline shared by every row).
   double deadline_us = 0.0;
   /// Optional external cancellation; not owned, may be null.
   const CancelToken* cancel = nullptr;
@@ -96,6 +98,13 @@ class QueryControl {
 
   /// Builds a control whose deadline is `limits.deadline_us` from now.
   static QueryControl FromLimits(const QueryLimits& limits);
+
+  /// Microsecond budget after rounding: fractional budgets round *up* (a
+  /// sub-microsecond deadline is short but never already expired when
+  /// granted), non-positive and NaN budgets clamp to 0 (inactive), and
+  /// astronomically large budgets clamp below the steady_clock overflow
+  /// horizon. Every deadline the library arms goes through this.
+  static long long DeadlineMicros(double deadline_us);
 
   /// True when the query should stop now. Latches: once stopped, every
   /// subsequent call returns true immediately. The first call always

@@ -1,0 +1,397 @@
+#include "cache/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "common/fault.h"
+#include "index/knn.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+namespace cache {
+namespace {
+
+std::vector<Neighbor> MakeNeighbors(size_t n, uint64_t salt) {
+  std::vector<Neighbor> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Neighbor nb;
+    nb.index = i + salt;
+    nb.distance = static_cast<double>(i) + 0.25 * static_cast<double>(salt);
+    out.push_back(nb);
+  }
+  return out;
+}
+
+CacheKey MakeKey(uint64_t version, uint64_t fingerprint, uint32_t k = 5,
+                 uint32_t probes = 1, uint64_t metric_hash = 0xabcdef) {
+  CacheKey key;
+  key.snapshot_version = version;
+  key.metric_hash = metric_hash;
+  key.query_fingerprint = fingerprint;
+  key.k = k;
+  key.probes = probes;
+  return key;
+}
+
+ResultCacheOptions Options(size_t budget, size_t shards = 1) {
+  ResultCacheOptions options;
+  options.scope = "test";
+  options.budget_bytes = budget;
+  options.num_shards = shards;
+  return options;
+}
+
+TEST(CacheFingerprintTest, VectorFingerprintIsDeterministicAndDiscriminates) {
+  Vector a(3);
+  a[0] = 1.0; a[1] = 2.0; a[2] = 3.0;
+  Vector b(3);
+  b[0] = 1.0; b[1] = 2.0; b[2] = 3.0;
+  EXPECT_EQ(FingerprintVector(a), FingerprintVector(b));
+
+  b[2] = 3.0000001;
+  EXPECT_NE(FingerprintVector(a), FingerprintVector(b));
+
+  // Same leading bytes, different length, must not collide trivially.
+  Vector shorter(2);
+  shorter[0] = 1.0; shorter[1] = 2.0;
+  EXPECT_NE(FingerprintVector(a), FingerprintVector(shorter));
+
+  // Signed zero is a distinct bit pattern, hence a distinct fingerprint.
+  Vector pos(1), neg(1);
+  pos[0] = 0.0;
+  neg[0] = -0.0;
+  EXPECT_NE(FingerprintVector(pos), FingerprintVector(neg));
+}
+
+TEST(CacheKeyTest, EveryFieldParticipatesInHashAndEquality) {
+  const CacheKey base = MakeKey(3, 0x1234, 5, 2);
+  EXPECT_EQ(base, MakeKey(3, 0x1234, 5, 2));
+  const CacheKey variants[] = {
+      MakeKey(4, 0x1234, 5, 2),            // version
+      MakeKey(3, 0x9999, 5, 2),            // fingerprint
+      MakeKey(3, 0x1234, 6, 2),            // k
+      MakeKey(3, 0x1234, 5, 3),            // probes
+      MakeKey(3, 0x1234, 5, 2, 0x777777),  // metric
+  };
+  for (const CacheKey& v : variants) {
+    EXPECT_FALSE(v == base);
+    EXPECT_NE(HashKey(v), HashKey(base));
+  }
+}
+
+TEST(CacheBasicTest, InsertLookupRoundTrip) {
+  ResultCache cache(Options(1 << 20));
+  const CacheKey key = MakeKey(1, 42);
+  std::vector<Neighbor> got;
+  EXPECT_FALSE(cache.Lookup(key, &got));
+
+  const std::vector<Neighbor> want = MakeNeighbors(5, 7);
+  cache.Insert(key, want);
+  ASSERT_TRUE(cache.Lookup(key, &got));
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index);
+    EXPECT_EQ(got[i].distance, want[i].distance);
+  }
+
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(CacheBasicTest, DistinctKeysNeverAlias) {
+  ResultCache cache(Options(1 << 20, 4));
+  cache.Insert(MakeKey(1, 42, 5), MakeNeighbors(5, 1));
+  cache.Insert(MakeKey(1, 42, 10), MakeNeighbors(10, 2));
+  cache.Insert(MakeKey(2, 42, 5), MakeNeighbors(5, 3));
+
+  std::vector<Neighbor> got;
+  ASSERT_TRUE(cache.Lookup(MakeKey(1, 42, 5), &got));
+  EXPECT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0].index, 1u);
+  ASSERT_TRUE(cache.Lookup(MakeKey(1, 42, 10), &got));
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_EQ(got[0].index, 2u);
+  ASSERT_TRUE(cache.Lookup(MakeKey(2, 42, 5), &got));
+  EXPECT_EQ(got[0].index, 3u);
+  // A version that was never inserted misses even though the fingerprint is
+  // hot — this is the COW-publish invalidation contract.
+  EXPECT_FALSE(cache.Lookup(MakeKey(3, 42, 5), &got));
+}
+
+TEST(CacheBasicTest, ReinsertReplacesValue) {
+  ResultCache cache(Options(1 << 20));
+  const CacheKey key = MakeKey(1, 42);
+  cache.Insert(key, MakeNeighbors(5, 1));
+  cache.Insert(key, MakeNeighbors(3, 9));
+  std::vector<Neighbor> got;
+  ASSERT_TRUE(cache.Lookup(key, &got));
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].index, 9u);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(CacheBudgetTest, EvictionKeepsBytesUnderBudget) {
+  const size_t budget = 8 * 1024;
+  ResultCache cache(Options(budget, 2));
+  for (uint64_t i = 0; i < 200; ++i) {
+    cache.Insert(MakeKey(1, i), MakeNeighbors(8, i));
+    EXPECT_LE(cache.bytes(), budget);
+  }
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_LE(stats.bytes, budget);
+}
+
+TEST(CacheBudgetTest, ZeroBudgetRejectsEverything) {
+  ResultCache cache(Options(0));
+  cache.Insert(MakeKey(1, 1), MakeNeighbors(4, 0));
+  std::vector<Neighbor> got;
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, 1), &got));
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_GE(stats.rejected, 1u);
+}
+
+TEST(CacheBudgetTest, OversizedEntryIsRejectedNotThrashed) {
+  ResultCache cache(Options(512));
+  cache.Insert(MakeKey(1, 1), MakeNeighbors(4, 0));  // fits
+  const size_t entries_before = cache.Stats().entries;
+  cache.Insert(MakeKey(1, 2), MakeNeighbors(4096, 0));  // larger than budget
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, entries_before);  // nothing thrown out for it
+  EXPECT_GE(stats.rejected, 1u);
+}
+
+TEST(CacheBudgetTest, SetBudgetShrinkEvictsDown) {
+  ResultCache cache(Options(64 * 1024, 2));
+  for (uint64_t i = 0; i < 100; ++i) {
+    cache.Insert(MakeKey(1, i), MakeNeighbors(8, i));
+  }
+  ASSERT_GT(cache.bytes(), 2048u);
+  cache.SetBudget(2048);
+  EXPECT_LE(cache.bytes(), 2048u);
+  EXPECT_EQ(cache.budget_bytes(), 2048u);
+  cache.SetBudget(0);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(CacheBudgetTest, ClearDropsEntriesButKeepsBudget) {
+  ResultCache cache(Options(1 << 20));
+  cache.Insert(MakeKey(1, 1), MakeNeighbors(4, 0));
+  cache.InsertProjection(1, 99, 7, Vector(4));
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.budget_bytes(), 1u << 20);
+  std::vector<Neighbor> got;
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, 1), &got));
+}
+
+TEST(CacheClockTest, RecentlyHitEntrySurvivesEviction) {
+  // One shard so the CLOCK order is deterministic. Budget fits roughly four
+  // 8-neighbor entries.
+  const std::vector<Neighbor> payload = MakeNeighbors(8, 0);
+  ResultCache probe(Options(1 << 20));
+  probe.Insert(MakeKey(1, 0), payload);
+  const size_t per_entry = probe.bytes();
+  ASSERT_GT(per_entry, 0u);
+
+  ResultCache cache(Options(4 * per_entry, 1));
+  for (uint64_t i = 0; i < 4; ++i) {
+    cache.Insert(MakeKey(1, i), payload);
+  }
+  ASSERT_EQ(cache.Stats().entries, 4u);
+
+  // Hit entry 0 (the clock hand's first victim candidate): the reference
+  // bit must buy it a second chance, so the next insert evicts entry 1.
+  std::vector<Neighbor> got;
+  ASSERT_TRUE(cache.Lookup(MakeKey(1, 0), &got));
+  cache.Insert(MakeKey(1, 100), payload);
+
+  EXPECT_TRUE(cache.Lookup(MakeKey(1, 0), &got)) << "hot entry was evicted";
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, 1), &got)) << "cold entry survived";
+  EXPECT_TRUE(cache.Lookup(MakeKey(1, 100), &got));
+}
+
+TEST(CacheProjectionTest, ProjectionRoundTripSharedAcrossK) {
+  ResultCache cache(Options(1 << 20));
+  Vector projected(3);
+  projected[0] = 0.5; projected[1] = -1.5; projected[2] = 2.0;
+  cache.InsertProjection(7, 0xfeed, 0xabc, projected);
+
+  // The projection table is keyed without k/probes, so any result-level
+  // caller with the same (version, fingerprint, metric) reuses it.
+  Vector got;
+  ASSERT_TRUE(cache.LookupProjection(7, 0xfeed, 0xabc, &got));
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 0.5);
+  EXPECT_EQ(got[1], -1.5);
+  EXPECT_EQ(got[2], 2.0);
+
+  // Any key-field change misses.
+  EXPECT_FALSE(cache.LookupProjection(8, 0xfeed, 0xabc, &got));
+  EXPECT_FALSE(cache.LookupProjection(7, 0xfeee, 0xabc, &got));
+  EXPECT_FALSE(cache.LookupProjection(7, 0xfeed, 0xabd, &got));
+}
+
+TEST(CacheFaultTest, InsertPressurePointRejectsButLookupsStayCorrect) {
+  fault::DisarmAll();
+  ResultCache cache(Options(1 << 20));
+  cache.Insert(MakeKey(1, 1), MakeNeighbors(4, 1));
+
+  fault::Arm(fault::kPointCacheInsertPressure, 1.0);
+  cache.Insert(MakeKey(1, 2), MakeNeighbors(4, 2));
+  std::vector<Neighbor> got;
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, 2), &got));
+  // Pre-pressure entries keep serving.
+  EXPECT_TRUE(cache.Lookup(MakeKey(1, 1), &got));
+  EXPECT_GE(cache.Stats().rejected, 1u);
+  EXPECT_GT(fault::Point(fault::kPointCacheInsertPressure)->triggers(), 0u);
+
+  fault::DisarmAll();
+  cache.Insert(MakeKey(1, 2), MakeNeighbors(4, 2));
+  EXPECT_TRUE(cache.Lookup(MakeKey(1, 2), &got));  // no sticky state
+}
+
+TEST(CacheManagerTest, UncappedGrantsExactlyWhatWasRequested) {
+  CacheManager manager;
+  auto cache = manager.CreateCache("engine", 123456);
+  EXPECT_EQ(cache->budget_bytes(), 123456u);
+  const CacheManager::ManagerStats stats = manager.GetStats();
+  EXPECT_EQ(stats.caches, 1u);
+  EXPECT_EQ(stats.total_budget, 0u);
+  EXPECT_EQ(stats.granted_bytes, 123456u);
+}
+
+TEST(CacheManagerTest, CapDividesBudgetAndFavorsTheHotCache) {
+  CacheManager manager;
+  auto hot = manager.CreateCache("hot", 1 << 20);
+  auto cold = manager.CreateCache("cold", 1 << 20);
+  // The kMinGrant floor may overshoot the cap by at most caches * 4096.
+  const size_t cap_slack = 256 * 1024 + 2 * 4096;
+  manager.SetTotalBudget(256 * 1024);
+  EXPECT_LE(hot->budget_bytes() + cold->budget_bytes(), cap_slack);
+
+  // Build hit history on `hot` only, then rebalance: demand weighting must
+  // grant the hot cache strictly more than the idle one.
+  const CacheKey key = MakeKey(1, 1);
+  hot->Insert(key, MakeNeighbors(4, 0));
+  std::vector<Neighbor> got;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(hot->Lookup(key, &got));
+  }
+  manager.Rebalance();
+  EXPECT_GT(hot->budget_bytes(), cold->budget_bytes());
+  EXPECT_LE(hot->budget_bytes() + cold->budget_bytes(), cap_slack);
+  EXPECT_GE(cold->budget_bytes(), 4096u);  // kMinGrant floor
+
+  // Dropping the cap restores grant-what-was-requested.
+  manager.SetTotalBudget(0);
+  EXPECT_EQ(hot->budget_bytes(), 1u << 20);
+  EXPECT_EQ(cold->budget_bytes(), 1u << 20);
+}
+
+TEST(CacheManagerTest, DroppedCachesRetireAtRebalance) {
+  CacheManager manager;
+  auto keep = manager.CreateCache("keep", 4096);
+  {
+    auto retire = manager.CreateCache("retire", 4096);
+    EXPECT_EQ(manager.GetStats().caches, 2u);
+  }
+  manager.Rebalance();
+  EXPECT_EQ(manager.GetStats().caches, 1u);
+  EXPECT_EQ(keep->budget_bytes(), 4096u);
+}
+
+TEST(CacheManagerTest, GlobalSingletonResetForTest) {
+  CacheManager& manager = CacheManager::Global();
+  manager.ResetForTest();
+  auto cache = manager.CreateCache("tmp", 4096);
+  EXPECT_GE(manager.GetStats().caches, 1u);
+  manager.ResetForTest();
+  EXPECT_EQ(manager.GetStats().caches, 0u);
+  EXPECT_EQ(manager.total_budget(), 0u);
+  // The orphaned cache keeps serving with its last grant.
+  cache->Insert(MakeKey(1, 1), MakeNeighbors(2, 0));
+  std::vector<Neighbor> got;
+  EXPECT_TRUE(cache->Lookup(MakeKey(1, 1), &got));
+}
+
+// Exercised under TSAN by the tier-1 cache leg: concurrent inserts,
+// lookups, budget retargets, and clears on shared shards.
+TEST(CacheConcurrencyTest, HammerMixedOperations) {
+  ResultCache cache(Options(32 * 1024, 4));
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<uint64_t> observed_hits{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &observed_hits, t] {
+      std::vector<Neighbor> got;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t fp = static_cast<uint64_t>((t * 7 + i) % 64);
+        const CacheKey key = MakeKey(1, fp);
+        if (i % 3 == 0) {
+          cache.Insert(key, MakeNeighbors(4, fp));
+        } else if (cache.Lookup(key, &got)) {
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+          // A hit must always carry the payload inserted under that
+          // fingerprint, never a torn or foreign value.
+          ASSERT_EQ(got.size(), 4u);
+          ASSERT_EQ(got[0].index, fp);
+        }
+        if (t == 0 && i % 500 == 250) cache.SetBudget(16 * 1024);
+        if (t == 1 && i % 900 == 450) cache.Clear();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_GE(stats.hits, observed_hits.load());
+  EXPECT_LE(cache.bytes(), 32u * 1024u);
+}
+
+TEST(CacheConcurrencyTest, ConcurrentVersionsStayIsolated) {
+  ResultCache cache(Options(256 * 1024, 4));
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  // Each thread works a distinct snapshot version; payload index encodes
+  // the version so a cross-version hit would be detected immediately.
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      const uint64_t version = static_cast<uint64_t>(t + 1);
+      std::vector<Neighbor> got;
+      for (int i = 0; i < 1500; ++i) {
+        const uint64_t fp = static_cast<uint64_t>(i % 32);
+        const CacheKey key = MakeKey(version, fp);
+        if (i % 2 == 0) {
+          cache.Insert(key, MakeNeighbors(3, version * 1000));
+        } else if (cache.Lookup(key, &got)) {
+          ASSERT_EQ(got[0].index, version * 1000);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace cohere

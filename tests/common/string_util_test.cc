@@ -1,5 +1,7 @@
 #include "common/string_util.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace cohere {
@@ -75,6 +77,34 @@ TEST(ParseDoubleTest, RejectsInvalid) {
   EXPECT_FALSE(ParseDouble("abc").ok());
   EXPECT_FALSE(ParseDouble("1.5x").ok());
   EXPECT_FALSE(ParseDouble("?").ok());
+  EXPECT_FALSE(ParseDouble("12abc").ok());
+  EXPECT_FALSE(ParseDouble("1e5 3").ok());
+}
+
+TEST(ParseDoubleTest, OverflowIsAnErrorUnderflowIsNot) {
+  // Overflow saturates to HUGE_VAL and must be rejected.
+  EXPECT_FALSE(ParseDouble("1e999").ok());
+  EXPECT_FALSE(ParseDouble("-1e999").ok());
+  // Underflow also sets ERANGE in strtod, but a denormal (or zero) result
+  // is a faithful nearest representation, not an error.
+  Result<double> denormal = ParseDouble("1e-320");
+  ASSERT_TRUE(denormal.ok()) << denormal.status().ToString();
+  EXPECT_GT(*denormal, 0.0);
+  EXPECT_LT(*denormal, 1e-300);
+  Result<double> tiny = ParseDouble("1e-5000");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(*tiny, 0.0);
+}
+
+TEST(ParseDoubleTest, ParsesNonFiniteLiteralsCallersMustGate) {
+  // strtod accepts these; rejecting them is a loader policy (see
+  // CsvTest/ArffTest NonFinite tests), not a ParseDouble concern.
+  Result<double> inf = ParseDouble("inf");
+  ASSERT_TRUE(inf.ok());
+  EXPECT_TRUE(std::isinf(*inf));
+  Result<double> nan = ParseDouble("nan");
+  ASSERT_TRUE(nan.ok());
+  EXPECT_TRUE(std::isnan(*nan));
 }
 
 TEST(ParseIntTest, ParsesValidIntegers) {

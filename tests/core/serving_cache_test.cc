@@ -1,0 +1,426 @@
+// Serving-level cache behavior: bit-identity with the cache off and on the
+// miss path, hit/miss accounting against QueryStats, snapshot-version
+// invalidation across COW publishes, and correctness under eviction
+// pressure. The ServingCacheConcurrencyTest suite at the bottom is part of
+// the tier-1 TSAN leg.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "cache/query_cache.h"
+#include "common/fault.h"
+#include "core/dynamic_engine.h"
+#include "core/engine.h"
+#include "core/local_engine.h"
+#include "core/serving.h"
+#include "data/synthetic.h"
+#include "data/uci_like.h"
+#include "index/knn.h"
+#include "obs/metrics.h"
+
+namespace cohere {
+namespace {
+
+constexpr uint64_t kFnvSeed = 1469598103934665603ULL;
+
+uint64_t Fnv(uint64_t h, const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t HashNeighbors(uint64_t h, const std::vector<Neighbor>& neighbors) {
+  for (const Neighbor& n : neighbors) {
+    const uint64_t index = n.index;
+    uint64_t bits;
+    std::memcpy(&bits, &n.distance, sizeof(bits));
+    h = Fnv(h, &index, sizeof(index));
+    h = Fnv(h, &bits, sizeof(bits));
+  }
+  return h;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& want, size_t tag) {
+  ASSERT_EQ(got.size(), want.size()) << "query " << tag;
+  for (size_t j = 0; j < got.size(); ++j) {
+    EXPECT_EQ(got[j].index, want[j].index) << "query " << tag << " slot " << j;
+    EXPECT_EQ(got[j].distance, want[j].distance)
+        << "query " << tag << " slot " << j;
+  }
+}
+
+EngineOptions StaticOptions(size_t cache_budget) {
+  EngineOptions options;
+  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  options.reduction.target_dim = 8;
+  options.cache_budget_bytes = cache_budget;
+  return options;
+}
+
+Dataset DynamicData() {
+  LatentFactorConfig config;
+  config.num_records = 300;
+  config.num_attributes = 30;
+  config.num_concepts = 5;
+  config.num_classes = 2;
+  config.noise_stddev = 0.5;
+  config.seed = 701;
+  return GenerateLatentFactor(config);
+}
+
+DynamicEngineOptions DynamicOptions(size_t cache_budget) {
+  DynamicEngineOptions options;
+  options.reduction.scaling = PcaScaling::kCorrelation;
+  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  options.reduction.target_dim = 5;
+  options.drift_window = 40;
+  options.cache_budget_bytes = cache_budget;
+  return options;
+}
+
+Dataset MixedPopulations(uint64_t seed) {
+  MultiPopulationConfig config;
+  LatentFactorConfig pop;
+  pop.num_records = 180;
+  pop.num_attributes = 40;
+  pop.num_concepts = 6;
+  pop.num_classes = 4;
+  pop.class_separation = 1.0;
+  pop.noise_stddev = 0.4;
+  pop.seed = seed;
+  config.populations.push_back(pop);
+  pop.seed = seed + 100;
+  config.populations.push_back(pop);
+  config.center_separation = 2.0;
+  config.seed = seed + 1;
+  return GenerateMultiPopulation(config);
+}
+
+LocalEngineOptions LocalOptions(size_t probes, size_t cache_budget) {
+  LocalEngineOptions options;
+  options.num_clusters = 3;
+  options.cluster_subspace_dim = 10;
+  options.reduction.scaling = PcaScaling::kCorrelation;
+  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  options.reduction.target_dim = 6;
+  options.probe_clusters = probes;
+  options.cache_budget_bytes = cache_budget;
+  return options;
+}
+
+// The recipe (and pinned hash) from ServingGoldenTest: with a cache
+// attached, the first pass is all misses — results must still be
+// bit-identical to the cache-free engine — and the second pass is all hits,
+// which must replay exactly the same bits.
+TEST(ServingCacheGoldenTest, MissAndHitPassesMatchThePinnedHash) {
+  Dataset data = IonosphereLike(152);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, StaticOptions(1 << 20));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_NE(engine->serving().result_cache(), nullptr);
+
+  for (int pass = 0; pass < 2; ++pass) {
+    uint64_t h = kFnvSeed;
+    for (size_t q = 0; q < 20; ++q) {
+      const Vector query = data.Record(q * 17 % data.NumRecords());
+      h = HashNeighbors(h, engine->Query(query, 4));
+    }
+    EXPECT_EQ(h, 0x5fc625f230dd3617ULL) << "pass " << pass;
+  }
+  const cache::ResultCacheStats stats =
+      engine->serving().result_cache()->Stats();
+  EXPECT_EQ(stats.misses, 20u);
+  EXPECT_EQ(stats.hits, 20u);
+  // 20 result lists plus 20 projected query vectors.
+  EXPECT_EQ(stats.insertions, 40u);
+}
+
+TEST(ServingCacheTest, BudgetZeroBuildsNoCache) {
+  Dataset data = IonosphereLike(152);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, StaticOptions(0));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->serving().result_cache(), nullptr);
+}
+
+TEST(ServingCacheTest, HitDoesNoIndexWorkAndCountersAgreeWithQueryStats) {
+  Dataset data = IonosphereLike(251);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, StaticOptions(1 << 20));
+  ASSERT_TRUE(engine.ok());
+  const Vector query = data.Record(7);
+
+  // Registry counters are process-cumulative; compare deltas.
+  const bool metrics_on = obs::MetricsRegistry::Enabled();
+  const uint64_t hits_before =
+      metrics_on
+          ? obs::MetricsRegistry::Global().GetCounter("cache.hits")->Value()
+          : 0;
+
+  QueryStats miss_stats;
+  const auto first = engine->Query(query, 5, KnnIndex::kNoSkip, &miss_stats);
+  EXPECT_GT(miss_stats.distance_evaluations, 0u);
+
+  QueryStats hit_stats;
+  const auto second = engine->Query(query, 5, KnnIndex::kNoSkip, &hit_stats);
+  ExpectSameNeighbors(second, first, 0);
+  // A cache hit bypasses the index entirely, so the caller-visible
+  // QueryStats must stay at zero work (consistent with the metrics path,
+  // which records a zero-work sample for hits).
+  EXPECT_EQ(hit_stats.distance_evaluations, 0u);
+  EXPECT_EQ(hit_stats.nodes_visited, 0u);
+  EXPECT_FALSE(hit_stats.truncated);
+
+  const cache::ResultCacheStats stats =
+      engine->serving().result_cache()->Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  if (metrics_on) {
+    EXPECT_EQ(
+        obs::MetricsRegistry::Global().GetCounter("cache.hits")->Value(),
+        hits_before + 1);
+  }
+}
+
+TEST(ServingCacheTest, SkipIndexQueriesBypassTheCacheEntirely) {
+  Dataset data = IonosphereLike(311);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, StaticOptions(1 << 20));
+  ASSERT_TRUE(engine.ok());
+  const Vector query = data.Record(11);
+
+  // Warm the cache with the unrestricted answer.
+  const auto full = engine->Query(query, 5);
+  ASSERT_FALSE(full.empty());
+  const size_t nearest = full[0].index;
+
+  // A leave-one-out query must not be served the cached full answer.
+  const auto skipped = engine->Query(query, 5, nearest);
+  for (const Neighbor& n : skipped) {
+    EXPECT_NE(n.index, nearest);
+  }
+  // And it must not have polluted the cache either: the full answer is
+  // still what a plain repeat gets.
+  ExpectSameNeighbors(engine->Query(query, 5), full, 1);
+  // Only the warm query inserted (one result list + its projection); the
+  // skip_index queries wrote nothing.
+  EXPECT_EQ(engine->serving().result_cache()->Stats().insertions, 2u);
+}
+
+TEST(ServingCacheTest, CancelledQueriesAreNeverCached) {
+  Dataset data = IonosphereLike(333);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, StaticOptions(1 << 20));
+  ASSERT_TRUE(engine.ok());
+  const Vector query = data.Record(3);
+
+  CancelToken cancel;
+  cancel.Cancel();
+  QueryLimits limits;
+  limits.cancel = &cancel;
+  QueryStats stats;
+  const auto truncated = engine->Query(query, 5, KnnIndex::kNoSkip, &stats,
+                                       limits);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(engine->serving().result_cache()->Stats().insertions, 0u);
+
+  // The partial answer must not poison later full queries.
+  Result<ReducedSearchEngine> reference =
+      ReducedSearchEngine::Build(data, StaticOptions(0));
+  ASSERT_TRUE(reference.ok());
+  ExpectSameNeighbors(engine->Query(query, 5), reference->Query(query, 5), 2);
+}
+
+TEST(ServingCacheTest, CowPublishInvalidatesCachedResults) {
+  Dataset data = DynamicData();
+  auto [fit_part, insert_part] = data.Split(250);
+  Result<DynamicReducedIndex> index =
+      DynamicReducedIndex::Build(fit_part, DynamicOptions(1 << 20));
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  const uint64_t version_before = index->SnapshotVersion();
+
+  // Warm the cache for this query at the current version.
+  const Vector query = data.Record(260);
+  const auto before = index->Query(query, 3);
+  ExpectSameNeighbors(index->Query(query, 3), before, 0);
+  ASSERT_GT(index->serving().result_cache()->Stats().hits, 0u);
+
+  // Insert the query point itself: the COW publish bumps the snapshot
+  // version, so the stale cached answer (which cannot contain the new
+  // record) must be unreachable.
+  ASSERT_TRUE(index->Insert(query).ok());
+  EXPECT_GT(index->SnapshotVersion(), version_before);
+  const auto after = index->Query(query, 3);
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0].distance, 0.0)
+      << "stale pre-publish result served from the cache";
+}
+
+TEST(ServingCacheTest, BatchRepeatsHitAndMatchSerialResults) {
+  Dataset data = IonosphereLike(277);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, StaticOptions(1 << 20));
+  ASSERT_TRUE(engine.ok());
+
+  Matrix queries(12, data.NumAttributes());
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    const Vector record = data.Record(i * 13 % data.NumRecords());
+    for (size_t d = 0; d < data.NumAttributes(); ++d) {
+      queries.At(i, d) = record[d];
+    }
+  }
+
+  const auto first = engine->QueryBatch(queries, 4);
+  const cache::ResultCacheStats after_first =
+      engine->serving().result_cache()->Stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_GT(after_first.insertions, 0u);
+
+  const auto second = engine->QueryBatch(queries, 4);
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ExpectSameNeighbors(second[i], first[i], i);
+    ExpectSameNeighbors(engine->Query(queries.Row(i), 4), first[i], i);
+  }
+  EXPECT_GT(engine->serving().result_cache()->Stats().hits, 0u);
+}
+
+TEST(ServingCacheTest, LocalEngineMultiProbePathServesCachedResults) {
+  Dataset data = MixedPopulations(411);
+  Result<LocalReducedSearchEngine> cached =
+      LocalReducedSearchEngine::Build(data, LocalOptions(2, 1 << 20));
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  Result<LocalReducedSearchEngine> plain =
+      LocalReducedSearchEngine::Build(data, LocalOptions(2, 0));
+  ASSERT_TRUE(plain.ok());
+
+  // Serial repeats through the multi-shard (probe fan-out) path.
+  for (size_t q = 0; q < 8; ++q) {
+    const Vector query = data.Record(q * 11 % data.NumRecords());
+    const auto want = plain->Query(query, 5);
+    ExpectSameNeighbors(cached->Query(query, 5), want, q);  // miss pass
+    ExpectSameNeighbors(cached->Query(query, 5), want, q);  // hit pass
+  }
+  EXPECT_GE(cached->serving().result_cache()->Stats().hits, 8u);
+
+  // Batched repeats (row-level caching inside the batch fan-out).
+  Matrix queries(8, data.NumAttributes());
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    const Vector record = data.Record((i * 11 + 3) % data.NumRecords());
+    for (size_t d = 0; d < data.NumAttributes(); ++d) {
+      queries.At(i, d) = record[d];
+    }
+  }
+  const auto first = cached->QueryBatch(queries, 5);
+  const auto second = cached->QueryBatch(queries, 5);
+  const auto reference = plain->QueryBatch(queries, 5);
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    ExpectSameNeighbors(first[i], reference[i], i);
+    ExpectSameNeighbors(second[i], reference[i], i);
+  }
+}
+
+TEST(ServingCacheTest, TinyBudgetEvictsButNeverCorruptsResults) {
+  Dataset data = IonosphereLike(199);
+  // A budget this small can only hold a handful of result lists, so steady
+  // misses force constant eviction/rejection.
+  Result<ReducedSearchEngine> cached =
+      ReducedSearchEngine::Build(data, StaticOptions(2048));
+  ASSERT_TRUE(cached.ok());
+  Result<ReducedSearchEngine> plain =
+      ReducedSearchEngine::Build(data, StaticOptions(0));
+  ASSERT_TRUE(plain.ok());
+
+  for (size_t q = 0; q < 60; ++q) {
+    const Vector query = data.Record(q % data.NumRecords());
+    ExpectSameNeighbors(cached->Query(query, 4), plain->Query(query, 4), q);
+  }
+  const cache::ResultCacheStats stats =
+      cached->serving().result_cache()->Stats();
+  EXPECT_LE(stats.bytes, 2048u);
+  EXPECT_GT(stats.evictions + stats.rejected, 0u);
+}
+
+TEST(ServingCacheTest, InsertPressureFaultDegradesToColdButCorrect) {
+  fault::DisarmAll();
+  Dataset data = IonosphereLike(421);
+  Result<ReducedSearchEngine> cached =
+      ReducedSearchEngine::Build(data, StaticOptions(1 << 20));
+  ASSERT_TRUE(cached.ok());
+  Result<ReducedSearchEngine> plain =
+      ReducedSearchEngine::Build(data, StaticOptions(0));
+  ASSERT_TRUE(plain.ok());
+
+  fault::Arm(fault::kPointCacheInsertPressure, 1.0);
+  const Vector query = data.Record(5);
+  const auto want = plain->Query(query, 4);
+  ExpectSameNeighbors(cached->Query(query, 4), want, 0);
+  ExpectSameNeighbors(cached->Query(query, 4), want, 1);
+  const cache::ResultCacheStats under_pressure =
+      cached->serving().result_cache()->Stats();
+  EXPECT_EQ(under_pressure.insertions, 0u);
+  EXPECT_EQ(under_pressure.hits, 0u);
+  EXPECT_GT(under_pressure.rejected, 0u);
+
+  fault::DisarmAll();
+  ExpectSameNeighbors(cached->Query(query, 4), want, 2);  // inserts now
+  ExpectSameNeighbors(cached->Query(query, 4), want, 3);  // and hits
+  EXPECT_GT(cached->serving().result_cache()->Stats().hits, 0u);
+}
+
+// Tier-1 runs this under TSAN: concurrent readers racing COW publishes,
+// with the version-keyed cache in the middle. The end-state assertion is
+// the stale-result check — after every publish has landed, a query for an
+// inserted record must see it (a stale cached answer could not).
+TEST(ServingCacheConcurrencyTest, ReadersRacePublishesWithoutStaleResults) {
+  Dataset data = DynamicData();
+  auto [fit_part, insert_part] = data.Split(250);
+  Result<DynamicReducedIndex> built =
+      DynamicReducedIndex::Build(fit_part, DynamicOptions(1 << 20));
+  ASSERT_TRUE(built.ok());
+  DynamicReducedIndex& index = *built;
+
+  constexpr size_t kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&index, &data, &stop, t] {
+      size_t q = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto result =
+            index.Query(data.Record(q % 250), 4);
+        // Results must always be well-formed: sorted ascending, no
+        // torn/foreign payloads regardless of which snapshot served them.
+        for (size_t j = 1; j < result.size(); ++j) {
+          ASSERT_LE(result[j - 1].distance, result[j].distance);
+        }
+        q += 7;
+      }
+    });
+  }
+
+  for (size_t i = 0; i < insert_part.NumRecords(); ++i) {
+    ASSERT_TRUE(index.Insert(insert_part.Record(i)).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+
+  for (size_t i = 0; i < insert_part.NumRecords(); ++i) {
+    const auto result = index.Query(insert_part.Record(i), 1);
+    ASSERT_FALSE(result.empty());
+    EXPECT_EQ(result[0].distance, 0.0) << "inserted record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cohere

@@ -168,6 +168,52 @@ TEST(ArffTest, RoundTripThroughFile) {
   std::remove(path.c_str());
 }
 
+TEST(ArffTest, NonFiniteValuesRejectedWithLineNumber) {
+  const char* header =
+      "@relation r\n"
+      "@attribute x numeric\n"
+      "@attribute y numeric\n"
+      "@data\n";
+  const char* bad_rows[] = {"1, inf\n", "nan, 2\n", "3, Infinity\n",
+                            "1e999, 4\n"};
+  for (const char* row : bad_rows) {
+    Result<Dataset> d = ParseArff(std::string(header) + "1, 2\n" + row);
+    ASSERT_FALSE(d.ok()) << row;
+    EXPECT_EQ(d.status().code(), StatusCode::kParseError) << row;
+    // The offending row is line 6 of the document.
+    EXPECT_NE(d.status().message().find("line 6"), std::string::npos)
+        << d.status().message();
+  }
+}
+
+TEST(ArffTest, MissingMarkersStillImputeDespiteNonFiniteGate) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute x numeric\n"
+      "@attribute y numeric\n"
+      "@data\n"
+      "1, 10\n"
+      "?, 20\n"
+      "3, ?\n";
+  Result<Dataset> d = ParseArff(arff);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_DOUBLE_EQ(d->features()(1, 0), 2.0);   // mean of 1, 3
+  EXPECT_DOUBLE_EQ(d->features()(2, 1), 15.0);  // mean of 10, 20
+}
+
+TEST(ArffTest, DenormalValuesLoadExactly) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute x numeric\n"
+      "@data\n"
+      "1e-320\n"
+      "2\n";
+  Result<Dataset> d = ParseArff(arff);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_GT(d->features()(0, 0), 0.0);
+  EXPECT_LT(d->features()(0, 0), 1e-300);
+}
+
 TEST(ArffTest, LoadMissingFileFails) {
   EXPECT_EQ(LoadArff("/nonexistent/x.arff").status().code(),
             StatusCode::kIoError);

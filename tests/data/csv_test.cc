@@ -115,6 +115,44 @@ TEST(CsvTest, RoundTripThroughFile) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, NonFiniteValuesRejectedWithLineNumber) {
+  CsvOptions opts;
+  // strtod happily parses these literals; the loader must refuse them.
+  const char* cases[] = {
+      "1,2\n3,inf\n",
+      "1,2\nnan,4\n",
+      "1,2\n3,Infinity\n",
+      "1,2\n-inf,4\n",
+      "1,2\n3,1e999\n",  // overflow saturates to inf inside strtod
+  };
+  for (const char* content : cases) {
+    Result<Dataset> d = ParseCsv(content, opts);
+    ASSERT_FALSE(d.ok()) << content;
+    EXPECT_EQ(d.status().code(), StatusCode::kParseError) << content;
+    EXPECT_NE(d.status().message().find("line 2"), std::string::npos)
+        << d.status().message();
+  }
+}
+
+TEST(CsvTest, MissingMarkersStillImputeDespiteNonFiniteGate) {
+  // "?" and empty fields are handled as missing *before* numeric parsing,
+  // so the non-finite rejection must not affect them.
+  CsvOptions opts;
+  opts.missing_values = MissingValuePolicy::kImputeColumnMean;
+  Result<Dataset> d = ParseCsv("1,10\n?,20\n3,\n", opts);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_DOUBLE_EQ(d->features()(1, 0), 2.0);   // mean of 1, 3
+  EXPECT_DOUBLE_EQ(d->features()(2, 1), 15.0);  // mean of 10, 20
+}
+
+TEST(CsvTest, DenormalValuesLoadExactly) {
+  CsvOptions opts;
+  Result<Dataset> d = ParseCsv("1e-320,1\n2,3\n", opts);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_GT(d->features()(0, 0), 0.0);
+  EXPECT_LT(d->features()(0, 0), 1e-300);
+}
+
 TEST(CsvTest, LoadMissingFileFails) {
   CsvOptions opts;
   Result<Dataset> d = LoadCsv("/nonexistent/definitely_missing.csv", opts);

@@ -470,6 +470,45 @@ TEST_F(FaultMatrixTest, ConstantAttributesSurviveCoherenceOrdering) {
   }
 }
 
+TEST_F(FaultMatrixTest, CacheInsertPressureDegradesToColdNotWrong) {
+  // The documented outcome of cache.insert.pressure: every result/projection
+  // store is dropped, so the cache never warms — but answers stay exact.
+  Dataset data = IonosphereLike(1407);
+  EngineOptions options;
+  options.reduction.target_dim = 8;
+  options.backend = IndexBackend::kLinearScan;
+  options.cache_budget_bytes = 1 << 20;
+  Result<ReducedSearchEngine> cached =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  options.cache_budget_bytes = 0;
+  Result<ReducedSearchEngine> plain =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(plain.ok());
+
+  fault::Arm(fault::kPointCacheInsertPressure, 1.0);
+  const Vector query = data.Record(9);
+  const auto want = plain->Query(query, 4);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const auto got = cached->Query(query, 4);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(got[j].index, want[j].index);
+      EXPECT_EQ(got[j].distance, want[j].distance);
+    }
+  }
+  const cache::ResultCacheStats stats =
+      cached->serving().result_cache()->Stats();
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_GT(stats.rejected, 0u);
+  EXPECT_GT(fault::Point(fault::kPointCacheInsertPressure)->triggers(), 0u);
+
+  fault::DisarmAll();
+  cached->Query(query, 4);  // inserts now
+  cached->Query(query, 4);  // and hits
+  EXPECT_GT(cached->serving().result_cache()->Stats().hits, 0u);
+}
+
 // When scripts/tier1.sh runs this binary under COHERE_FAULT, the env spec
 // must actually have armed the named points before main() — that is the
 // whole point of the sweep. Skipped in ordinary runs.

@@ -14,6 +14,7 @@
 //
 // `scripts/bench_compare.py OLD NEW` diffs two such documents and exits
 // nonzero on regression; `scripts/tier1.sh` runs the smoke suite as a gate.
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdint>
@@ -74,6 +75,15 @@ struct CaseSpec {
   bool gate;             ///< Regression-gated by bench_compare.py.
   EngineKind engine = EngineKind::kStatic;
   size_t probes = 1;     ///< Localities probed per query (local engine only).
+  /// Zipfian repeated-query workload: the nq measured queries are drawn
+  /// (deterministically) from a pool of nq/10 distinct records under a
+  /// Zipf(1) rank distribution, so at least 90% of queries repeat an
+  /// earlier one — the scenario the result cache exists for. Zipf cases
+  /// measure at the serving scope ("engine"), where cache hits are
+  /// recorded, instead of the per-index scope hits never reach.
+  bool zipf = false;
+  /// EngineOptions::cache_budget_bytes for this case (0 = cache off).
+  size_t cache_budget = 0;
 };
 
 /// The smoke suite: one pass is a few hundred milliseconds, small enough to
@@ -98,6 +108,14 @@ const CaseSpec kSmokeSuite[] = {
      EngineKind::kLocal, 2},
     {"synthetic", IndexBackend::kLinearScan, 6, 4, true, false,
      EngineKind::kLocal, 2},
+    // The repeated-query pair: identical Zipfian workload with the result
+    // cache off and on. bench_compare.py gates each against its own
+    // baseline; scripts/tier1.sh additionally asserts the cached series
+    // beats the cold one by the documented multiple.
+    {"synthetic", IndexBackend::kKdTree, 8, 4, false, true,
+     EngineKind::kStatic, 1, /*zipf=*/true, /*cache_budget=*/0},
+    {"synthetic", IndexBackend::kKdTree, 8, 4, false, true,
+     EngineKind::kStatic, 1, /*zipf=*/true, /*cache_budget=*/4u << 20},
 };
 
 /// The standard suite: the full dataset grid the paper's experiments walk —
@@ -139,6 +157,11 @@ const CaseSpec kStandardSuite[] = {
      EngineKind::kLocal, 2},
     {"synthetic", IndexBackend::kLinearScan, 6, 10, true, false,
      EngineKind::kLocal, 2},
+    // repeated-query (Zipfian) pair, cache off vs on
+    {"synthetic", IndexBackend::kKdTree, 8, 10, false, true,
+     EngineKind::kStatic, 1, /*zipf=*/true, /*cache_budget=*/0},
+    {"synthetic", IndexBackend::kKdTree, 8, 10, false, true,
+     EngineKind::kStatic, 1, /*zipf=*/true, /*cache_budget=*/4u << 20},
 };
 
 Dataset MakeDataset(const std::string& key) {
@@ -196,9 +219,12 @@ std::string SeriesName(const CaseSpec& spec) {
       facade = "local_p" + std::to_string(spec.probes);
       break;
   }
-  return std::string(spec.dataset) + "." + facade + "." +
-         DimLabel(spec.target_dim) + ".k" + std::to_string(spec.k) +
-         (spec.pooled ? ".pooled" : ".serial");
+  std::string name = std::string(spec.dataset) + "." + facade + "." +
+                     DimLabel(spec.target_dim) + ".k" + std::to_string(spec.k);
+  if (spec.zipf) {
+    name += spec.cache_budget > 0 ? ".zipf_cached" : ".zipf_cold";
+  }
+  return name + (spec.pooled ? ".pooled" : ".serial");
 }
 
 /// %.17g formatting: round-trips doubles and keeps the JSON diffable.
@@ -272,11 +298,16 @@ Result<SeriesResult> RunCase(const CaseSpec& spec, const Dataset& dataset,
       options.backend = spec.backend;
       options.metric = MetricKind::kEuclidean;
       options.reduction = reduction;
+      options.cache_budget_bytes = spec.cache_budget;
       Result<ReducedSearchEngine> engine =
           ReducedSearchEngine::Build(dataset, options);
       if (!engine.ok()) return engine.status();
       static_engine.emplace(std::move(*engine));
-      scope = "index." + std::string(IndexBackendName(spec.backend));
+      // Zipf cases measure at the serving scope: cache hits return before
+      // the index and would be invisible to the index-level histogram.
+      scope = spec.zipf
+                  ? "engine"
+                  : "index." + std::string(IndexBackendName(spec.backend));
       reduced_dims = static_engine->ReducedDims();
       break;
     }
@@ -327,7 +358,37 @@ Result<SeriesResult> RunCase(const CaseSpec& spec, const Dataset& dataset,
 
   const size_t nq = std::min(num_queries, dataset.NumRecords());
   Matrix queries(nq, dataset.NumAttributes());
-  for (size_t i = 0; i < nq; ++i) queries.SetRow(i, dataset.Record(i));
+  if (spec.zipf) {
+    // Repeated-query workload: nq draws over a pool of nq/10 distinct
+    // records, rank-weighted by Zipf(1). The SplitMix64 stream is seeded
+    // with a constant so every run (and both halves of a cold/cached pair)
+    // measures the exact same query sequence; with pool <= nq/10, at least
+    // 90% of draws repeat an earlier query whatever the skew does.
+    const size_t pool = std::max<size_t>(1, nq / 10);
+    std::vector<double> cdf(pool);
+    double total = 0.0;
+    for (size_t r = 0; r < pool; ++r) {
+      total += 1.0 / static_cast<double>(r + 1);
+      cdf[r] = total;
+    }
+    uint64_t state = 0x5eedc0de2024ULL;
+    auto split_mix = [](uint64_t* s) {
+      uint64_t z = (*s += 0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (size_t i = 0; i < nq; ++i) {
+      const double u =
+          static_cast<double>(split_mix(&state) >> 11) * 0x1.0p-53 * total;
+      size_t rank = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      if (rank >= pool) rank = pool - 1;
+      queries.SetRow(i, dataset.Record(rank));
+    }
+  } else {
+    for (size_t i = 0; i < nq; ++i) queries.SetRow(i, dataset.Record(i));
+  }
 
   // Touch the path once so lazy metric registration, pool spin-up and cache
   // warming happen outside the measured interval.

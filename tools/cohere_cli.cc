@@ -221,6 +221,26 @@ int QueryCmd(const Dataset& data, const Args& args) {
     }
     deadline_us = *deadline;
   }
+  size_t cache_budget = 0;
+  if (auto it = args.flags.find("cache-budget"); it != args.flags.end()) {
+    Result<long long> parsed = ParseInt(it->second);
+    if (!parsed.ok() || *parsed < 0) {
+      std::fprintf(stderr, "bad --cache-budget value\n");
+      return 1;
+    }
+    cache_budget = static_cast<size_t>(*parsed);
+  }
+  auto print_cache_stats = [](const ServingCore& serving) {
+    const cache::ResultCache* cache = serving.result_cache();
+    if (cache == nullptr) return;
+    const cache::ResultCacheStats cs = cache->Stats();
+    std::printf("cache: budget %llu bytes, %llu entries, %llu hits / %llu "
+                "misses (leave-one-out queries bypass the cache)\n",
+                static_cast<unsigned long long>(cache->budget_bytes()),
+                static_cast<unsigned long long>(cs.entries),
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses));
+  };
 
   const std::string engine_kind = [&] {
     auto it = args.flags.find("engine");
@@ -234,6 +254,7 @@ int QueryCmd(const Dataset& data, const Args& args) {
     LocalEngineOptions options;
     options.reduction = reduction;
     options.query_deadline_us = deadline_us;
+    options.cache_budget_bytes = cache_budget;
     if (auto it = args.flags.find("clusters"); it != args.flags.end()) {
       Result<long long> clusters = ParseInt(it->second);
       if (!clusters.ok() || *clusters <= 0) {
@@ -259,10 +280,12 @@ int QueryCmd(const Dataset& data, const Args& args) {
     }
     std::printf("%s", engine->Describe().c_str());
     neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
+    print_cache_stats(engine->serving());
   } else if (engine_kind == "static") {
     EngineOptions options;
     options.reduction = reduction;
     options.query_deadline_us = deadline_us;
+    options.cache_budget_bytes = cache_budget;
     Result<ReducedSearchEngine> engine =
         ReducedSearchEngine::Build(data, options);
     if (!engine.ok()) {
@@ -272,6 +295,7 @@ int QueryCmd(const Dataset& data, const Args& args) {
     }
     std::printf("%s", engine->Describe().c_str());
     neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
+    print_cache_stats(engine->serving());
   } else {
     std::fprintf(stderr, "bad --engine value '%s' (want static or local)\n",
                  engine_kind.c_str());
@@ -333,6 +357,8 @@ int Usage() {
                "  cohere_cli query   <data-file> --row R [--k K] [--dims N]\n"
                "             [--deadline-us T]   per-query wall-clock budget "
                "(partial answer on expiry)\n"
+               "             [--cache-budget B]  result-cache byte budget "
+               "for the engine (0 = off)\n"
                "             [--engine static|local]   serving engine "
                "(default static)\n"
                "             [--clusters N] [--probes P]   local-engine "
