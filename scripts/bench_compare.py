@@ -47,6 +47,10 @@ SERIES_FIELDS = {
 
 LATENCY_FIELDS = ("count", "mean", "p50", "p95", "p99", "max")
 WORK_FIELDS = ("distance_evaluations", "nodes_visited", "candidates_refined")
+# Per-series registry counter deltas (schema-additive: documents written
+# before the field existed still validate). Drift is reported, never gated —
+# cache behaviour is config-sensitive, not a latency regression.
+COUNTER_FIELDS = ("cache_hits", "cache_misses", "deadline_exceeded")
 
 
 def fail(msg):
@@ -103,12 +107,34 @@ def validate(doc, path):
             v = s["work"].get(field)
             if not isinstance(v, int) or isinstance(v, bool) or v < 0:
                 fail(f"{path}: series {name!r} work.{field} is not a count")
+        if "counters" in s:
+            if not isinstance(s["counters"], dict):
+                fail(f"{path}: series {name!r} counters is not an object")
+            for field in COUNTER_FIELDS:
+                v = s["counters"].get(field)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    fail(f"{path}: series {name!r} counters.{field} "
+                         f"is not a count")
+
+
+def counter_drift(old, new):
+    """Human-readable counter deltas between two series, or None."""
+    old_c, new_c = old.get("counters"), new.get("counters")
+    if not isinstance(old_c, dict) or not isinstance(new_c, dict):
+        return None
+    parts = []
+    for field in COUNTER_FIELDS:
+        ov, nv = old_c.get(field, 0), new_c.get(field, 0)
+        if ov != nv:
+            parts.append(f"{field} {ov} -> {nv}")
+    return "; ".join(parts) if parts else None
 
 
 def compare(old_doc, new_doc, threshold, gate_all, floor_us):
     """Prints a per-series delta table; returns the number of regressions."""
     new_by_name = {s["name"]: s for s in new_doc["series"]}
     regressions = 0
+    drifts = []
     width = max(len(s["name"]) for s in old_doc["series"])
     print(f"{'series':<{width}}  {'old p50':>10}  {'new p50':>10}  "
           f"{'delta':>8}  gate")
@@ -137,6 +163,13 @@ def compare(old_doc, new_doc, threshold, gate_all, floor_us):
         flag = "REGRESSED" if regressed else ("yes" if gated else "no")
         print(f"{name:<{width}}  {old['latency_us']['p50']:>10.3f}  "
               f"{new['latency_us']['p50']:>10.3f}  {worst:>+7.1%}  {flag}")
+        drift = counter_drift(old, new)
+        if drift is not None:
+            drifts.append((name, drift))
+    # Informational only: counter drift flags behavioural change (cache hit
+    # rate, deadline pressure) that a latency gate would misattribute.
+    for name, drift in drifts:
+        print(f"bench_compare: counter drift in {name}: {drift}")
     return regressions
 
 

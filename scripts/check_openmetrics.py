@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Strict validator for cohere's OpenMetrics text exposition.
+
+Usage:
+  check_openmetrics.py FILE       validate FILE
+  check_openmetrics.py -          validate stdin
+
+Checks the subset of the OpenMetrics 1.0 text format that
+`MetricsSnapshot::ToOpenMetrics()` promises to emit:
+
+  - the last line is exactly `# EOF`, with nothing after it;
+  - every metric family is introduced by a `# TYPE` line (counter, gauge
+    or histogram) before any of its samples, at most one TYPE per family,
+    and families are not interleaved;
+  - metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+  - counter samples use the `_total` suffix and are non-negative finite;
+  - histogram families expose `_bucket{le="..."}` series with strictly
+    increasing `le` bounds and non-decreasing cumulative counts, ending at
+    `le="+Inf"` whose count equals the family's `_count`, plus a `_sum`.
+
+Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+TYPES = ("counter", "gauge", "histogram")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+class Family:
+    def __init__(self, name, kind):
+        self.name = name
+        self.kind = kind
+        self.buckets = []  # (le, cumulative count) in emission order
+        self.count = None
+        self.sum = None
+        self.samples = 0
+
+
+def fail(lineno, message):
+    print(f"check_openmetrics: line {lineno}: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(lines):
+    families = {}
+    current = None  # family open for samples; TYPE of another closes it
+    saw_eof = False
+
+    for lineno, line in enumerate(lines, start=1):
+        if saw_eof:
+            return fail(lineno, "content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if not line:
+            return fail(lineno, "blank line")
+
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                return fail(lineno, f"malformed TYPE line: {line!r}")
+            _, _, name, kind = parts
+            if not NAME_RE.match(name):
+                return fail(lineno, f"bad metric name {name!r}")
+            if kind not in TYPES:
+                return fail(lineno, f"unknown type {kind!r}")
+            if name in families:
+                return fail(lineno, f"duplicate TYPE for {name}")
+            current = Family(name, kind)
+            families[name] = current
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                return fail(lineno, f"malformed HELP line: {line!r}")
+            if current is None or parts[2] != current.name:
+                return fail(lineno, f"HELP for {parts[2]} outside its family")
+            continue
+        if line.startswith("#"):
+            return fail(lineno, f"unknown comment line: {line!r}")
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            return fail(lineno, f"malformed sample line: {line!r}")
+        sample = m.group("name")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            return fail(lineno, f"bad sample value {m.group('value')!r}")
+        labels = {}
+        if m.group("labels") is not None:
+            for item in m.group("labels").split(","):
+                lm = LABEL_RE.match(item)
+                if lm is None:
+                    return fail(lineno, f"malformed label {item!r}")
+                labels[lm.group("key")] = lm.group("val")
+
+        if current is None:
+            return fail(lineno, f"sample {sample!r} before any TYPE line")
+
+        fam = current
+        if fam.kind == "counter":
+            if sample != fam.name + "_total":
+                return fail(
+                    lineno,
+                    f"counter sample {sample!r} must be {fam.name}_total")
+            if labels:
+                return fail(lineno, f"unexpected labels on {sample!r}")
+            if not (value >= 0 and math.isfinite(value)):
+                return fail(lineno, f"counter value {value} not a finite >= 0")
+        elif fam.kind == "gauge":
+            if sample != fam.name:
+                return fail(
+                    lineno, f"gauge sample {sample!r} must be {fam.name}")
+            if labels:
+                return fail(lineno, f"unexpected labels on {sample!r}")
+        else:  # histogram
+            if sample == fam.name + "_bucket":
+                if set(labels) != {"le"}:
+                    return fail(lineno, f"bucket needs exactly an le label")
+                try:
+                    le = parse_value(labels["le"])
+                except ValueError:
+                    return fail(lineno, f"bad le bound {labels['le']!r}")
+                if fam.count is not None or fam.sum is not None:
+                    return fail(
+                        lineno, f"bucket after _count/_sum in {fam.name}")
+                if fam.buckets:
+                    prev_le, prev_count = fam.buckets[-1]
+                    if not le > prev_le:
+                        return fail(
+                            lineno,
+                            f"le bounds not strictly increasing in {fam.name}")
+                    if value < prev_count:
+                        return fail(
+                            lineno,
+                            f"bucket counts not monotone in {fam.name}")
+                if not (value >= 0 and math.isfinite(value)):
+                    return fail(lineno, f"bucket count {value} invalid")
+                fam.buckets.append((le, value))
+            elif sample == fam.name + "_count":
+                if labels:
+                    return fail(lineno, f"unexpected labels on {sample!r}")
+                fam.count = value
+            elif sample == fam.name + "_sum":
+                if labels:
+                    return fail(lineno, f"unexpected labels on {sample!r}")
+                fam.sum = value
+            else:
+                return fail(
+                    lineno,
+                    f"histogram sample {sample!r} not _bucket/_count/_sum")
+        fam.samples += 1
+
+    if not saw_eof:
+        return fail(len(lines) + 1, "missing terminal # EOF")
+
+    for fam in families.values():
+        if fam.samples == 0:
+            return fail(0, f"family {fam.name} has no samples")
+        if fam.kind != "histogram":
+            continue
+        if not fam.buckets:
+            return fail(0, f"histogram {fam.name} has no buckets")
+        if fam.buckets[-1][0] != math.inf:
+            return fail(0, f"histogram {fam.name} missing le=\"+Inf\" bucket")
+        if fam.count is None or fam.sum is None:
+            return fail(0, f"histogram {fam.name} missing _count or _sum")
+        if fam.buckets[-1][1] != fam.count:
+            return fail(
+                0,
+                f"histogram {fam.name}: +Inf bucket {fam.buckets[-1][1]} != "
+                f"_count {fam.count}")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        if argv[1] == "-":
+            text = sys.stdin.read()
+        else:
+            with open(argv[1], "r", encoding="utf-8") as f:
+                text = f.read()
+    except OSError as e:
+        print(f"check_openmetrics: {e}", file=sys.stderr)
+        return 2
+    if not text.endswith("\n"):
+        print("check_openmetrics: exposition must end with a newline",
+              file=sys.stderr)
+        return 1
+    lines = text.split("\n")[:-1]  # drop the empty tail from the final \n
+    rc = validate(lines)
+    if rc == 0:
+        families = sum(1 for line in lines if line.startswith("# TYPE "))
+        print(f"check_openmetrics: OK ({families} families, "
+              f"{len(lines)} lines)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

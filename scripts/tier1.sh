@@ -2,7 +2,10 @@
 # Tier-1 gate: the standard build + full ctest run, a cohere_bench smoke
 # run whose JSON is schema-validated and pushed through the
 # bench_compare.py regression gate (self-compare must pass, an injected
-# 50% latency inflation must fail), then a ThreadSanitizer
+# 50% latency inflation must fail), a query-flight-recorder probe (the CLI's
+# OpenMetrics exposition strict-parsed by check_openmetrics.py, the EXPLAIN
+# profile round-tripped through json.load with phase counters summing to its
+# totals, the query log drained as JSONL), then a ThreadSanitizer
 # build that re-runs the concurrency-sensitive suites, then an
 # UndefinedBehaviorSanitizer build that re-runs the numeric/metrics suites
 # (the histogram binning paths cast doubles around; UBSan is the regression
@@ -87,6 +90,38 @@ if speedup < 5.0:
     sys.exit("ERROR: cached Zipf series is not >=5x faster than cold")
 EOF
 echo "==> tier-1: bench gate OK (self-compare clean, inflation + zero-floor flagged)"
+
+echo "==> tier-1: query flight recorder (openmetrics + explain + query log)"
+# The CLI is the end-to-end probe for the whole recorder: one engine build
+# and one query emit (a) a strict OpenMetrics exposition, (b) an EXPLAIN
+# profile whose phase counters sum to its totals, and (c) a JSONL query log.
+printf '1.0,2.0,3.5\n2.0,2.5,3.0\n0.5,1.5,4.0\n3.0,2.0,2.5\n1.5,2.2,3.1\n' \
+  > "$BENCH_TMP/flight.csv"
+"$BUILD_DIR/tools/cohere_cli" query "$BENCH_TMP/flight.csv" --row 0 --k 2 \
+  --cache-budget 65536 \
+  --explain --explain-out "$BENCH_TMP/explain.json" \
+  --query-log "$BENCH_TMP/queries.jsonl" \
+  --metrics openmetrics --metrics-out "$BENCH_TMP/metrics.om" >/dev/null
+python3 "$ROOT/scripts/check_openmetrics.py" "$BENCH_TMP/metrics.om"
+python3 - "$BENCH_TMP/explain.json" "$BENCH_TMP/queries.jsonl" <<'EOF'
+import json, sys
+profile = json.load(open(sys.argv[1]))  # must round-trip as strict JSON
+for key in ("scope", "totals", "phases", "latency_us", "cache_hit"):
+    assert key in profile, f"explain profile missing {key!r}"
+for counter in ("distance_evaluations", "nodes_visited", "candidates_refined"):
+    total = profile["totals"][counter]
+    phase_sum = sum(p[counter] for p in profile["phases"])
+    assert phase_sum == total, (
+        f"explain {counter}: phases sum to {phase_sum}, totals say {total}")
+events = [json.loads(line) for line in open(sys.argv[2]) if line.strip()]
+assert events, "query log is empty"
+for event in events:
+    for key in ("scope", "sequence", "latency_us", "distance_evaluations"):
+        assert key in event, f"query-log event missing {key!r}"
+print(f"flight recorder OK: explain phases sum to totals, "
+      f"{len(events)} query-log events")
+EOF
+echo "==> tier-1: flight recorder OK (openmetrics strict-parsed, explain sums, log drained)"
 
 if [[ "${COHERE_SKIP_TSAN:-0}" == "1" ]]; then
   echo "==> tier-1: TSAN stage skipped (COHERE_SKIP_TSAN=1)"

@@ -73,6 +73,7 @@ Result<DynamicReducedIndex> DynamicReducedIndex::Build(
   serving_options.scope = "dynamic_index";
   serving_options.default_deadline_us = options.query_deadline_us;
   serving_options.cache_budget_bytes = options.cache_budget_bytes;
+  serving_options.explain = options.explain;
   index.serving_ = std::make_unique<ServingCore>(serving_options);
   COHERE_CHECK(index.serving_->Publish(std::move(snapshot)).ok());
   return index;

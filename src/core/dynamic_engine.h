@@ -36,6 +36,9 @@ struct DynamicEngineOptions {
   /// keyed on the snapshot version, so every Insert/Refit publish
   /// implicitly invalidates — stale versions age out via eviction.
   size_t cache_budget_bytes = 0;
+  /// Capture a per-query EXPLAIN profile for every serial Query (see
+  /// ServingCoreOptions::explain). Off by default.
+  bool explain = false;
 };
 
 /// A reduced similarity index for *dynamic* data sets (the concern of the

@@ -134,6 +134,7 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
   serving_options.scope = "engine";
   serving_options.default_deadline_us = options.query_deadline_us;
   serving_options.cache_budget_bytes = options.cache_budget_bytes;
+  serving_options.explain = options.explain;
   engine.serving_ = std::make_unique<ServingCore>(serving_options);
   // The initial publish of a handle never fails (the fault point only
   // covers replacement publishes).

@@ -66,6 +66,10 @@ struct EngineOptions {
   /// (snapshot version, metric, query fingerprint, k, probes); a truncated
   /// (deadline/cancel) answer is never cached.
   size_t cache_budget_bytes = 0;
+  /// Capture a per-query EXPLAIN profile for every serial Query (see
+  /// ServingCoreOptions::explain); read the latest one via
+  /// serving().LastProfile(). Off by default.
+  bool explain = false;
 };
 
 /// The library's top-level facade: fits a coherence-driven dimensionality

@@ -121,6 +121,7 @@ Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
   serving_options.probe_shards = options.probe_clusters;
   serving_options.rerank_multi_probe = true;
   serving_options.cache_budget_bytes = options.cache_budget_bytes;
+  serving_options.explain = options.explain;
   engine.serving_ = std::make_unique<ServingCore>(serving_options);
   COHERE_CHECK(engine.serving_->Publish(std::move(*snapshot)).ok());
 

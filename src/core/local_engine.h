@@ -42,6 +42,9 @@ struct LocalEngineOptions {
   /// probe_clusters, and a Rebuild's new snapshot version implicitly
   /// invalidates every cached answer.
   size_t cache_budget_bytes = 0;
+  /// Capture a per-query EXPLAIN profile for every serial Query (see
+  /// ServingCoreOptions::explain). Off by default.
+  bool explain = false;
 };
 
 /// The Section 3.1 extension the paper sketches: when the *global* implicit

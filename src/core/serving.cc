@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/tracing.h"
 
 namespace cohere {
@@ -59,7 +60,10 @@ ServingCore::ServingCore(ServingCoreOptions options)
       obs::Tracer::InternName(options_.scope + ".project_batch");
   span_probe_ = obs::Tracer::InternName(options_.scope + ".probe");
   span_cache_lookup_ =
-      obs::Tracer::InternName(options_.scope + ".cache_lookup");
+      obs::Tracer::InternName(options_.scope + ".cache.lookup");
+  span_cache_insert_ =
+      obs::Tracer::InternName(options_.scope + ".cache.insert");
+  log_scope_ = obs::Tracer::InternName(options_.scope);
   if (options_.cache_budget_bytes > 0) {
     cache_ = cache::CacheManager::Global().CreateCache(
         options_.scope, options_.cache_budget_bytes);
@@ -91,6 +95,41 @@ std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
                                          size_t k, size_t skip_index,
                                          QueryStats* stats,
                                          const QueryLimits& limits) const {
+  if (options_.explain) {
+    obs::QueryProfile profile;
+    std::vector<Neighbor> out = QueryServe(original_space_query, k, skip_index,
+                                           stats, limits, &profile);
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    last_profile_ = std::move(profile);
+    has_profile_ = true;
+    return out;
+  }
+  return QueryServe(original_space_query, k, skip_index, stats, limits,
+                    /*profile=*/nullptr);
+}
+
+std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
+                                         size_t k, size_t skip_index,
+                                         QueryStats* stats,
+                                         const QueryLimits& limits,
+                                         obs::QueryProfile* profile) const {
+  COHERE_CHECK(profile != nullptr);
+  *profile = obs::QueryProfile();
+  return QueryServe(original_space_query, k, skip_index, stats, limits,
+                    profile);
+}
+
+bool ServingCore::LastProfile(obs::QueryProfile* out) const {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  if (!has_profile_) return false;
+  *out = last_profile_;
+  return true;
+}
+
+std::vector<Neighbor> ServingCore::QueryServe(
+    const Vector& original_space_query, size_t k, size_t skip_index,
+    QueryStats* stats, const QueryLimits& limits,
+    obs::QueryProfile* profile) const {
   const std::shared_ptr<const EngineSnapshot> snapshot = handle_.Acquire();
   COHERE_CHECK(snapshot != nullptr);
   // Cacheable: cache enabled, no row exclusion (skip changes the answer but
@@ -106,9 +145,11 @@ std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
                        original_space_query, k);
   }
   const bool instrumented = obs::MetricsRegistry::Enabled();
-  if (!instrumented && !obs::Tracer::Enabled()) {
+  const bool logging = obs::QueryLog::Enabled();
+  if (profile == nullptr && !instrumented && !obs::Tracer::Enabled() &&
+      !logging) {
     if (!cacheable) {
-      // Both layers off, cache off: the exact uninstrumented path.
+      // Every layer off, cache off: the exact uninstrumented path.
       return QueryOnSnapshot(*snapshot, original_space_query, k, skip_index,
                              stats, limits, /*traced=*/false);
     }
@@ -132,25 +173,82 @@ std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
   std::vector<Neighbor> out;
   bool cache_hit = false;
   if (cacheable) {
-    obs::TraceSpan lookup(span_cache_lookup_);
-    cache_hit = cache_->Lookup(key, &out);
-    lookup.AddArg("hit", cache_hit ? 1.0 : 0.0);
+    Stopwatch lookup_watch;
+    {
+      obs::TraceSpan lookup(span_cache_lookup_);
+      cache_hit = cache_->Lookup(key, &out);
+      lookup.AddArg("hit", cache_hit ? 1.0 : 0.0);
+    }
+    if (profile != nullptr) {
+      obs::QueryPhase phase;
+      phase.name = "cache.lookup";
+      phase.duration_us = lookup_watch.ElapsedMicros();
+      phase.detail = cache_hit ? "hit" : "miss";
+      profile->phases.push_back(std::move(phase));
+    }
   }
   if (!cache_hit) {
     out = QueryOnSnapshot(*snapshot, original_space_query, k, skip_index,
                           &local, limits, /*traced=*/true,
-                          cacheable ? &key : nullptr);
+                          cacheable ? &key : nullptr, profile);
   }
+  const double latency_us = watch.ElapsedMicros();
   if (instrumented) {
     // Hits record a (0 work, tiny latency) sample: the latency histogram
     // reflects what callers actually observed, and the work counters stay
-    // consistent with QueryStats (a hit does no index work).
+    // consistent with QueryStats (a hit does no index work). Truncated
+    // answers record into the dedicated `.truncated` histogram so an
+    // overload storm of budget-bounded latencies cannot deflate the main
+    // tail.
     metrics_.query->Record(local.distance_evaluations, local.nodes_visited,
-                           local.candidates_refined, watch.ElapsedMicros());
+                           local.candidates_refined, latency_us,
+                           local.truncated);
   }
   if (cache_hit) span.AddArg("cache_hit", 1.0);
   if (local.truncated) span.AddArg("truncated", 1.0);
-  if (cacheable && !cache_hit && !local.truncated) cache_->Insert(key, out);
+  if (cacheable && !cache_hit && !local.truncated) {
+    Stopwatch insert_watch;
+    {
+      obs::TraceSpan insert(span_cache_insert_);
+      cache_->Insert(key, out);
+    }
+    if (profile != nullptr) {
+      obs::QueryPhase phase;
+      phase.name = "cache.insert";
+      phase.duration_us = insert_watch.ElapsedMicros();
+      profile->phases.push_back(std::move(phase));
+    }
+  }
+  if (logging) {
+    obs::QueryEvent event;
+    event.scope = log_scope_;
+    event.snapshot_version = snapshot->version;
+    event.k = static_cast<uint32_t>(k);
+    event.cache_hit = cache_hit;
+    event.truncated = local.truncated;
+    event.distance_evaluations = local.distance_evaluations;
+    event.nodes_visited = local.nodes_visited;
+    event.candidates_refined = local.candidates_refined;
+    event.latency_us = latency_us;
+    obs::QueryLog::Global().Record(event);
+  }
+  if (profile != nullptr) {
+    profile->scope = options_.scope;
+    profile->snapshot_version = snapshot->version;
+    profile->k = k;
+    profile->cacheable = cacheable;
+    profile->cache_hit = cache_hit;
+    profile->truncated = local.truncated;
+    profile->distance_evaluations = local.distance_evaluations;
+    profile->nodes_visited = local.nodes_visited;
+    profile->candidates_refined = local.candidates_refined;
+    profile->latency_us = latency_us;
+    const double budget_us = static_cast<double>(
+        QueryControl::DeadlineMicros(limits.deadline_us));
+    profile->deadline_us = budget_us;
+    profile->deadline_headroom_us =
+        budget_us > 0.0 ? std::max(0.0, budget_us - latency_us) : 0.0;
+  }
   if (stats != nullptr) stats->MergeFrom(local);
   return out;
 }
@@ -158,7 +256,8 @@ std::vector<Neighbor> ServingCore::Query(const Vector& original_space_query,
 std::vector<Neighbor> ServingCore::QueryOnSnapshot(
     const EngineSnapshot& snapshot, const Vector& query, size_t k,
     size_t skip_index, QueryStats* stats, const QueryLimits& limits,
-    bool traced, const cache::CacheKey* cache_key) const {
+    bool traced, const cache::CacheKey* cache_key,
+    obs::QueryProfile* profile) const {
   if (SingleShard(snapshot)) {
     const SnapshotShard& shard = snapshot.shards[0];
     // With a cache key, the projection is itself cached under (version,
@@ -182,20 +281,47 @@ std::vector<Neighbor> ServingCore::QueryOnSnapshot(
       }
       return shard.pipeline.TransformPoint(query);
     };
-    if (!traced) {
+    if (!traced && profile == nullptr) {
       const Vector reduced = project();
       return shard.index->Query(reduced, k, skip_index, stats, limits);
     }
+    Stopwatch project_watch;
     Vector reduced = [&] {
       obs::TraceSpan span(span_project_);
       return project();
     }();
-    return shard.index->Query(reduced, k, skip_index, stats, limits);
+    if (profile == nullptr) {
+      return shard.index->Query(reduced, k, skip_index, stats, limits);
+    }
+    {
+      obs::QueryPhase phase;
+      phase.name = "project";
+      phase.duration_us = project_watch.ElapsedMicros();
+      profile->phases.push_back(std::move(phase));
+    }
+    // Scan through a local QueryStats so the phase carries exactly the
+    // index's per-query counters (the caller's stats may accumulate).
+    QueryStats scan_stats;
+    Stopwatch scan_watch;
+    std::vector<Neighbor> out =
+        shard.index->Query(reduced, k, skip_index, &scan_stats, limits);
+    obs::QueryPhase phase;
+    phase.name = "scan";
+    phase.duration_us = scan_watch.ElapsedMicros();
+    phase.distance_evaluations = scan_stats.distance_evaluations;
+    phase.nodes_visited = scan_stats.nodes_visited;
+    phase.candidates_refined = scan_stats.candidates_refined;
+    phase.truncated = scan_stats.truncated;
+    phase.shard = 0;
+    phase.detail = shard.index->name();
+    profile->phases.push_back(std::move(phase));
+    if (stats != nullptr) stats->MergeFrom(scan_stats);
+    return out;
   }
   const auto [deadline, has_deadline] = AbsoluteDeadline(limits);
   return QueryMultiShard(snapshot, query, k, skip_index, stats, limits.cancel,
                          deadline, has_deadline, traced,
-                         /*allow_parallel=*/true);
+                         /*allow_parallel=*/true, profile);
 }
 
 std::vector<size_t> ServingCore::RouteShards(
@@ -228,20 +354,33 @@ std::vector<Neighbor> ServingCore::QueryMultiShard(
     const EngineSnapshot& snapshot, const Vector& query, size_t k,
     size_t skip_index, QueryStats* stats, const CancelToken* cancel,
     std::chrono::steady_clock::time_point deadline, bool has_deadline,
-    bool traced, bool allow_parallel) const {
+    bool traced, bool allow_parallel, obs::QueryProfile* profile) const {
   COHERE_CHECK(snapshot.has_studentizer);
+  const bool profiling = profile != nullptr;
+  Stopwatch route_watch;
   const Vector studentized = snapshot.studentizer.Apply(query);
   const std::vector<size_t> probes = RouteShards(snapshot, studentized);
   const bool rerank = options_.rerank_multi_probe && probes.size() > 1;
   const bool limited = has_deadline || cancel != nullptr;
+  if (profiling) {
+    obs::QueryPhase phase;
+    phase.name = "route";
+    phase.duration_us = route_watch.ElapsedMicros();
+    phase.detail = std::to_string(probes.size()) + " probes";
+    profile->phases.push_back(std::move(phase));
+  }
 
   // Scatter: each probe fills its own slot (results and stats), so the
   // probes can run on the pool without sharing anything; the gather below
   // merges in probe order. The merged result is order-independent anyway —
   // KnnCollector keeps the k smallest in the (distance, index) total order.
+  // Profile phases are appended after the scatter from the per-slot arrays,
+  // never from inside probe_one, so pool lanes share nothing.
   std::vector<std::vector<Neighbor>> gathered(probes.size());
   std::vector<QueryStats> probe_stats(probes.size());
+  std::vector<double> probe_us(profiling ? probes.size() : 0);
   auto probe_one = [&](size_t pi) {
+    Stopwatch probe_watch;
     const SnapshotShard& shard = snapshot.shards[probes[pi]];
     QueryStats* local = &probe_stats[pi];
     std::optional<obs::TraceSpan> span;
@@ -287,6 +426,7 @@ std::vector<Neighbor> ServingCore::QueryMultiShard(
         gathered[pi].push_back({global_row, nb.distance});
       }
     }
+    if (profiling) probe_us[pi] = probe_watch.ElapsedMicros();
   };
   if (allow_parallel && probes.size() > 1) {
     ParallelFor(0, probes.size(), /*grain=*/1, [&](size_t begin, size_t end) {
@@ -295,7 +435,26 @@ std::vector<Neighbor> ServingCore::QueryMultiShard(
   } else {
     for (size_t pi = 0; pi < probes.size(); ++pi) probe_one(pi);
   }
+  if (profiling) {
+    // One phase per probe, carrying that probe's whole QueryStats (routing
+    // node, shard scan, and its share of re-rank refinements), so the probe
+    // phases plus the zero-work route/merge phases sum exactly to the
+    // query's merged stats.
+    for (size_t pi = 0; pi < probes.size(); ++pi) {
+      obs::QueryPhase phase;
+      phase.name = "probe";
+      phase.duration_us = probe_us[pi];
+      phase.distance_evaluations = probe_stats[pi].distance_evaluations;
+      phase.nodes_visited = probe_stats[pi].nodes_visited;
+      phase.candidates_refined = probe_stats[pi].candidates_refined;
+      phase.truncated = probe_stats[pi].truncated;
+      phase.shard = static_cast<int>(probes[pi]);
+      phase.detail = snapshot.shards[probes[pi]].index->name();
+      profile->phases.push_back(std::move(phase));
+    }
+  }
 
+  Stopwatch merge_watch;
   KnnCollector collector(k);
   for (const std::vector<Neighbor>& candidates : gathered) {
     for (const Neighbor& nb : candidates) {
@@ -305,7 +464,15 @@ std::vector<Neighbor> ServingCore::QueryMultiShard(
   if (stats != nullptr) {
     for (const QueryStats& ps : probe_stats) stats->MergeFrom(ps);
   }
-  return collector.Take();
+  std::vector<Neighbor> merged = collector.Take();
+  if (profiling) {
+    obs::QueryPhase phase;
+    phase.name = "merge";
+    phase.duration_us = merge_watch.ElapsedMicros();
+    phase.detail = rerank ? "rerank" : "";
+    profile->phases.push_back(std::move(phase));
+  }
+  return merged;
 }
 
 std::vector<std::vector<Neighbor>> ServingCore::QueryBatch(

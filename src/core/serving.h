@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,11 @@ struct ServingCoreOptions {
   /// snapshot-version-keyed entries — a COW publish implicitly invalidates
   /// by bumping the version, and stale entries age out via eviction.
   size_t cache_budget_bytes = 0;
+  /// Capture a per-query EXPLAIN profile (obs::QueryProfile) for every
+  /// serial Query; the most recent one is readable via LastProfile(). Off
+  /// by default — the disabled path stays bit-identical to the
+  /// profile-free code.
+  bool explain = false;
 };
 
 /// The query-path substrate shared by all engine facades: one place that
@@ -96,6 +102,19 @@ class ServingCore {
                               size_t skip_index, QueryStats* stats,
                               const QueryLimits& limits) const;
 
+  /// Query with an EXPLAIN profile assembled into `profile` (must be
+  /// non-null), regardless of `options().explain`. The profile's totals are
+  /// exactly the query's merged QueryStats, and its phases partition that
+  /// work (see obs::QueryProfile).
+  std::vector<Neighbor> Query(const Vector& original_space_query, size_t k,
+                              size_t skip_index, QueryStats* stats,
+                              const QueryLimits& limits,
+                              obs::QueryProfile* profile) const;
+
+  /// Copies the most recent profile captured by a serial Query while
+  /// `options().explain` was set; false when none has been captured yet.
+  bool LastProfile(obs::QueryProfile* out) const;
+
   /// One query per row, fanned across the shared thread pool; entry i
   /// equals Query(queries.Row(i), k) exactly. The default deadline applies
   /// batch-wide (one absolute expiry shared by every row).
@@ -115,14 +134,27 @@ class ServingCore {
     return snapshot.shards.size() == 1 && snapshot.shards[0].members.empty();
   }
 
+  /// Serial query body shared by the plain and profiled entry points; the
+  /// bare uninstrumented path is only taken when `profile` is null and all
+  /// observability layers are off.
+  std::vector<Neighbor> QueryServe(const Vector& original_space_query,
+                                   size_t k, size_t skip_index,
+                                   QueryStats* stats,
+                                   const QueryLimits& limits,
+                                   obs::QueryProfile* profile) const;
+
   /// Uninstrumented query body; `traced` controls phase-span emission.
   /// `cache_key` (null when the call is not cacheable) lets the single-
   /// shard path reuse and store the projected query vector in the cache.
+  /// A non-null `profile` collects the project/scan (or route/probe/merge)
+  /// phase breakdown.
   std::vector<Neighbor> QueryOnSnapshot(const EngineSnapshot& snapshot,
                                         const Vector& query, size_t k,
                                         size_t skip_index, QueryStats* stats,
                                         const QueryLimits& limits, bool traced,
                                         const cache::CacheKey* cache_key =
+                                            nullptr,
+                                        obs::QueryProfile* profile =
                                             nullptr) const;
 
   /// Full cache key for one serial query (or batch row) against `snapshot`.
@@ -136,7 +168,8 @@ class ServingCore {
       const EngineSnapshot& snapshot, const Vector& query, size_t k,
       size_t skip_index, QueryStats* stats, const CancelToken* cancel,
       std::chrono::steady_clock::time_point deadline, bool has_deadline,
-      bool traced, bool allow_parallel) const;
+      bool traced, bool allow_parallel,
+      obs::QueryProfile* profile = nullptr) const;
 
   /// Probed shard ids for a studentized query, nearest first.
   std::vector<size_t> RouteShards(const EngineSnapshot& snapshot,
@@ -159,6 +192,16 @@ class ServingCore {
   const char* span_project_batch_ = nullptr;
   const char* span_probe_ = nullptr;
   const char* span_cache_lookup_ = nullptr;
+  const char* span_cache_insert_ = nullptr;
+  // Interned copy of options_.scope for query-log events (ring records may
+  // outlive this core).
+  const char* log_scope_ = nullptr;
+
+  // Most recent EXPLAIN profile captured under options_.explain. A mutex is
+  // fine here: explain is a diagnostic mode, not the serving fast path.
+  mutable std::mutex profile_mu_;
+  mutable obs::QueryProfile last_profile_;
+  mutable bool has_profile_ = false;
 };
 
 }  // namespace cohere

@@ -155,7 +155,8 @@ std::vector<Neighbor> KnnIndex::QueryWithControl(const Vector& query,
   if (control != nullptr && control->stopped()) local.truncated = true;
   if (metrics) {
     Instrument().Record(local.distance_evaluations, local.nodes_visited,
-                        local.candidates_refined, watch.ElapsedMicros());
+                        local.candidates_refined, watch.ElapsedMicros(),
+                        local.truncated);
     if (control != nullptr && control->deadline_exceeded()) {
       CountDeadlineExceeded();
     }

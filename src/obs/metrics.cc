@@ -333,17 +333,39 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   }
   snapshot.histograms.reserve(state.histograms.size());
   for (const auto& [name, histogram] : state.histograms) {
+    const LatencyHistogram::Bins bins = histogram->SnapshotBins();
     HistogramSnapshot h;
     h.name = name;
-    h.count = histogram->TotalCount();
-    h.non_finite = histogram->NonFiniteCount();
-    h.sum = histogram->Sum();
-    h.max = histogram->Max();
+    h.count = bins.TotalCount();
+    h.non_finite = bins.non_finite;
+    h.sum = bins.sum;
+    h.max = bins.max;
     if (h.count > 0) {
-      h.p50 = histogram->Quantile(0.50);
-      h.p95 = histogram->Quantile(0.95);
-      h.p99 = histogram->Quantile(0.99);
+      h.p50 = bins.Quantile(0.50);
+      h.p95 = bins.Quantile(0.95);
+      h.p99 = bins.Quantile(0.99);
     }
+    // Cumulative buckets at every other power of two from 2^-4 to 2^22 µs
+    // (62.5ns .. ~4.2s): the sub-bucket-0 bin starting at exactly 2^j sits
+    // at internal index 1 + (j + 1 - kMinExp) * kSubBuckets (its frexp
+    // exponent is j + 1), so each boundary aligns with an internal bin edge
+    // and the counts are exact — every observation strictly below 2^j is in
+    // the bins before that index.
+    h.buckets.reserve(15);
+    uint64_t cumulative = 0;
+    size_t next_bin = 0;
+    for (int j = -4; j <= 22; j += 2) {
+      const size_t idx =
+          1 + static_cast<size_t>(j + 1 - LatencyHistogram::kMinExp) *
+                  LatencyHistogram::kSubBuckets;
+      while (next_bin < idx) cumulative += bins.bins[next_bin++];
+      h.buckets.emplace_back(std::ldexp(1.0, j), cumulative);
+    }
+    while (next_bin < LatencyHistogram::kNumBins) {
+      cumulative += bins.bins[next_bin++];
+    }
+    h.buckets.emplace_back(std::numeric_limits<double>::infinity(),
+                           cumulative);
     snapshot.histograms.push_back(std::move(h));
   }
   return snapshot;
@@ -468,6 +490,70 @@ std::string MetricsSnapshot::ToJson() const {
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
+  return out;
+}
+
+namespace {
+
+// OpenMetrics metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The `cohere_` prefix
+// both namespaces the exposition and guarantees a legal first character;
+// anything else in the dotted registry name becomes '_'.
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "cohere_";
+  out.reserve(name.size() + 8);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Sample values: full round-trip precision, with the spec's spellings for
+// the non-finite values.
+std::string OpenMetricsNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToOpenMetrics() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : counters) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " counter\n";
+    out += "# HELP " + om + " " + name + "\n";
+    std::snprintf(buf, sizeof(buf), "%s_total %llu\n", om.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " gauge\n";
+    out += "# HELP " + om + " " + name + "\n";
+    out += om + " " + OpenMetricsNumber(value) + "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string om = OpenMetricsName(h.name);
+    out += "# TYPE " + om + " histogram\n";
+    out += "# HELP " + om + " " + h.name + " (microseconds)\n";
+    for (const auto& [le, cumulative] : h.buckets) {
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %llu\n",
+                    om.c_str(), OpenMetricsNumber(le).c_str(),
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_count %llu\n%s_sum %s\n", om.c_str(),
+                  static_cast<unsigned long long>(h.count), om.c_str(),
+                  OpenMetricsNumber(h.sum).c_str());
+    out += buf;
+  }
+  out += "# EOF\n";
   return out;
 }
 

@@ -195,6 +195,13 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  /// Cumulative distribution at a coarse grid of the internal bin
+  /// boundaries: (upper bound in µs, observations strictly below it),
+  /// ending with (+inf, count). Each bound is an exact internal bin edge,
+  /// so counts are exact, never interpolated; what an OpenMetrics histogram
+  /// family needs, coarser than the 202 internal bins so expositions stay
+  /// scrapeable.
+  std::vector<std::pair<double, uint64_t>> buckets;
 };
 
 /// Point-in-time export of the whole registry. Each section is sorted by
@@ -214,6 +221,13 @@ struct MetricsSnapshot {
   /// "counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, non_finite, sum, max, p50, p95, p99}}}.
   std::string ToJson() const;
+  /// OpenMetrics text exposition (the format Prometheus scrapes): every
+  /// metric name is prefixed `cohere_` and sanitized to the OpenMetrics
+  /// charset, counters gain the mandated `_total` suffix, histograms emit
+  /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, and the
+  /// document ends with the required `# EOF` marker. Validated by
+  /// scripts/check_openmetrics.py in tier-1.
+  std::string ToOpenMetrics() const;
 };
 
 /// Process-wide name -> metric table. Lookups take a mutex and should be

@@ -1,0 +1,113 @@
+#ifndef COHERE_OBS_QUERY_LOG_H_
+#define COHERE_OBS_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cohere {
+namespace obs {
+
+/// Wide-event query log: one fixed-size record per served query, captured
+/// into a lock-free bounded ring and drained to JSONL (one JSON object per
+/// line) by `cohere_cli --query-log FILE` or the bench harness.
+///
+/// Aggregated metrics (obs/metrics.h) answer "what is p99 right now"; the
+/// query log answers "which queries were slow, and were they cache misses,
+/// deadline-truncated, or just expensive" — every record carries the whole
+/// context of its query (scope, snapshot version, k, cache outcome,
+/// truncation, work counters, latency) so questions can be asked after the
+/// fact without pre-declaring a metric for each.
+///
+/// The ring reuses the tracer's design (obs/tracing.h): a fetch_add ticket
+/// per event, a release-published ready flag per slot, keep-oldest overflow
+/// (tickets past capacity are dropped and counted — the surviving prefix is
+/// an unbiased head of the workload, and writers never block). Sampling is
+/// the same deterministic SplitMix64 scheme: the i-th offered event's
+/// decision is a pure function of (seed, i).
+
+/// One served query. `scope` must be a process-lifetime string (intern via
+/// Tracer::InternName); records can outlive the engine that produced them.
+struct QueryEvent {
+  const char* scope = nullptr;  ///< Serving scope ("engine", ...).
+  uint64_t sequence = 0;        ///< Capture order, assigned by Record.
+  uint64_t snapshot_version = 0;
+  double t_us = 0.0;  ///< Microseconds since the log epoch (Start/Clear).
+  uint32_t k = 0;
+  bool cache_hit = false;
+  bool truncated = false;  ///< Deadline/cancel cut the scan short.
+  uint64_t distance_evaluations = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t candidates_refined = 0;
+  double latency_us = 0.0;
+};
+
+/// Configuration for QueryLog::Start.
+struct QueryLogOptions {
+  /// Ring capacity; events offered past it are dropped and counted.
+  size_t ring_capacity = 1 << 14;
+  /// Probability an offered event is captured; the decision sequence is
+  /// deterministic under a fixed seed.
+  double sample_probability = 1.0;
+  uint64_t sample_seed = 0;
+};
+
+/// Process-wide query log. `Start` resets buffers and enables capture;
+/// `Stop` disables capture but keeps events for draining. Start/Stop/Clear
+/// must not race live queries (configure between workloads); Record itself
+/// is thread-safe and lock-free. Disabled, the serving path pays one
+/// relaxed load.
+class QueryLog {
+ public:
+  static QueryLog& Global();
+
+  void Start(const QueryLogOptions& options);
+  void Stop();
+
+  /// Hot-path switch; one relaxed load.
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Offers one event. Applies sampling, assigns sequence + t_us, and
+  /// publishes into the ring. No-op unless Enabled().
+  void Record(QueryEvent event);
+
+  /// Events offered to Record this epoch (before sampling).
+  uint64_t OfferedCount() const;
+  /// Events captured in the ring.
+  uint64_t CapturedCount() const;
+  /// Events sampled in but rejected because the ring was full.
+  uint64_t DroppedCount() const;
+  /// Events rejected by the sampling decision.
+  uint64_t SampledOutCount() const;
+
+  /// Copies captured events in capture order. Safe to call while writers
+  /// are active (in-flight events may be missed, never torn).
+  std::vector<QueryEvent> Events() const;
+
+  /// Renders captured events as JSONL: one stable-keyed JSON object per
+  /// line, followed by no trailer (concatenation-friendly).
+  std::string ToJsonl() const;
+  /// Writes ToJsonl() to `path`.
+  Status WriteJsonl(const std::string& path) const;
+
+  /// Drops all captured events and restarts the sequence/sampling counters.
+  /// Must not race live queries.
+  void Clear();
+
+ private:
+  QueryLog() = default;
+
+  struct Impl;
+  Impl& impl() const;
+
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace obs
+}  // namespace cohere
+
+#endif  // COHERE_OBS_QUERY_LOG_H_

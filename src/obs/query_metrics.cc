@@ -1,5 +1,7 @@
 #include "obs/query_metrics.h"
 
+#include <cmath>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,6 +31,8 @@ const QueryPathMetrics& QueryPathMetricsFor(const std::string& scope) {
         registry.GetCounter(scope + ".candidates_refined");
     bundle->query_latency_us =
         registry.GetHistogram(scope + ".query_latency_us");
+    bundle->truncated_latency_us =
+        registry.GetHistogram(scope + ".query_latency_us.truncated");
     slot = std::move(bundle);
   }
   return *slot;
@@ -40,6 +44,86 @@ ServingPathMetrics ServingPathMetricsFor(const std::string& scope) {
   bundle.batch_latency_us =
       MetricsRegistry::Global().GetHistogram(scope + ".batch_latency_us");
   return bundle;
+}
+
+// --- QueryProfile rendering -----------------------------------------------
+
+namespace {
+
+// metrics.cc keeps its JSON helpers file-local; the profile needs the same
+// escaping for its (rarely exotic) scope/detail strings.
+std::string ProfileJsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string ProfileJsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"scope\": \"" + ProfileJsonEscape(scope) + "\",\n";
+  out += "  \"snapshot_version\": " + std::to_string(snapshot_version) + ",\n";
+  out += "  \"k\": " + std::to_string(k) + ",\n";
+  out += std::string("  \"cacheable\": ") + (cacheable ? "true" : "false") +
+         ",\n";
+  out += std::string("  \"cache_hit\": ") + (cache_hit ? "true" : "false") +
+         ",\n";
+  out += std::string("  \"truncated\": ") + (truncated ? "true" : "false") +
+         ",\n";
+  out += "  \"deadline_us\": " + ProfileJsonNumber(deadline_us) + ",\n";
+  out += "  \"deadline_headroom_us\": " +
+         ProfileJsonNumber(deadline_headroom_us) + ",\n";
+  out += "  \"latency_us\": " + ProfileJsonNumber(latency_us) + ",\n";
+  out += "  \"totals\": {\"distance_evaluations\": " +
+         std::to_string(distance_evaluations) +
+         ", \"nodes_visited\": " + std::to_string(nodes_visited) +
+         ", \"candidates_refined\": " + std::to_string(candidates_refined) +
+         "},\n";
+  out += "  \"phases\": [";
+  bool first = true;
+  for (const QueryPhase& phase : phases) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"name\": \"" + ProfileJsonEscape(phase.name) + "\"";
+    out += ", \"duration_us\": " + ProfileJsonNumber(phase.duration_us);
+    out += ", \"distance_evaluations\": " +
+           std::to_string(phase.distance_evaluations);
+    out += ", \"nodes_visited\": " + std::to_string(phase.nodes_visited);
+    out += ", \"candidates_refined\": " +
+           std::to_string(phase.candidates_refined);
+    out += std::string(", \"truncated\": ") +
+           (phase.truncated ? "true" : "false");
+    if (phase.shard >= 0) {
+      out += ", \"shard\": " + std::to_string(phase.shard);
+    }
+    if (!phase.detail.empty()) {
+      out += ", \"detail\": \"" + ProfileJsonEscape(phase.detail) + "\"";
+    }
+    out += "}";
+    first = false;
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace obs

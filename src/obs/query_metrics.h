@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -19,20 +20,29 @@ namespace obs {
 ///   S.nodes_visited           (counter)
 ///   S.candidates_refined      (counter)
 ///   S.query_latency_us        (histogram)
+///   S.query_latency_us.truncated  (histogram)
 /// Bundles are created once per scope and cached, so Record() is lock-free;
 /// resolve the bundle at build time, not per query.
+///
+/// Deadline- or cancel-truncated queries record their latency into the
+/// separate `.truncated` histogram: a truncated answer's latency reflects
+/// the budget, not the work the query needed, so folding it into the main
+/// histogram would *deflate* the tail exactly when the system is overloaded.
+/// The work counters still accumulate into the shared counters (partial
+/// work is real work).
 struct QueryPathMetrics {
   Counter* queries = nullptr;
   Counter* distance_evaluations = nullptr;
   Counter* nodes_visited = nullptr;
   Counter* candidates_refined = nullptr;
   LatencyHistogram* query_latency_us = nullptr;
+  LatencyHistogram* truncated_latency_us = nullptr;
 
   /// Publishes one finished query. The three counts must be exactly the
   /// per-query `QueryStats` fields so registry totals and the `stats`
   /// out-params stay consistent.
   void Record(uint64_t distance_evals, uint64_t nodes, uint64_t refined,
-              double latency_us) const {
+              double latency_us, bool truncated = false) const {
     // One stripe lookup for the whole bundle keeps the per-query cost to a
     // handful of relaxed atomics.
     const size_t stripe = CurrentThreadStripe();
@@ -42,7 +52,8 @@ struct QueryPathMetrics {
     }
     if (nodes != 0) nodes_visited->IncrementAt(stripe, nodes);
     if (refined != 0) candidates_refined->IncrementAt(stripe, refined);
-    query_latency_us->RecordAt(stripe, latency_us);
+    (truncated ? truncated_latency_us : query_latency_us)
+        ->RecordAt(stripe, latency_us);
   }
 };
 
@@ -62,6 +73,49 @@ struct ServingPathMetrics {
 /// Returns the serving-facade bundle for `scope` (e.g. "engine",
 /// "dynamic_index", "local_engine"), registering on first use.
 ServingPathMetrics ServingPathMetricsFor(const std::string& scope);
+
+/// One phase of an EXPLAIN'd query: a named slice of the serving pipeline
+/// with the wall time it covered and exactly the share of the query's work
+/// counters it performed. Pure-orchestration phases (cache lookup, routing,
+/// merge) carry zero work; the per-shard scan phases carry the full
+/// per-probe `QueryStats`, so summing the phases reproduces the query's
+/// merged stats exactly (tested to equality).
+struct QueryPhase {
+  std::string name;  ///< "cache.lookup", "project", "scan", "probe", ...
+  double duration_us = 0.0;
+  uint64_t distance_evaluations = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t candidates_refined = 0;
+  bool truncated = false;  ///< This phase hit the deadline/cancel.
+  int shard = -1;          ///< Probed shard id; -1 when not shard-bound.
+  std::string detail;      ///< Free-form annotation ("hit", backend name).
+};
+
+/// Per-query EXPLAIN: the full flight record of one served query, assembled
+/// by ServingCore when explain is enabled (EngineOptions::explain /
+/// `cohere_cli --explain`). Totals are the query's merged QueryStats.
+struct QueryProfile {
+  std::string scope;
+  uint64_t snapshot_version = 0;
+  size_t k = 0;
+  bool cacheable = false;  ///< Eligible for the result cache.
+  bool cache_hit = false;
+  bool truncated = false;
+  uint64_t distance_evaluations = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t candidates_refined = 0;
+  double latency_us = 0.0;  ///< End-to-end serving latency.
+  /// Granted deadline budget in µs after QueryControl rounding; 0 = none.
+  double deadline_us = 0.0;
+  /// Budget minus elapsed wall time at completion, clamped at 0: how close
+  /// the query came to truncation.
+  double deadline_headroom_us = 0.0;
+  std::vector<QueryPhase> phases;
+
+  /// Stable JSON rendering: fixed key order, phases in execution order —
+  /// {"scope": ..., "totals": {...}, "phases": [...]}.
+  std::string ToJson() const;
+};
 
 }  // namespace obs
 }  // namespace cohere

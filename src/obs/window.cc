@@ -1,0 +1,64 @@
+#include "obs/window.h"
+
+#include <chrono>
+
+namespace cohere {
+namespace obs {
+namespace {
+
+uint64_t SteadyNowMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+RollingWindow::RollingWindow(const LatencyHistogram* histogram,
+                             const RollingWindowOptions& options,
+                             WindowClock clock)
+    : histogram_(histogram),
+      clock_(std::move(clock)),
+      state_(options.num_buckets, options.bucket_width_us) {
+  state_.Advance(Now(), [this] { return histogram_->SnapshotBins(); });
+}
+
+uint64_t RollingWindow::Now() const {
+  return clock_ ? clock_() : SteadyNowMicros();
+}
+
+void RollingWindow::Advance() {
+  state_.Advance(Now(), [this] { return histogram_->SnapshotBins(); });
+}
+
+LatencyHistogram::Bins RollingWindow::WindowBins() {
+  Advance();
+  return LatencyHistogram::Delta(state_.Base(), histogram_->SnapshotBins());
+}
+
+RollingCounterWindow::RollingCounterWindow(const Counter* counter,
+                                           const RollingWindowOptions& options,
+                                           WindowClock clock)
+    : counter_(counter),
+      clock_(std::move(clock)),
+      state_(options.num_buckets, options.bucket_width_us) {
+  state_.Advance(Now(), [this] { return counter_->Value(); });
+}
+
+uint64_t RollingCounterWindow::Now() const {
+  return clock_ ? clock_() : SteadyNowMicros();
+}
+
+void RollingCounterWindow::Advance() {
+  state_.Advance(Now(), [this] { return counter_->Value(); });
+}
+
+uint64_t RollingCounterWindow::WindowValue() {
+  Advance();
+  const uint64_t now_value = counter_->Value();
+  const uint64_t base = state_.Base();
+  return now_value >= base ? now_value - base : 0;
+}
+
+}  // namespace obs
+}  // namespace cohere

@@ -1,0 +1,185 @@
+#ifndef COHERE_OBS_WINDOW_H_
+#define COHERE_OBS_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace cohere {
+namespace obs {
+
+/// Rolling time windows over the cumulative registry metrics, so "p99 over
+/// the last 60 seconds" is answerable without resetting process-wide state.
+///
+/// The registry's counters and histograms only ever accumulate (see
+/// DESIGN.md §7); a window is therefore a *pair of cumulative snapshots*:
+/// the current one minus the one taken at the window's start. RollingWindow
+/// maintains that start snapshot incrementally: time is divided into
+/// fixed-width buckets, a boundary snapshot is pinned at the start of each
+/// bucket, and the window of the last N buckets subtracts the boundary at
+/// the window's start bucket from a fresh snapshot. Observations recorded
+/// between two Advance() calls attribute to the bucket that was current
+/// when they were recorded (they are included in every later boundary).
+///
+/// The clock is injectable so tests drive rotation deterministically; the
+/// default reads the monotonic steady clock in microseconds. Instances are
+/// NOT thread-safe — they are reader-side bookkeeping (an exporter or CLI
+/// owns one), while the underlying histogram keeps taking lock-free writes
+/// from any thread.
+
+/// Monotonic microsecond clock. An empty function means steady_clock.
+using WindowClock = std::function<uint64_t()>;
+
+struct RollingWindowOptions {
+  /// Buckets retained; the window covers the current bucket plus the
+  /// num_buckets - 1 before it.
+  size_t num_buckets = 6;
+  /// Width of one bucket in microseconds (default: 10s buckets, so the
+  /// default window answers "the last 60 seconds").
+  uint64_t bucket_width_us = 10u * 1000u * 1000u;
+};
+
+namespace internal {
+
+/// Bucket-rotation bookkeeping shared by the histogram and counter windows:
+/// a deque of (bucket sequence number, cumulative snapshot) boundaries, one
+/// per bucket start, bounded by the window length.
+template <typename Snapshot>
+class WindowBoundaries {
+ public:
+  WindowBoundaries(size_t num_buckets, uint64_t bucket_width_us)
+      : num_buckets_(num_buckets == 0 ? 1 : num_buckets),
+        width_us_(bucket_width_us == 0 ? 1 : bucket_width_us) {}
+
+  /// Rotates to the bucket containing `now_us`, pinning `snap()` as the
+  /// boundary of every bucket entered since the last call. A gap of at
+  /// least the window length drops every retained boundary: the skipped
+  /// buckets are empty by construction, and everything recorded before the
+  /// gap has rotated out of the window.
+  template <typename SnapFn>
+  void Advance(uint64_t now_us, SnapFn snap) {
+    const uint64_t seq = now_us / width_us_;
+    if (!initialized_) {
+      initialized_ = true;
+      current_ = seq;
+      boundaries_.push_back({seq, snap()});
+      return;
+    }
+    // A clock that stalls (or steps backwards) keeps the current bucket.
+    if (seq <= current_) return;
+    if (seq - current_ >= num_buckets_) {
+      boundaries_.clear();
+      boundaries_.push_back({seq, snap()});
+    } else {
+      const Snapshot cum = snap();
+      for (uint64_t s = current_ + 1; s <= seq; ++s) {
+        boundaries_.push_back({s, cum});
+      }
+    }
+    current_ = seq;
+    // Keep exactly one boundary at or before the window start (the
+    // subtraction base); older ones can never be needed again.
+    const uint64_t start = WindowStart();
+    while (boundaries_.size() > 1 && boundaries_[1].seq <= start) {
+      boundaries_.pop_front();
+    }
+  }
+
+  /// The cumulative snapshot at the window's start: the newest boundary at
+  /// or before the start bucket, else the oldest retained one (the window
+  /// reaches back past construction, so everything since counts).
+  const Snapshot& Base() const { return boundaries_.front().snapshot; }
+
+  /// First bucket inside the window.
+  uint64_t WindowStart() const {
+    return current_ >= num_buckets_ - 1 ? current_ - (num_buckets_ - 1) : 0;
+  }
+
+  uint64_t current_bucket() const { return current_; }
+  size_t boundary_count() const { return boundaries_.size(); }
+  size_t num_buckets() const { return num_buckets_; }
+  uint64_t bucket_width_us() const { return width_us_; }
+
+ private:
+  struct Boundary {
+    uint64_t seq = 0;
+    Snapshot snapshot;
+  };
+
+  size_t num_buckets_;
+  uint64_t width_us_;
+  std::deque<Boundary> boundaries_;
+  uint64_t current_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace internal
+
+/// Windowed view over one LatencyHistogram: quantiles/counts of only the
+/// observations recorded during the last `num_buckets` buckets.
+class RollingWindow {
+ public:
+  /// `histogram` must outlive the window (registry histograms always do).
+  /// An empty `clock` uses the monotonic steady clock.
+  RollingWindow(const LatencyHistogram* histogram,
+                const RollingWindowOptions& options, WindowClock clock = {});
+
+  /// Rotates buckets to the clock's current time and returns the interval
+  /// bins covering the window (subtractable Bins, see LatencyHistogram).
+  LatencyHistogram::Bins WindowBins();
+
+  /// Quantile over the window, q in [0, 1]; NaN when the window is empty.
+  double Quantile(double q) { return WindowBins().Quantile(q); }
+
+  /// Observations recorded inside the window.
+  uint64_t WindowCount() { return WindowBins().TotalCount(); }
+
+  /// Rotates without reading (e.g. from a periodic tick).
+  void Advance();
+
+  /// Bucket sequence number of the current bucket (test visibility).
+  uint64_t current_bucket() const { return state_.current_bucket(); }
+  /// Retained boundary snapshots (test visibility).
+  size_t boundary_count() const { return state_.boundary_count(); }
+
+ private:
+  uint64_t Now() const;
+
+  const LatencyHistogram* histogram_;
+  WindowClock clock_;
+  internal::WindowBoundaries<LatencyHistogram::Bins> state_;
+};
+
+/// Windowed view over one Counter: the increment observed during the last
+/// `num_buckets` buckets.
+class RollingCounterWindow {
+ public:
+  RollingCounterWindow(const Counter* counter,
+                       const RollingWindowOptions& options,
+                       WindowClock clock = {});
+
+  /// Rotates to the clock's current time and returns the counter's growth
+  /// inside the window.
+  uint64_t WindowValue();
+
+  void Advance();
+
+  uint64_t current_bucket() const { return state_.current_bucket(); }
+  size_t boundary_count() const { return state_.boundary_count(); }
+
+ private:
+  uint64_t Now() const;
+
+  const Counter* counter_;
+  WindowClock clock_;
+  internal::WindowBoundaries<uint64_t> state_;
+};
+
+}  // namespace obs
+}  // namespace cohere
+
+#endif  // COHERE_OBS_WINDOW_H_

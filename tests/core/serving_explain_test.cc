@@ -1,0 +1,282 @@
+// EXPLAIN profiles are only trustworthy if their numbers are the query's
+// numbers: the profile's totals must equal the caller's merged QueryStats,
+// and the phase counters must partition those totals exactly — for every
+// backend, on the cache-miss and cache-hit paths, and through multi-probe
+// scatter-gather. This suite also pins the truncated-latency split: a storm
+// of deadline-truncated queries lands in `*.query_latency_us.truncated` and
+// leaves the main latency histogram bit-identical.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/local_engine.h"
+#include "core/serving.h"
+#include "data/synthetic.h"
+#include "data/uci_like.h"
+#include "index/knn.h"
+#include "obs/metrics.h"
+#include "obs/query_metrics.h"
+
+namespace cohere {
+namespace {
+
+EngineOptions StaticOptions(IndexBackend backend) {
+  EngineOptions options;
+  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  options.reduction.target_dim = 8;
+  options.backend = backend;
+  options.cache_budget_bytes = 1 << 20;
+  options.explain = true;
+  return options;
+}
+
+LocalEngineOptions LocalOptions() {
+  LocalEngineOptions options;
+  options.num_clusters = 3;
+  options.cluster_subspace_dim = 10;
+  options.reduction.scaling = PcaScaling::kCorrelation;
+  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  options.reduction.target_dim = 6;
+  options.probe_clusters = 2;
+  options.explain = true;
+  return options;
+}
+
+Dataset MixedPopulations(uint64_t seed) {
+  MultiPopulationConfig config;
+  LatentFactorConfig pop;
+  pop.num_records = 180;
+  pop.num_attributes = 40;
+  pop.num_concepts = 6;
+  pop.num_classes = 4;
+  pop.class_separation = 1.0;
+  pop.noise_stddev = 0.4;
+  pop.seed = seed;
+  config.populations.push_back(pop);
+  pop.seed = seed + 100;
+  config.populations.push_back(pop);
+  config.center_separation = 2.0;
+  config.seed = seed + 1;
+  return GenerateMultiPopulation(config);
+}
+
+struct PhaseSums {
+  uint64_t distance_evaluations = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t candidates_refined = 0;
+};
+
+PhaseSums SumPhases(const obs::QueryProfile& profile) {
+  PhaseSums sums;
+  for (const obs::QueryPhase& phase : profile.phases) {
+    sums.distance_evaluations += phase.distance_evaluations;
+    sums.nodes_visited += phase.nodes_visited;
+    sums.candidates_refined += phase.candidates_refined;
+  }
+  return sums;
+}
+
+void ExpectProfileMatchesStats(const obs::QueryProfile& profile,
+                               const QueryStats& stats) {
+  // Totals are the query's merged QueryStats, verbatim.
+  EXPECT_EQ(profile.distance_evaluations, stats.distance_evaluations);
+  EXPECT_EQ(profile.nodes_visited, stats.nodes_visited);
+  EXPECT_EQ(profile.candidates_refined, stats.candidates_refined);
+  EXPECT_EQ(profile.truncated, stats.truncated);
+  // And the phases partition the totals exactly — no double counting, no
+  // work unattributed to a phase.
+  const PhaseSums sums = SumPhases(profile);
+  EXPECT_EQ(sums.distance_evaluations, profile.distance_evaluations);
+  EXPECT_EQ(sums.nodes_visited, profile.nodes_visited);
+  EXPECT_EQ(sums.candidates_refined, profile.candidates_refined);
+}
+
+bool HasPhase(const obs::QueryProfile& profile, const std::string& name) {
+  for (const obs::QueryPhase& phase : profile.phases) {
+    if (phase.name == name) return true;
+  }
+  return false;
+}
+
+TEST(ServingExplainTest, PhaseCountersSumToTotalsOnEveryBackend) {
+  const IndexBackend backends[] = {
+      IndexBackend::kLinearScan, IndexBackend::kKdTree, IndexBackend::kVaFile,
+      IndexBackend::kVpTree, IndexBackend::kRStarTree};
+  Dataset data = IonosphereLike(407);
+  for (IndexBackend backend : backends) {
+    SCOPED_TRACE(IndexBackendName(backend));
+    Result<ReducedSearchEngine> engine =
+        ReducedSearchEngine::Build(data, StaticOptions(backend));
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const Vector query = data.Record(5);
+
+    // Pass 1: cache miss — real index work, attributed to the scan phase.
+    QueryStats miss_stats;
+    obs::QueryProfile miss;
+    engine->serving().Query(query, 4, KnnIndex::kNoSkip, &miss_stats,
+                            QueryLimits(), &miss);
+    EXPECT_TRUE(miss.cacheable);
+    EXPECT_FALSE(miss.cache_hit);
+    EXPECT_GT(miss.distance_evaluations, 0u);
+    ExpectProfileMatchesStats(miss, miss_stats);
+    EXPECT_TRUE(HasPhase(miss, "cache.lookup"));
+    EXPECT_TRUE(HasPhase(miss, "project"));
+    EXPECT_TRUE(HasPhase(miss, "scan"));
+    EXPECT_TRUE(HasPhase(miss, "cache.insert"));
+
+    // Pass 2: cache hit — zero work, and the equality holds trivially but
+    // must still be *reported* consistently.
+    QueryStats hit_stats;
+    obs::QueryProfile hit;
+    engine->serving().Query(query, 4, KnnIndex::kNoSkip, &hit_stats,
+                            QueryLimits(), &hit);
+    EXPECT_TRUE(hit.cache_hit);
+    EXPECT_EQ(hit.distance_evaluations, 0u);
+    ExpectProfileMatchesStats(hit, hit_stats);
+    EXPECT_TRUE(HasPhase(hit, "cache.lookup"));
+    EXPECT_FALSE(HasPhase(hit, "scan"));
+  }
+}
+
+TEST(ServingExplainTest, LastProfileCapturesSerialQueriesUnderExplainOption) {
+  Dataset data = IonosphereLike(411);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, StaticOptions(IndexBackend::kKdTree));
+  ASSERT_TRUE(engine.ok());
+
+  obs::QueryProfile before;
+  EXPECT_FALSE(engine->serving().LastProfile(&before));
+
+  QueryStats stats;
+  engine->Query(data.Record(3), 4, KnnIndex::kNoSkip, &stats);
+  obs::QueryProfile profile;
+  ASSERT_TRUE(engine->serving().LastProfile(&profile));
+  EXPECT_EQ(profile.scope, "engine");
+  EXPECT_EQ(profile.k, 4u);
+  EXPECT_EQ(profile.snapshot_version, engine->serving().version());
+  ExpectProfileMatchesStats(profile, stats);
+}
+
+TEST(ServingExplainTest, MultiProbeProfileBreaksWorkDownPerShard) {
+  Dataset data = MixedPopulations(421);
+  Result<LocalReducedSearchEngine> engine =
+      LocalReducedSearchEngine::Build(data, LocalOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  QueryStats stats;
+  obs::QueryProfile profile;
+  engine->serving().Query(data.Record(17), 5, KnnIndex::kNoSkip, &stats,
+                          QueryLimits(), &profile);
+  ExpectProfileMatchesStats(profile, stats);
+  EXPECT_TRUE(HasPhase(profile, "route"));
+  EXPECT_TRUE(HasPhase(profile, "merge"));
+  // Two probed shards => two probe phases, each tagged with its shard id
+  // and carrying that shard's work (including the +1 routing node).
+  size_t probes = 0;
+  for (const obs::QueryPhase& phase : profile.phases) {
+    if (phase.name != "probe") continue;
+    ++probes;
+    EXPECT_GE(phase.shard, 0);
+    EXPECT_GE(phase.nodes_visited, 1u);
+    EXPECT_FALSE(phase.detail.empty());
+  }
+  EXPECT_EQ(probes, 2u);
+}
+
+TEST(ServingExplainTest, ToJsonRendersAllSections) {
+  Dataset data = IonosphereLike(431);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, StaticOptions(IndexBackend::kVaFile));
+  ASSERT_TRUE(engine.ok());
+
+  QueryStats stats;
+  obs::QueryProfile profile;
+  engine->serving().Query(data.Record(9), 3, KnnIndex::kNoSkip, &stats,
+                          QueryLimits(), &profile);
+  const std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"scope\": \"engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"totals\": {\"distance_evaluations\": "),
+            std::string::npos);
+  EXPECT_NE(json.find("\"phases\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\": \"va_file\""), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_us\": "), std::string::npos);
+}
+
+TEST(ServingExplainTest, DeadlineFieldsReportBudgetAndHeadroom) {
+  Dataset data = IonosphereLike(433);
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, StaticOptions(IndexBackend::kKdTree));
+  ASSERT_TRUE(engine.ok());
+
+  QueryLimits limits;
+  limits.deadline_us = 5.0e6;  // generous: the query finishes well inside
+  QueryStats stats;
+  obs::QueryProfile profile;
+  engine->serving().Query(data.Record(2), 4, KnnIndex::kNoSkip, &stats,
+                          limits, &profile);
+  EXPECT_DOUBLE_EQ(profile.deadline_us, 5.0e6);
+  EXPECT_GT(profile.deadline_headroom_us, 0.0);
+  EXPECT_LT(profile.deadline_headroom_us, 5.0e6);
+  EXPECT_FALSE(profile.truncated);
+
+  // No deadline: both fields are zero.
+  obs::QueryProfile unbounded;
+  engine->serving().Query(data.Record(2), 4, KnnIndex::kNoSkip, nullptr,
+                          QueryLimits(), &unbounded);
+  EXPECT_DOUBLE_EQ(unbounded.deadline_us, 0.0);
+  EXPECT_DOUBLE_EQ(unbounded.deadline_headroom_us, 0.0);
+}
+
+TEST(ServingExplainTest, TruncationStormLeavesTheMainHistogramUntouched) {
+  if (!obs::MetricsRegistry::Enabled()) GTEST_SKIP();
+  Dataset data = IonosphereLike(439);
+  EngineOptions options = StaticOptions(IndexBackend::kLinearScan);
+  options.cache_budget_bytes = 0;  // keep every query on the index path
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::LatencyHistogram* main_hist =
+      registry.GetHistogram("engine.query_latency_us");
+  obs::LatencyHistogram* truncated_hist =
+      registry.GetHistogram("engine.query_latency_us.truncated");
+
+  // Seed the main histogram with a healthy query so it has a tail to
+  // protect, then snapshot it.
+  engine->Query(data.Record(0), 4);
+  const obs::LatencyHistogram::Bins main_before = main_hist->SnapshotBins();
+  const uint64_t truncated_before = truncated_hist->TotalCount();
+  const double p99_before = main_before.Quantile(0.99);
+
+  // The storm: every query arrives already cancelled, so each one records
+  // a truncated (near-zero-latency) sample.
+  CancelToken cancel;
+  cancel.Cancel();
+  QueryLimits limits;
+  limits.cancel = &cancel;
+  constexpr size_t kStorm = 50;
+  for (size_t i = 0; i < kStorm; ++i) {
+    QueryStats stats;
+    engine->Query(data.Record(1), 4, KnnIndex::kNoSkip, &stats, limits);
+    ASSERT_TRUE(stats.truncated);
+  }
+
+  // Truncated samples all landed in the dedicated histogram...
+  EXPECT_EQ(truncated_hist->TotalCount(), truncated_before + kStorm);
+  // ...and the main histogram is bit-identical: same count, same bins,
+  // and therefore the same p99.
+  const obs::LatencyHistogram::Bins main_after = main_hist->SnapshotBins();
+  EXPECT_EQ(main_after.TotalCount(), main_before.TotalCount());
+  for (size_t b = 0; b < obs::LatencyHistogram::kNumBins; ++b) {
+    ASSERT_EQ(main_after.bins[b], main_before.bins[b]) << "bin " << b;
+  }
+  EXPECT_EQ(main_after.Quantile(0.99), p99_before);
+}
+
+}  // namespace
+}  // namespace cohere

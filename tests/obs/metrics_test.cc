@@ -307,6 +307,90 @@ TEST(LatencyHistogramTest, BinsDeltaIsolatesTheInterval) {
   EXPECT_TRUE(std::isnan(empty.Quantile(0.5)));
 }
 
+TEST(MetricsRegistryTest, SnapshotBucketsAreCumulativeAndEndAtCount) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  LatencyHistogram* h = registry.GetHistogram("test.buckets.hist");
+  h->Reset();
+  // Values chosen off the coarse power-of-four bucket grid so each lands
+  // unambiguously inside one bucket: 0.5 <= 2^0, 8 <= 2^4, 100 <= 2^8.
+  h->Record(0.5);
+  h->Record(8.0);
+  h->Record(100.0);
+  h->Record(std::numeric_limits<double>::infinity());  // overflow bin
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* hs = nullptr;
+  for (const HistogramSnapshot& candidate : snapshot.histograms) {
+    if (candidate.name == "test.buckets.hist") hs = &candidate;
+  }
+  ASSERT_NE(hs, nullptr);
+  ASSERT_FALSE(hs->buckets.empty());
+  // Cumulative and closed: counts never decrease and the terminal bucket
+  // is (+inf, count).
+  for (size_t i = 1; i < hs->buckets.size(); ++i) {
+    EXPECT_LT(hs->buckets[i - 1].first, hs->buckets[i].first);
+    EXPECT_GE(hs->buckets[i].second, hs->buckets[i - 1].second);
+  }
+  EXPECT_TRUE(std::isinf(hs->buckets.back().first));
+  EXPECT_EQ(hs->buckets.back().second, hs->count);
+  // The bucket bounds are exact internal bin edges, so the cumulative
+  // counts are exact, not interpolated.
+  for (const auto& [bound, cumulative] : hs->buckets) {
+    if (bound == 1.0) {
+      EXPECT_EQ(cumulative, 1u);  // 0.5
+    }
+    if (bound == 16.0) {
+      EXPECT_EQ(cumulative, 2u);  // + 8.0
+    }
+    if (bound == 256.0) {
+      EXPECT_EQ(cumulative, 3u);  // + 100.0
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, ToOpenMetricsRendersAScrapeableExposition) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* c = registry.GetCounter("test.openmetrics.counter");
+  Gauge* g = registry.GetGauge("test.openmetrics.gauge");
+  LatencyHistogram* h = registry.GetHistogram("test.openmetrics.hist");
+  c->Reset();
+  h->Reset();
+  c->Increment(12);
+  g->Set(-3.5);
+  h->Record(9.0);
+
+  const std::string om = registry.Snapshot().ToOpenMetrics();
+  // Terminal marker, nothing after it.
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+  // Names are prefixed and sanitized to the OpenMetrics charset (dots
+  // become underscores), counters carry the mandated _total suffix.
+  EXPECT_NE(om.find("# TYPE cohere_test_openmetrics_counter counter"),
+            std::string::npos);
+  EXPECT_NE(om.find("cohere_test_openmetrics_counter_total 12"),
+            std::string::npos);
+  EXPECT_NE(om.find("# TYPE cohere_test_openmetrics_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(om.find("cohere_test_openmetrics_gauge -3.5"), std::string::npos);
+  // Histograms expose cumulative le-labelled buckets ending at +Inf, plus
+  // _sum and _count.
+  EXPECT_NE(om.find("# TYPE cohere_test_openmetrics_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(om.find("cohere_test_openmetrics_hist_bucket{le=\"16\"} 1"),
+            std::string::npos);
+  EXPECT_NE(om.find("cohere_test_openmetrics_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(om.find("cohere_test_openmetrics_hist_count 1"),
+            std::string::npos);
+  EXPECT_NE(om.find("cohere_test_openmetrics_hist_sum 9"), std::string::npos);
+  // HELP lines keep the original dotted name as the description.
+  EXPECT_NE(om.find("# HELP cohere_test_openmetrics_counter "
+                    "test.openmetrics.counter"),
+            std::string::npos);
+  // No raw (unprefixed) names leak into the exposition.
+  EXPECT_EQ(om.find("\ntest.openmetrics"), std::string::npos);
+}
+
 TEST(TraceHookTest, DeliversSpansWhileInstalled) {
   struct Capture {
     std::vector<std::string> names;

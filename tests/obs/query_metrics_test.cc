@@ -188,6 +188,31 @@ TEST(QueryMetricsTest, ConcurrentBatchCountsRemainExact) {
             queries.rows() * data.rows());
 }
 
+TEST(QueryMetricsTest, TruncatedLatenciesLandInTheSeparateHistogram) {
+  const obs::QueryPathMetrics& bundle =
+      obs::QueryPathMetricsFor("test.truncsplit");
+  ASSERT_NE(bundle.truncated_latency_us, nullptr);
+  EXPECT_EQ(bundle.truncated_latency_us->name(),
+            "test.truncsplit.query_latency_us.truncated");
+
+  bundle.query_latency_us->Reset();
+  bundle.truncated_latency_us->Reset();
+  bundle.queries->Reset();
+
+  bundle.Record(10, 2, 0, 5.0, /*truncated=*/false);
+  bundle.Record(4, 1, 0, 7.0, /*truncated=*/true);
+
+  // Both queries count as queries, and their work counters accumulate
+  // identically — only the latency sample is routed by the truncated flag,
+  // so a deadline storm's budget-capped latencies cannot deflate the main
+  // histogram's tail.
+  EXPECT_EQ(bundle.queries->Value(), 2u);
+  EXPECT_EQ(bundle.query_latency_us->TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(bundle.query_latency_us->Sum(), 5.0);
+  EXPECT_EQ(bundle.truncated_latency_us->TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(bundle.truncated_latency_us->Sum(), 7.0);
+}
+
 TEST(QueryMetricsTest, DisabledSwitchStopsPublishingButKeepsStats) {
   const Matrix data = RandomMatrix(100, 4, 58);
   auto metric = MakeMetric(MetricKind::kEuclidean);

@@ -1,0 +1,234 @@
+// RollingWindow turns the registry's cumulative histograms/counters into
+// "over the last N buckets" answers by subtracting boundary snapshots. The
+// clock is injected, so every rotation scenario here is deterministic:
+// bucket attribution, idle-gap clearing, boundary eviction, and window
+// quantiles that must match hand-computed interpolation values.
+#include "obs/window.h"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace cohere {
+namespace {
+
+// 3 buckets of 1000us: the window covers the current bucket plus two.
+obs::RollingWindowOptions SmallWindow() {
+  obs::RollingWindowOptions options;
+  options.num_buckets = 3;
+  options.bucket_width_us = 1000;
+  return options;
+}
+
+TEST(RollingWindowTest, WindowCoversOnlyTheLastNBuckets) {
+  obs::LatencyHistogram histogram("test.window.rotate");
+  uint64_t now = 0;
+  obs::RollingWindow window(&histogram, SmallWindow(),
+                            [&now] { return now; });
+
+  // Observations attribute to the bucket current at record time, so a
+  // periodic tick (Advance) opens each bucket before recording into it.
+  for (int i = 0; i < 5; ++i) histogram.Record(8.0);  // bucket 0
+  now = 1000;
+  window.Advance();
+  for (int i = 0; i < 7; ++i) histogram.Record(8.0);  // bucket 1
+  now = 2000;
+  window.Advance();
+  for (int i = 0; i < 9; ++i) histogram.Record(8.0);  // bucket 2
+
+  // Window = buckets {0, 1, 2}: everything so far.
+  EXPECT_EQ(window.WindowCount(), 21u);
+
+  // Bucket 3: the five bucket-0 observations rotate out.
+  now = 3000;
+  EXPECT_EQ(window.WindowCount(), 16u);
+
+  // Bucket 4: bucket 1's seven go too.
+  now = 4000;
+  EXPECT_EQ(window.WindowCount(), 9u);
+
+  // Bucket 6: nothing recorded in {4, 5, 6}.
+  now = 6000;
+  EXPECT_EQ(window.WindowCount(), 0u);
+}
+
+TEST(RollingWindowTest, RotationIsDeterministicUnderAFakeClock) {
+  // The same record/advance script against two independent windows must
+  // produce identical per-step window counts — rotation depends only on
+  // the injected clock, never on wall time.
+  const std::array<uint64_t, 6> times = {0, 500, 1400, 2100, 2900, 5200};
+  std::array<uint64_t, 6> counts_a{}, counts_b{};
+  for (int run = 0; run < 2; ++run) {
+    obs::LatencyHistogram histogram(run == 0 ? "test.window.det_a"
+                                             : "test.window.det_b");
+    uint64_t now = 0;
+    obs::RollingWindow window(&histogram, SmallWindow(),
+                              [&now] { return now; });
+    auto& counts = run == 0 ? counts_a : counts_b;
+    for (size_t step = 0; step < times.size(); ++step) {
+      now = times[step];
+      histogram.Record(static_cast<double>(step + 1));
+      counts[step] = window.WindowCount();
+    }
+  }
+  EXPECT_EQ(counts_a, counts_b);
+}
+
+TEST(RollingWindowTest, IdleGapDropsEveryRetainedBoundary) {
+  obs::LatencyHistogram histogram("test.window.idle");
+  uint64_t now = 0;
+  obs::RollingWindow window(&histogram, SmallWindow(),
+                            [&now] { return now; });
+
+  for (int i = 0; i < 10; ++i) histogram.Record(4.0);
+  now = 1000;
+  window.Advance();
+  now = 2000;
+  window.Advance();
+  ASSERT_GT(window.WindowCount(), 0u);
+  ASSERT_GT(window.boundary_count(), 1u);
+
+  // A gap of >= num_buckets buckets (3 * 1000us) skips the window
+  // entirely: every retained boundary is stale, so rotation must clear
+  // them all rather than walking the skipped buckets one by one.
+  now = 2000 + 3 * 1000;
+  EXPECT_EQ(window.WindowCount(), 0u);
+  EXPECT_EQ(window.boundary_count(), 1u);
+
+  // Observations recorded after the gap are visible again.
+  histogram.Record(4.0);
+  EXPECT_EQ(window.WindowCount(), 1u);
+}
+
+TEST(RollingWindowTest, StalledOrBackwardsClockKeepsTheCurrentBucket) {
+  obs::LatencyHistogram histogram("test.window.stall");
+  uint64_t now = 5000;
+  obs::RollingWindow window(&histogram, SmallWindow(),
+                            [&now] { return now; });
+  ASSERT_EQ(window.current_bucket(), 5u);
+
+  histogram.Record(2.0);
+  now = 5999;  // same bucket
+  EXPECT_EQ(window.current_bucket(), 5u);
+  EXPECT_EQ(window.WindowCount(), 1u);
+
+  now = 100;  // a clock step backwards must not rotate or lose anything
+  EXPECT_EQ(window.current_bucket(), 5u);
+  EXPECT_EQ(window.WindowCount(), 1u);
+}
+
+TEST(RollingWindowTest, WindowBinsEqualTheCumulativeDeltaAcrossTheWindow) {
+  // The window is defined as Delta(snapshot at window start, snapshot now);
+  // check that definition literally, bin by bin, against snapshots taken
+  // by hand at the right moments.
+  obs::LatencyHistogram histogram("test.window.delta");
+  uint64_t now = 0;
+  obs::RollingWindow window(&histogram, SmallWindow(),
+                            [&now] { return now; });
+
+  for (int i = 0; i < 4; ++i) histogram.Record(3.0);  // bucket 0
+  now = 1000;
+  window.Advance();
+  // Everything before this snapshot is outside the window once the
+  // current bucket is 3 (window = {1, 2, 3}).
+  const obs::LatencyHistogram::Bins at_bucket1 = histogram.SnapshotBins();
+  for (int i = 0; i < 6; ++i) histogram.Record(7.0);   // bucket 1
+  now = 2000;
+  window.Advance();
+  for (int i = 0; i < 2; ++i) histogram.Record(90.0);  // bucket 2
+  now = 3000;
+
+  const obs::LatencyHistogram::Bins expected =
+      obs::LatencyHistogram::Delta(at_bucket1, histogram.SnapshotBins());
+  const obs::LatencyHistogram::Bins got = window.WindowBins();
+  EXPECT_EQ(got.TotalCount(), 8u);
+  for (size_t b = 0; b < obs::LatencyHistogram::kNumBins; ++b) {
+    ASSERT_EQ(got.bins[b], expected.bins[b]) << "bin " << b;
+  }
+  EXPECT_DOUBLE_EQ(got.sum, expected.sum);
+}
+
+TEST(RollingWindowTest, WindowQuantilesMatchHandComputedValues) {
+  // 90 observations at 8.0 land in the geometric bin [8, 10) (frexp
+  // exponent 4, sub-bucket 0); 10 observations at 100.0 land in [96, 112)
+  // (exponent 7, sub-bucket 2). The quantile estimator interpolates
+  // linearly inside a bin, so over 100 observations:
+  //   p50: rank 50 of 90 in [8, 10)  -> 8 + (50/90) * 2  = 9.111...
+  //   p95: rank 95, 5th of 10 in [96, 112) -> 96 + 0.5 * 16 = 104
+  //   p99: rank 99, 9th of 10       -> 96 + 0.9 * 16 = 110.4
+  obs::LatencyHistogram histogram("test.window.quantiles");
+  uint64_t now = 0;
+  obs::RollingWindow window(&histogram, SmallWindow(),
+                            [&now] { return now; });
+
+  // Poison the pre-window past with huge values that must NOT contaminate
+  // the windowed quantiles once they rotate out.
+  for (int i = 0; i < 300; ++i) histogram.Record(1.0e6);
+  now = 3000;  // >= num_buckets ahead: the poison is outside the window
+  window.Advance();
+
+  for (int i = 0; i < 90; ++i) histogram.Record(8.0);
+  for (int i = 0; i < 10; ++i) histogram.Record(100.0);
+
+  EXPECT_EQ(window.WindowCount(), 100u);
+  EXPECT_NEAR(window.Quantile(0.5), 8.0 + (50.0 / 90.0) * 2.0, 1e-12);
+  EXPECT_NEAR(window.Quantile(0.95), 104.0, 1e-12);
+  EXPECT_NEAR(window.Quantile(0.99), 110.4, 1e-12);
+  // The full cumulative histogram is dominated by the poison; the window
+  // must not be.
+  EXPECT_GT(histogram.Quantile(0.5), 1000.0);
+}
+
+TEST(RollingWindowTest, EmptyWindowQuantileIsNaN) {
+  obs::LatencyHistogram histogram("test.window.empty");
+  uint64_t now = 0;
+  obs::RollingWindow window(&histogram, SmallWindow(),
+                            [&now] { return now; });
+  EXPECT_TRUE(std::isnan(window.Quantile(0.5)));
+  EXPECT_EQ(window.WindowCount(), 0u);
+}
+
+TEST(RollingCounterWindowTest, CountsOnlyInWindowIncrements) {
+  obs::Counter counter("test.window.counter");
+  uint64_t now = 0;
+  obs::RollingCounterWindow window(&counter, SmallWindow(),
+                                   [&now] { return now; });
+
+  counter.Increment(5);  // bucket 0
+  now = 1000;
+  window.Advance();
+  counter.Increment(7);  // bucket 1
+  now = 2000;
+  EXPECT_EQ(window.WindowValue(), 12u);
+
+  now = 3000;  // bucket 0's increments rotate out
+  EXPECT_EQ(window.WindowValue(), 7u);
+  now = 4000;
+  EXPECT_EQ(window.WindowValue(), 0u);
+
+  // Idle gap: increments before the gap never resurface.
+  counter.Increment(3);
+  now = 4000 + 5 * 1000;
+  EXPECT_EQ(window.WindowValue(), 0u);
+}
+
+TEST(RollingCounterWindowTest, DegenerateOptionsAreClamped) {
+  obs::Counter counter("test.window.degenerate");
+  obs::RollingWindowOptions options;
+  options.num_buckets = 0;   // clamped to 1
+  options.bucket_width_us = 0;  // clamped to 1
+  uint64_t now = 0;
+  obs::RollingCounterWindow window(&counter, options,
+                                   [&now] { return now; });
+  counter.Increment(4);
+  EXPECT_EQ(window.WindowValue(), 4u);
+  now = 1;  // one (1us-wide) bucket later: the single-bucket window moved on
+  EXPECT_EQ(window.WindowValue(), 0u);
+}
+
+}  // namespace
+}  // namespace cohere

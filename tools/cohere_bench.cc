@@ -1,6 +1,7 @@
 // cohere_bench: the canonical performance-trajectory harness.
 //
-//   cohere_bench [--suite smoke|standard] [--out FILE] [--queries N] [--list]
+//   cohere_bench [--suite smoke|standard] [--out FILE] [--queries N]
+//                [--query-log FILE] [--list]
 //
 // Runs a fixed grid of k-NN benchmark cases — per-backend query latency and
 // throughput at several (d', k) points, on synthetic and UCI-like data, in
@@ -37,6 +38,7 @@
 #include "data/synthetic.h"
 #include "data/uci_like.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 
 namespace cohere {
 namespace {
@@ -247,6 +249,9 @@ struct SeriesResult {
   uint64_t distance_evaluations = 0;
   uint64_t nodes_visited = 0;
   uint64_t candidates_refined = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t deadline_exceeded = 0;
 };
 
 struct WorkSnapshot {
@@ -254,6 +259,9 @@ struct WorkSnapshot {
   uint64_t distance_evaluations = 0;
   uint64_t nodes_visited = 0;
   uint64_t candidates_refined = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t deadline_exceeded = 0;
 };
 
 WorkSnapshot TakeWorkSnapshot(const std::string& scope) {
@@ -266,6 +274,12 @@ WorkSnapshot TakeWorkSnapshot(const std::string& scope) {
   snap.nodes_visited = registry.GetCounter(scope + ".nodes_visited")->Value();
   snap.candidates_refined =
       registry.GetCounter(scope + ".candidates_refined")->Value();
+  // Process-wide service counters (GetCounter registers-on-absence, so a
+  // run that never touches the cache or a deadline reads zero deltas).
+  snap.cache_hits = registry.GetCounter("cache.hits")->Value();
+  snap.cache_misses = registry.GetCounter("cache.misses")->Value();
+  snap.deadline_exceeded =
+      registry.GetCounter("queries.deadline_exceeded")->Value();
   return snap;
 }
 
@@ -426,6 +440,10 @@ Result<SeriesResult> RunCase(const CaseSpec& spec, const Dataset& dataset,
   out.nodes_visited = after.nodes_visited - before.nodes_visited;
   out.candidates_refined =
       after.candidates_refined - before.candidates_refined;
+  out.cache_hits = after.cache_hits - before.cache_hits;
+  out.cache_misses = after.cache_misses - before.cache_misses;
+  out.deadline_exceeded =
+      after.deadline_exceeded - before.deadline_exceeded;
   return out;
 }
 
@@ -458,6 +476,11 @@ void AppendSeriesJson(const SeriesResult& r, std::string* out) {
   *out += ", \"p95\": " + Num(r.latency.Quantile(0.95));
   *out += ", \"p99\": " + Num(r.latency.Quantile(0.99));
   *out += ", \"max\": " + Num(r.latency.max);
+  *out += "},\n";
+  *out += "      \"counters\": {";
+  *out += "\"cache_hits\": " + std::to_string(r.cache_hits);
+  *out += ", \"cache_misses\": " + std::to_string(r.cache_misses);
+  *out += ", \"deadline_exceeded\": " + std::to_string(r.deadline_exceeded);
   *out += "},\n";
   *out += "      \"work\": {";
   *out += "\"distance_evaluations\": " +
@@ -501,18 +524,21 @@ std::string RenderDocument(const std::string& suite, size_t num_queries,
 int Usage() {
   std::fprintf(stderr,
                "usage: cohere_bench [--suite smoke|standard] [--out FILE]\n"
-               "                    [--queries N] [--list]\n"
-               "  --suite    case grid to run (default smoke)\n"
-               "  --out      output path (default BENCH_<suite>.json)\n"
-               "  --queries  queries per case (default: 64 smoke, 256 "
+               "                    [--queries N] [--query-log FILE] [--list]\n"
+               "  --suite      case grid to run (default smoke)\n"
+               "  --out        output path (default BENCH_<suite>.json)\n"
+               "  --queries    queries per case (default: 64 smoke, 256 "
                "standard)\n"
-               "  --list     print the suite's series names and exit\n");
+               "  --query-log  drain the wide-event query log to FILE "
+               "(JSONL)\n"
+               "  --list       print the suite's series names and exit\n");
   return 2;
 }
 
 int Main(int argc, char** argv) {
   std::string suite = "smoke";
   std::string out_path;
+  std::string query_log_path;
   size_t num_queries = 0;
   bool list_only = false;
   for (int i = 1; i < argc; ++i) {
@@ -531,6 +557,12 @@ int Main(int argc, char** argv) {
         return 2;
       }
       num_queries = static_cast<size_t>(*parsed);
+    } else if (arg == "--query-log") {
+      query_log_path = value();
+      if (query_log_path.empty()) {
+        std::fprintf(stderr, "--query-log needs a file path\n");
+        return 2;
+      }
     } else if (arg == "--list") {
       list_only = true;
     } else {
@@ -569,6 +601,10 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
+  if (!query_log_path.empty()) {
+    obs::QueryLog::Global().Start(obs::QueryLogOptions{});
+  }
+
   std::map<std::string, Dataset> datasets;
   std::vector<SeriesResult> series;
   series.reserve(num_cases);
@@ -605,6 +641,24 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(stderr, "wrote %zu series to %s\n", series.size(),
                out_path.c_str());
+
+  if (!query_log_path.empty()) {
+    obs::QueryLog& log = obs::QueryLog::Global();
+    log.Stop();
+    const Status status = log.WriteJsonl(query_log_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write query log: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "query log written to %s (%llu events, %llu dropped, %llu "
+                 "sampled out)\n",
+                 query_log_path.c_str(),
+                 static_cast<unsigned long long>(log.CapturedCount()),
+                 static_cast<unsigned long long>(log.DroppedCount()),
+                 static_cast<unsigned long long>(log.SampledOutCount()));
+  }
   return 0;
 }
 

@@ -9,13 +9,17 @@
 //                      [--engine static|local] [--clusters N] [--probes P]
 //   cohere_cli demo    (self-contained smoke run on synthetic data)
 //
-// Every command additionally accepts `--metrics text|json` to dump the
-// process-wide observability registry (counters, gauges, latency histogram
-// quantiles) after the command finishes, `--metrics-out FILE` to write the
+// Every command additionally accepts `--metrics text|json|openmetrics` to
+// dump the process-wide observability registry (counters, gauges, latency
+// histogram quantiles; `openmetrics` is the Prometheus-scrapeable text
+// exposition) after the command finishes, `--metrics-out FILE` to write the
 // snapshot to a file (implies `--metrics text` when the format flag is
-// absent), and `--trace-out FILE` to capture the command under the
-// structured tracer and write a Chrome trace_event JSON file loadable in
-// Perfetto. An unwritable output path is a hard error (nonzero exit).
+// absent), `--trace-out FILE` to capture the command under the structured
+// tracer and write a Chrome trace_event JSON file loadable in Perfetto,
+// and `--query-log FILE` to capture the wide-event query log and drain it
+// to JSONL. `query` also takes `--explain` (with optional `--explain-out
+// FILE`) to emit the per-query EXPLAIN profile as JSON. An unwritable
+// output path is a hard error (nonzero exit).
 //
 // Data files ending in .arff are parsed as ARFF; anything else as CSV with
 // the last column as the class attribute (use --no-label for unlabeled
@@ -30,6 +34,7 @@
 #include "core/engine.h"
 #include "core/local_engine.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/tracing.h"
 #include "data/arff.h"
 #include "data/csv.h"
@@ -53,6 +58,9 @@ Args ParseArgs(int argc, char** argv, int first) {
     std::string arg = argv[i];
     if (arg == "--no-label") {
       args.no_label = true;
+    } else if (arg == "--explain") {
+      // Boolean flag: must not consume the next token as a value.
+      args.flags["explain"] = "";
     } else if (arg.rfind("--", 0) == 0) {
       std::string key = arg.substr(2);
       std::string value;
@@ -230,6 +238,31 @@ int QueryCmd(const Dataset& data, const Args& args) {
     }
     cache_budget = static_cast<size_t>(*parsed);
   }
+  const bool explain = args.flags.count("explain") != 0;
+  // Prints the captured EXPLAIN profile, or writes it to --explain-out.
+  auto emit_explain = [&](const ServingCore& serving) -> int {
+    obs::QueryProfile profile;
+    if (!serving.LastProfile(&profile)) {
+      std::fprintf(stderr, "no explain profile captured\n");
+      return 1;
+    }
+    const std::string json = profile.ToJson();
+    auto out_it = args.flags.find("explain-out");
+    if (out_it != args.flags.end() && !out_it->second.empty()) {
+      FILE* f = std::fopen(out_it->second.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write explain profile to %s: %s\n",
+                     out_it->second.c_str(), std::strerror(errno));
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("explain profile written to %s\n", out_it->second.c_str());
+    } else {
+      std::printf("\n-- explain --\n%s", json.c_str());
+    }
+    return 0;
+  };
   auto print_cache_stats = [](const ServingCore& serving) {
     const cache::ResultCache* cache = serving.result_cache();
     if (cache == nullptr) return;
@@ -255,6 +288,7 @@ int QueryCmd(const Dataset& data, const Args& args) {
     options.reduction = reduction;
     options.query_deadline_us = deadline_us;
     options.cache_budget_bytes = cache_budget;
+    options.explain = explain;
     if (auto it = args.flags.find("clusters"); it != args.flags.end()) {
       Result<long long> clusters = ParseInt(it->second);
       if (!clusters.ok() || *clusters <= 0) {
@@ -281,11 +315,13 @@ int QueryCmd(const Dataset& data, const Args& args) {
     std::printf("%s", engine->Describe().c_str());
     neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
     print_cache_stats(engine->serving());
+    if (explain && emit_explain(engine->serving()) != 0) return 1;
   } else if (engine_kind == "static") {
     EngineOptions options;
     options.reduction = reduction;
     options.query_deadline_us = deadline_us;
     options.cache_budget_bytes = cache_budget;
+    options.explain = explain;
     Result<ReducedSearchEngine> engine =
         ReducedSearchEngine::Build(data, options);
     if (!engine.ok()) {
@@ -296,6 +332,7 @@ int QueryCmd(const Dataset& data, const Args& args) {
     std::printf("%s", engine->Describe().c_str());
     neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
     print_cache_stats(engine->serving());
+    if (explain && emit_explain(engine->serving()) != 0) return 1;
   } else {
     std::fprintf(stderr, "bad --engine value '%s' (want static or local)\n",
                  engine_kind.c_str());
@@ -357,6 +394,10 @@ int Usage() {
                "  cohere_cli query   <data-file> --row R [--k K] [--dims N]\n"
                "             [--deadline-us T]   per-query wall-clock budget "
                "(partial answer on expiry)\n"
+               "             [--explain]         capture and print the "
+               "per-query EXPLAIN profile\n"
+               "             [--explain-out FILE]  write the profile JSON "
+               "to FILE\n"
                "             [--cache-budget B]  result-cache byte budget "
                "for the engine (0 = off)\n"
                "             [--engine static|local]   serving engine "
@@ -365,15 +406,19 @@ int Usage() {
                "localities and probes per query\n"
                "  cohere_cli demo\n"
                "common flags:\n"
-               "  --metrics text|json   dump the observability registry "
-               "after the command\n"
+               "  --metrics text|json|openmetrics   dump the observability "
+               "registry after the command\n"
+               "                        (openmetrics: Prometheus-scrapeable "
+               "exposition)\n"
                "  --metrics-out FILE    write the snapshot to FILE instead "
                "of stdout\n"
                "                        (implies --metrics text)\n"
                "  --trace-out FILE      trace the command and write Chrome "
                "trace_event JSON\n"
                "                        (open in Perfetto / "
-               "chrome://tracing)\n");
+               "chrome://tracing)\n"
+               "  --query-log FILE      capture the wide-event query log "
+               "and write it as JSONL\n");
   return 2;
 }
 
@@ -392,10 +437,14 @@ int EmitMetrics(const Args& args) {
   std::string rendered;
   if (format == "json") {
     rendered = snapshot.ToJson() + "\n";
+  } else if (format == "openmetrics") {
+    rendered = snapshot.ToOpenMetrics();
   } else if (format == "text" || format.empty()) {
     rendered = snapshot.ToText();
   } else {
-    std::fprintf(stderr, "bad --metrics value '%s' (want text or json)\n",
+    std::fprintf(stderr,
+                 "bad --metrics value '%s' (want text, json or "
+                 "openmetrics)\n",
                  format.c_str());
     return 1;
   }
@@ -465,6 +514,29 @@ int EmitTrace(const Args& args) {
   return 0;
 }
 
+// Writes the captured query-log events per --query-log; 0 on success (or
+// when the flag is absent), nonzero on an unwritable output file. The log
+// itself is started before dispatch in Main.
+int EmitQueryLog(const Args& args) {
+  auto out_it = args.flags.find("query-log");
+  if (out_it == args.flags.end()) return 0;
+  obs::QueryLog& log = obs::QueryLog::Global();
+  log.Stop();
+  const Status written = log.WriteJsonl(out_it->second);
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write query log to %s: %s\n",
+                 out_it->second.c_str(), written.ToString().c_str());
+    return 1;
+  }
+  std::printf("query log written to %s (%llu events, %llu dropped, "
+              "%llu sampled out)\n",
+              out_it->second.c_str(),
+              static_cast<unsigned long long>(log.CapturedCount()),
+              static_cast<unsigned long long>(log.DroppedCount()),
+              static_cast<unsigned long long>(log.SampledOutCount()));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -481,11 +553,21 @@ int Main(int argc, char** argv) {
         obs::Tracer::Global().slow_query_threshold_us();
     obs::Tracer::Global().Start(trace_options);
   }
+  if (auto it = args.flags.find("query-log"); it != args.flags.end()) {
+    if (it->second.empty()) {
+      std::fprintf(stderr, "--query-log requires a file path\n");
+      return 2;
+    }
+    // One CLI invocation fits comfortably in the default ring.
+    obs::QueryLog::Global().Start(obs::QueryLogOptions{});
+  }
   const int rc = Dispatch(command, args);
   if (rc != 0) return rc;
   const int metrics_rc = EmitMetrics(args);
   if (metrics_rc != 0) return metrics_rc;
-  return EmitTrace(args);
+  const int trace_rc = EmitTrace(args);
+  if (trace_rc != 0) return trace_rc;
+  return EmitQueryLog(args);
 }
 
 }  // namespace
