@@ -140,6 +140,23 @@ std::vector<PointInfo> Points() {
   return out;  // std::map iteration is already name-sorted.
 }
 
+namespace {
+
+// A spec may only name points code can actually draw from: the wired-in
+// catalog, anything already registered programmatically, or the `test.`
+// namespace unit tests use for synthetic points. Everything else is a typo
+// and must fail loudly instead of arming a point nobody fires.
+bool IsArmableName(const std::string& name) {
+  if (name.rfind("test.", 0) == 0) return true;
+  const std::vector<std::string> known = KnownPoints();
+  if (std::binary_search(known.begin(), known.end(), name)) return true;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.points.find(name) != registry.points.end();
+}
+
+}  // namespace
+
 Status ArmFromSpec(const std::string& spec) {
   for (const std::string& raw : Split(spec, ',')) {
     const std::string entry(Trim(raw));
@@ -149,6 +166,12 @@ Status ArmFromSpec(const std::string& spec) {
       return Status::InvalidArgument(
           "bad fault spec entry '" + entry +
           "' (want point[:probability[:seed]])");
+    }
+    const std::string name(Trim(parts[0]));
+    if (!IsArmableName(name)) {
+      return Status::InvalidArgument(
+          "unknown fault point '" + name + "' in '" + entry +
+          "' (want a catalog point, a registered point, or a test.* name)");
     }
     double probability = 1.0;
     std::uint64_t seed = 0;
@@ -168,7 +191,7 @@ Status ArmFromSpec(const std::string& spec) {
       }
       seed = static_cast<std::uint64_t>(*parsed);
     }
-    Arm(std::string(Trim(parts[0])), probability, seed);
+    Arm(name, probability, seed);
   }
   return Status::Ok();
 }
@@ -178,7 +201,7 @@ std::vector<std::string> KnownPoints() {
       kPointLoaderIo,       kPointDynamicRefit,   kPointJacobiEigen,
       kPointPowerIteration, kPointSymmetricEigen, kPointSvd,
       kPointParallelDispatch, kPointReductionFit, kPointSnapshotPublish,
-      kPointCacheInsertPressure,
+      kPointCacheInsertPressure, kPointAdmissionShed,
   };
   std::sort(points.begin(), points.end());
   return points;

@@ -105,7 +105,13 @@ std::vector<PointInfo> Points();
 
 /// Parses and applies a COHERE_FAULT-style spec:
 /// `point[:probability[:seed]]` entries separated by commas. Returns
-/// InvalidArgument (arming nothing further) on a malformed entry.
+/// InvalidArgument (arming nothing further) on a malformed entry: a
+/// probability outside [0,1] or with trailing garbage, a negative or
+/// non-numeric seed, extra `:` fields, or a point name that is neither in
+/// the wired-in catalog (KnownPoints()), nor already registered, nor
+/// prefixed `test.` (the escape hatch unit tests use for synthetic points).
+/// Unknown names are rejected so a typo in COHERE_FAULT fails loudly
+/// instead of arming a point no code ever draws from.
 Status ArmFromSpec(const std::string& spec);
 
 /// Thrown by fault points that live inside noexcept-free callback plumbing
@@ -128,6 +134,7 @@ inline constexpr char kPointReductionFit[] = "reduction.fit.primary";
 inline constexpr char kPointDynamicRefit[] = "dynamic_index.refit";
 inline constexpr char kPointSnapshotPublish[] = "core.snapshot.publish";
 inline constexpr char kPointCacheInsertPressure[] = "cache.insert.pressure";
+inline constexpr char kPointAdmissionShed[] = "core.admission.shed";
 
 /// The wired-in catalog above, as a list (sorted by name).
 std::vector<std::string> KnownPoints();

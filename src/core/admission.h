@@ -1,0 +1,246 @@
+#ifndef COHERE_CORE_ADMISSION_H_
+#define COHERE_CORE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace cohere {
+
+/// Overload policy for one ServingCore (see DESIGN.md §12).
+///
+/// The controller sits in front of the query path and decides, per query:
+/// admit now, wait briefly in a bounded queue, degrade (brownout), shed
+/// (ResourceExhausted), or reject outright (circuit open). Everything is
+/// off by default — with `enabled == false` ServingCore never constructs a
+/// controller and the query path is byte-identical to the pre-admission
+/// code.
+struct AdmissionOptions {
+  bool enabled = false;
+  /// Queries served concurrently before new arrivals queue.
+  size_t max_concurrency = 4;
+  /// Bounded wait-queue length; arrivals beyond it are shed immediately
+  /// (reject-on-overload, never queue-collapse).
+  size_t max_queue = 16;
+  /// Wait budget for queries that carry no deadline of their own, in
+  /// microseconds. A queued entry always has an absolute expiry: its own
+  /// remaining deadline when it has one, else this. Nothing waits forever.
+  double default_queue_wait_us = 50000.0;
+  /// Smoothing factor for the expected-service-time EWMA (and the queue
+  /// pressure EWMA that drives the brownout ladder), in (0, 1].
+  double ewma_alpha = 0.2;
+
+  // --- circuit breaker ----------------------------------------------------
+  /// Windowed failure ratio (failures / completions) at which the breaker
+  /// trips from Closed to Open.
+  double breaker_failure_ratio = 0.5;
+  /// Completions the window must hold before the ratio is meaningful.
+  uint64_t breaker_min_samples = 16;
+  /// How long the breaker stays Open before half-opening, microseconds.
+  double breaker_open_us = 1e6;
+  /// Probe queries admitted in HalfOpen; all must succeed to re-close.
+  size_t breaker_half_open_probes = 3;
+  /// Rolling window the failure ratio is measured over.
+  obs::RollingWindowOptions breaker_window;
+
+  // --- brownout ladder ----------------------------------------------------
+  /// Queue-pressure EWMA (queued / max_queue) at which level 1 engages:
+  /// re-rank candidates are capped at `brownout_rerank_cap`.
+  double brownout_l1_pressure = 0.25;
+  /// Pressure at which level 2 engages: probes are forced down to one shard
+  /// (plus the level-1 cap). Degrading comes before shedding.
+  double brownout_l2_pressure = 0.75;
+  /// Per-probe re-rank candidate cap at brownout level >= 1.
+  size_t brownout_rerank_cap = 4;
+};
+
+/// What Admit() granted. When `admitted` the caller MUST call Release()
+/// exactly once after the query finishes; otherwise `status` carries the
+/// kResourceExhausted reject and the query must not run.
+struct AdmissionGrant {
+  bool admitted = false;
+  bool queued = false;  ///< Waited in the queue before admission.
+  Status status;        ///< OK when admitted.
+  /// Brownout ladder applied to this query (0 = full fidelity).
+  size_t brownout_level = 0;
+  /// Max shards the query may probe (SIZE_MAX = engine-configured).
+  size_t probe_limit = std::numeric_limits<size_t>::max();
+  /// Max re-rank candidates per probe (SIZE_MAX = uncapped).
+  size_t rerank_cap = std::numeric_limits<size_t>::max();
+};
+
+/// Point-in-time accounting snapshot; `offered == admitted + shed +
+/// rejected` holds exactly at any instant no Admit() is blocked inside the
+/// intake (every outcome is decided and counted under one mutex).
+struct AdmissionTotals {
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t queued = 0;    ///< Of the admitted+shed, how many waited first.
+  uint64_t shed = 0;      ///< Infeasible deadline, full queue, queue timeout.
+  uint64_t rejected = 0;  ///< Circuit breaker open.
+  uint64_t breaker_trips = 0;
+  uint64_t brownout_queries = 0;  ///< Admitted at level >= 1.
+};
+
+/// Concurrency-limited intake + bounded deadline-aware wait queue + per-
+/// scope circuit breaker + brownout ladder. One instance per ServingCore.
+///
+/// Thread safety: fully thread-safe; one mutex covers the intake decision,
+/// the totals (so the accounting invariant is exact), the service-time
+/// EWMA and the breaker state. The queue is the condition variable's wait
+/// set; entries carry their absolute expiry, so a waiter sheds itself the
+/// moment its remaining budget runs out — a stalled server never collects
+/// an unbounded backlog.
+class AdmissionController {
+ public:
+  /// `scope` labels Status messages ("engine", "dynamic_index", ...).
+  /// `clock` (microseconds, monotonic) is injectable for deterministic
+  /// breaker/ladder tests; empty means the steady clock.
+  AdmissionController(std::string scope, const AdmissionOptions& options,
+                      obs::WindowClock clock = {});
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Decides one arrival. `remaining_budget_us <= 0` means the query has no
+  /// deadline (it can still queue, bounded by default_queue_wait_us). A
+  /// query whose remaining budget is below the expected service time (EWMA
+  /// of completed queries) is shed immediately instead of queued.
+  AdmissionGrant Admit(double remaining_budget_us);
+
+  /// Completes one admitted query: frees the slot, feeds the service-time
+  /// EWMA and the breaker window. `success` is false for deadline/cancel
+  /// truncation or downstream failure — the breaker's failure signal.
+  void Release(double latency_us, bool success);
+
+  /// Exact accounting snapshot (mutex-consistent cut).
+  AdmissionTotals Totals() const;
+
+  /// Current brownout level the ladder would apply (0..2).
+  size_t BrownoutLevel() const;
+
+  /// Breaker state for observability: "closed", "open" or "half_open".
+  std::string BreakerState() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  enum class Breaker { kClosed, kOpen, kHalfOpen };
+
+  uint64_t NowUs() const;
+  /// Rotates breaker windows / expiries to `now_us`; called under mu_.
+  void AdvanceBreakerLocked(uint64_t now_us);
+  /// Level for the current pressure EWMA; called under mu_.
+  size_t BrownoutLevelLocked() const;
+  /// Fills the grant's degradation fields for `level`.
+  void ApplyBrownout(size_t level, AdmissionGrant* grant);
+  void RecordGaugesLocked();
+
+  const std::string scope_;
+  const AdmissionOptions options_;
+  const obs::WindowClock clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t inflight_ = 0;
+  size_t waiting_ = 0;
+  AdmissionTotals totals_;
+  /// EWMA of completed-query latency, microseconds; 0 until the first
+  /// completion (no feasibility shedding before any signal exists).
+  double service_ewma_us_ = 0.0;
+  /// EWMA of queue occupancy (waiting / max_queue), the ladder's input.
+  double pressure_ewma_ = 0.0;
+
+  // Breaker bookkeeping: completions/failures accumulate into private
+  // (unregistered) counters so obs::RollingCounterWindow measures the
+  // windowed rate; both windows are rebuilt on re-close so a recovered
+  // breaker does not instantly re-trip on pre-trip failures. All accessed
+  // under mu_ (the windows are not thread-safe by contract).
+  Breaker breaker_ = Breaker::kClosed;
+  uint64_t breaker_open_until_us_ = 0;
+  size_t half_open_granted_ = 0;   ///< Probes issued this HalfOpen episode.
+  size_t half_open_pending_ = 0;   ///< Probes admitted but not yet released.
+  bool half_open_failed_ = false;
+  obs::Counter completions_{"admission.internal.completions"};
+  obs::Counter failures_{"admission.internal.failures"};
+  std::optional<obs::RollingCounterWindow> completions_window_;
+  std::optional<obs::RollingCounterWindow> failures_window_;
+
+  // Registry metrics (process lifetime, resolved once; recording is gated
+  // on MetricsRegistry::Enabled() like every other instrumented path).
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_queued_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_breaker_open_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_brownout_level_ = nullptr;
+};
+
+/// Deterministic retry discipline shared by the dynamic engine's insert/
+/// refit path and exposed for callers: capped exponential backoff with
+/// SplitMix64 jitter plus a token-bucket retry *budget*, so a storm of
+/// failures cannot amplify itself through retries.
+struct RetryPolicyOptions {
+  /// Total attempts (first try + retries).
+  size_t max_attempts = 3;
+  double base_backoff_us = 100.0;
+  double max_backoff_us = 10000.0;
+  /// SplitMix64 stream for the jitter draws.
+  uint64_t seed = 0x5eedbacc0ffULL;
+  /// Token bucket: capacity and steady refill rate. Each retry (not the
+  /// first attempt) consumes one token; an empty bucket denies the retry.
+  double budget_tokens = 8.0;
+  double tokens_per_second = 2.0;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryPolicyOptions& options = {},
+                       obs::WindowClock clock = {});
+
+  /// The dynamic engine's insert-backoff ladder, shared here so both
+  /// backoff mechanisms are one implementation:
+  /// 0 failures -> 0; else min(cap, base << min(failures - 1, 16)).
+  static size_t CappedExponentialSteps(size_t base, size_t cap,
+                                       size_t consecutive_failures);
+
+  /// Jittered backoff before retry `attempt` (1-based retry index):
+  /// uniform in [0.5, 1.0) x min(max, base * 2^(attempt-1)). Deterministic
+  /// for a fixed seed and draw sequence.
+  double BackoffUs(size_t attempt);
+
+  /// True when a retry may proceed now (consumes a token and counts into
+  /// the global `admission.retries` counter); false when either the
+  /// attempt limit or the token budget is exhausted.
+  bool AcquireRetry(size_t attempt);
+
+  /// Tokens currently in the bucket (test visibility).
+  double TokensAvailable();
+
+  const RetryPolicyOptions& options() const { return options_; }
+
+ private:
+  uint64_t NowUs() const;
+  void RefillLocked(uint64_t now_us);
+
+  const RetryPolicyOptions options_;
+  const obs::WindowClock clock_;
+  std::mutex mu_;
+  double tokens_;
+  uint64_t last_refill_us_ = 0;
+  bool refill_initialized_ = false;
+  uint64_t draws_ = 0;
+  obs::Counter* m_retries_ = nullptr;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_CORE_ADMISSION_H_

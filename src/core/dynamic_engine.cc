@@ -1,7 +1,9 @@
 #include "core/dynamic_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "common/fault.h"
 #include "common/logging.h"
@@ -28,13 +30,15 @@ Result<DynamicReducedIndex> DynamicReducedIndex::Build(
   DynamicReducedIndex index;
   index.options_ = options;
   index.dims_ = dataset.NumAttributes();
-  index.writer_ = std::make_unique<WriterState>();
+  index.writer_ = std::make_unique<WriterState>(options.insert_retry);
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   index.inserts_ = registry.GetCounter("dynamic_index.inserts");
   index.refits_ = registry.GetCounter("dynamic_index.refits");
   index.refit_failures_ = registry.GetCounter("dynamic_index.refit_failures");
   index.drift_gauge_ = registry.GetGauge("dynamic_index.drift_ratio");
+  index.insert_backoff_gauge_ =
+      registry.GetGauge("dynamic_index.insert_backoff");
 
   Result<ReductionPipeline> pipeline =
       ReductionPipeline::Fit(dataset, options.reduction);
@@ -74,6 +78,7 @@ Result<DynamicReducedIndex> DynamicReducedIndex::Build(
   serving_options.default_deadline_us = options.query_deadline_us;
   serving_options.cache_budget_bytes = options.cache_budget_bytes;
   serving_options.explain = options.explain;
+  serving_options.admission = options.admission;
   index.serving_ = std::make_unique<ServingCore>(serving_options);
   COHERE_CHECK(index.serving_->Publish(std::move(snapshot)).ok());
   return index;
@@ -125,7 +130,19 @@ Status DynamicReducedIndex::Insert(const Vector& record, int label) {
                                                        next->metric.get());
   next->shards.push_back(std::move(next_shard));
 
-  Status published = serving_->Publish(std::move(next));
+  // A failed publish (e.g. an injected `core.snapshot.publish` fault) keeps
+  // the built successor aside and retries under the RetryPolicy's attempt
+  // and token budgets; a persistent fault still surfaces as an error with
+  // the old snapshot serving untouched.
+  Status published = serving_->Publish(next);
+  for (size_t attempt = 1;
+       !published.ok() && writer_->insert_retry.AcquireRetry(attempt);
+       ++attempt) {
+    const auto pause = std::chrono::microseconds(
+        static_cast<int64_t>(writer_->insert_retry.BackoffUs(attempt)));
+    std::this_thread::sleep_for(pause);
+    published = serving_->Publish(next);
+  }
   if (!published.ok()) {
     // The old snapshot is still serving and the record was not inserted;
     // leave the drift monitor untouched.
@@ -143,6 +160,8 @@ Status DynamicReducedIndex::Insert(const Vector& record, int label) {
   if (obs::MetricsRegistry::Enabled()) {
     inserts_->Increment();
     drift_gauge_->Set(DriftRatioLocked());
+    insert_backoff_gauge_->Set(
+        static_cast<double>(writer_->backoff_remaining_inserts));
   }
   return Status::Ok();
 }
@@ -237,11 +256,16 @@ Status DynamicReducedIndex::Refit() {
 
   auto fail = [&](const Status& status) {
     ++writer_->consecutive_refit_failures;
-    writer_->backoff_remaining_inserts =
-        std::min(kRefitBackoffCapInserts,
-                 kRefitBackoffBaseInserts << std::min<size_t>(
-                     writer_->consecutive_refit_failures - 1, size_t{16}));
-    if (obs::MetricsRegistry::Enabled()) refit_failures_->Increment();
+    // Same ladder as RetryPolicy backoff sequencing: 8, 16, ... capped at
+    // 128 inserts between refit recommendations.
+    writer_->backoff_remaining_inserts = RetryPolicy::CappedExponentialSteps(
+        kRefitBackoffBaseInserts, kRefitBackoffCapInserts,
+        writer_->consecutive_refit_failures);
+    if (obs::MetricsRegistry::Enabled()) {
+      refit_failures_->Increment();
+      insert_backoff_gauge_->Set(
+          static_cast<double>(writer_->backoff_remaining_inserts));
+    }
     COHERE_LOG(Warning) << "DynamicReducedIndex::Refit failed ("
                         << status.ToString()
                         << "); keeping the previous snapshot and backing "
@@ -292,7 +316,10 @@ Status DynamicReducedIndex::Refit() {
   writer_->backoff_remaining_inserts = 0;
   writer_->baseline_error = error_sum / static_cast<double>(n);
   writer_->recent_errors.clear();
-  if (obs::MetricsRegistry::Enabled()) refits_->Increment();
+  if (obs::MetricsRegistry::Enabled()) {
+    refits_->Increment();
+    insert_backoff_gauge_->Set(0.0);
+  }
   return Status::Ok();
 }
 

@@ -39,6 +39,18 @@ struct DynamicEngineOptions {
   /// Capture a per-query EXPLAIN profile for every serial Query (see
   /// ServingCoreOptions::explain). Off by default.
   bool explain = false;
+  /// Overload policy (admission control, load shedding, brownout, circuit
+  /// breaker; see core/admission.h). Disabled by default — the query path
+  /// stays bit-identical to the pre-admission code. With it enabled use
+  /// serving().TryQuery() as the rejectable entry point.
+  AdmissionOptions admission;
+  /// Retry discipline for the insert path's snapshot publish: a publish
+  /// that fails (e.g. an injected `core.snapshot.publish` fault) is retried
+  /// up to `insert_retry.max_attempts` times with jittered backoff, bounded
+  /// by the token-bucket retry budget so a persistent fault cannot amplify
+  /// itself. The same policy's capped-exponential ladder drives the refit
+  /// backoff gate.
+  RetryPolicyOptions insert_retry;
 };
 
 /// A reduced similarity index for *dynamic* data sets (the concern of the
@@ -169,12 +181,17 @@ class DynamicReducedIndex {
   /// guarded by `mu` (readers of the serving snapshot never touch it).
   /// Boxed so the facade stays movable.
   struct WriterState {
+    explicit WriterState(const RetryPolicyOptions& retry_options)
+        : insert_retry(retry_options) {}
     std::mutex mu;
     size_t fitted_records = 0;  // records the current fit used
     double baseline_error = 0.0;
     std::deque<double> recent_errors;
     size_t consecutive_refit_failures = 0;
     size_t backoff_remaining_inserts = 0;
+    /// Bounded publish-retry for Insert (see
+    /// DynamicEngineOptions::insert_retry); used under `mu`.
+    RetryPolicy insert_retry;
   };
 
   double RecentReconstructionErrorLocked() const;
@@ -197,6 +214,9 @@ class DynamicReducedIndex {
   obs::Counter* refits_ = nullptr;
   obs::Counter* refit_failures_ = nullptr;
   obs::Gauge* drift_gauge_ = nullptr;
+  // Inserts remaining in the post-refit-failure gate (satellite of the
+  // overload work: lets the load generator observe refit pressure).
+  obs::Gauge* insert_backoff_gauge_ = nullptr;
 };
 
 }  // namespace cohere

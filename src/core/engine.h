@@ -70,6 +70,12 @@ struct EngineOptions {
   /// ServingCoreOptions::explain); read the latest one via
   /// serving().LastProfile(). Off by default.
   bool explain = false;
+  /// Overload policy: admission control, load shedding, brownout, circuit
+  /// breaker (see core/admission.h). Disabled by default — the query path
+  /// stays bit-identical to the pre-admission code. With it enabled, use
+  /// serving().TryQuery() for the Status-returning (rejectable) entry
+  /// point; the plain Query() overloads bypass admission.
+  AdmissionOptions admission;
 };
 
 /// The library's top-level facade: fits a coherence-driven dimensionality

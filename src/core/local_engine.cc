@@ -122,6 +122,7 @@ Result<LocalReducedSearchEngine> LocalReducedSearchEngine::Build(
   serving_options.rerank_multi_probe = true;
   serving_options.cache_budget_bytes = options.cache_budget_bytes;
   serving_options.explain = options.explain;
+  serving_options.admission = options.admission;
   engine.serving_ = std::make_unique<ServingCore>(serving_options);
   COHERE_CHECK(engine.serving_->Publish(std::move(*snapshot)).ok());
 

@@ -45,6 +45,12 @@ struct LocalEngineOptions {
   /// Capture a per-query EXPLAIN profile for every serial Query (see
   /// ServingCoreOptions::explain). Off by default.
   bool explain = false;
+  /// Overload policy (admission control, load shedding, brownout, circuit
+  /// breaker; see core/admission.h). Disabled by default — the query path
+  /// stays bit-identical to the pre-admission code. With it enabled use
+  /// serving().TryQuery() as the rejectable entry point; under brownout the
+  /// controller caps effective probes before shedding.
+  AdmissionOptions admission;
 };
 
 /// The Section 3.1 extension the paper sketches: when the *global* implicit

@@ -68,6 +68,10 @@ ServingCore::ServingCore(ServingCoreOptions options)
     cache_ = cache::CacheManager::Global().CreateCache(
         options_.scope, options_.cache_budget_bytes);
   }
+  if (options_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(options_.scope,
+                                                       options_.admission);
+  }
 }
 
 cache::CacheKey ServingCore::MakeCacheKey(uint64_t snapshot_version,
@@ -126,19 +130,63 @@ bool ServingCore::LastProfile(obs::QueryProfile* out) const {
   return true;
 }
 
+Status ServingCore::TryQuery(const Vector& original_space_query, size_t k,
+                             size_t skip_index, QueryStats* stats,
+                             const QueryLimits& limits,
+                             std::vector<Neighbor>* out) const {
+  COHERE_CHECK(out != nullptr);
+  if (admission_ == nullptr) {
+    *out = Query(original_space_query, k, skip_index, stats, limits);
+    return Status::Ok();
+  }
+  // Resolve the budget exactly as the deadline machinery will, so the
+  // feasibility gate and the eventual QueryControl agree on it.
+  const double budget_us = static_cast<double>(
+      QueryControl::DeadlineMicros(limits.deadline_us));
+  Stopwatch arrival_watch;  // covers any queue wait
+  const AdmissionGrant grant = admission_->Admit(budget_us);
+  if (!grant.admitted) return grant.status;
+  // The queue wait ate into the caller's budget: the query runs with what
+  // is left, so an admitted query still completes within the deadline the
+  // caller configured (measured from arrival).
+  QueryLimits adjusted = limits;
+  if (budget_us > 0.0) {
+    adjusted.deadline_us =
+        std::max(1.0, budget_us - arrival_watch.ElapsedMicros());
+  }
+  BrownoutPlan plan;
+  plan.level = grant.brownout_level;
+  plan.probe_limit = grant.probe_limit;
+  plan.rerank_cap = grant.rerank_cap;
+  Stopwatch service_watch;
+  QueryStats local;
+  *out = QueryServe(original_space_query, k, skip_index, &local, adjusted,
+                    /*profile=*/nullptr, plan.level > 0 ? &plan : nullptr);
+  // Deadline/cancel truncation is the failure signal the breaker watches;
+  // the EWMA only learns service time, not queue time.
+  admission_->Release(service_watch.ElapsedMicros(),
+                      /*success=*/!local.truncated);
+  if (stats != nullptr) stats->MergeFrom(local);
+  return Status::Ok();
+}
+
 std::vector<Neighbor> ServingCore::QueryServe(
     const Vector& original_space_query, size_t k, size_t skip_index,
     QueryStats* stats, const QueryLimits& limits,
-    obs::QueryProfile* profile) const {
+    obs::QueryProfile* profile, const BrownoutPlan* plan) const {
   const std::shared_ptr<const EngineSnapshot> snapshot = handle_.Acquire();
   COHERE_CHECK(snapshot != nullptr);
   // Cacheable: cache enabled, no row exclusion (skip changes the answer but
-  // is not part of the key), and the token is not already cancelled (an
+  // is not part of the key), the token is not already cancelled (an
   // aborted caller gets the usual truncated answer, never a cached full
-  // one). A cache hit trivially respects any deadline — it does no work.
+  // one), and the query is not brownout-degraded (a degraded answer must
+  // never be served later as the full-fidelity one, and a degraded lookup
+  // key would alias the full-probe entry). A cache hit trivially respects
+  // any deadline — it does no work.
   const bool cacheable =
       cache_ != nullptr && skip_index == KnnIndex::kNoSkip &&
-      (limits.cancel == nullptr || !limits.cancel->Cancelled());
+      (limits.cancel == nullptr || !limits.cancel->Cancelled()) &&
+      (plan == nullptr || plan->level == 0);
   cache::CacheKey key;
   if (cacheable) {
     key = MakeCacheKey(snapshot->version, MetricHashOf(*snapshot),
@@ -149,6 +197,21 @@ std::vector<Neighbor> ServingCore::QueryServe(
   if (profile == nullptr && !instrumented && !obs::Tracer::Enabled() &&
       !logging) {
     if (!cacheable) {
+      if (plan != nullptr) {
+        // Degraded queries record their brownout level even on the bare
+        // path; the level rides through a local so a null caller stats
+        // still works.
+        QueryStats local;
+        std::vector<Neighbor> out = QueryOnSnapshot(
+            *snapshot, original_space_query, k, skip_index, &local, limits,
+            /*traced=*/false, /*cache_key=*/nullptr, /*profile=*/nullptr,
+            plan);
+        if (plan->level > local.brownout_level) {
+          local.brownout_level = plan->level;
+        }
+        if (stats != nullptr) stats->MergeFrom(local);
+        return out;
+      }
       // Every layer off, cache off: the exact uninstrumented path.
       return QueryOnSnapshot(*snapshot, original_space_query, k, skip_index,
                              stats, limits, /*traced=*/false);
@@ -190,7 +253,10 @@ std::vector<Neighbor> ServingCore::QueryServe(
   if (!cache_hit) {
     out = QueryOnSnapshot(*snapshot, original_space_query, k, skip_index,
                           &local, limits, /*traced=*/true,
-                          cacheable ? &key : nullptr, profile);
+                          cacheable ? &key : nullptr, profile, plan);
+    if (plan != nullptr && plan->level > local.brownout_level) {
+      local.brownout_level = plan->level;
+    }
   }
   const double latency_us = watch.ElapsedMicros();
   if (instrumented) {
@@ -239,6 +305,8 @@ std::vector<Neighbor> ServingCore::QueryServe(
     profile->cacheable = cacheable;
     profile->cache_hit = cache_hit;
     profile->truncated = local.truncated;
+    profile->brownout_level = local.brownout_level;
+    profile->rerank_dropped = local.rerank_dropped;
     profile->distance_evaluations = local.distance_evaluations;
     profile->nodes_visited = local.nodes_visited;
     profile->candidates_refined = local.candidates_refined;
@@ -257,7 +325,7 @@ std::vector<Neighbor> ServingCore::QueryOnSnapshot(
     const EngineSnapshot& snapshot, const Vector& query, size_t k,
     size_t skip_index, QueryStats* stats, const QueryLimits& limits,
     bool traced, const cache::CacheKey* cache_key,
-    obs::QueryProfile* profile) const {
+    obs::QueryProfile* profile, const BrownoutPlan* plan) const {
   if (SingleShard(snapshot)) {
     const SnapshotShard& shard = snapshot.shards[0];
     // With a cache key, the projection is itself cached under (version,
@@ -321,11 +389,12 @@ std::vector<Neighbor> ServingCore::QueryOnSnapshot(
   const auto [deadline, has_deadline] = AbsoluteDeadline(limits);
   return QueryMultiShard(snapshot, query, k, skip_index, stats, limits.cancel,
                          deadline, has_deadline, traced,
-                         /*allow_parallel=*/true, profile);
+                         /*allow_parallel=*/true, profile, plan);
 }
 
 std::vector<size_t> ServingCore::RouteShards(
-    const EngineSnapshot& snapshot, const Vector& studentized_query) const {
+    const EngineSnapshot& snapshot, const Vector& studentized_query,
+    const BrownoutPlan* plan) const {
   std::vector<std::pair<double, size_t>> scored;
   scored.reserve(snapshot.shards.size());
   for (size_t c = 0; c < snapshot.shards.size(); ++c) {
@@ -342,9 +411,12 @@ std::vector<size_t> ServingCore::RouteShards(
     scored.emplace_back(dist, c);
   }
   std::sort(scored.begin(), scored.end());
+  size_t probe_budget = options_.probe_shards;
+  if (plan != nullptr && plan->probe_limit < probe_budget) {
+    probe_budget = plan->probe_limit;
+  }
   std::vector<size_t> out;
-  for (size_t i = 0; i < std::min(options_.probe_shards, scored.size());
-       ++i) {
+  for (size_t i = 0; i < std::min(probe_budget, scored.size()); ++i) {
     out.push_back(scored[i].second);
   }
   return out;
@@ -354,13 +426,20 @@ std::vector<Neighbor> ServingCore::QueryMultiShard(
     const EngineSnapshot& snapshot, const Vector& query, size_t k,
     size_t skip_index, QueryStats* stats, const CancelToken* cancel,
     std::chrono::steady_clock::time_point deadline, bool has_deadline,
-    bool traced, bool allow_parallel, obs::QueryProfile* profile) const {
+    bool traced, bool allow_parallel, obs::QueryProfile* profile,
+    const BrownoutPlan* plan) const {
   COHERE_CHECK(snapshot.has_studentizer);
   const bool profiling = profile != nullptr;
   Stopwatch route_watch;
   const Vector studentized = snapshot.studentizer.Apply(query);
-  const std::vector<size_t> probes = RouteShards(snapshot, studentized);
+  const std::vector<size_t> probes = RouteShards(snapshot, studentized, plan);
   const bool rerank = options_.rerank_multi_probe && probes.size() > 1;
+  // Brownout level >= 1 caps the candidates each probe may contribute to
+  // the full-space re-rank; everything past the cap is dropped (counted in
+  // rerank_dropped) rather than merged with an incomparable local distance.
+  const size_t rerank_cap = (plan != nullptr && rerank)
+                                ? plan->rerank_cap
+                                : static_cast<size_t>(-1);
   const bool limited = has_deadline || cancel != nullptr;
   if (profiling) {
     obs::QueryPhase phase;
@@ -412,15 +491,24 @@ std::vector<Neighbor> ServingCore::QueryMultiShard(
       found = shard.index->Query(local_query, k, local_skip, local);
     }
     gathered[pi].reserve(found.size());
+    size_t reranked = 0;
     for (const Neighbor& nb : found) {
       const size_t global_row =
           shard.members.empty() ? nb.index : shard.members[nb.index];
       if (rerank) {
+        if (reranked >= rerank_cap) {
+          // Brownout: this candidate's re-rank is sacrificed. `found` is
+          // nearest-first in the shard's local space, so the cap keeps the
+          // locally most promising candidates.
+          ++local->rerank_dropped;
+          continue;
+        }
         // Local distances are not comparable across concept spaces: score
         // merged candidates by the metric in the shared studentized space.
         const double dist = snapshot.metric->Distance(
             studentized, snapshot.studentized_records.Row(global_row));
         ++local->candidates_refined;
+        ++reranked;
         gathered[pi].push_back({global_row, dist});
       } else {
         gathered[pi].push_back({global_row, nb.distance});

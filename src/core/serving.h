@@ -10,11 +10,22 @@
 
 #include "cache/query_cache.h"
 #include "common/status.h"
+#include "core/admission.h"
 #include "core/snapshot.h"
 #include "index/knn.h"
 #include "obs/query_metrics.h"
 
 namespace cohere {
+
+/// Degradation an admitted query runs under (assembled from an
+/// AdmissionGrant). A null plan pointer everywhere below means "no
+/// degradation" and keeps the query path byte-identical to the
+/// admission-free code.
+struct BrownoutPlan {
+  size_t level = 0;
+  size_t probe_limit = static_cast<size_t>(-1);
+  size_t rerank_cap = static_cast<size_t>(-1);
+};
 
 /// Static configuration of one ServingCore (fixed at engine build).
 struct ServingCoreOptions {
@@ -44,6 +55,10 @@ struct ServingCoreOptions {
   /// by default — the disabled path stays bit-identical to the
   /// profile-free code.
   bool explain = false;
+  /// Overload policy (admission control, load shedding, brownout, circuit
+  /// breaker); disabled by default, in which case no controller is built
+  /// and Query/TryQuery behave identically to the pre-admission code.
+  AdmissionOptions admission;
 };
 
 /// The query-path substrate shared by all engine facades: one place that
@@ -115,6 +130,22 @@ class ServingCore {
   /// `options().explain` was set; false when none has been captured yet.
   bool LastProfile(obs::QueryProfile* out) const;
 
+  /// Status-returning serial query behind admission control. With admission
+  /// disabled this delegates to Query() (bit-identical) and always returns
+  /// OK. With it enabled the query first passes the AdmissionController:
+  /// rejected/shed queries return kResourceExhausted without running, and
+  /// admitted queries execute under the granted brownout plan (probe limit,
+  /// re-rank cap) with any queue wait deducted from their deadline budget.
+  /// Degradations are recorded in `stats` (brownout_level/rerank_dropped).
+  Status TryQuery(const Vector& original_space_query, size_t k,
+                  size_t skip_index, QueryStats* stats,
+                  const QueryLimits& limits,
+                  std::vector<Neighbor>* out) const;
+
+  /// The admission controller, or null when `options().admission.enabled`
+  /// is false (tests and the load generator read its exact totals).
+  AdmissionController* admission() const { return admission_.get(); }
+
   /// One query per row, fanned across the shared thread pool; entry i
   /// equals Query(queries.Row(i), k) exactly. The default deadline applies
   /// batch-wide (one absolute expiry shared by every row).
@@ -141,7 +172,8 @@ class ServingCore {
                                    size_t k, size_t skip_index,
                                    QueryStats* stats,
                                    const QueryLimits& limits,
-                                   obs::QueryProfile* profile) const;
+                                   obs::QueryProfile* profile,
+                                   const BrownoutPlan* plan = nullptr) const;
 
   /// Uninstrumented query body; `traced` controls phase-span emission.
   /// `cache_key` (null when the call is not cacheable) lets the single-
@@ -154,7 +186,8 @@ class ServingCore {
                                         const QueryLimits& limits, bool traced,
                                         const cache::CacheKey* cache_key =
                                             nullptr,
-                                        obs::QueryProfile* profile =
+                                        obs::QueryProfile* profile = nullptr,
+                                        const BrownoutPlan* plan =
                                             nullptr) const;
 
   /// Full cache key for one serial query (or batch row) against `snapshot`.
@@ -168,15 +201,22 @@ class ServingCore {
       const EngineSnapshot& snapshot, const Vector& query, size_t k,
       size_t skip_index, QueryStats* stats, const CancelToken* cancel,
       std::chrono::steady_clock::time_point deadline, bool has_deadline,
-      bool traced, bool allow_parallel,
-      obs::QueryProfile* profile = nullptr) const;
+      bool traced, bool allow_parallel, obs::QueryProfile* profile = nullptr,
+      const BrownoutPlan* plan = nullptr) const;
 
-  /// Probed shard ids for a studentized query, nearest first.
+  /// Probed shard ids for a studentized query, nearest first. A brownout
+  /// plan may cap the probe count below the configured probe_shards.
   std::vector<size_t> RouteShards(const EngineSnapshot& snapshot,
-                                  const Vector& studentized_query) const;
+                                  const Vector& studentized_query,
+                                  const BrownoutPlan* plan = nullptr) const;
 
   ServingCoreOptions options_;
   SnapshotHandle handle_;
+
+  // Overload policy; null while options_.admission.enabled is false (every
+  // admission branch gates on that, so the disabled query path stays
+  // byte-identical to the pre-admission code).
+  std::unique_ptr<AdmissionController> admission_;
 
   // Result/projection cache from the process-wide manager; null while
   // cache_budget_bytes == 0 (every cache branch below gates on that, so the

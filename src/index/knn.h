@@ -39,6 +39,13 @@ struct QueryStats {
   /// True when the query stopped early (deadline or cancellation) and the
   /// results are the best found so far rather than the exact answer.
   bool truncated = false;
+  /// Brownout degradation applied by admission control: 0 = full-fidelity,
+  /// 1 = re-rank candidate cap, 2 = probes forced down to one shard. Always
+  /// 0 when admission is disabled (the default).
+  size_t brownout_level = 0;
+  /// Merged re-rank candidates discarded by the brownout cap (work the
+  /// query would have done at full fidelity).
+  size_t rerank_dropped = 0;
 
   /// Accumulates another query's counters (batch paths merge per-thread
   /// stats through this).
@@ -47,6 +54,10 @@ struct QueryStats {
     nodes_visited += other.nodes_visited;
     candidates_refined += other.candidates_refined;
     truncated = truncated || other.truncated;
+    if (other.brownout_level > brownout_level) {
+      brownout_level = other.brownout_level;
+    }
+    rerank_dropped += other.rerank_dropped;
   }
 };
 

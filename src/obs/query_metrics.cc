@@ -90,6 +90,8 @@ std::string QueryProfile::ToJson() const {
          ",\n";
   out += std::string("  \"truncated\": ") + (truncated ? "true" : "false") +
          ",\n";
+  out += "  \"brownout_level\": " + std::to_string(brownout_level) + ",\n";
+  out += "  \"rerank_dropped\": " + std::to_string(rerank_dropped) + ",\n";
   out += "  \"deadline_us\": " + ProfileJsonNumber(deadline_us) + ",\n";
   out += "  \"deadline_headroom_us\": " +
          ProfileJsonNumber(deadline_headroom_us) + ",\n";

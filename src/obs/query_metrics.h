@@ -101,6 +101,12 @@ struct QueryProfile {
   bool cacheable = false;  ///< Eligible for the result cache.
   bool cache_hit = false;
   bool truncated = false;
+  /// Brownout degradation the admission controller applied (0 = none,
+  /// 1 = re-rank cap, 2 = probes forced to one); see core/admission.h.
+  size_t brownout_level = 0;
+  /// Re-rank candidates the brownout cap dropped — what EXPLAIN shows was
+  /// sacrificed to stay within the overload budget.
+  uint64_t rerank_dropped = 0;
   uint64_t distance_evaluations = 0;
   uint64_t nodes_visited = 0;
   uint64_t candidates_refined = 0;

@@ -131,9 +131,43 @@ TEST_F(FaultTest, ArmFromSpecRejectsMalformedEntries) {
   EXPECT_FALSE(ArmFromSpec("test.bad:frequently").ok());  // non-numeric p
   EXPECT_FALSE(ArmFromSpec("test.bad:1.5").ok());         // p out of range
   EXPECT_FALSE(ArmFromSpec("test.bad:-0.1").ok());
+  EXPECT_FALSE(ArmFromSpec("test.bad:0.5xyz").ok());      // trailing garbage
   EXPECT_FALSE(ArmFromSpec("test.bad:0.5:soon").ok());    // non-numeric seed
+  EXPECT_FALSE(ArmFromSpec("test.bad:0.5:12x").ok());     // garbage in seed
   EXPECT_FALSE(ArmFromSpec("test.bad:0.5:1:extra").ok()); // too many fields
+  EXPECT_FALSE(ArmFromSpec("test.bad::").ok());           // empty probability
   EXPECT_FALSE(Point("test.bad")->armed());
+}
+
+TEST_F(FaultTest, ArmFromSpecErrorsNameTheOffendingEntry) {
+  // A rejected spec must say what was wrong in one line — the env-var user
+  // only ever sees this message.
+  const Status bad_p = ArmFromSpec("test.bad:1.5");
+  ASSERT_FALSE(bad_p.ok());
+  EXPECT_NE(bad_p.ToString().find("test.bad:1.5"), std::string::npos);
+  const Status unknown = ArmFromSpec("core.no_such_point:0.5");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.ToString().find("unknown fault point"),
+            std::string::npos);
+  EXPECT_NE(unknown.ToString().find("core.no_such_point"), std::string::npos);
+}
+
+TEST_F(FaultTest, ArmFromSpecRejectsUnknownPointNames) {
+  // A typo'd point name must fail loudly instead of arming a point nothing
+  // will ever draw from (the classic silently-ignored COHERE_FAULT).
+  EXPECT_FALSE(ArmFromSpec("core.no_such_point").ok());
+  EXPECT_FALSE(ArmFromSpec("core.admission.shedd:1.0").ok());  // typo
+  // One bad entry rejects the whole spec; the good point must not be armed.
+  EXPECT_FALSE(ArmFromSpec("core.admission.shed:1.0,core.bogus:0.5").ok());
+  EXPECT_TRUE(Point(kPointAdmissionShed)->armed());  // first entry applied
+  DisarmAll();
+
+  // Catalog names, test.* names, and already-registered dynamic points all
+  // remain armable.
+  EXPECT_TRUE(ArmFromSpec(std::string(kPointAdmissionShed) + ":0.5").ok());
+  EXPECT_TRUE(ArmFromSpec("test.anything_goes:1.0").ok());
+  Point("custom.registered.point");
+  EXPECT_TRUE(ArmFromSpec("custom.registered.point:1.0").ok());
 }
 
 TEST_F(FaultTest, DisarmAllQuiescesEveryPoint) {
@@ -152,7 +186,8 @@ TEST_F(FaultTest, KnownPointsCatalogIsSortedAndComplete) {
   for (const char* expected :
        {kPointSymmetricEigen, kPointJacobiEigen, kPointPowerIteration,
         kPointSvd, kPointLoaderIo, kPointParallelDispatch, kPointReductionFit,
-        kPointDynamicRefit}) {
+        kPointDynamicRefit, kPointSnapshotPublish, kPointCacheInsertPressure,
+        kPointAdmissionShed}) {
     EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
         << "missing " << expected;
   }

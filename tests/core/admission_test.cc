@@ -1,0 +1,449 @@
+// Unit tests for the overload policy: AdmissionController (intake, queue,
+// feasibility shedding, circuit breaker, brownout ladder) and RetryPolicy
+// (deterministic jittered backoff behind a token-bucket retry budget).
+//
+// The ServingAdmission* suites at the bottom run under TSAN via the
+// Serving* filter in scripts/tier1.sh; the hammer asserts the exact
+// accounting invariant `offered == admitted + shed + rejected` after a
+// multi-threaded overload burst.
+#include "core/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/serving.h"
+#include "data/synthetic.h"
+#include "index/knn.h"
+
+namespace cohere {
+namespace {
+
+AdmissionOptions BaseOptions() {
+  AdmissionOptions options;
+  options.enabled = true;
+  options.max_concurrency = 2;
+  options.max_queue = 4;
+  return options;
+}
+
+void ExpectInvariant(const AdmissionTotals& t) {
+  EXPECT_EQ(t.offered, t.admitted + t.shed + t.rejected);
+}
+
+// --- RetryPolicy -----------------------------------------------------------
+
+TEST(RetryPolicyTest, CappedExponentialStepsMatchesLegacyInsertLadder) {
+  // The dynamic engine's historical refit backoff: 8, 16, 32, 64, cap 128.
+  EXPECT_EQ(RetryPolicy::CappedExponentialSteps(8, 128, 0), 0u);
+  EXPECT_EQ(RetryPolicy::CappedExponentialSteps(8, 128, 1), 8u);
+  EXPECT_EQ(RetryPolicy::CappedExponentialSteps(8, 128, 2), 16u);
+  EXPECT_EQ(RetryPolicy::CappedExponentialSteps(8, 128, 3), 32u);
+  EXPECT_EQ(RetryPolicy::CappedExponentialSteps(8, 128, 4), 64u);
+  EXPECT_EQ(RetryPolicy::CappedExponentialSteps(8, 128, 5), 128u);
+  EXPECT_EQ(RetryPolicy::CappedExponentialSteps(8, 128, 6), 128u);
+  EXPECT_EQ(RetryPolicy::CappedExponentialSteps(8, 128, 100), 128u);
+  EXPECT_EQ(RetryPolicy::CappedExponentialSteps(0, 128, 3), 0u);
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicForAFixedSeed) {
+  RetryPolicyOptions options;
+  options.base_backoff_us = 100.0;
+  options.max_backoff_us = 10000.0;
+  options.seed = 42;
+  RetryPolicy a(options);
+  RetryPolicy b(options);
+  options.seed = 43;
+  RetryPolicy c(options);
+  bool any_differs = false;
+  for (size_t attempt = 1; attempt <= 8; ++attempt) {
+    const double step_a = a.BackoffUs(attempt);
+    EXPECT_EQ(step_a, b.BackoffUs(attempt)) << "attempt " << attempt;
+    if (step_a != c.BackoffUs(attempt)) any_differs = true;
+    // Jitter spans [0.5, 1.0) of the capped exponential step.
+    const double raw =
+        std::min(options.max_backoff_us,
+                 options.base_backoff_us * static_cast<double>(1u << (attempt - 1)));
+    EXPECT_GE(step_a, 0.5 * raw) << "attempt " << attempt;
+    EXPECT_LT(step_a, raw) << "attempt " << attempt;
+  }
+  EXPECT_TRUE(any_differs) << "different seed produced an identical stream";
+}
+
+TEST(RetryPolicyTest, TokenBucketBoundsRetriesAndRefillsOverTime) {
+  uint64_t fake_now_us = 0;
+  RetryPolicyOptions options;
+  options.max_attempts = 10;
+  options.budget_tokens = 2.0;
+  options.tokens_per_second = 1.0;
+  RetryPolicy policy(options, [&] { return fake_now_us; });
+
+  EXPECT_FALSE(policy.AcquireRetry(0));    // the first attempt is not a retry
+  EXPECT_FALSE(policy.AcquireRetry(10));   // attempt limit reached
+  EXPECT_TRUE(policy.AcquireRetry(1));
+  EXPECT_TRUE(policy.AcquireRetry(2));
+  EXPECT_FALSE(policy.AcquireRetry(3));    // bucket empty
+  fake_now_us += 1500000;                  // 1.5s at 1 token/s -> 1.5 tokens
+  EXPECT_NEAR(policy.TokensAvailable(), 1.5, 1e-9);
+  EXPECT_TRUE(policy.AcquireRetry(4));
+  EXPECT_FALSE(policy.AcquireRetry(5));    // 0.5 tokens is not a whole token
+}
+
+// --- AdmissionController intake -------------------------------------------
+
+TEST(AdmissionControllerTest, AdmitsUpToConcurrencyAndShedsOnFullQueue) {
+  AdmissionOptions options = BaseOptions();
+  options.max_queue = 0;  // no waiting: the third arrival must shed
+  AdmissionController controller("test", options);
+
+  const AdmissionGrant g1 = controller.Admit(0.0);
+  const AdmissionGrant g2 = controller.Admit(0.0);
+  ASSERT_TRUE(g1.admitted);
+  ASSERT_TRUE(g2.admitted);
+  EXPECT_EQ(g1.brownout_level, 0u);
+  EXPECT_EQ(g1.probe_limit, std::numeric_limits<size_t>::max());
+  EXPECT_EQ(g1.rerank_cap, std::numeric_limits<size_t>::max());
+
+  const AdmissionGrant g3 = controller.Admit(0.0);
+  EXPECT_FALSE(g3.admitted);
+  EXPECT_EQ(g3.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(g3.status.ToString().find("queue full"), std::string::npos);
+
+  controller.Release(50.0, true);
+  controller.Release(50.0, true);
+  const AdmissionTotals totals = controller.Totals();
+  EXPECT_EQ(totals.offered, 3u);
+  EXPECT_EQ(totals.admitted, 2u);
+  EXPECT_EQ(totals.shed, 1u);
+  EXPECT_EQ(totals.rejected, 0u);
+  ExpectInvariant(totals);
+}
+
+TEST(AdmissionControllerTest, ShedsInfeasibleDeadlinesAfterServiceSignal) {
+  AdmissionController controller("test", BaseOptions());
+  // Before any completion there is no service-time signal: even a tiny
+  // budget is admitted rather than guessed at.
+  const AdmissionGrant g1 = controller.Admit(1.0);
+  ASSERT_TRUE(g1.admitted);
+  controller.Release(1000.0, true);  // EWMA seeds at 1000us
+
+  const AdmissionGrant infeasible = controller.Admit(10.0);
+  EXPECT_FALSE(infeasible.admitted);
+  EXPECT_NE(infeasible.status.ToString().find("expected service"),
+            std::string::npos);
+
+  const AdmissionGrant feasible = controller.Admit(50000.0);
+  EXPECT_TRUE(feasible.admitted);
+  controller.Release(900.0, true);
+  ExpectInvariant(controller.Totals());
+}
+
+TEST(AdmissionControllerTest, QueuedArrivalTimesOutAndSheds) {
+  AdmissionOptions options = BaseOptions();
+  options.max_concurrency = 1;
+  AdmissionController controller("test", options);
+  ASSERT_TRUE(controller.Admit(0.0).admitted);  // holds the only slot
+
+  // 2ms of budget, no release coming: the waiter must shed itself.
+  const AdmissionGrant timed_out = controller.Admit(2000.0);
+  EXPECT_FALSE(timed_out.admitted);
+  EXPECT_TRUE(timed_out.queued);
+  EXPECT_NE(timed_out.status.ToString().find("while queued"),
+            std::string::npos);
+
+  controller.Release(10.0, true);
+  const AdmissionTotals totals = controller.Totals();
+  EXPECT_EQ(totals.offered, 2u);
+  EXPECT_EQ(totals.admitted, 1u);
+  EXPECT_EQ(totals.queued, 1u);
+  EXPECT_EQ(totals.shed, 1u);
+  ExpectInvariant(totals);
+}
+
+TEST(AdmissionControllerTest, QueuedArrivalGetsSlotOnRelease) {
+  AdmissionOptions options = BaseOptions();
+  options.max_concurrency = 1;
+  options.default_queue_wait_us = 5e6;  // ample; the release below unblocks
+  AdmissionController controller("test", options);
+  ASSERT_TRUE(controller.Admit(0.0).admitted);
+
+  AdmissionGrant waiter_grant;
+  std::thread waiter([&] { waiter_grant = controller.Admit(0.0); });
+  // Wait until the arrival is actually queued, then free the slot.
+  while (controller.Totals().queued < 1) std::this_thread::yield();
+  controller.Release(10.0, true);
+  waiter.join();
+
+  EXPECT_TRUE(waiter_grant.admitted);
+  EXPECT_TRUE(waiter_grant.queued);
+  controller.Release(10.0, true);
+  const AdmissionTotals totals = controller.Totals();
+  EXPECT_EQ(totals.offered, 2u);
+  EXPECT_EQ(totals.admitted, 2u);
+  EXPECT_EQ(totals.queued, 1u);
+  ExpectInvariant(totals);
+}
+
+// --- circuit breaker -------------------------------------------------------
+
+AdmissionOptions BreakerOptions() {
+  AdmissionOptions options = BaseOptions();
+  options.max_concurrency = 4;
+  options.breaker_min_samples = 4;
+  options.breaker_failure_ratio = 0.5;
+  options.breaker_open_us = 1000.0;
+  options.breaker_half_open_probes = 2;
+  return options;
+}
+
+TEST(AdmissionControllerTest, BreakerTripsHalfOpensAndRecloses) {
+  uint64_t fake_now_us = 0;
+  AdmissionController controller("test", BreakerOptions(),
+                                 [&] { return fake_now_us; });
+  EXPECT_EQ(controller.BreakerState(), "closed");
+
+  // Four straight failures inside the window: 4/4 >= 0.5 trips the breaker.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(controller.Admit(0.0).admitted);
+    controller.Release(10.0, false);
+  }
+  EXPECT_EQ(controller.BreakerState(), "open");
+
+  const AdmissionGrant rejected = controller.Admit(0.0);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected.status.ToString().find("circuit breaker"),
+            std::string::npos);
+
+  // Past the open interval: half-open admits exactly the probe quota.
+  fake_now_us += 2000;
+  const AdmissionGrant probe1 = controller.Admit(0.0);
+  ASSERT_TRUE(probe1.admitted);
+  EXPECT_EQ(controller.BreakerState(), "half_open");
+  const AdmissionGrant probe2 = controller.Admit(0.0);
+  ASSERT_TRUE(probe2.admitted);
+  const AdmissionGrant beyond_quota = controller.Admit(0.0);
+  EXPECT_FALSE(beyond_quota.admitted);
+
+  // Both probes succeeding re-closes with fresh windows: the pre-trip
+  // failures must not instantly re-trip.
+  controller.Release(10.0, true);
+  EXPECT_EQ(controller.BreakerState(), "half_open");
+  controller.Release(10.0, true);
+  EXPECT_EQ(controller.BreakerState(), "closed");
+  EXPECT_TRUE(controller.Admit(0.0).admitted);
+  controller.Release(10.0, true);
+  EXPECT_EQ(controller.BreakerState(), "closed");
+
+  const AdmissionTotals totals = controller.Totals();
+  EXPECT_EQ(totals.breaker_trips, 1u);
+  EXPECT_EQ(totals.rejected, 2u);
+  ExpectInvariant(totals);
+}
+
+TEST(AdmissionControllerTest, FailedHalfOpenProbeReopensTheBreaker) {
+  uint64_t fake_now_us = 0;
+  AdmissionController controller("test", BreakerOptions(),
+                                 [&] { return fake_now_us; });
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(controller.Admit(0.0).admitted);
+    controller.Release(10.0, false);
+  }
+  ASSERT_EQ(controller.BreakerState(), "open");
+
+  fake_now_us += 2000;
+  ASSERT_TRUE(controller.Admit(0.0).admitted);
+  controller.Release(10.0, false);  // probe verdict: still failing
+  EXPECT_EQ(controller.BreakerState(), "open");
+  EXPECT_EQ(controller.Totals().breaker_trips, 2u);
+  ExpectInvariant(controller.Totals());
+}
+
+// --- brownout ladder -------------------------------------------------------
+
+TEST(AdmissionControllerTest, BrownoutEngagesUnderQueuePressureAndDecays) {
+  AdmissionOptions options = BaseOptions();
+  options.max_concurrency = 1;
+  options.max_queue = 1;
+  options.ewma_alpha = 1.0;  // pressure tracks occupancy instantly
+  options.default_queue_wait_us = 5e6;
+  options.brownout_rerank_cap = 4;
+  AdmissionController controller("test", options);
+  ASSERT_TRUE(controller.Admit(0.0).admitted);
+  EXPECT_EQ(controller.BrownoutLevel(), 0u);
+
+  AdmissionGrant waiter_grant;
+  std::thread waiter([&] { waiter_grant = controller.Admit(0.0); });
+  while (controller.Totals().queued < 1) std::this_thread::yield();
+
+  // Queue now full: this arrival sheds, and its pressure sample drives the
+  // ladder to level 2 for whatever is admitted next.
+  const AdmissionGrant shed = controller.Admit(0.0);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(controller.BrownoutLevel(), 2u);
+
+  controller.Release(10.0, true);
+  waiter.join();
+  ASSERT_TRUE(waiter_grant.admitted);
+  EXPECT_EQ(waiter_grant.brownout_level, 2u);
+  EXPECT_EQ(waiter_grant.probe_limit, 1u);
+  EXPECT_EQ(waiter_grant.rerank_cap, 4u);
+  controller.Release(10.0, true);
+
+  // With the queue drained the pressure sample collapses back to zero and
+  // full fidelity returns.
+  const AdmissionGrant recovered = controller.Admit(0.0);
+  ASSERT_TRUE(recovered.admitted);
+  EXPECT_EQ(recovered.brownout_level, 0u);
+  controller.Release(10.0, true);
+
+  const AdmissionTotals totals = controller.Totals();
+  EXPECT_EQ(totals.brownout_queries, 1u);
+  ExpectInvariant(totals);
+}
+
+// --- fault point -----------------------------------------------------------
+
+TEST(AdmissionControllerTest, ArmedShedFaultShedsEveryArrival) {
+  fault::DisarmAll();
+  AdmissionController controller("test", BaseOptions());
+  fault::Arm(fault::kPointAdmissionShed, 1.0);
+  const AdmissionGrant shed = controller.Admit(0.0);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status.ToString().find("injected"), std::string::npos);
+  fault::DisarmAll();
+  const AdmissionGrant ok = controller.Admit(0.0);
+  EXPECT_TRUE(ok.admitted);
+  controller.Release(10.0, true);
+  ExpectInvariant(controller.Totals());
+}
+
+// --- ServingCore::TryQuery -------------------------------------------------
+
+Dataset HammerData() {
+  LatentFactorConfig config;
+  config.num_records = 200;
+  config.num_attributes = 24;
+  config.num_concepts = 4;
+  config.num_classes = 2;
+  config.noise_stddev = 0.5;
+  config.seed = 811;
+  return GenerateLatentFactor(config);
+}
+
+EngineOptions HammerOptions() {
+  EngineOptions options;
+  options.reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  options.reduction.target_dim = 6;
+  return options;
+}
+
+TEST(ServingAdmissionTest, DisabledAdmissionDelegatesToPlainQuery) {
+  Dataset data = HammerData();
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, HammerOptions());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_EQ(engine->serving().admission(), nullptr);
+
+  QueryStats stats;
+  std::vector<Neighbor> via_try;
+  const Status status = engine->serving().TryQuery(
+      data.Record(7), 4, KnnIndex::kNoSkip, &stats, QueryLimits(), &via_try);
+  ASSERT_TRUE(status.ok());
+  const std::vector<Neighbor> via_query = engine->Query(data.Record(7), 4);
+  ASSERT_EQ(via_try.size(), via_query.size());
+  for (size_t i = 0; i < via_try.size(); ++i) {
+    EXPECT_EQ(via_try[i].index, via_query[i].index);
+    EXPECT_EQ(via_try[i].distance, via_query[i].distance);
+  }
+  EXPECT_EQ(stats.brownout_level, 0u);
+}
+
+TEST(ServingAdmissionTest, EnabledAdmissionServesAndAccountsOneQuery) {
+  Dataset data = HammerData();
+  EngineOptions options = HammerOptions();
+  options.admission.enabled = true;
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_NE(engine->serving().admission(), nullptr);
+
+  QueryStats stats;
+  std::vector<Neighbor> neighbors;
+  ASSERT_TRUE(engine->serving()
+                  .TryQuery(data.Record(3), 4, KnnIndex::kNoSkip, &stats,
+                            QueryLimits(), &neighbors)
+                  .ok());
+  EXPECT_EQ(neighbors.size(), 4u);
+  const AdmissionTotals totals = engine->serving().admission()->Totals();
+  EXPECT_EQ(totals.offered, 1u);
+  EXPECT_EQ(totals.admitted, 1u);
+  ExpectInvariant(totals);
+}
+
+// Overload burst against a real engine (runs under TSAN via the Serving*
+// tier-1 filter): the accounting invariant must hold *exactly* across every
+// interleaving of admits, queue waits, sheds and releases, and every
+// thread-observed outcome must reconcile with the controller's books.
+TEST(ServingAdmissionHammerTest, InvariantHoldsExactlyUnderConcurrentOverload) {
+  Dataset data = HammerData();
+  EngineOptions options = HammerOptions();
+  options.admission.enabled = true;
+  options.admission.max_concurrency = 2;
+  options.admission.max_queue = 2;
+  Result<ReducedSearchEngine> engine =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+  const ServingCore& serving = engine->serving();
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 60;
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> resource_exhausted{0};
+  std::atomic<uint64_t> other_errors{0};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        QueryLimits limits;
+        limits.deadline_us = 500;  // tight enough to queue-timeout under load
+        QueryStats stats;
+        std::vector<Neighbor> neighbors;
+        const Vector query =
+            data.Record((i * 13 + t * 7) % data.NumRecords());
+        const Status status = serving.TryQuery(query, 4, KnnIndex::kNoSkip,
+                                               &stats, limits, &neighbors);
+        if (status.ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_LE(neighbors.size(), 4u);
+        } else if (status.code() == StatusCode::kResourceExhausted) {
+          resource_exhausted.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_TRUE(neighbors.empty());
+        } else {
+          other_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_NE(serving.admission(), nullptr);
+  const AdmissionTotals totals = serving.admission()->Totals();
+  EXPECT_EQ(totals.offered, kThreads * kPerThread);
+  EXPECT_EQ(totals.offered, totals.admitted + totals.shed + totals.rejected);
+  EXPECT_EQ(totals.admitted, served.load());
+  EXPECT_EQ(totals.shed + totals.rejected, resource_exhausted.load());
+  EXPECT_EQ(other_errors.load(), 0u);
+}
+
+}  // namespace
+}  // namespace cohere

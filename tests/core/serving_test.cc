@@ -622,5 +622,88 @@ TEST(ServingConcurrencyTest, QueriesRaceLocalRebuilds) {
   EXPECT_EQ(engine.NumClusters(), 3u);
 }
 
+// ---------------------------------------------------------------------------
+// Cancellation racing the batch fan-out (run under TSAN by scripts/tier1.sh):
+// a CancelToken flipped concurrently with a batch must stop every lane
+// promptly, return only well-formed partial rows, and merge the truncation
+// flag into the batch-wide stats.
+// ---------------------------------------------------------------------------
+
+// A (possibly partial) result: bounded by k, sorted finite distances,
+// in-range indices. Unlike ExpectWellFormed, the size may be short — a
+// cancelled lane legitimately returns fewer (or zero) neighbors.
+void ExpectWellFormedPrefix(const std::vector<Neighbor>& neighbors, size_t k,
+                            size_t max_records) {
+  ASSERT_LE(neighbors.size(), k);
+  double previous = -1.0;
+  for (const Neighbor& n : neighbors) {
+    EXPECT_LT(n.index, max_records);
+    EXPECT_TRUE(std::isfinite(n.distance));
+    EXPECT_GE(n.distance, previous);
+    previous = n.distance;
+  }
+}
+
+TEST(ServingCancelRaceTest, PreCancelledBatchTruncatesEveryLaneWithinWindow) {
+  Dataset data = MixedPopulations(471);
+  Result<LocalReducedSearchEngine> engine =
+      LocalReducedSearchEngine::Build(data, LocalOptions(3));
+  ASSERT_TRUE(engine.ok());
+
+  CancelToken cancel;
+  cancel.Cancel();
+  QueryLimits limits;
+  limits.cancel = &cancel;
+  QueryStats stats;
+  const size_t rows = 16;
+  const size_t k = 4;
+  const auto batch =
+      engine->QueryBatch(QueryRows(data, rows, 7), k, &stats, limits);
+  ASSERT_EQ(batch.size(), rows);
+  EXPECT_TRUE(stats.truncated);
+  // Each lane consults the token at its first control check and then every
+  // kCheckInterval evaluations, so no probed shard may run more than one
+  // check window past the cancellation.
+  EXPECT_LE(stats.distance_evaluations,
+            rows * engine->NumClusters() * QueryControl::kCheckInterval);
+  for (const auto& row : batch) {
+    ExpectWellFormedPrefix(row, k, data.NumRecords());
+  }
+}
+
+TEST(ServingCancelRaceTest, ConcurrentCancelRacesBatchFanOutLanes) {
+  Dataset data = MixedPopulations(472);
+  Result<LocalReducedSearchEngine> engine =
+      LocalReducedSearchEngine::Build(data, LocalOptions(3));
+  ASSERT_TRUE(engine.ok());
+  const size_t k = 4;
+  const Matrix queries = QueryRows(data, 24, 5);
+
+  for (size_t round = 0; round < 6; ++round) {
+    CancelToken cancel;
+    QueryLimits limits;
+    limits.cancel = &cancel;
+    QueryStats stats;
+    // The cancel lands at an arbitrary point inside the fan-out; every
+    // interleaving must terminate with well-formed (possibly short) rows.
+    std::thread canceller([&] { cancel.Cancel(); });
+    const auto batch = engine->QueryBatch(queries, k, &stats, limits);
+    canceller.join();
+    ASSERT_EQ(batch.size(), 24u);
+    for (const auto& row : batch) {
+      ExpectWellFormedPrefix(row, k, data.NumRecords());
+    }
+    // Once the token is settled cancelled, a fresh batch on it observes the
+    // cancellation in every lane and reports it batch-wide exactly once.
+    QueryStats after;
+    const auto cancelled_batch =
+        engine->QueryBatch(queries, k, &after, limits);
+    ASSERT_EQ(cancelled_batch.size(), 24u);
+    EXPECT_TRUE(after.truncated);
+    EXPECT_LE(after.distance_evaluations,
+              24u * engine->NumClusters() * QueryControl::kCheckInterval);
+  }
+}
+
 }  // namespace
 }  // namespace cohere

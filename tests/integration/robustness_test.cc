@@ -509,6 +509,50 @@ TEST_F(FaultMatrixTest, CacheInsertPressureDegradesToColdNotWrong) {
   EXPECT_GT(cached->serving().result_cache()->Stats().hits, 0u);
 }
 
+TEST_F(FaultMatrixTest, AdmissionShedFaultShedsCleanlyAndOnlyWhenEnabled) {
+  // The documented outcome of core.admission.shed: with admission enabled,
+  // every arrival is shed with a clean ResourceExhausted (degrade, never
+  // crash); with admission disabled the armed point is never consulted.
+  Dataset data = IonosphereLike(1408);
+  EngineOptions options;
+  options.reduction.target_dim = 8;
+  options.backend = IndexBackend::kLinearScan;
+  options.admission.enabled = true;
+  Result<ReducedSearchEngine> admitted =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  options.admission.enabled = false;
+  Result<ReducedSearchEngine> plain =
+      ReducedSearchEngine::Build(data, options);
+  ASSERT_TRUE(plain.ok());
+
+  fault::Arm(fault::kPointAdmissionShed, 1.0);
+  QueryStats stats;
+  std::vector<Neighbor> neighbors;
+  const Status shed = admitted->serving().TryQuery(
+      data.Record(4), 4, KnnIndex::kNoSkip, &stats, QueryLimits(),
+      &neighbors);
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted) << shed.ToString();
+  EXPECT_TRUE(neighbors.empty());
+  EXPECT_GT(fault::Point(fault::kPointAdmissionShed)->triggers(), 0u);
+  ASSERT_TRUE(plain->serving()
+                  .TryQuery(data.Record(4), 4, KnnIndex::kNoSkip, &stats,
+                            QueryLimits(), &neighbors)
+                  .ok());
+  EXPECT_EQ(neighbors.size(), 4u);
+
+  // Recovery once the fault clears, with the shed fully accounted.
+  fault::DisarmAll();
+  ASSERT_TRUE(admitted->serving()
+                  .TryQuery(data.Record(4), 4, KnnIndex::kNoSkip, &stats,
+                            QueryLimits(), &neighbors)
+                  .ok());
+  EXPECT_EQ(neighbors.size(), 4u);
+  const AdmissionTotals totals = admitted->serving().admission()->Totals();
+  EXPECT_EQ(totals.offered, totals.admitted + totals.shed + totals.rejected);
+  EXPECT_GE(totals.shed, 1u);
+}
+
 // When scripts/tier1.sh runs this binary under COHERE_FAULT, the env spec
 // must actually have armed the named points before main() — that is the
 // whole point of the sweep. Skipped in ordinary runs.

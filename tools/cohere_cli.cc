@@ -61,6 +61,9 @@ Args ParseArgs(int argc, char** argv, int first) {
     } else if (arg == "--explain") {
       // Boolean flag: must not consume the next token as a value.
       args.flags["explain"] = "";
+    } else if (arg == "--admission") {
+      // Boolean flag (same rule as --explain).
+      args.flags["admission"] = "";
     } else if (arg.rfind("--", 0) == 0) {
       std::string key = arg.substr(2);
       std::string value;
@@ -239,6 +242,7 @@ int QueryCmd(const Dataset& data, const Args& args) {
     cache_budget = static_cast<size_t>(*parsed);
   }
   const bool explain = args.flags.count("explain") != 0;
+  const bool admission = args.flags.count("admission") != 0;
   // Prints the captured EXPLAIN profile, or writes it to --explain-out.
   auto emit_explain = [&](const ServingCore& serving) -> int {
     obs::QueryProfile profile;
@@ -283,12 +287,28 @@ int QueryCmd(const Dataset& data, const Args& args) {
   const size_t query_row = static_cast<size_t>(*row);
   QueryStats stats;
   std::vector<Neighbor> neighbors;
+  // With --admission the query goes through the Status-returning admission
+  // path; a shed/rejected query is a clean nonzero exit, never a crash.
+  auto admitted_query = [&](const ServingCore& serving) -> int {
+    QueryLimits limits;
+    limits.deadline_us = deadline_us;
+    const Status status = serving.TryQuery(data.Record(query_row), k,
+                                           query_row, &stats, limits,
+                                           &neighbors);
+    if (!status.ok()) {
+      std::fprintf(stderr, "query not served: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  };
   if (engine_kind == "local") {
     LocalEngineOptions options;
     options.reduction = reduction;
     options.query_deadline_us = deadline_us;
     options.cache_budget_bytes = cache_budget;
     options.explain = explain;
+    options.admission.enabled = admission;
     if (auto it = args.flags.find("clusters"); it != args.flags.end()) {
       Result<long long> clusters = ParseInt(it->second);
       if (!clusters.ok() || *clusters <= 0) {
@@ -313,7 +333,11 @@ int QueryCmd(const Dataset& data, const Args& args) {
       return 1;
     }
     std::printf("%s", engine->Describe().c_str());
-    neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
+    if (admission) {
+      if (admitted_query(engine->serving()) != 0) return 1;
+    } else {
+      neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
+    }
     print_cache_stats(engine->serving());
     if (explain && emit_explain(engine->serving()) != 0) return 1;
   } else if (engine_kind == "static") {
@@ -322,6 +346,7 @@ int QueryCmd(const Dataset& data, const Args& args) {
     options.query_deadline_us = deadline_us;
     options.cache_budget_bytes = cache_budget;
     options.explain = explain;
+    options.admission.enabled = admission;
     Result<ReducedSearchEngine> engine =
         ReducedSearchEngine::Build(data, options);
     if (!engine.ok()) {
@@ -330,7 +355,11 @@ int QueryCmd(const Dataset& data, const Args& args) {
       return 1;
     }
     std::printf("%s", engine->Describe().c_str());
-    neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
+    if (admission) {
+      if (admitted_query(engine->serving()) != 0) return 1;
+    } else {
+      neighbors = engine->Query(data.Record(query_row), k, query_row, &stats);
+    }
     print_cache_stats(engine->serving());
     if (explain && emit_explain(engine->serving()) != 0) return 1;
   } else {
@@ -400,6 +429,8 @@ int Usage() {
                "to FILE\n"
                "             [--cache-budget B]  result-cache byte budget "
                "for the engine (0 = off)\n"
+               "             [--admission]       serve through admission "
+               "control (a shed query exits nonzero)\n"
                "             [--engine static|local]   serving engine "
                "(default static)\n"
                "             [--clusters N] [--probes P]   local-engine "

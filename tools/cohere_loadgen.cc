@@ -1,0 +1,617 @@
+// cohere_loadgen: closed-loop overload harness for the admission-controlled
+// serving path.
+//
+//   cohere_loadgen [--threads N] [--queries N] [--k K] [--deadline-us D]
+//                  [--max-concurrency M] [--max-queue Q] [--inserts N]
+//                  [--engines static,dynamic,local] [--out FILE]
+//
+// Drives N closed-loop threads of Zipf-keyed queries through
+// ServingCore::TryQuery against each selected engine facade, with the
+// admission controller enabled, and reports goodput / shed rate / tail
+// latency per engine as one `cohere.bench.v1` series (an additive
+// "admission" object carries the overload accounting) so
+// scripts/bench_compare.py can validate and diff the document.
+//
+// Every run self-checks the admission accounting invariant
+//   offered == admitted + shed + rejected
+// against the controller's exact totals and the number of calls the
+// threads actually issued, and exits nonzero on any mismatch — including
+// under `COHERE_FAULT=core.admission.shed:1.0`, where every query sheds
+// but the books must still balance (degrade, never crash).
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/dynamic_engine.h"
+#include "core/engine.h"
+#include "core/local_engine.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+
+namespace cohere {
+namespace {
+
+constexpr const char* kBenchSchema = "cohere.bench.v1";
+
+struct LoadgenConfig {
+  size_t threads = 8;
+  size_t queries_per_thread = 200;
+  size_t k = 4;
+  double deadline_us = 2000.0;
+  size_t max_concurrency = 2;
+  size_t max_queue = 8;
+  /// Concurrent Insert() calls a writer thread issues against the dynamic
+  /// engine while the query threads run (0 disables the writer).
+  size_t inserts = 64;
+  std::vector<std::string> engines = {"static", "dynamic", "local"};
+  std::string out_path = "BENCH_loadgen.json";
+};
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a over the dataset's feature bytes (same recipe as cohere_bench, so
+/// loadgen documents name the same inputs).
+uint64_t DatasetFingerprint(const Dataset& dataset) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, size_t bytes) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const uint64_t rows = dataset.NumRecords();
+  const uint64_t cols = dataset.NumAttributes();
+  mix(&rows, sizeof(rows));
+  mix(&cols, sizeof(cols));
+  mix(dataset.features().data(), rows * cols * sizeof(double));
+  return h;
+}
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// What one engine's overload run produced.
+struct EngineRun {
+  std::string facade;         ///< "static" | "dynamic" | "local"
+  std::string scope;          ///< serving metric scope
+  uint64_t dataset_fingerprint = 0;
+  size_t reduced_dims = 0;
+  double wall_us = 0.0;
+  uint64_t issued = 0;        ///< TryQuery calls the threads made.
+  uint64_t ok = 0;            ///< Admitted, completed, not truncated.
+  uint64_t truncated = 0;     ///< Admitted but deadline/cancel-truncated.
+  uint64_t resource_exhausted = 0;  ///< Shed or breaker-rejected.
+  uint64_t other_errors = 0;
+  uint64_t brownout_queries = 0;   ///< Served at brownout level >= 1.
+  std::vector<double> admitted_latencies_us;  ///< Arrival-to-completion.
+  AdmissionTotals totals;
+  std::string breaker_state;
+  uint64_t inserts_done = 0;
+  uint64_t insert_failures = 0;
+  double insert_backoff_gauge = 0.0;
+  // Serving-scope work deltas over the measured interval.
+  uint64_t distance_evaluations = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t candidates_refined = 0;
+};
+
+struct WorkSnapshot {
+  uint64_t distance_evaluations = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t candidates_refined = 0;
+};
+
+WorkSnapshot TakeWorkSnapshot(const std::string& scope) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  WorkSnapshot snap;
+  snap.distance_evaluations =
+      registry.GetCounter(scope + ".distance_evaluations")->Value();
+  snap.nodes_visited = registry.GetCounter(scope + ".nodes_visited")->Value();
+  snap.candidates_refined =
+      registry.GetCounter(scope + ".candidates_refined")->Value();
+  return snap;
+}
+
+/// Zipf(1)-ranked query rows over a pool of nq/10 distinct records: the
+/// skewed repeated-key workload an overloaded serving tier actually sees.
+std::vector<size_t> ZipfRows(size_t count, size_t pool_limit, uint64_t seed) {
+  const size_t pool = std::max<size_t>(1, std::min(pool_limit, count / 10));
+  std::vector<double> cdf(pool);
+  double total = 0.0;
+  for (size_t r = 0; r < pool; ++r) {
+    total += 1.0 / static_cast<double>(r + 1);
+    cdf[r] = total;
+  }
+  std::vector<size_t> rows(count);
+  uint64_t state = seed;
+  for (size_t i = 0; i < count; ++i) {
+    const double u =
+        static_cast<double>(SplitMix64(&state) >> 11) * 0x1.0p-53 * total;
+    size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (rank >= pool) rank = pool - 1;
+    rows[i] = rank;
+  }
+  return rows;
+}
+
+/// Runs the closed loop against one serving core. Returns false (with a
+/// message on stderr) when the accounting invariant breaks.
+bool RunClosedLoop(const LoadgenConfig& config, const Dataset& dataset,
+                   const ServingCore& serving, DynamicReducedIndex* writer,
+                   EngineRun* run) {
+  struct ThreadResult {
+    uint64_t issued = 0;
+    uint64_t ok = 0;
+    uint64_t truncated = 0;
+    uint64_t resource_exhausted = 0;
+    uint64_t other_errors = 0;
+    uint64_t brownout_queries = 0;
+    std::vector<double> latencies_us;
+  };
+  std::vector<ThreadResult> results(config.threads);
+
+  const WorkSnapshot before = TakeWorkSnapshot(run->scope);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(config.threads);
+  for (size_t t = 0; t < config.threads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadResult& local = results[t];
+      local.latencies_us.reserve(config.queries_per_thread);
+      const std::vector<size_t> rows =
+          ZipfRows(config.queries_per_thread, dataset.NumRecords(),
+                   0x10adULL * (t + 1) + 0x5eedc0de2024ULL);
+      Vector query(dataset.NumAttributes());
+      for (size_t i = 0; i < config.queries_per_thread; ++i) {
+        const Vector record = dataset.Record(rows[i]);
+        std::copy(record.data(), record.data() + record.size(), query.data());
+        QueryLimits limits;
+        limits.deadline_us = config.deadline_us;
+        QueryStats stats;
+        std::vector<Neighbor> neighbors;
+        Stopwatch watch;
+        const Status status = serving.TryQuery(query, config.k,
+                                               KnnIndex::kNoSkip, &stats,
+                                               limits, &neighbors);
+        ++local.issued;
+        if (status.ok()) {
+          local.latencies_us.push_back(watch.ElapsedMicros());
+          if (stats.truncated) {
+            ++local.truncated;
+          } else {
+            ++local.ok;
+          }
+          if (stats.brownout_level > 0) ++local.brownout_queries;
+        } else if (status.code() == StatusCode::kResourceExhausted) {
+          ++local.resource_exhausted;
+        } else {
+          ++local.other_errors;
+        }
+      }
+    });
+  }
+
+  std::thread insert_thread;
+  if (writer != nullptr && config.inserts > 0) {
+    insert_thread = std::thread([&] {
+      uint64_t state = 0x1255e7ULL;
+      Vector record(dataset.NumAttributes());
+      for (size_t i = 0; i < config.inserts; ++i) {
+        for (size_t d = 0; d < record.size(); ++d) {
+          record[d] =
+              static_cast<double>(SplitMix64(&state) >> 11) * 0x1.0p-52 - 2.0;
+        }
+        if (writer->Insert(record).ok()) {
+          ++run->inserts_done;
+        } else {
+          ++run->insert_failures;
+        }
+      }
+    });
+  }
+
+  for (std::thread& thread : threads) thread.join();
+  if (insert_thread.joinable()) insert_thread.join();
+  run->wall_us = wall.ElapsedMicros();
+  const WorkSnapshot after = TakeWorkSnapshot(run->scope);
+  run->distance_evaluations =
+      after.distance_evaluations - before.distance_evaluations;
+  run->nodes_visited = after.nodes_visited - before.nodes_visited;
+  run->candidates_refined =
+      after.candidates_refined - before.candidates_refined;
+
+  for (const ThreadResult& local : results) {
+    run->issued += local.issued;
+    run->ok += local.ok;
+    run->truncated += local.truncated;
+    run->resource_exhausted += local.resource_exhausted;
+    run->other_errors += local.other_errors;
+    run->brownout_queries += local.brownout_queries;
+    run->admitted_latencies_us.insert(run->admitted_latencies_us.end(),
+                                      local.latencies_us.begin(),
+                                      local.latencies_us.end());
+  }
+  std::sort(run->admitted_latencies_us.begin(),
+            run->admitted_latencies_us.end());
+
+  const AdmissionController* admission = serving.admission();
+  if (admission == nullptr) {
+    std::fprintf(stderr, "loadgen: %s has no admission controller\n",
+                 run->facade.c_str());
+    return false;
+  }
+  run->totals = admission->Totals();
+  run->breaker_state = admission->BreakerState();
+
+  // The accounting invariant, checked two ways: the controller's books
+  // balance, and they agree with what the threads actually observed.
+  const AdmissionTotals& totals = run->totals;
+  if (totals.offered != totals.admitted + totals.shed + totals.rejected) {
+    std::fprintf(stderr,
+                 "loadgen: %s accounting broken: offered %" PRIu64
+                 " != admitted %" PRIu64 " + shed %" PRIu64 " + rejected %"
+                 PRIu64 "\n",
+                 run->facade.c_str(), totals.offered, totals.admitted,
+                 totals.shed, totals.rejected);
+    return false;
+  }
+  if (totals.offered != run->issued) {
+    std::fprintf(stderr,
+                 "loadgen: %s offered %" PRIu64 " != issued %" PRIu64 "\n",
+                 run->facade.c_str(), totals.offered, run->issued);
+    return false;
+  }
+  const uint64_t admitted_seen = run->ok + run->truncated;
+  const uint64_t rejected_seen = run->resource_exhausted;
+  if (totals.admitted != admitted_seen ||
+      totals.shed + totals.rejected != rejected_seen ||
+      run->other_errors != 0) {
+    std::fprintf(stderr,
+                 "loadgen: %s outcome mismatch: controller admitted %" PRIu64
+                 "/shed+rejected %" PRIu64 ", threads saw %" PRIu64 "/%"
+                 PRIu64 " (+%" PRIu64 " other errors)\n",
+                 run->facade.c_str(), totals.admitted,
+                 totals.shed + totals.rejected, admitted_seen, rejected_seen,
+                 run->other_errors);
+    return false;
+  }
+  return true;
+}
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void AppendSeriesJson(const LoadgenConfig& config, const EngineRun& run,
+                      std::string* out) {
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016" PRIx64, run.dataset_fingerprint);
+  const std::vector<double>& lat = run.admitted_latencies_us;
+  double mean = 0.0;
+  for (double v : lat) mean += v;
+  if (!lat.empty()) mean /= static_cast<double>(lat.size());
+  const double wall_s = run.wall_us * 1e-6;
+  const double goodput =
+      wall_s > 0.0 ? static_cast<double>(run.ok) / wall_s : 0.0;
+  const double offered_qps =
+      wall_s > 0.0 ? static_cast<double>(run.issued) / wall_s : 0.0;
+  const double shed_rate =
+      run.totals.offered > 0
+          ? static_cast<double>(run.totals.shed + run.totals.rejected) /
+                static_cast<double>(run.totals.offered)
+          : 0.0;
+
+  *out += "    {\n";
+  *out += "      \"name\": \"loadgen.synthetic." + run.facade + ".closed\",\n";
+  *out += "      \"dataset\": \"synthetic\",\n";
+  *out += "      \"dataset_fingerprint\": \"" + std::string(fp) + "\",\n";
+  *out += "      \"engine\": \"" + run.facade + "\",\n";
+  *out += "      \"backend\": \"linear_scan\",\n";
+  *out += "      \"target_dim\": \"d8\",\n";
+  *out += "      \"reduced_dims\": " + std::to_string(run.reduced_dims) +
+          ",\n";
+  *out += "      \"k\": " + std::to_string(config.k) + ",\n";
+  *out += "      \"mode\": \"closed_loop\",\n";
+  // Never regression-gated: shed rate and tail latency under deliberate
+  // overload are machine-load-sensitive by construction.
+  *out += "      \"gate\": false,\n";
+  *out += "      \"queries\": " + std::to_string(run.issued) + ",\n";
+  *out += "      \"wall_us\": " + Num(run.wall_us) + ",\n";
+  *out += "      \"throughput_qps\": " + Num(offered_qps) + ",\n";
+  *out += "      \"latency_us\": {";
+  *out += "\"count\": " + std::to_string(lat.size());
+  *out += ", \"mean\": " + Num(mean);
+  *out += ", \"p50\": " + Num(Quantile(lat, 0.5));
+  *out += ", \"p95\": " + Num(Quantile(lat, 0.95));
+  *out += ", \"p99\": " + Num(Quantile(lat, 0.99));
+  *out += ", \"max\": " + Num(lat.empty() ? 0.0 : lat.back());
+  *out += "},\n";
+  *out += "      \"work\": {";
+  *out += "\"distance_evaluations\": " +
+          std::to_string(run.distance_evaluations);
+  *out += ", \"nodes_visited\": " + std::to_string(run.nodes_visited);
+  *out += ", \"candidates_refined\": " +
+          std::to_string(run.candidates_refined);
+  *out += "},\n";
+  // Schema-additive overload accounting (bench_compare.py ignores unknown
+  // fields; scripts/tier1.sh asserts the invariant from here).
+  *out += "      \"admission\": {";
+  *out += "\"offered\": " + std::to_string(run.totals.offered);
+  *out += ", \"admitted\": " + std::to_string(run.totals.admitted);
+  *out += ", \"queued\": " + std::to_string(run.totals.queued);
+  *out += ", \"shed\": " + std::to_string(run.totals.shed);
+  *out += ", \"rejected\": " + std::to_string(run.totals.rejected);
+  *out += ", \"breaker_trips\": " + std::to_string(run.totals.breaker_trips);
+  *out += ", \"breaker_state\": \"" + run.breaker_state + "\"";
+  *out += ", \"brownout_queries\": " +
+          std::to_string(run.totals.brownout_queries);
+  *out += ", \"truncated\": " + std::to_string(run.truncated);
+  *out += ", \"goodput_qps\": " + Num(goodput);
+  *out += ", \"shed_rate\": " + Num(shed_rate);
+  *out += ", \"deadline_us\": " + Num(config.deadline_us);
+  *out += ", \"max_concurrency\": " + std::to_string(config.max_concurrency);
+  *out += ", \"threads\": " + std::to_string(config.threads);
+  *out += ", \"inserts\": " + std::to_string(run.inserts_done);
+  *out += ", \"insert_failures\": " + std::to_string(run.insert_failures);
+  *out += ", \"insert_backoff\": " + Num(run.insert_backoff_gauge);
+  *out += "}\n";
+  *out += "    }";
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cohere_loadgen [--threads N] [--queries N] [--k K]\n"
+      "                      [--deadline-us D] [--max-concurrency M]\n"
+      "                      [--max-queue Q] [--inserts N]\n"
+      "                      [--engines static,dynamic,local] [--out FILE]\n"
+      "  --threads          closed-loop query threads (default 8)\n"
+      "  --queries          queries per thread (default 200)\n"
+      "  --k                neighbors per query (default 4)\n"
+      "  --deadline-us      per-query deadline budget (default 2000)\n"
+      "  --max-concurrency  admission concurrency limit (default 2)\n"
+      "  --max-queue        admission wait-queue bound (default 8)\n"
+      "  --inserts          concurrent dynamic-engine inserts (default 64)\n"
+      "  --engines          comma list of facades (default all three)\n"
+      "  --out              output path (default BENCH_loadgen.json)\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  LoadgenConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    auto parse_count = [&](size_t* out, bool allow_zero) {
+      Result<long long> parsed = ParseInt(value());
+      if (!parsed.ok() || *parsed < (allow_zero ? 0 : 1)) {
+        std::fprintf(stderr, "bad %s value\n", arg.c_str());
+        return false;
+      }
+      *out = static_cast<size_t>(*parsed);
+      return true;
+    };
+    if (arg == "--threads") {
+      if (!parse_count(&config.threads, false)) return 2;
+    } else if (arg == "--queries") {
+      if (!parse_count(&config.queries_per_thread, false)) return 2;
+    } else if (arg == "--k") {
+      if (!parse_count(&config.k, false)) return 2;
+    } else if (arg == "--max-concurrency") {
+      if (!parse_count(&config.max_concurrency, false)) return 2;
+    } else if (arg == "--max-queue") {
+      if (!parse_count(&config.max_queue, true)) return 2;
+    } else if (arg == "--inserts") {
+      if (!parse_count(&config.inserts, true)) return 2;
+    } else if (arg == "--deadline-us") {
+      Result<double> parsed = ParseDouble(value());
+      if (!parsed.ok() || !(*parsed > 0.0)) {
+        std::fprintf(stderr, "bad --deadline-us value\n");
+        return 2;
+      }
+      config.deadline_us = *parsed;
+    } else if (arg == "--engines") {
+      config.engines.clear();
+      for (const std::string& part : Split(value(), ',')) {
+        const std::string facade(Trim(part));
+        if (facade != "static" && facade != "dynamic" && facade != "local") {
+          std::fprintf(stderr, "unknown engine '%s'\n", facade.c_str());
+          return 2;
+        }
+        config.engines.push_back(facade);
+      }
+      if (config.engines.empty()) {
+        std::fprintf(stderr, "--engines needs at least one facade\n");
+        return 2;
+      }
+    } else if (arg == "--out") {
+      config.out_path = value();
+      if (config.out_path.empty()) {
+        std::fprintf(stderr, "--out needs a file path\n");
+        return 2;
+      }
+    } else {
+      return Usage();
+    }
+  }
+
+  if (!obs::MetricsRegistry::Enabled()) {
+    std::fprintf(stderr,
+                 "cohere_loadgen needs the metrics registry (unset "
+                 "COHERE_METRICS)\n");
+    return 2;
+  }
+
+  LatentFactorConfig dataset_config;
+  dataset_config.num_records = 320;
+  dataset_config.num_attributes = 48;
+  dataset_config.num_concepts = 6;
+  dataset_config.num_classes = 2;
+  dataset_config.seed = 9001;
+  const Dataset dataset = GenerateLatentFactor(dataset_config);
+  const uint64_t fingerprint = DatasetFingerprint(dataset);
+
+  ReductionOptions reduction;
+  reduction.strategy = SelectionStrategy::kCoherenceOrder;
+  reduction.target_dim = 8;
+  AdmissionOptions admission;
+  admission.enabled = true;
+  admission.max_concurrency = config.max_concurrency;
+  admission.max_queue = config.max_queue;
+
+  std::vector<EngineRun> runs;
+  for (const std::string& facade : config.engines) {
+    EngineRun run;
+    run.facade = facade;
+    run.dataset_fingerprint = fingerprint;
+    bool ok = false;
+    if (facade == "static") {
+      EngineOptions options;
+      options.backend = IndexBackend::kLinearScan;
+      options.reduction = reduction;
+      options.admission = admission;
+      Result<ReducedSearchEngine> engine =
+          ReducedSearchEngine::Build(dataset, options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "static build failed: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+      }
+      run.scope = "engine";
+      run.reduced_dims = engine->ReducedDims();
+      ok = RunClosedLoop(config, dataset, engine->serving(), nullptr, &run);
+    } else if (facade == "dynamic") {
+      DynamicEngineOptions options;
+      options.reduction = reduction;
+      options.admission = admission;
+      Result<DynamicReducedIndex> engine =
+          DynamicReducedIndex::Build(dataset, options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "dynamic build failed: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+      }
+      run.scope = "dynamic_index";
+      run.reduced_dims = engine->pipeline().ReducedDims();
+      ok = RunClosedLoop(config, dataset, engine->serving(), &*engine, &run);
+      run.insert_backoff_gauge =
+          obs::MetricsRegistry::Global()
+              .GetGauge("dynamic_index.insert_backoff")
+              ->Value();
+    } else {
+      LocalEngineOptions options;
+      options.reduction = reduction;
+      options.probe_clusters = 2;
+      options.admission = admission;
+      Result<LocalReducedSearchEngine> engine =
+          LocalReducedSearchEngine::Build(dataset, options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "local build failed: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+      }
+      run.scope = "local_engine";
+      run.reduced_dims = engine->ClusterPipeline(0).ReducedDims();
+      ok = RunClosedLoop(config, dataset, engine->serving(), nullptr, &run);
+    }
+    if (!ok) return 1;
+    const double shed_pct =
+        run.totals.offered > 0
+            ? 100.0 *
+                  static_cast<double>(run.totals.shed + run.totals.rejected) /
+                  static_cast<double>(run.totals.offered)
+            : 0.0;
+    std::fprintf(stderr,
+                 "%-8s offered %6" PRIu64 "  admitted %6" PRIu64
+                 "  shed %5.1f%%  goodput %8.0f q/s  p99 %8.1f us\n",
+                 facade.c_str(), run.totals.offered, run.totals.admitted,
+                 shed_pct,
+                 run.wall_us > 0.0
+                     ? static_cast<double>(run.ok) / (run.wall_us * 1e-6)
+                     : 0.0,
+                 Quantile(run.admitted_latencies_us, 0.99));
+    runs.push_back(std::move(run));
+  }
+
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string(kBenchSchema) + "\",\n";
+  out += "  \"suite\": \"loadgen\",\n";
+  out += "  \"generated_by\": \"cohere_loadgen\",\n";
+  out += "  \"machine\": {";
+  out += "\"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency());
+  out += ", \"pool_threads\": " + std::to_string(ParallelThreadCount());
+  out += ", \"pointer_bits\": " + std::to_string(sizeof(void*) * 8);
+#ifdef NDEBUG
+  out += ", \"assertions\": false";
+#else
+  out += ", \"assertions\": true";
+#endif
+  out += ", \"compiler\": \"" __VERSION__ "\"";
+  out += "},\n";
+  out += "  \"config\": {";
+  out += "\"threads\": " + std::to_string(config.threads);
+  out += ", \"queries_per_thread\": " +
+         std::to_string(config.queries_per_thread);
+  out += ", \"deadline_us\": " + Num(config.deadline_us);
+  out += ", \"max_concurrency\": " + std::to_string(config.max_concurrency);
+  out += ", \"max_queue\": " + std::to_string(config.max_queue);
+  out += "},\n";
+  out += "  \"series\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    AppendSeriesJson(config, runs[i], &out);
+    out += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+
+  FILE* f = std::fopen(config.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != out.size() || !closed) {
+    std::fprintf(stderr, "short write to %s\n", config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu series to %s\n", runs.size(),
+               config.out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace cohere
+
+int main(int argc, char** argv) { return cohere::Main(argc, argv); }
