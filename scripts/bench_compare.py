@@ -207,6 +207,17 @@ def main():
     validate(new_doc, args.files[1])
     if old_doc["suite"] != new_doc["suite"]:
         fail(f"suite mismatch: {old_doc['suite']!r} vs {new_doc['suite']!r}")
+    # Documents measured at different SIMD dispatch tiers are not latency-
+    # comparable: a COHERE_SIMD=scalar run "regressing" against an avx2
+    # baseline (or quietly improving the other way) would gate the wrong
+    # thing. Warn loudly; documents predating the field stay silent.
+    old_simd = old_doc["machine"].get("simd_level")
+    new_simd = new_doc["machine"].get("simd_level")
+    if old_simd != new_simd:
+        print(f"bench_compare: WARNING: SIMD dispatch levels differ "
+              f"(old={old_simd!r}, new={new_simd!r}) — latency deltas "
+              f"reflect the kernel tier, not the code under test",
+              file=sys.stderr)
 
     regressions = compare(old_doc, new_doc, args.threshold, args.all,
                           args.floor_us)

@@ -4,19 +4,20 @@
 #include <limits>
 
 #include "common/check.h"
+#include "simd/kernels.h"
 #include "stats/rng.h"
 
 namespace cohere {
 namespace {
 
+// Shared scalar L2 entry point (src/simd/kernels.h) — the same
+// sum-of-squares loop this file used to carry privately, bit for bit.
 double SquaredDistance(const double* a, const double* b, size_t d) {
-  double sum = 0.0;
-  for (size_t j = 0; j < d; ++j) {
-    const double diff = a[j] - b[j];
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::L2Squared(a, b, d);
 }
+
+// Rows per l2_block kernel call in the scan loops below (stack buffer).
+constexpr size_t kScanSpan = 256;
 
 // k-means++ seeding: first centroid uniform, each next one with probability
 // proportional to the squared distance from the nearest chosen centroid.
@@ -30,13 +31,19 @@ Matrix SeedCentroids(const Matrix& data, size_t k, Rng* rng) {
       rng->UniformInt(0, static_cast<int64_t>(n - 1)));
   std::copy(data.RowPtr(first), data.RowPtr(first) + d, centroids.RowPtr(0));
 
+  const auto& kernels = simd::ActiveKernels();
+  double dist[kScanSpan];
   for (size_t c = 1; c < k; ++c) {
     double total = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double dist =
-          SquaredDistance(data.RowPtr(i), centroids.RowPtr(c - 1), d);
-      nearest_sq[i] = std::min(nearest_sq[i], dist);
-      total += nearest_sq[i];
+    for (size_t base = 0; base < n; base += kScanSpan) {
+      const size_t span = std::min(kScanSpan, n - base);
+      kernels.l2_block(centroids.RowPtr(c - 1), data.RowPtr(base), span, d,
+                       dist);
+      for (size_t r = 0; r < span; ++r) {
+        const size_t i = base + r;
+        nearest_sq[i] = std::min(nearest_sq[i], dist[r]);
+        total += nearest_sq[i];
+      }
     }
     size_t chosen = 0;
     if (total > 0.0) {
@@ -95,19 +102,24 @@ Result<KMeansResult> RunKMeansOnce(const Matrix& data,
   result.assignment.assign(n, 0);
 
   double previous_inertia = std::numeric_limits<double>::infinity();
+  const auto& kernels = simd::ActiveKernels();
+  std::vector<double> dist(k);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
-    // Assignment step.
+    // Assignment step: all k centroid distances per point in one kernel
+    // block call (the centroid matrix is contiguous row-major), then a
+    // first-minimum argmin — the same `<` tie-breaking the per-centroid
+    // scalar loop used.
     double inertia = 0.0;
     for (size_t i = 0; i < n; ++i) {
+      kernels.l2_block(data.RowPtr(i), result.centroids.RowPtr(0), k, d,
+                       dist.data());
       size_t best = 0;
       double best_dist = std::numeric_limits<double>::infinity();
       for (size_t c = 0; c < k; ++c) {
-        const double dist =
-            SquaredDistance(data.RowPtr(i), result.centroids.RowPtr(c), d);
-        if (dist < best_dist) {
-          best_dist = dist;
+        if (dist[c] < best_dist) {
+          best_dist = dist[c];
           best = c;
         }
       }

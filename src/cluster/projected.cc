@@ -115,6 +115,9 @@ void DropEmpty(std::vector<ProjectedCluster>* clusters,
 
 }  // namespace
 
+// Not a point-to-point distance (it projects the centered point onto the
+// cluster's subspace basis first), so it cannot dedupe onto the shared
+// simd::L2Squared entry point the way cluster/kmeans.cc did.
 double ProjectedSquaredDistance(const Vector& point,
                                 const ProjectedCluster& cluster) {
   COHERE_CHECK_EQ(point.size(), cluster.centroid.size());

@@ -61,8 +61,9 @@ Result<DynamicReducedIndex> DynamicReducedIndex::Build(
   }
   SnapshotShard shard;
   shard.pipeline = std::move(*pipeline);
-  shard.index = std::make_unique<LinearScanIndex>(std::move(reduced),
-                                                  snapshot->metric.get());
+  shard.rows = std::make_shared<const BlockedMatrix>(reduced);
+  shard.index =
+      std::make_unique<LinearScanIndex>(shard.rows, snapshot->metric.get());
   snapshot->shards.push_back(std::move(shard));
 
   index.writer_->fitted_records = n;
@@ -102,8 +103,9 @@ Status DynamicReducedIndex::Insert(const Vector& record, int label) {
   std::lock_guard<std::mutex> lock(writer_->mu);
   const std::shared_ptr<const EngineSnapshot> snapshot = serving_->snapshot();
   const SnapshotShard& shard = snapshot->shards[0];
-  const Matrix& old_reduced =
-      static_cast<const LinearScanIndex&>(*shard.index).data();
+  // The shard-owned blocked rows are plain row-major with padding only
+  // after the last row, so rows [0, n) are one contiguous run.
+  const BlockedMatrix& old_reduced = *shard.rows;
   const size_t n = snapshot->labels.size();
   const size_t reduced_dims = old_reduced.cols();
 
@@ -126,8 +128,9 @@ Status DynamicReducedIndex::Insert(const Vector& record, int label) {
             reduced.RowPtr(n));
   SnapshotShard next_shard;
   next_shard.pipeline = shard.pipeline;  // unchanged by inserts
-  next_shard.index = std::make_unique<LinearScanIndex>(std::move(reduced),
-                                                       next->metric.get());
+  next_shard.rows = std::make_shared<const BlockedMatrix>(reduced);
+  next_shard.index =
+      std::make_unique<LinearScanIndex>(next_shard.rows, next->metric.get());
   next->shards.push_back(std::move(next_shard));
 
   // A failed publish (e.g. an injected `core.snapshot.publish` fault) keeps
@@ -298,8 +301,9 @@ Status DynamicReducedIndex::Refit() {
   next->originals = snapshot->originals;
   SnapshotShard next_shard;
   next_shard.pipeline = std::move(*pipeline);
-  next_shard.index = std::make_unique<LinearScanIndex>(std::move(reduced),
-                                                       next->metric.get());
+  next_shard.rows = std::make_shared<const BlockedMatrix>(reduced);
+  next_shard.index =
+      std::make_unique<LinearScanIndex>(next_shard.rows, next->metric.get());
   next->shards.push_back(std::move(next_shard));
 
   double error_sum = 0.0;

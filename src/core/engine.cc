@@ -65,11 +65,14 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
   if (!pipeline.ok()) return pipeline.status();
 
   std::shared_ptr<const Metric> metric =
-      MakeMetric(options.metric, options.metric_p);
-  Matrix reduced = [&] {
+      MakeMetric(options.metric, options.metric_p, options.fast_math);
+  // One blocked copy of the reduced rows, owned by the shard and shared with
+  // whichever backend is built over it.
+  std::shared_ptr<const BlockedMatrix> rows = [&] {
     obs::TraceSpan project("engine.project_dataset");
-    return pipeline->model().ProjectRows(dataset.features(),
-                                         pipeline->components());
+    return std::make_shared<const BlockedMatrix>(
+        pipeline->model().ProjectRows(dataset.features(),
+                                      pipeline->components()));
   }();
 
   // Covers the backend construction (and the trailing publish, which is
@@ -78,15 +81,14 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
   std::unique_ptr<KnnIndex> index;
   switch (options.backend) {
     case IndexBackend::kLinearScan:
-      index = std::make_unique<LinearScanIndex>(std::move(reduced),
-                                                metric.get());
+      index = std::make_unique<LinearScanIndex>(rows, metric.get());
       break;
     case IndexBackend::kKdTree:
       if (!metric->IsTrueMetric()) {
         return Status::InvalidArgument(
             "kd_tree backend requires a true metric; use linear_scan");
       }
-      index = std::make_unique<KdTreeIndex>(std::move(reduced), metric.get(),
+      index = std::make_unique<KdTreeIndex>(rows, metric.get(),
                                             options.kd_leaf_size);
       break;
     case IndexBackend::kVaFile: {
@@ -96,7 +98,7 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
         return Status::InvalidArgument(
             "va_file backend requires an L1/L2/Linf metric");
       }
-      index = std::make_unique<VaFileIndex>(std::move(reduced), metric.get(),
+      index = std::make_unique<VaFileIndex>(rows, metric.get(),
                                             options.va_bits_per_dim);
       break;
     }
@@ -105,7 +107,7 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
         return Status::InvalidArgument(
             "vp_tree backend requires a true metric; use linear_scan");
       }
-      index = std::make_unique<VpTreeIndex>(std::move(reduced), metric.get(),
+      index = std::make_unique<VpTreeIndex>(rows, metric.get(),
                                             options.vp_leaf_size);
       break;
     case IndexBackend::kRStarTree: {
@@ -115,8 +117,7 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
         return Status::InvalidArgument(
             "rstar_tree backend requires an L1/L2/Linf metric");
       }
-      index = std::make_unique<RStarTreeIndex>(std::move(reduced),
-                                               metric.get(),
+      index = std::make_unique<RStarTreeIndex>(rows, metric.get(),
                                                options.rstar_max_entries);
       break;
     }
@@ -126,6 +127,7 @@ Result<ReducedSearchEngine> ReducedSearchEngine::Build(
   snapshot->metric = std::move(metric);
   SnapshotShard shard;
   shard.pipeline = std::move(*pipeline);
+  shard.rows = std::move(rows);
   shard.index = std::move(index);
   snapshot->shards.push_back(std::move(shard));
   if (dataset.HasLabels()) snapshot->labels = dataset.labels();

@@ -33,6 +33,15 @@ struct EngineOptions {
   MetricKind metric = MetricKind::kEuclidean;
   /// p for the fractional metric (ignored otherwise).
   double metric_p = 0.5;
+  /// Opt-in fast-math distance kernels for single-row Metric::Distance /
+  /// ComparableDistance calls (tree traversals, routing): wider striped
+  /// accumulators and FMA where the CPU has them. Faster, but sums in a
+  /// different order than the scalar reference, so results are no longer
+  /// bit-identical to the default mode (they differ by normal floating-point
+  /// reassociation error). Block scans are unaffected — they are bitwise
+  /// exact at every dispatch level. Off by default; ignored by the
+  /// fractional metric (std::pow dominates). See DESIGN.md §13.
+  bool fast_math = false;
   size_t kd_leaf_size = 16;
   size_t va_bits_per_dim = 5;
   size_t vp_leaf_size = 8;

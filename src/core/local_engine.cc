@@ -97,8 +97,9 @@ LocalReducedSearchEngine::BuildSnapshot(const Dataset& dataset,
     shard.pipeline = std::move(*pipeline);
 
     Matrix reduced = shard.pipeline.TransformDataset(member_data).features();
-    shard.index = std::make_unique<LinearScanIndex>(std::move(reduced),
-                                                    snapshot->metric.get());
+    shard.rows = std::make_shared<const BlockedMatrix>(reduced);
+    shard.index =
+        std::make_unique<LinearScanIndex>(shard.rows, snapshot->metric.get());
     snapshot->shards.push_back(std::move(shard));
   }
   return snapshot;

@@ -10,6 +10,7 @@
 #include "data/transforms.h"
 #include "index/knn.h"
 #include "index/metric.h"
+#include "linalg/blocked_matrix.h"
 #include "linalg/matrix.h"
 #include "reduction/pipeline.h"
 
@@ -23,7 +24,11 @@ namespace cohere {
 /// layer uses to pick which shards a query probes.
 struct SnapshotShard {
   ReductionPipeline pipeline;       ///< Fitted on the member records.
-  std::unique_ptr<KnnIndex> index;  ///< Over the reduced member rows.
+  /// The reduced member rows in blocked (64-byte-aligned, zero-padded)
+  /// layout — the shard owns this one copy and the index references it, so
+  /// scan backends hold no private row storage.
+  std::shared_ptr<const BlockedMatrix> rows;
+  std::unique_ptr<KnnIndex> index;  ///< Over `rows`.
   std::vector<size_t> members;      ///< Global row per local row; empty = id.
   Vector centroid;                  ///< Routing centroid (studentized space).
   Matrix cluster_basis;             ///< Routing subspace; empty = full space.

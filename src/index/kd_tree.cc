@@ -8,33 +8,38 @@
 
 namespace cohere {
 
-KdTreeIndex::KdTreeIndex(Matrix data, const Metric* metric, size_t leaf_size)
-    : data_(std::move(data)), metric_(metric), leaf_size_(leaf_size) {
+KdTreeIndex::KdTreeIndex(std::shared_ptr<const BlockedMatrix> rows,
+                         const Metric* metric, size_t leaf_size)
+    : rows_(std::move(rows)), metric_(metric), leaf_size_(leaf_size) {
+  COHERE_CHECK(rows_ != nullptr);
   COHERE_CHECK(metric_ != nullptr);
   COHERE_CHECK_MSG(metric_->IsTrueMetric(),
                    "kd-tree pruning requires a true metric");
   COHERE_CHECK_GE(leaf_size_, 1u);
-  order_.resize(data_.rows());
+  order_.resize(rows_->rows());
   std::iota(order_.begin(), order_.end(), size_t{0});
   if (!order_.empty()) BuildNode(0, order_.size());
 }
 
+KdTreeIndex::KdTreeIndex(Matrix data, const Metric* metric, size_t leaf_size)
+    : KdTreeIndex(std::make_shared<BlockedMatrix>(data), metric, leaf_size) {}
+
 size_t KdTreeIndex::BuildNode(size_t begin, size_t end) {
   const size_t node_index = nodes_.size();
   nodes_.emplace_back();
-  const size_t d = data_.cols();
+  const size_t d = rows_->cols();
 
   // Compute the bounding box of the points in [begin, end).
   Vector lo(d);
   Vector hi(d);
   {
-    const double* first = data_.RowPtr(order_[begin]);
+    const double* first = rows_->RowPtr(order_[begin]);
     for (size_t j = 0; j < d; ++j) {
       lo[j] = first[j];
       hi[j] = first[j];
     }
     for (size_t i = begin + 1; i < end; ++i) {
-      const double* row = data_.RowPtr(order_[i]);
+      const double* row = rows_->RowPtr(order_[i]);
       for (size_t j = 0; j < d; ++j) {
         lo[j] = std::min(lo[j], row[j]);
         hi[j] = std::max(hi[j], row[j]);
@@ -68,7 +73,7 @@ size_t KdTreeIndex::BuildNode(size_t begin, size_t end) {
                    order_.begin() + static_cast<ptrdiff_t>(mid),
                    order_.begin() + static_cast<ptrdiff_t>(end),
                    [this, split_dim](size_t a, size_t b) {
-                     return data_.At(a, split_dim) < data_.At(b, split_dim);
+                     return rows_->At(a, split_dim) < rows_->At(b, split_dim);
                    });
 
   // Children are built after this node; store indices afterwards because
@@ -101,11 +106,11 @@ std::vector<Neighbor> KdTreeIndex::QueryImpl(const Vector& query, size_t k,
                                              size_t skip_index,
                                              QueryStats* stats,
                                              QueryControl* control) const {
-  COHERE_CHECK_EQ(query.size(), data_.cols());
+  COHERE_CHECK_EQ(query.size(), rows_->cols());
   KnnCollector collector(k);
   if (nodes_.empty() || k == 0) return collector.Take();
 
-  Vector scratch(data_.cols());
+  Vector scratch(rows_->cols());
 
   // Best-first traversal on (box min-distance, node).
   using Entry = std::pair<double, size_t>;
@@ -136,7 +141,7 @@ std::vector<Neighbor> KdTreeIndex::QueryImpl(const Vector& query, size_t k,
         const size_t point = order_[i];
         if (point == skip_index) continue;
         const double comparable = metric_->ComparableDistance(
-            query.data(), data_.RowPtr(point), data_.cols());
+            query.data(), rows_->RowPtr(point), rows_->cols());
         ++distance_evaluations;
         collector.Offer(point, comparable);
       }

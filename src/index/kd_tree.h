@@ -1,9 +1,11 @@
 #ifndef COHERE_INDEX_KD_TREE_H_
 #define COHERE_INDEX_KD_TREE_H_
 
+#include <memory>
 #include <vector>
 
 #include "index/knn.h"
+#include "linalg/blocked_matrix.h"
 
 namespace cohere {
 
@@ -22,8 +24,12 @@ namespace cohere {
 /// bench_index_pruning.
 class KdTreeIndex final : public KnnIndex {
  public:
-  /// Indexes the rows of `data` (copied). `metric` must outlive the index.
-  /// `leaf_size` caps the number of points in a leaf node.
+  /// Indexes shard-owned blocked rows (shared, no per-index copy). `metric`
+  /// must outlive the index. `leaf_size` caps the number of points in a leaf
+  /// node.
+  KdTreeIndex(std::shared_ptr<const BlockedMatrix> rows, const Metric* metric,
+              size_t leaf_size = 16);
+  /// Convenience: copies `data` into a privately owned BlockedMatrix.
   KdTreeIndex(Matrix data, const Metric* metric, size_t leaf_size = 16);
 
  protected:
@@ -32,8 +38,8 @@ class KdTreeIndex final : public KnnIndex {
                                   QueryControl* control) const override;
 
  public:
-  size_t size() const override { return data_.rows(); }
-  size_t dims() const override { return data_.cols(); }
+  size_t size() const override { return rows_->rows(); }
+  size_t dims() const override { return rows_->cols(); }
   std::string name() const override { return "kd_tree"; }
 
   /// Number of tree nodes (for structural tests).
@@ -62,7 +68,7 @@ class KdTreeIndex final : public KnnIndex {
   double BoxMinComparable(const Vector& query, const Node& node,
                           Vector* scratch) const;
 
-  Matrix data_;
+  std::shared_ptr<const BlockedMatrix> rows_;
   const Metric* metric_;
   size_t leaf_size_;
   std::vector<size_t> order_;  // permutation of row indices

@@ -4,16 +4,25 @@
 #include <memory>
 
 #include "index/knn.h"
+#include "linalg/blocked_matrix.h"
 
 namespace cohere {
 
 /// Exhaustive-scan k-NN: the exact reference every other engine is checked
 /// against, and — per the paper's motivation — often the only competitive
 /// option in full dimensionality where partition pruning fails.
+///
+/// Scans run block-at-a-time over 64-byte-aligned BlockedMatrix storage
+/// through Metric::ComparableDistanceBlock, which dispatches to the SIMD
+/// kernel tier the CPU supports; results are bitwise identical to the
+/// historical per-row scalar scan at every dispatch level.
 class LinearScanIndex final : public KnnIndex {
  public:
-  /// Indexes the rows of `data`. The matrix is copied; `metric` is shared
-  /// with the caller and must outlive the index.
+  /// Indexes shard-owned blocked rows. `rows` is shared with the snapshot
+  /// shard (no per-index copy); `metric` must outlive the index.
+  LinearScanIndex(std::shared_ptr<const BlockedMatrix> rows,
+                  const Metric* metric);
+  /// Convenience: copies `data` into a privately owned BlockedMatrix.
   LinearScanIndex(Matrix data, const Metric* metric);
 
  protected:
@@ -22,16 +31,30 @@ class LinearScanIndex final : public KnnIndex {
                                   QueryControl* control) const override;
 
  public:
-  size_t size() const override { return data_.rows(); }
-  size_t dims() const override { return data_.cols(); }
+  /// Batch override: fans whole query-blocks to the pool and scans each
+  /// chunk with the multi-query kernel (rows are loaded from cache once per
+  /// chunk rather than once per query). Results are bitwise identical to
+  /// per-query Query(); when metrics or tracing are enabled the base
+  /// per-query instrumented path runs instead so per-query latency
+  /// histograms stay faithful.
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const Matrix& queries, size_t k,
+      QueryStats* stats = nullptr) const override;
+
+  size_t size() const override { return rows_->rows(); }
+  size_t dims() const override { return rows_->cols(); }
   std::string name() const override { return "linear_scan"; }
 
   /// The indexed rows. The dynamic engine's copy-on-write insert path reads
   /// these to extend the reduced matrix without re-projecting every record.
-  const Matrix& data() const { return data_; }
+  const BlockedMatrix& data() const { return *rows_; }
+  /// Shared handle to the indexed rows (successor indexes alias it).
+  const std::shared_ptr<const BlockedMatrix>& shared_data() const {
+    return rows_;
+  }
 
  private:
-  Matrix data_;
+  std::shared_ptr<const BlockedMatrix> rows_;
   const Metric* metric_;
 };
 

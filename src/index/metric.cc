@@ -5,12 +5,14 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "simd/kernels.h"
 
 namespace cohere {
 namespace {
 
 class EuclideanMetric final : public Metric {
  public:
+  explicit EuclideanMetric(bool fast_math) : fast_math_(fast_math) {}
   using Metric::ComparableDistance;
   using Metric::Distance;
   double Distance(const double* a, const double* b, size_t n) const override {
@@ -18,6 +20,7 @@ class EuclideanMetric final : public Metric {
   }
   double ComparableDistance(const double* a, const double* b,
                             size_t n) const override {
+    if (fast_math_) return simd::ActiveKernels().l2_pair_fast(a, b, n);
     double sum = 0.0;
     for (size_t i = 0; i < n; ++i) {
       const double d = a[i] - b[i];
@@ -25,37 +28,81 @@ class EuclideanMetric final : public Metric {
     }
     return sum;
   }
+  void ComparableDistanceBlock(const double* q, const double* rows,
+                               size_t n_rows, size_t n,
+                               double* out) const override {
+    simd::CountKernel(simd::KernelId::kL2Block);
+    simd::ActiveKernels().l2_block(q, rows, n_rows, n, out);
+  }
+  void DistanceBlock(const double* q, const double* rows, size_t n_rows,
+                     size_t n, double* out) const override {
+    ComparableDistanceBlock(q, rows, n_rows, n, out);
+    for (size_t r = 0; r < n_rows; ++r) out[r] = std::sqrt(out[r]);
+  }
   double ComparableToActual(double comparable) const override {
     return std::sqrt(comparable);
   }
   MetricKind kind() const override { return MetricKind::kEuclidean; }
   std::string name() const override { return "euclidean"; }
+
+ private:
+  bool fast_math_;
 };
 
 class ManhattanMetric final : public Metric {
  public:
+  explicit ManhattanMetric(bool fast_math) : fast_math_(fast_math) {}
   using Metric::Distance;
   double Distance(const double* a, const double* b, size_t n) const override {
+    if (fast_math_) return simd::ActiveKernels().l1_pair_fast(a, b, n);
     double sum = 0.0;
     for (size_t i = 0; i < n; ++i) sum += std::fabs(a[i] - b[i]);
     return sum;
   }
+  void ComparableDistanceBlock(const double* q, const double* rows,
+                               size_t n_rows, size_t n,
+                               double* out) const override {
+    simd::CountKernel(simd::KernelId::kL1Block);
+    simd::ActiveKernels().l1_block(q, rows, n_rows, n, out);
+  }
+  void DistanceBlock(const double* q, const double* rows, size_t n_rows,
+                     size_t n, double* out) const override {
+    ComparableDistanceBlock(q, rows, n_rows, n, out);
+  }
   MetricKind kind() const override { return MetricKind::kManhattan; }
   std::string name() const override { return "manhattan"; }
+
+ private:
+  bool fast_math_;
 };
 
 class ChebyshevMetric final : public Metric {
  public:
+  explicit ChebyshevMetric(bool fast_math) : fast_math_(fast_math) {}
   using Metric::Distance;
   double Distance(const double* a, const double* b, size_t n) const override {
+    if (fast_math_) return simd::ActiveKernels().linf_pair_fast(a, b, n);
     double best = 0.0;
     for (size_t i = 0; i < n; ++i) {
       best = std::max(best, std::fabs(a[i] - b[i]));
     }
     return best;
   }
+  void ComparableDistanceBlock(const double* q, const double* rows,
+                               size_t n_rows, size_t n,
+                               double* out) const override {
+    simd::CountKernel(simd::KernelId::kLinfBlock);
+    simd::ActiveKernels().linf_block(q, rows, n_rows, n, out);
+  }
+  void DistanceBlock(const double* q, const double* rows, size_t n_rows,
+                     size_t n, double* out) const override {
+    ComparableDistanceBlock(q, rows, n_rows, n, out);
+  }
   MetricKind kind() const override { return MetricKind::kChebyshev; }
   std::string name() const override { return "chebyshev"; }
+
+ private:
+  bool fast_math_;
 };
 
 class FractionalMetric final : public Metric {
@@ -76,6 +123,21 @@ class FractionalMetric final : public Metric {
     }
     return sum;
   }
+  void ComparableDistanceBlock(const double* q, const double* rows,
+                               size_t n_rows, size_t n,
+                               double* out) const override {
+    // Scalar at every dispatch level (std::pow); still counted so work
+    // attribution stays uniform across metrics.
+    simd::CountKernel(simd::KernelId::kFractionalBlock);
+    simd::ActiveKernels().fractional_block(q, rows, n_rows, n, p_, out);
+  }
+  void DistanceBlock(const double* q, const double* rows, size_t n_rows,
+                     size_t n, double* out) const override {
+    ComparableDistanceBlock(q, rows, n_rows, n, out);
+    for (size_t r = 0; r < n_rows; ++r) {
+      out[r] = std::pow(out[r], 1.0 / p_);
+    }
+  }
   double ComparableToActual(double comparable) const override {
     return std::pow(comparable, 1.0 / p_);
   }
@@ -95,8 +157,10 @@ class FractionalMetric final : public Metric {
 
 class CosineMetric final : public Metric {
  public:
+  explicit CosineMetric(bool fast_math) : fast_math_(fast_math) {}
   using Metric::Distance;
   double Distance(const double* a, const double* b, size_t n) const override {
+    if (fast_math_) return simd::ActiveKernels().cosine_pair_fast(a, b, n);
     double dot = 0.0;
     double na = 0.0;
     double nb = 0.0;
@@ -113,25 +177,38 @@ class CosineMetric final : public Metric {
     const double sim = dot / std::sqrt(na * nb);
     return 1.0 - std::clamp(sim, -1.0, 1.0);
   }
+  void ComparableDistanceBlock(const double* q, const double* rows,
+                               size_t n_rows, size_t n,
+                               double* out) const override {
+    simd::CountKernel(simd::KernelId::kCosineBlock);
+    simd::ActiveKernels().cosine_block(q, rows, n_rows, n, out);
+  }
+  void DistanceBlock(const double* q, const double* rows, size_t n_rows,
+                     size_t n, double* out) const override {
+    ComparableDistanceBlock(q, rows, n_rows, n, out);
+  }
   MetricKind kind() const override { return MetricKind::kCosine; }
   std::string name() const override { return "cosine"; }
   bool IsTrueMetric() const override { return false; }
+
+ private:
+  bool fast_math_;
 };
 
 }  // namespace
 
-std::unique_ptr<Metric> MakeMetric(MetricKind kind, double p) {
+std::unique_ptr<Metric> MakeMetric(MetricKind kind, double p, bool fast_math) {
   switch (kind) {
     case MetricKind::kEuclidean:
-      return std::make_unique<EuclideanMetric>();
+      return std::make_unique<EuclideanMetric>(fast_math);
     case MetricKind::kManhattan:
-      return std::make_unique<ManhattanMetric>();
+      return std::make_unique<ManhattanMetric>(fast_math);
     case MetricKind::kChebyshev:
-      return std::make_unique<ChebyshevMetric>();
+      return std::make_unique<ChebyshevMetric>(fast_math);
     case MetricKind::kFractional:
       return std::make_unique<FractionalMetric>(p);
     case MetricKind::kCosine:
-      return std::make_unique<CosineMetric>();
+      return std::make_unique<CosineMetric>(fast_math);
   }
   COHERE_CHECK_MSG(false, "unknown metric kind");
   return nullptr;

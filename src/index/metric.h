@@ -61,6 +61,29 @@ class Metric {
     return comparable;
   }
 
+  /// Comparable distances from `q` to `n_rows` rows stored contiguously at
+  /// stride `n` (a BlockedMatrix block or any row-major slab): out[r] =
+  /// ComparableDistance(q, rows + r * n, n). The default loop lets any
+  /// backend migrate incrementally; the built-in metrics override it with
+  /// runtime-dispatched SIMD kernels whose results are bitwise identical to
+  /// this loop (see src/simd/kernels.h for the contract).
+  virtual void ComparableDistanceBlock(const double* q, const double* rows,
+                                       size_t n_rows, size_t n,
+                                       double* out) const {
+    for (size_t r = 0; r < n_rows; ++r) {
+      out[r] = ComparableDistance(q, rows + r * n, n);
+    }
+  }
+
+  /// Actual (not comparable-form) distances for a block, same layout rules
+  /// as ComparableDistanceBlock.
+  virtual void DistanceBlock(const double* q, const double* rows,
+                             size_t n_rows, size_t n, double* out) const {
+    for (size_t r = 0; r < n_rows; ++r) {
+      out[r] = Distance(q, rows + r * n, n);
+    }
+  }
+
   virtual MetricKind kind() const = 0;
   virtual std::string name() const = 0;
 
@@ -70,7 +93,15 @@ class Metric {
 
 /// Creates one of the built-in metrics. `p` is only used by kFractional and
 /// must lie in (0, 1).
-std::unique_ptr<Metric> MakeMetric(MetricKind kind, double p = 0.5);
+///
+/// `fast_math` opts single-pair distance evaluations into the vectorized
+/// fast kernels (EngineOptions::fast_math): faster on tree-shaped access
+/// patterns, but the summation order changes, so results may differ from
+/// the default mode in the last ulp and are NOT stable across dispatch
+/// levels. Default mode stays bit-identical everywhere. The fractional
+/// metric ignores the flag (std::pow keeps it scalar).
+std::unique_ptr<Metric> MakeMetric(MetricKind kind, double p = 0.5,
+                                   bool fast_math = false);
 
 }  // namespace cohere
 

@@ -17,20 +17,26 @@ constexpr double kReinsertFraction = 0.3;
 
 }  // namespace
 
-RStarTreeIndex::RStarTreeIndex(Matrix data, const Metric* metric,
-                               size_t max_entries)
-    : data_(std::move(data)), metric_(metric), max_entries_(max_entries) {
+RStarTreeIndex::RStarTreeIndex(std::shared_ptr<const BlockedMatrix> rows,
+                               const Metric* metric, size_t max_entries)
+    : rows_(std::move(rows)), metric_(metric), max_entries_(max_entries) {
+  COHERE_CHECK(rows_ != nullptr);
   COHERE_CHECK(metric_ != nullptr);
   COHERE_CHECK_MSG(metric_->IsTrueMetric(),
                    "R*-tree pruning requires a true metric");
   COHERE_CHECK_GE(max_entries_, 4u);
   min_entries_ = std::max<size_t>(2, max_entries_ * 2 / 5);
 
-  if (data_.rows() == 0) return;
+  if (rows_->rows() == 0) return;
   nodes_.emplace_back();  // root leaf
   root_ = 0;
-  for (size_t i = 0; i < data_.rows(); ++i) Insert(i);
+  for (size_t i = 0; i < rows_->rows(); ++i) Insert(i);
 }
+
+RStarTreeIndex::RStarTreeIndex(Matrix data, const Metric* metric,
+                               size_t max_entries)
+    : RStarTreeIndex(std::make_shared<BlockedMatrix>(data), metric,
+                     max_entries) {}
 
 // --- geometry -------------------------------------------------------------
 
@@ -87,7 +93,7 @@ double RStarTreeIndex::MinComparableDistance(const Vector& query,
 
 RStarTreeIndex::Entry RStarTreeIndex::MakeLeafEntry(size_t row) const {
   Entry e;
-  e.lo = data_.Row(row);
+  e.lo = rows_->Row(row);
   e.hi = e.lo;
   e.row = row;
   return e;
@@ -216,7 +222,7 @@ void RStarTreeIndex::OverflowTreatment(
     // Forced reinsertion: evict the entries whose centers are farthest from
     // the node's MBR center and insert them again at the same level.
     const Entry node_mbr = MakeNodeEntry(node_id);
-    const size_t d = data_.cols();
+    const size_t d = rows_->cols();
     Vector center(d);
     for (size_t j = 0; j < d; ++j) {
       center[j] = 0.5 * (node_mbr.lo[j] + node_mbr.hi[j]);
@@ -267,7 +273,7 @@ void RStarTreeIndex::SplitNode(size_t node_id, std::vector<size_t>* path) {
   // then the distribution on that axis with minimum overlap (ties: area).
   std::vector<Entry> entries = std::move(nodes_[node_id].entries);
   const size_t total = entries.size();
-  const size_t d = data_.cols();
+  const size_t d = rows_->cols();
   COHERE_CHECK_GT(total, max_entries_);
 
   auto mbr_of = [&entries](const std::vector<size_t>& idx, size_t begin,
@@ -402,11 +408,11 @@ std::vector<Neighbor> RStarTreeIndex::QueryImpl(const Vector& query, size_t k,
                                                 size_t skip_index,
                                                 QueryStats* stats,
                                                 QueryControl* control) const {
-  COHERE_CHECK_EQ(query.size(), data_.cols());
+  COHERE_CHECK_EQ(query.size(), rows_->cols());
   KnnCollector collector(k);
   if (root_ == kInvalid || k == 0) return collector.Take();
 
-  Vector scratch(data_.cols());
+  Vector scratch(rows_->cols());
   using Item = std::pair<double, size_t>;  // (mindist, node id)
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
   frontier.emplace(0.0, root_);
@@ -471,15 +477,15 @@ bool RStarTreeIndex::CheckNode(size_t node_id, size_t expected_level,
     if (node.leaf) {
       if (e.row >= row_counts->size()) return false;
       ++(*row_counts)[e.row];
-      for (size_t j = 0; j < data_.cols(); ++j) {
-        if (e.lo[j] != data_.At(e.row, j) || e.hi[j] != data_.At(e.row, j)) {
+      for (size_t j = 0; j < rows_->cols(); ++j) {
+        if (e.lo[j] != rows_->At(e.row, j) || e.hi[j] != rows_->At(e.row, j)) {
           return false;
         }
       }
     } else {
       // Entry MBR must equal the child's true MBR.
       const Entry fresh = MakeNodeEntry(e.child);
-      for (size_t j = 0; j < data_.cols(); ++j) {
+      for (size_t j = 0; j < rows_->cols(); ++j) {
         if (e.lo[j] != fresh.lo[j] || e.hi[j] != fresh.hi[j]) return false;
       }
       if (!CheckNode(e.child, expected_level - 1, row_counts)) return false;
@@ -489,8 +495,8 @@ bool RStarTreeIndex::CheckNode(size_t node_id, size_t expected_level,
 }
 
 bool RStarTreeIndex::CheckInvariants() const {
-  if (data_.rows() == 0) return root_ == kInvalid;
-  std::vector<size_t> row_counts(data_.rows(), 0);
+  if (rows_->rows() == 0) return root_ == kInvalid;
+  std::vector<size_t> row_counts(rows_->rows(), 0);
   if (!CheckNode(root_, nodes_[root_].level, &row_counts)) return false;
   if (nodes_[root_].level + 1 != height_) return false;
   for (size_t count : row_counts) {

@@ -1,9 +1,11 @@
 #ifndef COHERE_INDEX_RSTAR_TREE_H_
 #define COHERE_INDEX_RSTAR_TREE_H_
 
+#include <memory>
 #include <vector>
 
 #include "index/knn.h"
+#include "linalg/blocked_matrix.h"
 
 namespace cohere {
 
@@ -20,10 +22,14 @@ namespace cohere {
 /// the kd-tree and VA-file.
 class RStarTreeIndex final : public KnnIndex {
  public:
-  /// Builds by inserting the rows of `data` (copied) one at a time.
-  /// `metric` must outlive the index and be a true metric with monotone
-  /// per-dimension contributions (L1/L2/Linf). `max_entries` is the node
-  /// capacity M (>= 4); the minimum fill m is 40% of M.
+  /// Builds by inserting the shard-owned blocked rows one at a time (the
+  /// rows are shared, not copied). `metric` must outlive the index and be a
+  /// true metric with monotone per-dimension contributions (L1/L2/Linf).
+  /// `max_entries` is the node capacity M (>= 4); the minimum fill m is 40%
+  /// of M.
+  RStarTreeIndex(std::shared_ptr<const BlockedMatrix> rows,
+                 const Metric* metric, size_t max_entries = 16);
+  /// Convenience: copies `data` into a privately owned BlockedMatrix.
   RStarTreeIndex(Matrix data, const Metric* metric, size_t max_entries = 16);
 
  protected:
@@ -32,8 +38,8 @@ class RStarTreeIndex final : public KnnIndex {
                                   QueryControl* control) const override;
 
  public:
-  size_t size() const override { return data_.rows(); }
-  size_t dims() const override { return data_.cols(); }
+  size_t size() const override { return rows_->rows(); }
+  size_t dims() const override { return rows_->cols(); }
   std::string name() const override { return "rstar_tree"; }
 
   /// Number of allocated tree nodes (structure probes in tests).
@@ -89,7 +95,7 @@ class RStarTreeIndex final : public KnnIndex {
   bool CheckNode(size_t node_id, size_t expected_level,
                  std::vector<size_t>* row_counts) const;
 
-  Matrix data_;
+  std::shared_ptr<const BlockedMatrix> rows_;
   const Metric* metric_;
   size_t max_entries_;
   size_t min_entries_;

@@ -5,12 +5,14 @@
 #include <limits>
 
 #include "common/check.h"
+#include "simd/kernels.h"
 
 namespace cohere {
 
-VaFileIndex::VaFileIndex(Matrix data, const Metric* metric,
-                         size_t bits_per_dim)
-    : data_(std::move(data)), metric_(metric) {
+VaFileIndex::VaFileIndex(std::shared_ptr<const BlockedMatrix> rows,
+                         const Metric* metric, size_t bits_per_dim)
+    : rows_(std::move(rows)), metric_(metric) {
+  COHERE_CHECK(rows_ != nullptr);
   COHERE_CHECK(metric_ != nullptr);
   const MetricKind kind = metric_->kind();
   COHERE_CHECK_MSG(kind == MetricKind::kEuclidean ||
@@ -20,21 +22,21 @@ VaFileIndex::VaFileIndex(Matrix data, const Metric* metric,
   COHERE_CHECK(bits_per_dim >= 1 && bits_per_dim <= 8);
   cells_ = size_t{1} << bits_per_dim;
 
-  const size_t n = data_.rows();
-  const size_t d = data_.cols();
-  boundaries_.resize(d);
+  const size_t n = rows_->rows();
+  const size_t d = rows_->cols();
+  const size_t bstride = cells_ + 1;
+  boundaries_.assign(d * bstride, 0.0);
   codes_.assign(n * d, 0);
 
   std::vector<double> column(n);
   for (size_t j = 0; j < d; ++j) {
-    for (size_t i = 0; i < n; ++i) column[i] = data_.At(i, j);
+    for (size_t i = 0; i < n; ++i) column[i] = rows_->At(i, j);
     std::sort(column.begin(), column.end());
 
     // Equi-frequency boundaries: cell c covers ranks [c*n/cells,
     // (c+1)*n/cells). Duplicated boundaries (constant stretches) are legal —
     // such cells are simply empty.
-    std::vector<double>& b = boundaries_[j];
-    b.resize(cells_ + 1);
+    double* b = boundaries_.data() + j * bstride;
     b[0] = column.empty() ? 0.0 : column.front();
     for (size_t c = 1; c < cells_; ++c) {
       const size_t rank = c * n / cells_;
@@ -45,22 +47,27 @@ VaFileIndex::VaFileIndex(Matrix data, const Metric* metric,
     b[cells_] = top + (std::fabs(top) + 1.0) * 1e-12;
 
     for (size_t i = 0; i < n; ++i) {
-      const double v = data_.At(i, j);
+      const double v = rows_->At(i, j);
       // Last boundary strictly above all values => upper_bound in [1, cells].
       const size_t cell =
-          static_cast<size_t>(std::upper_bound(b.begin() + 1, b.end(), v) -
-                              (b.begin() + 1));
+          static_cast<size_t>(std::upper_bound(b + 1, b + bstride, v) -
+                              (b + 1));
       codes_[i * d + j] = static_cast<uint8_t>(std::min(cell, cells_ - 1));
     }
   }
 }
 
+VaFileIndex::VaFileIndex(Matrix data, const Metric* metric,
+                         size_t bits_per_dim)
+    : VaFileIndex(std::make_shared<BlockedMatrix>(data), metric,
+                  bits_per_dim) {}
+
 std::vector<Neighbor> VaFileIndex::QueryImpl(const Vector& query, size_t k,
                                              size_t skip_index,
                                              QueryStats* stats,
                                              QueryControl* control) const {
-  const size_t n = data_.rows();
-  const size_t d = data_.cols();
+  const size_t n = rows_->rows();
+  const size_t d = rows_->cols();
   COHERE_CHECK_EQ(query.size(), d);
   if (k == 0 || n == 0) return {};
 
@@ -79,45 +86,72 @@ std::vector<Neighbor> VaFileIndex::QueryImpl(const Vector& query, size_t k,
   if (control == nullptr && stats != nullptr) {
     stats->nodes_visited += n - (skip_index < n ? 1 : 0);
   }
-  for (size_t i = 0; i < n; ++i) {
-    if (i == skip_index) continue;
-    if (control != nullptr) {
+  if (control == nullptr) {
+    // Packed bound scan: one kernel pass per span of code rows over the
+    // flattened boundary table, then a sequential offer loop — the same
+    // (lb, ub, index) stream as the scalar loop, bit for bit.
+    const auto& kernels = simd::ActiveKernels();
+    const auto va_bounds = kind == MetricKind::kEuclidean ? kernels.va_bounds_l2
+                           : kind == MetricKind::kManhattan
+                               ? kernels.va_bounds_l1
+                               : kernels.va_bounds_linf;
+    constexpr size_t kSpan = 256;
+    const size_t bstride = cells_ + 1;
+    double lb[kSpan];
+    double ub[kSpan];
+    for (size_t base = 0; base < n; base += kSpan) {
+      const size_t span = std::min(kSpan, n - base);
+      va_bounds(query.data(), codes_.data() + base * d, span, d,
+                boundaries_.data(), bstride, lb, ub);
+      for (size_t r = 0; r < span; ++r) {
+        const size_t i = base + r;
+        if (i == skip_index) continue;
+        upper_bounds.Offer(i, ub[r]);
+        candidates.emplace_back(lb[r], i);
+      }
+    }
+    simd::CountKernel(simd::KernelId::kVaBounds, (n + kSpan - 1) / kSpan);
+  } else {
+    // Deadline/cancel path: per-row bound evaluation preserves the exact
+    // truncation semantics (one control check per approximation).
+    for (size_t i = 0; i < n; ++i) {
+      if (i == skip_index) continue;
       if (control->ShouldStop()) break;
       ++visited;
-    }
-    const uint8_t* code = &codes_[i * d];
-    double lb = 0.0;
-    double ub = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      const double lo = CellLo(j, code[j]);
-      const double hi = CellHi(j, code[j]);
-      const double q = query[j];
-      double lb_j = 0.0;
-      if (q < lo) {
-        lb_j = lo - q;
-      } else if (q > hi) {
-        lb_j = q - hi;
+      const uint8_t* code = &codes_[i * d];
+      double lb = 0.0;
+      double ub = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double lo = CellLo(j, code[j]);
+        const double hi = CellHi(j, code[j]);
+        const double q = query[j];
+        double lb_j = 0.0;
+        if (q < lo) {
+          lb_j = lo - q;
+        } else if (q > hi) {
+          lb_j = q - hi;
+        }
+        const double ub_j = std::max(std::fabs(q - lo), std::fabs(q - hi));
+        switch (kind) {
+          case MetricKind::kEuclidean:
+            lb += lb_j * lb_j;
+            ub += ub_j * ub_j;
+            break;
+          case MetricKind::kManhattan:
+            lb += lb_j;
+            ub += ub_j;
+            break;
+          case MetricKind::kChebyshev:
+            lb = std::max(lb, lb_j);
+            ub = std::max(ub, ub_j);
+            break;
+          default:
+            COHERE_CHECK_MSG(false, "unreachable metric kind");
+        }
       }
-      const double ub_j = std::max(std::fabs(q - lo), std::fabs(q - hi));
-      switch (kind) {
-        case MetricKind::kEuclidean:
-          lb += lb_j * lb_j;
-          ub += ub_j * ub_j;
-          break;
-        case MetricKind::kManhattan:
-          lb += lb_j;
-          ub += ub_j;
-          break;
-        case MetricKind::kChebyshev:
-          lb = std::max(lb, lb_j);
-          ub = std::max(ub, ub_j);
-          break;
-        default:
-          COHERE_CHECK_MSG(false, "unreachable metric kind");
-      }
+      upper_bounds.Offer(i, ub);
+      candidates.emplace_back(lb, i);
     }
-    upper_bounds.Offer(i, ub);
-    candidates.emplace_back(lb, i);
   }
 
   // Points whose lower bound exceeds the k-th smallest upper bound can never
@@ -129,14 +163,16 @@ std::vector<Neighbor> VaFileIndex::QueryImpl(const Vector& query, size_t k,
   std::sort(candidates.begin(), candidates.end());
 
   // Phase 2: refine candidates in ascending lower-bound order; stop as soon
-  // as the next lower bound exceeds the current exact k-th best.
+  // as the next lower bound exceeds the current exact k-th best. Refinement
+  // reads the shard-owned blocked rows (scattered candidates, so per-row
+  // distance evaluation).
   KnnCollector collector(k);
   uint64_t refined = 0;  // register accumulator; published once below
   for (const auto& [lb, i] : candidates) {
     if (collector.Full() && lb > collector.Threshold()) break;
     if (control != nullptr && control->ShouldStop()) break;
     const double comparable =
-        metric_->ComparableDistance(query.data(), data_.RowPtr(i), d);
+        metric_->ComparableDistance(query.data(), rows_->RowPtr(i), d);
     ++refined;
     collector.Offer(i, comparable);
   }

@@ -7,19 +7,24 @@
 
 namespace cohere {
 
-VpTreeIndex::VpTreeIndex(Matrix data, const Metric* metric, size_t leaf_size)
-    : data_(std::move(data)), metric_(metric), leaf_size_(leaf_size) {
+VpTreeIndex::VpTreeIndex(std::shared_ptr<const BlockedMatrix> rows,
+                         const Metric* metric, size_t leaf_size)
+    : rows_(std::move(rows)), metric_(metric), leaf_size_(leaf_size) {
+  COHERE_CHECK(rows_ != nullptr);
   COHERE_CHECK(metric_ != nullptr);
   COHERE_CHECK_MSG(metric_->IsTrueMetric(),
                    "vp-tree pruning requires a true metric");
   COHERE_CHECK_GE(leaf_size_, 1u);
-  order_.resize(data_.rows());
+  order_.resize(rows_->rows());
   for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
   if (!order_.empty()) BuildNode(0, order_.size());
 }
 
+VpTreeIndex::VpTreeIndex(Matrix data, const Metric* metric, size_t leaf_size)
+    : VpTreeIndex(std::make_shared<BlockedMatrix>(data), metric, leaf_size) {}
+
 double VpTreeIndex::RowDistance(const Vector& query, size_t row) const {
-  return metric_->Distance(query.data(), data_.RowPtr(row), data_.cols());
+  return metric_->Distance(query.data(), rows_->RowPtr(row), rows_->cols());
 }
 
 size_t VpTreeIndex::BuildNode(size_t begin, size_t end) {
@@ -36,7 +41,7 @@ size_t VpTreeIndex::BuildNode(size_t begin, size_t end) {
   // Vantage point: the first point of the range (the permutation left by
   // previous splits makes this effectively arbitrary).
   const size_t vantage = order_[begin];
-  const Vector vantage_point = data_.Row(vantage);
+  const Vector vantage_point = rows_->Row(vantage);
 
   // Distances of the remaining points to the vantage point.
   const size_t rest_begin = begin + 1;
@@ -130,7 +135,7 @@ std::vector<Neighbor> VpTreeIndex::QueryImpl(const Vector& query, size_t k,
                                              size_t skip_index,
                                              QueryStats* stats,
                                              QueryControl* control) const {
-  COHERE_CHECK_EQ(query.size(), data_.cols());
+  COHERE_CHECK_EQ(query.size(), rows_->cols());
   KnnCollector collector(k);
   if (!nodes_.empty() && k > 0) {
     Search(0, query, k, skip_index, &collector, stats, control);

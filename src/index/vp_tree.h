@@ -1,9 +1,11 @@
 #ifndef COHERE_INDEX_VP_TREE_H_
 #define COHERE_INDEX_VP_TREE_H_
 
+#include <memory>
 #include <vector>
 
 #include "index/knn.h"
+#include "linalg/blocked_matrix.h"
 
 namespace cohere {
 
@@ -20,8 +22,11 @@ namespace cohere {
 /// dimensionality.
 class VpTreeIndex final : public KnnIndex {
  public:
-  /// Indexes the rows of `data` (copied). `metric` must outlive the index
-  /// and satisfy the triangle inequality.
+  /// Indexes shard-owned blocked rows (shared, no per-index copy). `metric`
+  /// must outlive the index and satisfy the triangle inequality.
+  VpTreeIndex(std::shared_ptr<const BlockedMatrix> rows, const Metric* metric,
+              size_t leaf_size = 8);
+  /// Convenience: copies `data` into a privately owned BlockedMatrix.
   VpTreeIndex(Matrix data, const Metric* metric, size_t leaf_size = 8);
 
  protected:
@@ -30,8 +35,8 @@ class VpTreeIndex final : public KnnIndex {
                                   QueryControl* control) const override;
 
  public:
-  size_t size() const override { return data_.rows(); }
-  size_t dims() const override { return data_.cols(); }
+  size_t size() const override { return rows_->rows(); }
+  size_t dims() const override { return rows_->cols(); }
   std::string name() const override { return "vp_tree"; }
 
   size_t NumNodes() const { return nodes_.size(); }
@@ -57,7 +62,7 @@ class VpTreeIndex final : public KnnIndex {
 
   double RowDistance(const Vector& query, size_t row) const;
 
-  Matrix data_;
+  std::shared_ptr<const BlockedMatrix> rows_;
   const Metric* metric_;
   size_t leaf_size_;
   std::vector<size_t> order_;

@@ -1,0 +1,33 @@
+#include "linalg/blocked_matrix.h"
+
+#include <cstring>
+
+namespace cohere {
+
+BlockedMatrix::BlockedMatrix(const Matrix& m)
+    : rows_(m.rows()), cols_(m.cols()) {
+  const size_t padded =
+      num_blocks() * kRowsPerBlock;
+  data_.assign(padded * cols_, 0.0);
+  if (rows_ * cols_ > 0) {
+    std::memcpy(data_.data(), m.data(), rows_ * cols_ * sizeof(double));
+  }
+}
+
+Vector BlockedMatrix::Row(size_t i) const {
+  COHERE_CHECK_LT(i, rows_);
+  Vector out(cols_);
+  const double* src = RowPtr(i);
+  std::copy(src, src + cols_, out.data());
+  return out;
+}
+
+Matrix BlockedMatrix::ToMatrix() const {
+  Matrix out(rows_, cols_);
+  if (rows_ * cols_ > 0) {
+    std::memcpy(out.data(), data_.data(), rows_ * cols_ * sizeof(double));
+  }
+  return out;
+}
+
+}  // namespace cohere

@@ -1,0 +1,109 @@
+#ifndef COHERE_LINALG_BLOCKED_MATRIX_H_
+#define COHERE_LINALG_BLOCKED_MATRIX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace cohere {
+
+/// Minimal aligned allocator so BlockedMatrix storage can live in a plain
+/// std::vector (keeping value semantics) while guaranteeing the base-pointer
+/// alignment the SIMD scan kernels want.
+template <typename T, size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Contiguous, 64-byte-aligned, block-padded row storage for scan kernels.
+///
+/// Rows keep the plain row-major order of Matrix (`RowPtr(i) == data() +
+/// i * cols()`), but the allocation is rounded up to whole blocks of
+/// kRowsPerBlock rows and the padding rows are zero-filled. A kernel may
+/// therefore always read complete SIMD row-groups from anywhere inside the
+/// padded region without running off the allocation; results computed for
+/// padding lanes are simply discarded by the caller.
+///
+/// A snapshot shard owns one BlockedMatrix (via shared_ptr) and every index
+/// built over that shard references it, so publishing a snapshot no longer
+/// duplicates the reduced dataset once per backend.
+class BlockedMatrix {
+ public:
+  /// Rows per block. 16 rows of 8 doubles span exactly 16 cache lines at
+  /// d = 8; every whole block starts 64-byte aligned whenever cols() is a
+  /// multiple of 8.
+  static constexpr size_t kRowsPerBlock = 16;
+  static constexpr size_t kAlignment = 64;
+
+  BlockedMatrix() = default;
+  /// Copies the rows of `m` into blocked storage.
+  explicit BlockedMatrix(const Matrix& m);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Rows including the zero-filled block padding at the end.
+  size_t padded_rows() const {
+    return cols_ == 0 ? 0 : data_.size() / cols_;
+  }
+  size_t num_blocks() const {
+    return (rows_ + kRowsPerBlock - 1) / kRowsPerBlock;
+  }
+  /// Logical (unpadded) rows in block `b`.
+  size_t BlockRows(size_t b) const {
+    return std::min(kRowsPerBlock, rows_ - b * kRowsPerBlock);
+  }
+
+  const double* data() const { return data_.data(); }
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+  const double* BlockPtr(size_t b) const {
+    return data_.data() + b * kRowsPerBlock * cols_;
+  }
+  /// Unchecked element access (inner-loop use, mirrors Matrix::At).
+  double At(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Copies row `i` into a Vector.
+  Vector Row(size_t i) const;
+  /// Copies the logical (unpadded) rows back into a Matrix — used by
+  /// copy-on-write growth paths that extend a snapshot's dataset.
+  Matrix ToMatrix() const;
+
+  /// Bytes held by the padded allocation.
+  size_t MemoryBytes() const { return data_.size() * sizeof(double); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double, AlignedAllocator<double, kAlignment>> data_;
+};
+
+}  // namespace cohere
+
+#endif  // COHERE_LINALG_BLOCKED_MATRIX_H_

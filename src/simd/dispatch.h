@@ -1,0 +1,40 @@
+#ifndef COHERE_SIMD_DISPATCH_H_
+#define COHERE_SIMD_DISPATCH_H_
+
+#include <string>
+
+namespace cohere {
+namespace simd {
+
+/// Instruction-set tiers the distance kernels are compiled for. Levels are
+/// ordered: a higher level strictly implies the lower ones.
+enum class Level : int {
+  kScalar = 0,  ///< Portable C++ — the semantic oracle.
+  kSse2 = 1,    ///< 128-bit, 2 doubles per lane group.
+  kAvx2 = 2,    ///< 256-bit, 4 doubles per lane group (requires FMA too).
+};
+
+/// "scalar" | "sse2" | "avx2".
+const char* LevelName(Level level);
+
+/// Parses a level name (case-sensitive, as documented for COHERE_SIMD).
+/// Returns false on unknown input, leaving `out` untouched.
+bool ParseLevel(const std::string& text, Level* out);
+
+/// Best level this CPU supports, probed once (cpuid) on first use.
+Level DetectedLevel();
+
+/// The level kernels actually dispatch to: DetectedLevel() clamped by the
+/// COHERE_SIMD environment override, resolved once on first use. Mirrored
+/// into the `simd.dispatch_level` gauge.
+Level ActiveLevel();
+
+/// Overrides the active level for tests and benchmarks. Requests above
+/// DetectedLevel() clamp down; returns the level actually installed. Also
+/// updates the `simd.dispatch_level` gauge.
+Level SetActiveLevelForTest(Level level);
+
+}  // namespace simd
+}  // namespace cohere
+
+#endif  // COHERE_SIMD_DISPATCH_H_

@@ -1,0 +1,22 @@
+#ifndef COHERE_SIMD_KERNEL_TABLES_H_
+#define COHERE_SIMD_KERNEL_TABLES_H_
+
+#include "simd/kernels.h"
+
+// Per-level kernel tables, one translation unit each (the SSE2/AVX2 files
+// are compiled with the matching -m flags; on non-x86 targets they alias
+// the scalar table and DetectedLevel() never reports them).
+
+namespace cohere {
+namespace simd {
+namespace internal {
+
+const KernelTable& ScalarKernels();
+const KernelTable& Sse2Kernels();
+const KernelTable& Avx2Kernels();
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace cohere
+
+#endif  // COHERE_SIMD_KERNEL_TABLES_H_

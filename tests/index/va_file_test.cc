@@ -44,7 +44,9 @@ TEST(VaFileTest, ApproximationBytesIsCompact) {
   Matrix data(100, 8);
   auto metric = MakeMetric(MetricKind::kEuclidean);
   VaFileIndex va(data, metric.get(), 5);
-  EXPECT_EQ(va.ApproximationBytes(), 100u * 8u);
+  // One byte per cell code plus the flattened (d x (cells+1)) boundary
+  // table of doubles.
+  EXPECT_EQ(va.ApproximationBytes(), 100u * 8u + 8u * (32u + 1u) * 8u);
 }
 
 TEST(VaFileTest, ConstantColumnHandled) {

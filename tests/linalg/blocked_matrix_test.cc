@@ -1,0 +1,111 @@
+#include "linalg/blocked_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "../test_util.h"
+
+namespace cohere {
+namespace {
+
+using testing_util::RandomMatrix;
+
+TEST(BlockedMatrixTest, EmptyMatrix) {
+  BlockedMatrix b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.rows(), 0u);
+  EXPECT_EQ(b.cols(), 0u);
+  EXPECT_EQ(b.num_blocks(), 0u);
+  EXPECT_EQ(b.padded_rows(), 0u);
+}
+
+TEST(BlockedMatrixTest, PreservesValuesAndShape) {
+  Rng rng(7);
+  const Matrix m = RandomMatrix(37, 5, &rng);
+  BlockedMatrix b(m);
+  EXPECT_EQ(b.rows(), 37u);
+  EXPECT_EQ(b.cols(), 5u);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_EQ(b.At(i, j), m.At(i, j)) << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(BlockedMatrixTest, RowMajorLayoutWithRowPtr) {
+  Rng rng(11);
+  const Matrix m = RandomMatrix(20, 3, &rng);
+  BlockedMatrix b(m);
+  // Plain row-major: RowPtr(i) == data() + i * cols, rows contiguous.
+  for (size_t i = 0; i < b.rows(); ++i) {
+    EXPECT_EQ(b.RowPtr(i), b.data() + i * b.cols());
+    for (size_t j = 0; j < b.cols(); ++j) {
+      EXPECT_EQ(b.RowPtr(i)[j], m.At(i, j));
+    }
+  }
+}
+
+TEST(BlockedMatrixTest, SixtyFourByteAlignment) {
+  Rng rng(13);
+  BlockedMatrix b(RandomMatrix(18, 7, &rng));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % BlockedMatrix::kAlignment,
+            0u);
+}
+
+TEST(BlockedMatrixTest, PadsToWholeBlocksWithZeros) {
+  Rng rng(17);
+  const size_t rows = 18;  // 2 blocks of 16: 14 rows of padding
+  BlockedMatrix b(RandomMatrix(rows, 4, &rng));
+  EXPECT_EQ(b.num_blocks(), 2u);
+  EXPECT_EQ(b.padded_rows(), 32u);
+  EXPECT_EQ(b.BlockRows(0), 16u);
+  EXPECT_EQ(b.BlockRows(1), 2u);
+  const double* pad_begin = b.data() + rows * b.cols();
+  const double* pad_end = b.data() + b.padded_rows() * b.cols();
+  for (const double* p = pad_begin; p < pad_end; ++p) {
+    EXPECT_EQ(*p, 0.0);
+  }
+}
+
+TEST(BlockedMatrixTest, BlockPtrAddressesWholeBlocks) {
+  Rng rng(19);
+  const Matrix m = RandomMatrix(33, 6, &rng);
+  BlockedMatrix b(m);
+  EXPECT_EQ(b.num_blocks(), 3u);
+  for (size_t blk = 0; blk < b.num_blocks(); ++blk) {
+    EXPECT_EQ(b.BlockPtr(blk),
+              b.RowPtr(blk * BlockedMatrix::kRowsPerBlock));
+  }
+}
+
+TEST(BlockedMatrixTest, ToMatrixRoundTrips) {
+  Rng rng(23);
+  const Matrix m = RandomMatrix(29, 9, &rng);
+  const Matrix back = BlockedMatrix(m).ToMatrix();
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_EQ(back.At(i, j), m.At(i, j));
+    }
+  }
+}
+
+TEST(BlockedMatrixTest, RowCopiesOneRow) {
+  Rng rng(29);
+  const Matrix m = RandomMatrix(17, 4, &rng);
+  BlockedMatrix b(m);
+  const Vector row = b.Row(16);
+  ASSERT_EQ(row.size(), 4u);
+  for (size_t j = 0; j < 4; ++j) EXPECT_EQ(row[j], m.At(16, j));
+}
+
+TEST(BlockedMatrixTest, MemoryBytesCoversPadding) {
+  Rng rng(31);
+  BlockedMatrix b(RandomMatrix(5, 3, &rng));
+  EXPECT_EQ(b.MemoryBytes(), b.padded_rows() * b.cols() * sizeof(double));
+}
+
+}  // namespace
+}  // namespace cohere

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -37,8 +38,10 @@
 #include "data/dataset.h"
 #include "data/synthetic.h"
 #include "data/uci_like.h"
+#include "linalg/blocked_matrix.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
+#include "simd/kernels.h"
 
 namespace cohere {
 namespace {
@@ -283,6 +286,86 @@ WorkSnapshot TakeWorkSnapshot(const std::string& scope) {
   return snap;
 }
 
+/// Spec backing the `kernel_scan.*` series: a microbenchmark of the blocked
+/// L2 kernel itself — no index, no heap, no instrumentation — run once per
+/// dispatch level this CPU supports, so a BENCH document records what each
+/// SIMD tier actually buys on this machine. Never gated by bench_compare.py
+/// (the level grid differs across machines); scripts/tier1.sh instead
+/// compares the scalar and avx2 series within ONE document.
+const CaseSpec kKernelScanSpec = {"kernel_scan_grid", IndexBackend::kLinearScan,
+                                  kFullDim, 1, false, /*gate=*/false};
+
+std::vector<simd::Level> KernelScanLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::DetectedLevel() >= simd::Level::kSse2) {
+    levels.push_back(simd::Level::kSse2);
+  }
+  if (simd::DetectedLevel() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+/// Times full blocked-L2 scans of `rows` (one timed pass per query row) with
+/// the kernel table for `level`. The per-pass argmin feeds a checksum that is
+/// folded into the series fingerprint: the block kernels are bit-exact, so
+/// every level of the same document must print the same fingerprint — a
+/// drifted tier is visible right in the JSON.
+SeriesResult RunKernelScanCase(simd::Level level, const BlockedMatrix& rows,
+                               const Matrix& queries) {
+  const simd::KernelTable& kernels = simd::KernelsFor(level);
+  const size_t n = rows.rows();
+  const size_t d = rows.cols();
+  constexpr size_t kSpan = 256;
+  double dist[kSpan];
+  obs::LatencyHistogram hist("bench.kernel_scan");
+  double checksum = 0.0;
+  Stopwatch wall;
+  for (size_t qi = 0; qi < queries.rows(); ++qi) {
+    const double* q = queries.RowPtr(qi);
+    Stopwatch pass;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t base = 0; base < n; base += kSpan) {
+      const size_t span = std::min(kSpan, n - base);
+      kernels.l2_block(q, rows.RowPtr(base), span, d, dist);
+      for (size_t r = 0; r < span; ++r) {
+        if (dist[r] < best) best = dist[r];
+      }
+    }
+    hist.Record(pass.ElapsedMicros());
+    checksum += best;
+  }
+  const double wall_us = wall.ElapsedMicros();
+
+  uint64_t fp = 1469598103934665603ULL;
+  auto mix = [&fp](const void* data, size_t bytes) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+      fp ^= p[i];
+      fp *= 1099511628211ULL;
+    }
+  };
+  const uint64_t shape[2] = {n, d};
+  mix(shape, sizeof(shape));
+  mix(&checksum, sizeof(checksum));
+
+  SeriesResult out;
+  out.name = std::string("kernel_scan.l2.") + simd::LevelName(level);
+  out.spec = &kKernelScanSpec;
+  out.dataset_fingerprint = fp;
+  out.reduced_dims = d;
+  out.num_queries = queries.rows();
+  out.wall_us = wall_us;
+  out.throughput_qps = wall_us > 0.0
+                           ? static_cast<double>(queries.rows()) /
+                                 (wall_us * 1e-6)
+                           : 0.0;
+  out.latency = hist.SnapshotBins();
+  out.distance_evaluations = queries.rows() * n;
+  out.nodes_visited = queries.rows() * n;
+  return out;
+}
+
 Result<SeriesResult> RunCase(const CaseSpec& spec, const Dataset& dataset,
                              size_t num_queries) {
   ReductionOptions reduction;
@@ -508,6 +591,13 @@ std::string RenderDocument(const std::string& suite, size_t num_queries,
   out += ", \"assertions\": true";
 #endif
   out += ", \"compiler\": \"" __VERSION__ "\"";
+  // The kernel tier the run dispatched to (and the best this CPU supports):
+  // bench_compare.py refuses to silently diff documents measured at
+  // different levels.
+  out += ", \"simd_level\": \"" +
+         std::string(simd::LevelName(simd::ActiveLevel())) + "\"";
+  out += ", \"simd_detected\": \"" +
+         std::string(simd::LevelName(simd::DetectedLevel())) + "\"";
   out += "},\n";
   out += "  \"config\": {\"queries_per_case\": " +
          std::to_string(num_queries) + "},\n";
@@ -591,6 +681,9 @@ int Main(int argc, char** argv) {
     for (size_t i = 0; i < num_cases; ++i) {
       std::printf("%s\n", SeriesName(cases[i]).c_str());
     }
+    for (simd::Level level : KernelScanLevels()) {
+      std::printf("kernel_scan.l2.%s\n", simd::LevelName(level));
+    }
     return 0;
   }
 
@@ -625,6 +718,34 @@ int Main(int argc, char** argv) {
                  result->name.c_str(), result->latency.Quantile(0.5),
                  result->throughput_qps);
     series.push_back(std::move(*result));
+  }
+
+  // Kernel microbenchmark: one blocked-L2 scan series per dispatch level
+  // this CPU supports, over a grid large enough that a full pass dwarfs the
+  // timer resolution but small enough to stay cache-resident (1024 x 32
+  // doubles = 256 KiB) — the serving shards it stands in for are L2-sized,
+  // and a DRAM-bound grid would flatten every tier to memory bandwidth.
+  // Same rows and queries at every level; the bit-exact kernel contract
+  // means every level prints the same fingerprint.
+  {
+    LatentFactorConfig config;
+    config.num_records = 1024;
+    config.num_attributes = 32;
+    config.num_concepts = 6;
+    config.num_classes = 2;
+    config.seed = 9007;
+    const Dataset grid = GenerateLatentFactor(config);
+    const BlockedMatrix rows(grid.features());
+    const size_t nq = std::min(num_queries, grid.NumRecords());
+    Matrix queries(nq, grid.NumAttributes());
+    for (size_t i = 0; i < nq; ++i) queries.SetRow(i, grid.Record(i));
+    for (simd::Level level : KernelScanLevels()) {
+      SeriesResult result = RunKernelScanCase(level, rows, queries);
+      std::fprintf(stderr, "%-44s p50 %8.2f us  %10.0f q/s\n",
+                   result.name.c_str(), result.latency.Quantile(0.5),
+                   result.throughput_qps);
+      series.push_back(std::move(result));
+    }
   }
 
   const std::string rendered = RenderDocument(suite, num_queries, series);
